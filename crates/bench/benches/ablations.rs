@@ -1,0 +1,112 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! the ALS inner solver (normal equations vs QR), initialization
+//! (random vs row means), the rank bound's cost, and the linalg kernels
+//! underneath everything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_bench::datasets::small_eval;
+use linalg::lstsq::RidgeSolver;
+use linalg::{Matrix, QrDecomposition, Svd};
+use probes::mask::random_mask;
+use probes::{Granularity, Tcm};
+use rand::SeedableRng;
+use std::hint::black_box;
+use traffic_cs::cs::{complete_matrix, CsConfig, Initialization};
+
+fn masked_eval() -> Tcm {
+    let ds = small_eval(Granularity::Min30);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mask = random_mask(ds.truth.num_slots(), ds.truth.num_segments(), 0.4, &mut rng);
+    ds.truth.masked(&mask).expect("mask shape matches")
+}
+
+/// DESIGN.md ablation 1: the paper's normal-equation `inverse` procedure
+/// vs a QR solve in the ALS inner step.
+fn bench_als_solver(c: &mut Criterion) {
+    let tcm = masked_eval();
+    let mut group = c.benchmark_group("als_solver");
+    group.sample_size(10);
+    for (name, solver) in [("normal_equations", RidgeSolver::NormalEquations), ("qr", RidgeSolver::Qr)] {
+        group.bench_function(name, |b| {
+            let cfg = CsConfig { rank: 2, lambda: 1.0, iterations: 30, solver, ..CsConfig::default() };
+            b.iter(|| black_box(complete_matrix(&tcm, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// DESIGN.md ablation 4: random vs row-mean initialization of `L`.
+fn bench_als_init(c: &mut Criterion) {
+    let tcm = masked_eval();
+    let mut group = c.benchmark_group("als_init");
+    group.sample_size(10);
+    for (name, init) in [("random", Initialization::Random), ("row_means", Initialization::RowMeans)] {
+        group.bench_function(name, |b| {
+            let cfg = CsConfig { rank: 2, lambda: 1.0, iterations: 30, init, ..CsConfig::default() };
+            b.iter(|| black_box(complete_matrix(&tcm, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// The rank bound's cost (Fig. 15 studies its accuracy; this is the
+/// O(r m n t) complexity claim of Section 3.3).
+fn bench_rank_cost(c: &mut Criterion) {
+    let tcm = masked_eval();
+    let mut group = c.benchmark_group("rank_cost");
+    group.sample_size(10);
+    for rank in [1usize, 2, 8, 32] {
+        group.bench_function(format!("rank_{rank}"), |b| {
+            let cfg = CsConfig { rank, lambda: 1.0, iterations: 20, ..CsConfig::default() };
+            b.iter(|| black_box(complete_matrix(&tcm, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// MSSA eigen-backend ablation: full Jacobi (the paper-era MATLAB way)
+/// vs subspace iteration for just the leading EOFs. Shows how much of
+/// Table 2's MSSA wall is solver choice.
+fn bench_mssa_backend(c: &mut Criterion) {
+    use traffic_cs::baselines::{mssa_impute, EigBackend, MssaConfig};
+    let tcm = masked_eval();
+    let mut group = c.benchmark_group("mssa_eig");
+    group.sample_size(10);
+    for (name, eig) in [
+        ("full_jacobi", EigBackend::FullJacobi),
+        ("subspace_iteration", EigBackend::SubspaceIteration),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = MssaConfig { max_iterations: 3, eig, ..MssaConfig::default() };
+            b.iter(|| black_box(mssa_impute(&tcm, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// The linear-algebra kernels everything sits on.
+fn bench_linalg_kernels(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let a = Matrix::random_uniform(200, 120, &mut rng, -1.0, 1.0);
+    let b_mat = Matrix::random_uniform(120, 200, &mut rng, -1.0, 1.0);
+    let mut group = c.benchmark_group("linalg");
+    group.sample_size(10);
+    group.bench_function("matmul_200x120x200", |bch| {
+        bch.iter(|| black_box(a.matmul(&b_mat).unwrap()))
+    });
+    group.bench_function("svd_200x120", |bch| bch.iter(|| black_box(Svd::compute(&a).unwrap())));
+    group.bench_function("qr_200x120", |bch| {
+        bch.iter(|| black_box(QrDecomposition::new(&a).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_als_solver,
+    bench_als_init,
+    bench_rank_cost,
+    bench_mssa_backend,
+    bench_linalg_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches behind Table 2: run times of the four estimation
+//! algorithms on the evaluation matrix.
+//!
+//! The single-shot wall-clock version (closer to how the paper timed
+//! MATLAB) is `cargo run --release -p cs-bench --bin experiments -- table2`;
+//! this harness adds statistical rigour on a reduced matrix so the full
+//! suite stays affordable. The paper's qualitative result — KNNs fast,
+//! compressive sensing fast, MSSA orders of magnitude slower — is
+//! visible in either version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_bench::datasets::small_eval;
+use probes::mask::random_mask;
+use probes::{Granularity, Tcm};
+use rand::SeedableRng;
+use std::hint::black_box;
+use traffic_cs::baselines::MssaConfig;
+use traffic_cs::cs::CsConfig;
+use traffic_cs::estimator::Estimator;
+
+fn masked_eval(granularity: Granularity) -> Tcm {
+    let ds = small_eval(granularity);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mask = random_mask(ds.truth.num_slots(), ds.truth.num_segments(), 0.4, &mut rng);
+    ds.truth.masked(&mask).expect("mask shape matches")
+}
+
+/// Table 2 line-up at one granularity.
+fn bench_algorithms(c: &mut Criterion) {
+    let tcm = masked_eval(Granularity::Min15);
+    let mut group = c.benchmark_group("table2_min15");
+    group.sample_size(10);
+
+    group.bench_function("naive_knn", |b| {
+        let est = Estimator::NaiveKnn { k: 4 };
+        b.iter(|| black_box(est.estimate(&tcm).unwrap()))
+    });
+    group.bench_function("correlation_knn", |b| {
+        let est = Estimator::CorrelationKnn { k_range: 2 };
+        b.iter(|| black_box(est.estimate(&tcm).unwrap()))
+    });
+    group.bench_function("compressive_sensing", |b| {
+        let est = Estimator::CompressiveSensing(CsConfig { rank: 2, lambda: 1.0, ..CsConfig::default() });
+        b.iter(|| black_box(est.estimate(&tcm).unwrap()))
+    });
+    group.bench_function("mssa_6_iterations", |b| {
+        let est = Estimator::Mssa(MssaConfig { max_iterations: 6, ..MssaConfig::default() });
+        b.iter(|| black_box(est.estimate(&tcm).unwrap()))
+    });
+    group.finish();
+}
+
+/// Fig. 11's granularity axis: the CS algorithm across matrix heights.
+fn bench_cs_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cs_scaling");
+    group.sample_size(10);
+    for g in Granularity::all() {
+        let tcm = masked_eval(g);
+        let label = format!("cs_{g}").replace(' ', "");
+        group.bench_function(&label, |b| {
+            let est = Estimator::CompressiveSensing(CsConfig { rank: 2, lambda: 1.0, ..CsConfig::default() });
+            b.iter(|| black_box(est.estimate(&tcm).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_cs_scaling);
+criterion_main!(benches);

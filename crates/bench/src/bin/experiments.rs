@@ -1,0 +1,140 @@
+//! Experiment runner regenerating every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p cs-bench --bin experiments -- all
+//! cargo run --release -p cs-bench --bin experiments -- fig11 fig15 --quick
+//! ```
+//!
+//! Known experiment ids: `table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//! fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 table2 ga convergence
+//! init-ablation all`. `--quick` substitutes reduced datasets (small
+//! city, fewer sweep points) for a fast smoke run.
+
+use cs_bench::experiments::{accuracy, extensions, integrity, params, runtime, selection, structure};
+
+const ALL_IDS: &[&str] = &[
+    "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "table2", "ga", "convergence", "init-ablation",
+    "adaptive", "online", "weighted",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.to_lowercase())
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: experiments <id...|all> [--quick]");
+        eprintln!("ids: {}", ALL_IDS.join(" "));
+        std::process::exit(2);
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !ALL_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment id '{id}'; known: {}", ALL_IDS.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    println!(
+        "# cs-traffic experiments ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    // Shared expensive inputs, built lazily once.
+    fn fleet(
+        cache: &mut Option<Vec<cs_bench::datasets::FleetDay>>,
+        quick: bool,
+    ) -> &Vec<cs_bench::datasets::FleetDay> {
+        cache.get_or_insert_with(|| {
+            println!("[simulating probe fleet days...]");
+            cs_bench::datasets::fleet_days(quick)
+        })
+    }
+    fn sds(
+        cache: &mut Option<cs_bench::datasets::EvalDataset>,
+        quick: bool,
+    ) -> &cs_bench::datasets::EvalDataset {
+        cache.get_or_insert_with(|| structure::dataset(quick))
+    }
+    let mut fleet_cache: Option<Vec<cs_bench::datasets::FleetDay>> = None;
+    let mut structure_cache: Option<cs_bench::datasets::EvalDataset> = None;
+
+    for id in &ids {
+        let start = std::time::Instant::now();
+        match id.as_str() {
+            "table1" => integrity::print_table1(&integrity::table1(fleet(&mut fleet_cache, quick))),
+            "fig2" => integrity::print_integrity_cdfs(
+                "Fig. 2: CDF of per-road integrity (15 min)",
+                "fig2_road_integrity.csv",
+                &integrity::fig2(fleet(&mut fleet_cache, quick)),
+            ),
+            "fig3" => integrity::print_integrity_cdfs(
+                "Fig. 3: CDF of per-slot integrity (15 min)",
+                "fig3_slot_integrity.csv",
+                &integrity::fig3(fleet(&mut fleet_cache, quick)),
+            ),
+            "fig4" => structure::print_fig4(&structure::fig4(sds(&mut structure_cache, quick))),
+            "fig5" => structure::print_fig5(&structure::eigenflows(sds(&mut structure_cache, quick))),
+            "fig6" => structure::print_fig6(&structure::fig6(sds(&mut structure_cache, quick))),
+            "fig7" => {
+                let ds = sds(&mut structure_cache, quick);
+                let analysis = structure::eigenflows(ds);
+                structure::print_fig7(&structure::fig7(ds, &analysis));
+            }
+            "fig8" => structure::print_fig8(&structure::fig8(&structure::eigenflows(sds(&mut structure_cache, quick)))),
+            "fig11" => {
+                let opts = if quick { accuracy::AccuracyOpts::quick() } else { accuracy::AccuracyOpts::full() };
+                accuracy::print_accuracy(
+                    "Fig. 11: NMAE vs integrity (Shanghai-like)",
+                    "fig11_shanghai.csv",
+                    &accuracy::fig11(&opts, quick),
+                );
+            }
+            "fig12" => {
+                let opts = if quick { accuracy::AccuracyOpts::quick() } else { accuracy::AccuracyOpts::full() };
+                accuracy::print_accuracy(
+                    "Fig. 12: NMAE vs integrity (Shenzhen-like, no MSSA)",
+                    "fig12_shenzhen.csv",
+                    &accuracy::fig12(&opts, quick),
+                );
+            }
+            "fig13" => accuracy::print_rel_err_cdfs(
+                "Fig. 13: relative-error CDFs @20% integrity (Shanghai-like)",
+                "fig13_relerr_shanghai.csv",
+                &accuracy::fig13(quick),
+            ),
+            "fig14" => accuracy::print_rel_err_cdfs(
+                "Fig. 14: relative-error CDFs @20% integrity (Shenzhen-like)",
+                "fig14_relerr_shenzhen.csv",
+                &accuracy::fig14(quick),
+            ),
+            "fig15" => params::print_fig15(&params::fig15(&params::dataset(quick))),
+            "fig16" => params::print_fig16(&params::fig16(&params::dataset(quick))),
+            "fig17" => selection::print_selection(
+                "Fig. 17: matrix selection @20% integrity (NMAE of r0)",
+                "fig17_selection_20.csv",
+                &selection::fig17(quick),
+            ),
+            "fig18" => selection::print_selection(
+                "Fig. 18: matrix selection @40% integrity (NMAE of r0)",
+                "fig18_selection_40.csv",
+                &selection::fig18(quick),
+            ),
+            "table2" => runtime::print_table2(&runtime::table2(quick)),
+            "ga" => params::print_ga(&params::ga(&params::dataset(quick), quick)),
+            "convergence" => params::print_convergence(&params::convergence(&params::dataset(quick))),
+            "init-ablation" => params::print_init_ablation(&params::init_ablation(&params::dataset(quick))),
+            "adaptive" => extensions::print_adaptive(&extensions::adaptive(quick)),
+            "online" => extensions::print_online(extensions::online(quick)),
+            "weighted" => extensions::print_weighted(extensions::weighted(quick)),
+            _ => unreachable!("validated above"),
+        }
+        println!("[{id} done in {:.1} s]\n", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,169 @@
+//! Evaluation datasets: the stand-ins for the paper's Shanghai and
+//! Shenzhen probe collections.
+//!
+//! Two kinds of data feed the experiments, mirroring the paper's
+//! methodology (Section 4.1):
+//!
+//! * **Evaluation TCMs** — complete ground-truth matrices over a
+//!   downtown subnetwork (221 segments Shanghai-like, 198 Shenzhen-like)
+//!   for one week. The paper obtains near-complete matrices by picking
+//!   well-covered downtown regions and then *randomly discards* entries;
+//!   we do the same starting from the generative ground truth.
+//! * **Fleet days** — 24-hour fleet simulations over the whole city used
+//!   by the Section 2.3 integrity study (Table 1, Figs. 2–3), where the
+//!   missing-data pattern must come from actual probe motion, not
+//!   uniform masking.
+
+use probes::tcm::build_tcm_from_reports;
+use probes::{Granularity, SlotGrid, Tcm};
+use roadnet::matching::SegmentIndex;
+use roadnet::RoadNetwork;
+use traffic_sim::config::{central_segments, ScenarioConfig};
+use traffic_sim::GroundTruthModel;
+
+/// Seconds in one week — the time span of the paper's evaluation TCMs.
+pub const WEEK_S: u64 = 7 * 86_400;
+
+/// Maximum map-matching radius (metres) used when binning probe reports.
+pub const MATCH_RADIUS_M: f64 = 80.0;
+
+/// A complete ground-truth evaluation matrix over a downtown subnetwork.
+#[derive(Debug, Clone)]
+pub struct EvalDataset {
+    /// Dataset label ("shanghai" / "shenzhen").
+    pub name: &'static str,
+    /// Time granularity the matrix was built at.
+    pub granularity: Granularity,
+    /// Complete ground-truth TCM (slots × segments).
+    pub truth: Tcm,
+    /// Column index (within the TCM) of the "given road segment r0" used
+    /// by the matrix-selection study — the most central segment.
+    pub r0: usize,
+    /// The network the subnetwork was cut from.
+    pub network: RoadNetwork,
+    /// Network-level segment indices of the TCM's columns.
+    pub segment_indices: Vec<usize>,
+}
+
+fn build_eval(
+    name: &'static str,
+    scenario: &ScenarioConfig,
+    subnetwork_size: usize,
+    granularity: Granularity,
+) -> EvalDataset {
+    let network = roadnet::generator::generate_grid_city(&scenario.city);
+    let grid = SlotGrid::covering(0, WEEK_S, granularity);
+    let model = GroundTruthModel::generate(&network, grid, &scenario.ground);
+    let segment_indices = central_segments(&network, subnetwork_size);
+    let truth = model.tcm().select_segments(&segment_indices);
+    // r0: the most central segment = the one central_segments would pick
+    // first; recompute its position within the selection.
+    let first = central_segments(&network, 1)[0];
+    let r0 = segment_indices.iter().position(|&s| s == first).expect("r0 is in its own set");
+    EvalDataset { name, granularity, truth, r0, network, segment_indices }
+}
+
+/// Shanghai-like evaluation dataset: 221 central segments, one week.
+pub fn shanghai_eval(granularity: Granularity) -> EvalDataset {
+    build_eval("shanghai", &ScenarioConfig::shanghai_like(), 221, granularity)
+}
+
+/// Shenzhen-like evaluation dataset: 198 central segments, one week.
+pub fn shenzhen_eval(granularity: Granularity) -> EvalDataset {
+    build_eval("shenzhen", &ScenarioConfig::shenzhen_like(), 198, granularity)
+}
+
+/// A small stand-in evaluation dataset for `--quick` runs and tests:
+/// 60 central segments of the small test city over two days.
+pub fn small_eval(granularity: Granularity) -> EvalDataset {
+    let scenario = ScenarioConfig::small_test();
+    let network = roadnet::generator::generate_grid_city(&scenario.city);
+    let grid = SlotGrid::covering(0, 2 * 86_400, granularity);
+    let model = GroundTruthModel::generate(&network, grid, &scenario.ground);
+    let segment_indices = central_segments(&network, 60);
+    let truth = model.tcm().select_segments(&segment_indices);
+    let first = central_segments(&network, 1)[0];
+    let r0 = segment_indices.iter().position(|&s| s == first).expect("r0 in set");
+    EvalDataset { name: "small", granularity, truth, r0, network, segment_indices }
+}
+
+/// One 24-hour fleet simulation: the network, the delivered reports, and
+/// lazily-buildable TCMs at any granularity.
+#[derive(Debug, Clone)]
+pub struct FleetDay {
+    /// Number of probe vehicles simulated.
+    pub fleet_size: usize,
+    /// The city network.
+    pub network: RoadNetwork,
+    /// Spatial index for map matching.
+    index: SegmentIndex,
+    /// Delivered probe reports over 24 h.
+    pub reports: Vec<probes::ProbeReport>,
+}
+
+impl FleetDay {
+    /// Simulates `fleet_size` taxis for 24 hours on the scenario's city.
+    pub fn simulate(scenario: &ScenarioConfig, fleet_size: usize) -> Self {
+        let scenario = scenario.clone().with_fleet_size(fleet_size);
+        let out = scenario.run();
+        let index = SegmentIndex::build(&out.network, 150.0);
+        Self { fleet_size, network: out.network, index, reports: out.reports }
+    }
+
+    /// Bins this day's reports into a measurement TCM at `granularity`
+    /// over the whole network.
+    pub fn tcm(&self, granularity: Granularity) -> Tcm {
+        let grid = SlotGrid::covering(0, 86_400, granularity);
+        build_tcm_from_reports(&self.reports, &self.network, &self.index, &grid, MATCH_RADIUS_M)
+    }
+}
+
+/// The fleet sizes of the paper's Table 1.
+pub const PAPER_FLEETS: [usize; 3] = [500, 1000, 2000];
+
+/// Reduced fleet sizes for `--quick` runs (on the small-city scenario a
+/// few hundred taxis already reach Table 1's integrity regime).
+pub const QUICK_FLEETS: [usize; 2] = [250, 1000];
+
+/// Simulates the Table-1 fleet-size sweep. `quick` swaps the
+/// Shanghai-scale city for a 20×20 one and fewer vehicles.
+pub fn fleet_days(quick: bool) -> Vec<FleetDay> {
+    if quick {
+        let mut scenario = ScenarioConfig::shanghai_like();
+        scenario.city.rows = 20;
+        scenario.city.cols = 20;
+        QUICK_FLEETS.iter().map(|&n| FleetDay::simulate(&scenario, n)).collect()
+    } else {
+        let scenario = ScenarioConfig::shanghai_like();
+        PAPER_FLEETS.iter().map(|&n| FleetDay::simulate(&scenario, n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_eval_shape() {
+        let ds = small_eval(Granularity::Min60);
+        assert_eq!(ds.truth.num_slots(), 48);
+        assert_eq!(ds.truth.num_segments(), 60);
+        assert_eq!(ds.truth.integrity(), 1.0);
+        assert!(ds.r0 < 60);
+        assert_eq!(ds.segment_indices.len(), 60);
+    }
+
+    #[test]
+    fn fleet_day_tcm_granularities() {
+        let mut scenario = ScenarioConfig::small_test();
+        scenario.duration_s = 86_400;
+        let day = FleetDay::simulate(&scenario, 40);
+        let t15 = day.tcm(Granularity::Min15);
+        let t60 = day.tcm(Granularity::Min60);
+        assert_eq!(t15.num_slots(), 96);
+        assert_eq!(t60.num_slots(), 24);
+        // Coarser slots can only raise integrity (Table 1's trend).
+        assert!(t60.integrity() >= t15.integrity());
+        assert!(t15.integrity() > 0.0);
+    }
+}

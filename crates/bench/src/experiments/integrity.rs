@@ -1,0 +1,186 @@
+//! Section 2.3 — the missing-data problem: Table 1 and Figs. 2–3.
+
+use crate::datasets::{fleet_days, FleetDay};
+use crate::report::{cdf_fractions_at, fmt_pct, format_table, save_csv};
+use probes::integrity::{per_road, per_slot, road_integrity_cdf, slot_integrity_cdf};
+use probes::Granularity;
+
+/// Table 1: overall integrity per (granularity, fleet size).
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Fleet sizes in column order.
+    pub fleets: Vec<usize>,
+    /// `(granularity, integrity per fleet)` rows.
+    pub rows: Vec<(Granularity, Vec<f64>)>,
+}
+
+/// Runs the Table 1 sweep on prepared fleet days.
+pub fn table1(days: &[FleetDay]) -> Table1 {
+    let fleets = days.iter().map(|d| d.fleet_size).collect();
+    let rows = Granularity::all()
+        .into_iter()
+        .map(|g| (g, days.iter().map(|d| d.tcm(g).integrity()).collect()))
+        .collect();
+    Table1 { fleets, rows }
+}
+
+/// Prints Table 1 and saves `table1.csv`.
+pub fn print_table1(t: &Table1) {
+    let mut headers = vec!["Time gran.".to_string()];
+    headers.extend(t.fleets.iter().map(|f| format!("N={f}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|(g, vals)| {
+            let mut row = vec![g.to_string()];
+            row.extend(vals.iter().map(|&v| fmt_pct(v)));
+            row
+        })
+        .collect();
+    println!("{}", format_table("Table 1: integrity vs fleet size (24 h)", &header_refs, &rows));
+    match save_csv("table1.csv", &header_refs, &rows) {
+        Ok(p) => println!("   [csv: {}]", p.display()),
+        Err(e) => eprintln!("   [csv write failed: {e}]"),
+    }
+}
+
+/// One CDF curve of Fig. 2 / Fig. 3: summary fractions at fixed
+/// integrity thresholds for one fleet size.
+#[derive(Debug, Clone)]
+pub struct IntegrityCdf {
+    /// Fleet size of the curve.
+    pub fleet_size: usize,
+    /// Threshold values the CDF was sampled at.
+    pub thresholds: Vec<f64>,
+    /// Fraction of roads (Fig. 2) or slots (Fig. 3) with integrity ≤
+    /// threshold.
+    pub fractions: Vec<f64>,
+    /// The raw marginal integrities (full curve for the CSV).
+    pub marginals: Vec<f64>,
+}
+
+const THRESHOLDS: [f64; 5] = [0.1, 0.2, 0.4, 0.6, 0.8];
+
+/// Fig. 2: CDFs of per-road integrity at 15-minute granularity.
+pub fn fig2(days: &[FleetDay]) -> Vec<IntegrityCdf> {
+    days.iter()
+        .map(|d| {
+            let tcm = d.tcm(Granularity::Min15);
+            let cdf = road_integrity_cdf(&tcm);
+            IntegrityCdf {
+                fleet_size: d.fleet_size,
+                thresholds: THRESHOLDS.to_vec(),
+                fractions: cdf_fractions_at(&cdf, &THRESHOLDS),
+                marginals: per_road(&tcm),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 3: CDFs of per-slot integrity at 15-minute granularity.
+pub fn fig3(days: &[FleetDay]) -> Vec<IntegrityCdf> {
+    days.iter()
+        .map(|d| {
+            let tcm = d.tcm(Granularity::Min15);
+            let cdf = slot_integrity_cdf(&tcm);
+            IntegrityCdf {
+                fleet_size: d.fleet_size,
+                thresholds: THRESHOLDS.to_vec(),
+                fractions: cdf_fractions_at(&cdf, &THRESHOLDS),
+                marginals: per_slot(&tcm),
+            }
+        })
+        .collect()
+}
+
+/// Prints one of the two CDF figures and saves its CSV.
+pub fn print_integrity_cdfs(title: &str, file: &str, curves: &[IntegrityCdf]) {
+    let mut headers = vec!["integrity ≤".to_string()];
+    headers.extend(curves.iter().map(|c| format!("N={}", c.fleet_size)));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = THRESHOLDS
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let mut row = vec![format!("{t:.1}")];
+            row.extend(curves.iter().map(|c| fmt_pct(c.fractions[i])));
+            row
+        })
+        .collect();
+    println!("{}", format_table(title, &header_refs, &rows));
+    // Full marginal distributions for plotting.
+    let max_len = curves.iter().map(|c| c.marginals.len()).max().unwrap_or(0);
+    let csv_rows: Vec<Vec<String>> = (0..max_len)
+        .map(|i| {
+            curves
+                .iter()
+                .map(|c| {
+                    let mut sorted = c.marginals.clone();
+                    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    sorted.get(i).map_or(String::new(), |v| format!("{v:.6}"))
+                })
+                .collect()
+        })
+        .collect();
+    let csv_headers: Vec<String> = curves.iter().map(|c| format!("N={}", c.fleet_size)).collect();
+    let csv_header_refs: Vec<&str> = csv_headers.iter().map(String::as_str).collect();
+    match save_csv(file, &csv_header_refs, &csv_rows) {
+        Ok(p) => println!("   [csv: {}]", p.display()),
+        Err(e) => eprintln!("   [csv write failed: {e}]"),
+    }
+}
+
+/// Convenience: run and print the whole Section 2.3 study.
+pub fn run_all(quick: bool) {
+    let days = fleet_days(quick);
+    print_table1(&table1(&days));
+    print_integrity_cdfs("Fig. 2: CDF of per-road integrity (15 min)", "fig2_road_integrity.csv", &fig2(&days));
+    print_integrity_cdfs("Fig. 3: CDF of per-slot integrity (15 min)", "fig3_slot_integrity.csv", &fig3(&days));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_days() -> Vec<FleetDay> {
+        let mut scenario = traffic_sim::ScenarioConfig::small_test();
+        scenario.duration_s = 86_400;
+        vec![
+            FleetDay::simulate(&scenario, 20),
+            FleetDay::simulate(&scenario, 80),
+        ]
+    }
+
+    #[test]
+    fn table1_trends_match_paper() {
+        let days = quick_days();
+        let t = table1(&days);
+        assert_eq!(t.fleets, vec![20, 80]);
+        for (_, vals) in &t.rows {
+            // More vehicles → higher integrity.
+            assert!(vals[1] >= vals[0], "fleet trend violated: {vals:?}");
+        }
+        // Coarser granularity → higher integrity (paper's Table 1 rows).
+        for fleet_idx in 0..2 {
+            let i15 = t.rows[0].1[fleet_idx];
+            let i60 = t.rows[2].1[fleet_idx];
+            assert!(i60 >= i15, "granularity trend violated");
+        }
+    }
+
+    #[test]
+    fn cdf_curves_shift_down_with_more_vehicles() {
+        let days = quick_days();
+        let roads = fig2(&days);
+        // With more vehicles, fewer roads sit below a low threshold.
+        let below_small = roads[0].fractions[2]; // ≤ 0.4, small fleet
+        let below_large = roads[1].fractions[2];
+        assert!(below_large <= below_small + 1e-9);
+        let slots = fig3(&days);
+        assert_eq!(slots.len(), 2);
+        for c in &slots {
+            assert!(c.fractions.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per group of paper artifacts. Each experiment function
+//! returns its data (so integration tests can assert the qualitative
+//! shape) and a `print_*` companion renders the paper-style table and
+//! writes CSVs.
+
+pub mod accuracy;
+pub mod extensions;
+pub mod integrity;
+pub mod params;
+pub mod runtime;
+pub mod selection;
+pub mod structure;

@@ -1,0 +1,345 @@
+//! Section 4.5 — impact of traffic-matrix selection: Figs. 17–18.
+//!
+//! For a target segment `r0`, five traffic matrices are formed from
+//! different road-segment sets (the paper's Sets 1–5) and the estimation
+//! quality *of `r0`'s column* is compared across algorithms at 20% and
+//! 40% integrity. The paper's finding: with small matrices all methods
+//! are close; the CS advantage grows with matrix size (Set 3).
+
+use crate::report::{fmt, format_table, save_csv};
+use linalg::Matrix;
+use probes::mask::random_mask;
+use probes::{Granularity, SlotGrid};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use roadnet::{NodeId, RoadNetwork, SegmentId};
+use traffic_cs::baselines::MssaConfig;
+use traffic_cs::cs::CsConfig;
+use traffic_cs::estimator::{Estimator, EstimatorKind};
+use traffic_sim::config::{central_segments, ScenarioConfig};
+use traffic_sim::GroundTruthModel;
+
+/// One of the paper's five road-segment sets, all containing `r0`.
+#[derive(Debug, Clone)]
+pub struct SegmentSet {
+    /// Paper label ("Set 1" … "Set 5").
+    pub label: &'static str,
+    /// Network segment indices, `r0` first.
+    pub segments: Vec<usize>,
+}
+
+/// Node ids within `depth` hops (undirected) of the given seed nodes.
+fn nodes_within(net: &RoadNetwork, seeds: &[NodeId], depth: usize) -> std::collections::HashSet<NodeId> {
+    // Undirected adjacency from segment endpoints.
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); net.node_count()];
+    for seg in net.segments() {
+        adj[seg.from.index()].push(seg.to);
+        adj[seg.to.index()].push(seg.from);
+    }
+    let mut seen: std::collections::HashSet<NodeId> = seeds.iter().copied().collect();
+    let mut frontier: Vec<NodeId> = seeds.to_vec();
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for node in frontier {
+            for &nb in &adj[node.index()] {
+                if seen.insert(nb) {
+                    next.push(nb);
+                }
+            }
+        }
+        frontier = next;
+    }
+    seen
+}
+
+/// Builds the paper's five segment sets around `r0`.
+///
+/// # Panics
+///
+/// Panics when the network is too small to furnish the required set
+/// sizes (never the case for the evaluation cities).
+pub fn build_sets(net: &RoadNetwork, r0: SegmentId, seed: u64) -> Vec<SegmentSet> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let r0_idx = r0.index();
+
+    // Set 1: six segments directly connected with r0.
+    let mut direct: Vec<usize> =
+        net.touching_segments(r0).iter().map(|s| s.index()).collect();
+    direct.truncate(6);
+    assert!(direct.len() == 6, "r0 must have ≥6 directly connected segments");
+
+    // Set 2: 18 segments within two blocks, excluding the direct ones.
+    let seg = net.segment(r0);
+    let near_nodes = nodes_within(net, &[seg.from, seg.to], 2);
+    let mut two_block: Vec<usize> = net
+        .segments()
+        .iter()
+        .filter(|s| {
+            s.id != r0
+                && near_nodes.contains(&s.from)
+                && near_nodes.contains(&s.to)
+                && !direct.contains(&s.id.index())
+        })
+        .map(|s| s.id.index())
+        .collect();
+    two_block.shuffle(&mut rng);
+    two_block.truncate(18);
+    assert!(two_block.len() == 18, "need 18 two-block segments, got {}", two_block.len());
+
+    // Set 3: 45 random segments from the rest.
+    let excluded: std::collections::HashSet<usize> = direct
+        .iter()
+        .chain(two_block.iter())
+        .copied()
+        .chain([r0_idx])
+        .collect();
+    let mut rest: Vec<usize> =
+        (0..net.segment_count()).filter(|i| !excluded.contains(i)).collect();
+    rest.shuffle(&mut rng);
+    let random45: Vec<usize> = rest.into_iter().take(45).collect();
+    assert!(random45.len() == 45, "need 45 remaining segments");
+
+    // Sets 4 and 5: six random picks from Set 2 / Set 3 respectively.
+    let mut from_set2 = two_block.clone();
+    from_set2.shuffle(&mut rng);
+    from_set2.truncate(6);
+    let mut from_set3 = random45.clone();
+    from_set3.shuffle(&mut rng);
+    from_set3.truncate(6);
+
+    let with_r0 = |mut v: Vec<usize>| {
+        let mut out = vec![r0_idx];
+        out.append(&mut v);
+        out
+    };
+    vec![
+        SegmentSet { label: "Set 1", segments: with_r0(direct) },
+        SegmentSet { label: "Set 2", segments: with_r0(two_block) },
+        SegmentSet { label: "Set 3", segments: with_r0(random45) },
+        SegmentSet { label: "Set 4", segments: with_r0(from_set2) },
+        SegmentSet { label: "Set 5", segments: with_r0(from_set3) },
+    ]
+}
+
+/// One measured cell of Fig. 17/18: the NMAE of `r0`'s column.
+#[derive(Debug, Clone)]
+pub struct SelectionPoint {
+    /// Which set the matrix was formed from.
+    pub set: &'static str,
+    /// Number of segments in the matrix.
+    pub matrix_cols: usize,
+    /// Algorithm.
+    pub algorithm: EstimatorKind,
+    /// NMAE restricted to `r0`'s hidden cells.
+    pub nmae_r0: f64,
+}
+
+/// NMAE over the missing cells of column 0 (`r0` is always first).
+fn nmae_r0_column(truth: &Matrix, estimate: &Matrix, indicator: &Matrix) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for t in 0..truth.rows() {
+        if indicator.get(t, 0) == 0.0 {
+            num += (truth.get(t, 0) - estimate.get(t, 0)).abs();
+            den += truth.get(t, 0).abs();
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// The experiment backbone shared by Figs. 17 and 18.
+pub fn matrix_selection(integrity: f64, quick: bool) -> Vec<SelectionPoint> {
+    // Whole-city ground truth (Min30, one week as in the paper's setup).
+    let scenario = if quick {
+        let mut s = ScenarioConfig::small_test();
+        s.city.rows = 12;
+        s.city.cols = 12;
+        s
+    } else {
+        ScenarioConfig::shanghai_like()
+    };
+    let net = roadnet::generator::generate_grid_city(&scenario.city);
+    let days = if quick { 2 } else { 7 };
+    let grid = SlotGrid::covering(0, days * 86_400, Granularity::Min30);
+    let model = GroundTruthModel::generate(&net, grid, &scenario.ground);
+    let full_truth = model.tcm();
+
+    let r0 = SegmentId(central_segments(&net, 1)[0] as u32);
+    let sets = build_sets(&net, r0, 17);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+    let mut out = Vec::new();
+    for set in &sets {
+        let truth = full_truth.select_segments(&set.segments);
+        let mask = random_mask(truth.num_slots(), truth.num_segments(), integrity, &mut rng);
+        let masked = truth.masked(&mask).expect("mask shape matches");
+        // The paper tunes (r, λ) per road-segment set with Algorithm 2
+        // ("Algorithm 2 is only executed once for a given set of road
+        // segments"); we do the same with a small search budget.
+        let tuned = traffic_cs::ga::optimize_parameters(
+            &masked,
+            &traffic_cs::ga::GaConfig {
+                population: if quick { 6 } else { 10 },
+                generations: if quick { 3 } else { 5 },
+                elite: 2,
+                rank_bounds: (1, 8.min(truth.num_segments())),
+                cs: CsConfig { iterations: if quick { 15 } else { 30 }, ..CsConfig::default() },
+                ..traffic_cs::ga::GaConfig::default()
+            },
+        )
+        .ok();
+        for est in selection_lineup(&tuned, truth.num_slots() * truth.num_segments(), quick) {
+            let kind = est.kind();
+            match est.estimate(&masked) {
+                Ok(estimate) => out.push(SelectionPoint {
+                    set: set.label,
+                    matrix_cols: set.segments.len(),
+                    algorithm: kind,
+                    nmae_r0: nmae_r0_column(truth.values(), &estimate, masked.indicator()),
+                }),
+                Err(e) => eprintln!("   [{kind} failed on {}: {e}]", set.label),
+            }
+        }
+    }
+    out
+}
+
+fn selection_lineup(
+    tuned: &Option<traffic_cs::ga::GaResult>,
+    n_cells: usize,
+    quick: bool,
+) -> Vec<Estimator> {
+    // Fallback when the GA could not run: λ scaled by matrix size (see
+    // accuracy.rs).
+    const PAPER_CELLS: f64 = 672.0 * 221.0;
+    let (rank, lambda) = match tuned {
+        Some(ga) => (ga.rank, ga.lambda),
+        None => (2, (100.0 * (n_cells as f64 / PAPER_CELLS)).max(0.01)),
+    };
+    let mut v = vec![
+        Estimator::CompressiveSensing(CsConfig { rank, lambda, ..CsConfig::default() }),
+        Estimator::NaiveKnn { k: 4 },
+        Estimator::CorrelationKnn { k_range: 2 },
+    ];
+    if !quick {
+        v.push(Estimator::Mssa(MssaConfig { max_iterations: 6, ..MssaConfig::default() }));
+    }
+    v
+}
+
+/// Fig. 17: 20% integrity.
+pub fn fig17(quick: bool) -> Vec<SelectionPoint> {
+    matrix_selection(0.2, quick)
+}
+
+/// Fig. 18: 40% integrity.
+pub fn fig18(quick: bool) -> Vec<SelectionPoint> {
+    matrix_selection(0.4, quick)
+}
+
+/// Prints a Fig. 17/18-style table and saves the series.
+pub fn print_selection(title: &str, file: &str, points: &[SelectionPoint]) {
+    let mut algs: Vec<EstimatorKind> = Vec::new();
+    for p in points {
+        if !algs.contains(&p.algorithm) {
+            algs.push(p.algorithm);
+        }
+    }
+    let mut sets: Vec<(&'static str, usize)> = Vec::new();
+    for p in points {
+        if !sets.iter().any(|(s, _)| *s == p.set) {
+            sets.push((p.set, p.matrix_cols));
+        }
+    }
+    let mut headers = vec!["set".to_string(), "#segments".to_string()];
+    headers.extend(algs.iter().map(|a| a.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = sets
+        .iter()
+        .map(|&(s, cols)| {
+            let mut row = vec![s.to_string(), cols.to_string()];
+            for a in &algs {
+                let v = points
+                    .iter()
+                    .find(|p| p.set == s && p.algorithm == *a)
+                    .map(|p| fmt(p.nmae_r0))
+                    .unwrap_or_else(|| "-".into());
+                row.push(v);
+            }
+            row
+        })
+        .collect();
+    println!("{}", format_table(title, &header_refs, &rows));
+    let csv_rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.set.to_string(),
+                p.matrix_cols.to_string(),
+                p.algorithm.to_string(),
+                format!("{:.6}", p.nmae_r0),
+            ]
+        })
+        .collect();
+    if let Ok(path) = save_csv(file, &["set", "segments", "algorithm", "nmae_r0"], &csv_rows) {
+        println!("   [csv: {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadnet::generator::{generate_grid_city, GridCityConfig};
+
+    #[test]
+    fn sets_have_paper_sizes_and_disjointness() {
+        let mut cfg = GridCityConfig::small_test();
+        cfg.rows = 12;
+        cfg.cols = 12;
+        let net = generate_grid_city(&cfg);
+        let r0 = SegmentId(central_segments(&net, 1)[0] as u32);
+        let sets = build_sets(&net, r0, 1);
+        assert_eq!(sets.len(), 5);
+        assert_eq!(sets[0].segments.len(), 7); // r0 + 6 direct
+        assert_eq!(sets[1].segments.len(), 19); // r0 + 18 two-block
+        assert_eq!(sets[2].segments.len(), 46); // r0 + 45 random
+        assert_eq!(sets[3].segments.len(), 7);
+        assert_eq!(sets[4].segments.len(), 7);
+        // r0 leads every set.
+        for s in &sets {
+            assert_eq!(s.segments[0], r0.index());
+        }
+        // Sets 1–3 are pairwise disjoint apart from r0.
+        let s1: std::collections::HashSet<_> = sets[0].segments[1..].iter().collect();
+        let s2: std::collections::HashSet<_> = sets[1].segments[1..].iter().collect();
+        let s3: std::collections::HashSet<_> = sets[2].segments[1..].iter().collect();
+        assert!(s1.is_disjoint(&s2));
+        assert!(s1.is_disjoint(&s3));
+        assert!(s2.is_disjoint(&s3));
+        // Sets 4/5 are subsets of Sets 2/3.
+        assert!(sets[3].segments[1..].iter().all(|i| s2.contains(i)));
+        assert!(sets[4].segments[1..].iter().all(|i| s3.contains(i)));
+    }
+
+    #[test]
+    fn selection_experiment_produces_all_cells() {
+        let points = matrix_selection(0.4, true);
+        // 5 sets × 3 algorithms (quick drops MSSA).
+        assert_eq!(points.len(), 15);
+        assert!(points.iter().all(|p| p.nmae_r0.is_finite() && p.nmae_r0 >= 0.0));
+        // The paper's qualitative claim: CS on the largest matrix (Set 3)
+        // performs at least as well as CS on the small Set 1 matrix.
+        let cs = |set: &str| {
+            points
+                .iter()
+                .find(|p| p.set == set && p.algorithm == EstimatorKind::CompressiveSensing)
+                .unwrap()
+                .nmae_r0
+        };
+        assert!(cs("Set 3") <= cs("Set 1") + 0.05, "Set3 {} vs Set1 {}", cs("Set 3"), cs("Set 1"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Section 3.1 — revealing hidden structure: Figs. 4–8.
+
+use crate::datasets::{shanghai_eval, small_eval, EvalDataset};
+use crate::report::{fmt, format_table, save_csv};
+use probes::Granularity;
+use traffic_cs::eigenflow::{EigenflowAnalysis, EigenflowType};
+use traffic_cs::pca::{normalized_spectrum, reconstruct_segment};
+
+/// Builds the 30-minute Shanghai-like matrix the structure figures use.
+pub fn dataset(quick: bool) -> EvalDataset {
+    if quick {
+        small_eval(Granularity::Min30)
+    } else {
+        shanghai_eval(Granularity::Min30)
+    }
+}
+
+/// Fig. 4: normalized singular-value spectrum.
+pub fn fig4(ds: &EvalDataset) -> Vec<f64> {
+    normalized_spectrum(ds.truth.values()).expect("ground truth is finite and non-empty")
+}
+
+/// Prints Fig. 4 (first components + knee summary) and saves the full
+/// spectrum.
+pub fn print_fig4(spectrum: &[f64]) {
+    let rows: Vec<Vec<String>> = spectrum
+        .iter()
+        .take(12)
+        .enumerate()
+        .map(|(i, &v)| vec![(i + 1).to_string(), fmt(v)])
+        .collect();
+    println!("{}", format_table("Fig. 4: singular-value magnitude (ratio to max)", &["i", "σ_i/σ_1"], &rows));
+    let energy: f64 = spectrum.iter().map(|v| v * v).sum();
+    let top5: f64 = spectrum.iter().take(5).map(|v| v * v).sum();
+    println!("   top-5 components carry {:.1}% of the energy\n", 100.0 * top5 / energy);
+    let csv: Vec<Vec<String>> = spectrum
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| vec![(i + 1).to_string(), format!("{v:.8}")])
+        .collect();
+    if let Ok(p) = save_csv("fig4_spectrum.csv", &["i", "sigma_ratio"], &csv) {
+        println!("   [csv: {}]", p.display());
+    }
+}
+
+/// Figs. 5 and 8: the eigenflow classification.
+pub fn eigenflows(ds: &EvalDataset) -> EigenflowAnalysis {
+    EigenflowAnalysis::compute(ds.truth.values()).expect("ground truth decomposes")
+}
+
+/// Prints Fig. 5 (one example series per type, summarized) and saves the
+/// example eigenflows.
+pub fn print_fig5(analysis: &EigenflowAnalysis) {
+    let mut rows = Vec::new();
+    let mut csv_cols: Vec<(String, Vec<f64>)> = Vec::new();
+    for ty in [EigenflowType::Periodic, EigenflowType::Spike, EigenflowType::Noise] {
+        if let Some(&i) = analysis.indices_of(ty).first() {
+            let u = analysis.eigenflow(i);
+            let mean = linalg::stats::mean(&u);
+            let sd = linalg::stats::std_dev(&u);
+            rows.push(vec![ty.to_string(), i.to_string(), fmt(mean), fmt(sd)]);
+            csv_cols.push((format!("{ty}"), u));
+        } else {
+            rows.push(vec![ty.to_string(), "-".into(), "-".into(), "-".into()]);
+        }
+    }
+    println!("{}", format_table("Fig. 5: example eigenflow per type", &["type", "index", "mean", "std"], &rows));
+    if !csv_cols.is_empty() {
+        let len = csv_cols.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        let headers: Vec<&str> = csv_cols.iter().map(|(h, _)| h.as_str()).collect();
+        let csv_rows: Vec<Vec<String>> = (0..len)
+            .map(|t| {
+                csv_cols
+                    .iter()
+                    .map(|(_, v)| v.get(t).map_or(String::new(), |x| format!("{x:.8}")))
+                    .collect()
+            })
+            .collect();
+        if let Ok(p) = save_csv("fig5_eigenflows.csv", &headers, &csv_rows) {
+            println!("   [csv: {}]", p.display());
+        }
+    }
+}
+
+/// Fig. 6: rank-5 reconstruction of one segment's series and its RMSE
+/// (paper reports ≈ 9.67 km/h at 30-minute granularity).
+pub fn fig6(ds: &EvalDataset) -> traffic_cs::pca::SegmentReconstruction {
+    reconstruct_segment(ds.truth.values(), ds.r0, 5).expect("ground truth decomposes")
+}
+
+/// Prints Fig. 6 and saves the two series.
+pub fn print_fig6(rec: &traffic_cs::pca::SegmentReconstruction) {
+    println!("== Fig. 6: rank-5 reconstruction of segment r0 ==");
+    println!("   RMSE between original and reconstruction: {:.2} km/h (paper: ≈ 9.67)\n", rec.rmse);
+    let rows: Vec<Vec<String>> = rec
+        .original
+        .iter()
+        .zip(&rec.reconstructed)
+        .enumerate()
+        .map(|(t, (o, r))| vec![t.to_string(), format!("{o:.4}"), format!("{r:.4}")])
+        .collect();
+    if let Ok(p) = save_csv("fig6_reconstruction.csv", &["slot", "original", "rank5"], &rows) {
+        println!("   [csv: {}]", p.display());
+    }
+}
+
+/// Fig. 7: reconstruction error of one segment using only each eigenflow
+/// type. Returns `(type, rmse vs original)` triples.
+pub fn fig7(ds: &EvalDataset, analysis: &EigenflowAnalysis) -> Vec<(EigenflowType, f64)> {
+    let original = ds.truth.values().col(ds.r0);
+    [EigenflowType::Periodic, EigenflowType::Spike, EigenflowType::Noise]
+        .into_iter()
+        .map(|ty| {
+            let rec = analysis.reconstruct_by_type(ty).col(ds.r0);
+            (ty, linalg::stats::rmse(&original, &rec))
+        })
+        .collect()
+}
+
+/// Prints Fig. 7.
+pub fn print_fig7(rows: &[(EigenflowType, f64)]) {
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|(ty, rmse)| vec![ty.to_string(), fmt(*rmse)]).collect();
+    println!(
+        "{}",
+        format_table(
+            "Fig. 7: per-type reconstruction of segment r0 (RMSE vs original)",
+            &["eigenflow type", "RMSE"],
+            &table
+        )
+    );
+    println!("   (type-1-only reconstruction should track the series best)\n");
+}
+
+/// Fig. 8: eigenflow type per singular-value order.
+pub fn fig8(analysis: &EigenflowAnalysis) -> Vec<EigenflowType> {
+    analysis.types().to_vec()
+}
+
+/// Prints Fig. 8 as a sequence plus counts.
+pub fn print_fig8(types: &[EigenflowType]) {
+    let seq: String = types
+        .iter()
+        .take(40)
+        .map(|t| match t {
+            EigenflowType::Periodic => '1',
+            EigenflowType::Spike => '2',
+            EigenflowType::Noise => '3',
+        })
+        .collect();
+    let p = types.iter().filter(|&&t| t == EigenflowType::Periodic).count();
+    let s = types.iter().filter(|&&t| t == EigenflowType::Spike).count();
+    let n = types.iter().filter(|&&t| t == EigenflowType::Noise).count();
+    println!("== Fig. 8: eigenflow types in decreasing singular-value order ==");
+    println!("   first 40: {seq}");
+    println!("   counts: type-1 = {p}, type-2 = {s}, type-3 = {n}\n");
+    let rows: Vec<Vec<String>> = types
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            vec![
+                (i + 1).to_string(),
+                match t {
+                    EigenflowType::Periodic => "1".into(),
+                    EigenflowType::Spike => "2".into(),
+                    EigenflowType::Noise => "3".into(),
+                },
+            ]
+        })
+        .collect();
+    if let Ok(path) = save_csv("fig8_types.csv", &["order", "type"], &rows) {
+        println!("   [csv: {}]", path.display());
+    }
+}
+
+/// Convenience: run and print Figs. 4–8.
+pub fn run_all(quick: bool) {
+    let ds = dataset(quick);
+    print_fig4(&fig4(&ds));
+    let analysis = eigenflows(&ds);
+    print_fig5(&analysis);
+    print_fig6(&fig6(&ds));
+    print_fig7(&fig7(&ds, &analysis));
+    print_fig8(&fig8(&analysis));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_has_sharp_knee() {
+        let ds = dataset(true);
+        let spec = fig4(&ds);
+        assert_eq!(spec[0], 1.0);
+        // The paper's core observation: energy concentrates up front.
+        let energy: f64 = spec.iter().map(|v| v * v).sum();
+        let top5: f64 = spec.iter().take(5).map(|v| v * v).sum();
+        assert!(top5 / energy > 0.95, "top-5 energy {:.3}", top5 / energy);
+    }
+
+    #[test]
+    fn rank5_reconstruction_is_tight() {
+        let ds = dataset(true);
+        let rec = fig6(&ds);
+        let scale = linalg::stats::mean(&rec.original);
+        assert!(rec.rmse < 0.2 * scale, "rmse {} vs mean speed {scale}", rec.rmse);
+    }
+
+    #[test]
+    fn periodic_type_reconstructs_best() {
+        let ds = dataset(true);
+        let analysis = eigenflows(&ds);
+        let rows = fig7(&ds, &analysis);
+        let rmse_of = |ty: EigenflowType| rows.iter().find(|(t, _)| *t == ty).unwrap().1;
+        assert!(
+            rmse_of(EigenflowType::Periodic) < rmse_of(EigenflowType::Noise),
+            "type-1 should beat type-3: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn leading_components_mostly_periodic() {
+        let ds = dataset(true);
+        let types = fig8(&eigenflows(&ds));
+        let head_periodic =
+            types[..4].iter().filter(|&&t| t == EigenflowType::Periodic).count();
+        assert!(head_periodic >= 1, "head types {:?}", &types[..4]);
+        let tail_noise = types[types.len() / 2..]
+            .iter()
+            .filter(|&&t| t == EigenflowType::Noise)
+            .count();
+        assert!(tail_noise as f64 > 0.8 * (types.len() / 2) as f64, "tail should be noise");
+    }
+}

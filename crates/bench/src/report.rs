@@ -1,0 +1,132 @@
+//! Table formatting and CSV output shared by all experiments.
+
+use linalg::stats::CdfPoint;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Renders an aligned ASCII table with a title line.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let header_line: Vec<String> =
+        headers.iter().enumerate().map(|(i, h)| format!("{:>w$}", h, w = widths[i])).collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> =
+            row.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
+        out.push_str(&cells.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Directory experiment CSVs land in (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CS_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"));
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes rows as CSV under [`results_dir`]; returns the written path.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_csv(
+    file_name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    let path = results_dir().join(file_name);
+    write_csv(&path, headers, rows)?;
+    Ok(path)
+}
+
+fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Evaluates an empirical CDF at the given x values (fraction ≤ x per
+/// point) — used to summarize the CDF figures as compact tables.
+pub fn cdf_fractions_at(points: &[CdfPoint], xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|&x| linalg::stats::cdf_at(points, x)).collect()
+}
+
+/// Formats a float with 4 significant digits for table cells.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let mag = v.abs().log10().floor();
+    if (-2.0..4.0).contains(&mag) {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals (Table 1 style).
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::stats::empirical_cdf;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            "demo",
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("long-header"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("cs_bench_test_results");
+        std::env::set_var("CS_RESULTS_DIR", &dir);
+        let path = save_csv("t.csv", &["x", "y"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        std::env::remove_var("CS_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cdf_sampling() {
+        let cdf = empirical_cdf(&[1.0, 2.0, 3.0, 4.0]);
+        let fr = cdf_fractions_at(&cdf, &[0.0, 2.5, 10.0]);
+        assert_eq!(fr, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234), "0.123");
+        assert_eq!(fmt(1.0e6), "1.000e6");
+        assert_eq!(fmt_pct(0.1222), "12.22%");
+    }
+}

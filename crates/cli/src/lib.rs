@@ -1,0 +1,323 @@
+//! Library backing the `cs-traffic-cli` binary.
+//!
+//! Every subcommand is a plain function over file paths so the
+//! integration tests exercise exactly what the binary runs:
+//!
+//! * [`cmd_simulate`] — generate a city + fleet day, dump network,
+//!   ground truth, and probe reports as CSV;
+//! * [`cmd_build_tcm`] — map-match a probe CSV against a network CSV and
+//!   bin it into a traffic condition matrix;
+//! * [`cmd_estimate`] — complete a TCM with any of the four algorithms;
+//! * [`cmd_analyze`] — integrity and spectral structure of a TCM;
+//! * [`cmd_evaluate`] — NMAE of an estimate against a ground-truth TCM.
+
+use probes::io::{read_reports, read_tcm, write_reports, write_tcm};
+use probes::tcm::build_tcm_from_reports;
+use probes::{Granularity, SlotGrid, Tcm};
+use roadnet::matching::SegmentIndex;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+use traffic_cs::baselines::MssaConfig;
+use traffic_cs::cs::CsConfig;
+use traffic_cs::estimator::Estimator;
+use traffic_sim::ScenarioConfig;
+
+/// CLI-level error: everything a subcommand can fail with, as a message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+macro_rules! from_error {
+    ($($ty:ty),+ $(,)?) => {
+        $(impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError(e.to_string())
+            }
+        })+
+    };
+}
+
+from_error!(
+    std::io::Error,
+    std::num::ParseIntError,
+    std::num::ParseFloatError,
+    probes::io::CsvError,
+    probes::TcmError,
+    roadnet::io::ReadError,
+    linalg::MatrixShapeError,
+    traffic_cs::estimator::EstimateError,
+);
+
+/// Result alias for subcommands.
+pub type CliResult<T = ()> = Result<T, CliError>;
+
+fn parse_granularity(s: &str) -> CliResult<Granularity> {
+    match s {
+        "15" => Ok(Granularity::Min15),
+        "30" => Ok(Granularity::Min30),
+        "60" => Ok(Granularity::Min60),
+        other => Err(CliError(format!("granularity must be 15, 30 or 60 (minutes), got '{other}'"))),
+    }
+}
+
+/// `simulate`: runs a scenario and writes `network.csv`, `truth.csv`,
+/// and `reports.csv` into `out_dir`.
+///
+/// # Errors
+///
+/// Unknown scenario names and I/O failures.
+pub fn cmd_simulate(
+    scenario: &str,
+    fleet: Option<usize>,
+    duration_h: Option<u64>,
+    granularity: &str,
+    out_dir: &Path,
+) -> CliResult {
+    let mut cfg = match scenario {
+        "small" => ScenarioConfig::small_test(),
+        "shanghai" => ScenarioConfig::shanghai_like(),
+        "shenzhen" => ScenarioConfig::shenzhen_like(),
+        other => return Err(CliError(format!("unknown scenario '{other}' (small|shanghai|shenzhen)"))),
+    };
+    if let Some(f) = fleet {
+        cfg.fleet.fleet_size = f;
+    }
+    if let Some(h) = duration_h {
+        cfg.duration_s = h * 3600;
+    }
+    cfg.granularity = parse_granularity(granularity)?;
+    std::fs::create_dir_all(out_dir)?;
+    let out = cfg.run();
+    roadnet::io::write_network(&out.network, BufWriter::new(File::create(out_dir.join("network.csv"))?))?;
+    write_tcm(&out.ground_truth, BufWriter::new(File::create(out_dir.join("truth.csv"))?))?;
+    write_reports(&out.reports, BufWriter::new(File::create(out_dir.join("reports.csv"))?))?;
+    println!(
+        "simulated '{}': {} segments, {} reports, {} slots -> {}",
+        cfg.name,
+        out.network.segment_count(),
+        out.reports.len(),
+        out.grid.num_slots(),
+        out_dir.display()
+    );
+    Ok(())
+}
+
+/// `build-tcm`: map-matches `reports` against `network` and writes the
+/// binned TCM.
+///
+/// # Errors
+///
+/// Parse and I/O failures.
+pub fn cmd_build_tcm(
+    network: &Path,
+    reports: &Path,
+    granularity: &str,
+    duration_h: u64,
+    out: &Path,
+) -> CliResult {
+    let net = roadnet::io::read_network(BufReader::new(File::open(network)?))?;
+    let reports = read_reports(BufReader::new(File::open(reports)?))?;
+    let grid = SlotGrid::covering(0, duration_h * 3600, parse_granularity(granularity)?);
+    let index = SegmentIndex::build(&net, 150.0);
+    let tcm = build_tcm_from_reports(&reports, &net, &index, &grid, 80.0);
+    write_tcm(&tcm, BufWriter::new(File::create(out)?))?;
+    println!(
+        "built TCM {} x {} (integrity {:.1}%) -> {}",
+        tcm.num_slots(),
+        tcm.num_segments(),
+        tcm.integrity() * 100.0,
+        out.display()
+    );
+    Ok(())
+}
+
+/// `estimate`: completes `tcm` with the chosen method and writes the
+/// full estimate as a complete TCM CSV.
+///
+/// # Errors
+///
+/// Unknown methods, algorithm failures, and I/O failures.
+pub fn cmd_estimate(
+    tcm_path: &Path,
+    method: &str,
+    rank: Option<usize>,
+    lambda: Option<f64>,
+    out: &Path,
+) -> CliResult {
+    let tcm = read_tcm(BufReader::new(File::open(tcm_path)?))?;
+    let estimator = match method {
+        "cs" => {
+            // Default λ scaled by matrix size, as in the experiments.
+            let cells = (tcm.num_slots() * tcm.num_segments()) as f64;
+            let default_lambda = (100.0 * cells / (672.0 * 221.0)).max(0.01);
+            Estimator::CompressiveSensing(CsConfig {
+                rank: rank.unwrap_or(2),
+                lambda: lambda.unwrap_or(default_lambda),
+                ..CsConfig::default()
+            })
+        }
+        "knn" => Estimator::NaiveKnn { k: rank.unwrap_or(4) },
+        "corr-knn" => Estimator::CorrelationKnn { k_range: rank.unwrap_or(2) },
+        "mssa" => Estimator::Mssa(MssaConfig::default()),
+        other => return Err(CliError(format!("unknown method '{other}' (cs|knn|corr-knn|mssa)"))),
+    };
+    let estimate = estimator.estimate(&tcm)?;
+    write_tcm(&Tcm::complete(estimate), BufWriter::new(File::create(out)?))?;
+    println!("estimated with {} -> {}", estimator.kind(), out.display());
+    Ok(())
+}
+
+/// `analyze`: prints integrity and spectral structure of a TCM to `w`.
+///
+/// # Errors
+///
+/// Parse and I/O failures.
+pub fn cmd_analyze<W: Write>(tcm_path: &Path, mut w: W) -> CliResult {
+    let tcm = read_tcm(BufReader::new(File::open(tcm_path)?))?;
+    writeln!(w, "TCM: {} slots x {} segments", tcm.num_slots(), tcm.num_segments())?;
+    writeln!(w, "integrity: {:.2}%", tcm.integrity() * 100.0)?;
+    let roads = probes::integrity::per_road(&tcm);
+    let empty = roads.iter().filter(|&&r| r == 0.0).count();
+    writeln!(w, "segments never observed: {empty}")?;
+    if tcm.integrity() == 1.0 {
+        // Structure analysis needs a complete matrix.
+        let spectrum = traffic_cs::pca::normalized_spectrum(tcm.values())?;
+        writeln!(w, "singular values (top 8, ratio to max):")?;
+        for (i, v) in spectrum.iter().take(8).enumerate() {
+            writeln!(w, "  sigma{:<2} {v:.4}", i + 1)?;
+        }
+        let k90 = traffic_cs::pca::effective_rank(tcm.values(), 0.9)?;
+        writeln!(w, "components for 90% energy: {k90}")?;
+        let analysis = traffic_cs::eigenflow::EigenflowAnalysis::compute(tcm.values())?;
+        let (p, s, n) = analysis.type_counts();
+        writeln!(w, "eigenflows: {p} periodic, {s} spike, {n} noise")?;
+    } else {
+        writeln!(w, "(complete the matrix to enable the spectral analysis)")?;
+    }
+    Ok(())
+}
+
+/// `evaluate`: NMAE of `estimate` against `truth` over the cells missing
+/// in `observed` (Definition 2's evaluation protocol).
+///
+/// # Errors
+///
+/// Shape mismatches, parse and I/O failures.
+pub fn cmd_evaluate(truth: &Path, estimate: &Path, observed: &Path) -> CliResult<f64> {
+    let truth = read_tcm(BufReader::new(File::open(truth)?))?;
+    let est = read_tcm(BufReader::new(File::open(estimate)?))?;
+    let obs = read_tcm(BufReader::new(File::open(observed)?))?;
+    if truth.integrity() < 1.0 {
+        return Err(CliError("ground-truth TCM must be complete".into()));
+    }
+    if est.integrity() < 1.0 {
+        return Err(CliError("estimate TCM must be complete".into()));
+    }
+    if truth.values().shape() != est.values().shape() || truth.values().shape() != obs.values().shape() {
+        return Err(CliError(format!(
+            "shape mismatch: truth {:?}, estimate {:?}, observed {:?}",
+            truth.values().shape(),
+            est.values().shape(),
+            obs.values().shape()
+        )));
+    }
+    let nmae = traffic_cs::metrics::nmae_on_missing(truth.values(), est.values(), obs.indicator());
+    println!("NMAE over unobserved cells: {nmae:.4}");
+    Ok(nmae)
+}
+
+/// `detect`: anomaly detection on a TCM CSV. Complete matrices use the
+/// dense detector; sparse ones the observed-evidence detector against a
+/// seasonal-median baseline of the observed cells' completion.
+///
+/// # Errors
+///
+/// Parse, shape, and I/O failures.
+pub fn cmd_detect<W: Write>(
+    tcm_path: &Path,
+    period_slots: usize,
+    threshold_sigma: f64,
+    mut w: W,
+) -> CliResult {
+    use traffic_cs::anomaly::{detect_anomalies, detect_anomalies_sparse, AnomalyConfig, Baseline};
+    let tcm = read_tcm(BufReader::new(File::open(tcm_path)?))?;
+    let cfg = AnomalyConfig {
+        baseline: Baseline::SeasonalMedian { period_slots },
+        threshold_sigma,
+        ..AnomalyConfig::default()
+    };
+    let detections = if tcm.integrity() == 1.0 {
+        detect_anomalies(tcm.values(), &cfg).map_err(|e| CliError(e.to_string()))?
+    } else {
+        // Complete first, then use the estimate's seasonal median as the
+        // baseline and alert only on observed cells.
+        let cells = (tcm.num_slots() * tcm.num_segments()) as f64;
+        let cs = CsConfig {
+            rank: 8,
+            lambda: (100.0 * cells / (672.0 * 221.0)).max(0.01),
+            ..CsConfig::default()
+        };
+        let estimate = traffic_cs::cs::complete_matrix(&tcm, &cs)
+            .map_err(|e| CliError(e.to_string()))?;
+        let baseline = traffic_cs::anomaly::seasonal_median_baseline(&estimate, period_slots)
+            .map_err(|e| CliError(e.to_string()))?;
+        detect_anomalies_sparse(&tcm, &baseline, &cfg).map_err(|e| CliError(e.to_string()))?
+    };
+    writeln!(w, "detections: {}", detections.len())?;
+    for d in detections.iter().take(20) {
+        writeln!(
+            w,
+            "  segment {:>4}, slots {:>4}-{:<4} z={:.1} drop={:.1} km/h",
+            d.segment, d.start_slot, d.end_slot, d.peak_zscore, -d.peak_residual
+        )?;
+    }
+    Ok(())
+}
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+pub fn parse_flags(args: &[String]) -> CliResult<std::collections::HashMap<String, String>> {
+    let mut map = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if !key.starts_with("--") {
+            return Err(CliError(format!("expected --flag, got '{key}'")));
+        }
+        let Some(value) = args.get(i + 1) else {
+            return Err(CliError(format!("flag {key} is missing a value")));
+        };
+        map.insert(key[2..].to_string(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_parsing() {
+        assert_eq!(parse_granularity("15").unwrap(), Granularity::Min15);
+        assert_eq!(parse_granularity("60").unwrap(), Granularity::Min60);
+        assert!(parse_granularity("45").is_err());
+    }
+
+    #[test]
+    fn flag_parser() {
+        let args: Vec<String> = ["--a", "1", "--b", "x y"].iter().map(|s| s.to_string()).collect();
+        let m = parse_flags(&args).unwrap();
+        assert_eq!(m["a"], "1");
+        assert_eq!(m["b"], "x y");
+        assert!(parse_flags(&["--a".into()]).is_err());
+        assert!(parse_flags(&["a".into(), "1".into()]).is_err());
+    }
+}

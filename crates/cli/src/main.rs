@@ -1,0 +1,85 @@
+//! `cs-traffic-cli` — the end-to-end pipeline as a command-line tool.
+//!
+//! ```text
+//! cs-traffic-cli simulate  --scenario small --out-dir data
+//! cs-traffic-cli build-tcm --network data/network.csv --reports data/reports.csv \
+//!                          --granularity 30 --duration-h 6 --out data/tcm.csv
+//! cs-traffic-cli estimate  --tcm data/tcm.csv --method cs --out data/estimate.csv
+//! cs-traffic-cli analyze   --tcm data/truth.csv
+//! cs-traffic-cli evaluate  --truth data/truth.csv --estimate data/estimate.csv \
+//!                          --observed data/tcm.csv
+//! ```
+
+use cs_traffic_cli::{
+    cmd_analyze, cmd_build_tcm, cmd_detect, cmd_estimate, cmd_evaluate, cmd_simulate, parse_flags,
+    CliError, CliResult,
+};
+use std::path::Path;
+
+const USAGE: &str = "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate> [--flag value ...]
+
+subcommands:
+  simulate   --scenario small|shanghai|shenzhen [--fleet N] [--duration-h H]
+             [--granularity 15|30|60] --out-dir DIR
+  build-tcm  --network FILE --reports FILE --granularity 15|30|60
+             --duration-h H --out FILE
+  estimate   --tcm FILE --method cs|knn|corr-knn|mssa [--rank R] [--lambda L]
+             --out FILE
+  analyze    --tcm FILE
+  detect     --tcm FILE [--period-slots N] [--sigma S]
+  evaluate   --truth FILE --estimate FILE --observed FILE";
+
+fn run() -> CliResult {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err(CliError(USAGE.into()));
+    };
+    let flags = parse_flags(&args[1..])?;
+    let get = |k: &str| -> CliResult<&String> {
+        flags.get(k).ok_or_else(|| CliError(format!("missing required flag --{k}\n\n{USAGE}")))
+    };
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(
+            get("scenario")?,
+            flags.get("fleet").map(|s| s.parse()).transpose()?,
+            flags.get("duration-h").map(|s| s.parse()).transpose()?,
+            flags.get("granularity").map_or("15", |s| s.as_str()),
+            Path::new(get("out-dir")?),
+        ),
+        "build-tcm" => cmd_build_tcm(
+            Path::new(get("network")?),
+            Path::new(get("reports")?),
+            get("granularity")?,
+            get("duration-h")?.parse()?,
+            Path::new(get("out")?),
+        ),
+        "estimate" => cmd_estimate(
+            Path::new(get("tcm")?),
+            get("method")?,
+            flags.get("rank").map(|s| s.parse()).transpose()?,
+            flags.get("lambda").map(|s| s.parse()).transpose()?,
+            Path::new(get("out")?),
+        ),
+        "analyze" => cmd_analyze(Path::new(get("tcm")?), std::io::stdout().lock()),
+        "detect" => cmd_detect(
+            Path::new(get("tcm")?),
+            flags.get("period-slots").map_or(Ok(48), |s| s.parse())?,
+            flags.get("sigma").map_or(Ok(3.5), |s| s.parse())?,
+            std::io::stdout().lock(),
+        ),
+        "evaluate" => cmd_evaluate(
+            Path::new(get("truth")?),
+            Path::new(get("estimate")?),
+            Path::new(get("observed")?),
+        )
+        .map(|_| ()),
+        other => Err(CliError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration test: the full CLI pipeline over real files in a temp
+//! directory — simulate → build-tcm → estimate → evaluate.
+
+use cs_traffic_cli::{cmd_analyze, cmd_build_tcm, cmd_estimate, cmd_evaluate, cmd_simulate};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cs_traffic_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline_through_files() {
+    let dir = temp_dir("full");
+
+    // 1. Simulate a small scenario (6 h, 40 taxis).
+    cmd_simulate("small", Some(40), Some(6), "30", &dir).unwrap();
+    for f in ["network.csv", "truth.csv", "reports.csv"] {
+        assert!(dir.join(f).exists(), "{f} missing");
+    }
+
+    // 2. Build the measurement TCM from the report CSV.
+    let tcm_path = dir.join("tcm.csv");
+    cmd_build_tcm(&dir.join("network.csv"), &dir.join("reports.csv"), "30", 6, &tcm_path).unwrap();
+    assert!(tcm_path.exists());
+
+    // 3. Estimate with the compressive-sensing method.
+    let est_path = dir.join("estimate.csv");
+    cmd_estimate(&tcm_path, "cs", Some(2), Some(0.5), &est_path).unwrap();
+
+    // 4. Evaluate against the simulated ground truth.
+    let nmae = cmd_evaluate(&dir.join("truth.csv"), &est_path, &tcm_path).unwrap();
+    assert!(nmae > 0.0 && nmae < 0.5, "pipeline NMAE {nmae}");
+
+    // 5. Analyze both matrices (sparse and complete paths).
+    let mut out = Vec::new();
+    cmd_analyze(&tcm_path, &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("integrity"));
+    let mut out = Vec::new();
+    cmd_analyze(&dir.join("truth.csv"), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("eigenflows"), "complete matrix analysis: {text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn estimate_methods_all_work() {
+    let dir = temp_dir("methods");
+    cmd_simulate("small", Some(40), Some(6), "60", &dir).unwrap();
+    let tcm_path = dir.join("tcm.csv");
+    cmd_build_tcm(&dir.join("network.csv"), &dir.join("reports.csv"), "60", 6, &tcm_path).unwrap();
+    for method in ["cs", "knn", "corr-knn"] {
+        let out = dir.join(format!("est_{method}.csv"));
+        cmd_estimate(&tcm_path, method, None, None, &out).unwrap();
+        assert!(out.exists(), "{method} produced no file");
+    }
+    assert!(cmd_estimate(&tcm_path, "nonsense", None, None, &dir.join("x.csv")).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evaluate_validates_inputs() {
+    let dir = temp_dir("validate");
+    cmd_simulate("small", Some(20), Some(3), "60", &dir).unwrap();
+    let tcm_path = dir.join("tcm.csv");
+    cmd_build_tcm(&dir.join("network.csv"), &dir.join("reports.csv"), "60", 3, &tcm_path).unwrap();
+    // Incomplete estimate must be rejected.
+    assert!(cmd_evaluate(&dir.join("truth.csv"), &tcm_path, &tcm_path).is_err());
+    // Missing file surfaces as an error, not a panic.
+    assert!(cmd_evaluate(&dir.join("nope.csv"), &tcm_path, &tcm_path).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn detect_runs_on_sparse_and_complete() {
+    use cs_traffic_cli::cmd_detect;
+    let dir = temp_dir("detect");
+    cmd_simulate("small", Some(40), Some(6), "30", &dir).unwrap();
+    let tcm_path = dir.join("tcm.csv");
+    cmd_build_tcm(&dir.join("network.csv"), &dir.join("reports.csv"), "30", 6, &tcm_path).unwrap();
+    // Sparse path (12 slots at 30 min over 6 h; period of 12 = the whole
+    // window, so the median is over one "day" — degenerate but exercised).
+    let mut out = Vec::new();
+    cmd_detect(&tcm_path, 4, 4.0, &mut out).unwrap();
+    assert!(String::from_utf8(out).unwrap().contains("detections:"));
+    // Complete path.
+    let mut out = Vec::new();
+    cmd_detect(&dir.join("truth.csv"), 4, 4.0, &mut out).unwrap();
+    assert!(String::from_utf8(out).unwrap().contains("detections:"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn simulate_rejects_unknown_scenario() {
+    let dir = temp_dir("badscen");
+    assert!(cmd_simulate("metropolis", None, None, "15", &dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,193 @@
+//! Correlation-based KNN (Section 4.2.2, Eqs. 20–21).
+//!
+//! For a missing entry `x_{i,j}`, the candidate values are the same
+//! column `j` in the immediate neighbouring rows `k = i±1, i±2` (adjacent
+//! time slots), each weighted by the magnitude of the Pearson correlation
+//! between row `i` and row `k`:
+//!
+//! ```text
+//! w_{i,k} = |C_{i,k}| / Σ_{k = i±1, i±2} |C_{i,k}|
+//! x_{i,j} = Σ_{k = i±1, i±2} x_{k,j} · w_{i,k}
+//! ```
+//!
+//! On incomplete matrices, `C_{i,k}` is computed over the columns both
+//! rows observe, and the candidate set is restricted to neighbour rows
+//! that actually observe column `j`, with weights renormalized over the
+//! available candidates. When no usable neighbour exists the estimate
+//! falls back to the column mean, then the row mean, then the global
+//! mean of observed entries.
+
+use linalg::stats::pearson_masked;
+use linalg::Matrix;
+use probes::Tcm;
+
+/// Imputes missing entries with the correlation-weighted average of the
+/// `k_range` immediately adjacent rows (the paper uses `k_range = 2`,
+/// i.e. `i±1, i±2`, giving K = 4 candidates).
+///
+/// # Panics
+///
+/// Panics when `k_range == 0`.
+#[allow(clippy::needless_range_loop)] // parallel row/col mean tables
+pub fn correlation_knn_impute(tcm: &Tcm, k_range: usize) -> Matrix {
+    assert!(k_range > 0, "k_range must be positive");
+    let (m, n) = tcm.values().shape();
+    let mut out = tcm.values().clone();
+
+    // Row masks and data for masked correlation.
+    let row_mask: Vec<Vec<bool>> = (0..m)
+        .map(|i| (0..n).map(|j| tcm.is_observed(i, j)).collect())
+        .collect();
+
+    // Fallback means.
+    let observed: Vec<(usize, usize, f64)> = tcm.observed_entries().collect();
+    let global_mean = if observed.is_empty() {
+        0.0
+    } else {
+        observed.iter().map(|&(_, _, v)| v).sum::<f64>() / observed.len() as f64
+    };
+    let col_mean: Vec<Option<f64>> = (0..n)
+        .map(|j| {
+            let vals: Vec<f64> = (0..m).filter_map(|i| tcm.get(i, j)).collect();
+            (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+        })
+        .collect();
+    let row_mean: Vec<Option<f64>> = (0..m)
+        .map(|i| {
+            let vals: Vec<f64> = (0..n).filter_map(|j| tcm.get(i, j)).collect();
+            (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+        })
+        .collect();
+
+    // Correlation cache: (i, k) pairs with |i - k| <= k_range.
+    let mut corr_cache: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    let mut corr = |i: usize, k: usize, tcm: &Tcm| -> f64 {
+        let key = if i < k { (i, k) } else { (k, i) };
+        *corr_cache.entry(key).or_insert_with(|| {
+            pearson_masked(tcm.values().row(i), tcm.values().row(k), &row_mask[i], &row_mask[k])
+        })
+    };
+
+    for i in 0..m {
+        for j in 0..n {
+            if tcm.is_observed(i, j) {
+                continue;
+            }
+            // Candidate neighbour rows observing column j.
+            let mut weighted = 0.0;
+            let mut weight_sum = 0.0;
+            for d in 1..=k_range {
+                for k in [i.checked_sub(d), i.checked_add(d).filter(|&k| k < m)]
+                    .into_iter()
+                    .flatten()
+                {
+                    if let Some(v) = tcm.get(k, j) {
+                        let w = corr(i, k, tcm).abs();
+                        weighted += w * v;
+                        weight_sum += w;
+                    }
+                }
+            }
+            let estimate = if weight_sum > 0.0 {
+                weighted / weight_sum
+            } else {
+                col_mean[j].or(row_mean[i]).unwrap_or(global_mean)
+            };
+            out.set(i, j, estimate);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probes::mask::random_mask;
+    use rand::SeedableRng;
+
+    #[test]
+    fn observed_entries_unchanged() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let tcm = Tcm::new(x.clone(), b).unwrap();
+        let out = correlation_knn_impute(&tcm, 2);
+        assert_eq!(out.get(0, 0), 1.0);
+        assert_eq!(out.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn correlated_rows_interpolate_missing_cell() {
+        // Rows are shifted copies of each other: perfectly correlated.
+        let x = Matrix::from_rows(&[
+            &[10.0, 20.0, 30.0, 40.0],
+            &[11.0, 21.0, 0.0, 41.0],
+            &[12.0, 22.0, 32.0, 42.0],
+        ]);
+        let b = Matrix::from_rows(&[
+            &[1.0, 1.0, 1.0, 1.0],
+            &[1.0, 1.0, 0.0, 1.0],
+            &[1.0, 1.0, 1.0, 1.0],
+        ]);
+        let tcm = Tcm::new(x, b).unwrap();
+        let out = correlation_knn_impute(&tcm, 2);
+        // Neighbours (0,2)=30 and (2,2)=32 with equal |corr|=1 → 31.
+        assert!((out.get(1, 2) - 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn falls_back_to_column_mean_when_neighbours_missing() {
+        // Column 1 observed only in row 4 (beyond +-2 of row 0).
+        let mut x = Matrix::zeros(5, 2);
+        let mut b = Matrix::zeros(5, 2);
+        for i in 0..5 {
+            x.set(i, 0, 10.0 + i as f64);
+            b.set(i, 0, 1.0);
+        }
+        x.set(4, 1, 50.0);
+        b.set(4, 1, 1.0);
+        let tcm = Tcm::new(x, b).unwrap();
+        let out = correlation_knn_impute(&tcm, 2);
+        // (0,1): no neighbour rows 1,2 observe column 1 → column mean 50.
+        assert_eq!(out.get(0, 1), 50.0);
+    }
+
+    #[test]
+    fn smooth_low_rank_matrix_small_error() {
+        let truth = Matrix::from_fn(48, 20, |t, s| {
+            30.0 + 8.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin() + 0.4 * s as f64
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mask = random_mask(48, 20, 0.6, &mut rng);
+        let tcm = Tcm::complete(truth.clone()).masked(&mask).unwrap();
+        let out = correlation_knn_impute(&tcm, 2);
+        let err = crate::metrics::nmae_on_missing(&truth, &out, tcm.indicator());
+        assert!(err < 0.08, "NMAE {err}");
+    }
+
+    #[test]
+    fn weights_follow_correlation_magnitude() {
+        // Row 1 perfectly correlates with row 0 and is uncorrelated with
+        // row 2 (constant row → correlation 0); the missing cell should
+        // take row 0's value entirely.
+        let x = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0, 100.0],
+            &[2.0, 4.0, 6.0, 8.0, 0.0],
+            &[5.0, 5.0, 5.0, 5.0, 7.0],
+        ]);
+        let b = Matrix::from_rows(&[
+            &[1.0, 1.0, 1.0, 1.0, 1.0],
+            &[1.0, 1.0, 1.0, 1.0, 0.0],
+            &[1.0, 1.0, 1.0, 1.0, 1.0],
+        ]);
+        let tcm = Tcm::new(x, b).unwrap();
+        let out = correlation_knn_impute(&tcm, 2);
+        assert!((out.get(1, 4) - 100.0).abs() < 1e-9, "got {}", out.get(1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "k_range must be positive")]
+    fn zero_range_panics() {
+        let tcm = Tcm::complete(Matrix::filled(2, 2, 1.0));
+        correlation_knn_impute(&tcm, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Naïve K-nearest-neighbours imputation (Section 4.2.1).
+//!
+//! "The naïve KNN interpolates missing values by taking the average of
+//! its nearest K neighbors in the measurement matrix." Proximity is
+//! Manhattan distance on the (time-slot, segment) grid — the natural
+//! spatiotemporal neighbourhood — searched in expanding rings so each
+//! missing cell costs `O(ring area)` rather than `O(mn)`.
+
+use linalg::Matrix;
+use probes::Tcm;
+
+/// Imputes every missing entry with the average of its `k` nearest
+/// observed entries (Manhattan distance on the index grid, ties at equal
+/// distance all included which can use slightly more than `k` values —
+/// unweighted averaging makes this harmless). Observed entries are
+/// copied through unchanged.
+///
+/// Cells with no observed entry anywhere in the matrix (impossible once
+/// `tcm.observed_count() > 0`) would remain zero.
+///
+/// # Panics
+///
+/// Panics when `k == 0`.
+pub fn naive_knn_impute(tcm: &Tcm, k: usize) -> Matrix {
+    assert!(k > 0, "k must be positive");
+    let (m, n) = tcm.values().shape();
+    let mut out = tcm.values().clone();
+    let max_ring = m + n; // worst case: the farthest corner
+
+    for i in 0..m {
+        for j in 0..n {
+            if tcm.is_observed(i, j) {
+                continue;
+            }
+            let mut acc = 0.0;
+            let mut count = 0usize;
+            // Expanding Manhattan rings; stop at the first ring that
+            // completes the K once the ring is fully consumed (all cells
+            // at one distance are equally "nearest").
+            for ring in 1..=max_ring {
+                let mut ring_acc = 0.0;
+                let mut ring_count = 0usize;
+                for (r, c) in manhattan_ring(i, j, ring, m, n) {
+                    if let Some(v) = tcm.get(r, c) {
+                        ring_acc += v;
+                        ring_count += 1;
+                    }
+                }
+                acc += ring_acc;
+                count += ring_count;
+                if count >= k {
+                    break;
+                }
+            }
+            if count > 0 {
+                out.set(i, j, acc / count as f64);
+            }
+        }
+    }
+    out
+}
+
+/// Grid cells at exact Manhattan distance `ring` from `(i, j)`, clipped
+/// to an `m × n` grid.
+fn manhattan_ring(i: usize, j: usize, ring: usize, m: usize, n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(4 * ring);
+    let (i, j, ring_i) = (i as isize, j as isize, ring as isize);
+    for di in -ring_i..=ring_i {
+        let dj_abs = ring_i - di.abs();
+        let r = i + di;
+        if r < 0 || r >= m as isize {
+            continue;
+        }
+        for dj in [-dj_abs, dj_abs] {
+            if dj_abs == 0 && dj == 0 && out.last() == Some(&(r as usize, (j) as usize)) {
+                continue; // avoid double-counting the dj = 0 cell
+            }
+            let c = j + dj;
+            if c < 0 || c >= n as isize {
+                continue;
+            }
+            out.push((r as usize, c as usize));
+            if dj_abs == 0 {
+                break; // single cell on the axis
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probes::mask::random_mask;
+    use rand::SeedableRng;
+
+    #[test]
+    fn observed_entries_unchanged() {
+        let x = Matrix::from_rows(&[&[10.0, 20.0], &[30.0, 40.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]);
+        let tcm = Tcm::new(x, b).unwrap();
+        let out = naive_knn_impute(&tcm, 2);
+        assert_eq!(out.get(0, 0), 10.0);
+        assert_eq!(out.get(1, 0), 30.0);
+        assert_eq!(out.get(1, 1), 40.0);
+    }
+
+    #[test]
+    fn missing_cell_is_average_of_nearest() {
+        let x = Matrix::from_rows(&[&[10.0, 0.0, 20.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0, 1.0]]);
+        let tcm = Tcm::new(x, b).unwrap();
+        // Ring 1 around (0,1) holds (0,0) and (0,2), both observed.
+        let out = naive_knn_impute(&tcm, 2);
+        assert_eq!(out.get(0, 1), 15.0);
+    }
+
+    #[test]
+    fn k_one_still_averages_full_ring() {
+        // Ties at the same distance are all included by design.
+        let x = Matrix::from_rows(&[&[10.0, 0.0, 30.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0, 1.0]]);
+        let tcm = Tcm::new(x, b).unwrap();
+        let out = naive_knn_impute(&tcm, 1);
+        assert_eq!(out.get(0, 1), 20.0);
+    }
+
+    #[test]
+    fn searches_beyond_first_ring_when_sparse() {
+        let x = Matrix::from_rows(&[
+            &[0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[0.0, 0.0, 12.0],
+        ]);
+        let b = Matrix::from_rows(&[
+            &[0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ]);
+        let tcm = Tcm::new(x, b).unwrap();
+        let out = naive_knn_impute(&tcm, 1);
+        // The single observation propagates everywhere.
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(out.get(r, c), 12.0, "cell ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_matrix_recovered_exactly() {
+        let truth = Matrix::filled(12, 10, 33.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mask = random_mask(12, 10, 0.3, &mut rng);
+        let tcm = Tcm::complete(truth.clone()).masked(&mask).unwrap();
+        let out = naive_knn_impute(&tcm, 4);
+        assert!(out.approx_eq(&truth, 1e-12));
+    }
+
+    #[test]
+    fn smooth_matrix_small_error() {
+        let truth = Matrix::from_fn(20, 20, |r, c| 30.0 + r as f64 * 0.5 + c as f64 * 0.3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mask = random_mask(20, 20, 0.5, &mut rng);
+        let tcm = Tcm::complete(truth.clone()).masked(&mask).unwrap();
+        let out = naive_knn_impute(&tcm, 4);
+        let err = crate::metrics::nmae_on_missing(&truth, &out, tcm.indicator());
+        assert!(err < 0.03, "NMAE {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let tcm = Tcm::complete(Matrix::filled(2, 2, 1.0));
+        naive_knn_impute(&tcm, 0);
+    }
+
+    #[test]
+    fn manhattan_ring_counts() {
+        // Interior cell, ring fully inside: 4*ring cells.
+        let cells = manhattan_ring(10, 10, 3, 21, 21);
+        assert_eq!(cells.len(), 12);
+        // All at exact distance 3 and unique.
+        let mut seen = std::collections::HashSet::new();
+        for (r, c) in cells {
+            assert_eq!((r as isize - 10).abs() + (c as isize - 10).abs(), 3);
+            assert!(seen.insert((r, c)));
+        }
+        // Corner cell: clipped.
+        let corner = manhattan_ring(0, 0, 2, 5, 5);
+        assert_eq!(corner.len(), 3); // (2,0), (1,1), (0,2)
+    }
+}

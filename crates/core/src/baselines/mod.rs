@@ -1,0 +1,15 @@
+//! The three competing algorithms of Section 4.2.
+//!
+//! * [`knn`] — naïve K-nearest-neighbours imputation.
+//! * [`corr_knn`] — correlation-weighted KNN over immediate neighbouring
+//!   rows (Eqs. 20–21).
+//! * [`mssa`] — multi-channel singular spectrum analysis gap filling
+//!   (the method behind SEER \[40\]).
+
+pub mod corr_knn;
+pub mod knn;
+pub mod mssa;
+
+pub use corr_knn::correlation_knn_impute;
+pub use knn::naive_knn_impute;
+pub use mssa::{mssa_impute, EigBackend, MssaConfig, MssaError};

@@ -1,0 +1,476 @@
+//! Algorithm 1: compressive-sensing matrix completion.
+//!
+//! Estimates the complete traffic condition matrix as a low-rank product
+//! `X̂ = L Rᵀ` (`L ∈ R^{m×r}`, `R ∈ R^{n×r}`) minimizing the Lagrangian
+//! objective of Eq. 16:
+//!
+//! ```text
+//! min  ‖B .× (L Rᵀ) − M‖_F²  +  λ (‖L‖_F² + ‖R‖_F²)
+//! ```
+//!
+//! by alternating least squares: fix `L`, solve for `R`; fix `R`, solve
+//! for `L`; repeat `t` times keeping the best iterate (exactly the loop
+//! of the paper's Figure 9 pseudo-code, including the random
+//! initialization of `L`).
+//!
+//! One deliberate refinement over the printed pseudo-code: the paper's
+//! `inverse([L; √λ I], [M; 0])` notation solves all columns against the
+//! full `M`, implicitly treating missing entries as observations of zero.
+//! We restrict each least-squares subproblem to the *observed* entries of
+//! its column/row, which is the objective (16) actually being minimized
+//! (and what the SRMF reference \[37\] implements). With dense masks the
+//! two coincide; with the paper's 80%-missing matrices the masked solve
+//! is what makes the reported accuracy reachable.
+
+use linalg::lstsq::{RidgeSolver, SolveError};
+use linalg::Matrix;
+use probes::Tcm;
+use rand::SeedableRng;
+
+/// How `L` is initialized before the alternating sweeps — the `als_init`
+/// ablation of DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Initialization {
+    /// Uniform random entries in `[0, 1)` — the paper's choice.
+    #[default]
+    Random,
+    /// Every column of `L` starts as the per-row observed means; breaks
+    /// ties with tiny index-dependent perturbations so columns are not
+    /// collinear.
+    RowMeans,
+}
+
+/// Parameters of Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsConfig {
+    /// Rank bound `r` — the number of columns of `L` and `R` (Eq. 18).
+    /// Paper's GA finds `r = 2` optimal for the evaluation matrices.
+    pub rank: usize,
+    /// Tradeoff coefficient `λ` between measurement fit and rank
+    /// minimization (Eq. 16). Paper's GA finds `λ = 100`.
+    pub lambda: f64,
+    /// Iteration count `t`; the paper reports `t = 100` suffices at
+    /// hundreds × hundreds.
+    pub iterations: usize,
+    /// Inner ridge solver (normal equations, as in the paper's `inverse`
+    /// procedure, or QR) — the `als_solver` ablation.
+    pub solver: RidgeSolver,
+    /// Initialization of `L`.
+    pub init: Initialization,
+    /// Relative objective-improvement threshold for early stopping;
+    /// `0.0` runs all iterations like the paper's fixed-count loop.
+    pub tol: f64,
+    /// Seed for the random initialization.
+    pub seed: u64,
+}
+
+impl Default for CsConfig {
+    fn default() -> Self {
+        Self {
+            rank: 2,
+            lambda: 100.0,
+            iterations: 100,
+            solver: RidgeSolver::NormalEquations,
+            init: Initialization::Random,
+            tol: 1e-10,
+            seed: 42,
+        }
+    }
+}
+
+/// Error from Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsError {
+    /// `rank` is zero or exceeds `min(m, n)`.
+    InvalidRank {
+        /// Requested rank.
+        rank: usize,
+        /// `min(m, n)` of the input.
+        max: usize,
+    },
+    /// `λ` is negative or non-finite.
+    InvalidLambda(f64),
+    /// `iterations` is zero.
+    NoIterations,
+    /// The matrix has no observed entries at all.
+    NoObservations,
+    /// An inner least-squares solve failed (only possible with `λ = 0`
+    /// and rank-deficient observed sub-blocks).
+    Solve(String),
+}
+
+impl std::fmt::Display for CsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsError::InvalidRank { rank, max } => {
+                write!(f, "rank bound {rank} must be in 1..={max}")
+            }
+            CsError::InvalidLambda(l) => write!(f, "lambda {l} must be finite and non-negative"),
+            CsError::NoIterations => write!(f, "iteration count must be positive"),
+            CsError::NoObservations => write!(f, "measurement matrix has no observed entries"),
+            CsError::Solve(e) => write!(f, "inner least-squares solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsError {}
+
+impl From<SolveError> for CsError {
+    fn from(e: SolveError) -> Self {
+        CsError::Solve(e.to_string())
+    }
+}
+
+/// Full output of Algorithm 1, including the convergence trace used by
+/// the `convergence` ablation experiment.
+#[derive(Debug, Clone)]
+pub struct CompletionResult {
+    /// The estimate `X̂ = L̂ R̂ᵀ` from the best-objective iterate.
+    pub estimate: Matrix,
+    /// Best objective value `v̂` reached (Eq. 16).
+    pub objective: f64,
+    /// Objective after each completed sweep.
+    pub objective_trace: Vec<f64>,
+    /// Number of sweeps actually executed (≤ `iterations` when the
+    /// early-stop tolerance fires).
+    pub sweeps: usize,
+    /// The best-iterate factors `(L̂, R̂)`; feed `R̂` to
+    /// [`complete_matrix_warm`] to warm-start the next window.
+    pub factors: (Matrix, Matrix),
+}
+
+/// Runs Algorithm 1 and returns the estimated complete matrix.
+///
+/// # Errors
+///
+/// See [`CsError`] for the validation and solver failure modes.
+pub fn complete_matrix(tcm: &Tcm, config: &CsConfig) -> Result<Matrix, CsError> {
+    complete_matrix_detailed(tcm, config).map(|r| r.estimate)
+}
+
+/// Runs Algorithm 1 warm-started from a previous segment-factor matrix
+/// `R` (`n × rank`): the first sweep solves `L` against the given `R`
+/// instead of starting from random noise. This is the workhorse of the
+/// [`crate::online`] streaming extension — consecutive windows share
+/// most of their columns, so the previous window's `R` is already close
+/// to optimal and far fewer sweeps are needed.
+///
+/// # Errors
+///
+/// All of [`CsError`]'s cases, plus [`CsError::InvalidRank`] when
+/// `initial_r`'s shape does not match `(n, rank)`.
+pub fn complete_matrix_warm(
+    tcm: &Tcm,
+    config: &CsConfig,
+    initial_r: &Matrix,
+) -> Result<CompletionResult, CsError> {
+    if initial_r.shape() != (tcm.num_segments(), config.rank) {
+        return Err(CsError::InvalidRank { rank: config.rank, max: tcm.num_segments().min(tcm.num_slots()) });
+    }
+    run_als(tcm, config, Some(initial_r))
+}
+
+/// Runs Algorithm 1 and returns the estimate plus convergence
+/// diagnostics.
+///
+/// # Errors
+///
+/// See [`CsError`].
+pub fn complete_matrix_detailed(tcm: &Tcm, config: &CsConfig) -> Result<CompletionResult, CsError> {
+    run_als(tcm, config, None)
+}
+
+fn run_als(tcm: &Tcm, config: &CsConfig, warm_r: Option<&Matrix>) -> Result<CompletionResult, CsError> {
+    let (m, n) = tcm.values().shape();
+    let max_rank = m.min(n);
+    if config.rank == 0 || config.rank > max_rank {
+        return Err(CsError::InvalidRank { rank: config.rank, max: max_rank });
+    }
+    if !config.lambda.is_finite() || config.lambda < 0.0 {
+        return Err(CsError::InvalidLambda(config.lambda));
+    }
+    if config.iterations == 0 {
+        return Err(CsError::NoIterations);
+    }
+    if tcm.observed_count() == 0 {
+        return Err(CsError::NoObservations);
+    }
+    let r = config.rank;
+
+    // Index the observations once: per column and per row.
+    let mut col_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut row_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+    for (i, j, v) in tcm.observed_entries() {
+        col_obs[j].push((i, v));
+        row_obs[i].push((j, v));
+    }
+
+    // Initialize L (m × r).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut l = match config.init {
+        Initialization::Random => Matrix::random_uniform(m, r, &mut rng, 0.0, 1.0),
+        Initialization::RowMeans => Matrix::from_fn(m, r, |i, k| {
+            let obs = &row_obs[i];
+            let mean = if obs.is_empty() {
+                0.0
+            } else {
+                obs.iter().map(|&(_, v)| v).sum::<f64>() / obs.len() as f64
+            };
+            // Tiny deterministic perturbation keeps columns independent.
+            mean / (k + 1) as f64 + 1e-3 * ((i * r + k) % 17) as f64
+        }),
+    };
+    let mut rmat = Matrix::zeros(n, r);
+    if let Some(warm) = warm_r {
+        // Warm start: adopt the previous window's segment factors and
+        // fit L to them before the first regular sweep.
+        rmat = warm.clone();
+        solve_factor(&rmat, &row_obs, config, &mut l)?;
+    }
+
+    let mut best: Option<(f64, Matrix, Matrix)> = None;
+    let mut trace = Vec::with_capacity(config.iterations);
+    let mut prev_v = f64::INFINITY;
+    let mut sweeps = 0;
+
+    for _ in 0..config.iterations {
+        sweeps += 1;
+        // R step: for each column j, ridge-solve L_Ω r_j ≈ m_Ω.
+        solve_factor(&l, &col_obs, config, &mut rmat)?;
+        // L step: symmetric, with R in the role of the design matrix.
+        solve_factor(&rmat, &row_obs, config, &mut l)?;
+
+        // Objective (Eq. 16) on the observed entries.
+        let mut fit = 0.0;
+        for (j, obs) in col_obs.iter().enumerate() {
+            for &(i, v) in obs {
+                let mut pred = 0.0;
+                for k in 0..r {
+                    pred += l.get(i, k) * rmat.get(j, k);
+                }
+                fit += (pred - v) * (pred - v);
+            }
+        }
+        let v = fit + config.lambda * (l.frobenius_norm_sq() + rmat.frobenius_norm_sq());
+        trace.push(v);
+        if best.as_ref().is_none_or(|(bv, _, _)| v < *bv) {
+            best = Some((v, l.clone(), rmat.clone()));
+        }
+        if config.tol > 0.0 && (prev_v - v).abs() <= config.tol * v.abs().max(1.0) {
+            break;
+        }
+        prev_v = v;
+    }
+
+    let (objective, bl, br) = best.expect("at least one sweep ran");
+    let estimate = bl.matmul(&br.transpose()).expect("factor shapes agree");
+    Ok(CompletionResult { estimate, objective, objective_trace: trace, sweeps, factors: (bl, br) })
+}
+
+/// Solves one half of the alternation: given the fixed factor `design`
+/// (rows indexed by the *other* dimension) and per-unit observation lists,
+/// fills `out` (units × r) with the ridge solutions.
+fn solve_factor(
+    design: &Matrix,
+    obs_per_unit: &[Vec<(usize, f64)>],
+    config: &CsConfig,
+    out: &mut Matrix,
+) -> Result<(), CsError> {
+    let r = design.cols();
+    for (unit, obs) in obs_per_unit.iter().enumerate() {
+        if obs.is_empty() {
+            // Entirely unobserved unit: the regularizer drives its factor
+            // row to zero.
+            for k in 0..r {
+                out.set(unit, k, 0.0);
+            }
+            continue;
+        }
+        let a = Matrix::from_fn(obs.len(), r, |i, k| design.get(obs[i].0, k));
+        let b = Matrix::from_fn(obs.len(), 1, |i, _| obs[i].1);
+        let sol = config.solver.solve(&a, &b, config.lambda)?;
+        for k in 0..r {
+            out.set(unit, k, sol.get(k, 0));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::nmae_on_missing;
+    use probes::mask::random_mask;
+    use rand::RngExt;
+
+    /// Rank-2 synthetic "traffic" matrix: daily pattern + per-segment
+    /// offset.
+    fn low_rank_truth(m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |t, s| {
+            let daily = (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin();
+            30.0 + 5.0 * (s % 7) as f64 + 10.0 * daily * (1.0 + 0.05 * s as f64)
+        })
+    }
+
+    fn masked_tcm(truth: &Matrix, integrity: f64, seed: u64) -> Tcm {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), integrity, &mut rng);
+        Tcm::complete(truth.clone()).masked(&mask).unwrap()
+    }
+
+    #[test]
+    fn recovers_low_rank_matrix_from_half_observations() {
+        let truth = low_rank_truth(48, 30);
+        let tcm = masked_tcm(&truth, 0.5, 1);
+        let cfg = CsConfig { rank: 3, lambda: 0.1, ..CsConfig::default() };
+        let est = complete_matrix(&tcm, &cfg).unwrap();
+        let err = nmae_on_missing(&truth, &est, tcm.indicator());
+        assert!(err < 0.03, "NMAE {err}");
+    }
+
+    #[test]
+    fn recovers_even_at_twenty_percent_integrity() {
+        // The paper's headline regime: >80% missing.
+        let truth = low_rank_truth(96, 40);
+        let tcm = masked_tcm(&truth, 0.2, 2);
+        let cfg = CsConfig { rank: 3, lambda: 0.5, ..CsConfig::default() };
+        let est = complete_matrix(&tcm, &cfg).unwrap();
+        let err = nmae_on_missing(&truth, &est, tcm.indicator());
+        assert!(err < 0.08, "NMAE {err}");
+    }
+
+    #[test]
+    fn objective_trace_is_monotone_after_first_sweeps() {
+        let truth = low_rank_truth(30, 20);
+        let tcm = masked_tcm(&truth, 0.4, 3);
+        let cfg = CsConfig { tol: 0.0, iterations: 40, ..CsConfig::default() };
+        let result = complete_matrix_detailed(&tcm, &cfg).unwrap();
+        assert_eq!(result.objective_trace.len(), 40);
+        // ALS on this objective is a descent method.
+        for w in result.objective_trace.windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-9), "objective rose: {:?}", w);
+        }
+        assert!((result.objective - result.objective_trace.last().unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn early_stop_fires() {
+        let truth = low_rank_truth(30, 20);
+        let tcm = masked_tcm(&truth, 0.5, 4);
+        let cfg = CsConfig { tol: 1e-6, iterations: 500, ..CsConfig::default() };
+        let result = complete_matrix_detailed(&tcm, &cfg).unwrap();
+        assert!(result.sweeps < 500, "never early-stopped");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let truth = low_rank_truth(20, 15);
+        let tcm = masked_tcm(&truth, 0.5, 5);
+        let cfg = CsConfig::default();
+        let a = complete_matrix(&tcm, &cfg).unwrap();
+        let b = complete_matrix(&tcm, &cfg).unwrap();
+        assert_eq!(a, b);
+        let cfg2 = CsConfig { seed: 77, ..cfg };
+        let c = complete_matrix(&tcm, &cfg2).unwrap();
+        // Different random init converges to slightly different iterates.
+        assert!(!a.approx_eq(&c, 1e-14));
+    }
+
+    #[test]
+    fn solvers_agree() {
+        let truth = low_rank_truth(25, 18);
+        let tcm = masked_tcm(&truth, 0.6, 6);
+        let ne = complete_matrix(&tcm, &CsConfig { solver: RidgeSolver::NormalEquations, ..CsConfig::default() }).unwrap();
+        let qr = complete_matrix(&tcm, &CsConfig { solver: RidgeSolver::Qr, ..CsConfig::default() }).unwrap();
+        assert!(ne.approx_eq(&qr, 1e-5), "solver backends diverge");
+    }
+
+    #[test]
+    fn row_means_init_also_converges() {
+        let truth = low_rank_truth(30, 20);
+        let tcm = masked_tcm(&truth, 0.4, 7);
+        let cfg = CsConfig { init: Initialization::RowMeans, rank: 3, lambda: 0.1, ..CsConfig::default() };
+        let est = complete_matrix(&tcm, &cfg).unwrap();
+        let err = nmae_on_missing(&truth, &est, tcm.indicator());
+        assert!(err < 0.05, "NMAE {err}");
+    }
+
+    #[test]
+    fn unobserved_column_estimates_zero() {
+        let truth = low_rank_truth(20, 10);
+        let mut mask = Matrix::filled(20, 10, 1.0);
+        for t in 0..20 {
+            mask.set(t, 4, 0.0); // column 4 fully missing
+        }
+        let tcm = Tcm::complete(truth).masked(&mask).unwrap();
+        let est = complete_matrix(&tcm, &CsConfig::default()).unwrap();
+        for t in 0..20 {
+            assert_eq!(est.get(t, 4), 0.0);
+        }
+    }
+
+    #[test]
+    fn large_lambda_shrinks_estimate() {
+        let truth = low_rank_truth(20, 15);
+        let tcm = masked_tcm(&truth, 0.5, 8);
+        let small = complete_matrix(&tcm, &CsConfig { lambda: 0.01, ..CsConfig::default() }).unwrap();
+        let large = complete_matrix(&tcm, &CsConfig { lambda: 1e6, ..CsConfig::default() }).unwrap();
+        assert!(large.frobenius_norm() < 0.1 * small.frobenius_norm());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let tcm = masked_tcm(&low_rank_truth(10, 8), 0.5, 9);
+        assert!(matches!(
+            complete_matrix(&tcm, &CsConfig { rank: 0, ..CsConfig::default() }),
+            Err(CsError::InvalidRank { .. })
+        ));
+        assert!(matches!(
+            complete_matrix(&tcm, &CsConfig { rank: 9, ..CsConfig::default() }),
+            Err(CsError::InvalidRank { .. })
+        ));
+        assert!(matches!(
+            complete_matrix(&tcm, &CsConfig { lambda: -1.0, ..CsConfig::default() }),
+            Err(CsError::InvalidLambda(_))
+        ));
+        assert!(matches!(
+            complete_matrix(&tcm, &CsConfig { iterations: 0, ..CsConfig::default() }),
+            Err(CsError::NoIterations)
+        ));
+        let empty = Tcm::complete(low_rank_truth(10, 8)).masked(&Matrix::zeros(10, 8)).unwrap();
+        assert!(matches!(complete_matrix(&empty, &CsConfig::default()), Err(CsError::NoObservations)));
+    }
+
+    #[test]
+    fn estimate_matches_observed_entries_closely_with_small_lambda() {
+        let truth = low_rank_truth(30, 20);
+        let tcm = masked_tcm(&truth, 0.5, 10);
+        let cfg = CsConfig { rank: 4, lambda: 1e-3, ..CsConfig::default() };
+        let est = complete_matrix(&tcm, &cfg).unwrap();
+        let mut max_fit_err = 0.0_f64;
+        for (i, j, v) in tcm.observed_entries() {
+            max_fit_err = max_fit_err.max((est.get(i, j) - v).abs() / v.abs());
+        }
+        assert!(max_fit_err < 0.05, "observed-fit error {max_fit_err}");
+    }
+
+    #[test]
+    fn noisy_matrix_regularization_helps() {
+        // With noise, moderate lambda should beat (or match) tiny lambda
+        // on held-out entries — the over-fit argument of Section 3.3.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let clean = low_rank_truth(60, 30);
+        let noisy = clean.map(|v| v + rng.random_range(-2.0..2.0));
+        let mask = random_mask(60, 30, 0.3, &mut rng);
+        let tcm = Tcm::complete(noisy).masked(&mask).unwrap();
+        let err = |lambda: f64| {
+            let est = complete_matrix(&tcm, &CsConfig { rank: 6, lambda, ..CsConfig::default() }).unwrap();
+            nmae_on_missing(&clean, &est, tcm.indicator())
+        };
+        let tiny = err(1e-8);
+        let moderate = err(5.0);
+        assert!(moderate <= tiny * 1.05, "moderate {moderate} vs tiny {tiny}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Estimation-quality metrics.
+//!
+//! The paper's headline metric is the normalized mean absolute error
+//! (Definition 2), computed **only over missing entries** (`m_{r,t} = 0`):
+//!
+//! ```text
+//! ξ = Σ_{r,t: b=0} |x − x̂|  /  Σ_{r,t: b=0} |x|
+//! ```
+//!
+//! Figs. 13–14 additionally study per-entry relative errors
+//! `|x̂ − x| / x` and their CDFs.
+
+use linalg::stats::{empirical_cdf, CdfPoint};
+use linalg::Matrix;
+
+/// NMAE over the entries where `indicator` is 0 (Definition 2).
+///
+/// Returns `0.0` when nothing is missing (a complete matrix needs no
+/// estimation). `truth` must be the *complete* ground-truth matrix.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn nmae_on_missing(truth: &Matrix, estimate: &Matrix, indicator: &Matrix) -> f64 {
+    assert_eq!(truth.shape(), estimate.shape(), "truth/estimate shape mismatch");
+    assert_eq!(truth.shape(), indicator.shape(), "truth/indicator shape mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (r, c, b) in indicator.iter() {
+        if b == 0.0 {
+            num += (truth.get(r, c) - estimate.get(r, c)).abs();
+            den += truth.get(r, c).abs();
+        }
+    }
+    if den == 0.0 {
+        return 0.0;
+    }
+    num / den
+}
+
+/// NMAE over an explicit set of evaluation cells (used by the GA's
+/// validation split, where the "missing" cells are a held-out subset of
+/// the observed ones).
+///
+/// # Panics
+///
+/// Panics on shape mismatches or out-of-bounds cells.
+pub fn nmae_on_cells(truth: &Matrix, estimate: &Matrix, cells: &[(usize, usize)]) -> f64 {
+    assert_eq!(truth.shape(), estimate.shape(), "truth/estimate shape mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(r, c) in cells {
+        num += (truth.get(r, c) - estimate.get(r, c)).abs();
+        den += truth.get(r, c).abs();
+    }
+    if den == 0.0 {
+        return 0.0;
+    }
+    num / den
+}
+
+/// Per-entry relative errors `|x̂ − x| / x` over missing entries with
+/// non-zero truth (the quantity of Figs. 13–14).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn relative_errors_on_missing(truth: &Matrix, estimate: &Matrix, indicator: &Matrix) -> Vec<f64> {
+    assert_eq!(truth.shape(), estimate.shape(), "truth/estimate shape mismatch");
+    assert_eq!(truth.shape(), indicator.shape(), "truth/indicator shape mismatch");
+    let mut out = Vec::new();
+    for (r, c, b) in indicator.iter() {
+        if b == 0.0 {
+            let x = truth.get(r, c);
+            if x != 0.0 {
+                out.push((estimate.get(r, c) - x).abs() / x.abs());
+            }
+        }
+    }
+    out
+}
+
+/// Empirical CDF of relative errors (one curve of Fig. 13/14).
+pub fn relative_error_cdf(truth: &Matrix, estimate: &Matrix, indicator: &Matrix) -> Vec<CdfPoint> {
+    empirical_cdf(&relative_errors_on_missing(truth, estimate, indicator))
+}
+
+/// Root mean square error over all entries (the Fig. 6 metric).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn rmse_full(truth: &Matrix, estimate: &Matrix) -> f64 {
+    assert_eq!(truth.shape(), estimate.shape(), "shape mismatch");
+    linalg::stats::rmse(truth.as_slice(), estimate.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmae_matches_hand_computation() {
+        let truth = Matrix::from_rows(&[&[10.0, 20.0], &[30.0, 40.0]]);
+        let est = Matrix::from_rows(&[&[12.0, 20.0], &[30.0, 36.0]]);
+        let ind = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        // Missing cells: (0,0) err 2 over 10; (1,1) err 4 over 40.
+        let e = nmae_on_missing(&truth, &est, &ind);
+        assert!((e - 6.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmae_ignores_observed_cells() {
+        let truth = Matrix::from_rows(&[&[10.0, 20.0]]);
+        let est = Matrix::from_rows(&[&[999.0, 20.0]]);
+        let ind = Matrix::from_rows(&[&[1.0, 0.0]]);
+        // (0,0) observed: its huge error must not count.
+        assert_eq!(nmae_on_missing(&truth, &est, &ind), 0.0);
+    }
+
+    #[test]
+    fn nmae_perfect_estimate_is_zero() {
+        let truth = Matrix::filled(3, 3, 25.0);
+        let ind = Matrix::zeros(3, 3);
+        assert_eq!(nmae_on_missing(&truth, &truth, &ind), 0.0);
+    }
+
+    #[test]
+    fn nmae_nothing_missing_is_zero() {
+        let truth = Matrix::filled(2, 2, 25.0);
+        let est = Matrix::filled(2, 2, 99.0);
+        let ind = Matrix::filled(2, 2, 1.0);
+        assert_eq!(nmae_on_missing(&truth, &est, &ind), 0.0);
+    }
+
+    #[test]
+    fn nmae_on_cells_subset() {
+        let truth = Matrix::from_rows(&[&[10.0, 20.0], &[30.0, 40.0]]);
+        let est = Matrix::from_rows(&[&[11.0, 22.0], &[33.0, 44.0]]);
+        let e = nmae_on_cells(&truth, &est, &[(0, 0), (1, 1)]);
+        assert!((e - 5.0 / 50.0).abs() < 1e-12);
+        assert_eq!(nmae_on_cells(&truth, &est, &[]), 0.0);
+    }
+
+    #[test]
+    fn relative_errors_skip_zero_truth() {
+        let truth = Matrix::from_rows(&[&[0.0, 20.0]]);
+        let est = Matrix::from_rows(&[&[5.0, 25.0]]);
+        let ind = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let errs = relative_errors_on_missing(&truth, &est, &ind);
+        assert_eq!(errs, vec![0.25]);
+    }
+
+    #[test]
+    fn relative_error_cdf_monotone() {
+        let truth = Matrix::from_fn(5, 5, |r, c| 10.0 + (r + c) as f64);
+        let est = truth.map(|v| v * 1.1);
+        let ind = Matrix::zeros(5, 5);
+        let cdf = relative_error_cdf(&truth, &est, &ind);
+        assert_eq!(cdf.len(), 25);
+        assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
+        // All relative errors are exactly 0.1.
+        assert!(cdf.iter().all(|p| (p.value - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rmse_full_known() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((rmse_full(&a, &b) - (12.5_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        nmae_on_missing(&Matrix::zeros(2, 2), &Matrix::zeros(2, 3), &Matrix::zeros(2, 2));
+    }
+}

@@ -1,0 +1,284 @@
+//! Online (streaming) traffic estimation — the paper's Section 6 future
+//! work: "the algorithm can be further extended to support processing of
+//! online streaming probe data".
+//!
+//! The extension is a sliding-window scheme on top of Algorithm 1:
+//!
+//! * a window of the `W` most recent time slots is completed whenever a
+//!   new slot closes;
+//! * the segment-factor matrix `R̂` of the previous window warm-starts
+//!   the next solve ([`crate::cs::complete_matrix_warm`]) — consecutive
+//!   windows share `W − 1` rows, so a couple of sweeps suffice instead
+//!   of the offline `t = 100`;
+//! * the caller reads the freshest row of the estimate as the live
+//!   traffic map.
+//!
+//! The data-plane companion (ingesting raw probe observations into the
+//! sliding window) is `probes::stream::StreamingTcm`.
+
+use crate::cs::{complete_matrix_warm, CompletionResult, CsConfig, CsError};
+use linalg::Matrix;
+use probes::Tcm;
+
+/// Sliding-window online estimator.
+///
+/// # Example
+///
+/// ```
+/// use linalg::Matrix;
+/// use probes::Tcm;
+/// use traffic_cs::cs::CsConfig;
+/// use traffic_cs::online::OnlineEstimator;
+///
+/// let cfg = CsConfig { rank: 2, lambda: 0.1, ..CsConfig::default() };
+/// let mut online = OnlineEstimator::new(cfg, 8);
+/// // Feed window snapshots (e.g. from probes::stream::StreamingTcm):
+/// let window = Tcm::complete(Matrix::filled(8, 5, 30.0));
+/// let est = online.update(&window)?;
+/// assert_eq!(est.shape(), (8, 5));
+/// # Ok::<(), traffic_cs::cs::CsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineEstimator {
+    config: CsConfig,
+    window_slots: usize,
+    /// Segment factors of the previous solve, used as warm start.
+    prev_r: Option<Matrix>,
+    /// Number of solves performed.
+    updates: u64,
+    /// Total sweeps across all solves (for the warm-start speedup
+    /// diagnostics).
+    total_sweeps: u64,
+}
+
+impl OnlineEstimator {
+    /// Creates an online estimator completing `window_slots`-high
+    /// windows with the given Algorithm-1 configuration.
+    ///
+    /// The configured `tol` should be positive so warm starts can
+    /// actually terminate early; [`CsConfig::default`]'s tolerance works.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window_slots == 0`.
+    pub fn new(config: CsConfig, window_slots: usize) -> Self {
+        assert!(window_slots > 0, "window must hold at least one slot");
+        Self { config, window_slots, prev_r: None, updates: 0, total_sweeps: 0 }
+    }
+
+    /// The Algorithm-1 configuration in use.
+    pub fn config(&self) -> &CsConfig {
+        &self.config
+    }
+
+    /// Number of completed updates.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Mean ALS sweeps per update — with warm starts this drops well
+    /// below the offline iteration budget after the first window.
+    pub fn mean_sweeps(&self) -> f64 {
+        if self.updates == 0 {
+            return 0.0;
+        }
+        self.total_sweeps as f64 / self.updates as f64
+    }
+
+    /// Completes the current window snapshot, warm-starting from the
+    /// previous window's factors, and returns the full estimate matrix
+    /// (same shape as the window).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CsError`]; additionally rejects windows whose height
+    /// differs from the configured `window_slots` or whose segment count
+    /// changed since the previous update (the factor cache would be
+    /// meaningless — call [`OnlineEstimator::reset`] when the segment
+    /// set changes).
+    pub fn update(&mut self, window: &Tcm) -> Result<Matrix, CsError> {
+        Ok(self.update_detailed(window)?.estimate)
+    }
+
+    /// Like [`OnlineEstimator::update`], returning full diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// See [`OnlineEstimator::update`].
+    pub fn update_detailed(&mut self, window: &Tcm) -> Result<CompletionResult, CsError> {
+        if window.num_slots() != self.window_slots {
+            return Err(CsError::InvalidRank {
+                rank: self.config.rank,
+                max: window.num_slots().min(window.num_segments()),
+            });
+        }
+        if let Some(prev) = &self.prev_r {
+            if prev.rows() != window.num_segments() {
+                return Err(CsError::InvalidRank {
+                    rank: self.config.rank,
+                    max: window.num_slots().min(window.num_segments()),
+                });
+            }
+        }
+        let result = match &self.prev_r {
+            Some(prev) => complete_matrix_warm(window, &self.config, prev)?,
+            None => crate::cs::complete_matrix_detailed(window, &self.config)?,
+        };
+        self.prev_r = Some(result.factors.1.clone());
+        self.updates += 1;
+        self.total_sweeps += result.sweeps as u64;
+        Ok(result)
+    }
+
+    /// The freshest estimated traffic conditions: the last row of an
+    /// update's estimate.
+    pub fn latest_row(result: &CompletionResult) -> Vec<f64> {
+        let m = result.estimate.rows();
+        result.estimate.row(m - 1).to_vec()
+    }
+
+    /// Forgets the cached factors (call when the segment set changes).
+    pub fn reset(&mut self) {
+        self.prev_r = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::nmae_on_missing;
+    use probes::mask::random_mask;
+    use rand::SeedableRng;
+
+    /// Rolling low-rank "traffic": daily factor + per-segment coupling.
+    fn truth_rows(start_slot: usize, m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |t, s| {
+            let abs_t = (start_slot + t) as f64;
+            let f = (2.0 * std::f64::consts::PI * abs_t / 24.0).sin();
+            30.0 + 3.0 * (s % 5) as f64 + 9.0 * f * (0.6 + 0.05 * s as f64)
+        })
+    }
+
+    fn window_at(start_slot: usize, m: usize, n: usize, integrity: f64, seed: u64) -> (Matrix, Tcm) {
+        let truth = truth_rows(start_slot, m, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(m, n, integrity, &mut rng);
+        let tcm = Tcm::complete(truth.clone()).masked(&mask).unwrap();
+        (truth, tcm)
+    }
+
+    fn cfg() -> CsConfig {
+        CsConfig { rank: 3, lambda: 0.2, tol: 1e-4, iterations: 100, ..CsConfig::default() }
+    }
+
+    #[test]
+    fn streaming_estimates_track_truth() {
+        let mut online = OnlineEstimator::new(cfg(), 24);
+        for step in 0..6 {
+            let (truth, window) = window_at(step * 4, 24, 12, 0.3, 100 + step as u64);
+            let result = online.update_detailed(&window).unwrap();
+            let err = nmae_on_missing(&truth, &result.estimate, window.indicator());
+            assert!(err < 0.12, "step {step}: NMAE {err}");
+            let latest = OnlineEstimator::latest_row(&result);
+            assert_eq!(latest.len(), 12);
+            assert!(latest.iter().all(|v| v.is_finite()));
+        }
+        assert_eq!(online.updates(), 6);
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        // With a tight sweep budget, warm-starting from the neighbouring
+        // window's factors must reach a (much) lower objective than a
+        // cold random start — the property that makes the online scheme
+        // cheap per slot.
+        let budget = CsConfig { iterations: 3, tol: 0.0, ..cfg() };
+        let (_, prev) = window_at(0, 24, 12, 0.4, 1);
+        let prev_result = crate::cs::complete_matrix_detailed(&prev, &cfg()).unwrap();
+        let (_, w) = window_at(1, 24, 12, 0.4, 2);
+        let cold = crate::cs::complete_matrix_detailed(&w, &budget).unwrap();
+        let warm = complete_matrix_warm(&w, &budget, &prev_result.factors.1).unwrap();
+        assert!(
+            warm.objective < 0.8 * cold.objective,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        // And the estimator accumulates sweep statistics.
+        let mut online = OnlineEstimator::new(budget, 24);
+        online.update(&w).unwrap();
+        assert!(online.mean_sweeps() > 0.0);
+        assert_eq!(online.updates(), 1);
+    }
+
+    #[test]
+    fn warm_quality_matches_cold() {
+        let (truth, window) = window_at(10, 24, 12, 0.3, 7);
+        // Cold solve.
+        let cold = crate::cs::complete_matrix_detailed(&window, &cfg()).unwrap();
+        // Warm solve from a neighbouring window's factors.
+        let (_, prev) = window_at(9, 24, 12, 0.3, 6);
+        let prev_result = crate::cs::complete_matrix_detailed(&prev, &cfg()).unwrap();
+        let warm = complete_matrix_warm(&window, &cfg(), &prev_result.factors.1).unwrap();
+        let cold_err = nmae_on_missing(&truth, &cold.estimate, window.indicator());
+        let warm_err = nmae_on_missing(&truth, &warm.estimate, window.indicator());
+        assert!(warm_err < cold_err + 0.02, "warm {warm_err} vs cold {cold_err}");
+    }
+
+    #[test]
+    fn wrong_window_height_rejected() {
+        let mut online = OnlineEstimator::new(cfg(), 24);
+        let (_, w) = window_at(0, 12, 8, 0.5, 2);
+        assert!(online.update(&w).is_err());
+    }
+
+    #[test]
+    fn segment_count_change_requires_reset() {
+        let mut online = OnlineEstimator::new(cfg(), 24);
+        let (_, w12) = window_at(0, 24, 12, 0.4, 3);
+        online.update(&w12).unwrap();
+        let (_, w8) = window_at(1, 24, 8, 0.4, 4);
+        assert!(online.update(&w8).is_err(), "stale factors must be rejected");
+        online.reset();
+        assert!(online.update(&w8).is_ok());
+    }
+
+    #[test]
+    fn warm_start_shape_validated() {
+        let (_, w) = window_at(0, 24, 12, 0.4, 5);
+        let bad_r = Matrix::zeros(5, 3);
+        assert!(complete_matrix_warm(&w, &cfg(), &bad_r).is_err());
+    }
+
+    #[test]
+    fn end_to_end_with_streaming_tcm() {
+        // Drive the estimator from probes::stream::StreamingTcm — the
+        // full online pipeline of the paper's future-work sketch.
+        use probes::stream::StreamingTcm;
+        let n = 10;
+        let mut stream = StreamingTcm::new(0, 60, 24, n);
+        let mut online = OnlineEstimator::new(cfg(), 24);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use rand::RngExt;
+        let mut last_err = None;
+        for slot in 0..48usize {
+            let truth_row = truth_rows(slot, 1, n);
+            // A few random probes per slot.
+            for _ in 0..6 {
+                let seg = rng.random_range(0..n);
+                let speed = truth_row.get(0, seg) * rng.random_range(0.95..1.05);
+                stream.observe(slot as u64 * 60 + rng.random_range(0..60), seg, speed).unwrap();
+            }
+            if slot >= 23 {
+                let window = stream.snapshot();
+                let result = online.update_detailed(&window).unwrap();
+                // Compare against the rolling truth for this window.
+                let truth = truth_rows(slot + 1 - 24, 24, n);
+                let err = nmae_on_missing(&truth, &result.estimate, window.indicator());
+                last_err = Some(err);
+            }
+        }
+        let err = last_err.expect("at least one online update ran");
+        assert!(err < 0.15, "online pipeline NMAE {err}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Adaptive traffic-matrix construction — the paper's Section 6 future
+//! work: "it is possible to construct different matrices for estimating
+//! traffic conditions at different locations … to find the best way for
+//! constructing adaptive measurement matrices".
+//!
+//! The Section 4.5 experiments (Figs. 17–18) showed that *which* road
+//! segments share a matrix with the target matters less than *how many*
+//! — but that holds for segments that all share the citywide rhythm.
+//! This module implements the natural adaptive policy: rank candidate
+//! segments by the historical correlation of their condition series with
+//! the target segment's, and build the estimation matrix from the top
+//! correlates. On heterogeneous networks (where some segments follow a
+//! different latent pattern) this dominates random selection.
+
+use linalg::stats::pearson_masked;
+use probes::Tcm;
+
+/// Candidate segments ranked by `|corr|` with `target`'s series, best
+/// first. Correlations are computed over the time slots where both
+/// columns are observed in `historical`; segments with fewer than two
+/// common observations rank last with correlation 0.
+///
+/// The target itself is excluded from the ranking.
+///
+/// ```
+/// use linalg::Matrix;
+/// use probes::Tcm;
+/// use traffic_cs::selection::correlation_ranking;
+///
+/// // Column 1 follows column 0; column 2 is constant.
+/// let x = Matrix::from_fn(10, 3, |t, s| match s {
+///     0 => t as f64,
+///     1 => 2.0 * t as f64 + 1.0,
+///     _ => 5.0,
+/// });
+/// let ranking = correlation_ranking(&Tcm::complete(x), 0);
+/// assert_eq!(ranking[0].0, 1); // the correlated twin ranks first
+/// ```
+///
+/// # Panics
+///
+/// Panics when `target` is out of bounds.
+pub fn correlation_ranking(historical: &Tcm, target: usize) -> Vec<(usize, f64)> {
+    let n = historical.num_segments();
+    assert!(target < n, "target column {target} out of bounds");
+    let m = historical.num_slots();
+    let target_col = historical.values().col(target);
+    let target_mask: Vec<bool> = (0..m).map(|t| historical.is_observed(t, target)).collect();
+    let mut ranked: Vec<(usize, f64)> = (0..n)
+        .filter(|&j| j != target)
+        .map(|j| {
+            let col = historical.values().col(j);
+            let mask: Vec<bool> = (0..m).map(|t| historical.is_observed(t, j)).collect();
+            (j, pearson_masked(&target_col, &col, &target_mask, &mask).abs())
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite correlations").then(a.0.cmp(&b.0)));
+    ranked
+}
+
+/// Column indices for an adaptive estimation matrix: the target first,
+/// followed by its `k` most correlated companions (clamped to the
+/// available segment count).
+///
+/// # Panics
+///
+/// Panics when `target` is out of bounds.
+pub fn select_correlated(historical: &Tcm, target: usize, k: usize) -> Vec<usize> {
+    let ranking = correlation_ranking(historical, target);
+    let mut out = vec![target];
+    out.extend(ranking.into_iter().take(k).map(|(j, _)| j));
+    out
+}
+
+/// Builds the adaptive sub-matrix directly (target is column 0 of the
+/// result).
+///
+/// # Panics
+///
+/// Panics when `target` is out of bounds.
+pub fn adaptive_matrix(historical: &Tcm, target: usize, k: usize) -> Tcm {
+    historical.select_segments(&select_correlated(historical, target, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cs::{complete_matrix, CsConfig};
+    use linalg::Matrix;
+    use probes::mask::random_mask;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    /// Heterogeneous city: segments 0..10 follow factor A (like the
+    /// target), segments 10..30 follow an independent factor B.
+    fn heterogeneous_truth(m: usize) -> Matrix {
+        Matrix::from_fn(m, 30, |t, s| {
+            let fa = (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin();
+            let fb = (2.0 * std::f64::consts::PI * (t as f64 + 7.3) / 17.0).cos();
+            if s < 10 {
+                35.0 + 8.0 * fa * (0.8 + 0.05 * s as f64)
+            } else {
+                35.0 + 8.0 * fb * (0.8 + 0.03 * s as f64)
+            }
+        })
+    }
+
+    fn masked(truth: &Matrix, integrity: f64, seed: u64) -> Tcm {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), integrity, &mut rng);
+        Tcm::complete(truth.clone()).masked(&mask).unwrap()
+    }
+
+    #[test]
+    fn ranking_finds_the_same_family() {
+        let truth = heterogeneous_truth(96);
+        let tcm = masked(&truth, 0.6, 1);
+        let ranking = correlation_ranking(&tcm, 0);
+        // The 9 same-family segments (1..10) must occupy the top ranks.
+        let top9: Vec<usize> = ranking.iter().take(9).map(|&(j, _)| j).collect();
+        for j in top9 {
+            assert!(j < 10, "segment {j} from the wrong family ranked top");
+        }
+        // And their correlations are near 1 while family-B's are low.
+        assert!(ranking[0].1 > 0.9);
+        let worst_same_family =
+            ranking.iter().filter(|&&(j, _)| j < 10).map(|&(_, c)| c).fold(1.0, f64::min);
+        let best_other =
+            ranking.iter().filter(|&&(j, _)| j >= 10).map(|&(_, c)| c).fold(0.0, f64::max);
+        assert!(worst_same_family > best_other, "{worst_same_family} vs {best_other}");
+    }
+
+    #[test]
+    fn select_correlated_puts_target_first() {
+        let truth = heterogeneous_truth(48);
+        let tcm = masked(&truth, 0.7, 2);
+        let sel = select_correlated(&tcm, 5, 6);
+        assert_eq!(sel[0], 5);
+        assert_eq!(sel.len(), 7);
+        assert!(!sel[1..].contains(&5));
+        // Oversized k clamps.
+        let all = select_correlated(&tcm, 5, 999);
+        assert_eq!(all.len(), 30);
+    }
+
+    #[test]
+    fn adaptive_beats_random_selection() {
+        let truth = heterogeneous_truth(96);
+        // Historical week: moderately observed, used only for ranking.
+        let history = masked(&truth, 0.5, 3);
+        // Evaluation week (same structure), sparsely observed.
+        let eval = masked(&truth, 0.2, 4);
+
+        let nmae_target = |cols: &[usize]| {
+            let sub_truth = truth.select_columns(cols);
+            let sub = eval.select_segments(cols);
+            let cfg = CsConfig { rank: 2, lambda: 0.05, ..CsConfig::default() };
+            let est = complete_matrix(&sub, &cfg).unwrap();
+            // Error on the target column (position 0).
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for t in 0..sub.num_slots() {
+                if !sub.is_observed(t, 0) {
+                    num += (sub_truth.get(t, 0) - est.get(t, 0)).abs();
+                    den += sub_truth.get(t, 0).abs();
+                }
+            }
+            num / den
+        };
+
+        let adaptive = select_correlated(&history, 0, 8);
+        let adaptive_err = nmae_target(&adaptive);
+
+        // Random selections of the same size (target first).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut random_errs = Vec::new();
+        for _ in 0..5 {
+            let mut pool: Vec<usize> = (1..30).collect();
+            pool.shuffle(&mut rng);
+            let mut cols = vec![0usize];
+            cols.extend(pool.into_iter().take(8));
+            random_errs.push(nmae_target(&cols));
+        }
+        let random_mean = random_errs.iter().sum::<f64>() / random_errs.len() as f64;
+        assert!(
+            adaptive_err < random_mean,
+            "adaptive {adaptive_err} vs random mean {random_mean} ({random_errs:?})"
+        );
+    }
+
+    #[test]
+    fn adaptive_matrix_shape() {
+        let truth = heterogeneous_truth(48);
+        let tcm = masked(&truth, 0.6, 6);
+        let sub = adaptive_matrix(&tcm, 3, 5);
+        assert_eq!(sub.num_segments(), 6);
+        assert_eq!(sub.num_slots(), 48);
+        // Column 0 is the target's data.
+        for t in 0..48 {
+            assert_eq!(sub.get(t, 0), tcm.get(t, 3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_target_panics() {
+        let truth = heterogeneous_truth(24);
+        let tcm = masked(&truth, 0.5, 7);
+        correlation_ranking(&tcm, 99);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the estimation algorithms' contracts.
+
+use linalg::Matrix;
+use probes::mask::random_mask;
+use probes::Tcm;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use traffic_cs::baselines::{correlation_knn_impute, mssa_impute, naive_knn_impute, MssaConfig};
+use traffic_cs::cs::{complete_matrix_detailed, CsConfig};
+use traffic_cs::eigenflow::EigenflowAnalysis;
+use traffic_cs::metrics::nmae_on_missing;
+
+/// Strategy: a "plausible traffic" matrix — positive, bounded, built
+/// from a low-rank skeleton plus bounded noise so completion is
+/// meaningful but not trivial.
+fn traffic_matrix() -> impl Strategy<Value = Matrix> {
+    (6usize..20, 4usize..14, 0u64..10_000).prop_map(|(m, n, seed)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let row: Vec<f64> = (0..m).map(|t| (t as f64 * 0.7).sin()).collect();
+        let col: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..1.5)).collect();
+        Matrix::from_fn(m, n, |i, j| {
+            30.0 + 10.0 * row[i] * col[j] + rng.random_range(-1.0..1.0)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The ALS objective trace is non-increasing — alternating exact
+    /// minimization is a descent method, whatever the data.
+    #[test]
+    fn als_objective_monotone(truth in traffic_matrix(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), 0.5, &mut rng);
+        let tcm = Tcm::complete(truth).masked(&mask).unwrap();
+        prop_assume!(tcm.observed_count() > 0);
+        let cfg = CsConfig { rank: 2, lambda: 0.5, iterations: 15, tol: 0.0, ..CsConfig::default() };
+        let result = complete_matrix_detailed(&tcm, &cfg).unwrap();
+        for w in result.objective_trace.windows(2) {
+            prop_assert!(w[1] <= w[0] * (1.0 + 1e-9), "objective rose: {:?}", w);
+        }
+    }
+
+    /// The reported best objective is the minimum of the trace, and the
+    /// factors reproduce the reported estimate.
+    #[test]
+    fn als_result_is_self_consistent(truth in traffic_matrix(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), 0.4, &mut rng);
+        let tcm = Tcm::complete(truth).masked(&mask).unwrap();
+        prop_assume!(tcm.observed_count() > 0);
+        let cfg = CsConfig { rank: 2, lambda: 0.3, iterations: 10, tol: 0.0, ..CsConfig::default() };
+        let result = complete_matrix_detailed(&tcm, &cfg).unwrap();
+        let min_trace = result.objective_trace.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((result.objective - min_trace).abs() < 1e-9);
+        let (l, r) = &result.factors;
+        let rebuilt = l.matmul(&r.transpose()).unwrap();
+        prop_assert!(rebuilt.approx_eq(&result.estimate, 1e-10));
+    }
+
+    /// Increasing λ never increases the factor-norm part of the optimum
+    /// (the regularization path is monotone in the penalty).
+    #[test]
+    fn lambda_shrinks_factor_norms(truth in traffic_matrix(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), 0.6, &mut rng);
+        let tcm = Tcm::complete(truth).masked(&mask).unwrap();
+        prop_assume!(tcm.observed_count() > 0);
+        let norm_at = |lambda: f64| {
+            let cfg = CsConfig { rank: 2, lambda, iterations: 40, ..CsConfig::default() };
+            let r = complete_matrix_detailed(&tcm, &cfg).unwrap();
+            r.factors.0.frobenius_norm_sq() + r.factors.1.frobenius_norm_sq()
+        };
+        let small = norm_at(0.01);
+        let large = norm_at(50.0);
+        prop_assert!(large <= small * 1.05, "norms grew with lambda: {small} -> {large}");
+    }
+
+    /// KNN and correlation-KNN imputations stay within the observed
+    /// value range — they are averages of observations.
+    #[test]
+    fn knn_outputs_within_observed_range(truth in traffic_matrix(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), 0.5, &mut rng);
+        let tcm = Tcm::complete(truth).masked(&mask).unwrap();
+        prop_assume!(tcm.observed_count() > 1);
+        let lo = tcm.observed_entries().map(|(_, _, v)| v).fold(f64::INFINITY, f64::min);
+        let hi = tcm.observed_entries().map(|(_, _, v)| v).fold(f64::NEG_INFINITY, f64::max);
+        for est in [naive_knn_impute(&tcm, 4), correlation_knn_impute(&tcm, 2)] {
+            for (_, _, v) in est.iter() {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo},{hi}]");
+            }
+        }
+    }
+
+    /// MSSA keeps observed entries bit-identical and fills the rest with
+    /// finite values.
+    #[test]
+    fn mssa_contract(truth in traffic_matrix(), seed in 0u64..1000) {
+        prop_assume!(truth.rows() >= 12);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), 0.6, &mut rng);
+        let tcm = Tcm::complete(truth).masked(&mask).unwrap();
+        prop_assume!(tcm.observed_count() > 0);
+        let cfg = MssaConfig { window: 6, components: 2, max_iterations: 5, tol: 1e-2, ..MssaConfig::default() };
+        let out = mssa_impute(&tcm, &cfg).unwrap();
+        for (i, j, v) in tcm.observed_entries() {
+            prop_assert_eq!(out.get(i, j), v);
+        }
+        prop_assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Eigenflow-type reconstructions always partition the matrix.
+    #[test]
+    fn eigenflow_types_partition(truth in traffic_matrix()) {
+        let analysis = EigenflowAnalysis::compute(&truth).unwrap();
+        let (p, s, n) = analysis.type_counts();
+        prop_assert_eq!(p + s + n, truth.rows().min(truth.cols()));
+        let total = &(&analysis.reconstruct_by_type(traffic_cs::eigenflow::EigenflowType::Periodic)
+            + &analysis.reconstruct_by_type(traffic_cs::eigenflow::EigenflowType::Spike))
+            + &analysis.reconstruct_by_type(traffic_cs::eigenflow::EigenflowType::Noise);
+        prop_assert!(total.approx_eq(&truth, 1e-6));
+    }
+
+    /// NMAE is non-negative and zero for a perfect estimate.
+    #[test]
+    fn nmae_properties(truth in traffic_matrix(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), 0.5, &mut rng);
+        prop_assert_eq!(nmae_on_missing(&truth, &truth, &mask), 0.0);
+        let est = truth.map(|v| v * 1.1);
+        let err = nmae_on_missing(&truth, &est, &mask);
+        prop_assert!(err >= 0.0);
+        // For a uniform 10% inflation of positive data, NMAE is exactly 0.1
+        // whenever anything is missing.
+        if mask.sum() < mask.len() as f64 {
+            prop_assert!((err - 0.1).abs() < 1e-9, "err {}", err);
+        }
+    }
+}

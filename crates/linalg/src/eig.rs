@@ -1,0 +1,197 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The MSSA baseline (SEER's method, \[40\] in the paper) diagonalizes a
+//! lag-covariance Gram matrix `T Tᵀ`. Jacobi rotation is the right tool at
+//! this scale: unconditionally convergent and very accurate for symmetric
+//! matrices up to a few thousand rows.
+
+use crate::{Matrix, MatrixShapeError};
+
+/// Off-diagonal tolerance (relative to the largest diagonal magnitude).
+const JACOBI_EIG_TOL: f64 = 1e-11;
+const MAX_SWEEPS: usize = 64;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix, with
+/// eigenvalues sorted in non-increasing order and `V`'s columns the
+/// matching orthonormal eigenvectors.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, non-increasing.
+    pub eigenvalues: Vec<f64>,
+    /// Column `i` is the eigenvector for `eigenvalues[i]`.
+    pub eigenvectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// # Errors
+///
+/// Returns [`MatrixShapeError`] for non-square input, non-finite entries,
+/// or asymmetry beyond `1e-8` relative tolerance.
+///
+/// ```
+/// use linalg::{Matrix, eig::symmetric_eigen};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = symmetric_eigen(&a).unwrap();
+/// assert!((e.eigenvalues[0] - 3.0).abs() < 1e-10);
+/// assert!((e.eigenvalues[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MatrixShapeError> {
+    let n = a.rows();
+    if a.cols() != n || n == 0 {
+        return Err(MatrixShapeError::new(format!(
+            "symmetric eigen requires a non-empty square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if a.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(MatrixShapeError::new("eigen input contains non-finite entries"));
+    }
+    let scale = a.max_abs().max(1e-300);
+    for i in 0..n {
+        for j in i + 1..n {
+            if (a.get(i, j) - a.get(j, i)).abs() > 1e-8 * scale {
+                return Err(MatrixShapeError::new(format!(
+                    "matrix is not symmetric at ({i},{j})"
+                )));
+            }
+        }
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    for _ in 0..MAX_SWEEPS {
+        let mut off = 0.0_f64;
+        for p in 0..n {
+            for q in p + 1..n {
+                off = off.max(m.get(p, q).abs());
+            }
+        }
+        if off <= JACOBI_EIG_TOL * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= JACOBI_EIG_TOL * scale {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Update rows/columns p and q of the symmetric matrix.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let eigenvectors = Matrix::from_fn(n, n, |r, c| v.get(r, order[c]));
+    Ok(SymmetricEigen { eigenvalues, eigenvectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::random_uniform(n, n, &mut rng, -2.0, 2.0);
+        let at = a.transpose();
+        (&a + &at).map(|x| x / 2.0)
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-10);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        for seed in 0..3 {
+            let a = random_symmetric(12, seed);
+            let e = symmetric_eigen(&a).unwrap();
+            // V diag(λ) Vᵀ = A.
+            let lam = Matrix::diag(&e.eigenvalues);
+            let back = e
+                .eigenvectors
+                .matmul(&lam)
+                .unwrap()
+                .matmul(&e.eigenvectors.transpose())
+                .unwrap();
+            assert!(back.approx_eq(&a, 1e-8), "seed {seed}");
+            let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
+            assert!(vtv.approx_eq(&Matrix::identity(12), 1e-8));
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = random_symmetric(9, 5);
+        let e = symmetric_eigen(&a).unwrap();
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_trivial() {
+        let a = Matrix::diag(&[1.0, 5.0, 3.0]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] - 5.0).abs() < 1e-12);
+        assert!((e.eigenvalues[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psd_gram_matrix_nonnegative() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let t = Matrix::random_uniform(6, 15, &mut rng, -1.0, 1.0);
+        let g = t.matmul(&t.transpose()).unwrap();
+        let e = symmetric_eigen(&g).unwrap();
+        assert!(e.eigenvalues.iter().all(|&l| l > -1e-9));
+        // Gram eigenvalues are squared singular values of T.
+        let svd = crate::Svd::compute(&t).unwrap();
+        for (l, s) in e.eigenvalues.iter().zip(svd.singular_values()) {
+            assert!(crate::approx_eq(*l, s * s, 1e-7), "{l} vs {}", s * s);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+        let asym = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert!(symmetric_eigen(&asym).is_err());
+        let mut nan = Matrix::zeros(2, 2);
+        nan.set(0, 0, f64::NAN);
+        assert!(symmetric_eigen(&nan).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Fast Fourier transform for eigenflow classification.
+//!
+//! Equation 10 of the paper classifies an eigenflow as *type 1*
+//! ("deterministic"/periodic) when the magnitude of its FFT contains a
+//! spike. This module provides an iterative radix-2 Cooley–Tukey FFT with
+//! zero padding to the next power of two, plus the magnitude-spectrum
+//! helper the classifier consumes.
+
+/// A complex number with `f64` parts — minimal on purpose; only what the
+/// FFT needs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Magnitude `sqrt(re² + im²)`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+}
+
+/// Smallest power of two `>= n` (and `>= 1`).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place iterative radix-2 FFT.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two; use [`fft_real`] for
+/// arbitrary-length real input (it zero pads).
+pub fn fft_in_place(buf: &mut [Complex]) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft_in_place requires power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = buf[start + k];
+                let b = buf[start + k + len / 2].mul(w);
+                buf[start + k] = a.add(b);
+                buf[start + k + len / 2] = a.sub(b);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// FFT of a real signal, zero padded to the next power of two. Returns the
+/// full complex spectrum (length `next_pow2(signal.len())`).
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(signal.len());
+    let mut buf = vec![Complex::default(); n];
+    for (b, &x) in buf.iter_mut().zip(signal) {
+        b.re = x;
+    }
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Magnitude spectrum `|FFT(u)|` over the positive frequencies
+/// (indices `1..=n/2` of the padded transform). The DC bin is excluded
+/// because eigenflows are compared against their mean, and a constant
+/// offset must not register as a "spike".
+pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let spec = fft_real(signal);
+    let half = spec.len() / 2;
+    spec[1..=half.max(1)].iter().map(|c| c.abs()).collect()
+}
+
+/// Naive `O(n²)` DFT magnitude used as a cross-check oracle in tests.
+pub fn dft_magnitude_naive(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (t, &x) in signal.iter().enumerate() {
+            let ang = -2.0 * std::f64::consts::PI * (k as f64) * (t as f64) / n as f64;
+            re += x * ang.cos();
+            im += x * ang.sin();
+        }
+        out.push(re.hypot(im));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(64), 64);
+        assert_eq!(next_pow2(65), 128);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut sig = vec![0.0; 8];
+        sig[0] = 1.0;
+        let spec = fft_real(&sig);
+        for c in spec {
+            assert!(crate::approx_eq(c.abs(), 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_dc_only() {
+        let sig = vec![2.0; 16];
+        let spec = fft_real(&sig);
+        assert!(crate::approx_eq(spec[0].abs(), 32.0, 1e-10));
+        for c in &spec[1..] {
+            assert!(c.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_pure_sine_concentrates_at_frequency() {
+        let n = 64;
+        let f = 5.0;
+        let sig: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * f * t as f64 / n as f64).sin())
+            .collect();
+        let spec = fft_real(&sig);
+        // Energy at bins 5 and 59 only.
+        assert!(crate::approx_eq(spec[5].abs(), 32.0, 1e-9));
+        assert!(crate::approx_eq(spec[59].abs(), 32.0, 1e-9));
+        for (k, c) in spec.iter().enumerate() {
+            if k != 5 && k != 59 {
+                assert!(c.abs() < 1e-9, "leakage at bin {k}: {}", c.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let sig: Vec<f64> = (0..32).map(|t| ((t * t) % 7) as f64 - 3.0).collect();
+        let fast = fft_real(&sig);
+        let slow = dft_magnitude_naive(&sig);
+        for k in 0..32 {
+            assert!(crate::approx_eq(fast[k].abs(), slow[k], 1e-8), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn fft_linearity() {
+        let a: Vec<f64> = (0..16).map(|t| (t as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..16).map(|t| (t as f64 * 0.7).cos()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft_real(&a);
+        let fb = fft_real(&b);
+        let fsum = fft_real(&sum);
+        for k in 0..16 {
+            let lin = fa[k].add(fb[k]);
+            assert!(crate::approx_eq(lin.re, fsum[k].re, 1e-9));
+            assert!(crate::approx_eq(lin.im, fsum[k].im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let sig: Vec<f64> = (0..64).map(|t| ((t as f64).sin() * 2.0) + 0.5).collect();
+        let spec = fft_real(&sig);
+        let time_energy: f64 = sig.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / 64.0;
+        assert!(crate::approx_eq(time_energy, freq_energy, 1e-9));
+    }
+
+    #[test]
+    fn magnitude_spectrum_excludes_dc() {
+        let sig = vec![5.0; 32]; // pure DC
+        let mags = magnitude_spectrum(&sig);
+        assert_eq!(mags.len(), 16);
+        assert!(mags.iter().all(|&m| m < 1e-9));
+    }
+
+    #[test]
+    fn magnitude_spectrum_of_periodic_signal_has_peak() {
+        let n = 96; // not a power of two — exercises padding
+        let sig: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * 8.0 * t as f64 / n as f64).sin())
+            .collect();
+        let mags = magnitude_spectrum(&sig);
+        let peak = mags.iter().cloned().fold(0.0_f64, f64::max);
+        let mean = mags.iter().sum::<f64>() / mags.len() as f64;
+        assert!(peak > 5.0 * mean, "peak {peak} vs mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn in_place_rejects_non_pow2() {
+        let mut buf = vec![Complex::default(); 3];
+        fft_in_place(&mut buf);
+    }
+
+    #[test]
+    fn complex_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a.mul(b);
+        assert_eq!(p, Complex::new(5.0, 5.0));
+        assert!(crate::approx_eq(Complex::new(3.0, 4.0).abs(), 5.0, 1e-12));
+    }
+}

@@ -1,0 +1,82 @@
+//! Dense linear-algebra substrate for the cs-traffic reproduction.
+//!
+//! The paper's algorithms (alternating least squares matrix completion, PCA
+//! via SVD, MSSA, eigenflow classification by FFT) were originally run on
+//! MATLAB's numeric stack. This crate rebuilds the required pieces from
+//! scratch on plain `Vec<f64>` storage:
+//!
+//! * [`Matrix`] — row-major dense matrix with the usual arithmetic.
+//! * [`qr`] — Householder QR factorization and least-squares solving.
+//! * [`svd`] — one-sided Jacobi singular value decomposition.
+//! * [`eig`] — cyclic-Jacobi symmetric eigendecomposition.
+//! * [`power`] — subspace iteration for leading eigenpairs.
+//! * [`lstsq`] — least-squares and ridge (Tikhonov) solvers, Cholesky.
+//! * [`fft`] — iterative radix-2 FFT and power spectra.
+//! * [`stats`] — means, variances, quantiles, Pearson correlation, CDFs.
+//! * [`rng`] — Gaussian sampling (Box–Muller) on top of any [`rand::Rng`].
+//!
+//! Matrix sizes in the reproduction are modest (time slots × road segments,
+//! at most ~700 × ~250), so clarity and numerical robustness are favoured
+//! over blocked/cache-tiled kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = &a * &a.transpose();
+//! assert_eq!(b.get(0, 0), 5.0);
+//! ```
+
+// Numeric kernels index several parallel buffers by position; iterator
+// rewrites (zip chains) obscure the linear-algebra correspondence.
+#![allow(clippy::needless_range_loop)]
+
+mod matrix;
+pub mod eig;
+pub mod fft;
+pub mod lstsq;
+pub mod power;
+pub mod qr;
+pub mod rng;
+pub mod stats;
+pub mod svd;
+
+pub use matrix::{Matrix, MatrixShapeError};
+pub use qr::QrDecomposition;
+pub use svd::Svd;
+
+/// Convenience alias used throughout the workspace: absolute tolerance for
+/// floating-point comparisons in tests and iterative-solver stopping rules.
+pub const EPS: f64 = 1e-10;
+
+/// Returns `true` when `a` and `b` agree within `tol` absolutely or
+/// relatively (whichever is looser), the standard mixed test for comparing
+/// floating-point results of different magnitude.
+///
+/// ```
+/// assert!(linalg::approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+/// assert!(!linalg::approx_eq(1.0, 1.1, 1e-9));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+        assert!(!approx_eq(0.0, 1e-6, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.1e12, 1e-9));
+    }
+}

@@ -1,0 +1,298 @@
+//! Least-squares and ridge solvers.
+//!
+//! Algorithm 1's `inverse(P, Q)` procedure computes the best approximate
+//! solution `C = PᵀP \ PᵀQ` of the contradictory system `P C = Q` (Eq. 17).
+//! With `P = [L; sqrt(λ) I]` and `Q = [M; 0]` that is exactly the ridge
+//! (Tikhonov) regression `(LᵀL + λI) C = Lᵀ M`. Two implementations are
+//! offered:
+//!
+//! * [`solve_normal_equations`] — the paper's route: form the Gram matrix
+//!   and solve with Cholesky. Fast (`O(r²m + r³)`), adequate because λ > 0
+//!   keeps the system well conditioned.
+//! * [`solve_qr`] — Householder QR on the stacked system, numerically safer
+//!   when λ is tiny. Used by the `als_solver` ablation bench.
+
+use crate::qr::{QrDecomposition, QrError};
+use crate::{Matrix, MatrixShapeError};
+
+/// Error returned by direct solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// Input shapes are inconsistent.
+    Shape(MatrixShapeError),
+    /// The Gram matrix is not positive definite (Cholesky pivot `<= 0`),
+    /// which for ridge systems can only happen with λ = 0 and a
+    /// rank-deficient design matrix.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        index: usize,
+    },
+    /// QR solver failure.
+    Qr(QrError),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Shape(e) => write!(f, "{e}"),
+            SolveError::NotPositiveDefinite { index } => {
+                write!(f, "matrix not positive definite at pivot {index}")
+            }
+            SolveError::Qr(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<MatrixShapeError> for SolveError {
+    fn from(e: MatrixShapeError) -> Self {
+        SolveError::Shape(e)
+    }
+}
+
+impl From<QrError> for SolveError {
+    fn from(e: QrError) -> Self {
+        SolveError::Qr(e)
+    }
+}
+
+/// Cholesky decomposition `A = L Lᵀ` of a symmetric positive-definite
+/// matrix; returns the lower-triangular factor `L`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotPositiveDefinite`] when a pivot is not strictly
+/// positive, and a shape error for non-square input.
+///
+/// ```
+/// use linalg::{Matrix, lstsq::cholesky};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let l = cholesky(&a).unwrap();
+/// let back = l.matmul(&l.transpose()).unwrap();
+/// assert!(back.approx_eq(&a, 1e-12));
+/// ```
+pub fn cholesky(a: &Matrix) -> Result<Matrix, SolveError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolveError::Shape(MatrixShapeError::new(format!(
+            "cholesky requires a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        ))));
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(SolveError::NotPositiveDefinite { index: i });
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A X = B` for symmetric positive-definite `A` via Cholesky
+/// (forward then backward substitution per column of `B`).
+///
+/// # Errors
+///
+/// Propagates Cholesky failures and shape mismatches.
+pub fn solve_spd(a: &Matrix, b: &Matrix) -> Result<Matrix, SolveError> {
+    let l = cholesky(a)?;
+    let n = a.rows();
+    if b.rows() != n {
+        return Err(SolveError::Shape(MatrixShapeError::new(format!(
+            "rhs has {} rows, expected {n}",
+            b.rows()
+        ))));
+    }
+    let mut x = Matrix::zeros(n, b.cols());
+    for col in 0..b.cols() {
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b.get(i, col);
+            for k in 0..i {
+                acc -= l.get(i, k) * y[k];
+            }
+            y[i] = acc / l.get(i, i);
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for k in i + 1..n {
+                acc -= l.get(k, i) * x.get(k, col);
+            }
+            x.set(i, col, acc / l.get(i, i));
+        }
+    }
+    Ok(x)
+}
+
+/// Ridge regression via normal equations: solves
+/// `(AᵀA + λ I) X = Aᵀ B`, i.e. `min_X ‖A X − B‖_F² + λ‖X‖_F²`.
+///
+/// This is the literal `inverse([A; sqrt(λ) I], [B; 0])` of the paper's
+/// Algorithm 1 (`PᵀP \ PᵀQ` with the stacked system folded analytically).
+///
+/// # Errors
+///
+/// Fails when shapes mismatch or when `λ = 0` and `A` is rank deficient.
+///
+/// ```
+/// use linalg::{Matrix, lstsq::solve_normal_equations};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+/// let b = Matrix::column_vector(&[1.0, 2.0, 3.0]);
+/// let x = solve_normal_equations(&a, &b, 0.0).unwrap();
+/// assert!((x.get(0, 0) - 1.0).abs() < 1e-9);
+/// ```
+pub fn solve_normal_equations(a: &Matrix, b: &Matrix, lambda: f64) -> Result<Matrix, SolveError> {
+    let at = a.transpose();
+    let mut gram = at.matmul(a)?;
+    for i in 0..gram.rows() {
+        let d = gram.get(i, i);
+        gram.set(i, i, d + lambda);
+    }
+    let rhs = at.matmul(b)?;
+    solve_spd(&gram, &rhs)
+}
+
+/// Ridge regression via QR on the explicitly stacked system
+/// `[A; sqrt(λ) I] X = [B; 0]` — numerically safer than the normal
+/// equations when `A` is ill conditioned.
+///
+/// # Errors
+///
+/// Fails when shapes mismatch or the stacked system is rank deficient
+/// (only possible at `λ = 0`).
+pub fn solve_qr(a: &Matrix, b: &Matrix, lambda: f64) -> Result<Matrix, SolveError> {
+    let n = a.cols();
+    let stacked_a = a.vstack(&(&Matrix::identity(n) * lambda.sqrt()))?;
+    let stacked_b = b.vstack(&Matrix::zeros(n, b.cols()))?;
+    let qr = QrDecomposition::new(&stacked_a)?;
+    Ok(qr.solve(&stacked_b)?)
+}
+
+/// Which direct solver the ALS inner step should use. Exposed so benches
+/// can ablate the design choice called out in DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RidgeSolver {
+    /// Normal equations + Cholesky (the paper's `inverse` procedure).
+    #[default]
+    NormalEquations,
+    /// Householder QR on the stacked system.
+    Qr,
+}
+
+impl RidgeSolver {
+    /// Solves `min_X ‖A X − B‖_F² + λ‖X‖_F²` with the selected backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's failure modes (see [`solve_normal_equations`]
+    /// and [`solve_qr`]).
+    pub fn solve(self, a: &Matrix, b: &Matrix, lambda: f64) -> Result<Matrix, SolveError> {
+        match self {
+            RidgeSolver::NormalEquations => solve_normal_equations(a, b, lambda),
+            RidgeSolver::Qr => solve_qr(a, b, lambda),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::random_uniform(m, n, &mut rng, -2.0, 2.0)
+    }
+
+    #[test]
+    fn cholesky_known_factor() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]);
+        let l = cholesky(&a).unwrap();
+        let expected = Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[3.0, 3.0, 0.0], &[-1.0, 1.0, 3.0]]);
+        assert!(l.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(cholesky(&a), Err(SolveError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        assert!(matches!(cholesky(&Matrix::zeros(2, 3)), Err(SolveError::Shape(_))));
+    }
+
+    #[test]
+    fn solve_spd_exact() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let x_true = Matrix::from_rows(&[&[1.0, -2.0], &[2.0, 0.5]]);
+        let b = a.matmul(&x_true).unwrap();
+        let x = solve_spd(&a, &b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn normal_equations_match_qr_with_regularization() {
+        let a = random_matrix(30, 5, 1);
+        let b = random_matrix(30, 4, 2);
+        let lambda = 0.5;
+        let x_ne = solve_normal_equations(&a, &b, lambda).unwrap();
+        let x_qr = solve_qr(&a, &b, lambda).unwrap();
+        assert!(x_ne.approx_eq(&x_qr, 1e-7), "solvers disagree");
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let a = random_matrix(20, 3, 3);
+        let b = random_matrix(20, 1, 4);
+        let x_small = solve_normal_equations(&a, &b, 1e-6).unwrap();
+        let x_large = solve_normal_equations(&a, &b, 1e6).unwrap();
+        assert!(x_large.frobenius_norm() < 1e-3 * x_small.frobenius_norm().max(1e-9) + 1e-3);
+    }
+
+    #[test]
+    fn ridge_optimality_condition() {
+        // Gradient of the ridge objective must vanish: Aᵀ(AX - B) + λX = 0.
+        let a = random_matrix(25, 4, 5);
+        let b = random_matrix(25, 2, 6);
+        let lambda = 2.5;
+        for solver in [RidgeSolver::NormalEquations, RidgeSolver::Qr] {
+            let x = solver.solve(&a, &b, lambda).unwrap();
+            let grad = &a.transpose().matmul(&(&a.matmul(&x).unwrap() - &b)).unwrap() + &(&x * lambda);
+            assert!(grad.max_abs() < 1e-8, "{solver:?} gradient {:?}", grad.max_abs());
+        }
+    }
+
+    #[test]
+    fn rank_deficient_with_zero_lambda_fails() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let b = Matrix::column_vector(&[1.0, 2.0, 3.0]);
+        assert!(solve_normal_equations(&a, &b, 0.0).is_err());
+        // With a positive lambda the same system becomes solvable.
+        assert!(solve_normal_equations(&a, &b, 1e-3).is_ok());
+    }
+
+    #[test]
+    fn default_solver_is_normal_equations() {
+        assert_eq!(RidgeSolver::default(), RidgeSolver::NormalEquations);
+    }
+}

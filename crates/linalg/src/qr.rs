@@ -1,0 +1,313 @@
+//! Householder QR decomposition and QR-based least squares.
+//!
+//! Algorithm 1 of the paper repeatedly solves over-determined
+//! ("contradictory", Eq. 17) linear systems `[L; sqrt(λ) I] R' = [M; 0]`.
+//! The reference pseudo-code uses normal equations (`PᵀP \ PᵀQ`), which is
+//! fast but squares the condition number; this module provides the more
+//! robust QR route, and [`crate::lstsq`] exposes both so the bench suite can
+//! ablate the choice.
+
+use crate::{Matrix, MatrixShapeError};
+
+/// Error returned by QR-based solvers when the system is unsolvable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QrError {
+    /// Input shapes are inconsistent.
+    Shape(MatrixShapeError),
+    /// The matrix is (numerically) rank deficient: a diagonal entry of `R`
+    /// fell below the given tolerance, so back substitution would divide by
+    /// ~zero.
+    RankDeficient {
+        /// Index of the offending diagonal entry.
+        index: usize,
+        /// Magnitude found on the diagonal.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for QrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QrError::Shape(e) => write!(f, "{e}"),
+            QrError::RankDeficient { index, value } => {
+                write!(f, "rank-deficient system: |R[{index},{index}]| = {value:.3e} too small")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QrError {}
+
+impl From<MatrixShapeError> for QrError {
+    fn from(e: MatrixShapeError) -> Self {
+        QrError::Shape(e)
+    }
+}
+
+/// A thin Householder QR decomposition `A = Q R` of an `m × n` matrix with
+/// `m >= n`: `Q` is `m × n` with orthonormal columns and `R` is `n × n`
+/// upper triangular.
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Matrix, QrDecomposition};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let qr = QrDecomposition::new(&a).unwrap();
+/// let back = qr.q().matmul(qr.r()).unwrap();
+/// assert!(back.approx_eq(&a, 1e-10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl QrDecomposition {
+    /// Computes the thin QR decomposition via Householder reflections.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `a.rows() < a.cols()` (the thin factorization
+    /// is only defined for tall or square matrices).
+    pub fn new(a: &Matrix) -> Result<Self, QrError> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(QrError::Shape(MatrixShapeError::new(format!(
+                "thin QR requires rows >= cols, got {m}x{n}"
+            ))));
+        }
+        // Work array: R starts as a copy of A and is reduced in place;
+        // Householder vectors are accumulated to form thin Q afterwards.
+        let mut r = a.clone();
+        let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for k in 0..n {
+            // Build the Householder vector for column k below the diagonal.
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                let x = r.get(i, k);
+                norm_sq += x * x;
+            }
+            let norm = norm_sq.sqrt();
+            let mut v = vec![0.0; m - k];
+            if norm == 0.0 {
+                // Column already zero; record an identity reflector.
+                vs.push(v);
+                continue;
+            }
+            let x0 = r.get(k, k);
+            let alpha = if x0 >= 0.0 { -norm } else { norm };
+            for (i, vi) in v.iter_mut().enumerate() {
+                *vi = r.get(k + i, k);
+            }
+            v[0] -= alpha;
+            let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+            if v_norm_sq > 0.0 {
+                // Apply H = I - 2 v vᵀ / (vᵀv) to the trailing block of R.
+                for j in k..n {
+                    let mut dot = 0.0;
+                    for i in 0..m - k {
+                        dot += v[i] * r.get(k + i, j);
+                    }
+                    let factor = 2.0 * dot / v_norm_sq;
+                    for i in 0..m - k {
+                        let cur = r.get(k + i, j);
+                        r.set(k + i, j, cur - factor * v[i]);
+                    }
+                }
+            }
+            vs.push(v);
+        }
+        // Form thin Q by applying the reflectors in reverse to the first n
+        // columns of the identity.
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q.set(j, j, 1.0);
+        }
+        for k in (0..n).rev() {
+            let v = &vs[k];
+            let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+            if v_norm_sq == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let mut dot = 0.0;
+                for i in 0..m - k {
+                    dot += v[i] * q.get(k + i, j);
+                }
+                let factor = 2.0 * dot / v_norm_sq;
+                for i in 0..m - k {
+                    let cur = q.get(k + i, j);
+                    q.set(k + i, j, cur - factor * v[i]);
+                }
+            }
+        }
+        // Zero out the sub-diagonal noise of R and truncate to n x n.
+        let mut r_thin = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r_thin.set(i, j, r.get(i, j));
+            }
+        }
+        Ok(Self { q, r: r_thin })
+    }
+
+    /// The orthonormal factor `Q` (`m × n`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves the least-squares problem `min_X ‖A X − B‖_F` for each column
+    /// of `B` using `R X = Qᵀ B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::RankDeficient`] when `R` has a near-zero diagonal
+    /// entry, or a shape error when `B` has the wrong number of rows.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix, QrError> {
+        let qtb = self.q.transpose().matmul(b)?;
+        back_substitute(&self.r, &qtb)
+    }
+}
+
+/// Solves `R X = B` for upper-triangular `R` by back substitution,
+/// column-by-column over `B`.
+///
+/// # Errors
+///
+/// Returns [`QrError::RankDeficient`] when a diagonal entry of `R` is
+/// smaller than `1e-12 * max|R|`.
+pub fn back_substitute(r: &Matrix, b: &Matrix) -> Result<Matrix, QrError> {
+    let n = r.rows();
+    if r.cols() != n || b.rows() != n {
+        return Err(QrError::Shape(MatrixShapeError::new(format!(
+            "back substitution shape mismatch: R is {}x{}, B is {}x{}",
+            r.rows(),
+            r.cols(),
+            b.rows(),
+            b.cols()
+        ))));
+    }
+    let tol = 1e-12 * r.max_abs().max(1.0);
+    let mut x = Matrix::zeros(n, b.cols());
+    for col in 0..b.cols() {
+        for i in (0..n).rev() {
+            let mut acc = b.get(i, col);
+            for j in i + 1..n {
+                acc -= r.get(i, j) * x.get(j, col);
+            }
+            let d = r.get(i, i);
+            if d.abs() < tol {
+                return Err(QrError::RankDeficient { index: i, value: d.abs() });
+            }
+            x.set(i, col, acc / d);
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::random_uniform(m, n, &mut rng, -5.0, 5.0)
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        for seed in 0..5 {
+            let a = random_matrix(12, 5, seed);
+            let qr = QrDecomposition::new(&a).unwrap();
+            let back = qr.q().matmul(qr.r()).unwrap();
+            assert!(back.approx_eq(&a, 1e-9), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = random_matrix(20, 7, 42);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(7), 1e-9));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = random_matrix(9, 6, 3);
+        let qr = QrDecomposition::new(&a).unwrap();
+        for i in 0..6 {
+            for j in 0..i {
+                assert!(qr.r().get(i, j).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_exact_solution() {
+        let a = random_matrix(10, 4, 11);
+        let x_true = random_matrix(4, 3, 12);
+        let b = a.matmul(&x_true).unwrap();
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-8));
+    }
+
+    #[test]
+    fn solve_minimizes_residual() {
+        // Over-determined inconsistent system: the QR solution must have a
+        // residual orthogonal to the column space (Aᵀ r ≈ 0).
+        let a = random_matrix(15, 3, 5);
+        let b = random_matrix(15, 1, 6);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve(&b).unwrap();
+        let residual = &a.matmul(&x).unwrap() - &b;
+        let at_r = a.transpose().matmul(&residual).unwrap();
+        assert!(at_r.max_abs() < 1e-8, "normal-equation residual {:?}", at_r);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::zeros(2, 5);
+        assert!(QrDecomposition::new(&a).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Two identical columns.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let b = Matrix::column_vector(&[1.0, 2.0, 3.0]);
+        match qr.solve(&b) {
+            Err(QrError::RankDeficient { .. }) => {}
+            other => panic!("expected rank-deficient error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_column_handled() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 3.0]]);
+        // Decomposition itself should not fail even though A is singular.
+        let qr = QrDecomposition::new(&a).unwrap();
+        let back = qr.q().matmul(qr.r()).unwrap();
+        assert!(back.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn square_system_solves_like_linear_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::column_vector(&[5.0, 10.0]);
+        let x = QrDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+        assert!(crate::approx_eq(x.get(0, 0), 1.0, 1e-10));
+        assert!(crate::approx_eq(x.get(1, 0), 3.0, 1e-10));
+    }
+}

@@ -1,0 +1,87 @@
+//! Gaussian sampling on top of any [`rand::RngExt`].
+//!
+//! The allowed offline dependency set includes `rand` but not
+//! `rand_distr`, so the simulator's Gaussian noise (GPS speed error,
+//! traffic fluctuation) uses a small Box–Muller implementation here.
+
+use rand::RngExt;
+
+/// Draws one standard-normal sample (mean 0, variance 1) via the
+/// Box–Muller transform.
+pub fn standard_normal<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+    // Guard u1 away from zero so ln(u1) is finite.
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws one normal sample with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics when `std_dev` is negative.
+pub fn normal<R: RngExt + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative, got {std_dev}");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Fills `out` with i.i.d. normal samples.
+pub fn fill_normal<R: RngExt + ?Sized>(rng: &mut R, out: &mut [f64], mean: f64, std_dev: f64) {
+    for v in out {
+        *v = normal(rng, mean, std_dev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, std_dev};
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let samples: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let m = mean(&samples);
+        let s = std_dev(&samples);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((s - 1.0).abs() < 0.02, "std {s}");
+    }
+
+    #[test]
+    fn shifted_and_scaled() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let samples: Vec<f64> = (0..50_000).map(|_| normal(&mut rng, 30.0, 5.0)).collect();
+        assert!((mean(&samples) - 30.0).abs() < 0.1);
+        assert!((std_dev(&samples) - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_std_is_deterministic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        assert_eq!(normal(&mut rng, 42.0, 0.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_std_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        normal(&mut rng, 0.0, -1.0);
+    }
+
+    #[test]
+    fn fill_normal_fills_all() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut buf = [0.0; 32];
+        fill_normal(&mut rng, &mut buf, 10.0, 1.0);
+        assert!(buf.iter().all(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn all_samples_finite() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+}

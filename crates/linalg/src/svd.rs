@@ -1,0 +1,436 @@
+//! Singular value decomposition via the one-sided Jacobi method.
+//!
+//! The paper's empirical study (Section 3.1) rests on the SVD
+//! `X = U S Vᵀ` (Eq. 7): singular-value spectra reveal the low-rank
+//! structure of traffic condition matrices (Fig. 4), the columns of `U`
+//! are the *eigenflows* (Eq. 8), and rank-k truncation gives the best
+//! rank-k approximation used by both the PCA study (Fig. 6) and the MSSA
+//! baseline.
+//!
+//! One-sided Jacobi was chosen over Golub–Kahan bidiagonalization because
+//! it is simple, unconditionally convergent, and highly accurate for small
+//! singular values; at the matrix sizes of this reproduction (≤ ~700×250)
+//! its extra sweeps are irrelevant.
+
+use crate::{Matrix, MatrixShapeError};
+
+/// Relative off-diagonal tolerance at which Jacobi sweeps stop.
+const JACOBI_TOL: f64 = 1e-12;
+
+/// Hard cap on sweeps; one-sided Jacobi converges in far fewer for any
+/// well-formed input (typically < 15 at these sizes).
+const MAX_SWEEPS: usize = 60;
+
+/// A thin singular value decomposition `A = U diag(s) Vᵀ`.
+///
+/// For an `m × n` input with `k = min(m, n)`: `U` is `m × k` with
+/// orthonormal columns, `s` holds the `k` singular values in
+/// non-increasing order, and `V` is `n × k` with orthonormal columns.
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Matrix, Svd};
+///
+/// let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
+/// let svd = Svd::compute(&a).unwrap();
+/// assert!((svd.singular_values()[0] - 3.0).abs() < 1e-10);
+/// assert!((svd.singular_values()[1] - 2.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svd {
+    u: Matrix,
+    s: Vec<f64>,
+    v: Matrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixShapeError`] for an empty matrix or non-finite
+    /// entries (NaN/inf), which would stall the Jacobi sweeps.
+    pub fn compute(a: &Matrix) -> Result<Self, MatrixShapeError> {
+        if a.is_empty() {
+            return Err(MatrixShapeError::new("cannot compute SVD of an empty matrix"));
+        }
+        if a.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(MatrixShapeError::new("SVD input contains non-finite entries"));
+        }
+        if a.rows() >= a.cols() {
+            Ok(jacobi_tall(a))
+        } else {
+            // SVD(Aᵀ) = V S Uᵀ: compute on the transpose and swap factors.
+            let t = jacobi_tall(&a.transpose());
+            Ok(Self { u: t.v, s: t.s, v: t.u })
+        }
+    }
+
+    /// Left singular vectors (`m × k`); column `i` is the *i-th eigenflow*
+    /// `u_i` of the paper (Eq. 8).
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// Singular values in non-increasing order.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.s
+    }
+
+    /// Right singular vectors (`n × k`); column `i` is the unit
+    /// eigenvector `v_i` of `XᵀX` for the i-th principal component.
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Numerical rank: the number of singular values above
+    /// `tol * s_max`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        self.s.iter().filter(|&&x| x > tol * smax).count()
+    }
+
+    /// Reconstructs the best rank-`k` approximation
+    /// `X̂ = Σ_{i<k} σ_i u_i v_iᵀ` (Eq. 11), the minimizer of the
+    /// Frobenius error among rank-≤k matrices (Eq. 12).
+    ///
+    /// `k` is clamped to the number of available singular values.
+    pub fn truncate(&self, k: usize) -> Matrix {
+        let k = k.min(self.s.len());
+        let mut out = Matrix::zeros(self.u.rows(), self.v.rows());
+        for i in 0..k {
+            let sigma = self.s[i];
+            if sigma == 0.0 {
+                break; // remaining components are all zero
+            }
+            for r in 0..out.rows() {
+                let ui = self.u.get(r, i) * sigma;
+                if ui == 0.0 {
+                    continue;
+                }
+                for c in 0..out.cols() {
+                    let cur = out.get(r, c);
+                    out.set(r, c, cur + ui * self.v.get(c, i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstructs using only the listed components (by index), used for
+    /// the per-eigenflow-type reconstructions of Fig. 7.
+    ///
+    /// Indices out of range are ignored.
+    pub fn reconstruct_components(&self, components: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.u.rows(), self.v.rows());
+        for &i in components {
+            if i >= self.s.len() {
+                continue;
+            }
+            let sigma = self.s[i];
+            for r in 0..out.rows() {
+                let ui = self.u.get(r, i) * sigma;
+                if ui == 0.0 {
+                    continue;
+                }
+                for c in 0..out.cols() {
+                    let cur = out.get(r, c);
+                    out.set(r, c, cur + ui * self.v.get(c, i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of total squared energy (`σ_i² / Σσ²`) captured by each
+    /// component — the quantity behind the "sharp knee" of Fig. 4.
+    pub fn energy_fractions(&self) -> Vec<f64> {
+        let total: f64 = self.s.iter().map(|x| x * x).sum();
+        if total == 0.0 {
+            return vec![0.0; self.s.len()];
+        }
+        self.s.iter().map(|x| x * x / total).collect()
+    }
+
+    /// Smallest number of leading components whose cumulative energy
+    /// reaches `fraction` (clamped to `[0, 1]`) of the total.
+    pub fn components_for_energy(&self, fraction: f64) -> usize {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for (i, e) in self.energy_fractions().iter().enumerate() {
+            acc += e;
+            if acc >= fraction {
+                return i + 1;
+            }
+        }
+        self.s.len()
+    }
+}
+
+/// One-sided Jacobi on a tall (or square) matrix, `m >= n`.
+fn jacobi_tall(a: &Matrix) -> Svd {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+    // Column-major working copy: Jacobi rotates pairs of columns, so
+    // contiguous columns make the inner loops cache friendly.
+    let mut g: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|j| {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            e
+        })
+        .collect();
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0_f64;
+        for p in 0..n {
+            for q in p + 1..n {
+                let (alpha, beta, gamma) = {
+                    let (gp, gq) = (&g[p], &g[q]);
+                    let mut alpha = 0.0;
+                    let mut beta = 0.0;
+                    let mut gamma = 0.0;
+                    for i in 0..m {
+                        alpha += gp[i] * gp[i];
+                        beta += gq[i] * gq[i];
+                        gamma += gp[i] * gq[i];
+                    }
+                    (alpha, beta, gamma)
+                };
+                let denom = (alpha * beta).sqrt();
+                if denom == 0.0 || gamma.abs() <= JACOBI_TOL * denom {
+                    continue;
+                }
+                off = off.max(gamma.abs() / denom);
+                // Classic Jacobi rotation annihilating the (p,q) entry of
+                // the implicit Gram matrix GᵀG.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                let (lo, hi) = g.split_at_mut(q);
+                let (gp, gq) = (&mut lo[p], &mut hi[0]);
+                for i in 0..m {
+                    let (x, y) = (gp[i], gq[i]);
+                    gp[i] = c * x - s * y;
+                    gq[i] = s * x + c * y;
+                }
+                let (lo, hi) = v.split_at_mut(q);
+                let (vp, vq) = (&mut lo[p], &mut hi[0]);
+                for i in 0..n {
+                    let (x, y) = (vp[i], vq[i]);
+                    vp[i] = c * x - s * y;
+                    vq[i] = s * x + c * y;
+                }
+            }
+        }
+        if off <= JACOBI_TOL {
+            break;
+        }
+    }
+
+    // Singular values are the column norms of the rotated G.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = g.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
+
+    let mut u = Matrix::zeros(m, n);
+    let mut vm = Matrix::zeros(n, n);
+    let mut s = Vec::with_capacity(n);
+    for (out_j, &j) in order.iter().enumerate() {
+        let sigma = norms[j];
+        s.push(sigma);
+        if sigma > 0.0 {
+            for i in 0..m {
+                u.set(i, out_j, g[j][i] / sigma);
+            }
+        } else {
+            // Null singular value: leave a zero column in U; callers that
+            // need a full basis can re-orthonormalize, which no user of
+            // this crate requires.
+        }
+        for i in 0..n {
+            vm.set(i, out_j, v[j][i]);
+        }
+    }
+    Svd { u, s, v: vm }
+}
+
+/// Convenience wrapper: best rank-`k` approximation of `a`
+/// (Eq. 11/12 of the paper).
+///
+/// # Errors
+///
+/// Propagates [`Svd::compute`] failures.
+///
+/// ```
+/// use linalg::{Matrix, svd::low_rank_approx};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]); // rank 1
+/// let approx = low_rank_approx(&a, 1).unwrap();
+/// assert!(approx.approx_eq(&a, 1e-9));
+/// ```
+pub fn low_rank_approx(a: &Matrix, k: usize) -> Result<Matrix, MatrixShapeError> {
+    Ok(Svd::compute(a)?.truncate(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::random_uniform(m, n, &mut rng, -3.0, 3.0)
+    }
+
+    fn assert_valid_svd(a: &Matrix, svd: &Svd, tol: f64) {
+        let k = a.rows().min(a.cols());
+        assert_eq!(svd.u().shape(), (a.rows(), k));
+        assert_eq!(svd.v().shape(), (a.cols(), k));
+        assert_eq!(svd.singular_values().len(), k);
+        // Non-increasing, non-negative spectrum.
+        for w in svd.singular_values().windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "spectrum not sorted: {w:?}");
+        }
+        assert!(svd.singular_values().iter().all(|&x| x >= 0.0));
+        // Reconstruction.
+        let back = svd.truncate(k);
+        assert!(back.approx_eq(a, tol), "reconstruction failed");
+        // Orthonormality of V (U may have zero columns for null sigma).
+        let vtv = svd.v().transpose().matmul(svd.v()).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(k), 1e-8), "VᵀV not identity");
+    }
+
+    #[test]
+    fn diagonal_matrix_spectrum() {
+        let a = Matrix::diag(&[5.0, 1.0, 3.0]);
+        let svd = Svd::compute(&a).unwrap();
+        let s = svd.singular_values();
+        assert!(crate::approx_eq(s[0], 5.0, 1e-12));
+        assert!(crate::approx_eq(s[1], 3.0, 1e-12));
+        assert!(crate::approx_eq(s[2], 1.0, 1e-12));
+        assert_valid_svd(&a, &svd, 1e-9);
+    }
+
+    #[test]
+    fn tall_random_roundtrip() {
+        for seed in 0..4 {
+            let a = random_matrix(18, 6, seed);
+            let svd = Svd::compute(&a).unwrap();
+            assert_valid_svd(&a, &svd, 1e-8);
+            let utu = svd.u().transpose().matmul(svd.u()).unwrap();
+            assert!(utu.approx_eq(&Matrix::identity(6), 1e-8));
+        }
+    }
+
+    #[test]
+    fn wide_random_roundtrip() {
+        let a = random_matrix(5, 14, 9);
+        let svd = Svd::compute(&a).unwrap();
+        assert_valid_svd(&a, &svd, 1e-8);
+    }
+
+    #[test]
+    fn rank_of_low_rank_matrix() {
+        // rank-2 matrix: outer product sum.
+        let u = random_matrix(12, 2, 21);
+        let v = random_matrix(7, 2, 22);
+        let a = u.matmul(&v.transpose()).unwrap();
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(1e-9), 2);
+        // Rank-2 truncation is exact.
+        assert!(svd.truncate(2).approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn truncation_error_equals_tail_energy() {
+        // Eckart–Young: ‖A − A_k‖_F² = Σ_{i>k} σ_i².
+        let a = random_matrix(10, 8, 33);
+        let svd = Svd::compute(&a).unwrap();
+        for k in 0..8 {
+            let err = (&a - &svd.truncate(k)).frobenius_norm_sq();
+            let tail: f64 = svd.singular_values()[k..].iter().map(|x| x * x).sum();
+            assert!(crate::approx_eq(err, tail, 1e-7), "k={k}: {err} vs {tail}");
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_equals_singular_value_energy() {
+        let a = random_matrix(9, 9, 44);
+        let svd = Svd::compute(&a).unwrap();
+        let energy: f64 = svd.singular_values().iter().map(|x| x * x).sum();
+        assert!(crate::approx_eq(a.frobenius_norm_sq(), energy, 1e-8));
+    }
+
+    #[test]
+    fn energy_fractions_sum_to_one() {
+        let a = random_matrix(6, 4, 55);
+        let svd = Svd::compute(&a).unwrap();
+        let total: f64 = svd.energy_fractions().iter().sum();
+        assert!(crate::approx_eq(total, 1.0, 1e-10));
+    }
+
+    #[test]
+    fn components_for_energy_monotone() {
+        let a = random_matrix(10, 6, 66);
+        let svd = Svd::compute(&a).unwrap();
+        let k50 = svd.components_for_energy(0.5);
+        let k90 = svd.components_for_energy(0.9);
+        let k100 = svd.components_for_energy(1.0);
+        assert!(k50 <= k90 && k90 <= k100);
+        assert!(k100 <= 6);
+        assert!(k50 >= 1);
+    }
+
+    #[test]
+    fn reconstruct_components_partition() {
+        // Reconstruction from all components, split into two groups, must
+        // sum to the full matrix.
+        let a = random_matrix(7, 5, 77);
+        let svd = Svd::compute(&a).unwrap();
+        let part1 = svd.reconstruct_components(&[0, 2, 4]);
+        let part2 = svd.reconstruct_components(&[1, 3]);
+        assert!((&part1 + &part2).approx_eq(&a, 1e-8));
+        // Out-of-range indices are ignored.
+        let same = svd.reconstruct_components(&[0, 2, 4, 99]);
+        assert!(same.approx_eq(&part1, 1e-12));
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(4, 3);
+        let svd = Svd::compute(&a).unwrap();
+        assert!(svd.singular_values().iter().all(|&x| x == 0.0));
+        assert!(svd.truncate(3).approx_eq(&a, 1e-12));
+        assert_eq!(svd.rank(1e-9), 0);
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(Svd::compute(&Matrix::zeros(0, 0)).is_err());
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, f64::NAN);
+        assert!(Svd::compute(&a).is_err());
+    }
+
+    #[test]
+    fn low_rank_approx_helper() {
+        let a = random_matrix(8, 8, 88);
+        let k2 = low_rank_approx(&a, 2).unwrap();
+        let svd = Svd::compute(&k2).unwrap();
+        assert!(svd.rank(1e-9) <= 2);
+    }
+
+    #[test]
+    fn singular_values_match_gram_eigenvalues() {
+        // For A = [[3, 0], [4, 5]], the singular values are sqrt(45) and
+        // sqrt(5) (classic textbook example).
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[4.0, 5.0]]);
+        let svd = Svd::compute(&a).unwrap();
+        assert!(crate::approx_eq(svd.singular_values()[0], 45.0_f64.sqrt(), 1e-10));
+        assert!(crate::approx_eq(svd.singular_values()[1], 5.0_f64.sqrt(), 1e-10));
+    }
+}

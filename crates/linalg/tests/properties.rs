@@ -1,0 +1,188 @@
+//! Property-based tests of the linear-algebra kernels: the invariants
+//! every downstream module silently relies on.
+
+use linalg::eig::symmetric_eigen;
+use linalg::fft::{dft_magnitude_naive, fft_real};
+use linalg::lstsq::{solve_normal_equations, solve_qr};
+use linalg::stats::{empirical_cdf, mean, pearson, quantile, std_dev};
+use linalg::{Matrix, QrDecomposition, Svd};
+use proptest::prelude::*;
+
+/// Random matrix strategy with entries in [-10, 10].
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f64..10.0, m * n)
+            .prop_map(move |data| Matrix::from_vec(m, n, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transpose_is_involution(a in matrix(1..12, 1..12)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in matrix(2..6, 2..6),
+        bdata in proptest::collection::vec(-5.0f64..5.0, 36),
+        cdata in proptest::collection::vec(-5.0f64..5.0, 36),
+    ) {
+        let b = Matrix::from_vec(a.cols(), 6, bdata[..a.cols() * 6].to_vec()).unwrap();
+        let c = Matrix::from_vec(6, 6, cdata).unwrap();
+        let ab_c = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let a_bc = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(ab_c.approx_eq(&a_bc, 1e-8));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(2..6, 4..5),
+        b in matrix(4..5, 2..6),
+        c in matrix(4..5, 1..2),
+    ) {
+        // (shape-align b and c by cols of a)
+        prop_assume!(b.rows() == a.cols() && c.rows() == a.cols());
+        let b2 = b.clone();
+        let bc = b2.hstack(&c).unwrap();
+        let prod = a.matmul(&bc).unwrap();
+        let left = a.matmul(&b).unwrap();
+        let right = a.matmul(&c).unwrap();
+        let stacked = left.hstack(&right).unwrap();
+        prop_assert!(prod.approx_eq(&stacked, 1e-9));
+    }
+
+    #[test]
+    fn frobenius_norm_triangle_inequality(a in matrix(2..8, 2..8), s in -3.0f64..3.0) {
+        let b = a.map(|v| v * s);
+        let sum = &a + &b;
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+        // Homogeneity.
+        prop_assert!((b.frobenius_norm() - s.abs() * a.frobenius_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svd_reconstructs_and_is_orthonormal(a in matrix(2..10, 2..10)) {
+        let svd = Svd::compute(&a).unwrap();
+        let k = a.rows().min(a.cols());
+        prop_assert!(svd.truncate(k).approx_eq(&a, 1e-7));
+        let vtv = svd.v().transpose().matmul(svd.v()).unwrap();
+        prop_assert!(vtv.approx_eq(&Matrix::identity(k), 1e-7));
+        // Spectrum sorted, non-negative.
+        for w in svd.singular_values().windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-10);
+        }
+        prop_assert!(svd.singular_values().iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_spectral_energy_matches_frobenius(a in matrix(2..10, 2..10)) {
+        let svd = Svd::compute(&a).unwrap();
+        let energy: f64 = svd.singular_values().iter().map(|s| s * s).sum();
+        prop_assert!((energy - a.frobenius_norm_sq()).abs() <= 1e-7 * a.frobenius_norm_sq().max(1.0));
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrices(a in matrix(6..12, 2..6)) {
+        prop_assume!(a.rows() >= a.cols());
+        let qr = QrDecomposition::new(&a).unwrap();
+        prop_assert!(qr.q().matmul(qr.r()).unwrap().approx_eq(&a, 1e-8));
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        prop_assert!(qtq.approx_eq(&Matrix::identity(a.cols()), 1e-8));
+    }
+
+    #[test]
+    fn ridge_solvers_agree(a in matrix(8..14, 2..5), lambda in 0.01f64..10.0) {
+        let b = Matrix::filled(a.rows(), 2, 1.0);
+        let ne = solve_normal_equations(&a, &b, lambda).unwrap();
+        let qr = solve_qr(&a, &b, lambda).unwrap();
+        prop_assert!(ne.approx_eq(&qr, 1e-6));
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstructs(a in matrix(2..8, 2..8)) {
+        prop_assume!(a.rows() == a.cols());
+        let sym = (&a + &a.transpose()).map(|v| v / 2.0);
+        let e = symmetric_eigen(&sym).unwrap();
+        let lam = Matrix::diag(&e.eigenvalues);
+        let back = e.eigenvectors.matmul(&lam).unwrap().matmul(&e.eigenvectors.transpose()).unwrap();
+        prop_assert!(back.approx_eq(&sym, 1e-7));
+        // Trace preservation.
+        let trace: f64 = (0..sym.rows()).map(|i| sym.get(i, i)).sum();
+        let eig_sum: f64 = e.eigenvalues.iter().sum();
+        prop_assert!((trace - eig_sum).abs() < 1e-7 * trace.abs().max(1.0));
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(signal in proptest::collection::vec(-5.0f64..5.0, 16)) {
+        let fast = fft_real(&signal);
+        let slow = dft_magnitude_naive(&signal);
+        for k in 0..16 {
+            prop_assert!((fast[k].abs() - slow[k]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_parseval(signal in proptest::collection::vec(-5.0f64..5.0, 32)) {
+        let spec = fft_real(&signal);
+        let time: f64 = signal.iter().map(|x| x * x).sum();
+        let freq: f64 = spec.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / 32.0;
+        prop_assert!((time - freq).abs() < 1e-8 * time.max(1.0));
+    }
+
+    #[test]
+    fn stats_bounds(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        let m = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        prop_assert!(std_dev(&xs) >= 0.0);
+        prop_assert!(quantile(&xs, 0.0) == lo && quantile(&xs, 1.0) == hi);
+        // Quantile is monotone in q.
+        prop_assert!(quantile(&xs, 0.25) <= quantile(&xs, 0.75) + 1e-12);
+    }
+
+    #[test]
+    fn pearson_in_unit_interval(
+        a in proptest::collection::vec(-10.0f64..10.0, 10),
+        b in proptest::collection::vec(-10.0f64..10.0, 10),
+    ) {
+        let r = pearson(&a, &b);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
+        // Symmetry and self-correlation.
+        prop_assert!((r - pearson(&b, &a)).abs() < 1e-12);
+        if std_dev(&a) > 0.0 {
+            prop_assert!((pearson(&a, &a) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_cdf_is_valid_distribution(xs in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+        let cdf = empirical_cdf(&xs);
+        prop_assert_eq!(cdf.len(), xs.len());
+        prop_assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].value <= w[1].value);
+            prop_assert!(w[0].fraction <= w[1].fraction);
+        }
+    }
+
+    #[test]
+    fn hadamard_commutes(a in matrix(2..8, 2..8)) {
+        let b = a.map(|v| v * 0.5 - 1.0);
+        let ab = a.hadamard(&b).unwrap();
+        let ba = b.hadamard(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn select_columns_then_rows_commute(a in matrix(4..10, 4..10)) {
+        let cols = vec![0usize, a.cols() - 1];
+        let rows = vec![1usize, a.rows() - 1];
+        let cr = a.select_columns(&cols).select_rows(&rows);
+        let rc = a.select_rows(&rows).select_columns(&cols);
+        prop_assert_eq!(cr, rc);
+    }
+}

@@ -1,0 +1,245 @@
+//! Time-dependent travel-time fields.
+
+use linalg::Matrix;
+use probes::{SlotGrid, Tcm};
+use roadnet::{RoadNetwork, SegmentId};
+
+/// Error constructing a [`TravelTimeField`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldError {
+    /// The TCM's segment count does not match the network.
+    SegmentMismatch {
+        /// Columns in the TCM.
+        tcm: usize,
+        /// Segments in the network.
+        network: usize,
+    },
+    /// The TCM's slot count does not match the grid.
+    SlotMismatch {
+        /// Rows in the TCM.
+        tcm: usize,
+        /// Slots in the grid.
+        grid: usize,
+    },
+    /// The TCM is not complete — fields require an estimate for every
+    /// cell (run matrix completion first).
+    Incomplete {
+        /// Fraction of observed entries found.
+        integrity: f64,
+    },
+    /// A speed is non-positive or non-finite at the given cell.
+    InvalidSpeed {
+        /// Time slot of the offending cell.
+        slot: usize,
+        /// Segment column of the offending cell.
+        segment: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for FieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldError::SegmentMismatch { tcm, network } => {
+                write!(f, "TCM has {tcm} segments but the network has {network}")
+            }
+            FieldError::SlotMismatch { tcm, grid } => {
+                write!(f, "TCM has {tcm} slots but the grid has {grid}")
+            }
+            FieldError::Incomplete { integrity } => {
+                write!(f, "TCM is incomplete (integrity {integrity:.3}); complete it first")
+            }
+            FieldError::InvalidSpeed { slot, segment, value } => {
+                write!(f, "invalid speed {value} at slot {slot}, segment {segment}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// Minimum speed a field will report, km/h — keeps traversal times
+/// finite even if an estimate undershoots.
+pub const MIN_FIELD_SPEED_KMH: f64 = 1.0;
+
+/// A complete, time-dependent speed field over a road network.
+///
+/// Wraps a *complete* TCM (every cell estimated) and its slot grid;
+/// queries outside the grid clamp to the nearest slot.
+#[derive(Debug, Clone)]
+pub struct TravelTimeField {
+    speeds: Matrix,
+    grid: SlotGrid,
+}
+
+impl TravelTimeField {
+    /// Builds a field from a complete TCM aligned with `net` (column `i`
+    /// = segment id `i`) and `grid`.
+    ///
+    /// # Errors
+    ///
+    /// See [`FieldError`]; notably the TCM must be complete and all
+    /// speeds finite and positive (estimates may be clamped with
+    /// [`TravelTimeField::from_estimate`] instead).
+    pub fn new(net: &RoadNetwork, tcm: Tcm, grid: SlotGrid) -> Result<Self, FieldError> {
+        if tcm.num_segments() != net.segment_count() {
+            return Err(FieldError::SegmentMismatch {
+                tcm: tcm.num_segments(),
+                network: net.segment_count(),
+            });
+        }
+        if tcm.num_slots() != grid.num_slots() {
+            return Err(FieldError::SlotMismatch { tcm: tcm.num_slots(), grid: grid.num_slots() });
+        }
+        if tcm.integrity() < 1.0 {
+            return Err(FieldError::Incomplete { integrity: tcm.integrity() });
+        }
+        let speeds = tcm.values().clone();
+        for (slot, segment, v) in speeds.iter() {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(FieldError::InvalidSpeed { slot, segment, value: v });
+            }
+        }
+        Ok(Self { speeds, grid })
+    }
+
+    /// Builds a field from a raw completion estimate, clamping each
+    /// speed into `[MIN_FIELD_SPEED_KMH, 1.2 × the segment's free-flow
+    /// speed]` — matrix completion does not know physics, so downstream
+    /// consumers clamp.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches and non-finite entries are still rejected.
+    pub fn from_estimate(
+        net: &RoadNetwork,
+        estimate: &Matrix,
+        grid: SlotGrid,
+    ) -> Result<Self, FieldError> {
+        if estimate.cols() != net.segment_count() {
+            return Err(FieldError::SegmentMismatch {
+                tcm: estimate.cols(),
+                network: net.segment_count(),
+            });
+        }
+        if estimate.rows() != grid.num_slots() {
+            return Err(FieldError::SlotMismatch { tcm: estimate.rows(), grid: grid.num_slots() });
+        }
+        let mut speeds = Matrix::zeros(estimate.rows(), estimate.cols());
+        for (slot, segment, v) in estimate.iter() {
+            if !v.is_finite() {
+                return Err(FieldError::InvalidSpeed { slot, segment, value: v });
+            }
+            let cap = net.segment(SegmentId(segment as u32)).free_flow_kmh * 1.2;
+            speeds.set(slot, segment, v.clamp(MIN_FIELD_SPEED_KMH, cap));
+        }
+        Ok(Self { speeds, grid })
+    }
+
+    /// The slot grid the field is defined over.
+    pub fn grid(&self) -> &SlotGrid {
+        &self.grid
+    }
+
+    /// Speed (km/h) of `segment` at absolute time `t_s`; times outside
+    /// the grid clamp to the nearest covered slot.
+    pub fn speed_kmh(&self, segment: SegmentId, t_s: u64) -> f64 {
+        let slot = self.grid.slot_of(t_s).unwrap_or(if t_s < self.grid.start_s() {
+            0
+        } else {
+            self.grid.num_slots() - 1
+        });
+        self.speeds.get(slot, segment.index())
+    }
+
+    /// Time (seconds) to traverse `segment` departing its upstream end
+    /// at `t_s`, under the paper's within-slot-uniform assumption.
+    pub fn traversal_time_s(&self, net: &RoadNetwork, segment: SegmentId, t_s: u64) -> f64 {
+        let speed_ms = self.speed_kmh(segment, t_s) / 3.6;
+        net.segment(segment).length_m / speed_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probes::Granularity;
+    use roadnet::generator::{generate_grid_city, GridCityConfig};
+
+    fn setup() -> (RoadNetwork, SlotGrid) {
+        let net = generate_grid_city(&GridCityConfig::small_test());
+        let grid = SlotGrid::covering(0, 2 * 3600, Granularity::Min15);
+        (net, grid)
+    }
+
+    #[test]
+    fn valid_field_answers_queries() {
+        let (net, grid) = setup();
+        let tcm = Tcm::complete(Matrix::filled(8, net.segment_count(), 36.0));
+        let field = TravelTimeField::new(&net, tcm, grid).unwrap();
+        assert_eq!(field.speed_kmh(SegmentId(0), 100), 36.0);
+        // 200 m at 36 km/h (10 m/s) = 20 s.
+        let t = field.traversal_time_s(&net, SegmentId(0), 100);
+        assert!((t - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_window_clamps() {
+        let (net, grid) = setup();
+        let mut m = Matrix::filled(8, net.segment_count(), 30.0);
+        m.set_row(7, &vec![50.0; net.segment_count()]);
+        let field = TravelTimeField::new(&net, Tcm::complete(m), grid).unwrap();
+        assert_eq!(field.speed_kmh(SegmentId(0), 10 * 3600), 50.0); // past end
+    }
+
+    #[test]
+    fn rejects_incomplete_and_mismatched() {
+        let (net, grid) = setup();
+        let n = net.segment_count();
+        let wrong_cols = Tcm::complete(Matrix::filled(8, n + 1, 30.0));
+        assert!(matches!(
+            TravelTimeField::new(&net, wrong_cols, grid),
+            Err(FieldError::SegmentMismatch { .. })
+        ));
+        let wrong_rows = Tcm::complete(Matrix::filled(9, n, 30.0));
+        assert!(matches!(
+            TravelTimeField::new(&net, wrong_rows, grid),
+            Err(FieldError::SlotMismatch { .. })
+        ));
+        let mut mask = Matrix::filled(8, n, 1.0);
+        mask.set(0, 0, 0.0);
+        let incomplete = Tcm::complete(Matrix::filled(8, n, 30.0)).masked(&mask).unwrap();
+        assert!(matches!(
+            TravelTimeField::new(&net, incomplete, grid),
+            Err(FieldError::Incomplete { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_speeds() {
+        let (net, grid) = setup();
+        let mut m = Matrix::filled(8, net.segment_count(), 30.0);
+        m.set(2, 3, 0.0);
+        assert!(matches!(
+            TravelTimeField::new(&net, Tcm::complete(m), grid),
+            Err(FieldError::InvalidSpeed { slot: 2, segment: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn from_estimate_clamps() {
+        let (net, grid) = setup();
+        let n = net.segment_count();
+        let mut est = Matrix::filled(8, n, 30.0);
+        est.set(0, 0, -10.0); // nonsense estimate
+        est.set(0, 1, 500.0); // absurdly fast
+        let field = TravelTimeField::from_estimate(&net, &est, grid).unwrap();
+        assert_eq!(field.speed_kmh(SegmentId(0), 0), MIN_FIELD_SPEED_KMH);
+        let cap = net.segment(SegmentId(1)).free_flow_kmh * 1.2;
+        assert!((field.speed_kmh(SegmentId(1), 0) - cap).abs() < 1e-9);
+        // NaN still rejected.
+        est.set(0, 2, f64::NAN);
+        assert!(TravelTimeField::from_estimate(&net, &est, grid).is_err());
+    }
+}

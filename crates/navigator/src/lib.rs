@@ -1,0 +1,37 @@
+//! Application layer over recovered traffic condition matrices.
+//!
+//! The paper's introduction motivates traffic estimation with downstream
+//! tasks — "trip planning, traffic management, road engineering and
+//! infrastructure planning". This crate implements the first of those on
+//! top of the reproduction's estimates:
+//!
+//! * [`TravelTimeField`] — a time-dependent speed field over a road
+//!   network, backed by any complete (estimated or ground-truth) TCM;
+//! * [`planner`] — time-dependent fastest-path search and route
+//!   evaluation, so the quality of a traffic *estimate* can be measured
+//!   in the currency end users care about: trip time regret.
+//!
+//! # Example
+//!
+//! ```
+//! use navigator::{TravelTimeField, planner};
+//! use roadnet::generator::{generate_grid_city, GridCityConfig};
+//! use roadnet::NodeId;
+//! use probes::{Granularity, SlotGrid, Tcm};
+//! use linalg::Matrix;
+//!
+//! let net = generate_grid_city(&GridCityConfig::small_test());
+//! let grid = SlotGrid::covering(0, 3600, Granularity::Min15);
+//! // A flat 30 km/h field for the demo.
+//! let tcm = Tcm::complete(Matrix::filled(grid.num_slots(), net.segment_count(), 30.0));
+//! let field = TravelTimeField::new(&net, tcm, grid)?;
+//! let trip = planner::fastest_route(&net, &field, NodeId(0), NodeId(24), 0).unwrap();
+//! assert!(trip.travel_time_s > 0.0);
+//! # Ok::<(), navigator::FieldError>(())
+//! ```
+
+pub mod field;
+pub mod planner;
+
+pub use field::{FieldError, TravelTimeField};
+pub use planner::TimedRoute;

@@ -1,0 +1,309 @@
+//! Time-dependent fastest-path planning and route evaluation.
+//!
+//! Standard time-dependent Dijkstra under the FIFO assumption (a later
+//! departure never arrives earlier), which holds for any
+//! [`crate::TravelTimeField`] because within-slot speeds are constant
+//! and traversal times are positive.
+
+use crate::field::TravelTimeField;
+use roadnet::{NodeId, RoadNetwork, SegmentId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A planned trip under a time-dependent field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedRoute {
+    /// Segments in traversal order.
+    pub segments: Vec<SegmentId>,
+    /// Departure time, seconds.
+    pub depart_s: u64,
+    /// Total travel time, seconds.
+    pub travel_time_s: f64,
+}
+
+impl TimedRoute {
+    /// Arrival time, seconds.
+    pub fn arrival_s(&self) -> f64 {
+        self.depart_s as f64 + self.travel_time_s
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    arrival: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .arrival
+            .partial_cmp(&self.arrival)
+            .expect("arrival times are finite")
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Time-dependent fastest route from `from` to `to` departing at
+/// `depart_s`, or `None` when unreachable.
+pub fn fastest_route(
+    net: &RoadNetwork,
+    field: &TravelTimeField,
+    from: NodeId,
+    to: NodeId,
+    depart_s: u64,
+) -> Option<TimedRoute> {
+    if from == to {
+        return Some(TimedRoute { segments: Vec::new(), depart_s, travel_time_s: 0.0 });
+    }
+    let n = net.node_count();
+    let mut best_arrival = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<SegmentId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    best_arrival[from.index()] = depart_s as f64;
+    heap.push(HeapEntry { arrival: depart_s as f64, node: from });
+
+    while let Some(HeapEntry { arrival, node }) = heap.pop() {
+        if node == to {
+            break;
+        }
+        if arrival > best_arrival[node.index()] {
+            continue;
+        }
+        for &sid in net.outgoing(node) {
+            let seg = net.segment(sid);
+            let t = field.traversal_time_s(net, sid, arrival as u64);
+            let next_arrival = arrival + t;
+            if next_arrival < best_arrival[seg.to.index()] {
+                best_arrival[seg.to.index()] = next_arrival;
+                prev[seg.to.index()] = Some(sid);
+                heap.push(HeapEntry { arrival: next_arrival, node: seg.to });
+            }
+        }
+    }
+
+    if best_arrival[to.index()].is_infinite() {
+        return None;
+    }
+    let mut segments = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let sid = prev[cur.index()].expect("reachable node has predecessor");
+        segments.push(sid);
+        cur = net.segment(sid).from;
+    }
+    segments.reverse();
+    Some(TimedRoute {
+        segments,
+        depart_s,
+        travel_time_s: best_arrival[to.index()] - depart_s as f64,
+    })
+}
+
+/// Travel time (seconds) of a *given* segment sequence departing at
+/// `depart_s`, evaluated under `field`. Used to score a route planned on
+/// an estimated field against the ground-truth field.
+///
+/// # Panics
+///
+/// Panics when the segments do not form a connected path.
+pub fn route_travel_time(
+    net: &RoadNetwork,
+    field: &TravelTimeField,
+    segments: &[SegmentId],
+    depart_s: u64,
+) -> f64 {
+    let mut t = depart_s as f64;
+    let mut cur: Option<NodeId> = None;
+    for &sid in segments {
+        let seg = net.segment(sid);
+        if let Some(c) = cur {
+            assert_eq!(seg.from, c, "segments do not form a connected path");
+        }
+        t += field.traversal_time_s(net, sid, t as u64);
+        cur = Some(seg.to);
+    }
+    t - depart_s as f64
+}
+
+/// Relative regret of planning on `estimated` instead of `truth`:
+/// `(T(route_est) − T(route_opt)) / T(route_opt)`, both evaluated under
+/// the ground-truth field. Zero means the estimated field chose an
+/// equally fast route.
+///
+/// Returns `None` when the pair is unreachable.
+pub fn planning_regret(
+    net: &RoadNetwork,
+    truth: &TravelTimeField,
+    estimated: &TravelTimeField,
+    from: NodeId,
+    to: NodeId,
+    depart_s: u64,
+) -> Option<f64> {
+    let optimal = fastest_route(net, truth, from, to, depart_s)?;
+    let planned = fastest_route(net, estimated, from, to, depart_s)?;
+    let planned_true_time = route_travel_time(net, truth, &planned.segments, depart_s);
+    if optimal.travel_time_s <= 0.0 {
+        return Some(0.0);
+    }
+    Some((planned_true_time - optimal.travel_time_s) / optimal.travel_time_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Matrix;
+    use probes::{Granularity, SlotGrid, Tcm};
+    use roadnet::builder::RoadNetworkBuilder;
+    use roadnet::geometry::Point;
+    use roadnet::generator::{generate_grid_city, GridCityConfig};
+    use roadnet::RoadClass;
+
+    fn flat_field(net: &RoadNetwork, grid: SlotGrid, kmh: f64) -> TravelTimeField {
+        let tcm = Tcm::complete(Matrix::filled(grid.num_slots(), net.segment_count(), kmh));
+        TravelTimeField::new(net, tcm, grid).unwrap()
+    }
+
+    #[test]
+    fn flat_field_matches_static_shortest_path() {
+        let net = generate_grid_city(&GridCityConfig::small_test());
+        let grid = SlotGrid::covering(0, 3600, Granularity::Min60);
+        let field = flat_field(&net, grid, 36.0);
+        let timed = fastest_route(&net, &field, NodeId(0), NodeId(24), 0).unwrap();
+        // Under a flat field the geometry decides: 8 blocks of 200 m at
+        // 10 m/s = 160 s.
+        assert!((timed.travel_time_s - 160.0).abs() < 1e-6, "{}", timed.travel_time_s);
+        assert_eq!(timed.arrival_s(), timed.travel_time_s);
+        // Route is connected and correct.
+        assert_eq!(net.segment(timed.segments[0]).from, NodeId(0));
+        assert_eq!(net.segment(*timed.segments.last().unwrap()).to, NodeId(24));
+    }
+
+    /// Two-route network: direct (one segment) vs detour (two segments).
+    /// The direct road congests at "rush hour" (slot 1).
+    fn congestible() -> (RoadNetwork, SlotGrid, TravelTimeField) {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let mid = b.add_node(Point::new(500.0, 400.0));
+        let z = b.add_node(Point::new(1000.0, 0.0));
+        // Direct: 1000 m.
+        b.add_segment(a, z, RoadClass::Arterial, Some(60.0), false).unwrap(); // s0
+        // Detour: ~640 m + ~640 m.
+        b.add_segment(a, mid, RoadClass::Local, Some(40.0), false).unwrap(); // s1
+        b.add_segment(mid, z, RoadClass::Local, Some(40.0), false).unwrap(); // s2
+        let net = b.build().unwrap();
+        let grid = SlotGrid::covering(0, 2 * 900, Granularity::Min15);
+        // Slot 0: direct fast (60). Slot 1: direct jams to 10 km/h.
+        let mut speeds = Matrix::zeros(2, 3);
+        speeds.set_row(0, &[60.0, 40.0, 40.0]);
+        speeds.set_row(1, &[10.0, 40.0, 40.0]);
+        let field = TravelTimeField::new(&net, Tcm::complete(speeds), grid).unwrap();
+        (net, grid, field)
+    }
+
+    #[test]
+    fn planner_reacts_to_time_of_day() {
+        let (net, _, field) = congestible();
+        // Off-peak: the direct arterial wins.
+        let morning = fastest_route(&net, &field, NodeId(0), NodeId(2), 0).unwrap();
+        assert_eq!(morning.segments, vec![SegmentId(0)]);
+        // Rush hour: the detour wins (direct 1000 m at 10 km/h = 360 s;
+        // detour ≈ 2 × 640 m at 40 km/h ≈ 115 s).
+        let rush = fastest_route(&net, &field, NodeId(0), NodeId(2), 900).unwrap();
+        assert_eq!(rush.segments, vec![SegmentId(1), SegmentId(2)]);
+        assert!(rush.travel_time_s < 150.0);
+    }
+
+    #[test]
+    fn route_travel_time_consistent_with_planner() {
+        let (net, _, field) = congestible();
+        let trip = fastest_route(&net, &field, NodeId(0), NodeId(2), 900).unwrap();
+        let replay = route_travel_time(&net, &field, &trip.segments, 900);
+        assert!((replay - trip.travel_time_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regret_zero_when_fields_agree() {
+        let (net, _, field) = congestible();
+        let r = planning_regret(&net, &field, &field, NodeId(0), NodeId(2), 900).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn regret_positive_for_misleading_field() {
+        let (net, grid, truth) = congestible();
+        // A field that thinks the direct road is always fast.
+        let wrong = flat_field(&net, grid, 60.0);
+        let r = planning_regret(&net, &truth, &wrong, NodeId(0), NodeId(2), 900).unwrap();
+        // Misled onto the jammed direct road: ~360 s vs ~115 s optimal.
+        assert!(r > 1.0, "regret {r}");
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let (net, _, field) = congestible();
+        // Node 2 has no outgoing segments: 2 -> 0 is unreachable.
+        assert!(fastest_route(&net, &field, NodeId(2), NodeId(0), 0).is_none());
+        assert!(planning_regret(&net, &field, &field, NodeId(2), NodeId(0), 0).is_none());
+    }
+
+    #[test]
+    fn same_node_trivial() {
+        let (net, _, field) = congestible();
+        let trip = fastest_route(&net, &field, NodeId(1), NodeId(1), 0).unwrap();
+        assert!(trip.segments.is_empty());
+        assert_eq!(trip.travel_time_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected path")]
+    fn disconnected_replay_panics() {
+        let (net, _, field) = congestible();
+        route_travel_time(&net, &field, &[SegmentId(2), SegmentId(0)], 0);
+    }
+
+    #[test]
+    fn estimated_field_plans_nearly_optimal_routes() {
+        // The end-to-end payoff: complete a masked TCM, plan on the
+        // estimate, compare trip times under the truth.
+        use probes::mask::random_mask;
+        use rand::SeedableRng;
+        use traffic_sim::{GroundTruthConfig, GroundTruthModel};
+
+        let net = generate_grid_city(&GridCityConfig::small_test());
+        let grid = SlotGrid::covering(0, 86_400, Granularity::Min30);
+        let model = GroundTruthModel::generate(&net, grid, &GroundTruthConfig::default());
+        let truth_tcm = model.tcm();
+        let truth_field = TravelTimeField::new(&net, truth_tcm.clone(), grid).unwrap();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mask = random_mask(truth_tcm.num_slots(), truth_tcm.num_segments(), 0.3, &mut rng);
+        let observed = truth_tcm.masked(&mask).unwrap();
+        let cfg = traffic_cs::cs::CsConfig { rank: 2, lambda: 0.5, ..Default::default() };
+        let est = traffic_cs::cs::complete_matrix(&observed, &cfg).unwrap();
+        let est_field = TravelTimeField::from_estimate(&net, &est, grid).unwrap();
+
+        let mut total_regret = 0.0;
+        let mut trips = 0;
+        for (from, to, depart) in [(0u32, 24u32, 8 * 3600u64), (4, 20, 18 * 3600), (2, 22, 12 * 3600)] {
+            if let Some(r) =
+                planning_regret(&net, &truth_field, &est_field, NodeId(from), NodeId(to), depart)
+            {
+                assert!(r >= -1e-9, "regret cannot be negative: {r}");
+                total_regret += r;
+                trips += 1;
+            }
+        }
+        assert!(trips > 0);
+        let mean = total_regret / trips as f64;
+        assert!(mean < 0.15, "mean planning regret {mean}");
+    }
+}

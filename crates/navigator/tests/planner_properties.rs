@@ -1,0 +1,76 @@
+//! Property tests of the time-dependent planner's contracts.
+
+use linalg::Matrix;
+use navigator::{planner, TravelTimeField};
+use probes::{Granularity, SlotGrid, Tcm};
+use proptest::prelude::*;
+use roadnet::generator::{generate_grid_city, GridCityConfig};
+use roadnet::NodeId;
+
+fn setup(seed: u64) -> (roadnet::RoadNetwork, TravelTimeField) {
+    let mut cfg = GridCityConfig::small_test();
+    cfg.seed = seed;
+    let net = generate_grid_city(&cfg);
+    let grid = SlotGrid::covering(0, 24 * 3600, Granularity::Min60);
+    // Time-varying speeds per segment: deterministic pseudo-random but
+    // bounded, so the FIFO property holds within each slot.
+    let speeds = Matrix::from_fn(grid.num_slots(), net.segment_count(), |t, s| {
+        20.0 + ((t * 31 + s * 17 + seed as usize) % 30) as f64
+    });
+    let field = TravelTimeField::new(&net, Tcm::complete(speeds), grid).unwrap();
+    (net, field)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A planned route's replayed travel time equals the planner's claim,
+    /// and it never beats any alternative the planner could have chosen.
+    #[test]
+    fn planner_claims_are_replayable(seed in 0u64..1000, od in 0usize..600, depart_h in 0u64..24) {
+        let (net, field) = setup(seed);
+        let n = net.node_count();
+        let from = NodeId((od % n) as u32);
+        let to = NodeId(((od * 13 + 5) % n) as u32);
+        let depart = depart_h * 3600;
+        let route = planner::fastest_route(&net, &field, from, to, depart).unwrap();
+        if from == to {
+            prop_assert_eq!(route.travel_time_s, 0.0);
+            return Ok(());
+        }
+        let replay = planner::route_travel_time(&net, &field, &route.segments, depart);
+        prop_assert!((replay - route.travel_time_s).abs() < 1e-9);
+        prop_assert!(route.travel_time_s > 0.0);
+        prop_assert!(route.arrival_s() >= depart as f64);
+    }
+
+    /// Optimality spot-check: the planner's route is no slower than the
+    /// static free-flow shortest path replayed under the field.
+    #[test]
+    fn beats_or_matches_static_route(seed in 0u64..1000, od in 0usize..600) {
+        let (net, field) = setup(seed);
+        let n = net.node_count();
+        let from = NodeId((od % n) as u32);
+        let to = NodeId(((od * 7 + 3) % n) as u32);
+        prop_assume!(from != to);
+        let depart = 8 * 3600;
+        let dynamic = planner::fastest_route(&net, &field, from, to, depart).unwrap();
+        let static_route = roadnet::routing::shortest_path(&net, from, to).unwrap();
+        let static_replay =
+            planner::route_travel_time(&net, &field, &static_route.segments, depart);
+        prop_assert!(dynamic.travel_time_s <= static_replay + 1e-9,
+            "dynamic {} > static {}", dynamic.travel_time_s, static_replay);
+    }
+
+    /// Regret of planning on the truth itself is always zero.
+    #[test]
+    fn self_regret_is_zero(seed in 0u64..1000, od in 0usize..600) {
+        let (net, field) = setup(seed);
+        let n = net.node_count();
+        let from = NodeId((od % n) as u32);
+        let to = NodeId(((od * 11 + 1) % n) as u32);
+        prop_assume!(from != to);
+        let r = planner::planning_regret(&net, &field, &field, from, to, 12 * 3600).unwrap();
+        prop_assert!(r.abs() < 1e-9, "self-regret {}", r);
+    }
+}

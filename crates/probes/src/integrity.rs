@@ -1,0 +1,123 @@
+//! Integrity metrics (Definition 4) and their marginals.
+//!
+//! The paper quantifies the missing-data problem with the *integrity* of a
+//! measurement matrix — the fraction of observed entries — studied three
+//! ways: overall (Table 1), per road segment across time (Fig. 2), and
+//! per time slot across roads (Fig. 3).
+
+use crate::tcm::Tcm;
+use linalg::stats::{empirical_cdf, CdfPoint};
+
+/// Overall integrity `sum(B) / size(B)` of a TCM (Definition 4).
+pub fn overall(tcm: &Tcm) -> f64 {
+    tcm.integrity()
+}
+
+/// Per-road integrity: for each segment column, the fraction of time
+/// slots with at least one observation. Fig. 2 plots the CDF of these.
+pub fn per_road(tcm: &Tcm) -> Vec<f64> {
+    let m = tcm.num_slots() as f64;
+    (0..tcm.num_segments())
+        .map(|c| tcm.indicator().col(c).iter().sum::<f64>() / m)
+        .collect()
+}
+
+/// Per-slot integrity: for each time-slot row, the fraction of segments
+/// observed in that slot. Fig. 3 plots the CDF of these.
+pub fn per_slot(tcm: &Tcm) -> Vec<f64> {
+    let n = tcm.num_segments() as f64;
+    (0..tcm.num_slots())
+        .map(|r| tcm.indicator().row(r).iter().sum::<f64>() / n)
+        .collect()
+}
+
+/// Empirical CDF of per-road integrities (the curve of Fig. 2).
+pub fn road_integrity_cdf(tcm: &Tcm) -> Vec<CdfPoint> {
+    empirical_cdf(&per_road(tcm))
+}
+
+/// Empirical CDF of per-slot integrities (the curve of Fig. 3).
+pub fn slot_integrity_cdf(tcm: &Tcm) -> Vec<CdfPoint> {
+    empirical_cdf(&per_slot(tcm))
+}
+
+/// Fraction of roads whose integrity is below `threshold` — the summary
+/// statistic the paper reads off Fig. 2 ("nearly 95% of roads have an
+/// integrity of less than 60%").
+pub fn fraction_of_roads_below(tcm: &Tcm, threshold: f64) -> f64 {
+    let roads = per_road(tcm);
+    if roads.is_empty() {
+        return 0.0;
+    }
+    roads.iter().filter(|&&x| x < threshold).count() as f64 / roads.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Matrix;
+
+    fn tcm_with_indicator(ind: Matrix) -> Tcm {
+        let values = Matrix::filled(ind.rows(), ind.cols(), 30.0);
+        Tcm::new(values, ind).unwrap()
+    }
+
+    #[test]
+    fn overall_matches_definition() {
+        let ind = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 0.0, 1.0]]);
+        let tcm = tcm_with_indicator(ind);
+        assert!((overall(&tcm) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_road_marginals() {
+        let ind = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[1.0, 0.0, 0.0]]);
+        let tcm = tcm_with_indicator(ind);
+        assert_eq!(per_road(&tcm), vec![1.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn per_slot_marginals() {
+        let ind = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[1.0, 0.0, 0.0]]);
+        let tcm = tcm_with_indicator(ind);
+        let slots = per_slot(&tcm);
+        assert!((slots[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((slots[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_average_to_overall() {
+        // mean(per_road) == mean(per_slot) == overall integrity.
+        let ind = Matrix::from_fn(6, 5, |r, c| if (r * 5 + c) % 3 == 0 { 1.0 } else { 0.0 });
+        let tcm = tcm_with_indicator(ind);
+        let roads = per_road(&tcm);
+        let slots = per_slot(&tcm);
+        let road_mean = roads.iter().sum::<f64>() / roads.len() as f64;
+        let slot_mean = slots.iter().sum::<f64>() / slots.len() as f64;
+        assert!((road_mean - overall(&tcm)).abs() < 1e-12);
+        assert!((slot_mean - overall(&tcm)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdfs_are_monotone_and_end_at_one() {
+        let ind = Matrix::from_fn(10, 8, |r, c| if (r + c) % 4 == 0 { 1.0 } else { 0.0 });
+        let tcm = tcm_with_indicator(ind);
+        for cdf in [road_integrity_cdf(&tcm), slot_integrity_cdf(&tcm)] {
+            assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
+            for w in cdf.windows(2) {
+                assert!(w[0].value <= w[1].value);
+                assert!(w[0].fraction <= w[1].fraction);
+            }
+        }
+    }
+
+    #[test]
+    fn fraction_below_threshold() {
+        let ind = Matrix::from_rows(&[&[1.0, 0.0, 1.0, 1.0], &[1.0, 0.0, 0.0, 1.0]]);
+        let tcm = tcm_with_indicator(ind);
+        // Road integrities: [1.0, 0.0, 0.5, 1.0].
+        assert!((fraction_of_roads_below(&tcm, 0.6) - 0.5).abs() < 1e-12);
+        assert_eq!(fraction_of_roads_below(&tcm, 0.01), 0.25);
+        assert_eq!(fraction_of_roads_below(&tcm, 2.0), 1.0);
+    }
+}

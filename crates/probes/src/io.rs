@@ -1,0 +1,275 @@
+//! CSV interchange for probe reports and traffic condition matrices.
+//!
+//! Real deployments receive probe data as flat record streams; this
+//! module reads/writes the reproduction's [`ProbeReport`] in a plain CSV
+//! form so the CLI (and downstream users) can run the pipeline on their
+//! own data, and serializes TCMs for inspection in external tools.
+//!
+//! Report CSV columns:
+//!
+//! ```text
+//! vehicle,x,y,speed_kmh,heading_x,heading_y,timestamp_s
+//! 17,1204.5,880.2,33.4,0.99,0.05,3600
+//! ```
+
+use crate::report::{ProbeReport, VehicleId};
+use crate::tcm::Tcm;
+use roadnet::geometry::Point;
+use std::io::{BufRead, Write};
+
+/// Error reading probe CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed record with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Header line written/expected for report CSVs.
+pub const REPORT_HEADER: &str = "vehicle,x,y,speed_kmh,heading_x,heading_y,timestamp_s";
+
+/// Writes reports as CSV (with header).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_reports<W: Write>(reports: &[ProbeReport], mut w: W) -> std::io::Result<()> {
+    writeln!(w, "{REPORT_HEADER}")?;
+    for r in reports {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{}",
+            r.vehicle.0, r.position.x, r.position.y, r.speed_kmh, r.heading.0, r.heading.1, r.timestamp_s
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads reports from CSV; the header line is required, blank lines and
+/// `#` comments are skipped.
+///
+/// # Errors
+///
+/// See [`CsvError`]. Records that would violate [`ProbeReport`]'s
+/// invariants (negative speeds, non-finite values) are parse errors, not
+/// panics.
+pub fn read_reports<R: BufRead>(r: R) -> Result<Vec<ProbeReport>, CsvError> {
+    let mut out = Vec::new();
+    let mut saw_header = false;
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if line != REPORT_HEADER {
+                return Err(CsvError::Parse {
+                    line: line_no,
+                    msg: format!("expected header '{REPORT_HEADER}'"),
+                });
+            }
+            saw_header = true;
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').map(str::trim).collect();
+        if f.len() != 7 {
+            return Err(CsvError::Parse { line: line_no, msg: format!("expected 7 fields, got {}", f.len()) });
+        }
+        let err = |what: &str, e: String| CsvError::Parse { line: line_no, msg: format!("bad {what}: {e}") };
+        let vehicle: u32 = f[0].parse().map_err(|e: std::num::ParseIntError| err("vehicle", e.to_string()))?;
+        let x: f64 = f[1].parse().map_err(|e: std::num::ParseFloatError| err("x", e.to_string()))?;
+        let y: f64 = f[2].parse().map_err(|e: std::num::ParseFloatError| err("y", e.to_string()))?;
+        let speed: f64 = f[3].parse().map_err(|e: std::num::ParseFloatError| err("speed", e.to_string()))?;
+        let hx: f64 = f[4].parse().map_err(|e: std::num::ParseFloatError| err("heading_x", e.to_string()))?;
+        let hy: f64 = f[5].parse().map_err(|e: std::num::ParseFloatError| err("heading_y", e.to_string()))?;
+        let ts: u64 = f[6].parse().map_err(|e: std::num::ParseIntError| err("timestamp", e.to_string()))?;
+        if !speed.is_finite() || speed < -1.0 {
+            return Err(err("speed", format!("{speed} out of range")));
+        }
+        if !(hx.is_finite() && hy.is_finite() && x.is_finite() && y.is_finite()) {
+            return Err(err("coordinates", "non-finite value".into()));
+        }
+        out.push(ProbeReport::with_heading(VehicleId(vehicle), Point::new(x, y), speed, (hx, hy), ts));
+    }
+    if !saw_header {
+        return Err(CsvError::Parse { line: 0, msg: "empty file (missing header)".into() });
+    }
+    Ok(out)
+}
+
+/// Writes a TCM as CSV: one row per time slot, one column per segment;
+/// missing cells are empty fields.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_tcm<W: Write>(tcm: &Tcm, mut w: W) -> std::io::Result<()> {
+    let headers: Vec<String> = (0..tcm.num_segments()).map(|c| format!("s{c}")).collect();
+    writeln!(w, "slot,{}", headers.join(","))?;
+    for t in 0..tcm.num_slots() {
+        let cells: Vec<String> = (0..tcm.num_segments())
+            .map(|c| tcm.get(t, c).map_or(String::new(), |v| format!("{v}")))
+            .collect();
+        writeln!(w, "{t},{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Reads a TCM written by [`write_tcm`] (empty fields = missing).
+///
+/// # Errors
+///
+/// See [`CsvError`].
+pub fn read_tcm<R: BufRead>(r: R) -> Result<Tcm, CsvError> {
+    let mut rows: Vec<Vec<Option<f64>>> = Vec::new();
+    let mut n_cols: Option<usize> = None;
+    let mut saw_header = false;
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            saw_header = true; // header carries only labels
+            n_cols = Some(line.split(',').count().saturating_sub(1));
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let expected = n_cols.expect("header seen") + 1;
+        if fields.len() != expected {
+            return Err(CsvError::Parse {
+                line: line_no,
+                msg: format!("expected {expected} fields, got {}", fields.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len() - 1);
+        for f in &fields[1..] {
+            if f.is_empty() {
+                row.push(None);
+            } else {
+                let v: f64 = f.parse().map_err(|e: std::num::ParseFloatError| CsvError::Parse {
+                    line: line_no,
+                    msg: format!("bad value '{f}': {e}"),
+                })?;
+                row.push(Some(v));
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Parse { line: 0, msg: "no data rows".into() });
+    }
+    let m = rows.len();
+    let n = rows[0].len();
+    let mut values = linalg::Matrix::zeros(m, n);
+    let mut indicator = linalg::Matrix::zeros(m, n);
+    for (t, row) in rows.iter().enumerate() {
+        for (c, cell) in row.iter().enumerate() {
+            if let Some(v) = cell {
+                values.set(t, c, *v);
+                indicator.set(t, c, 1.0);
+            }
+        }
+    }
+    Tcm::new(values, indicator)
+        .map_err(|e| CsvError::Parse { line: 0, msg: format!("invalid TCM: {e}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Matrix;
+
+    fn sample_reports() -> Vec<ProbeReport> {
+        vec![
+            ProbeReport::with_heading(VehicleId(1), Point::new(10.5, -3.25), 42.0, (1.0, 0.0), 30),
+            ProbeReport::with_heading(VehicleId(2), Point::new(0.0, 99.0), 0.0, (0.6, -0.8), 61),
+            ProbeReport::new(VehicleId(3), Point::new(5.0, 5.0), 12.5, 120),
+        ]
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let reports = sample_reports();
+        let mut buf = Vec::new();
+        write_reports(&reports, &mut buf).unwrap();
+        let back = read_reports(std::io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back, reports);
+    }
+
+    #[test]
+    fn report_parse_errors() {
+        let no_header = "1,2,3,4,5,6,7\n";
+        assert!(read_reports(std::io::BufReader::new(no_header.as_bytes())).is_err());
+        let short = format!("{REPORT_HEADER}\n1,2,3\n");
+        match read_reports(std::io::BufReader::new(short.as_bytes())) {
+            Err(CsvError::Parse { line: 2, msg }) => assert!(msg.contains("7 fields")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad_speed = format!("{REPORT_HEADER}\n1,0,0,-99,1,0,5\n");
+        assert!(read_reports(std::io::BufReader::new(bad_speed.as_bytes())).is_err());
+        let nan = format!("{REPORT_HEADER}\n1,0,0,NaN,1,0,5\n");
+        assert!(read_reports(std::io::BufReader::new(nan.as_bytes())).is_err());
+        let empty = "";
+        assert!(read_reports(std::io::BufReader::new(empty.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = format!("# probe dump\n\n{REPORT_HEADER}\n# one record\n7,1,2,30,0,1,9\n");
+        let reports = read_reports(std::io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].vehicle, VehicleId(7));
+        assert_eq!(reports[0].heading, (0.0, 1.0));
+    }
+
+    #[test]
+    fn tcm_round_trip_with_missing() {
+        let values = Matrix::from_rows(&[&[30.0, 0.0, 45.5], &[0.0, 20.25, 0.0]]);
+        let ind = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
+        let tcm = Tcm::new(values, ind).unwrap();
+        let mut buf = Vec::new();
+        write_tcm(&tcm, &mut buf).unwrap();
+        let back = read_tcm(std::io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back, tcm);
+    }
+
+    #[test]
+    fn tcm_parse_errors() {
+        assert!(read_tcm(std::io::BufReader::new("".as_bytes())).is_err());
+        let ragged = "slot,s0,s1\n0,1.0\n";
+        assert!(matches!(
+            read_tcm(std::io::BufReader::new(ragged.as_bytes())),
+            Err(CsvError::Parse { line: 2, .. })
+        ));
+        let bad = "slot,s0\n0,abc\n";
+        assert!(read_tcm(std::io::BufReader::new(bad.as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Probe-data processing substrate.
+//!
+//! Takes the raw probe reports produced by a fleet of GPS vehicles (real
+//! or simulated) and turns them into the paper's central data structure:
+//! the **traffic condition matrix** (TCM), `X ∈ R^{m×n}` with one row per
+//! time slot and one column per road segment, where entry `x_{t,r}` is the
+//! average probe speed observed on segment `r` during slot `t`
+//! (Definition 1 of the paper).
+//!
+//! Modules:
+//!
+//! * [`report`] — the probe data record: vehicle id, position, speed,
+//!   timestamp (Section 2.1).
+//! * [`slotting`] — the time-slot grid and the 15/30/60-minute
+//!   granularities of the evaluation.
+//! * [`tcm`] — TCM assembly from matched reports, and the [`Tcm`] type
+//!   bundling values with the indicator matrix `B`.
+//! * [`mask`] — random element discarding used by the experiments to
+//!   sweep integrity (Section 4.1).
+//! * [`integrity`] — the integrity metric (Definition 4) and its per-road
+//!   / per-slot marginals (Figs. 2 and 3).
+
+pub mod integrity;
+pub mod io;
+pub mod mask;
+pub mod report;
+pub mod slotting;
+pub mod stream;
+pub mod tcm;
+
+pub use report::{ProbeReport, VehicleId};
+pub use slotting::{Granularity, SlotGrid};
+pub use tcm::{Tcm, TcmBuilder, TcmError};

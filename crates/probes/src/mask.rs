@@ -1,0 +1,174 @@
+//! Random masking used by the experiments.
+//!
+//! Section 4.1: "When performing experiments, we randomly discard some
+//! elements to form measurement matrices." These helpers produce 0/1
+//! indicator matrices at a target integrity, plus a structured variant
+//! with uneven per-segment coverage for stress tests (real probe masks
+//! are spatially uneven, Figs. 2–3).
+
+use linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+
+/// A 0/1 indicator matrix with *exactly* `round(integrity · m · n)` ones,
+/// placed uniformly at random — the experiment methodology of Section 4.1.
+///
+/// # Panics
+///
+/// Panics when `integrity` is outside `[0, 1]`.
+pub fn random_mask<R: RngExt + ?Sized>(rows: usize, cols: usize, integrity: f64, rng: &mut R) -> Matrix {
+    assert!((0.0..=1.0).contains(&integrity), "integrity must be in [0,1], got {integrity}");
+    let total = rows * cols;
+    let keep = ((integrity * total as f64).round() as usize).min(total);
+    let mut positions: Vec<usize> = (0..total).collect();
+    positions.shuffle(rng);
+    let mut mask = Matrix::zeros(rows, cols);
+    for &p in positions.iter().take(keep) {
+        mask.set(p / cols, p % cols, 1.0);
+    }
+    mask
+}
+
+/// A mask whose per-column (per-road) integrity varies: column `c` keeps
+/// entries with probability drawn from `[lo, hi]`. Mimics the uneven
+/// spatial coverage of real probe fleets (arterials well covered, side
+/// streets barely).
+///
+/// # Panics
+///
+/// Panics unless `0 <= lo <= hi <= 1`.
+pub fn uneven_column_mask<R: RngExt + ?Sized>(
+    rows: usize,
+    cols: usize,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) -> Matrix {
+    assert!(0.0 <= lo && lo <= hi && hi <= 1.0, "need 0 <= lo <= hi <= 1");
+    let mut mask = Matrix::zeros(rows, cols);
+    for c in 0..cols {
+        let p = if lo == hi { lo } else { rng.random_range(lo..=hi) };
+        for r in 0..rows {
+            if rng.random_range(0.0..1.0) < p {
+                mask.set(r, c, 1.0);
+            }
+        }
+    }
+    mask
+}
+
+/// Subsamples an existing indicator down to `target_integrity` of the
+/// *total* matrix size by randomly discarding observed entries. If the
+/// indicator already has fewer ones than the target, it is returned
+/// unchanged (you cannot invent observations).
+///
+/// # Panics
+///
+/// Panics when `target_integrity` is outside `[0, 1]`.
+pub fn subsample_indicator<R: RngExt + ?Sized>(
+    indicator: &Matrix,
+    target_integrity: f64,
+    rng: &mut R,
+) -> Matrix {
+    assert!((0.0..=1.0).contains(&target_integrity), "integrity must be in [0,1]");
+    let total = indicator.len();
+    let target_ones = (target_integrity * total as f64).round() as usize;
+    let mut ones: Vec<(usize, usize)> =
+        indicator.iter().filter(|&(_, _, v)| v == 1.0).map(|(r, c, _)| (r, c)).collect();
+    if ones.len() <= target_ones {
+        return indicator.clone();
+    }
+    ones.shuffle(rng);
+    let mut out = Matrix::zeros(indicator.rows(), indicator.cols());
+    for &(r, c) in ones.iter().take(target_ones) {
+        out.set(r, c, 1.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_mask_exact_count() {
+        let mut r = rng(1);
+        for integrity in [0.0, 0.2, 0.5, 0.95, 1.0] {
+            let m = random_mask(20, 30, integrity, &mut r);
+            let expected = (integrity * 600.0).round();
+            assert_eq!(m.sum(), expected, "integrity {integrity}");
+        }
+    }
+
+    #[test]
+    fn random_mask_is_binary() {
+        let mut r = rng(2);
+        let m = random_mask(10, 10, 0.3, &mut r);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn random_mask_varies_with_seed() {
+        let a = random_mask(10, 10, 0.5, &mut rng(3));
+        let b = random_mask(10, 10, 0.5, &mut rng(4));
+        assert_ne!(a, b);
+        // Deterministic per seed.
+        let a2 = random_mask(10, 10, 0.5, &mut rng(3));
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    #[should_panic(expected = "integrity must be in")]
+    fn random_mask_rejects_bad_integrity() {
+        random_mask(2, 2, 1.5, &mut rng(0));
+    }
+
+    #[test]
+    fn uneven_mask_column_variation() {
+        let mut r = rng(5);
+        let m = uneven_column_mask(200, 20, 0.05, 0.9, &mut r);
+        let per_col: Vec<f64> = (0..20).map(|c| m.col(c).iter().sum::<f64>() / 200.0).collect();
+        let min = per_col.iter().cloned().fold(1.0, f64::min);
+        let max = per_col.iter().cloned().fold(0.0, f64::max);
+        // With p drawn over [0.05, 0.9] the spread must be substantial.
+        assert!(max - min > 0.3, "spread {min}..{max}");
+        assert!(m.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn uneven_mask_equal_bounds() {
+        let mut r = rng(6);
+        let m = uneven_column_mask(500, 4, 0.5, 0.5, &mut r);
+        let frac = m.sum() / 2000.0;
+        assert!((frac - 0.5).abs() < 0.08, "fraction {frac}");
+    }
+
+    #[test]
+    fn subsample_reduces_to_target() {
+        let mut r = rng(7);
+        let full = Matrix::filled(10, 10, 1.0);
+        let sub = subsample_indicator(&full, 0.25, &mut r);
+        assert_eq!(sub.sum(), 25.0);
+        // Subsample below available ones: unchanged.
+        let sparse = random_mask(10, 10, 0.1, &mut r);
+        let same = subsample_indicator(&sparse, 0.5, &mut r);
+        assert_eq!(same, sparse);
+    }
+
+    #[test]
+    fn subsample_only_removes() {
+        let mut r = rng(8);
+        let base = random_mask(15, 15, 0.6, &mut r);
+        let sub = subsample_indicator(&base, 0.3, &mut r);
+        for (row, c, v) in sub.iter() {
+            if v == 1.0 {
+                assert_eq!(base.get(row, c), 1.0, "subsample invented an observation");
+            }
+        }
+    }
+}

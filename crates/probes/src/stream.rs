@@ -1,0 +1,275 @@
+//! Sliding-window streaming TCM maintenance.
+//!
+//! The paper's algorithm is offline; its Section 6 lists extension "to
+//! support processing of online streaming probe data" as future work.
+//! This module provides the data-plane half of that extension: a
+//! [`StreamingTcm`] ingests probe observations as they arrive and
+//! maintains the traffic condition matrix over a sliding window of the
+//! most recent time slots, evicting old slots in O(columns). The
+//! estimation half (warm-started completion per window) lives in
+//! `traffic_cs::online`.
+
+use crate::tcm::{Tcm, TcmError};
+use linalg::Matrix;
+
+/// A sliding window of per-slot probe accumulators.
+///
+/// Slots are indexed on an absolute grid: slot `k` covers
+/// `[start_s + k·slot_len, start_s + (k+1)·slot_len)`. The window always
+/// covers the `window_slots` consecutive slots ending at the most recent
+/// slot that has received an observation (or been advanced to).
+///
+/// # Example
+///
+/// ```
+/// use probes::stream::StreamingTcm;
+///
+/// let mut s = StreamingTcm::new(0, 900, 4, 3); // 4-slot window, 3 segments
+/// s.observe(100, 1, 30.0)?;   // slot 0
+/// s.observe(1000, 1, 34.0)?;  // slot 1
+/// let tcm = s.snapshot();
+/// assert_eq!(tcm.num_slots(), 4);
+/// assert_eq!(tcm.get(1, 1), Some(34.0));
+/// # Ok::<(), probes::TcmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingTcm {
+    start_s: u64,
+    slot_len_s: u64,
+    window_slots: usize,
+    num_segments: usize,
+    /// Absolute index of the newest slot in the window.
+    head_slot: usize,
+    /// Ring buffer rows, oldest first: `rows[0]` is slot
+    /// `head_slot + 1 - window_slots`.
+    sums: std::collections::VecDeque<Vec<f64>>,
+    counts: std::collections::VecDeque<Vec<f64>>,
+    /// Observations discarded because they were older than the window.
+    dropped_late: u64,
+}
+
+impl StreamingTcm {
+    /// Creates an empty window positioned at slot 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero.
+    pub fn new(start_s: u64, slot_len_s: u64, window_slots: usize, num_segments: usize) -> Self {
+        assert!(slot_len_s > 0, "slot length must be positive");
+        assert!(window_slots > 0, "window must hold at least one slot");
+        assert!(num_segments > 0, "need at least one segment");
+        let mut sums = std::collections::VecDeque::with_capacity(window_slots);
+        let mut counts = std::collections::VecDeque::with_capacity(window_slots);
+        for _ in 0..window_slots {
+            sums.push_back(vec![0.0; num_segments]);
+            counts.push_back(vec![0.0; num_segments]);
+        }
+        Self {
+            start_s,
+            slot_len_s,
+            window_slots,
+            num_segments,
+            head_slot: window_slots - 1,
+            sums,
+            counts,
+            dropped_late: 0,
+        }
+    }
+
+    /// Absolute slot index of a timestamp, or `None` before the grid
+    /// start.
+    pub fn slot_of(&self, timestamp_s: u64) -> Option<usize> {
+        timestamp_s
+            .checked_sub(self.start_s)
+            .map(|d| (d / self.slot_len_s) as usize)
+    }
+
+    /// Absolute index of the newest slot currently covered.
+    pub fn head_slot(&self) -> usize {
+        self.head_slot
+    }
+
+    /// Absolute index of the oldest slot currently covered.
+    pub fn tail_slot(&self) -> usize {
+        self.head_slot + 1 - self.window_slots
+    }
+
+    /// Number of observations dropped for arriving after their slot left
+    /// the window.
+    pub fn dropped_late(&self) -> u64 {
+        self.dropped_late
+    }
+
+    /// Slides the window forward so it covers `slot` (no-op when `slot`
+    /// is already covered). Evicted slots are gone for good.
+    pub fn advance_to_slot(&mut self, slot: usize) {
+        while self.head_slot < slot {
+            self.sums.pop_front();
+            self.counts.pop_front();
+            self.sums.push_back(vec![0.0; self.num_segments]);
+            self.counts.push_back(vec![0.0; self.num_segments]);
+            self.head_slot += 1;
+        }
+    }
+
+    /// Ingests one probe observation. Advances the window if the
+    /// observation is newer than the current head; silently counts (and
+    /// drops) observations older than the window, as a real streaming
+    /// pipeline must.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range segment columns and invalid speeds.
+    pub fn observe(&mut self, timestamp_s: u64, segment: usize, speed_kmh: f64) -> Result<(), TcmError> {
+        if segment >= self.num_segments {
+            return Err(TcmError::OutOfBounds { slot: 0, col: segment });
+        }
+        if !speed_kmh.is_finite() || speed_kmh < 0.0 {
+            return Err(TcmError::InvalidSpeed(speed_kmh));
+        }
+        let Some(slot) = self.slot_of(timestamp_s) else {
+            self.dropped_late += 1;
+            return Ok(());
+        };
+        if slot > self.head_slot {
+            self.advance_to_slot(slot);
+        }
+        if slot < self.tail_slot() {
+            self.dropped_late += 1;
+            return Ok(());
+        }
+        let row = slot - self.tail_slot();
+        self.sums[row][segment] += speed_kmh;
+        self.counts[row][segment] += 1.0;
+        Ok(())
+    }
+
+    /// Materializes the current window as a [`Tcm`] (row 0 = oldest slot
+    /// in the window).
+    pub fn snapshot(&self) -> Tcm {
+        let (tcm, _) = self.snapshot_with_counts();
+        tcm
+    }
+
+    /// Like [`StreamingTcm::snapshot`], also returning per-cell probe
+    /// counts.
+    pub fn snapshot_with_counts(&self) -> (Tcm, Matrix) {
+        let m = self.window_slots;
+        let n = self.num_segments;
+        let mut values = Matrix::zeros(m, n);
+        let mut indicator = Matrix::zeros(m, n);
+        let mut counts = Matrix::zeros(m, n);
+        for r in 0..m {
+            for c in 0..n {
+                let cnt = self.counts[r][c];
+                counts.set(r, c, cnt);
+                if cnt > 0.0 {
+                    values.set(r, c, self.sums[r][c] / cnt);
+                    indicator.set(r, c, 1.0);
+                }
+            }
+        }
+        (Tcm::new(values, indicator).expect("indicator is 0/1 by construction"), counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_right_slots() {
+        let mut s = StreamingTcm::new(0, 60, 5, 2);
+        s.observe(0, 0, 10.0).unwrap();
+        s.observe(59, 0, 20.0).unwrap(); // same slot -> averaged
+        s.observe(60, 1, 30.0).unwrap();
+        let tcm = s.snapshot();
+        assert_eq!(tcm.get(0, 0), Some(15.0));
+        assert_eq!(tcm.get(1, 1), Some(30.0));
+        assert_eq!(tcm.observed_count(), 2);
+    }
+
+    #[test]
+    fn window_slides_and_evicts() {
+        let mut s = StreamingTcm::new(0, 60, 3, 1);
+        s.observe(0, 0, 10.0).unwrap(); // slot 0
+        s.observe(130, 0, 20.0).unwrap(); // slot 2 (head)
+        assert_eq!(s.tail_slot(), 0);
+        // Jump to slot 5: slots 0..=2 evicted; window now 3..=5.
+        s.observe(330, 0, 30.0).unwrap();
+        assert_eq!(s.head_slot(), 5);
+        assert_eq!(s.tail_slot(), 3);
+        let tcm = s.snapshot();
+        assert_eq!(tcm.observed_count(), 1);
+        assert_eq!(tcm.get(2, 0), Some(30.0));
+    }
+
+    #[test]
+    fn late_observations_counted_and_dropped() {
+        let mut s = StreamingTcm::new(600, 60, 2, 1);
+        // Before grid start.
+        s.observe(0, 0, 10.0).unwrap();
+        assert_eq!(s.dropped_late(), 1);
+        // Advance far, then send something that fell out of the window.
+        s.observe(600 + 10 * 60, 0, 20.0).unwrap();
+        s.observe(600, 0, 30.0).unwrap(); // slot 0, long evicted
+        assert_eq!(s.dropped_late(), 2);
+        assert_eq!(s.snapshot().observed_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_counts_match() {
+        let mut s = StreamingTcm::new(0, 60, 2, 2);
+        s.observe(0, 1, 10.0).unwrap();
+        s.observe(1, 1, 20.0).unwrap();
+        s.observe(2, 1, 30.0).unwrap();
+        let (tcm, counts) = s.snapshot_with_counts();
+        assert_eq!(counts.get(0, 1), 3.0);
+        assert_eq!(tcm.get(0, 1), Some(20.0));
+        assert_eq!(counts.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut s = StreamingTcm::new(0, 60, 2, 2);
+        assert!(matches!(s.observe(0, 5, 10.0), Err(TcmError::OutOfBounds { .. })));
+        assert!(matches!(s.observe(0, 0, -3.0), Err(TcmError::InvalidSpeed(_))));
+        assert!(matches!(s.observe(0, 0, f64::NAN), Err(TcmError::InvalidSpeed(_))));
+    }
+
+    #[test]
+    fn advance_is_idempotent_backwards() {
+        let mut s = StreamingTcm::new(0, 60, 3, 1);
+        s.observe(300, 0, 10.0).unwrap();
+        let head = s.head_slot();
+        s.advance_to_slot(1); // older than head: no-op
+        assert_eq!(s.head_slot(), head);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must hold")]
+    fn zero_window_panics() {
+        StreamingTcm::new(0, 60, 0, 1);
+    }
+
+    #[test]
+    fn matches_batch_builder_on_same_data() {
+        // Feeding the same observations into the streaming window (large
+        // enough to hold everything) and the batch builder must agree.
+        use crate::tcm::TcmBuilder;
+        let mut stream = StreamingTcm::new(0, 60, 10, 3);
+        let mut batch = TcmBuilder::new(10, 3);
+        let obs = [
+            (30u64, 0usize, 25.0),
+            (90, 1, 35.0),
+            (95, 1, 45.0),
+            (540, 2, 55.0),
+        ];
+        for &(t, c, v) in &obs {
+            stream.observe(t, c, v).unwrap();
+            batch.add_observation((t / 60) as usize, c, v).unwrap();
+        }
+        stream.advance_to_slot(9);
+        assert_eq!(stream.snapshot(), batch.build());
+    }
+}

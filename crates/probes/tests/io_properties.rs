@@ -1,0 +1,64 @@
+//! Property tests for the CSV interchange: anything we can write, we can
+//! read back bit-for-bit.
+
+use probes::io::{read_reports, read_tcm, write_reports, write_tcm};
+use probes::{ProbeReport, Tcm, VehicleId};
+use proptest::prelude::*;
+use roadnet::geometry::Point;
+
+fn report_strategy() -> impl Strategy<Value = ProbeReport> {
+    (
+        0u32..10_000,
+        -1.0e6f64..1.0e6,
+        -1.0e6f64..1.0e6,
+        0.0f64..200.0,
+        -1.0f64..1.0,
+        -1.0f64..1.0,
+        0u64..10_000_000,
+    )
+        .prop_map(|(v, x, y, speed, hx, hy, ts)| {
+            ProbeReport::with_heading(VehicleId(v), Point::new(x, y), speed, (hx, hy), ts)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reports_round_trip(reports in proptest::collection::vec(report_strategy(), 0..50)) {
+        let mut buf = Vec::new();
+        write_reports(&reports, &mut buf).unwrap();
+        let back = read_reports(std::io::BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(back, reports);
+    }
+
+    #[test]
+    fn tcm_round_trip(
+        rows in 1usize..12,
+        cols in 1usize..10,
+        seed in 0u64..10_000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let values = linalg::Matrix::random_uniform(rows, cols, &mut rng, 0.0, 100.0);
+        let mask = probes::mask::random_mask(rows, cols, 0.6, &mut rng);
+        let tcm = Tcm::complete(values).masked(&mask).unwrap();
+        let mut buf = Vec::new();
+        write_tcm(&tcm, &mut buf).unwrap();
+        let back = read_tcm(std::io::BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(back.indicator(), tcm.indicator());
+        // Values survive the decimal round trip exactly (Rust prints
+        // f64 with round-trip precision).
+        prop_assert_eq!(back.values(), tcm.values());
+    }
+
+    #[test]
+    fn corrupted_report_lines_rejected_not_panicking(
+        garbage in "[a-z0-9,.\\-]{0,80}",
+    ) {
+        let text = format!("{}\n{garbage}\n", probes::io::REPORT_HEADER);
+        // Must return Ok (if the garbage happens to parse) or Err — never
+        // panic.
+        let _ = read_reports(std::io::BufReader::new(text.as_bytes()));
+    }
+}

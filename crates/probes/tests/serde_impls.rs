@@ -1,0 +1,22 @@
+//! Compile-time verification that the `serde` feature provides
+//! `Serialize`/`Deserialize` on every data-structure type (C-SERDE).
+//! (No serializer crate is in the dependency set, so these are trait
+//! bound checks rather than byte-level round trips.)
+
+#![cfg(feature = "serde")]
+
+fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+
+#[test]
+fn all_data_types_are_serde() {
+    assert_serde::<probes::ProbeReport>();
+    assert_serde::<probes::VehicleId>();
+    assert_serde::<probes::Tcm>();
+    assert_serde::<probes::SlotGrid>();
+    assert_serde::<probes::Granularity>();
+    assert_serde::<linalg::Matrix>();
+    assert_serde::<roadnet::Segment>();
+    assert_serde::<roadnet::RoadClass>();
+    assert_serde::<roadnet::SegmentId>();
+    assert_serde::<roadnet::NodeId>();
+}

@@ -1,0 +1,234 @@
+//! Programmatic construction of road networks with validation.
+
+use crate::geometry::Point;
+use crate::network::{RoadClass, RoadNetwork, Segment};
+use crate::{NodeId, SegmentId};
+
+/// Error produced while assembling a [`RoadNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkBuildError {
+    /// A segment references a node id that was never added.
+    UnknownNode(NodeId),
+    /// A segment's endpoints coincide (self loops are not roads).
+    SelfLoop(NodeId),
+    /// A non-positive free-flow speed was supplied.
+    InvalidSpeed(f64),
+    /// Two nodes occupy the same position, producing a zero-length segment.
+    ZeroLengthSegment(NodeId, NodeId),
+    /// The finished network would be empty.
+    Empty,
+}
+
+impl std::fmt::Display for NetworkBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkBuildError::UnknownNode(n) => write!(f, "segment references unknown node {n}"),
+            NetworkBuildError::SelfLoop(n) => write!(f, "self-loop segment at node {n}"),
+            NetworkBuildError::InvalidSpeed(s) => write!(f, "free-flow speed must be positive, got {s}"),
+            NetworkBuildError::ZeroLengthSegment(a, b) => {
+                write!(f, "zero-length segment between coincident nodes {a} and {b}")
+            }
+            NetworkBuildError::Empty => write!(f, "network has no nodes or no segments"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkBuildError {}
+
+/// Incremental builder for [`RoadNetwork`].
+///
+/// # Example
+///
+/// ```
+/// use roadnet::{RoadNetworkBuilder, RoadClass};
+/// use roadnet::geometry::Point;
+///
+/// let mut b = RoadNetworkBuilder::new();
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(500.0, 0.0));
+/// b.add_segment(a, c, RoadClass::Arterial, None, false)?;
+/// b.add_segment(c, a, RoadClass::Arterial, None, false)?;
+/// let net = b.build()?;
+/// assert_eq!(net.segment_count(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct RoadNetworkBuilder {
+    nodes: Vec<Point>,
+    segments: Vec<Segment>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an intersection at `position`, returning its id.
+    pub fn add_node(&mut self, position: Point) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(position);
+        id
+    }
+
+    /// Adds a directed segment from `from` to `to`.
+    ///
+    /// `free_flow_kmh` defaults to the class's typical speed when `None`.
+    /// Returns the new segment's id.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown endpoints, self loops, non-positive speeds, and
+    /// coincident endpoints.
+    pub fn add_segment(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: RoadClass,
+        free_flow_kmh: Option<f64>,
+        urban_canyon: bool,
+    ) -> Result<SegmentId, NetworkBuildError> {
+        if from.index() >= self.nodes.len() {
+            return Err(NetworkBuildError::UnknownNode(from));
+        }
+        if to.index() >= self.nodes.len() {
+            return Err(NetworkBuildError::UnknownNode(to));
+        }
+        if from == to {
+            return Err(NetworkBuildError::SelfLoop(from));
+        }
+        let speed = free_flow_kmh.unwrap_or_else(|| class.default_free_flow_kmh());
+        if speed <= 0.0 {
+            return Err(NetworkBuildError::InvalidSpeed(speed));
+        }
+        let length_m = self.nodes[from.index()].distance(self.nodes[to.index()]);
+        if length_m <= 0.0 {
+            return Err(NetworkBuildError::ZeroLengthSegment(from, to));
+        }
+        let id = SegmentId(self.segments.len() as u32);
+        self.segments.push(Segment {
+            id,
+            from,
+            to,
+            length_m,
+            class,
+            free_flow_kmh: speed,
+            urban_canyon,
+        });
+        Ok(id)
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of segments added so far.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Finalizes the network, computing adjacency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkBuildError::Empty`] when there are no nodes or no
+    /// segments.
+    pub fn build(self) -> Result<RoadNetwork, NetworkBuildError> {
+        if self.nodes.is_empty() || self.segments.is_empty() {
+            return Err(NetworkBuildError::Empty);
+        }
+        let mut out_segments = vec![Vec::new(); self.nodes.len()];
+        for seg in &self.segments {
+            out_segments[seg.from.index()].push(seg.id);
+        }
+        Ok(RoadNetwork { nodes: self.nodes, segments: self.segments, out_segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let err = b.add_segment(a, NodeId(5), RoadClass::Local, None, false).unwrap_err();
+        assert_eq!(err, NetworkBuildError::UnknownNode(NodeId(5)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        assert_eq!(
+            b.add_segment(a, a, RoadClass::Local, None, false).unwrap_err(),
+            NetworkBuildError::SelfLoop(a)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_speed() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(1.0, 0.0));
+        assert!(matches!(
+            b.add_segment(a, c, RoadClass::Local, Some(0.0), false),
+            Err(NetworkBuildError::InvalidSpeed(_))
+        ));
+        assert!(matches!(
+            b.add_segment(a, c, RoadClass::Local, Some(-10.0), false),
+            Err(NetworkBuildError::InvalidSpeed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_coincident_nodes() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(3.0, 3.0));
+        let c = b.add_node(Point::new(3.0, 3.0));
+        assert!(matches!(
+            b.add_segment(a, c, RoadClass::Local, None, false),
+            Err(NetworkBuildError::ZeroLengthSegment(_, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_network() {
+        assert_eq!(RoadNetworkBuilder::new().build().unwrap_err(), NetworkBuildError::Empty);
+        let mut b = RoadNetworkBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        assert_eq!(b.build().unwrap_err(), NetworkBuildError::Empty);
+    }
+
+    #[test]
+    fn builds_valid_network_with_adjacency() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(0.0, 300.0));
+        let s0 = b.add_segment(a, c, RoadClass::Collector, None, false).unwrap();
+        let s1 = b.add_segment(c, a, RoadClass::Collector, None, true).unwrap();
+        assert_eq!(b.node_count(), 2);
+        assert_eq!(b.segment_count(), 2);
+        let net = b.build().unwrap();
+        assert_eq!(net.outgoing(a), &[s0]);
+        assert_eq!(net.outgoing(c), &[s1]);
+        assert!((net.segment(s0).length_m - 300.0).abs() < 1e-9);
+        assert!(net.segment(s1).urban_canyon);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msgs = [
+            NetworkBuildError::UnknownNode(NodeId(1)).to_string(),
+            NetworkBuildError::SelfLoop(NodeId(2)).to_string(),
+            NetworkBuildError::InvalidSpeed(-1.0).to_string(),
+            NetworkBuildError::ZeroLengthSegment(NodeId(0), NodeId(1)).to_string(),
+            NetworkBuildError::Empty.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

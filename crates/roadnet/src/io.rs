@@ -1,0 +1,295 @@
+//! Plain-text network interchange.
+//!
+//! Lets downstream users run the estimation stack on *real* road
+//! networks (exported from OSM or a GIS) instead of the synthetic grid
+//! city. The format is deliberately trivial — two CSV sections in one
+//! file:
+//!
+//! ```text
+//! [nodes]
+//! id,x,y
+//! 0,0.0,0.0
+//! ...
+//! [segments]
+//! id,from,to,class,free_flow_kmh,urban_canyon
+//! 0,0,1,arterial,60.0,0
+//! ...
+//! ```
+//!
+//! Node/segment ids must be dense and ascending from 0 (they index the
+//! network tables); `class` is `arterial|collector|local`;
+//! `urban_canyon` is `0|1`.
+
+use crate::builder::{NetworkBuildError, RoadNetworkBuilder};
+use crate::geometry::Point;
+use crate::network::{RoadClass, RoadNetwork};
+use std::io::{BufRead, Write};
+
+/// Error reading a network file.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed line with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The parsed data does not form a valid network.
+    Build(NetworkBuildError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            ReadError::Build(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<NetworkBuildError> for ReadError {
+    fn from(e: NetworkBuildError) -> Self {
+        ReadError::Build(e)
+    }
+}
+
+fn class_name(class: RoadClass) -> &'static str {
+    match class {
+        RoadClass::Arterial => "arterial",
+        RoadClass::Collector => "collector",
+        RoadClass::Local => "local",
+    }
+}
+
+fn parse_class(s: &str) -> Option<RoadClass> {
+    match s {
+        "arterial" => Some(RoadClass::Arterial),
+        "collector" => Some(RoadClass::Collector),
+        "local" => Some(RoadClass::Local),
+        _ => None,
+    }
+}
+
+/// Writes `net` in the interchange format.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_network<W: Write>(net: &RoadNetwork, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "[nodes]")?;
+    writeln!(w, "id,x,y")?;
+    for id in net.node_ids() {
+        let p = net.node(id);
+        writeln!(w, "{},{},{}", id.0, p.x, p.y)?;
+    }
+    writeln!(w, "[segments]")?;
+    writeln!(w, "id,from,to,class,free_flow_kmh,urban_canyon")?;
+    for seg in net.segments() {
+        writeln!(
+            w,
+            "{},{},{},{},{},{}",
+            seg.id.0,
+            seg.from.0,
+            seg.to.0,
+            class_name(seg.class),
+            seg.free_flow_kmh,
+            u8::from(seg.urban_canyon)
+        )?;
+    }
+    Ok(())
+}
+
+#[derive(PartialEq)]
+enum Section {
+    Preamble,
+    Nodes,
+    Segments,
+}
+
+/// Reads a network in the interchange format.
+///
+/// # Errors
+///
+/// See [`ReadError`]; ids must appear dense and in order.
+pub fn read_network<R: BufRead>(r: R) -> Result<RoadNetwork, ReadError> {
+    let mut builder = RoadNetworkBuilder::new();
+    let mut section = Section::Preamble;
+    let mut expect_header = false;
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line {
+            "[nodes]" => {
+                section = Section::Nodes;
+                expect_header = true;
+                continue;
+            }
+            "[segments]" => {
+                section = Section::Segments;
+                expect_header = true;
+                continue;
+            }
+            _ => {}
+        }
+        if expect_header {
+            // Skip the column-name row.
+            expect_header = false;
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let parse_err = |msg: String| ReadError::Parse { line: line_no, msg };
+        match section {
+            Section::Preamble => {
+                return Err(parse_err("data before a [nodes]/[segments] section".into()))
+            }
+            Section::Nodes => {
+                if fields.len() != 3 {
+                    return Err(parse_err(format!("expected 3 node fields, got {}", fields.len())));
+                }
+                let id: u32 =
+                    fields[0].parse().map_err(|e| parse_err(format!("bad node id: {e}")))?;
+                if id as usize != builder.node_count() {
+                    return Err(parse_err(format!(
+                        "node ids must be dense and ascending; expected {}, got {id}",
+                        builder.node_count()
+                    )));
+                }
+                let x: f64 = fields[1].parse().map_err(|e| parse_err(format!("bad x: {e}")))?;
+                let y: f64 = fields[2].parse().map_err(|e| parse_err(format!("bad y: {e}")))?;
+                builder.add_node(Point::new(x, y));
+            }
+            Section::Segments => {
+                if fields.len() != 6 {
+                    return Err(parse_err(format!(
+                        "expected 6 segment fields, got {}",
+                        fields.len()
+                    )));
+                }
+                let id: u32 =
+                    fields[0].parse().map_err(|e| parse_err(format!("bad segment id: {e}")))?;
+                if id as usize != builder.segment_count() {
+                    return Err(parse_err(format!(
+                        "segment ids must be dense and ascending; expected {}, got {id}",
+                        builder.segment_count()
+                    )));
+                }
+                let from: u32 =
+                    fields[1].parse().map_err(|e| parse_err(format!("bad from: {e}")))?;
+                let to: u32 = fields[2].parse().map_err(|e| parse_err(format!("bad to: {e}")))?;
+                let class = parse_class(fields[3])
+                    .ok_or_else(|| parse_err(format!("unknown road class '{}'", fields[3])))?;
+                let speed: f64 =
+                    fields[4].parse().map_err(|e| parse_err(format!("bad speed: {e}")))?;
+                let canyon = match fields[5] {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(parse_err(format!("urban_canyon must be 0/1, got '{other}'"))),
+                };
+                builder
+                    .add_segment(crate::NodeId(from), crate::NodeId(to), class, Some(speed), canyon)
+                    .map_err(ReadError::Build)?;
+            }
+        }
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_grid_city, GridCityConfig};
+
+    #[test]
+    fn round_trip_preserves_network() {
+        let net = generate_grid_city(&GridCityConfig::small_test());
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        let back = read_network(std::io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.node_count(), net.node_count());
+        assert_eq!(back.segment_count(), net.segment_count());
+        for (a, b) in net.segments().iter().zip(back.segments()) {
+            assert_eq!(a, b);
+        }
+        for id in net.node_ids() {
+            assert_eq!(net.node(id), back.node(id));
+        }
+    }
+
+    #[test]
+    fn hand_written_file_parses() {
+        let text = "\
+# a comment
+[nodes]
+id,x,y
+0,0.0,0.0
+1,100.0,0.0
+
+[segments]
+id,from,to,class,free_flow_kmh,urban_canyon
+0,0,1,arterial,55.5,1
+1,1,0,local,30.0,0
+";
+        let net = read_network(std::io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.segment_count(), 2);
+        let s0 = net.segment(crate::SegmentId(0));
+        assert_eq!(s0.class, RoadClass::Arterial);
+        assert!(s0.urban_canyon);
+        assert_eq!(s0.free_flow_kmh, 55.5);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad_class = "[nodes]\nid,x,y\n0,0,0\n1,1,0\n[segments]\nid,from,to,class,free_flow_kmh,urban_canyon\n0,0,1,motorway,60,0\n";
+        match read_network(std::io::BufReader::new(bad_class.as_bytes())) {
+            Err(ReadError::Parse { line: 7, msg }) => assert!(msg.contains("motorway")),
+            other => panic!("expected parse error at line 7, got {other:?}"),
+        }
+        let sparse_ids = "[nodes]\nid,x,y\n0,0,0\n5,1,0\n";
+        assert!(matches!(
+            read_network(std::io::BufReader::new(sparse_ids.as_bytes())),
+            Err(ReadError::Parse { line: 4, .. })
+        ));
+        let preamble = "0,0,0\n";
+        assert!(matches!(
+            read_network(std::io::BufReader::new(preamble.as_bytes())),
+            Err(ReadError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_topology_rejected_via_builder() {
+        let self_loop = "[nodes]\nid,x,y\n0,0,0\n[segments]\nid,from,to,class,free_flow_kmh,urban_canyon\n0,0,0,local,30,0\n";
+        assert!(matches!(
+            read_network(std::io::BufReader::new(self_loop.as_bytes())),
+            Err(ReadError::Build(NetworkBuildError::SelfLoop(_)))
+        ));
+        let empty = "[nodes]\nid,x,y\n0,0,0\n";
+        assert!(matches!(
+            read_network(std::io::BufReader::new(empty.as_bytes())),
+            Err(ReadError::Build(NetworkBuildError::Empty))
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = ReadError::Parse { line: 3, msg: "oops".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Road-network substrate for the cs-traffic reproduction.
+//!
+//! The paper's experiments run over real road networks (an inner-Shanghai
+//! subnetwork of 5,812 segments; evaluation subnetworks of 221 and 198
+//! segments). Those map databases are not available, so this crate provides:
+//!
+//! * a directed road-network graph model ([`RoadNetwork`]) with road
+//!   segments between neighbouring intersections — the paper's unit of
+//!   traffic estimation,
+//! * a synthetic **grid-city generator** ([`generator`]) producing
+//!   arterial/collector/local segment classes and "urban canyon" zones
+//!   (where GPS reports are lost),
+//! * Dijkstra **routing** for probe-taxi trip generation ([`routing`]), and
+//! * nearest-segment GPS **map matching** ([`matching`]) with a uniform
+//!   grid spatial index.
+//!
+//! # Example
+//!
+//! ```
+//! use roadnet::generator::{GridCityConfig, generate_grid_city};
+//!
+//! let net = generate_grid_city(&GridCityConfig::small_test());
+//! assert!(net.segment_count() > 0);
+//! let seg = net.segment(roadnet::SegmentId(0));
+//! assert!(seg.length_m > 0.0);
+//! ```
+
+mod ids;
+pub mod analysis;
+pub mod builder;
+pub mod generator;
+pub mod geometry;
+pub mod io;
+pub mod matching;
+mod network;
+pub mod routing;
+
+pub use builder::{NetworkBuildError, RoadNetworkBuilder};
+pub use ids::{NodeId, SegmentId};
+pub use network::{RoadClass, RoadNetwork, Segment};

@@ -1,0 +1,341 @@
+//! GPS map matching: snapping noisy probe positions to road segments.
+//!
+//! Each probe report carries a GPS position with metres-scale error; the
+//! monitoring centre must attribute the report's speed to a road segment
+//! before it can enter the traffic condition matrix. This module
+//! implements nearest-segment matching accelerated by a uniform grid
+//! index, the standard approach for low-frequency probe data (the paper's
+//! reporting interval is 30 s to minutes, so trajectory-level HMM matching
+//! à la VTrack is unnecessary).
+
+use crate::geometry::{point_segment_distance_sq, BoundingBox, Point};
+use crate::network::RoadNetwork;
+use crate::SegmentId;
+
+/// Result of matching one GPS point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchResult {
+    /// The matched segment.
+    pub segment: SegmentId,
+    /// Distance from the GPS point to the segment, metres.
+    pub distance_m: f64,
+    /// Fractional position along the segment (`0` = start node).
+    pub along: f64,
+}
+
+/// Uniform-grid spatial index over a network's segments.
+///
+/// # Example
+///
+/// ```
+/// use roadnet::generator::{GridCityConfig, generate_grid_city};
+/// use roadnet::matching::SegmentIndex;
+///
+/// let net = generate_grid_city(&GridCityConfig::small_test());
+/// let index = SegmentIndex::build(&net, 100.0);
+/// let m = index.match_point(&net, net.segment_point(roadnet::SegmentId(0), 0.5), 50.0);
+/// assert!(m.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentIndex {
+    bbox: BoundingBox,
+    cell_size: f64,
+    nx: usize,
+    ny: usize,
+    /// Segment ids per cell, row-major over (iy, ix).
+    cells: Vec<Vec<SegmentId>>,
+}
+
+impl SegmentIndex {
+    /// Builds an index with roughly `cell_size`-metre cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty network or non-positive cell size.
+    pub fn build(net: &RoadNetwork, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let bbox = net.bounding_box().expect("network has nodes").expanded(cell_size);
+        let nx = (bbox.width() / cell_size).ceil().max(1.0) as usize;
+        let ny = (bbox.height() / cell_size).ceil().max(1.0) as usize;
+        let mut cells = vec![Vec::new(); nx * ny];
+        for seg in net.segments() {
+            let a = net.node(seg.from);
+            let b = net.node(seg.to);
+            // Walk the segment at sub-cell resolution and mark every cell
+            // touched. Straight-line segments make this exact enough.
+            let steps = (seg.length_m / (cell_size * 0.5)).ceil().max(1.0) as usize;
+            let mut last_cell = usize::MAX;
+            for i in 0..=steps {
+                let p = a.lerp(b, i as f64 / steps as f64);
+                let idx = Self::cell_of(&bbox, cell_size, nx, ny, p);
+                if idx != last_cell {
+                    if !cells[idx].contains(&seg.id) {
+                        cells[idx].push(seg.id);
+                    }
+                    last_cell = idx;
+                }
+            }
+        }
+        Self { bbox, cell_size, nx, ny, cells }
+    }
+
+    fn cell_of(bbox: &BoundingBox, cell: f64, nx: usize, ny: usize, p: Point) -> usize {
+        let ix = (((p.x - bbox.min.x) / cell).floor().max(0.0) as usize).min(nx - 1);
+        let iy = (((p.y - bbox.min.y) / cell).floor().max(0.0) as usize).min(ny - 1);
+        iy * nx + ix
+    }
+
+    /// Number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Matches a GPS point to the nearest segment within `max_distance_m`.
+    ///
+    /// Returns `None` when no segment lies within the radius — the
+    /// monitoring centre discards such reports (off-network noise).
+    ///
+    /// Note: on two-way roads the forward and reverse segments share
+    /// geometry, so an undirected match cannot tell them apart; use
+    /// [`SegmentIndex::match_point_directed`] when the report carries a
+    /// GPS course (as real probe data does).
+    pub fn match_point(&self, net: &RoadNetwork, p: Point, max_distance_m: f64) -> Option<MatchResult> {
+        self.match_point_directed(net, p, max_distance_m, None)
+    }
+
+    /// Like [`SegmentIndex::match_point`], but when `heading` (a travel
+    /// direction vector, need not be normalized) is given, segments whose
+    /// direction opposes it are excluded — this attributes reports on
+    /// two-way roads to the correct travel direction.
+    pub fn match_point_directed(
+        &self,
+        net: &RoadNetwork,
+        p: Point,
+        max_distance_m: f64,
+        heading: Option<(f64, f64)>,
+    ) -> Option<MatchResult> {
+        // Search expanding rings of cells until the best candidate cannot
+        // be beaten by anything in a farther ring.
+        let center_ix = (((p.x - self.bbox.min.x) / self.cell_size).floor().max(0.0) as usize).min(self.nx - 1);
+        let center_iy = (((p.y - self.bbox.min.y) / self.cell_size).floor().max(0.0) as usize).min(self.ny - 1);
+        let max_ring = (max_distance_m / self.cell_size).ceil() as usize + 1;
+
+        let mut best: Option<MatchResult> = None;
+        for ring in 0..=max_ring {
+            // Any segment in a cell of ring k is at least (k-1)*cell away;
+            // stop once the current best beats that bound.
+            if let Some(b) = &best {
+                if b.distance_m < (ring.saturating_sub(1)) as f64 * self.cell_size {
+                    break;
+                }
+            }
+            for (ix, iy) in ring_cells(center_ix, center_iy, ring, self.nx, self.ny) {
+                for &sid in &self.cells[iy * self.nx + ix] {
+                    let a = net.node(net.segment(sid).from);
+                    let b = net.node(net.segment(sid).to);
+                    if let Some((hx, hy)) = heading {
+                        // Require the segment direction to align with the
+                        // course (within ~72°): rejects both the reverse
+                        // twin and perpendicular cross streets near
+                        // intersections.
+                        let (dx, dy) = (b.x - a.x, b.y - a.y);
+                        let dot = dx * hx + dy * hy;
+                        let norm = dx.hypot(dy) * hx.hypot(hy);
+                        if norm == 0.0 || dot / norm < 0.3 {
+                            continue;
+                        }
+                    }
+                    let (d2, t) = point_segment_distance_sq(p, a, b);
+                    let d = d2.sqrt();
+                    if d <= max_distance_m && best.is_none_or(|bst| d < bst.distance_m) {
+                        best = Some(MatchResult { segment: sid, distance_m: d, along: t });
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Cells forming the square ring at Chebyshev distance `ring` from the
+/// centre, clipped to the grid.
+fn ring_cells(cx: usize, cy: usize, ring: usize, nx: usize, ny: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let x0 = cx.saturating_sub(ring);
+    let x1 = (cx + ring).min(nx - 1);
+    let y0 = cy.saturating_sub(ring);
+    let y1 = (cy + ring).min(ny - 1);
+    for iy in y0..=y1 {
+        for ix in x0..=x1 {
+            let on_ring = ix == x0 || ix == x1 || iy == y0 || iy == y1;
+            // Chebyshev test keeps the ring hollow when not clipped.
+            let cheb = (ix as isize - cx as isize).abs().max((iy as isize - cy as isize).abs()) as usize;
+            if on_ring && (cheb == ring || ring == 0) {
+                out.push((ix, iy));
+            }
+        }
+    }
+    if ring == 0 {
+        out.clear();
+        out.push((cx.min(nx - 1), cy.min(ny - 1)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_grid_city, GridCityConfig};
+
+    fn net_and_index() -> (RoadNetwork, SegmentIndex) {
+        let net = generate_grid_city(&GridCityConfig::small_test());
+        let index = SegmentIndex::build(&net, 100.0);
+        (net, index)
+    }
+
+    #[test]
+    fn exact_on_segment_point_matches() {
+        let (net, index) = net_and_index();
+        for sid in [0u32, 7, 33, 79].map(SegmentId) {
+            let p = net.segment_point(sid, 0.3);
+            let m = index.match_point(&net, p, 30.0).unwrap();
+            // The matched segment must be at (near-)zero distance; grid
+            // cities have overlapping forward/reverse twins, either is
+            // geometrically correct.
+            assert!(m.distance_m < 1e-9, "distance {}", m.distance_m);
+            let seg = net.segment(sid);
+            let matched = net.segment(m.segment);
+            let same_geometry = (matched.from == seg.from && matched.to == seg.to)
+                || (matched.from == seg.to && matched.to == seg.from);
+            assert!(same_geometry, "matched {} for {}", m.segment, sid);
+        }
+    }
+
+    #[test]
+    fn noisy_point_matches_nearby_segment() {
+        let (net, index) = net_and_index();
+        let p0 = net.segment_point(SegmentId(0), 0.5);
+        let noisy = Point::new(p0.x + 8.0, p0.y + 6.0);
+        let m = index.match_point(&net, noisy, 50.0).unwrap();
+        assert!(m.distance_m <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn far_point_returns_none() {
+        let (net, index) = net_and_index();
+        let bb = net.bounding_box().unwrap();
+        let far = Point::new(bb.max.x + 500.0, bb.max.y + 500.0);
+        assert!(index.match_point(&net, far, 50.0).is_none());
+    }
+
+    #[test]
+    fn along_fraction_sensible() {
+        let (net, index) = net_and_index();
+        let p = net.segment_point(SegmentId(0), 0.75);
+        let m = index.match_point(&net, p, 10.0).unwrap();
+        // Along is 0.75 on the forward twin or 0.25 on the reverse.
+        assert!((m.along - 0.75).abs() < 1e-6 || (m.along - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn match_respects_radius() {
+        let (net, index) = net_and_index();
+        let p0 = net.segment_point(SegmentId(0), 0.5);
+        let off = Point::new(p0.x, p0.y - 40.0);
+        assert!(index.match_point(&net, off, 10.0).is_none());
+        assert!(index.match_point(&net, off, 60.0).is_some());
+    }
+
+    #[test]
+    fn index_covers_whole_bbox() {
+        let (net, index) = net_and_index();
+        // Every segment midpoint must match within a generous radius.
+        for sid in net.segment_ids() {
+            let p = net.segment_point(sid, 0.5);
+            assert!(index.match_point(&net, p, 60.0).is_some(), "segment {sid} unmatched");
+        }
+        assert!(index.cell_count() > 0);
+    }
+
+    #[test]
+    fn ring_cells_cover_plane_without_overlap() {
+        // Union of rings 0..4 over a 9x9 grid centred at (4,4) is all 81
+        // cells exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for ring in 0..=4 {
+            for cell in ring_cells(4, 4, ring, 9, 9) {
+                assert!(seen.insert(cell), "cell {cell:?} repeated at ring {ring}");
+            }
+        }
+        assert_eq!(seen.len(), 81);
+    }
+
+    #[test]
+    fn ring_cells_clipped_at_border() {
+        let cells = ring_cells(0, 0, 1, 5, 5);
+        for (x, y) in &cells {
+            assert!(*x < 5 && *y < 5);
+        }
+        assert!(!cells.is_empty());
+    }
+
+    #[test]
+    fn directed_match_separates_twins() {
+        let (net, index) = net_and_index();
+        for sid in [0u32, 5, 21].map(SegmentId) {
+            let seg = net.segment(sid);
+            let a = net.node(seg.from);
+            let b = net.node(seg.to);
+            let dir = (b.x - a.x, b.y - a.y);
+            let p = net.segment_point(sid, 0.4);
+            let m = index.match_point_directed(&net, p, 30.0, Some(dir)).unwrap();
+            assert_eq!(m.segment, sid, "forward course must match forward twin");
+            let rev = (-dir.0, -dir.1);
+            let m = index.match_point_directed(&net, p, 30.0, Some(rev)).unwrap();
+            let matched = net.segment(m.segment);
+            assert_eq!((matched.from, matched.to), (seg.to, seg.from), "reverse course must match reverse twin");
+        }
+    }
+
+    #[test]
+    fn directed_match_rejects_perpendicular_streets() {
+        let (net, index) = net_and_index();
+        // A point at a segment's very start sits on an intersection where
+        // perpendicular streets pass equally close; the course filter
+        // must still pick a parallel segment.
+        let sid = SegmentId(0);
+        let seg = net.segment(sid);
+        let a = net.node(seg.from);
+        let b = net.node(seg.to);
+        let dir = (b.x - a.x, b.y - a.y);
+        let p = net.segment_point(sid, 0.02);
+        let m = index.match_point_directed(&net, p, 30.0, Some(dir)).unwrap();
+        let matched = net.segment(m.segment);
+        let ma = net.node(matched.from);
+        let mb = net.node(matched.to);
+        let dot = (mb.x - ma.x) * dir.0 + (mb.y - ma.y) * dir.1;
+        assert!(dot > 0.0, "matched a non-aligned segment {}", m.segment);
+    }
+
+    #[test]
+    fn directed_match_none_when_only_opposing() {
+        // One-way single-segment network: an opposing course matches
+        // nothing.
+        let mut b = crate::RoadNetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        b.add_segment(n0, n1, crate::RoadClass::Local, None, false).unwrap();
+        let net = b.build().unwrap();
+        let index = SegmentIndex::build(&net, 50.0);
+        let p = net.segment_point(SegmentId(0), 0.5);
+        assert!(index.match_point_directed(&net, p, 30.0, Some((-1.0, 0.0))).is_none());
+        assert!(index.match_point_directed(&net, p, 30.0, Some((1.0, 0.0))).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        let net = generate_grid_city(&GridCityConfig::small_test());
+        SegmentIndex::build(&net, 0.0);
+    }
+}

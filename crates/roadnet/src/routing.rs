@@ -1,0 +1,233 @@
+//! Shortest-path routing and random trip generation.
+//!
+//! Probe taxis in the simulator drive shortest-travel-time routes between
+//! random origin–destination pairs, which is how fleets of real taxis end
+//! up concentrating on arterials and leaving side streets under-sampled —
+//! the root cause of the paper's missing-data problem.
+
+use crate::network::RoadNetwork;
+use crate::{NodeId, SegmentId};
+use rand::RngExt;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A routed path: the sequence of directed segments to traverse, plus the
+/// total free-flow travel time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Segments in traversal order; empty when origin == destination.
+    pub segments: Vec<SegmentId>,
+    /// Total free-flow travel time in seconds.
+    pub travel_time_s: f64,
+}
+
+impl Route {
+    /// Total length of the route in metres.
+    pub fn length_m(&self, net: &RoadNetwork) -> f64 {
+        self.segments.iter().map(|&s| net.segment(s).length_m).sum()
+    }
+}
+
+/// Binary-heap entry; reversed ordering turns `BinaryHeap` into a min-heap.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("travel times are finite")
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest path by free-flow travel time.
+///
+/// Returns `None` when `to` is unreachable from `from`. An empty route is
+/// returned when `from == to`.
+pub fn shortest_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Route> {
+    if from == to {
+        return Some(Route { segments: Vec::new(), travel_time_s: 0.0 });
+    }
+    let n = net.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev_seg: Vec<Option<SegmentId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.index()] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, node: from });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if node == to {
+            break;
+        }
+        if cost > dist[node.index()] {
+            continue; // stale entry
+        }
+        for &sid in net.outgoing(node) {
+            let seg = net.segment(sid);
+            let next = seg.to;
+            let next_cost = cost + seg.free_flow_time_s();
+            if next_cost < dist[next.index()] {
+                dist[next.index()] = next_cost;
+                prev_seg[next.index()] = Some(sid);
+                heap.push(HeapEntry { cost: next_cost, node: next });
+            }
+        }
+    }
+
+    if dist[to.index()].is_infinite() {
+        return None;
+    }
+    // Walk predecessors back to the origin.
+    let mut segments = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let sid = prev_seg[cur.index()].expect("reachable node has a predecessor");
+        segments.push(sid);
+        cur = net.segment(sid).from;
+    }
+    segments.reverse();
+    Some(Route { segments, travel_time_s: dist[to.index()] })
+}
+
+/// Draws a random origin–destination trip and routes it. Retries a few
+/// times if it draws an unreachable pair or a trivial (same-node) pair;
+/// returns `None` only when the network appears disconnected.
+pub fn random_trip<R: RngExt + ?Sized>(net: &RoadNetwork, rng: &mut R) -> Option<(NodeId, NodeId, Route)> {
+    let n = net.node_count() as u32;
+    for _ in 0..32 {
+        let from = NodeId(rng.random_range(0..n));
+        let to = NodeId(rng.random_range(0..n));
+        if from == to {
+            continue;
+        }
+        if let Some(route) = shortest_path(net, from, to) {
+            if !route.segments.is_empty() {
+                return Some((from, to, route));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_grid_city, GridCityConfig};
+    use crate::geometry::Point;
+    use crate::network::RoadClass;
+    use crate::RoadNetworkBuilder;
+    use rand::SeedableRng;
+
+    fn line_network() -> RoadNetwork {
+        // 0 -> 1 -> 2 (one way only).
+        let mut b = RoadNetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        let n2 = b.add_node(Point::new(200.0, 0.0));
+        b.add_segment(n0, n1, RoadClass::Local, Some(36.0), false).unwrap();
+        b.add_segment(n1, n2, RoadClass::Local, Some(36.0), false).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shortest_path_on_line() {
+        let net = line_network();
+        let route = shortest_path(&net, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(route.segments, vec![SegmentId(0), SegmentId(1)]);
+        // 200 m at 36 km/h (10 m/s) = 20 s.
+        assert!((route.travel_time_s - 20.0).abs() < 1e-9);
+        assert!((route.length_m(&net) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let net = line_network();
+        assert!(shortest_path(&net, NodeId(2), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn same_node_is_empty_route() {
+        let net = line_network();
+        let route = shortest_path(&net, NodeId(1), NodeId(1)).unwrap();
+        assert!(route.segments.is_empty());
+        assert_eq!(route.travel_time_s, 0.0);
+    }
+
+    #[test]
+    fn path_is_connected_and_optimal_on_grid() {
+        let net = generate_grid_city(&GridCityConfig::small_test());
+        let from = NodeId(0);
+        let to = NodeId(24); // opposite corner of the 5x5 grid
+        let route = shortest_path(&net, from, to).unwrap();
+        // Path connectivity: each segment starts where the previous ended.
+        let mut cur = from;
+        for &sid in &route.segments {
+            let seg = net.segment(sid);
+            assert_eq!(seg.from, cur);
+            cur = seg.to;
+        }
+        assert_eq!(cur, to);
+        // Travel time equals the sum of segment times.
+        let sum: f64 = route.segments.iter().map(|&s| net.segment(s).free_flow_time_s()).sum();
+        assert!((sum - route.travel_time_s).abs() < 1e-9);
+        // Lower bound: the Manhattan distance at the fastest speed present.
+        let max_speed = net.segments().iter().map(|s| s.free_flow_kmh).fold(0.0, f64::max);
+        let manhattan = 8.0 * 200.0;
+        assert!(route.travel_time_s >= manhattan / (max_speed / 3.6) - 1e-9);
+    }
+
+    #[test]
+    fn prefers_fast_arterial_detour() {
+        // Two routes from 0 to 3: direct slow local (one long block) vs a
+        // longer arterial dogleg. Arterial must win on time.
+        let mut b = RoadNetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1000.0, 0.0));
+        let n2 = b.add_node(Point::new(0.0, 200.0));
+        let n3 = b.add_node(Point::new(1000.0, 200.0));
+        // Slow direct: 0 -> 1 -> 3 on locals at 18 km/h (5 m/s): 240 s.
+        b.add_segment(n0, n1, RoadClass::Local, Some(18.0), false).unwrap();
+        b.add_segment(n1, n3, RoadClass::Local, Some(18.0), false).unwrap();
+        // Fast dogleg: 0 -> 2 -> 3 at 72 km/h (20 m/s): 60 s.
+        b.add_segment(n0, n2, RoadClass::Arterial, Some(72.0), false).unwrap();
+        b.add_segment(n2, n3, RoadClass::Arterial, Some(72.0), false).unwrap();
+        let net = b.build().unwrap();
+        let route = shortest_path(&net, n0, n3).unwrap();
+        assert_eq!(route.segments, vec![SegmentId(2), SegmentId(3)]);
+        assert!((route.travel_time_s - 60.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn random_trip_yields_valid_route() {
+        let net = generate_grid_city(&GridCityConfig::small_test());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let (from, to, route) = random_trip(&net, &mut rng).unwrap();
+            assert_ne!(from, to);
+            assert!(!route.segments.is_empty());
+            assert_eq!(net.segment(route.segments[0]).from, from);
+            assert_eq!(net.segment(*route.segments.last().unwrap()).to, to);
+        }
+    }
+
+    #[test]
+    fn random_trip_none_on_disconnected_pairs_only() {
+        // Grid is strongly connected, so random_trip must always succeed.
+        let net = generate_grid_city(&GridCityConfig::small_test());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        assert!(random_trip(&net, &mut rng).is_some());
+    }
+}

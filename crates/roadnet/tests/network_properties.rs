@@ -1,0 +1,100 @@
+//! Property tests over generated road networks: interchange round trips,
+//! routing invariants, and structural guarantees of the generator.
+
+use proptest::prelude::*;
+use roadnet::analysis::{is_strongly_connected, network_stats, strongly_connected_components};
+use roadnet::generator::{generate_grid_city, GridCityConfig};
+use roadnet::io::{read_network, write_network};
+use roadnet::routing::shortest_path;
+use roadnet::NodeId;
+
+fn config_strategy() -> impl Strategy<Value = GridCityConfig> {
+    (2usize..8, 2usize..8, 0u64..10_000, 0usize..4, 0usize..4).prop_map(
+        |(rows, cols, seed, arterial, collector)| GridCityConfig {
+            rows,
+            cols,
+            seed,
+            arterial_every: arterial,
+            collector_every: collector,
+            ..GridCityConfig::small_test()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated city survives the CSV round trip exactly.
+    #[test]
+    fn interchange_round_trip(cfg in config_strategy()) {
+        let net = generate_grid_city(&cfg);
+        let mut buf = Vec::new();
+        write_network(&net, &mut buf).unwrap();
+        let back = read_network(std::io::BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(back.node_count(), net.node_count());
+        prop_assert_eq!(back.segment_count(), net.segment_count());
+        for (a, b) in net.segments().iter().zip(back.segments()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Grid cities are always strongly connected (every edge has both
+    /// directions), and the stats agree with the generator's formula.
+    #[test]
+    fn generated_cities_strongly_connected(cfg in config_strategy()) {
+        let net = generate_grid_city(&cfg);
+        prop_assert!(is_strongly_connected(&net));
+        let stats = network_stats(&net);
+        prop_assert_eq!(stats.segments, cfg.expected_segments());
+        prop_assert_eq!(stats.nodes, cfg.rows * cfg.cols);
+        prop_assert_eq!(stats.scc_count, 1);
+        prop_assert!((stats.largest_scc_fraction - 1.0).abs() < 1e-12);
+    }
+
+    /// Dijkstra satisfies the triangle inequality through any midpoint:
+    /// time(a→c) ≤ time(a→b) + time(b→c).
+    #[test]
+    fn shortest_path_triangle_inequality(
+        cfg in config_strategy(),
+        picks in proptest::collection::vec(0usize..1000, 3),
+    ) {
+        let net = generate_grid_city(&cfg);
+        let n = net.node_count();
+        let a = NodeId((picks[0] % n) as u32);
+        let b = NodeId((picks[1] % n) as u32);
+        let c = NodeId((picks[2] % n) as u32);
+        let t_ac = shortest_path(&net, a, c).unwrap().travel_time_s;
+        let t_ab = shortest_path(&net, a, b).unwrap().travel_time_s;
+        let t_bc = shortest_path(&net, b, c).unwrap().travel_time_s;
+        prop_assert!(t_ac <= t_ab + t_bc + 1e-9, "{} > {} + {}", t_ac, t_ab, t_bc);
+    }
+
+    /// Symmetric free-flow speeds do not guarantee symmetric paths, but
+    /// the optimal time is bounded by the reverse path's reverse-twin
+    /// traversal (speed jitter makes them differ only slightly).
+    #[test]
+    fn route_times_roughly_symmetric(cfg in config_strategy(), pick in 0usize..1000) {
+        let net = generate_grid_city(&cfg);
+        let n = net.node_count();
+        let a = NodeId((pick % n) as u32);
+        let b = NodeId(((pick * 7 + 1) % n) as u32);
+        let fwd = shortest_path(&net, a, b).unwrap().travel_time_s;
+        let rev = shortest_path(&net, b, a).unwrap().travel_time_s;
+        // Twins' jitter is ±10% around the class speed.
+        prop_assert!(fwd <= rev * 1.3 + 1e-9 && rev <= fwd * 1.3 + 1e-9, "{} vs {}", fwd, rev);
+    }
+
+    /// SCC components partition the node set.
+    #[test]
+    fn scc_partitions_nodes(cfg in config_strategy()) {
+        let net = generate_grid_city(&cfg);
+        let comps = strongly_connected_components(&net);
+        let mut seen = std::collections::HashSet::new();
+        for comp in &comps {
+            for node in comp {
+                prop_assert!(seen.insert(*node), "node {:?} in two components", node);
+            }
+        }
+        prop_assert_eq!(seen.len(), net.node_count());
+    }
+}

@@ -1,0 +1,95 @@
+//! Full monitoring-centre pipeline, end to end:
+//!
+//! ```text
+//! cargo run --release --example city_pipeline
+//! ```
+//!
+//! 1. generate a city road network;
+//! 2. simulate ground-truth traffic and a probe-taxi fleet for a day;
+//! 3. map-match the delivered GPS reports and bin them into a traffic
+//!    condition matrix — sparse and uneven, exactly the paper's
+//!    missing-data problem (Section 2.3);
+//! 4. complete the matrix with the compressive-sensing algorithm;
+//! 5. score the estimate against the withheld ground truth.
+//!
+//! Unlike `quickstart` (which masks ground truth uniformly, as the
+//! paper's Section 4 experiments do), the missing pattern here comes
+//! from real simulated taxi motion: arterials oversampled, side streets
+//! empty, canyon segments dropped.
+
+use cs_traffic::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-sized city so the fleet leaves realistic gaps.
+    let mut scenario = ScenarioConfig::shanghai_like();
+    scenario.city.rows = 15;
+    scenario.city.cols = 15;
+    scenario.fleet.fleet_size = 80;
+    scenario.duration_s = 24 * 3600;
+    scenario.granularity = Granularity::Min30;
+
+    println!("simulating {} taxis for 24 h ...", scenario.fleet.fleet_size);
+    let sim = scenario.run();
+    println!(
+        "network: {} segments; delivered probe reports: {}",
+        sim.network.segment_count(),
+        sim.reports.len()
+    );
+
+    // Monitoring centre: map-match and bin.
+    let index = SegmentIndex::build(&sim.network, 150.0);
+    let measured = build_tcm_from_reports(&sim.reports, &sim.network, &index, &sim.grid, 80.0);
+    println!(
+        "measured TCM: {} x {}, integrity {:.1}%",
+        measured.num_slots(),
+        measured.num_segments(),
+        measured.integrity() * 100.0
+    );
+
+    // Per-road coverage is heavily uneven (Fig. 2's story).
+    let roads = probes::integrity::per_road(&measured);
+    let never_seen = roads.iter().filter(|&&r| r == 0.0).count();
+    println!(
+        "roads never observed in any slot: {} / {}",
+        never_seen,
+        roads.len()
+    );
+
+    // Tune (r, λ) on the measured matrix with Algorithm 2 — fleet-shaped
+    // missingness is structured (arterials oversampled, side streets
+    // bare), so the paper's protocol of running the genetic search once
+    // per matrix matters more than under uniform masking.
+    let ga = optimize_parameters(
+        &measured,
+        &GaConfig {
+            population: 10,
+            generations: 5,
+            rank_bounds: (1, 8),
+            cs: CsConfig { iterations: 30, ..CsConfig::default() },
+            ..GaConfig::default()
+        },
+    )?;
+    println!("Algorithm 2 picked r = {}, λ = {:.2}", ga.rank, ga.lambda);
+    let cfg = CsConfig { rank: ga.rank, lambda: ga.lambda, ..CsConfig::default() };
+    let estimate = complete_matrix(&measured, &cfg)?;
+
+    // Score on cells that are missing in the measurement but known in
+    // the simulation's ground truth. Note the measurement itself is a
+    // *noisy sample* of the ground truth (GPS error, finite probes), so
+    // this NMAE includes sensing noise, not just completion error.
+    let err = nmae_on_missing(sim.ground_truth.values(), &estimate, measured.indicator());
+    println!("\ncompressive-sensing NMAE over unobserved cells: {:.3}", err);
+
+    let knn = naive_knn_impute(&measured, 4);
+    let knn_err = nmae_on_missing(sim.ground_truth.values(), &knn, measured.indicator());
+    println!("naive-KNN NMAE over unobserved cells:           {:.3}", knn_err);
+    println!(
+        "\nnote: under fleet-shaped (non-uniform) masks on this synthetic city,\n\
+         naive KNN is unusually strong because the generator assigns adjacent\n\
+         column indices to geographically adjacent streets, turning index\n\
+         neighbourhoods into spatial interpolation. Under the paper's uniform\n\
+         masking protocol (see `experiments fig11` or `quickstart`) the\n\
+         compressive-sensing algorithm wins at every granularity."
+    );
+    Ok(())
+}

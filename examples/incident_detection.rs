@@ -1,0 +1,88 @@
+//! Incident detection from sparse probe data, end to end:
+//!
+//! ```text
+//! cargo run --release --example incident_detection
+//! ```
+//!
+//! The simulator injects labelled traffic incidents; we observe only a
+//! fraction of the traffic condition matrix, complete it with the
+//! compressive-sensing algorithm, and run the robust anomaly detector on
+//! the estimate. Precision/recall against the injected labels shows how
+//! much incident visibility survives the sensing gap.
+
+use cs_traffic::prelude::*;
+use probes::SlotGrid;
+use traffic_cs::anomaly::{
+    detect_anomalies, detect_anomalies_sparse, precision_recall, AnomalyConfig, Baseline,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Five weekdays of traffic (the daily-median baseline assumes the
+    // days are exchangeable; mixing weekday and weekend rhythms would
+    // flag every rush hour as anomalous).
+    let mut city = GridCityConfig::small_test();
+    city.rows = 8;
+    city.cols = 8;
+    let net = generate_grid_city(&city);
+    let grid = SlotGrid::covering(0, 5 * 86_400, Granularity::Min30);
+    let gt_cfg = GroundTruthConfig {
+        incident_rate_per_segment_day: 0.08,
+        incident_severity: (0.5, 0.8),
+        ..GroundTruthConfig::default()
+    };
+    let model = GroundTruthModel::generate(&net, grid, &gt_cfg);
+    let labels: Vec<(usize, usize, usize)> = model
+        .incidents()
+        .iter()
+        .map(|i| (i.segment, i.start_slot, i.end_slot))
+        .collect();
+    println!("injected incidents: {}", labels.len());
+
+    // Observe 30% of the matrix, complete it.
+    let truth = model.tcm();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    let mask = random_mask(truth.num_slots(), truth.num_segments(), 0.3, &mut rng);
+    let observed = truth.masked(&mask)?;
+    // Rank above the structural rank so incident energy survives into
+    // the estimate.
+    let cfg = CsConfig { rank: 8, lambda: 0.1, ..CsConfig::default() };
+    let estimate = complete_matrix(&observed, &cfg)?;
+    // Completion knows no physics: clamp the estimate into the plausible
+    // speed range before analysis (as any consumer would — compare
+    // navigator::TravelTimeField::from_estimate).
+    let estimate = estimate.map(|v| v.clamp(3.0, 80.0));
+
+    // Detect on the completed matrix (48 slots per day at 30 min).
+    let detector = AnomalyConfig {
+        baseline: Baseline::SeasonalMedian { period_slots: 48 },
+        threshold_sigma: 3.5,
+        min_run_slots: 1,
+        ..AnomalyConfig::default()
+    };
+    // Sparse-evidence detection: the completed estimate provides the
+    // "normal traffic" baseline (via its seasonal median), but only
+    // *observed* probe cells can raise an alert — a rank-limited
+    // completion smears strong simultaneous incidents into cells it has
+    // no evidence for, and a monitoring centre shouldn't page anyone on
+    // smeared cells.
+    let baseline = traffic_cs::anomaly::seasonal_median_baseline(&estimate, 48)?;
+    let sparse_cfg = AnomalyConfig { min_peak_drop: 8.0, ..detector.clone() };
+    let on_estimate = detect_anomalies_sparse(&observed, &baseline, &sparse_cfg)?;
+    let (p_est, r_est) = precision_recall(&on_estimate, &labels);
+
+    // Reference: detection on the full ground truth (no sensing gap).
+    let on_truth = detect_anomalies(truth.values(), &detector)?;
+    let (p_truth, r_truth) = precision_recall(&on_truth, &labels);
+
+    println!("\n{:<28} {:>10} {:>8}", "input", "precision", "recall");
+    println!("{:<28} {:>9.2} {:>8.2}", "complete ground truth", p_truth, r_truth);
+    println!("{:<28} {:>9.2} {:>8.2}", "estimate from 30% probes", p_est, r_est);
+    println!("\nstrongest detections on the estimate:");
+    for d in on_estimate.iter().take(5) {
+        println!(
+            "  segment {:>3}, slots {:>3}–{:<3} (z = {:.1})",
+            d.segment, d.start_slot, d.end_slot, d.peak_zscore
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Online (streaming) estimation — the paper's Section 6 extension.
+//!
+//! ```text
+//! cargo run --release --example streaming
+//! ```
+//!
+//! Probe observations arrive slot by slot into a sliding-window
+//! `StreamingTcm`; every new slot triggers a warm-started matrix
+//! completion (`OnlineEstimator`) whose last row is the live traffic
+//! map. Warm starts make each update far cheaper than the offline
+//! `t = 100`-sweep solve.
+
+use cs_traffic::prelude::*;
+use probes::stream::StreamingTcm;
+use probes::SlotGrid;
+use rand::RngExt;
+use traffic_cs::online::OnlineEstimator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Ground truth to sample probe observations from.
+    let city = GridCityConfig::small_test();
+    let net = generate_grid_city(&city);
+    let slot_len = Granularity::Min15.seconds();
+    let grid = SlotGrid::covering(0, 86_400, Granularity::Min15);
+    let model = GroundTruthModel::generate(&net, grid, &GroundTruthConfig::default());
+    let n = net.segment_count();
+
+    const WINDOW: usize = 32; // 8 hours of 15-minute slots
+    let mut stream = StreamingTcm::new(0, slot_len, WINDOW, n);
+    let cfg = CsConfig { rank: 2, lambda: 0.3, tol: 1e-4, ..CsConfig::default() };
+    let mut online = OnlineEstimator::new(cfg, WINDOW);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    println!("{:>6} {:>10} {:>8} {:>7}", "slot", "integrity", "NMAE", "sweeps");
+    for slot in 0..grid.num_slots() {
+        // ~40 probe observations arrive during this slot.
+        for _ in 0..40 {
+            let seg = rng.random_range(0..n);
+            let truth = model.speeds().get(slot, seg);
+            let speed = (truth + linalg::rng::normal(&mut rng, 0.0, 2.0)).max(0.0);
+            let ts = slot as u64 * slot_len + rng.random_range(0..slot_len);
+            stream.observe(ts, seg, speed)?;
+        }
+        // Once the window is full, re-estimate after every slot.
+        if slot + 1 >= WINDOW && (slot + 1) % 4 == 0 {
+            let window = stream.snapshot();
+            let result = online.update_detailed(&window)?;
+            // Score the estimate against ground truth for this window.
+            let first_slot = slot + 1 - WINDOW;
+            let truth = model.speeds().submatrix(first_slot, slot + 1, 0, n);
+            let err = nmae_on_missing(&truth, &result.estimate, window.indicator());
+            println!(
+                "{:>6} {:>9.1}% {:>8.3} {:>7}",
+                slot,
+                window.integrity() * 100.0,
+                err,
+                result.sweeps
+            );
+        }
+    }
+    println!(
+        "\n{} online updates, {:.1} ALS sweeps per update on average (offline uses 100)",
+        online.updates(),
+        online.mean_sweeps()
+    );
+    Ok(())
+}

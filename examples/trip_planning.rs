@@ -1,0 +1,65 @@
+//! Trip planning on estimated traffic — the application the paper's
+//! introduction motivates.
+//!
+//! ```text
+//! cargo run --release --example trip_planning
+//! ```
+//!
+//! Builds a day of ground-truth traffic, recovers it from 25% of the
+//! entries, and compares trips planned on the *estimate* against trips
+//! planned with perfect knowledge: the regret (extra travel time) is the
+//! end-user cost of the estimation error.
+
+use cs_traffic::prelude::*;
+use navigator::{planner, TravelTimeField};
+use probes::SlotGrid;
+use roadnet::NodeId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut city = GridCityConfig::small_test();
+    city.rows = 10;
+    city.cols = 10;
+    let net = generate_grid_city(&city);
+    let grid = SlotGrid::covering(0, 86_400, Granularity::Min30);
+    let model = GroundTruthModel::generate(&net, grid, &GroundTruthConfig::default());
+    let truth = model.tcm();
+    let truth_field = TravelTimeField::new(&net, truth.clone(), grid)?;
+
+    // Recover from 25% observations.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mask = random_mask(truth.num_slots(), truth.num_segments(), 0.25, &mut rng);
+    let observed = truth.masked(&mask)?;
+    let cells = (truth.num_slots() * truth.num_segments()) as f64;
+    let cfg = CsConfig { rank: 2, lambda: (100.0 * cells / (672.0 * 221.0)).max(0.01), ..CsConfig::default() };
+    let estimate = complete_matrix(&observed, &cfg)?;
+    let est_field = TravelTimeField::from_estimate(&net, &estimate, grid)?;
+    println!(
+        "recovered {}x{} TCM from {:.0}% observations",
+        truth.num_slots(),
+        truth.num_segments(),
+        observed.integrity() * 100.0
+    );
+
+    // Plan the same commute at different times of day.
+    let from = NodeId(0);
+    let to = NodeId((net.node_count() - 1) as u32);
+    println!("\n{:<8} {:>12} {:>12} {:>9}", "depart", "optimal (s)", "planned (s)", "regret");
+    let mut worst: f64 = 0.0;
+    for hour in [3u64, 8, 12, 18, 22] {
+        let depart = hour * 3600;
+        let optimal = planner::fastest_route(&net, &truth_field, from, to, depart).unwrap();
+        let planned = planner::fastest_route(&net, &est_field, from, to, depart).unwrap();
+        let planned_true = planner::route_travel_time(&net, &truth_field, &planned.segments, depart);
+        let regret = (planned_true - optimal.travel_time_s) / optimal.travel_time_s;
+        worst = worst.max(regret);
+        println!(
+            "{:>2}:00    {:>12.1} {:>12.1} {:>8.1}%",
+            hour,
+            optimal.travel_time_s,
+            planned_true,
+            regret * 100.0
+        );
+    }
+    println!("\nworst-case regret from planning on the estimate: {:.1}%", worst * 100.0);
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Algorithm 2 in action: genetic search for (rank bound r, tradeoff λ).
+//!
+//! ```text
+//! cargo run --release --example tune_parameters
+//! ```
+//!
+//! Builds a masked traffic condition matrix, sweeps r and λ by hand to
+//! show the sensitivity the paper's Figs. 15–16 document, then lets the
+//! genetic algorithm find the optimum automatically.
+
+use cs_traffic::prelude::*;
+use probes::SlotGrid;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Ground truth: three days over a small city, 30-minute slots.
+    let mut city = GridCityConfig::small_test();
+    city.rows = 8;
+    city.cols = 8;
+    let net = generate_grid_city(&city);
+    let grid = SlotGrid::covering(0, 3 * 86_400, Granularity::Min30);
+    let model = GroundTruthModel::generate(&net, grid, &GroundTruthConfig::default());
+    let truth = model.tcm();
+
+    // Observe 30% of the entries.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mask = random_mask(truth.num_slots(), truth.num_segments(), 0.3, &mut rng);
+    let observed = truth.masked(&mask)?;
+    println!(
+        "matrix {} x {}, integrity {:.0}%",
+        truth.num_slots(),
+        truth.num_segments(),
+        observed.integrity() * 100.0
+    );
+
+    // Manual sensitivity sweep (Figs. 15–16 in miniature).
+    println!("\nmanual rank sweep (λ = 1):");
+    for rank in [1usize, 2, 4, 8, 16] {
+        let cfg = CsConfig { rank, lambda: 1.0, ..CsConfig::default() };
+        let est = complete_matrix(&observed, &cfg)?;
+        let err = nmae_on_missing(truth.values(), &est, observed.indicator());
+        println!("  r = {rank:<3} NMAE = {err:.3}");
+    }
+    println!("manual λ sweep (r = 8):");
+    for lambda in [0.001, 0.1, 1.0, 10.0, 100.0] {
+        let cfg = CsConfig { rank: 8, lambda, ..CsConfig::default() };
+        let est = complete_matrix(&observed, &cfg)?;
+        let err = nmae_on_missing(truth.values(), &est, observed.indicator());
+        println!("  λ = {lambda:<7} NMAE = {err:.3}");
+    }
+
+    // Algorithm 2: automatic search (fitness = NMAE on a held-out
+    // validation split of the *observed* entries — no ground truth
+    // needed, so this works in deployment).
+    println!("\nrunning the genetic search ...");
+    let ga_cfg = GaConfig {
+        population: 12,
+        generations: 8,
+        rank_bounds: (1, 16),
+        ..GaConfig::default()
+    };
+    let result = optimize_parameters(&observed, &ga_cfg)?;
+    println!(
+        "GA found r = {}, λ = {:.3} (validation NMAE {:.3})",
+        result.rank, result.lambda, result.fitness
+    );
+
+    // Confirm on the genuinely missing entries.
+    let cfg = CsConfig { rank: result.rank, lambda: result.lambda, ..CsConfig::default() };
+    let est = complete_matrix(&observed, &cfg)?;
+    let err = nmae_on_missing(truth.values(), &est, observed.indicator());
+    println!("test NMAE with GA parameters: {err:.3}");
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration: city → fleet → reports → TCM → completion.
+
+use cs_traffic::prelude::*;
+
+/// The full monitoring pipeline produces a usable estimate from real
+/// (simulated) probe motion, not just from uniform masking.
+#[test]
+fn pipeline_from_probe_reports_to_estimate() {
+    let mut scenario = ScenarioConfig::small_test();
+    scenario.duration_s = 24 * 3600;
+    scenario.fleet.fleet_size = 60;
+    scenario.granularity = Granularity::Min30;
+    let sim = scenario.run();
+    assert!(!sim.reports.is_empty());
+
+    let index = SegmentIndex::build(&sim.network, 100.0);
+    let measured = build_tcm_from_reports(&sim.reports, &sim.network, &index, &sim.grid, 80.0);
+    let integrity = measured.integrity();
+    assert!(integrity > 0.05 && integrity < 0.9, "integrity {integrity}");
+
+    let cfg = CsConfig { rank: 2, lambda: 0.5, ..CsConfig::default() };
+    let estimate = complete_matrix(&measured, &cfg).expect("completion runs");
+    assert_eq!(estimate.shape(), (measured.num_slots(), measured.num_segments()));
+
+    // NMAE against the simulation's ground truth: bounded by a loose
+    // sanity ceiling (includes GPS/sampling noise, not just completion).
+    let err = nmae_on_missing(sim.ground_truth.values(), &estimate, measured.indicator());
+    assert!(err < 0.5, "pipeline NMAE {err}");
+    // And the estimate must beat the trivial zero estimate by far.
+    let zero = Matrix::zeros(measured.num_slots(), measured.num_segments());
+    let zero_err = nmae_on_missing(sim.ground_truth.values(), &zero, measured.indicator());
+    assert!(err < 0.5 * zero_err, "no better than zeros: {err} vs {zero_err}");
+}
+
+/// Everything in the pipeline is seeded: two identical runs give
+/// identical bytes.
+#[test]
+fn pipeline_is_deterministic() {
+    let scenario = ScenarioConfig::small_test();
+    let a = scenario.run();
+    let b = scenario.run();
+    assert_eq!(a.reports, b.reports);
+    assert_eq!(a.ground_truth.values(), b.ground_truth.values());
+
+    let index = SegmentIndex::build(&a.network, 100.0);
+    let ta = build_tcm_from_reports(&a.reports, &a.network, &index, &a.grid, 80.0);
+    let tb = build_tcm_from_reports(&b.reports, &b.network, &index, &b.grid, 80.0);
+    assert_eq!(ta, tb);
+
+    let cfg = CsConfig::default();
+    if ta.observed_count() > 0 {
+        let ea = complete_matrix(&ta, &cfg).unwrap();
+        let eb = complete_matrix(&tb, &cfg).unwrap();
+        assert_eq!(ea, eb);
+    }
+}
+
+/// The measured TCM's observed cells approximate the ground truth — the
+/// paper's Definition 1 approximation holds through the whole stack
+/// (movement, GPS noise, map matching, binning).
+#[test]
+fn measured_cells_track_ground_truth() {
+    let mut scenario = ScenarioConfig::small_test();
+    scenario.duration_s = 12 * 3600;
+    scenario.fleet.fleet_size = 80;
+    scenario.granularity = Granularity::Min60;
+    let sim = scenario.run();
+    let index = SegmentIndex::build(&sim.network, 100.0);
+    let measured = build_tcm_from_reports(&sim.reports, &sim.network, &index, &sim.grid, 60.0);
+
+    let mut rel = Vec::new();
+    for (t, c, v) in measured.observed_entries() {
+        let truth = sim.ground_truth.values().get(t, c);
+        rel.push((v - truth).abs() / truth);
+    }
+    assert!(rel.len() > 30, "too few observed cells: {}", rel.len());
+    let mean_rel = rel.iter().sum::<f64>() / rel.len() as f64;
+    assert!(mean_rel < 0.35, "mean relative sensing error {mean_rel}");
+}
+
+/// Canyon segments lose disproportionately many reports.
+#[test]
+fn urban_canyons_are_undersampled() {
+    let mut scenario = ScenarioConfig::small_test();
+    scenario.city.canyon_prob_core = 0.9;
+    scenario.city.canyon_prob_outer = 0.0;
+    scenario.gps.canyon_dropout_prob = 0.9;
+    scenario.gps.dropout_prob = 0.0;
+    scenario.duration_s = 12 * 3600;
+    scenario.fleet.fleet_size = 80;
+    let sim = scenario.run();
+    let index = SegmentIndex::build(&sim.network, 100.0);
+    let measured = build_tcm_from_reports(&sim.reports, &sim.network, &index, &sim.grid, 60.0);
+    let roads = probes::integrity::per_road(&measured);
+    let (mut canyon_sum, mut canyon_n, mut open_sum, mut open_n) = (0.0, 0usize, 0.0, 0usize);
+    for seg in sim.network.segments() {
+        let r = roads[seg.id.index()];
+        if seg.urban_canyon {
+            canyon_sum += r;
+            canyon_n += 1;
+        } else {
+            open_sum += r;
+            open_n += 1;
+        }
+    }
+    assert!(canyon_n > 0 && open_n > 0);
+    let canyon_mean = canyon_sum / canyon_n as f64;
+    let open_mean = open_sum / open_n as f64;
+    assert!(
+        canyon_mean < 0.6 * open_mean,
+        "canyon {canyon_mean} vs open {open_mean}"
+    );
+}
+
+/// Coarser time slots monotonically raise integrity on the same reports
+/// (the paper's Table 1 row structure).
+#[test]
+fn integrity_rises_with_granularity() {
+    let mut scenario = ScenarioConfig::small_test();
+    scenario.duration_s = 24 * 3600;
+    scenario.fleet.fleet_size = 30;
+    let sim = scenario.run();
+    let index = SegmentIndex::build(&sim.network, 100.0);
+    let mut last = 0.0;
+    for g in Granularity::all() {
+        let grid = SlotGrid::covering(0, scenario.duration_s, g);
+        let tcm = build_tcm_from_reports(&sim.reports, &sim.network, &index, &grid, 80.0);
+        let integ = tcm.integrity();
+        assert!(integ >= last, "{g}: {integ} < {last}");
+        last = integ;
+    }
+}

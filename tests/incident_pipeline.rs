@@ -1,0 +1,86 @@
+//! Integration: incident detection from sparse probe data against the
+//! simulator's labelled incidents — the full loop from the paper's
+//! "type-2 eigenflows are incidents" observation to an operational
+//! detector running on completed matrices.
+
+use cs_traffic::prelude::*;
+use probes::SlotGrid;
+use traffic_cs::anomaly::{
+    detect_anomalies, detect_anomalies_sparse, precision_recall, seasonal_median_baseline,
+    AnomalyConfig, Baseline,
+};
+
+fn incident_world() -> (GroundTruthModel, Vec<(usize, usize, usize)>) {
+    let mut city = GridCityConfig::small_test();
+    city.rows = 7;
+    city.cols = 7;
+    let net = generate_grid_city(&city);
+    // Five weekdays: the seasonal-median baseline assumes exchangeable
+    // days.
+    let grid = SlotGrid::covering(0, 5 * 86_400, Granularity::Min30);
+    let cfg = GroundTruthConfig {
+        incident_rate_per_segment_day: 0.06,
+        incident_severity: (0.55, 0.8),
+        ..GroundTruthConfig::default()
+    };
+    let model = GroundTruthModel::generate(&net, grid, &cfg);
+    let labels = model
+        .incidents()
+        .iter()
+        .map(|i| (i.segment, i.start_slot, i.end_slot))
+        .collect();
+    (model, labels)
+}
+
+#[test]
+fn detector_on_ground_truth_recalls_all_incidents() {
+    let (model, labels) = incident_world();
+    assert!(labels.len() > 10, "too few incidents to evaluate: {}", labels.len());
+    let cfg = AnomalyConfig {
+        baseline: Baseline::SeasonalMedian { period_slots: 48 },
+        threshold_sigma: 3.5,
+        ..AnomalyConfig::default()
+    };
+    let detections = detect_anomalies(model.speeds(), &cfg).unwrap();
+    let (precision, recall) = precision_recall(&detections, &labels);
+    assert_eq!(recall, 1.0, "missed incidents");
+    assert!(precision > 0.6, "precision {precision}");
+}
+
+#[test]
+fn sparse_detector_survives_the_sensing_gap() {
+    let (model, labels) = incident_world();
+    let truth = model.tcm();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let mask = random_mask(truth.num_slots(), truth.num_segments(), 0.35, &mut rng);
+    let observed = truth.masked(&mask).unwrap();
+
+    // Complete, clamp, build the robust baseline from the estimate.
+    let cs = CsConfig { rank: 8, lambda: 0.1, ..CsConfig::default() };
+    let estimate = complete_matrix(&observed, &cs).unwrap().map(|v| v.clamp(3.0, 80.0));
+    let baseline = seasonal_median_baseline(&estimate, 48).unwrap();
+
+    let cfg = AnomalyConfig {
+        threshold_sigma: 3.5,
+        min_peak_drop: 8.0,
+        ..AnomalyConfig::default()
+    };
+    let detections = detect_anomalies_sparse(&observed, &baseline, &cfg).unwrap();
+    let (precision, recall) = precision_recall(&detections, &labels);
+    // Recall is bounded by sensing: only incidents some probe observed
+    // can ever be flagged. Precision must stay high — false alarms are
+    // the operational cost.
+    assert!(precision > 0.6, "precision {precision} ({} detections)", detections.len());
+    assert!(recall > 0.4, "recall {recall}");
+
+    // Upper bound on achievable recall: incidents with ≥1 observed cell.
+    let observable = labels
+        .iter()
+        .filter(|&&(s, a, b)| (a..=b).any(|t| observed.is_observed(t, s)))
+        .count() as f64
+        / labels.len() as f64;
+    assert!(
+        recall <= observable + 1e-9,
+        "recall {recall} exceeds observable bound {observable}"
+    );
+}

@@ -1,0 +1,204 @@
+//! Integration tests pinning the paper's qualitative claims on
+//! small-scale (fast) instances of the evaluation pipeline. The
+//! full-scale numbers live in EXPERIMENTS.md; these tests guard the
+//! *shape* of every headline result against regressions.
+
+use cs_traffic::prelude::*;
+use probes::SlotGrid;
+
+/// A week-long ground-truth TCM over a small city.
+fn week_truth(granularity: Granularity, seed: u64) -> Tcm {
+    let mut city = GridCityConfig::small_test();
+    city.rows = 8;
+    city.cols = 8;
+    city.seed = seed;
+    let net = generate_grid_city(&city);
+    let grid = SlotGrid::covering(0, 7 * 86_400, granularity);
+    let cfg = GroundTruthConfig { seed, ..GroundTruthConfig::default() };
+    GroundTruthModel::generate(&net, grid, &cfg).tcm()
+}
+
+fn mask_to(truth: &Tcm, integrity: f64, seed: u64) -> Tcm {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mask = random_mask(truth.num_slots(), truth.num_segments(), integrity, &mut rng);
+    truth.masked(&mask).unwrap()
+}
+
+fn cs_cfg(truth: &Tcm) -> CsConfig {
+    // λ scaled from the paper's 100 by matrix size (see DESIGN.md).
+    let cells = (truth.num_slots() * truth.num_segments()) as f64;
+    CsConfig { rank: 2, lambda: (100.0 * cells / (672.0 * 221.0)).max(0.01), ..CsConfig::default() }
+}
+
+fn nmae_of(est: &Estimator, truth: &Tcm, masked: &Tcm) -> f64 {
+    let e = est.estimate(masked).expect("estimator runs");
+    nmae_on_missing(truth.values(), &e, masked.indicator())
+}
+
+/// Section 3.1 / Fig. 4: traffic condition matrices are effectively low
+/// rank — a handful of components carry ≥90% of the energy.
+#[test]
+fn tcm_has_low_effective_rank() {
+    let truth = week_truth(Granularity::Min30, 1);
+    let k90 = traffic_cs::pca::effective_rank(truth.values(), 0.9).unwrap();
+    assert!(k90 <= 5, "90% energy needs {k90} components");
+}
+
+/// Headline claim (abstract): ≈20% estimate error with >80% of data
+/// missing.
+#[test]
+fn twenty_percent_error_at_twenty_percent_integrity() {
+    let truth = week_truth(Granularity::Min60, 2);
+    let masked = mask_to(&truth, 0.2, 2);
+    let err = nmae_of(&Estimator::CompressiveSensing(cs_cfg(&truth)), &truth, &masked);
+    assert!(err < 0.22, "NMAE {err} at 20% integrity");
+}
+
+/// Fig. 11 ranking at low integrity: CS < {corr-KNN, MSSA} < naive KNN.
+#[test]
+fn algorithm_ranking_at_low_integrity() {
+    let truth = week_truth(Granularity::Min60, 3);
+    let masked = mask_to(&truth, 0.2, 3);
+    let cs = nmae_of(&Estimator::CompressiveSensing(cs_cfg(&truth)), &truth, &masked);
+    let naive = nmae_of(&Estimator::NaiveKnn { k: 4 }, &truth, &masked);
+    let corr = nmae_of(&Estimator::CorrelationKnn { k_range: 2 }, &truth, &masked);
+    let mssa = nmae_of(
+        &Estimator::Mssa(MssaConfig { max_iterations: 8, ..MssaConfig::default() }),
+        &truth,
+        &masked,
+    );
+    assert!(cs < naive, "cs {cs} vs naive {naive}");
+    assert!(cs < corr, "cs {cs} vs corr {corr}");
+    assert!(cs < mssa, "cs {cs} vs mssa {mssa}");
+}
+
+/// Fig. 11: CS error decays fast until ~40% integrity, then flattens;
+/// it never explodes at low integrity.
+#[test]
+fn cs_error_flat_in_integrity() {
+    let truth = week_truth(Granularity::Min60, 4);
+    let est = Estimator::CompressiveSensing(cs_cfg(&truth));
+    let e10 = nmae_of(&est, &truth, &mask_to(&truth, 0.1, 4));
+    let e40 = nmae_of(&est, &truth, &mask_to(&truth, 0.4, 5));
+    let e80 = nmae_of(&est, &truth, &mask_to(&truth, 0.8, 6));
+    assert!(e40 <= e10 + 1e-9, "{e10} -> {e40}");
+    assert!(e80 <= e40 + 0.02, "{e40} -> {e80}");
+    // Flat regime: dropping from 40% to 10% observed costs little.
+    assert!(e10 - e80 < 0.15, "error explodes at low integrity: {e10} vs {e80}");
+}
+
+/// Fig. 11: finer granularity → higher error for the CS algorithm
+/// (weaker structure within shorter slots).
+#[test]
+fn finer_granularity_is_harder() {
+    let e_at = |g: Granularity| {
+        let truth = week_truth(g, 7);
+        let masked = mask_to(&truth, 0.2, 7);
+        nmae_of(&Estimator::CompressiveSensing(cs_cfg(&truth)), &truth, &masked)
+    };
+    let e15 = e_at(Granularity::Min15);
+    let e60 = e_at(Granularity::Min60);
+    assert!(e15 > e60 - 0.01, "15 min {e15} should be ≥ 60 min {e60}");
+}
+
+/// Figs. 11–12: the Shenzhen-like configuration (sparser, noisier) gives
+/// higher error than the Shanghai-like one at equal settings.
+#[test]
+fn noisier_dataset_has_higher_error() {
+    let make = |noise: f64, jitter: f64, seed: u64| {
+        let mut city = GridCityConfig::small_test();
+        city.rows = 8;
+        city.cols = 8;
+        let net = generate_grid_city(&city);
+        let grid = SlotGrid::covering(0, 7 * 86_400, Granularity::Min60);
+        let cfg = GroundTruthConfig {
+            noise_std_kmh: noise,
+            coupling_jitter: jitter,
+            seed,
+            ..GroundTruthConfig::default()
+        };
+        GroundTruthModel::generate(&net, grid, &cfg).tcm()
+    };
+    let clean = make(1.5, 0.1, 8);
+    let noisy = make(4.0, 0.25, 8);
+    let e_clean = nmae_of(
+        &Estimator::CompressiveSensing(cs_cfg(&clean)),
+        &clean,
+        &mask_to(&clean, 0.2, 9),
+    );
+    let e_noisy = nmae_of(
+        &Estimator::CompressiveSensing(cs_cfg(&noisy)),
+        &noisy,
+        &mask_to(&noisy, 0.2, 9),
+    );
+    assert!(e_noisy > e_clean, "noisy {e_noisy} vs clean {e_clean}");
+}
+
+/// Figs. 13–14: at 20% integrity, most per-entry relative errors are
+/// small (paper: ~80% below 0.25 at 60-minute granularity).
+#[test]
+fn relative_error_distribution_concentrates() {
+    let truth = week_truth(Granularity::Min60, 10);
+    let masked = mask_to(&truth, 0.2, 10);
+    let est = Estimator::CompressiveSensing(cs_cfg(&truth)).estimate(&masked).unwrap();
+    let cdf = relative_error_cdf(truth.values(), &est, masked.indicator());
+    let frac_below_025 = linalg::stats::cdf_at(&cdf, 0.25);
+    assert!(frac_below_025 > 0.7, "only {frac_below_025} below 0.25");
+}
+
+/// Section 3.4: the GA's chosen parameters transfer across time — tuned
+/// on one week, still good on the next (the paper: "the two parameters
+/// obtained by Algorithm 2 are stable over different times").
+#[test]
+fn ga_parameters_stable_over_time() {
+    let mut city = GridCityConfig::small_test();
+    city.rows = 8;
+    city.cols = 8;
+    let net = generate_grid_city(&city);
+    let week = |start_week: u64| {
+        let grid = SlotGrid::covering(start_week * 7 * 86_400, 7 * 86_400, Granularity::Min60);
+        GroundTruthModel::generate(&net, grid, &GroundTruthConfig::default()).tcm()
+    };
+    let week1 = week(0);
+    let week2 = week(1);
+    let masked1 = mask_to(&week1, 0.3, 11);
+    let ga = optimize_parameters(
+        &masked1,
+        &GaConfig {
+            population: 8,
+            generations: 4,
+            rank_bounds: (1, 12),
+            cs: CsConfig { iterations: 15, ..CsConfig::default() },
+            ..GaConfig::default()
+        },
+    )
+    .unwrap();
+    // Apply week-1's parameters to week 2.
+    let masked2 = mask_to(&week2, 0.3, 12);
+    let cfg = CsConfig { rank: ga.rank, lambda: ga.lambda, ..CsConfig::default() };
+    let est = complete_matrix(&masked2, &cfg).unwrap();
+    let err = nmae_on_missing(week2.values(), &est, masked2.indicator());
+    assert!(err < 0.15, "transferred parameters NMAE {err}");
+}
+
+/// Robustness: the core result is not a grid artifact — on a radial
+/// (ring-and-spoke) city, the CS algorithm still beats naive KNN at low
+/// integrity and keeps its error in the same regime.
+#[test]
+fn results_hold_on_radial_topology() {
+    use roadnet::generator::{generate_radial_city, RadialCityConfig};
+    let cfg = RadialCityConfig { rings: 5, spokes: 12, ..RadialCityConfig::small_test() };
+    let net = generate_radial_city(&cfg);
+    let grid = SlotGrid::covering(0, 7 * 86_400, Granularity::Min60);
+    let model = GroundTruthModel::generate(&net, grid, &GroundTruthConfig::default());
+    let truth = model.tcm();
+    let masked = {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        let mask = random_mask(truth.num_slots(), truth.num_segments(), 0.2, &mut rng);
+        truth.masked(&mask).unwrap()
+    };
+    let cs = nmae_of(&Estimator::CompressiveSensing(cs_cfg(&truth)), &truth, &masked);
+    let knn = nmae_of(&Estimator::NaiveKnn { k: 4 }, &truth, &masked);
+    assert!(cs < knn, "radial city: cs {cs} vs knn {knn}");
+    assert!(cs < 0.2, "radial city CS error {cs}");
+}

@@ -1,0 +1,161 @@
+//! Property-based integration tests over the cross-crate invariants.
+
+use cs_traffic::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random "traffic" matrix with speeds in 3..80 km/h.
+fn speed_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (2..max_rows, 2..max_cols).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(3.0f64..80.0, m * n)
+            .prop_map(move |data| Matrix::from_vec(m, n, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Completion output always has the input's shape and finite values,
+    /// for any mask that leaves at least one observation.
+    #[test]
+    fn completion_shape_and_finiteness(
+        truth in speed_matrix(20, 16),
+        integrity in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), integrity, &mut rng);
+        let tcm = Tcm::complete(truth.clone()).masked(&mask).unwrap();
+        prop_assume!(tcm.observed_count() > 0);
+        let cfg = CsConfig { rank: 2, lambda: 0.5, iterations: 20, ..CsConfig::default() };
+        let est = complete_matrix(&tcm, &cfg).unwrap();
+        prop_assert_eq!(est.shape(), truth.shape());
+        prop_assert!(est.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// A rank-1 matrix with no noise is recovered near-exactly from half
+    /// its entries, regardless of which half (compressive-sensing
+    /// exactness on genuinely low-rank data).
+    #[test]
+    fn rank_one_matrix_recovered(
+        row_scale in proptest::collection::vec(0.5f64..2.0, 12),
+        col_scale in proptest::collection::vec(10.0f64..50.0, 10),
+        seed in 0u64..1000,
+    ) {
+        let truth = Matrix::from_fn(12, 10, |i, j| row_scale[i] * col_scale[j]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(12, 10, 0.5, &mut rng);
+        let tcm = Tcm::complete(truth.clone()).masked(&mask).unwrap();
+        prop_assume!(tcm.observed_count() > 30);
+        // A fully unobserved row/column is unrecoverable by *any*
+        // completion method (no equation touches it); exact recovery is
+        // only promised when every row and column is sampled.
+        prop_assume!(probes::integrity::per_road(&tcm).iter().all(|&r| r > 0.0));
+        prop_assume!(probes::integrity::per_slot(&tcm).iter().all(|&s| s > 0.0));
+        let cfg = CsConfig { rank: 1, lambda: 1e-6, iterations: 60, ..CsConfig::default() };
+        let est = complete_matrix(&tcm, &cfg).unwrap();
+        let err = nmae_on_missing(&truth, &est, tcm.indicator());
+        prop_assert!(err < 0.05, "NMAE {} for rank-1 recovery", err);
+    }
+
+    /// NMAE is zero iff the estimate matches the truth on missing cells;
+    /// scaling truth and estimate together leaves it unchanged.
+    #[test]
+    fn nmae_scale_invariance(
+        truth in speed_matrix(12, 10),
+        scale in 0.1f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), 0.5, &mut rng);
+        let est = truth.map(|v| v + 1.0);
+        let e1 = nmae_on_missing(&truth, &est, &mask);
+        let scaled_truth = truth.map(|v| v * scale);
+        let scaled_est = est.map(|v| v * scale);
+        let e2 = nmae_on_missing(&scaled_truth, &scaled_est, &mask);
+        prop_assert!((e1 - e2).abs() < 1e-9, "{} vs {}", e1, e2);
+        prop_assert!((nmae_on_missing(&truth, &truth, &mask)).abs() < 1e-12);
+    }
+
+    /// Baseline imputations preserve observed entries exactly.
+    #[test]
+    fn baselines_preserve_observations(
+        truth in speed_matrix(14, 10),
+        integrity in 0.2f64..0.8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), integrity, &mut rng);
+        let tcm = Tcm::complete(truth).masked(&mask).unwrap();
+        prop_assume!(tcm.observed_count() > 0);
+        for est in [
+            naive_knn_impute(&tcm, 4),
+            correlation_knn_impute(&tcm, 2),
+        ] {
+            for (i, j, v) in tcm.observed_entries() {
+                prop_assert_eq!(est.get(i, j), v);
+            }
+        }
+    }
+
+    /// Masking then measuring integrity is consistent: the TCM integrity
+    /// equals the number of kept cells over the total.
+    #[test]
+    fn integrity_matches_mask_density(
+        truth in speed_matrix(16, 12),
+        integrity in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mask = random_mask(truth.rows(), truth.cols(), integrity, &mut rng);
+        let kept = mask.sum();
+        let tcm = Tcm::complete(truth).masked(&mask).unwrap();
+        let expected = kept / tcm.indicator().len() as f64;
+        prop_assert!((tcm.integrity() - expected).abs() < 1e-12);
+        // Per-road and per-slot marginals average back to the overall.
+        let roads = probes::integrity::per_road(&tcm);
+        let mean_road = roads.iter().sum::<f64>() / roads.len() as f64;
+        prop_assert!((mean_road - tcm.integrity()).abs() < 1e-9);
+    }
+
+    /// Route validity holds for arbitrary od pairs on arbitrary grid
+    /// cities: each returned path is connected and starts/ends right.
+    #[test]
+    fn routing_paths_are_connected(
+        rows in 3usize..7,
+        cols in 3usize..7,
+        seed in 0u64..500,
+    ) {
+        let mut cfg = GridCityConfig::small_test();
+        cfg.rows = rows;
+        cfg.cols = cols;
+        cfg.seed = seed;
+        let net = generate_grid_city(&cfg);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        if let Some((from, to, route)) = roadnet::routing::random_trip(&net, &mut rng) {
+            let mut cur = from;
+            for &sid in &route.segments {
+                let seg = net.segment(sid);
+                prop_assert_eq!(seg.from, cur);
+                cur = seg.to;
+            }
+            prop_assert_eq!(cur, to);
+        }
+    }
+
+    /// Map matching a point on a segment always returns a geometrically
+    /// coincident segment (forward or reverse twin).
+    #[test]
+    fn matching_snaps_to_geometry(
+        seed in 0u64..500,
+        t in 0.0f64..1.0,
+    ) {
+        let mut cfg = GridCityConfig::small_test();
+        cfg.seed = seed;
+        let net = generate_grid_city(&cfg);
+        let index = SegmentIndex::build(&net, 100.0);
+        let sid = SegmentId((seed % net.segment_count() as u64) as u32);
+        let p = net.segment_point(sid, t);
+        let m = index.match_point(&net, p, 20.0).expect("on-network point matches");
+        prop_assert!(m.distance_m < 1e-6);
+    }
+}
