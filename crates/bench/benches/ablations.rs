@@ -26,9 +26,12 @@ fn bench_als_solver(c: &mut Criterion) {
     let tcm = masked_eval();
     let mut group = c.benchmark_group("als_solver");
     group.sample_size(10);
-    for (name, solver) in [("normal_equations", RidgeSolver::NormalEquations), ("qr", RidgeSolver::Qr)] {
+    for (name, solver) in
+        [("normal_equations", RidgeSolver::NormalEquations), ("qr", RidgeSolver::Qr)]
+    {
         group.bench_function(name, |b| {
-            let cfg = CsConfig { rank: 2, lambda: 1.0, iterations: 30, solver, ..CsConfig::default() };
+            let cfg =
+                CsConfig { rank: 2, lambda: 1.0, iterations: 30, solver, ..CsConfig::default() };
             b.iter(|| black_box(complete_matrix(&tcm, &cfg).unwrap()))
         });
     }
@@ -40,9 +43,12 @@ fn bench_als_init(c: &mut Criterion) {
     let tcm = masked_eval();
     let mut group = c.benchmark_group("als_init");
     group.sample_size(10);
-    for (name, init) in [("random", Initialization::Random), ("row_means", Initialization::RowMeans)] {
+    for (name, init) in
+        [("random", Initialization::Random), ("row_means", Initialization::RowMeans)]
+    {
         group.bench_function(name, |b| {
-            let cfg = CsConfig { rank: 2, lambda: 1.0, iterations: 30, init, ..CsConfig::default() };
+            let cfg =
+                CsConfig { rank: 2, lambda: 1.0, iterations: 30, init, ..CsConfig::default() };
             b.iter(|| black_box(complete_matrix(&tcm, &cfg).unwrap()))
         });
     }

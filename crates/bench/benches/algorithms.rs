@@ -40,7 +40,8 @@ fn bench_algorithms(c: &mut Criterion) {
         b.iter(|| black_box(est.estimate(&tcm).unwrap()))
     });
     group.bench_function("compressive_sensing", |b| {
-        let est = Estimator::CompressiveSensing(CsConfig { rank: 2, lambda: 1.0, ..CsConfig::default() });
+        let est =
+            Estimator::CompressiveSensing(CsConfig { rank: 2, lambda: 1.0, ..CsConfig::default() });
         b.iter(|| black_box(est.estimate(&tcm).unwrap()))
     });
     group.bench_function("mssa_6_iterations", |b| {
@@ -58,12 +59,62 @@ fn bench_cs_scaling(c: &mut Criterion) {
         let tcm = masked_eval(g);
         let label = format!("cs_{g}").replace(' ', "");
         group.bench_function(&label, |b| {
-            let est = Estimator::CompressiveSensing(CsConfig { rank: 2, lambda: 1.0, ..CsConfig::default() });
+            let est = Estimator::CompressiveSensing(CsConfig {
+                rank: 2,
+                lambda: 1.0,
+                ..CsConfig::default()
+            });
             b.iter(|| black_box(est.estimate(&tcm).unwrap()))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_cs_scaling);
+/// Thread scaling of the parallel ALS completion engine on a synthetic
+/// low-rank TCM. The CI quick run (`CS_BENCH_QUICK=1`) shrinks the
+/// matrix so the job finishes in seconds; the full 512×1024 rank-8
+/// problem is the configuration the ≥1.5× multi-core speedup target is
+/// measured on.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let quick = std::env::var_os("CS_BENCH_QUICK").is_some();
+    let (slots, segments) = if quick { (64, 128) } else { (512, 1024) };
+    // Rank-8 ground truth: 8 smooth temporal factors with per-segment
+    // mixing weights.
+    let truth = linalg::Matrix::from_fn(slots, segments, |t, s| {
+        let mut v = 30.0;
+        for k in 0..8usize {
+            let f = (2.0 * std::f64::consts::PI * (k + 1) as f64 * t as f64 / slots as f64).sin();
+            let w = (((s + 1) * (k + 3) * 2654435761) % 1000) as f64 / 1000.0;
+            v += 4.0 * f * w;
+        }
+        v
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mask = random_mask(slots, segments, 0.3, &mut rng);
+    let tcm = Tcm::complete(truth).masked(&mask).expect("mask shape matches");
+
+    let mut group = c.benchmark_group("thread_scaling");
+    group.sample_size(10);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let sweeps = if quick { 10 } else { 25 };
+    for (label, threads) in [("1_thread", 1), ("2_threads", 2), ("all_cores", 0)] {
+        if label == "2_threads" && cores < 2 {
+            continue;
+        }
+        let cfg = CsConfig {
+            rank: 8,
+            lambda: 0.5,
+            iterations: sweeps,
+            tol: 0.0,
+            num_threads: threads,
+            ..CsConfig::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(traffic_cs::cs::complete_matrix(&tcm, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_cs_scaling, bench_thread_scaling);
 criterion_main!(benches);

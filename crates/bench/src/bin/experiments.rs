@@ -10,24 +10,57 @@
 //! init-ablation all`. `--quick` substitutes reduced datasets (small
 //! city, fewer sweep points) for a fast smoke run.
 
-use cs_bench::experiments::{accuracy, extensions, integrity, params, runtime, selection, structure};
+use cs_bench::experiments::{
+    accuracy, extensions, integrity, params, runtime, selection, structure,
+};
 
 const ALL_IDS: &[&str] = &[
-    "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "fig18", "table2", "ga", "convergence", "init-ablation",
-    "adaptive", "online", "weighted",
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "table2",
+    "ga",
+    "convergence",
+    "init-ablation",
+    "adaptive",
+    "online",
+    "weighted",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        let Some(n) = args.get(pos + 1).and_then(|v| v.parse().ok()) else {
+            eprintln!("--threads needs a numeric value (0 = all cores, 1 = sequential)");
+            std::process::exit(2);
+        };
+        workpool::set_default_threads(n);
+    }
     let mut ids: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(|a| a.to_lowercase())
+        .enumerate()
+        .filter(|&(i, a)| {
+            let is_threads_value = i > 0 && args[i - 1] == "--threads";
+            !a.starts_with('-') && !is_threads_value
+        })
+        .map(|(_, a)| a.to_lowercase())
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: experiments <id...|all> [--quick]");
+        eprintln!("usage: experiments <id...|all> [--quick] [--threads N]");
         eprintln!("ids: {}", ALL_IDS.join(" "));
         std::process::exit(2);
     }
@@ -41,10 +74,7 @@ fn main() {
         }
     }
 
-    println!(
-        "# cs-traffic experiments ({} mode)\n",
-        if quick { "quick" } else { "full" }
-    );
+    println!("# cs-traffic experiments ({} mode)\n", if quick { "quick" } else { "full" });
 
     // Shared expensive inputs, built lazily once.
     fn fleet(
@@ -80,16 +110,25 @@ fn main() {
                 &integrity::fig3(fleet(&mut fleet_cache, quick)),
             ),
             "fig4" => structure::print_fig4(&structure::fig4(sds(&mut structure_cache, quick))),
-            "fig5" => structure::print_fig5(&structure::eigenflows(sds(&mut structure_cache, quick))),
+            "fig5" => {
+                structure::print_fig5(&structure::eigenflows(sds(&mut structure_cache, quick)))
+            }
             "fig6" => structure::print_fig6(&structure::fig6(sds(&mut structure_cache, quick))),
             "fig7" => {
                 let ds = sds(&mut structure_cache, quick);
                 let analysis = structure::eigenflows(ds);
                 structure::print_fig7(&structure::fig7(ds, &analysis));
             }
-            "fig8" => structure::print_fig8(&structure::fig8(&structure::eigenflows(sds(&mut structure_cache, quick)))),
+            "fig8" => structure::print_fig8(&structure::fig8(&structure::eigenflows(sds(
+                &mut structure_cache,
+                quick,
+            )))),
             "fig11" => {
-                let opts = if quick { accuracy::AccuracyOpts::quick() } else { accuracy::AccuracyOpts::full() };
+                let opts = if quick {
+                    accuracy::AccuracyOpts::quick()
+                } else {
+                    accuracy::AccuracyOpts::full()
+                };
                 accuracy::print_accuracy(
                     "Fig. 11: NMAE vs integrity (Shanghai-like)",
                     "fig11_shanghai.csv",
@@ -97,7 +136,11 @@ fn main() {
                 );
             }
             "fig12" => {
-                let opts = if quick { accuracy::AccuracyOpts::quick() } else { accuracy::AccuracyOpts::full() };
+                let opts = if quick {
+                    accuracy::AccuracyOpts::quick()
+                } else {
+                    accuracy::AccuracyOpts::full()
+                };
                 accuracy::print_accuracy(
                     "Fig. 12: NMAE vs integrity (Shenzhen-like, no MSSA)",
                     "fig12_shenzhen.csv",
@@ -128,8 +171,12 @@ fn main() {
             ),
             "table2" => runtime::print_table2(&runtime::table2(quick)),
             "ga" => params::print_ga(&params::ga(&params::dataset(quick), quick)),
-            "convergence" => params::print_convergence(&params::convergence(&params::dataset(quick))),
-            "init-ablation" => params::print_init_ablation(&params::init_ablation(&params::dataset(quick))),
+            "convergence" => {
+                params::print_convergence(&params::convergence(&params::dataset(quick)))
+            }
+            "init-ablation" => {
+                params::print_init_ablation(&params::init_ablation(&params::dataset(quick)))
+            }
             "adaptive" => extensions::print_adaptive(&extensions::adaptive(quick)),
             "online" => extensions::print_online(extensions::online(quick)),
             "weighted" => extensions::print_weighted(extensions::weighted(quick)),

@@ -121,7 +121,12 @@ pub fn error_vs_integrity(
                     Ok(estimate) => {
                         let nmae =
                             nmae_on_missing(ds.truth.values(), &estimate, masked.indicator());
-                        out.push(AccuracyPoint { granularity: g, integrity: integ, algorithm: kind, nmae });
+                        out.push(AccuracyPoint {
+                            granularity: g,
+                            integrity: integ,
+                            algorithm: kind,
+                            nmae,
+                        });
                     }
                     Err(e) => eprintln!("   [{kind} failed at integrity {integ}: {e}]"),
                 }
@@ -230,7 +235,10 @@ pub fn relative_error_cdfs(
             let est = Estimator::CompressiveSensing(cs_config_for(n_cells))
                 .estimate(&masked)
                 .expect("CS runs on masked eval data");
-            RelErrCdf { granularity: g, cdf: relative_error_cdf(ds.truth.values(), &est, masked.indicator()) }
+            RelErrCdf {
+                granularity: g,
+                cdf: relative_error_cdf(ds.truth.values(), &est, masked.indicator()),
+            }
         })
         .collect()
 }
@@ -277,7 +285,11 @@ pub fn print_rel_err_cdfs(title: &str, file: &str, curves: &[RelErrCdf]) {
         .iter()
         .flat_map(|c| {
             c.cdf.iter().map(move |p| {
-                vec![c.granularity.to_string(), format!("{:.6}", p.value), format!("{:.6}", p.fraction)]
+                vec![
+                    c.granularity.to_string(),
+                    format!("{:.6}", p.value),
+                    format!("{:.6}", p.fraction),
+                ]
             })
         })
         .collect();

@@ -71,8 +71,7 @@ pub fn adaptive(quick: bool) -> Vec<(usize, f64, f64)> {
         let adaptive_err = nmae_r0(&adaptive_cols);
         let mut random_errs = Vec::new();
         for _ in 0..4 {
-            let mut pool: Vec<usize> =
-                (0..truth.num_segments()).filter(|&j| j != target).collect();
+            let mut pool: Vec<usize> = (0..truth.num_segments()).filter(|&j| j != target).collect();
             pool.shuffle(&mut rng);
             let mut cols = vec![target];
             cols.extend(pool.into_iter().take(k));
@@ -86,10 +85,8 @@ pub fn adaptive(quick: bool) -> Vec<(usize, f64, f64)> {
 
 /// Prints the adaptive-construction experiment.
 pub fn print_adaptive(rows: &[(usize, f64, f64)]) {
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|(k, a, r)| vec![k.to_string(), fmt(*a), fmt(*r)])
-        .collect();
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|(k, a, r)| vec![k.to_string(), fmt(*a), fmt(*r)]).collect();
     println!(
         "{}",
         format_table(
@@ -169,7 +166,8 @@ pub fn weighted(quick: bool) -> (f64, f64) {
     let mut noisy = truth.clone();
     for (i, j, b) in mask.clone().iter() {
         if b == 1.0 {
-            let k = *[1.0, 1.0, 2.0, 4.0, 10.0].as_slice().get(rng.random_range(0..5)).unwrap();
+            let k =
+                *[1.0, 1.0, 2.0, 4.0, 10.0].as_slice().get(rng.random_range(0..5usize)).unwrap();
             counts.set(i, j, k);
             let noise = linalg::rng::normal(&mut rng, 0.0, 15.0 / k.sqrt());
             noisy.set(i, j, (truth.get(i, j) + noise).max(1.0));

@@ -135,8 +135,16 @@ pub fn print_integrity_cdfs(title: &str, file: &str, curves: &[IntegrityCdf]) {
 pub fn run_all(quick: bool) {
     let days = fleet_days(quick);
     print_table1(&table1(&days));
-    print_integrity_cdfs("Fig. 2: CDF of per-road integrity (15 min)", "fig2_road_integrity.csv", &fig2(&days));
-    print_integrity_cdfs("Fig. 3: CDF of per-slot integrity (15 min)", "fig3_slot_integrity.csv", &fig3(&days));
+    print_integrity_cdfs(
+        "Fig. 2: CDF of per-road integrity (15 min)",
+        "fig2_road_integrity.csv",
+        &fig2(&days),
+    );
+    print_integrity_cdfs(
+        "Fig. 3: CDF of per-slot integrity (15 min)",
+        "fig3_slot_integrity.csv",
+        &fig3(&days),
+    );
 }
 
 #[cfg(test)]
@@ -146,10 +154,7 @@ mod tests {
     fn quick_days() -> Vec<FleetDay> {
         let mut scenario = traffic_sim::ScenarioConfig::small_test();
         scenario.duration_s = 86_400;
-        vec![
-            FleetDay::simulate(&scenario, 20),
-            FleetDay::simulate(&scenario, 80),
-        ]
+        vec![FleetDay::simulate(&scenario, 20), FleetDay::simulate(&scenario, 80)]
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub const SWEEP_INTEGRITY: f64 = 0.4;
 
 fn masked(ds: &EvalDataset, seed: u64) -> Tcm {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mask = random_mask(ds.truth.num_slots(), ds.truth.num_segments(), SWEEP_INTEGRITY, &mut rng);
+    let mask =
+        random_mask(ds.truth.num_slots(), ds.truth.num_segments(), SWEEP_INTEGRITY, &mut rng);
     ds.truth.masked(&mask).expect("mask shape matches")
 }
 
@@ -62,10 +63,13 @@ pub fn fig16(ds: &EvalDataset) -> Vec<(f64, f64)> {
 
 /// Prints Fig. 15.
 pub fn print_fig15(points: &[(usize, f64)]) {
-    let rows: Vec<Vec<String>> =
-        points.iter().map(|(r, e)| vec![r.to_string(), fmt(*e)]).collect();
-    println!("{}", format_table("Fig. 15: NMAE vs rank bound r (λ=1, 30 min)", &["r", "NMAE"], &rows));
-    let best = points.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("non-empty");
+    let rows: Vec<Vec<String>> = points.iter().map(|(r, e)| vec![r.to_string(), fmt(*e)]).collect();
+    println!(
+        "{}",
+        format_table("Fig. 15: NMAE vs rank bound r (λ=1, 30 min)", &["r", "NMAE"], &rows)
+    );
+    let best =
+        points.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("non-empty");
     println!("   best rank: {} (paper: minimum at r = 2)\n", best.0);
     let csv: Vec<Vec<String>> =
         points.iter().map(|(r, e)| vec![r.to_string(), format!("{e:.6}")]).collect();
@@ -76,10 +80,13 @@ pub fn print_fig15(points: &[(usize, f64)]) {
 
 /// Prints Fig. 16.
 pub fn print_fig16(points: &[(f64, f64)]) {
-    let rows: Vec<Vec<String>> =
-        points.iter().map(|(l, e)| vec![fmt(*l), fmt(*e)]).collect();
-    println!("{}", format_table("Fig. 16: NMAE vs tradeoff λ (r=32, 30 min)", &["λ", "NMAE"], &rows));
-    let best = points.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("non-empty");
+    let rows: Vec<Vec<String>> = points.iter().map(|(l, e)| vec![fmt(*l), fmt(*e)]).collect();
+    println!(
+        "{}",
+        format_table("Fig. 16: NMAE vs tradeoff λ (r=32, 30 min)", &["λ", "NMAE"], &rows)
+    );
+    let best =
+        points.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("non-empty");
     println!("   best λ: {} (paper: optimum around 100 at r = 32)\n", fmt(best.0));
     let csv: Vec<Vec<String>> =
         points.iter().map(|(l, e)| vec![format!("{l}"), format!("{e:.6}")]).collect();
@@ -108,7 +115,10 @@ pub fn print_ga(result: &GaResult) {
     println!("== Algorithm 2: genetic parameter search ==");
     println!("   found rank r = {}, λ = {}", result.rank, fmt(result.lambda));
     println!("   validation NMAE = {}", fmt(result.fitness));
-    println!("   best-fitness history: {:?}", result.history.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "   best-fitness history: {:?}",
+        result.history.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+    );
     println!("   (paper reports r = 2, λ = 100 on its Shanghai matrices)\n");
 }
 
@@ -185,12 +195,8 @@ mod tests {
     fn lambda_sweep_has_interior_optimum() {
         let ds = dataset(true);
         let pts = fig16(&ds);
-        let best_idx = pts
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
-            .unwrap()
-            .0;
+        let best_idx =
+            pts.iter().enumerate().min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap()).unwrap().0;
         // Fig. 16: both extremes are worse than the optimum.
         assert!(pts[0].1 >= pts[best_idx].1);
         assert!(pts.last().unwrap().1 >= pts[best_idx].1);

@@ -39,7 +39,8 @@ pub struct RuntimePoint {
 
 fn masked(ds: &EvalDataset, seed: u64) -> Tcm {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mask = random_mask(ds.truth.num_slots(), ds.truth.num_segments(), TIMING_INTEGRITY, &mut rng);
+    let mask =
+        random_mask(ds.truth.num_slots(), ds.truth.num_segments(), TIMING_INTEGRITY, &mut rng);
     ds.truth.masked(&mask).expect("mask shape matches")
 }
 
@@ -52,11 +53,7 @@ pub fn table2(quick: bool) -> Vec<RuntimePoint> {
     // Quick mode times the 15-minute matrix only: it is the tallest, so
     // MSSA's superlinear cost in the number of embedding windows is
     // already visible on the small dataset.
-    let grans = if quick {
-        vec![Granularity::Min15]
-    } else {
-        Granularity::all().to_vec()
-    };
+    let grans = if quick { vec![Granularity::Min15] } else { Granularity::all().to_vec() };
     let mut out = Vec::new();
     for &g in &grans {
         let ds = if quick { small_eval(g) } else { shanghai_eval(g) };
@@ -126,14 +123,24 @@ pub fn print_table2(points: &[RuntimePoint]) {
             row
         })
         .collect();
-    println!("{}", format_table("Table 2: run times (one estimation, wall clock)", &header_refs, &rows));
+    println!(
+        "{}",
+        format_table("Table 2: run times (one estimation, wall clock)", &header_refs, &rows)
+    );
     let csv_rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            vec![p.algorithm.to_string(), p.granularity.to_string(), format!("{:.6}", p.seconds), p.note.to_string()]
+            vec![
+                p.algorithm.to_string(),
+                p.granularity.to_string(),
+                format!("{:.6}", p.seconds),
+                p.note.to_string(),
+            ]
         })
         .collect();
-    if let Ok(path) = save_csv("table2_runtimes.csv", &["algorithm", "granularity", "seconds", "note"], &csv_rows) {
+    if let Ok(path) =
+        save_csv("table2_runtimes.csv", &["algorithm", "granularity", "seconds", "note"], &csv_rows)
+    {
         println!("   [csv: {}]", path.display());
     }
 }

@@ -29,7 +29,11 @@ pub struct SegmentSet {
 }
 
 /// Node ids within `depth` hops (undirected) of the given seed nodes.
-fn nodes_within(net: &RoadNetwork, seeds: &[NodeId], depth: usize) -> std::collections::HashSet<NodeId> {
+fn nodes_within(
+    net: &RoadNetwork,
+    seeds: &[NodeId],
+    depth: usize,
+) -> std::collections::HashSet<NodeId> {
     // Undirected adjacency from segment endpoints.
     let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); net.node_count()];
     for seg in net.segments() {
@@ -63,8 +67,7 @@ pub fn build_sets(net: &RoadNetwork, r0: SegmentId, seed: u64) -> Vec<SegmentSet
     let r0_idx = r0.index();
 
     // Set 1: six segments directly connected with r0.
-    let mut direct: Vec<usize> =
-        net.touching_segments(r0).iter().map(|s| s.index()).collect();
+    let mut direct: Vec<usize> = net.touching_segments(r0).iter().map(|s| s.index()).collect();
     direct.truncate(6);
     assert!(direct.len() == 6, "r0 must have ≥6 directly connected segments");
 
@@ -87,14 +90,9 @@ pub fn build_sets(net: &RoadNetwork, r0: SegmentId, seed: u64) -> Vec<SegmentSet
     assert!(two_block.len() == 18, "need 18 two-block segments, got {}", two_block.len());
 
     // Set 3: 45 random segments from the rest.
-    let excluded: std::collections::HashSet<usize> = direct
-        .iter()
-        .chain(two_block.iter())
-        .copied()
-        .chain([r0_idx])
-        .collect();
-    let mut rest: Vec<usize> =
-        (0..net.segment_count()).filter(|i| !excluded.contains(i)).collect();
+    let excluded: std::collections::HashSet<usize> =
+        direct.iter().chain(two_block.iter()).copied().chain([r0_idx]).collect();
+    let mut rest: Vec<usize> = (0..net.segment_count()).filter(|i| !excluded.contains(i)).collect();
     rest.shuffle(&mut rng);
     let random45: Vec<usize> = rest.into_iter().take(45).collect();
     assert!(random45.len() == 45, "need 45 remaining segments");

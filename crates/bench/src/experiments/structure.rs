@@ -29,7 +29,10 @@ pub fn print_fig4(spectrum: &[f64]) {
         .enumerate()
         .map(|(i, &v)| vec![(i + 1).to_string(), fmt(v)])
         .collect();
-    println!("{}", format_table("Fig. 4: singular-value magnitude (ratio to max)", &["i", "σ_i/σ_1"], &rows));
+    println!(
+        "{}",
+        format_table("Fig. 4: singular-value magnitude (ratio to max)", &["i", "σ_i/σ_1"], &rows)
+    );
     let energy: f64 = spectrum.iter().map(|v| v * v).sum();
     let top5: f64 = spectrum.iter().take(5).map(|v| v * v).sum();
     println!("   top-5 components carry {:.1}% of the energy\n", 100.0 * top5 / energy);
@@ -64,7 +67,14 @@ pub fn print_fig5(analysis: &EigenflowAnalysis) {
             rows.push(vec![ty.to_string(), "-".into(), "-".into(), "-".into()]);
         }
     }
-    println!("{}", format_table("Fig. 5: example eigenflow per type", &["type", "index", "mean", "std"], &rows));
+    println!(
+        "{}",
+        format_table(
+            "Fig. 5: example eigenflow per type",
+            &["type", "index", "mean", "std"],
+            &rows
+        )
+    );
     if !csv_cols.is_empty() {
         let len = csv_cols.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
         let headers: Vec<&str> = csv_cols.iter().map(|(h, _)| h.as_str()).collect();
@@ -223,13 +233,10 @@ mod tests {
     fn leading_components_mostly_periodic() {
         let ds = dataset(true);
         let types = fig8(&eigenflows(&ds));
-        let head_periodic =
-            types[..4].iter().filter(|&&t| t == EigenflowType::Periodic).count();
+        let head_periodic = types[..4].iter().filter(|&&t| t == EigenflowType::Periodic).count();
         assert!(head_periodic >= 1, "head types {:?}", &types[..4]);
-        let tail_noise = types[types.len() / 2..]
-            .iter()
-            .filter(|&&t| t == EigenflowType::Noise)
-            .count();
+        let tail_noise =
+            types[types.len() / 2..].iter().filter(|&&t| t == EigenflowType::Noise).count();
         assert!(tail_noise as f64 > 0.8 * (types.len() / 2) as f64, "tail should be noise");
     }
 }

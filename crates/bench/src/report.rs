@@ -33,7 +33,9 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
 
 /// Directory experiment CSVs land in (created on demand).
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("CS_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"));
+    let dir = std::env::var("CS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
     let _ = std::fs::create_dir_all(&dir);
     dir
 }

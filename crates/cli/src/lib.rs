@@ -64,7 +64,9 @@ fn parse_granularity(s: &str) -> CliResult<Granularity> {
         "15" => Ok(Granularity::Min15),
         "30" => Ok(Granularity::Min30),
         "60" => Ok(Granularity::Min60),
-        other => Err(CliError(format!("granularity must be 15, 30 or 60 (minutes), got '{other}'"))),
+        other => {
+            Err(CliError(format!("granularity must be 15, 30 or 60 (minutes), got '{other}'")))
+        }
     }
 }
 
@@ -85,7 +87,9 @@ pub fn cmd_simulate(
         "small" => ScenarioConfig::small_test(),
         "shanghai" => ScenarioConfig::shanghai_like(),
         "shenzhen" => ScenarioConfig::shenzhen_like(),
-        other => return Err(CliError(format!("unknown scenario '{other}' (small|shanghai|shenzhen)"))),
+        other => {
+            return Err(CliError(format!("unknown scenario '{other}' (small|shanghai|shenzhen)")))
+        }
     };
     if let Some(f) = fleet {
         cfg.fleet.fleet_size = f;
@@ -96,7 +100,10 @@ pub fn cmd_simulate(
     cfg.granularity = parse_granularity(granularity)?;
     std::fs::create_dir_all(out_dir)?;
     let out = cfg.run();
-    roadnet::io::write_network(&out.network, BufWriter::new(File::create(out_dir.join("network.csv"))?))?;
+    roadnet::io::write_network(
+        &out.network,
+        BufWriter::new(File::create(out_dir.join("network.csv"))?),
+    )?;
     write_tcm(&out.ground_truth, BufWriter::new(File::create(out_dir.join("truth.csv"))?))?;
     write_reports(&out.reports, BufWriter::new(File::create(out_dir.join("reports.csv"))?))?;
     println!(
@@ -221,7 +228,9 @@ pub fn cmd_evaluate(truth: &Path, estimate: &Path, observed: &Path) -> CliResult
     if est.integrity() < 1.0 {
         return Err(CliError("estimate TCM must be complete".into()));
     }
-    if truth.values().shape() != est.values().shape() || truth.values().shape() != obs.values().shape() {
+    if truth.values().shape() != est.values().shape()
+        || truth.values().shape() != obs.values().shape()
+    {
         return Err(CliError(format!(
             "shape mismatch: truth {:?}, estimate {:?}, observed {:?}",
             truth.values().shape(),
@@ -265,8 +274,8 @@ pub fn cmd_detect<W: Write>(
             lambda: (100.0 * cells / (672.0 * 221.0)).max(0.01),
             ..CsConfig::default()
         };
-        let estimate = traffic_cs::cs::complete_matrix(&tcm, &cs)
-            .map_err(|e| CliError(e.to_string()))?;
+        let estimate =
+            traffic_cs::cs::complete_matrix(&tcm, &cs).map_err(|e| CliError(e.to_string()))?;
         let baseline = traffic_cs::anomaly::seasonal_median_baseline(&estimate, period_slots)
             .map_err(|e| CliError(e.to_string()))?;
         detect_anomalies_sparse(&tcm, &baseline, &cfg).map_err(|e| CliError(e.to_string()))?

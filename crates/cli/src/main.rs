@@ -16,7 +16,12 @@ use cs_traffic_cli::{
 };
 use std::path::Path;
 
-const USAGE: &str = "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate> [--flag value ...]
+const USAGE: &str =
+    "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate> [--flag value ...]
+
+global flags:
+  --threads N  worker threads for completion/detection hot paths
+               (0 = all cores, 1 = sequential; results are identical)
 
 subcommands:
   simulate   --scenario small|shanghai|shenzhen [--fleet N] [--duration-h H]
@@ -38,6 +43,11 @@ fn run() -> CliResult {
     let get = |k: &str| -> CliResult<&String> {
         flags.get(k).ok_or_else(|| CliError(format!("missing required flag --{k}\n\n{USAGE}")))
     };
+    if let Some(threads) = flags.get("threads") {
+        // One process-wide default instead of a parameter through every
+        // subcommand: configs built with `num_threads: 0` pick it up.
+        workpool::set_default_threads(threads.parse()?);
+    }
     match cmd.as_str() {
         "simulate" => cmd_simulate(
             get("scenario")?,

@@ -35,9 +35,8 @@ pub fn correlation_knn_impute(tcm: &Tcm, k_range: usize) -> Matrix {
     let mut out = tcm.values().clone();
 
     // Row masks and data for masked correlation.
-    let row_mask: Vec<Vec<bool>> = (0..m)
-        .map(|i| (0..n).map(|j| tcm.is_observed(i, j)).collect())
-        .collect();
+    let row_mask: Vec<Vec<bool>> =
+        (0..m).map(|i| (0..n).map(|j| tcm.is_observed(i, j)).collect()).collect();
 
     // Fallback means.
     let observed: Vec<(usize, usize, f64)> = tcm.observed_entries().collect();
@@ -60,7 +59,8 @@ pub fn correlation_knn_impute(tcm: &Tcm, k_range: usize) -> Matrix {
         .collect();
 
     // Correlation cache: (i, k) pairs with |i - k| <= k_range.
-    let mut corr_cache: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    let mut corr_cache: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
     let mut corr = |i: usize, k: usize, tcm: &Tcm| -> f64 {
         let key = if i < k { (i, k) } else { (k, i) };
         *corr_cache.entry(key).or_insert_with(|| {
@@ -77,9 +77,8 @@ pub fn correlation_knn_impute(tcm: &Tcm, k_range: usize) -> Matrix {
             let mut weighted = 0.0;
             let mut weight_sum = 0.0;
             for d in 1..=k_range {
-                for k in [i.checked_sub(d), i.checked_add(d).filter(|&k| k < m)]
-                    .into_iter()
-                    .flatten()
+                for k in
+                    [i.checked_sub(d), i.checked_add(d).filter(|&k| k < m)].into_iter().flatten()
                 {
                     if let Some(v) = tcm.get(k, j) {
                         let w = corr(i, k, tcm).abs();

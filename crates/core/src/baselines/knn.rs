@@ -127,16 +127,8 @@ mod tests {
 
     #[test]
     fn searches_beyond_first_ring_when_sparse() {
-        let x = Matrix::from_rows(&[
-            &[0.0, 0.0, 0.0],
-            &[0.0, 0.0, 0.0],
-            &[0.0, 0.0, 12.0],
-        ]);
-        let b = Matrix::from_rows(&[
-            &[0.0, 0.0, 0.0],
-            &[0.0, 0.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let x = Matrix::from_rows(&[&[0.0, 0.0, 0.0], &[0.0, 0.0, 0.0], &[0.0, 0.0, 12.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 0.0, 0.0], &[0.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]);
         let tcm = Tcm::new(x, b).unwrap();
         let out = naive_knn_impute(&tcm, 1);
         // The single observation propagates everywhere.

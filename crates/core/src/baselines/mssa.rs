@@ -59,7 +59,13 @@ pub struct MssaConfig {
 
 impl Default for MssaConfig {
     fn default() -> Self {
-        Self { window: 24, components: 4, max_iterations: 15, tol: 0.05, eig: EigBackend::FullJacobi }
+        Self {
+            window: 24,
+            components: 4,
+            max_iterations: 15,
+            tol: 0.05,
+            eig: EigBackend::FullJacobi,
+        }
     }
 }
 
@@ -235,7 +241,13 @@ mod tests {
     }
 
     fn cfg_small() -> MssaConfig {
-        MssaConfig { window: 12, components: 3, max_iterations: 25, tol: 1e-3, ..MssaConfig::default() }
+        MssaConfig {
+            window: 12,
+            components: 3,
+            max_iterations: 25,
+            tol: 1e-3,
+            ..MssaConfig::default()
+        }
     }
 
     #[test]
@@ -245,11 +257,9 @@ mod tests {
         let mask = random_mask(72, 8, 0.5, &mut rng);
         let tcm = Tcm::complete(truth.clone()).masked(&mask).unwrap();
         let full = mssa_impute(&tcm, &cfg_small()).unwrap();
-        let fast = mssa_impute(
-            &tcm,
-            &MssaConfig { eig: EigBackend::SubspaceIteration, ..cfg_small() },
-        )
-        .unwrap();
+        let fast =
+            mssa_impute(&tcm, &MssaConfig { eig: EigBackend::SubspaceIteration, ..cfg_small() })
+                .unwrap();
         let full_err = nmae_on_missing(&truth, &full, tcm.indicator());
         let fast_err = nmae_on_missing(&truth, &fast, tcm.indicator());
         assert!(
@@ -324,9 +334,7 @@ mod tests {
 
     #[test]
     fn no_observations_rejected() {
-        let tcm = Tcm::complete(periodic_truth(24, 3))
-            .masked(&Matrix::zeros(24, 3))
-            .unwrap();
+        let tcm = Tcm::complete(periodic_truth(24, 3)).masked(&Matrix::zeros(24, 3)).unwrap();
         assert!(matches!(mssa_impute(&tcm, &cfg_small()), Err(MssaError::NoObservations)));
     }
 

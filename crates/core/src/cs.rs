@@ -64,6 +64,12 @@ pub struct CsConfig {
     pub tol: f64,
     /// Seed for the random initialization.
     pub seed: u64,
+    /// Worker threads for the per-row ridge solves and the objective
+    /// evaluation. `0` defers to [`workpool::set_default_threads`] (and
+    /// then to all available cores); `1` forces the sequential path. The
+    /// estimate is bit-for-bit identical for every thread count: work
+    /// items are independent per row and results land in fixed slots.
+    pub num_threads: usize,
 }
 
 impl Default for CsConfig {
@@ -76,6 +82,7 @@ impl Default for CsConfig {
             init: Initialization::Random,
             tol: 1e-10,
             seed: 42,
+            num_threads: 0,
         }
     }
 }
@@ -167,7 +174,10 @@ pub fn complete_matrix_warm(
     initial_r: &Matrix,
 ) -> Result<CompletionResult, CsError> {
     if initial_r.shape() != (tcm.num_segments(), config.rank) {
-        return Err(CsError::InvalidRank { rank: config.rank, max: tcm.num_segments().min(tcm.num_slots()) });
+        return Err(CsError::InvalidRank {
+            rank: config.rank,
+            max: tcm.num_segments().min(tcm.num_slots()),
+        });
     }
     run_als(tcm, config, Some(initial_r))
 }
@@ -182,7 +192,11 @@ pub fn complete_matrix_detailed(tcm: &Tcm, config: &CsConfig) -> Result<Completi
     run_als(tcm, config, None)
 }
 
-fn run_als(tcm: &Tcm, config: &CsConfig, warm_r: Option<&Matrix>) -> Result<CompletionResult, CsError> {
+fn run_als(
+    tcm: &Tcm,
+    config: &CsConfig,
+    warm_r: Option<&Matrix>,
+) -> Result<CompletionResult, CsError> {
     let (m, n) = tcm.values().shape();
     let max_rank = m.min(n);
     if config.rank == 0 || config.rank > max_rank {
@@ -242,17 +256,24 @@ fn run_als(tcm: &Tcm, config: &CsConfig, warm_r: Option<&Matrix>) -> Result<Comp
         // L step: symmetric, with R in the role of the design matrix.
         solve_factor(&rmat, &row_obs, config, &mut l)?;
 
-        // Objective (Eq. 16) on the observed entries.
-        let mut fit = 0.0;
-        for (j, obs) in col_obs.iter().enumerate() {
-            for &(i, v) in obs {
-                let mut pred = 0.0;
-                for k in 0..r {
-                    pred += l.get(i, k) * rmat.get(j, k);
+        // Objective (Eq. 16) on the observed entries. Per-column partial
+        // sums reduced in column order: the same association on the
+        // sequential and parallel paths, so the value is bit-for-bit
+        // independent of the thread count.
+        let fit: f64 =
+            workpool::parallel_map_indexed(n, objective_threads(&col_obs, r, config), |j| {
+                let mut partial = 0.0;
+                for &(i, v) in &col_obs[j] {
+                    let mut pred = 0.0;
+                    for k in 0..r {
+                        pred += l.get(i, k) * rmat.get(j, k);
+                    }
+                    partial += (pred - v) * (pred - v);
                 }
-                fit += (pred - v) * (pred - v);
-            }
-        }
+                partial
+            })
+            .into_iter()
+            .sum();
         let v = fit + config.lambda * (l.frobenius_norm_sq() + rmat.frobenius_norm_sq());
         trace.push(v);
         if best.as_ref().is_none_or(|(bv, _, _)| v < *bv) {
@@ -269,9 +290,50 @@ fn run_als(tcm: &Tcm, config: &CsConfig, warm_r: Option<&Matrix>) -> Result<Comp
     Ok(CompletionResult { estimate, objective, objective_trace: trace, sweeps, factors: (bl, br) })
 }
 
+/// Minimum solve-work estimate (see [`solve_work`]) below which a factor
+/// solve stays sequential: fan-out over threads costs two thread spawns
+/// plus a join per sweep, which only pays for itself once the per-sweep
+/// arithmetic dwarfs it.
+const PARALLEL_WORK_THRESHOLD: usize = 32_768;
+
+/// Rough flop count of one factor solve: each observed entry contributes
+/// an `r`-wide row to a normal-equation/QR build (`≈ r²` each) and each
+/// unit pays an `r³` dense solve.
+fn solve_work(obs_per_unit: &[Vec<(usize, f64)>], r: usize) -> usize {
+    let total_obs: usize = obs_per_unit.iter().map(Vec::len).sum();
+    total_obs * r * r + obs_per_unit.len() * r * r * r
+}
+
+/// Worker count for a factor solve: the configured count, gated so tiny
+/// problems (where spawn overhead dominates) stay on the sequential path.
+fn factor_threads(obs_per_unit: &[Vec<(usize, f64)>], r: usize, config: &CsConfig) -> usize {
+    if solve_work(obs_per_unit, r) < PARALLEL_WORK_THRESHOLD {
+        1
+    } else {
+        config.num_threads
+    }
+}
+
+/// Worker count for the objective evaluation — same gate, but the
+/// objective costs only `r` flops per observed entry (no per-unit solve).
+fn objective_threads(col_obs: &[Vec<(usize, f64)>], r: usize, config: &CsConfig) -> usize {
+    let total_obs: usize = col_obs.iter().map(Vec::len).sum();
+    if total_obs * r < PARALLEL_WORK_THRESHOLD {
+        1
+    } else {
+        config.num_threads
+    }
+}
+
 /// Solves one half of the alternation: given the fixed factor `design`
 /// (rows indexed by the *other* dimension) and per-unit observation lists,
 /// fills `out` (units × r) with the ridge solutions.
+///
+/// Each unit's ridge problem is independent, so the rows of `out` fan out
+/// over [`workpool::try_parallel_for_each_mut`]: every worker writes only
+/// its claimed unit's row, and a failed solve surfaces as the error of
+/// the smallest failing unit — both schedule-independent, keeping the
+/// output identical across thread counts.
 fn solve_factor(
     design: &Matrix,
     obs_per_unit: &[Vec<(usize, f64)>],
@@ -279,23 +341,24 @@ fn solve_factor(
     out: &mut Matrix,
 ) -> Result<(), CsError> {
     let r = design.cols();
-    for (unit, obs) in obs_per_unit.iter().enumerate() {
+    let threads = factor_threads(obs_per_unit, r, config);
+    let mut rows: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(r).collect();
+    workpool::try_parallel_for_each_mut(&mut rows, threads, |unit, row| {
+        let obs = &obs_per_unit[unit];
         if obs.is_empty() {
             // Entirely unobserved unit: the regularizer drives its factor
             // row to zero.
-            for k in 0..r {
-                out.set(unit, k, 0.0);
-            }
-            continue;
+            row.fill(0.0);
+            return Ok(());
         }
         let a = Matrix::from_fn(obs.len(), r, |i, k| design.get(obs[i].0, k));
         let b = Matrix::from_fn(obs.len(), 1, |i, _| obs[i].1);
-        let sol = config.solver.solve(&a, &b, config.lambda)?;
-        for k in 0..r {
-            out.set(unit, k, sol.get(k, 0));
+        let sol = config.solver.solve(&a, &b, config.lambda).map_err(CsError::from)?;
+        for (k, slot) in row.iter_mut().enumerate() {
+            *slot = sol.get(k, 0);
         }
-    }
-    Ok(())
+        Ok(())
+    })
 }
 
 #[cfg(test)]
@@ -382,8 +445,14 @@ mod tests {
     fn solvers_agree() {
         let truth = low_rank_truth(25, 18);
         let tcm = masked_tcm(&truth, 0.6, 6);
-        let ne = complete_matrix(&tcm, &CsConfig { solver: RidgeSolver::NormalEquations, ..CsConfig::default() }).unwrap();
-        let qr = complete_matrix(&tcm, &CsConfig { solver: RidgeSolver::Qr, ..CsConfig::default() }).unwrap();
+        let ne = complete_matrix(
+            &tcm,
+            &CsConfig { solver: RidgeSolver::NormalEquations, ..CsConfig::default() },
+        )
+        .unwrap();
+        let qr =
+            complete_matrix(&tcm, &CsConfig { solver: RidgeSolver::Qr, ..CsConfig::default() })
+                .unwrap();
         assert!(ne.approx_eq(&qr, 1e-5), "solver backends diverge");
     }
 
@@ -391,7 +460,12 @@ mod tests {
     fn row_means_init_also_converges() {
         let truth = low_rank_truth(30, 20);
         let tcm = masked_tcm(&truth, 0.4, 7);
-        let cfg = CsConfig { init: Initialization::RowMeans, rank: 3, lambda: 0.1, ..CsConfig::default() };
+        let cfg = CsConfig {
+            init: Initialization::RowMeans,
+            rank: 3,
+            lambda: 0.1,
+            ..CsConfig::default()
+        };
         let est = complete_matrix(&tcm, &cfg).unwrap();
         let err = nmae_on_missing(&truth, &est, tcm.indicator());
         assert!(err < 0.05, "NMAE {err}");
@@ -415,8 +489,10 @@ mod tests {
     fn large_lambda_shrinks_estimate() {
         let truth = low_rank_truth(20, 15);
         let tcm = masked_tcm(&truth, 0.5, 8);
-        let small = complete_matrix(&tcm, &CsConfig { lambda: 0.01, ..CsConfig::default() }).unwrap();
-        let large = complete_matrix(&tcm, &CsConfig { lambda: 1e6, ..CsConfig::default() }).unwrap();
+        let small =
+            complete_matrix(&tcm, &CsConfig { lambda: 0.01, ..CsConfig::default() }).unwrap();
+        let large =
+            complete_matrix(&tcm, &CsConfig { lambda: 1e6, ..CsConfig::default() }).unwrap();
         assert!(large.frobenius_norm() < 0.1 * small.frobenius_norm());
     }
 
@@ -440,7 +516,10 @@ mod tests {
             Err(CsError::NoIterations)
         ));
         let empty = Tcm::complete(low_rank_truth(10, 8)).masked(&Matrix::zeros(10, 8)).unwrap();
-        assert!(matches!(complete_matrix(&empty, &CsConfig::default()), Err(CsError::NoObservations)));
+        assert!(matches!(
+            complete_matrix(&empty, &CsConfig::default()),
+            Err(CsError::NoObservations)
+        ));
     }
 
     #[test]
@@ -466,7 +545,8 @@ mod tests {
         let mask = random_mask(60, 30, 0.3, &mut rng);
         let tcm = Tcm::complete(noisy).masked(&mask).unwrap();
         let err = |lambda: f64| {
-            let est = complete_matrix(&tcm, &CsConfig { rank: 6, lambda, ..CsConfig::default() }).unwrap();
+            let est = complete_matrix(&tcm, &CsConfig { rank: 6, lambda, ..CsConfig::default() })
+                .unwrap();
             nmae_on_missing(&clean, &est, tcm.indicator())
         };
         let tiny = err(1e-8);

@@ -70,9 +70,8 @@ impl EigenflowAnalysis {
     /// Propagates [`Svd::compute`] failures.
     pub fn compute(x: &Matrix) -> Result<Self, MatrixShapeError> {
         let svd = Svd::compute(x)?;
-        let types = (0..svd.singular_values().len())
-            .map(|i| classify_series(&svd.u().col(i)))
-            .collect();
+        let types =
+            (0..svd.singular_values().len()).map(|i| classify_series(&svd.u().col(i))).collect();
         Ok(Self { svd, types })
     }
 
@@ -99,12 +98,7 @@ impl EigenflowAnalysis {
 
     /// Indices of the eigenflows of a given type.
     pub fn indices_of(&self, ty: EigenflowType) -> Vec<usize> {
-        self.types
-            .iter()
-            .enumerate()
-            .filter(|&(_, t)| *t == ty)
-            .map(|(i, _)| i)
-            .collect()
+        self.types.iter().enumerate().filter(|&(_, t)| *t == ty).map(|(i, _)| i).collect()
     }
 
     /// Reconstruction using only the eigenflows of `ty` (Fig. 7).
@@ -128,9 +122,8 @@ mod tests {
 
     #[test]
     fn pure_sine_is_periodic() {
-        let u: Vec<f64> = (0..128)
-            .map(|t| (2.0 * std::f64::consts::PI * 8.0 * t as f64 / 128.0).sin())
-            .collect();
+        let u: Vec<f64> =
+            (0..128).map(|t| (2.0 * std::f64::consts::PI * 8.0 * t as f64 / 128.0).sin()).collect();
         assert_eq!(classify_series(&u), EigenflowType::Periodic);
     }
 
@@ -146,18 +139,26 @@ mod tests {
 
     #[test]
     fn white_noise_is_noise() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let u: Vec<f64> = (0..256).map(|_| rng.random_range(-1.0..1.0)).collect();
-        assert_eq!(classify_series(&u), EigenflowType::Noise);
+        // White noise occasionally draws a realization whose strongest
+        // FFT bin clears the periodicity threshold (~13% of seeds), so
+        // require the typical outcome across several seeds rather than
+        // pinning one draw.
+        let noise_count = (0..9u64)
+            .filter(|&seed| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let u: Vec<f64> = (0..256).map(|_| rng.random_range(-1.0..1.0)).collect();
+                classify_series(&u) == EigenflowType::Noise
+            })
+            .count();
+        assert!(noise_count >= 6, "only {noise_count}/9 white-noise draws classified as noise");
     }
 
     #[test]
     fn periodic_beats_spike_in_precedence() {
         // A strong periodic signal with a mild bump stays type 1 — the
         // construction is checked in order (Eq. 10).
-        let mut u: Vec<f64> = (0..128)
-            .map(|t| (2.0 * std::f64::consts::PI * 4.0 * t as f64 / 128.0).sin())
-            .collect();
+        let mut u: Vec<f64> =
+            (0..128).map(|t| (2.0 * std::f64::consts::PI * 4.0 * t as f64 / 128.0).sin()).collect();
         u[10] += 0.3;
         assert_eq!(classify_series(&u), EigenflowType::Periodic);
     }

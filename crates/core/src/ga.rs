@@ -49,6 +49,14 @@ pub struct GaConfig {
     pub cs: CsConfig,
     /// Evaluate individuals on parallel threads.
     pub parallel: bool,
+    /// Worker threads for the chromosome fan-out when [`parallel`] is
+    /// set: `0` defers to [`workpool::set_default_threads`], `1` is
+    /// equivalent to `parallel: false`. While the fan-out is active the
+    /// inner Algorithm-1 runs are forced sequential so a population of
+    /// `p` never occupies more than `num_threads` cores.
+    ///
+    /// [`parallel`]: GaConfig::parallel
+    pub num_threads: usize,
     /// Seed for population initialization, splits, and GA operators.
     pub seed: u64,
 }
@@ -65,6 +73,7 @@ impl Default for GaConfig {
             validation_fraction: 0.25,
             cs: CsConfig { iterations: 30, ..CsConfig::default() },
             parallel: true,
+            num_threads: 0,
             seed: 1,
         }
     }
@@ -117,7 +126,8 @@ pub fn optimize_parameters(tcm: &Tcm, config: &GaConfig) -> Result<GaResult, CsE
 
     // Validation split: hide a fraction of observed cells from the
     // solver; they become the fitness ground truth.
-    let mut observed: Vec<(usize, usize)> = tcm.observed_entries().map(|(r, c, _)| (r, c)).collect();
+    let mut observed: Vec<(usize, usize)> =
+        tcm.observed_entries().map(|(r, c, _)| (r, c)).collect();
     observed.shuffle(&mut rng);
     let n_val = ((observed.len() as f64 * config.validation_fraction) as usize)
         .clamp(1, observed.len() - 1);
@@ -129,9 +139,8 @@ pub fn optimize_parameters(tcm: &Tcm, config: &GaConfig) -> Result<GaResult, CsE
     let train_tcm = tcm.masked(&train_mask).expect("mask shape matches");
     let truth = tcm.values(); // validation cells hold real observations
 
-    let sample_log_lambda = |rng: &mut rand::rngs::StdRng| -> f64 {
-        rng.random_range(lo_l.ln()..=hi_l.ln())
-    };
+    let sample_log_lambda =
+        |rng: &mut rand::rngs::StdRng| -> f64 { rng.random_range(lo_l.ln()..=hi_l.ln()) };
 
     // 1) Initialization.
     let mut population: Vec<Individual> = (0..config.population)
@@ -141,10 +150,22 @@ pub fn optimize_parameters(tcm: &Tcm, config: &GaConfig) -> Result<GaResult, CsE
         })
         .collect();
 
+    // Chromosome-level fan-out: when more than one worker evaluates the
+    // population, the inner Algorithm-1 runs go sequential so `p`
+    // individuals never occupy more than `num_threads` cores. The inner
+    // estimate is bit-for-bit independent of its thread count, so this
+    // changes scheduling only, never fitness values.
+    let eval_workers = if config.parallel {
+        workpool::resolve_threads(config.num_threads).min(config.population)
+    } else {
+        1
+    };
+    let inner_threads = if eval_workers > 1 { 1 } else { config.cs.num_threads };
     let evaluate = |ind: &Individual| -> f64 {
         let cfg = CsConfig {
             rank: ind.rank,
             lambda: ind.log_lambda.exp(),
+            num_threads: inner_threads,
             ..config.cs.clone()
         };
         match complete_matrix(&train_tcm, &cfg) {
@@ -158,18 +179,13 @@ pub fn optimize_parameters(tcm: &Tcm, config: &GaConfig) -> Result<GaResult, CsE
     let mut stalled = 0usize;
 
     for _gen in 0..config.generations {
-        // 2) Selection: evaluate fitness (parallel fan-out) and sort.
-        let fitness: Vec<f64> = if config.parallel {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = population
-                    .iter()
-                    .map(|ind| scope.spawn(move || evaluate(ind)))
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("fitness eval panicked")).collect()
-            })
-        } else {
-            population.iter().map(evaluate).collect()
-        };
+        // 2) Selection: evaluate fitness (parallel fan-out over the
+        // worker pool; slot-indexed results keep the ordering identical
+        // to the sequential loop) and sort.
+        let fitness: Vec<f64> =
+            workpool::parallel_map_indexed(population.len(), eval_workers, |i| {
+                evaluate(&population[i])
+            });
 
         let mut order: Vec<usize> = (0..population.len()).collect();
         order.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("finite or inf fitness"));
@@ -329,14 +345,9 @@ mod tests {
         assert!(optimize_parameters(&tcm, &GaConfig { population: 0, ..quick_cfg() }).is_err());
         assert!(optimize_parameters(&tcm, &GaConfig { generations: 0, ..quick_cfg() }).is_err());
         assert!(optimize_parameters(&tcm, &GaConfig { elite: 0, ..quick_cfg() }).is_err());
-        assert!(optimize_parameters(
-            &tcm,
-            &GaConfig { lambda_bounds: (-1.0, 1.0), ..quick_cfg() }
-        )
-        .is_err());
-        let empty = Tcm::complete(Matrix::filled(8, 8, 1.0))
-            .masked(&Matrix::zeros(8, 8))
-            .unwrap();
+        assert!(optimize_parameters(&tcm, &GaConfig { lambda_bounds: (-1.0, 1.0), ..quick_cfg() })
+            .is_err());
+        let empty = Tcm::complete(Matrix::filled(8, 8, 1.0)).masked(&Matrix::zeros(8, 8)).unwrap();
         assert!(optimize_parameters(&empty, &quick_cfg()).is_err());
     }
 

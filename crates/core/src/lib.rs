@@ -30,7 +30,7 @@
 //!
 //! // Rank-1 ground truth.
 //! let truth = Matrix::from_fn(20, 15, |r, c| 20.0 + (r as f64) * (c as f64 + 1.0) * 0.05);
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2);
 //! let mask = probes::mask::random_mask(20, 15, 0.5, &mut rng);
 //! let tcm = Tcm::complete(truth.clone()).masked(&mask).unwrap();
 //!

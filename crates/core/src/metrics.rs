@@ -65,7 +65,11 @@ pub fn nmae_on_cells(truth: &Matrix, estimate: &Matrix, cells: &[(usize, usize)]
 /// # Panics
 ///
 /// Panics on shape mismatches.
-pub fn relative_errors_on_missing(truth: &Matrix, estimate: &Matrix, indicator: &Matrix) -> Vec<f64> {
+pub fn relative_errors_on_missing(
+    truth: &Matrix,
+    estimate: &Matrix,
+    indicator: &Matrix,
+) -> Vec<f64> {
     assert_eq!(truth.shape(), estimate.shape(), "truth/estimate shape mismatch");
     assert_eq!(truth.shape(), indicator.shape(), "truth/indicator shape mismatch");
     let mut out = Vec::new();

@@ -159,7 +159,13 @@ mod tests {
         })
     }
 
-    fn window_at(start_slot: usize, m: usize, n: usize, integrity: f64, seed: u64) -> (Matrix, Tcm) {
+    fn window_at(
+        start_slot: usize,
+        m: usize,
+        n: usize,
+        integrity: f64,
+        seed: u64,
+    ) -> (Matrix, Tcm) {
         let truth = truth_rows(start_slot, m, n);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mask = random_mask(m, n, integrity, &mut rng);
@@ -267,7 +273,7 @@ mod tests {
             for _ in 0..6 {
                 let seg = rng.random_range(0..n);
                 let speed = truth_row.get(0, seg) * rng.random_range(0.95..1.05);
-                stream.observe(slot as u64 * 60 + rng.random_range(0..60), seg, speed).unwrap();
+                stream.observe(slot as u64 * 60 + rng.random_range(0..60u64), seg, speed).unwrap();
             }
             if slot >= 23 {
                 let window = stream.snapshot();

@@ -51,7 +51,11 @@ pub struct SegmentReconstruction {
 /// # Errors
 ///
 /// Propagates SVD failures; panics if `col` is out of bounds.
-pub fn reconstruct_segment(x: &Matrix, col: usize, k: usize) -> Result<SegmentReconstruction, MatrixShapeError> {
+pub fn reconstruct_segment(
+    x: &Matrix,
+    col: usize,
+    k: usize,
+) -> Result<SegmentReconstruction, MatrixShapeError> {
     assert!(col < x.cols(), "column {col} out of bounds");
     let approx = rank_k_reconstruction(x, k)?;
     let original = x.col(col);

@@ -12,8 +12,12 @@
 //! correlates. On heterogeneous networks (where some segments follow a
 //! different latent pattern) this dominates random selection.
 
+use crate::cs::{complete_matrix, CsConfig, CsError};
 use linalg::stats::pearson_masked;
+use linalg::Matrix;
 use probes::Tcm;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 /// Candidate segments ranked by `|corr|` with `target`'s series, best
 /// first. Correlations are computed over the time slots where both
@@ -41,19 +45,38 @@ use probes::Tcm;
 ///
 /// Panics when `target` is out of bounds.
 pub fn correlation_ranking(historical: &Tcm, target: usize) -> Vec<(usize, f64)> {
+    correlation_ranking_threads(historical, target, 0)
+}
+
+/// [`correlation_ranking`] with an explicit worker count (`0` defers to
+/// [`workpool::set_default_threads`], `1` forces the sequential path).
+/// Per-candidate correlations are independent and land in fixed slots,
+/// so the ranking is identical for every thread count.
+///
+/// # Panics
+///
+/// Panics when `target` is out of bounds.
+pub fn correlation_ranking_threads(
+    historical: &Tcm,
+    target: usize,
+    num_threads: usize,
+) -> Vec<(usize, f64)> {
     let n = historical.num_segments();
     assert!(target < n, "target column {target} out of bounds");
     let m = historical.num_slots();
     let target_col = historical.values().col(target);
     let target_mask: Vec<bool> = (0..m).map(|t| historical.is_observed(t, target)).collect();
-    let mut ranked: Vec<(usize, f64)> = (0..n)
-        .filter(|&j| j != target)
-        .map(|j| {
+    let candidates: Vec<usize> = (0..n).filter(|&j| j != target).collect();
+    // Correlating a candidate costs ~m flops; below the pool's pay-off
+    // point the fan-out would be pure spawn overhead.
+    let threads = if candidates.len() * m < 32_768 { 1 } else { num_threads };
+    let mut ranked: Vec<(usize, f64)> =
+        workpool::parallel_map_indexed(candidates.len(), threads, |idx| {
+            let j = candidates[idx];
             let col = historical.values().col(j);
             let mask: Vec<bool> = (0..m).map(|t| historical.is_observed(t, j)).collect();
             (j, pearson_masked(&target_col, &col, &target_mask, &mask).abs())
-        })
-        .collect();
+        });
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite correlations").then(a.0.cmp(&b.0)));
     ranked
 }
@@ -80,6 +103,164 @@ pub fn select_correlated(historical: &Tcm, target: usize, k: usize) -> Vec<usize
 /// Panics when `target` is out of bounds.
 pub fn adaptive_matrix(historical: &Tcm, target: usize, k: usize) -> Tcm {
     historical.select_segments(&select_correlated(historical, target, k))
+}
+
+/// Cross-validated score of one companion count `k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldScore {
+    /// Number of companion segments evaluated.
+    pub k: usize,
+    /// Held-out NMAE of each fold, in fold order.
+    pub fold_errors: Vec<f64>,
+    /// Mean of [`fold_errors`](FoldScore::fold_errors).
+    pub mean_nmae: f64,
+}
+
+/// Parameters of the fold evaluation in [`evaluate_k_folds`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvConfig {
+    /// Number of folds the target's observed cells are split into.
+    pub folds: usize,
+    /// Template for the inner Algorithm-1 runs.
+    pub cs: CsConfig,
+    /// Seed for the fold assignment shuffle.
+    pub seed: u64,
+    /// Worker threads for the `(k, fold)` fan-out: `0` defers to
+    /// [`workpool::set_default_threads`], `1` runs sequentially. While
+    /// the fan-out is parallel the inner completions are forced
+    /// sequential, so the evaluation never occupies more than
+    /// `num_threads` cores.
+    pub num_threads: usize,
+}
+
+impl Default for CvConfig {
+    fn default() -> Self {
+        Self { folds: 4, cs: CsConfig::default(), seed: 7, num_threads: 0 }
+    }
+}
+
+/// Cross-validates companion counts for the adaptive matrix: for every
+/// `k` in `ks` and every fold, the fold's share of the *target's*
+/// observed cells is hidden, companions are re-ranked on the remaining
+/// data (no leakage from the held-out cells), the adaptive sub-matrix is
+/// completed, and the hidden cells score the estimate. Scores come back
+/// in the order of `ks`, each with per-fold errors in fold order.
+///
+/// Every `(k, fold)` cell is an independent completion, so the full grid
+/// fans out over the worker pool; results are slot-indexed and the fold
+/// split is seeded, making the output independent of the thread count.
+///
+/// # Errors
+///
+/// [`CsError`] when the target has too few observed cells to split
+/// (fewer than `2 × folds`), when `ks` or `folds` is empty
+/// ([`CsError::NoIterations`]), or when an inner completion fails — the
+/// error reported is the one the sequential `ks × folds` loop would hit
+/// first.
+///
+/// # Panics
+///
+/// Panics when `target` is out of bounds.
+pub fn evaluate_k_folds(
+    historical: &Tcm,
+    target: usize,
+    ks: &[usize],
+    config: &CvConfig,
+) -> Result<Vec<FoldScore>, CsError> {
+    assert!(target < historical.num_segments(), "target column {target} out of bounds");
+    if ks.is_empty() || config.folds == 0 {
+        return Err(CsError::NoIterations);
+    }
+    let observed: Vec<usize> =
+        (0..historical.num_slots()).filter(|&t| historical.is_observed(t, target)).collect();
+    if observed.len() < 2 * config.folds {
+        return Err(CsError::NoObservations);
+    }
+
+    // Seeded shuffle, then round-robin fold assignment: every fold gets
+    // within-one-of-equal shares and the split is reproducible.
+    let mut shuffled = observed;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    shuffled.shuffle(&mut rng);
+    let fold_of = |idx: usize| idx % config.folds;
+
+    let cells: Vec<(usize, usize)> =
+        ks.iter().flat_map(|&k| (0..config.folds).map(move |f| (k, f))).collect();
+    let workers = workpool::resolve_threads(config.num_threads).min(cells.len());
+    let inner_threads = if workers > 1 { 1 } else { config.cs.num_threads };
+
+    let errors: Vec<Result<f64, CsError>> =
+        workpool::parallel_map_indexed(cells.len(), config.num_threads, |idx| {
+            let (k, fold) = cells[idx];
+            let held_out: Vec<usize> = shuffled
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| fold_of(i) == fold)
+                .map(|(_, &t)| t)
+                .collect();
+            let mut train_mask =
+                Matrix::filled(historical.num_slots(), historical.num_segments(), 1.0);
+            for &t in &held_out {
+                train_mask.set(t, target, 0.0);
+            }
+            let train = historical.masked(&train_mask).expect("mask shape matches");
+            let cols = select_correlated(&train, target, k);
+            let sub = train.select_segments(&cols);
+            let cfg = CsConfig { num_threads: inner_threads, ..config.cs.clone() };
+            let est = complete_matrix(&sub, &cfg)?;
+            // Score on the hidden target cells (column 0 of the
+            // sub-matrix holds the target).
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for &t in &held_out {
+                let truth = historical.values().get(t, target);
+                num += (truth - est.get(t, 0)).abs();
+                den += truth.abs();
+            }
+            Ok(if den > 0.0 { num / den } else { 0.0 })
+        });
+
+    // Deterministic error selection: the first failure in ks × folds
+    // order, exactly what a sequential nested loop would report.
+    let mut flat = Vec::with_capacity(cells.len());
+    for e in errors {
+        flat.push(e?);
+    }
+    Ok(ks
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            let fold_errors: Vec<f64> = flat[i * config.folds..(i + 1) * config.folds].to_vec();
+            let mean_nmae = fold_errors.iter().sum::<f64>() / fold_errors.len() as f64;
+            FoldScore { k, fold_errors, mean_nmae }
+        })
+        .collect())
+}
+
+/// Picks the companion count with the best cross-validated NMAE (ties
+/// break toward the smaller `k` — fewer segments, cheaper completion).
+///
+/// # Errors
+///
+/// See [`evaluate_k_folds`].
+///
+/// # Panics
+///
+/// Panics when `target` is out of bounds.
+pub fn select_k_by_cv(
+    historical: &Tcm,
+    target: usize,
+    ks: &[usize],
+    config: &CvConfig,
+) -> Result<usize, CsError> {
+    let scores = evaluate_k_folds(historical, target, ks, config)?;
+    Ok(scores
+        .iter()
+        .min_by(|a, b| {
+            a.mean_nmae.partial_cmp(&b.mean_nmae).expect("finite NMAE").then(a.k.cmp(&b.k))
+        })
+        .expect("ks is non-empty")
+        .k)
 }
 
 #[cfg(test)]
@@ -207,5 +388,69 @@ mod tests {
         let truth = heterogeneous_truth(24);
         let tcm = masked(&truth, 0.5, 7);
         correlation_ranking(&tcm, 99);
+    }
+
+    #[test]
+    fn fold_scores_cover_every_k_and_fold() {
+        let truth = heterogeneous_truth(96);
+        let tcm = masked(&truth, 0.5, 8);
+        let cv = CvConfig {
+            folds: 3,
+            cs: CsConfig { rank: 2, lambda: 0.05, iterations: 30, ..CsConfig::default() },
+            ..CvConfig::default()
+        };
+        let scores = evaluate_k_folds(&tcm, 0, &[4, 8, 12], &cv).unwrap();
+        assert_eq!(scores.len(), 3);
+        for (score, &k) in scores.iter().zip(&[4usize, 8, 12]) {
+            assert_eq!(score.k, k);
+            assert_eq!(score.fold_errors.len(), 3);
+            assert!(score.fold_errors.iter().all(|e| e.is_finite() && *e >= 0.0));
+            let mean = score.fold_errors.iter().sum::<f64>() / 3.0;
+            assert!((score.mean_nmae - mean).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn cv_finds_that_more_segments_help() {
+        // Section 4.5's finding (Fig. 17): matrix size matters more than
+        // segment membership. At low integrity a 4-companion matrix is
+        // underpowered and the fold errors say so, loudly — CV must pick
+        // the larger set, and its choice must be the argmin of the
+        // reported means.
+        let truth = heterogeneous_truth(96);
+        let tcm = masked(&truth, 0.25, 9);
+        let cv = CvConfig {
+            folds: 4,
+            cs: CsConfig { rank: 2, lambda: 0.05, iterations: 40, ..CsConfig::default() },
+            ..CvConfig::default()
+        };
+        let scores = evaluate_k_folds(&tcm, 0, &[4, 25], &cv).unwrap();
+        assert!(
+            scores[1].mean_nmae < scores[0].mean_nmae,
+            "25 companions ({}) should beat 4 ({}) at 25% integrity",
+            scores[1].mean_nmae,
+            scores[0].mean_nmae
+        );
+        let k = select_k_by_cv(&tcm, 0, &[4, 25], &cv).unwrap();
+        let argmin =
+            scores.iter().min_by(|a, b| a.mean_nmae.partial_cmp(&b.mean_nmae).unwrap()).unwrap().k;
+        assert_eq!(k, argmin);
+    }
+
+    #[test]
+    fn fold_evaluation_validates_inputs() {
+        let truth = heterogeneous_truth(24);
+        let tcm = masked(&truth, 0.5, 10);
+        let cv = CvConfig::default();
+        assert!(matches!(evaluate_k_folds(&tcm, 0, &[], &cv), Err(CsError::NoIterations)));
+        let no_folds = CvConfig { folds: 0, ..cv.clone() };
+        assert!(matches!(evaluate_k_folds(&tcm, 0, &[4], &no_folds), Err(CsError::NoIterations)));
+        // A target with almost no observations cannot be split.
+        let mut mask = Matrix::filled(24, 30, 1.0);
+        for t in 1..24 {
+            mask.set(t, 0, 0.0);
+        }
+        let sparse = tcm.masked(&mask).unwrap();
+        assert!(matches!(evaluate_k_folds(&sparse, 0, &[4], &cv), Err(CsError::NoObservations)));
     }
 }

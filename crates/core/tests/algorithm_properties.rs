@@ -19,9 +19,7 @@ fn traffic_matrix() -> impl Strategy<Value = Matrix> {
         use rand::RngExt;
         let row: Vec<f64> = (0..m).map(|t| (t as f64 * 0.7).sin()).collect();
         let col: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..1.5)).collect();
-        Matrix::from_fn(m, n, |i, j| {
-            30.0 + 10.0 * row[i] * col[j] + rng.random_range(-1.0..1.0)
-        })
+        Matrix::from_fn(m, n, |i, j| 30.0 + 10.0 * row[i] * col[j] + rng.random_range(-1.0..1.0))
     })
 }
 

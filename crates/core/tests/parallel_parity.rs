@@ -1,0 +1,155 @@
+//! Thread-count parity: every parallel fan-out in the crate must return
+//! bit-for-bit the same values as its sequential twin. The problem
+//! sizes here are deliberately above the work guards in `cs.rs` and
+//! `selection.rs` (`PARALLEL_WORK_THRESHOLD = 32_768`), so with
+//! `num_threads > 1` the worker pool genuinely engages instead of the
+//! guard silently forcing the sequential path.
+
+use linalg::Matrix;
+use probes::mask::random_mask;
+use probes::Tcm;
+use rand::SeedableRng;
+use traffic_cs::cs::{complete_matrix, CsConfig};
+use traffic_cs::ga::{optimize_parameters, GaConfig};
+use traffic_cs::selection::{correlation_ranking_threads, evaluate_k_folds, CvConfig};
+
+/// Rank-4 synthetic truth, masked down to `integrity`. 200×100 at 0.5
+/// integrity gives `total_obs·r² + units·r³ ≈ 166k` of solve work and
+/// `total_obs·r = 40k` of objective work — both above the 32_768 guard.
+fn masked_low_rank(slots: usize, segments: usize, integrity: f64, seed: u64) -> Tcm {
+    let truth = Matrix::from_fn(slots, segments, |t, s| {
+        let mut v = 25.0;
+        for k in 0..4usize {
+            let f = (2.0 * std::f64::consts::PI * (k + 1) as f64 * t as f64 / slots as f64).sin();
+            let w = (((s + 2) * (k + 5) * 2654435761) % 997) as f64 / 997.0;
+            v += 5.0 * f * w;
+        }
+        v
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mask = random_mask(slots, segments, integrity, &mut rng);
+    Tcm::complete(truth).masked(&mask).expect("mask shape matches")
+}
+
+fn assert_matrices_identical(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: entry {i} differs: {x:?} vs {y:?} (delta {:e})",
+            (x - y).abs()
+        );
+    }
+}
+
+#[test]
+fn complete_matrix_is_thread_count_invariant() {
+    let tcm = masked_low_rank(200, 100, 0.5, 11);
+    let config = |threads: usize| CsConfig {
+        rank: 4,
+        lambda: 0.5,
+        iterations: 12,
+        num_threads: threads,
+        ..CsConfig::default()
+    };
+    let sequential = complete_matrix(&tcm, &config(1)).expect("sequential run succeeds");
+    for threads in [2, 4, 0] {
+        let parallel = complete_matrix(&tcm, &config(threads)).expect("parallel run succeeds");
+        assert_matrices_identical(&sequential, &parallel, &format!("num_threads={threads}"));
+    }
+}
+
+#[test]
+fn ga_search_is_thread_count_invariant() {
+    let tcm = masked_low_rank(60, 40, 0.5, 5);
+    let config = |threads: usize| GaConfig {
+        population: 8,
+        generations: 3,
+        elite: 2,
+        rank_bounds: (1, 6),
+        cs: CsConfig { iterations: 10, ..CsConfig::default() },
+        parallel: true,
+        num_threads: threads,
+        seed: 3,
+        ..GaConfig::default()
+    };
+    let sequential = optimize_parameters(&tcm, &config(1)).expect("sequential GA succeeds");
+    for threads in [4, 0] {
+        let parallel = optimize_parameters(&tcm, &config(threads)).expect("parallel GA succeeds");
+        assert_eq!(sequential.rank, parallel.rank, "num_threads={threads}: rank");
+        assert!(
+            sequential.lambda.to_bits() == parallel.lambda.to_bits(),
+            "num_threads={threads}: lambda {} vs {}",
+            sequential.lambda,
+            parallel.lambda
+        );
+        assert!(
+            sequential.fitness.to_bits() == parallel.fitness.to_bits(),
+            "num_threads={threads}: fitness {} vs {}",
+            sequential.fitness,
+            parallel.fitness
+        );
+        assert_eq!(sequential.history, parallel.history, "num_threads={threads}: history");
+    }
+}
+
+#[test]
+fn correlation_ranking_is_thread_count_invariant() {
+    // 199 candidates × 200 slots ≈ 40k of correlation work, above guard.
+    let tcm = masked_low_rank(200, 200, 0.8, 17);
+    let sequential = correlation_ranking_threads(&tcm, 0, 1);
+    for threads in [2, 4, 0] {
+        let parallel = correlation_ranking_threads(&tcm, 0, threads);
+        assert_eq!(sequential.len(), parallel.len(), "num_threads={threads}: length");
+        for ((si, sc), (pi, pc)) in sequential.iter().zip(&parallel) {
+            assert_eq!(si, pi, "num_threads={threads}: candidate order");
+            assert!(
+                sc.to_bits() == pc.to_bits(),
+                "num_threads={threads}: correlation for {si}: {sc} vs {pc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fold_evaluation_is_thread_count_invariant() {
+    let tcm = masked_low_rank(96, 30, 0.6, 23);
+    let config = |threads: usize| CvConfig {
+        folds: 3,
+        cs: CsConfig { rank: 3, lambda: 0.5, iterations: 10, ..CsConfig::default() },
+        seed: 7,
+        num_threads: threads,
+    };
+    let ks = [4, 8, 16];
+    let sequential = evaluate_k_folds(&tcm, 0, &ks, &config(1)).expect("sequential CV succeeds");
+    for threads in [4, 0] {
+        let parallel =
+            evaluate_k_folds(&tcm, 0, &ks, &config(threads)).expect("parallel CV succeeds");
+        assert_eq!(sequential.len(), parallel.len(), "num_threads={threads}: score count");
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.k, p.k, "num_threads={threads}: k order");
+            assert!(
+                s.mean_nmae.to_bits() == p.mean_nmae.to_bits(),
+                "num_threads={threads}: mean NMAE for k={}: {} vs {}",
+                s.k,
+                s.mean_nmae,
+                p.mean_nmae
+            );
+            assert_eq!(
+                s.fold_errors.len(),
+                p.fold_errors.len(),
+                "num_threads={threads}: fold count for k={}",
+                s.k
+            );
+            for (fe_s, fe_p) in s.fold_errors.iter().zip(&p.fold_errors) {
+                assert!(
+                    fe_s.to_bits() == fe_p.to_bits(),
+                    "num_threads={threads}: fold error for k={}: {} vs {}",
+                    s.k,
+                    fe_s,
+                    fe_p
+                );
+            }
+        }
+    }
+}

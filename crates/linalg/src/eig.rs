@@ -53,9 +53,7 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MatrixShapeError> {
     for i in 0..n {
         for j in i + 1..n {
             if (a.get(i, j) - a.get(j, i)).abs() > 1e-8 * scale {
-                return Err(MatrixShapeError::new(format!(
-                    "matrix is not symmetric at ({i},{j})"
-                )));
+                return Err(MatrixShapeError::new(format!("matrix is not symmetric at ({i},{j})")));
             }
         }
     }
@@ -142,12 +140,8 @@ mod tests {
             let e = symmetric_eigen(&a).unwrap();
             // V diag(λ) Vᵀ = A.
             let lam = Matrix::diag(&e.eigenvalues);
-            let back = e
-                .eigenvectors
-                .matmul(&lam)
-                .unwrap()
-                .matmul(&e.eigenvectors.transpose())
-                .unwrap();
+            let back =
+                e.eigenvectors.matmul(&lam).unwrap().matmul(&e.eigenvectors.transpose()).unwrap();
             assert!(back.approx_eq(&a, 1e-8), "seed {seed}");
             let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
             assert!(vtv.approx_eq(&Matrix::identity(12), 1e-8));

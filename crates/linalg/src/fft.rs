@@ -169,9 +169,8 @@ mod tests {
     fn fft_of_pure_sine_concentrates_at_frequency() {
         let n = 64;
         let f = 5.0;
-        let sig: Vec<f64> = (0..n)
-            .map(|t| (2.0 * std::f64::consts::PI * f * t as f64 / n as f64).sin())
-            .collect();
+        let sig: Vec<f64> =
+            (0..n).map(|t| (2.0 * std::f64::consts::PI * f * t as f64 / n as f64).sin()).collect();
         let spec = fft_real(&sig);
         // Energy at bins 5 and 59 only.
         assert!(crate::approx_eq(spec[5].abs(), 32.0, 1e-9));

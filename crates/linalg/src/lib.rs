@@ -33,10 +33,10 @@
 // rewrites (zip chains) obscure the linear-algebra correspondence.
 #![allow(clippy::needless_range_loop)]
 
-mod matrix;
 pub mod eig;
 pub mod fft;
 pub mod lstsq;
+mod matrix;
 pub mod power;
 pub mod qr;
 pub mod rng;

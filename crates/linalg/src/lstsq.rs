@@ -277,7 +277,8 @@ mod tests {
         let lambda = 2.5;
         for solver in [RidgeSolver::NormalEquations, RidgeSolver::Qr] {
             let x = solver.solve(&a, &b, lambda).unwrap();
-            let grad = &a.transpose().matmul(&(&a.matmul(&x).unwrap() - &b)).unwrap() + &(&x * lambda);
+            let grad =
+                &a.transpose().matmul(&(&a.matmul(&x).unwrap() - &b)).unwrap() + &(&x * lambda);
             assert!(grad.max_abs() < 1e-8, "{solver:?} gradient {:?}", grad.max_abs());
         }
     }

@@ -195,7 +195,12 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[row * self.cols + col]
     }
 
@@ -206,7 +211,12 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -347,11 +357,7 @@ impl Matrix {
 
     /// Returns a new matrix with `f` applied to every entry.
     pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
-        Self {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Multiplies every entry by `s` in place.
@@ -388,7 +394,10 @@ impl Matrix {
     ///
     /// Panics if the ranges exceed the matrix bounds or are inverted.
     pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
-        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols, "invalid submatrix range");
+        assert!(
+            r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols,
+            "invalid submatrix range"
+        );
         Matrix::from_fn(r1 - r0, c1 - c0, |r, c| self.get(r0 + r, c0 + c))
     }
 
@@ -476,11 +485,7 @@ impl Matrix {
     /// zero (mixed absolute/relative test via [`crate::approx_eq`]).
     pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
         self.shape() == other.shape()
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(&a, &b)| crate::approx_eq(a, b, tol))
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| crate::approx_eq(a, b, tol))
     }
 }
 

@@ -173,11 +173,7 @@ pub fn spike_indices(xs: &[f64], k: f64) -> Vec<usize> {
     if sd == 0.0 {
         return Vec::new();
     }
-    xs.iter()
-        .enumerate()
-        .filter(|(_, &x)| (x - m).abs() > k * sd)
-        .map(|(i, _)| i)
-        .collect()
+    xs.iter().enumerate().filter(|(_, &x)| (x - m).abs() > k * sd).map(|(i, _)| i).collect()
 }
 
 #[cfg(test)]

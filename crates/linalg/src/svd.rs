@@ -233,7 +233,8 @@ fn jacobi_tall(a: &Matrix) -> Svd {
 
     // Singular values are the column norms of the rotated G.
     let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = g.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+    let norms: Vec<f64> =
+        g.iter().map(|col| col.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
     order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
 
     let mut u = Matrix::zeros(m, n);

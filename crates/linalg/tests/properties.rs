@@ -9,7 +9,10 @@ use linalg::{Matrix, QrDecomposition, Svd};
 use proptest::prelude::*;
 
 /// Random matrix strategy with entries in [-10, 10].
-fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(m, n)| {
         proptest::collection::vec(-10.0f64..10.0, m * n)
             .prop_map(move |data| Matrix::from_vec(m, n, data).unwrap())

@@ -163,8 +163,8 @@ mod tests {
     use linalg::Matrix;
     use probes::{Granularity, SlotGrid, Tcm};
     use roadnet::builder::RoadNetworkBuilder;
-    use roadnet::geometry::Point;
     use roadnet::generator::{generate_grid_city, GridCityConfig};
+    use roadnet::geometry::Point;
     use roadnet::RoadClass;
 
     fn flat_field(net: &RoadNetwork, grid: SlotGrid, kmh: f64) -> TravelTimeField {
@@ -196,7 +196,7 @@ mod tests {
         let z = b.add_node(Point::new(1000.0, 0.0));
         // Direct: 1000 m.
         b.add_segment(a, z, RoadClass::Arterial, Some(60.0), false).unwrap(); // s0
-        // Detour: ~640 m + ~640 m.
+                                                                              // Detour: ~640 m + ~640 m.
         b.add_segment(a, mid, RoadClass::Local, Some(40.0), false).unwrap(); // s1
         b.add_segment(mid, z, RoadClass::Local, Some(40.0), false).unwrap(); // s2
         let net = b.build().unwrap();
@@ -293,7 +293,9 @@ mod tests {
 
         let mut total_regret = 0.0;
         let mut trips = 0;
-        for (from, to, depart) in [(0u32, 24u32, 8 * 3600u64), (4, 20, 18 * 3600), (2, 22, 12 * 3600)] {
+        for (from, to, depart) in
+            [(0u32, 24u32, 8 * 3600u64), (4, 20, 18 * 3600), (2, 22, 12 * 3600)]
+        {
             if let Some(r) =
                 planning_regret(&net, &truth_field, &est_field, NodeId(from), NodeId(to), depart)
             {

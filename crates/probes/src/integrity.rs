@@ -17,18 +17,14 @@ pub fn overall(tcm: &Tcm) -> f64 {
 /// slots with at least one observation. Fig. 2 plots the CDF of these.
 pub fn per_road(tcm: &Tcm) -> Vec<f64> {
     let m = tcm.num_slots() as f64;
-    (0..tcm.num_segments())
-        .map(|c| tcm.indicator().col(c).iter().sum::<f64>() / m)
-        .collect()
+    (0..tcm.num_segments()).map(|c| tcm.indicator().col(c).iter().sum::<f64>() / m).collect()
 }
 
 /// Per-slot integrity: for each time-slot row, the fraction of segments
 /// observed in that slot. Fig. 3 plots the CDF of these.
 pub fn per_slot(tcm: &Tcm) -> Vec<f64> {
     let n = tcm.num_segments() as f64;
-    (0..tcm.num_slots())
-        .map(|r| tcm.indicator().row(r).iter().sum::<f64>() / n)
-        .collect()
+    (0..tcm.num_slots()).map(|r| tcm.indicator().row(r).iter().sum::<f64>() / n).collect()
 }
 
 /// Empirical CDF of per-road integrities (the curve of Fig. 2).

@@ -16,7 +16,12 @@ use rand::RngExt;
 /// # Panics
 ///
 /// Panics when `integrity` is outside `[0, 1]`.
-pub fn random_mask<R: RngExt + ?Sized>(rows: usize, cols: usize, integrity: f64, rng: &mut R) -> Matrix {
+pub fn random_mask<R: RngExt + ?Sized>(
+    rows: usize,
+    cols: usize,
+    integrity: f64,
+    rng: &mut R,
+) -> Matrix {
     assert!((0.0..=1.0).contains(&integrity), "integrity must be in [0,1], got {integrity}");
     let total = rows * cols;
     let keep = ((integrity * total as f64).round() as usize).min(total);

@@ -79,9 +79,7 @@ impl StreamingTcm {
     /// Absolute slot index of a timestamp, or `None` before the grid
     /// start.
     pub fn slot_of(&self, timestamp_s: u64) -> Option<usize> {
-        timestamp_s
-            .checked_sub(self.start_s)
-            .map(|d| (d / self.slot_len_s) as usize)
+        timestamp_s.checked_sub(self.start_s).map(|d| (d / self.slot_len_s) as usize)
     }
 
     /// Absolute index of the newest slot currently covered.
@@ -120,7 +118,12 @@ impl StreamingTcm {
     /// # Errors
     ///
     /// Rejects out-of-range segment columns and invalid speeds.
-    pub fn observe(&mut self, timestamp_s: u64, segment: usize, speed_kmh: f64) -> Result<(), TcmError> {
+    pub fn observe(
+        &mut self,
+        timestamp_s: u64,
+        segment: usize,
+        speed_kmh: f64,
+    ) -> Result<(), TcmError> {
         if segment >= self.num_segments {
             return Err(TcmError::OutOfBounds { slot: 0, col: segment });
         }
@@ -259,12 +262,7 @@ mod tests {
         use crate::tcm::TcmBuilder;
         let mut stream = StreamingTcm::new(0, 60, 10, 3);
         let mut batch = TcmBuilder::new(10, 3);
-        let obs = [
-            (30u64, 0usize, 25.0),
-            (90, 1, 35.0),
-            (95, 1, 45.0),
-            (540, 2, 55.0),
-        ];
+        let obs = [(30u64, 0usize, 25.0), (90, 1, 35.0), (95, 1, 45.0), (540, 2, 55.0)];
         for &(t, c, v) in &obs {
             stream.observe(t, c, v).unwrap();
             batch.add_observation((t / 60) as usize, c, v).unwrap();

@@ -238,7 +238,12 @@ impl TcmBuilder {
     /// # Errors
     ///
     /// Rejects out-of-bounds cells and non-finite/negative speeds.
-    pub fn add_observation(&mut self, slot: usize, col: usize, speed_kmh: f64) -> Result<(), TcmError> {
+    pub fn add_observation(
+        &mut self,
+        slot: usize,
+        col: usize,
+        speed_kmh: f64,
+    ) -> Result<(), TcmError> {
         if slot >= self.sums.rows() || col >= self.sums.cols() {
             return Err(TcmError::OutOfBounds { slot, col });
         }
@@ -426,9 +431,9 @@ mod tests {
         let seg = SegmentId(3);
         let pos = net.segment_point(seg, 0.5);
         let reports = vec![
-            ProbeReport::new(VehicleId(0), pos, 30.0, 100),    // slot 0
-            ProbeReport::new(VehicleId(1), pos, 40.0, 200),    // slot 0
-            ProbeReport::new(VehicleId(0), pos, 20.0, 1000),   // slot 1
+            ProbeReport::new(VehicleId(0), pos, 30.0, 100), // slot 0
+            ProbeReport::new(VehicleId(1), pos, 40.0, 200), // slot 0
+            ProbeReport::new(VehicleId(0), pos, 20.0, 1000), // slot 1
             ProbeReport::new(VehicleId(0), pos, 99.0, 10_000), // outside window
             // Far off-network point: discarded by matching.
             ProbeReport::new(VehicleId(2), Point::new(-9_000.0, -9_000.0), 10.0, 50),

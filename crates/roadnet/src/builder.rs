@@ -24,7 +24,9 @@ impl std::fmt::Display for NetworkBuildError {
         match self {
             NetworkBuildError::UnknownNode(n) => write!(f, "segment references unknown node {n}"),
             NetworkBuildError::SelfLoop(n) => write!(f, "self-loop segment at node {n}"),
-            NetworkBuildError::InvalidSpeed(s) => write!(f, "free-flow speed must be positive, got {s}"),
+            NetworkBuildError::InvalidSpeed(s) => {
+                write!(f, "free-flow speed must be positive, got {s}")
+            }
             NetworkBuildError::ZeroLengthSegment(a, b) => {
                 write!(f, "zero-length segment between coincident nodes {a} and {b}")
             }

@@ -131,7 +131,8 @@ pub fn generate_grid_city(config: &GridCityConfig) -> RoadNetwork {
     let class_of = |street_index: usize| -> RoadClass {
         if config.arterial_every > 0 && street_index.is_multiple_of(config.arterial_every) {
             RoadClass::Arterial
-        } else if config.collector_every > 0 && street_index.is_multiple_of(config.collector_every) {
+        } else if config.collector_every > 0 && street_index.is_multiple_of(config.collector_every)
+        {
             RoadClass::Collector
         } else {
             RoadClass::Local
@@ -146,13 +147,14 @@ pub fn generate_grid_city(config: &GridCityConfig) -> RoadNetwork {
     let in_core = |r: f64, c: f64| (r - center_r).abs() <= half_r && (c - center_c).abs() <= half_c;
 
     let add_bidirectional = |b: &mut RoadNetworkBuilder,
-                                 rng: &mut rand::rngs::StdRng,
-                                 from: NodeId,
-                                 to: NodeId,
-                                 class: RoadClass,
-                                 mid_r: f64,
-                                 mid_c: f64| {
-        let canyon_p = if in_core(mid_r, mid_c) { config.canyon_prob_core } else { config.canyon_prob_outer };
+                             rng: &mut rand::rngs::StdRng,
+                             from: NodeId,
+                             to: NodeId,
+                             class: RoadClass,
+                             mid_r: f64,
+                             mid_c: f64| {
+        let canyon_p =
+            if in_core(mid_r, mid_c) { config.canyon_prob_core } else { config.canyon_prob_outer };
         for (a, z) in [(from, to), (to, from)] {
             let jitter = 1.0 + rng.random_range(-config.speed_jitter..=config.speed_jitter);
             let speed = class.default_free_flow_kmh() * jitter;
@@ -166,14 +168,30 @@ pub fn generate_grid_city(config: &GridCityConfig) -> RoadNetwork {
     for r in 0..config.rows {
         let class = class_of(r);
         for c in 0..config.cols - 1 {
-            add_bidirectional(&mut b, &mut rng, node_at(r, c), node_at(r, c + 1), class, r as f64, c as f64 + 0.5);
+            add_bidirectional(
+                &mut b,
+                &mut rng,
+                node_at(r, c),
+                node_at(r, c + 1),
+                class,
+                r as f64,
+                c as f64 + 0.5,
+            );
         }
     }
     // Vertical streets (constant column c): class keyed by c.
     for c in 0..config.cols {
         let class = class_of(c);
         for r in 0..config.rows - 1 {
-            add_bidirectional(&mut b, &mut rng, node_at(r, c), node_at(r + 1, c), class, r as f64 + 0.5, c as f64);
+            add_bidirectional(
+                &mut b,
+                &mut rng,
+                node_at(r, c),
+                node_at(r + 1, c),
+                class,
+                r as f64 + 0.5,
+                c as f64,
+            );
         }
     }
 
@@ -289,10 +307,7 @@ mod tests {
     fn every_edge_has_both_directions() {
         let net = generate_grid_city(&GridCityConfig::small_test());
         for s in net.segments() {
-            let twin = net
-                .segments()
-                .iter()
-                .find(|t| t.from == s.to && t.to == s.from);
+            let twin = net.segments().iter().find(|t| t.from == s.to && t.to == s.from);
             assert!(twin.is_some(), "segment {} lacks a reverse twin", s.id);
         }
     }
@@ -387,10 +402,10 @@ pub fn generate_radial_city(config: &RadialCityConfig) -> RoadNetwork {
     }
 
     let add_two_way = |b: &mut RoadNetworkBuilder,
-                           rng: &mut rand::rngs::StdRng,
-                           from: NodeId,
-                           to: NodeId,
-                           class: RoadClass| {
+                       rng: &mut rand::rngs::StdRng,
+                       from: NodeId,
+                       to: NodeId,
+                       class: RoadClass| {
         for (a, z) in [(from, to), (to, from)] {
             let jitter = 1.0 + rng.random_range(-config.speed_jitter..=config.speed_jitter);
             let speed = class.default_free_flow_kmh() * jitter;
@@ -410,7 +425,13 @@ pub fn generate_radial_city(config: &RadialCityConfig) -> RoadNetwork {
     // Ring collectors.
     for nodes in &ring_nodes {
         for k in 0..config.spokes {
-            add_two_way(&mut b, &mut rng, nodes[k], nodes[(k + 1) % config.spokes], RoadClass::Collector);
+            add_two_way(
+                &mut b,
+                &mut rng,
+                nodes[k],
+                nodes[(k + 1) % config.spokes],
+                RoadClass::Collector,
+            );
         }
     }
 
@@ -455,7 +476,11 @@ mod radial_tests {
             assert_eq!(x, y);
         }
         let c = generate_radial_city(&RadialCityConfig { seed: 99, ..cfg });
-        assert!(a.segments().iter().zip(c.segments()).any(|(x, y)| x.free_flow_kmh != y.free_flow_kmh));
+        assert!(a
+            .segments()
+            .iter()
+            .zip(c.segments())
+            .any(|(x, y)| x.free_flow_kmh != y.free_flow_kmh));
     }
 
     #[test]

@@ -199,7 +199,9 @@ pub fn read_network<R: BufRead>(r: R) -> Result<RoadNetwork, ReadError> {
                 let canyon = match fields[5] {
                     "0" => false,
                     "1" => true,
-                    other => return Err(parse_err(format!("urban_canyon must be 0/1, got '{other}'"))),
+                    other => {
+                        return Err(parse_err(format!("urban_canyon must be 0/1, got '{other}'")))
+                    }
                 };
                 builder
                     .add_segment(crate::NodeId(from), crate::NodeId(to), class, Some(speed), canyon)

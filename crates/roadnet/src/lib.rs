@@ -25,11 +25,11 @@
 //! assert!(seg.length_m > 0.0);
 //! ```
 
-mod ids;
 pub mod analysis;
 pub mod builder;
 pub mod generator;
 pub mod geometry;
+mod ids;
 pub mod io;
 pub mod matching;
 mod network;

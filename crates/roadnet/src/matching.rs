@@ -99,7 +99,12 @@ impl SegmentIndex {
     /// geometry, so an undirected match cannot tell them apart; use
     /// [`SegmentIndex::match_point_directed`] when the report carries a
     /// GPS course (as real probe data does).
-    pub fn match_point(&self, net: &RoadNetwork, p: Point, max_distance_m: f64) -> Option<MatchResult> {
+    pub fn match_point(
+        &self,
+        net: &RoadNetwork,
+        p: Point,
+        max_distance_m: f64,
+    ) -> Option<MatchResult> {
         self.match_point_directed(net, p, max_distance_m, None)
     }
 
@@ -116,8 +121,10 @@ impl SegmentIndex {
     ) -> Option<MatchResult> {
         // Search expanding rings of cells until the best candidate cannot
         // be beaten by anything in a farther ring.
-        let center_ix = (((p.x - self.bbox.min.x) / self.cell_size).floor().max(0.0) as usize).min(self.nx - 1);
-        let center_iy = (((p.y - self.bbox.min.y) / self.cell_size).floor().max(0.0) as usize).min(self.ny - 1);
+        let center_ix =
+            (((p.x - self.bbox.min.x) / self.cell_size).floor().max(0.0) as usize).min(self.nx - 1);
+        let center_iy =
+            (((p.y - self.bbox.min.y) / self.cell_size).floor().max(0.0) as usize).min(self.ny - 1);
         let max_ring = (max_distance_m / self.cell_size).ceil() as usize + 1;
 
         let mut best: Option<MatchResult> = None;
@@ -169,7 +176,8 @@ fn ring_cells(cx: usize, cy: usize, ring: usize, nx: usize, ny: usize) -> Vec<(u
         for ix in x0..=x1 {
             let on_ring = ix == x0 || ix == x1 || iy == y0 || iy == y1;
             // Chebyshev test keeps the ring hollow when not clipped.
-            let cheb = (ix as isize - cx as isize).abs().max((iy as isize - cy as isize).abs()) as usize;
+            let cheb =
+                (ix as isize - cx as isize).abs().max((iy as isize - cy as isize).abs()) as usize;
             if on_ring && (cheb == ring || ring == 0) {
                 out.push((ix, iy));
             }
@@ -293,7 +301,11 @@ mod tests {
             let rev = (-dir.0, -dir.1);
             let m = index.match_point_directed(&net, p, 30.0, Some(rev)).unwrap();
             let matched = net.segment(m.segment);
-            assert_eq!((matched.from, matched.to), (seg.to, seg.from), "reverse course must match reverse twin");
+            assert_eq!(
+                (matched.from, matched.to),
+                (seg.to, seg.from),
+                "reverse course must match reverse twin"
+            );
         }
     }
 

@@ -166,7 +166,10 @@ impl RoadNetwork {
             .iter()
             .filter(|s| {
                 s.id != id
-                    && (s.from == seg.from || s.from == seg.to || s.to == seg.from || s.to == seg.to)
+                    && (s.from == seg.from
+                        || s.from == seg.to
+                        || s.to == seg.from
+                        || s.to == seg.to)
             })
             .map(|s| s.id)
             .collect();
@@ -211,7 +214,9 @@ mod tests {
         let net = tiny();
         let s0 = net.segment(SegmentId(0));
         assert_eq!(s0.free_flow_kmh, RoadClass::Local.default_free_flow_kmh());
-        assert!(RoadClass::Arterial.default_free_flow_kmh() > RoadClass::Local.default_free_flow_kmh());
+        assert!(
+            RoadClass::Arterial.default_free_flow_kmh() > RoadClass::Local.default_free_flow_kmh()
+        );
     }
 
     #[test]

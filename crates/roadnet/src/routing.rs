@@ -105,7 +105,10 @@ pub fn shortest_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Rout
 /// Draws a random origin–destination trip and routes it. Retries a few
 /// times if it draws an unreachable pair or a trivial (same-node) pair;
 /// returns `None` only when the network appears disconnected.
-pub fn random_trip<R: RngExt + ?Sized>(net: &RoadNetwork, rng: &mut R) -> Option<(NodeId, NodeId, Route)> {
+pub fn random_trip<R: RngExt + ?Sized>(
+    net: &RoadNetwork,
+    rng: &mut R,
+) -> Option<(NodeId, NodeId, Route)> {
     let n = net.node_count() as u32;
     for _ in 0..32 {
         let from = NodeId(rng.random_range(0..n));

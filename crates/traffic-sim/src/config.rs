@@ -199,7 +199,8 @@ mod tests {
 
     #[test]
     fn with_fleet_size_and_granularity() {
-        let s = ScenarioConfig::small_test().with_fleet_size(3).with_granularity(Granularity::Min60);
+        let s =
+            ScenarioConfig::small_test().with_fleet_size(3).with_granularity(Granularity::Min60);
         assert_eq!(s.fleet.fleet_size, 3);
         assert_eq!(s.slot_grid().num_slots(), 6);
     }
@@ -223,10 +224,8 @@ mod tests {
         // All picked midpoints closer to the centre than the worst
         // non-picked one.
         let bb = net.bounding_box().unwrap();
-        let centre = roadnet::geometry::Point::new(
-            (bb.min.x + bb.max.x) / 2.0,
-            (bb.min.y + bb.max.y) / 2.0,
-        );
+        let centre =
+            roadnet::geometry::Point::new((bb.min.x + bb.max.x) / 2.0, (bb.min.y + bb.max.y) / 2.0);
         let d = |i: usize| net.segment_point(roadnet::SegmentId(i as u32), 0.5).distance(centre);
         let max_picked = picked.iter().map(|&i| d(i)).fold(0.0, f64::max);
         let min_unpicked = (0..net.segment_count())

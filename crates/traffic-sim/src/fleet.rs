@@ -256,10 +256,8 @@ mod tests {
         let fleet = FleetConfig { fleet_size: 10, ..FleetConfig::default() };
         let reports = simulate_fleet(&net, &ground, 3600, &fleet, &GpsConfig::default());
         let index = SegmentIndex::build(&net, 100.0);
-        let matched = reports
-            .iter()
-            .filter(|r| index.match_point(&net, r.position, 80.0).is_some())
-            .count();
+        let matched =
+            reports.iter().filter(|r| index.match_point(&net, r.position, 80.0).is_some()).count();
         // Virtually every report should match within 80 m (noise std 8/25 m).
         assert!(matched as f64 > 0.97 * reports.len() as f64, "{matched}/{}", reports.len());
     }

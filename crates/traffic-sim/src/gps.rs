@@ -71,7 +71,8 @@ impl GpsConfig {
         if rng.random_range(0.0..1.0) < p_loss {
             return None;
         }
-        let pos_std = if in_canyon { self.canyon_position_noise_std_m } else { self.position_noise_std_m };
+        let pos_std =
+            if in_canyon { self.canyon_position_noise_std_m } else { self.position_noise_std_m };
         let pos = Point::new(
             true_pos.x + normal(rng, 0.0, pos_std),
             true_pos.y + normal(rng, 0.0, pos_std),

@@ -116,8 +116,11 @@ impl GroundTruthModel {
 
         // Daily weather: a citywide multiplicative factor per slot.
         let num_days = (grid.end_s().div_ceil(DAY_S)) as usize;
-        let weather =
-            crate::weather::WeatherSequence::generate(num_days.max(1), &config.weather, config.seed ^ 0xFEED);
+        let weather = crate::weather::WeatherSequence::generate(
+            num_days.max(1),
+            &config.weather,
+            config.seed ^ 0xFEED,
+        );
         let weather_factor: Vec<f64> =
             (0..m).map(|t| weather.speed_factor(grid.slot_start(t))).collect();
 
@@ -133,11 +136,8 @@ impl GroundTruthModel {
         let mut speeds = Matrix::zeros(m, n);
         let mut incidents = Vec::new();
         for (col, seg) in net.segments().iter().enumerate() {
-            let factor = &factors
-                .iter()
-                .find(|(c, _)| *c == seg.class)
-                .expect("all classes sampled")
-                .1;
+            let factor =
+                &factors.iter().find(|(c, _)| *c == seg.class).expect("all classes sampled").1;
             let depth = congestion_depth(seg.class);
             let coupling = (1.0 + normal(&mut rng, 0.0, config.coupling_jitter)).clamp(0.5, 1.4);
             for (t, f) in factor.iter().enumerate() {
@@ -152,7 +152,8 @@ impl GroundTruthModel {
             let count = poisson(&mut rng, expected);
             for _ in 0..count {
                 let start = rng.random_range(grid.start_s()..grid.end_s());
-                let dur = rng.random_range(config.incident_duration_s.0..=config.incident_duration_s.1);
+                let dur =
+                    rng.random_range(config.incident_duration_s.0..=config.incident_duration_s.1);
                 let severity =
                     rng.random_range(config.incident_severity.0..=config.incident_severity.1);
                 let s0 = grid.slot_of(start).expect("start inside window");
@@ -208,10 +209,11 @@ impl GroundTruthModel {
     /// what a vehicle in the flow experiences (Definition 1's uniformity
     /// assumption within a slot).
     pub fn speed_at(&self, t_s: u64, col: usize) -> f64 {
-        let slot = self
-            .grid
-            .slot_of(t_s)
-            .unwrap_or(if t_s < self.grid.start_s() { 0 } else { self.grid.num_slots() - 1 });
+        let slot = self.grid.slot_of(t_s).unwrap_or(if t_s < self.grid.start_s() {
+            0
+        } else {
+            self.grid.num_slots() - 1
+        });
         self.speeds.get(slot, col)
     }
 }
@@ -363,7 +365,11 @@ mod tests {
             let clean = GroundTruthModel::generate(
                 &net,
                 grid,
-                &GroundTruthConfig { noise_std_kmh: 0.0, incident_rate_per_segment_day: 0.0, ..cfg },
+                &GroundTruthConfig {
+                    noise_std_kmh: 0.0,
+                    incident_rate_per_segment_day: 0.0,
+                    ..cfg
+                },
             );
             // RMS of the noise component over unclamped cells.
             let mut ss = 0.0;
@@ -383,7 +389,11 @@ mod tests {
         // Reference is 30 min: 15-min noise ~ sqrt(2) x, 60-min ~ 1/sqrt(2) x.
         assert!((n30 - 3.0).abs() < 0.3, "30 min noise {n30}");
         assert!((n15 / n30 - std::f64::consts::SQRT_2).abs() < 0.15, "15/30 ratio {}", n15 / n30);
-        assert!((n60 / n30 - 1.0 / std::f64::consts::SQRT_2).abs() < 0.15, "60/30 ratio {}", n60 / n30);
+        assert!(
+            (n60 / n30 - 1.0 / std::f64::consts::SQRT_2).abs() < 0.15,
+            "60/30 ratio {}",
+            n60 / n30
+        );
     }
 
     #[test]

@@ -79,9 +79,7 @@ impl CongestionProfile {
 
     /// Samples the profile at the centre of each slot of a grid.
     pub fn sample(&self, start_s: u64, slot_len_s: u64, num_slots: usize) -> Vec<f64> {
-        (0..num_slots)
-            .map(|i| self.at(start_s + slot_len_s * i as u64 + slot_len_s / 2))
-            .collect()
+        (0..num_slots).map(|i| self.at(start_s + slot_len_s * i as u64 + slot_len_s / 2)).collect()
     }
 }
 
@@ -91,7 +89,11 @@ mod tests {
 
     #[test]
     fn output_bounded() {
-        for profile in [CongestionProfile::arterial(), CongestionProfile::collector(), CongestionProfile::local()] {
+        for profile in [
+            CongestionProfile::arterial(),
+            CongestionProfile::collector(),
+            CongestionProfile::local(),
+        ] {
             for t in (0..7 * DAY_S).step_by(600) {
                 let c = profile.at(t);
                 assert!((0.0..=1.0).contains(&c), "{c} at {t}");
@@ -151,11 +153,8 @@ mod tests {
         let s = p.sample(0, 3600, 24);
         assert_eq!(s.len(), 24);
         // Peak sample is near hour 18.
-        let (argmax, _) = s
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+        let (argmax, _) =
+            s.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
         assert!((argmax as i64 - 18).abs() <= 1, "peak at {argmax}");
     }
 

@@ -1,0 +1,249 @@
+//! Deterministic scoped worker pool.
+//!
+//! The completion engine's hot loops (per-row ridge solves in ALS,
+//! chromosome fitness in the GA, fold evaluation in reference-set
+//! selection) are embarrassingly parallel: `n` independent work items,
+//! each producing a result for a known slot. This crate fans such loops
+//! out over `std::thread::scope` workers while keeping the output
+//! *bit-for-bit identical* to the sequential path:
+//!
+//! * every item `i` computes only from `i` (work stealing changes which
+//!   worker runs an item, never the item's input or output slot);
+//! * results land in slot `i` of the output, so assembly order is fixed;
+//! * fallible loops report the error of the *smallest failing index*,
+//!   which is schedule-independent because each index is claimed exactly
+//!   once and a claimed failing index always runs.
+//!
+//! Thread-count resolution is uniform across the workspace: `1` means
+//! sequential (no threads spawned), any other explicit value is used as
+//! given, and `0` defers to the process-wide default set by
+//! [`set_default_threads`] (falling back to the number of available
+//! cores). CLI `--threads` flags set the process default once instead of
+//! threading a parameter through every call site.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default used when a config asks for `0` threads.
+/// `0` here means "unset": fall back to available parallelism.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default thread count consulted by
+/// [`resolve_threads`] for requests of `0`. Passing `0` clears the
+/// default (fall back to all available cores).
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Returns the process-wide default thread count (`0` = unset).
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.load(Ordering::Relaxed)
+}
+
+/// Resolves a requested thread count to a concrete worker count:
+/// explicit values pass through, `0` defers to [`set_default_threads`]
+/// and then to the number of available cores. Always returns ≥ 1.
+pub fn resolve_threads(requested: usize) -> usize {
+    let n = match requested {
+        0 => match default_threads() {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            d => d,
+        },
+        n => n,
+    };
+    n.max(1)
+}
+
+/// Pointer wrapper so scoped workers can address disjoint slots of a
+/// caller-owned slice. Safety rests on the claim protocol: each index is
+/// handed to exactly one worker by an atomic cursor.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Runs `f(0..n)` across `threads` workers and returns the results in
+/// index order: `out[i] == f(i)` regardless of the worker count or
+/// scheduling, so parallel and sequential runs are interchangeable
+/// wherever `f` itself is deterministic.
+///
+/// `threads` follows [`resolve_threads`] semantics; the effective count
+/// is additionally capped at `n`. With one worker (or `n <= 1`) no
+/// threads are spawned.
+pub fn parallel_map_indexed<O, F>(n: usize, threads: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let workers = resolve_threads(threads).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let base = SendPtr(out.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let base = &base;
+    let cursor = &cursor;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i);
+                    // SAFETY: `fetch_add` hands index `i` to exactly one
+                    // worker, `i < n` is checked above, and `out` outlives
+                    // the scope; the slot was initialized to `None` so the
+                    // overwrite drops no live value.
+                    unsafe { base.0.add(i).write(Some(value)) };
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("every index claimed by exactly one worker")).collect()
+}
+
+/// Runs `f(i, &mut items[i])` for every item across `threads` workers.
+///
+/// On failure, returns the error from the smallest failing index — a
+/// schedule-independent choice (see module docs) that matches what the
+/// sequential loop would report first. Items after a failure may be left
+/// unprocessed; callers treat the output as poisoned on `Err`, exactly
+/// as they would after an early-returning sequential loop.
+pub fn try_parallel_for_each_mut<T, E, F>(items: &mut [T], threads: usize, f: F) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize, &mut T) -> Result<(), E> + Sync,
+{
+    let n = items.len();
+    let workers = resolve_threads(threads).min(n);
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item)?;
+        }
+        return Ok(());
+    }
+
+    let base = SendPtr(items.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let base = &base;
+    let cursor = &cursor;
+    let mut first_err: Option<(usize, E)> = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || -> Option<(usize, E)> {
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return None;
+                        }
+                        // SAFETY: index `i` is claimed by exactly one
+                        // worker and `i < n`, so this is the only live
+                        // `&mut` to `items[i]`.
+                        let item = unsafe { &mut *base.0.add(i) };
+                        if let Err(e) = f(i, item) {
+                            return Some((i, e));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(Some((i, e))) => {
+                    if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                        first_err = Some((i, e));
+                    }
+                }
+                Ok(None) => {}
+            }
+        }
+    });
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential_for_any_thread_count() {
+        let expected: Vec<u64> = (0..257).map(|i| (i as u64).wrapping_mul(2654435761)).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = parallel_map_indexed(257, threads, |i| (i as u64).wrapping_mul(2654435761));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_empty_and_single() {
+        assert_eq!(parallel_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn for_each_mut_updates_every_item() {
+        let mut items: Vec<i64> = (0..100).collect();
+        let r: Result<(), ()> = try_parallel_for_each_mut(&mut items, 4, |i, item| {
+            *item += i as i64;
+            Ok(())
+        });
+        assert!(r.is_ok());
+        assert_eq!(items, (0..100).map(|i| 2 * i).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn for_each_mut_reports_smallest_failing_index() {
+        for threads in [1, 2, 5] {
+            let mut items = vec![0u8; 64];
+            let r = try_parallel_for_each_mut(&mut items, threads, |i, _| {
+                if i % 10 == 7 {
+                    Err(i)
+                } else {
+                    Ok(())
+                }
+            });
+            assert_eq!(r, Err(7), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn resolve_threads_semantics() {
+        set_default_threads(0);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(5), 5);
+        assert!(resolve_threads(0) >= 1);
+        set_default_threads(3);
+        assert_eq!(resolve_threads(0), 3);
+        assert_eq!(resolve_threads(2), 2);
+        set_default_threads(0);
+    }
+
+    #[test]
+    fn map_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_indexed(16, 2, |i| {
+                if i == 9 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -49,11 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Per-road coverage is heavily uneven (Fig. 2's story).
     let roads = probes::integrity::per_road(&measured);
     let never_seen = roads.iter().filter(|&&r| r == 0.0).count();
-    println!(
-        "roads never observed in any slot: {} / {}",
-        never_seen,
-        roads.len()
-    );
+    println!("roads never observed in any slot: {} / {}", never_seen, roads.len());
 
     // Tune (r, λ) on the measured matrix with Algorithm 2 — fleet-shaped
     // missingness is structured (arterials oversampled, side streets

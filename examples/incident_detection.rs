@@ -31,11 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..GroundTruthConfig::default()
     };
     let model = GroundTruthModel::generate(&net, grid, &gt_cfg);
-    let labels: Vec<(usize, usize, usize)> = model
-        .incidents()
-        .iter()
-        .map(|i| (i.segment, i.start_slot, i.end_slot))
-        .collect();
+    let labels: Vec<(usize, usize, usize)> =
+        model.incidents().iter().map(|i| (i.segment, i.start_slot, i.end_slot)).collect();
     println!("injected incidents: {}", labels.len());
 
     // Observe 30% of the matrix, complete it.

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mask = random_mask(truth.num_slots(), truth.num_segments(), 0.25, &mut rng);
     let observed = truth.masked(&mask)?;
     let cells = (truth.num_slots() * truth.num_segments()) as f64;
-    let cfg = CsConfig { rank: 2, lambda: (100.0 * cells / (672.0 * 221.0)).max(0.01), ..CsConfig::default() };
+    let cfg = CsConfig {
+        rank: 2,
+        lambda: (100.0 * cells / (672.0 * 221.0)).max(0.01),
+        ..CsConfig::default()
+    };
     let estimate = complete_matrix(&observed, &cfg)?;
     let est_field = TravelTimeField::from_estimate(&net, &estimate, grid)?;
     println!(
@@ -49,7 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let depart = hour * 3600;
         let optimal = planner::fastest_route(&net, &truth_field, from, to, depart).unwrap();
         let planned = planner::fastest_route(&net, &est_field, from, to, depart).unwrap();
-        let planned_true = planner::route_travel_time(&net, &truth_field, &planned.segments, depart);
+        let planned_true =
+            planner::route_travel_time(&net, &truth_field, &planned.segments, depart);
         let regret = (planned_true - optimal.travel_time_s) / optimal.travel_time_s;
         worst = worst.max(regret);
         println!(

@@ -52,12 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // validation split of the *observed* entries — no ground truth
     // needed, so this works in deployment).
     println!("\nrunning the genetic search ...");
-    let ga_cfg = GaConfig {
-        population: 12,
-        generations: 8,
-        rank_bounds: (1, 16),
-        ..GaConfig::default()
-    };
+    let ga_cfg =
+        GaConfig { population: 12, generations: 8, rank_bounds: (1, 16), ..GaConfig::default() };
     let result = optimize_parameters(&observed, &ga_cfg)?;
     println!(
         "GA found r = {}, λ = {:.3} (validation NMAE {:.3})",

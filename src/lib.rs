@@ -55,6 +55,7 @@ pub use traffic_sim;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use linalg::{Matrix, Svd};
+    pub use navigator::{planner, TravelTimeField};
     pub use probes::mask::random_mask;
     pub use probes::tcm::build_tcm_from_reports;
     pub use probes::{Granularity, ProbeReport, SlotGrid, Tcm, VehicleId};
@@ -62,11 +63,12 @@ pub mod prelude {
     pub use roadnet::generator::{generate_grid_city, GridCityConfig};
     pub use roadnet::matching::SegmentIndex;
     pub use roadnet::{RoadClass, RoadNetwork, SegmentId};
-    pub use traffic_cs::baselines::{correlation_knn_impute, mssa_impute, naive_knn_impute, MssaConfig};
+    pub use traffic_cs::baselines::{
+        correlation_knn_impute, mssa_impute, naive_knn_impute, MssaConfig,
+    };
     pub use traffic_cs::cs::{complete_matrix, complete_matrix_detailed, CsConfig};
     pub use traffic_cs::eigenflow::{EigenflowAnalysis, EigenflowType};
     pub use traffic_cs::estimator::{Estimator, EstimatorKind};
-    pub use navigator::{planner, TravelTimeField};
     pub use traffic_cs::ga::{optimize_parameters, GaConfig};
     pub use traffic_cs::metrics::{nmae_on_missing, relative_error_cdf};
     pub use traffic_cs::online::OnlineEstimator;

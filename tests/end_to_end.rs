@@ -106,10 +106,7 @@ fn urban_canyons_are_undersampled() {
     assert!(canyon_n > 0 && open_n > 0);
     let canyon_mean = canyon_sum / canyon_n as f64;
     let open_mean = open_sum / open_n as f64;
-    assert!(
-        canyon_mean < 0.6 * open_mean,
-        "canyon {canyon_mean} vs open {open_mean}"
-    );
+    assert!(canyon_mean < 0.6 * open_mean, "canyon {canyon_mean} vs open {open_mean}");
 }
 
 /// Coarser time slots monotonically raise integrity on the same reports

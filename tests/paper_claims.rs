@@ -121,16 +121,10 @@ fn noisier_dataset_has_higher_error() {
     };
     let clean = make(1.5, 0.1, 8);
     let noisy = make(4.0, 0.25, 8);
-    let e_clean = nmae_of(
-        &Estimator::CompressiveSensing(cs_cfg(&clean)),
-        &clean,
-        &mask_to(&clean, 0.2, 9),
-    );
-    let e_noisy = nmae_of(
-        &Estimator::CompressiveSensing(cs_cfg(&noisy)),
-        &noisy,
-        &mask_to(&noisy, 0.2, 9),
-    );
+    let e_clean =
+        nmae_of(&Estimator::CompressiveSensing(cs_cfg(&clean)), &clean, &mask_to(&clean, 0.2, 9));
+    let e_noisy =
+        nmae_of(&Estimator::CompressiveSensing(cs_cfg(&noisy)), &noisy, &mask_to(&noisy, 0.2, 9));
     assert!(e_noisy > e_clean, "noisy {e_noisy} vs clean {e_clean}");
 }
 

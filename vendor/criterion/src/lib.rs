@@ -1,0 +1,307 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark surface this workspace uses —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], `bench_function`, `b.iter(..)` — with
+//! honest wall-clock sampling:
+//!
+//! * each benchmark is warmed up, then timed for `sample_size` samples;
+//! * a one-line summary (min / median / mean) is printed per benchmark;
+//! * machine-readable results land in
+//!   `<target>/criterion/<group>/<name>/estimates.json` so CI can archive
+//!   them as the perf-trajectory artifact.
+//!
+//! Run-time knobs: a positional CLI argument filters benchmarks by
+//! substring (as upstream does), `--bench`/other flags are ignored, and
+//! `CRITERION_SAMPLE_SIZE` overrides every group's sample size (used by
+//! CI quick runs). No statistical regression analysis is performed.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    output_dir: PathBuf,
+    results: Vec<BenchResult>,
+}
+
+#[derive(Clone)]
+struct BenchResult {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip flags (`--bench`, `--quick`, ...) and flag values we don't
+        // understand; the first bare argument is a name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter, output_dir: target_dir().join("criterion"), results: Vec::new() }
+    }
+}
+
+/// Locates the workspace `target/` directory: `CARGO_TARGET_DIR` if set,
+/// else the nearest ancestor of the current directory that already
+/// contains `target/`, else `./target`.
+fn target_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        let candidate = dir.join("target");
+        if candidate.is_dir() {
+            return candidate;
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd.join("target"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.as_ref().to_string(), sample_size: 50 }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(None, id.as_ref(), 50, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: Option<&str>,
+        name: &str,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        let id = match group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        };
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(sample_size)
+            .max(2);
+
+        // Warm-up: one untimed run (also primes caches/allocators).
+        let mut warm = Bencher { elapsed: Duration::ZERO, timed: false };
+        f(&mut warm);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, timed: false };
+            f(&mut b);
+            assert!(b.timed, "benchmark '{id}' never called Bencher::iter");
+            samples_ns.push(b.elapsed.as_nanos() as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let min = samples_ns[0];
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        println!(
+            "{id:<50} time: [min {} median {} mean {}] ({} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            samples_ns.len()
+        );
+        let result = BenchResult {
+            id,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+            samples: samples_ns.len(),
+        };
+        self.write_report(group, name, &result);
+        self.results.push(result);
+    }
+
+    fn write_report(&self, group: Option<&str>, name: &str, r: &BenchResult) {
+        let mut dir = self.output_dir.clone();
+        if let Some(g) = group {
+            dir = dir.join(sanitize(g));
+        }
+        dir = dir.join(sanitize(name));
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            let mut f = std::fs::File::create(dir.join("estimates.json"))?;
+            write!(
+                f,
+                "{{\"id\":\"{}\",\"mean_ns\":{},\"median_ns\":{},\"min_ns\":{},\"samples\":{}}}",
+                r.id, r.mean_ns, r.median_ns, r.min_ns, r.samples
+            )
+        };
+        if let Err(e) = write() {
+            eprintln!("warning: could not write criterion report to {}: {e}", dir.display());
+        }
+    }
+
+    /// Prints the closing summary line. Called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        println!(
+            "\n{} benchmarks complete; reports in {}",
+            self.results.len(),
+            self.output_dir.display()
+        );
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars().map(|c| if c.is_alphanumeric() || c == '_' || c == '-' { c } else { '_' }).collect()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let name = self.name.clone();
+        let sample_size = self.sample_size;
+        self.criterion.run_one(Some(&name), id.as_ref(), sample_size, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    elapsed: Duration,
+    timed: bool,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (the sample loop lives in the
+    /// driver, so each sample is one call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.timed = true;
+        drop(black_box(out));
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            output_dir: std::env::temp_dir().join("criterion-stub-test"),
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns > 0.0);
+        assert_eq!(c.results[0].samples, 3);
+        let report = c.output_dir.join("g").join("spin").join("estimates.json");
+        assert!(report.is_file(), "missing {}", report.display());
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            output_dir: std::env::temp_dir().join("criterion-stub-test2"),
+            results: Vec::new(),
+        };
+        c.bench_function("other", |b| b.iter(|| 1));
+        assert!(c.results.is_empty());
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.000 s");
+    }
+}

@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The stub `serde` crate defines `Serialize` / `Deserialize` as marker
+//! traits, so deriving them only needs to name the type: this macro
+//! token-scans the item for the `struct`/`enum`/`union` keyword, takes
+//! the following identifier, and emits empty impls. Generic types are
+//! rejected with a `compile_error!` — none of the workspace's
+//! serde-derived types are generic, and bound inference without `syn`
+//! is not worth carrying.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: &TokenStream) -> Result<String, String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(ident) = &tt else { continue };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            other => return Err(format!("expected type name after `{kw}`, found {other:?}")),
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.next() {
+            if p.as_char() == '<' {
+                return Err(format!(
+                    "the vendored serde_derive stub cannot derive for generic type `{name}`"
+                ));
+            }
+        }
+        return Ok(name);
+    }
+    Err("no `struct`, `enum`, or `union` item found in derive input".to_string())
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Ok(name) => format!("impl serde::Serialize for {name} {{}}").parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Ok(name) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}").parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
