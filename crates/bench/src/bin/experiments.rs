@@ -3,16 +3,26 @@
 //! ```text
 //! cargo run --release -p cs-bench --bin experiments -- all
 //! cargo run --release -p cs-bench --bin experiments -- fig11 fig15 --quick
+//! cargo run --release -p cs-bench --bin experiments -- accuracy \
+//!     --metrics-out results/run.jsonl --log-level debug
 //! ```
 //!
 //! Known experiment ids: `table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //! fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 table2 ga convergence
-//! init-ablation all`. `--quick` substitutes reduced datasets (small
-//! city, fewer sweep points) for a fast smoke run.
+//! init-ablation adaptive online weighted all`, plus the group aliases
+//! `integrity structure accuracy params selection runtime extensions`
+//! which expand to their figures. `--quick` substitutes reduced datasets
+//! (small city, fewer sweep points) for a fast smoke run.
+//!
+//! Every run writes `run_manifest.json` next to its CSVs: command line,
+//! git revision, thread count, dataset seeds, and per-experiment
+//! timings/outputs. `--log-level`/`--metrics-out` mirror the CLI's
+//! telemetry flags.
 
 use cs_bench::experiments::{
     accuracy, extensions, integrity, params, runtime, selection, structure,
 };
+use cs_bench::report;
 
 const ALL_IDS: &[&str] = &[
     "table1",
@@ -40,32 +50,89 @@ const ALL_IDS: &[&str] = &[
     "weighted",
 ];
 
+/// Group aliases expanding to the figure/table ids of one experiment
+/// module, so CI and humans can ask for a theme instead of a figure list.
+const GROUPS: &[(&str, &[&str])] = &[
+    ("integrity", &["table1", "fig2", "fig3"]),
+    ("structure", &["fig4", "fig5", "fig6", "fig7", "fig8"]),
+    ("accuracy", &["fig11", "fig12", "fig13", "fig14"]),
+    ("params", &["fig15", "fig16", "ga", "convergence", "init-ablation"]),
+    ("selection", &["fig17", "fig18"]),
+    ("runtime", &["table2"]),
+    ("extensions", &["adaptive", "online", "weighted"]),
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id...|group...|all> [--quick] [--threads N] \
+         [--log-level off|error|info|debug|trace] [--metrics-out FILE.jsonl]"
+    );
+    eprintln!("ids: {}", ALL_IDS.join(" "));
+    let groups: Vec<String> =
+        GROUPS.iter().map(|(g, ids)| format!("{g} = {}", ids.join(" "))).collect();
+    eprintln!("groups: {}", groups.join("; "));
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    if let Some(pos) = args.iter().position(|a| a == "--threads") {
-        let Some(n) = args.get(pos + 1).and_then(|v| v.parse().ok()) else {
+    // Flags that consume the next argument (their values must not be
+    // mistaken for experiment ids).
+    const VALUE_FLAGS: &[&str] = &["--threads", "--log-level", "--metrics-out"];
+    let flag_value = |flag: &str| -> Option<&String> {
+        args.iter().position(|a| a == flag).and_then(|pos| args.get(pos + 1))
+    };
+    if args.iter().any(|a| a == "--threads") {
+        let Some(n) = flag_value("--threads").and_then(|v| v.parse().ok()) else {
             eprintln!("--threads needs a numeric value (0 = all cores, 1 = sequential)");
             std::process::exit(2);
         };
         workpool::set_default_threads(n);
     }
+    let log_level: telemetry::Level = match flag_value("--log-level") {
+        None => telemetry::Level::Off,
+        Some(v) => match v.parse() {
+            Ok(level) => level,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let metrics_out = flag_value("--metrics-out").cloned();
+    let tele_cfg = telemetry::TelemetryConfig {
+        level: log_level,
+        metrics_out: metrics_out.as_ref().map(std::path::PathBuf::from),
+    };
+    if let Err(e) = telemetry::init(&tele_cfg) {
+        eprintln!("telemetry init failed: {e}");
+        std::process::exit(2);
+    }
+
     let mut ids: Vec<String> = args
         .iter()
         .enumerate()
         .filter(|&(i, a)| {
-            let is_threads_value = i > 0 && args[i - 1] == "--threads";
-            !a.starts_with('-') && !is_threads_value
+            let is_flag_value = i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str());
+            !a.starts_with('-') && !is_flag_value
         })
         .map(|(_, a)| a.to_lowercase())
         .collect();
     if ids.is_empty() {
-        eprintln!("usage: experiments <id...|all> [--quick] [--threads N]");
-        eprintln!("ids: {}", ALL_IDS.join(" "));
-        std::process::exit(2);
+        usage();
     }
     if ids.iter().any(|i| i == "all") {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    } else {
+        // Expand group aliases in place, preserving request order.
+        ids = ids
+            .iter()
+            .flat_map(|id| match GROUPS.iter().find(|(g, _)| g == id) {
+                Some((_, members)) => members.iter().map(|s| s.to_string()).collect(),
+                None => vec![id.clone()],
+            })
+            .collect();
     }
     for id in &ids {
         if !ALL_IDS.contains(&id.as_str()) {
@@ -94,9 +161,13 @@ fn main() {
     }
     let mut fleet_cache: Option<Vec<cs_bench::datasets::FleetDay>> = None;
     let mut structure_cache: Option<cs_bench::datasets::EvalDataset> = None;
+    let mut manifest: Vec<report::ManifestEntry> = Vec::with_capacity(ids.len());
+    report::take_written_files(); // start the outputs ledger clean
 
     for id in &ids {
         let start = std::time::Instant::now();
+        let mut exp_span = telemetry::span(telemetry::Level::Info, "experiment");
+        exp_span.record("id", id.as_str());
         match id.as_str() {
             "table1" => integrity::print_table1(&integrity::table1(fleet(&mut fleet_cache, quick))),
             "fig2" => integrity::print_integrity_cdfs(
@@ -182,6 +253,26 @@ fn main() {
             "weighted" => extensions::print_weighted(extensions::weighted(quick)),
             _ => unreachable!("validated above"),
         }
-        println!("[{id} done in {:.1} s]\n", start.elapsed().as_secs_f64());
+        drop(exp_span);
+        let elapsed_s = start.elapsed().as_secs_f64();
+        manifest.push(report::ManifestEntry {
+            id: id.clone(),
+            elapsed_s,
+            outputs: report::take_written_files(),
+        });
+        println!("[{id} done in {elapsed_s:.1} s]\n");
     }
+
+    let command = format!("experiments {}", args.join(" "));
+    match report::write_run_manifest(
+        &command,
+        quick,
+        log_level.as_str(),
+        metrics_out.as_deref(),
+        &manifest,
+    ) {
+        Ok(path) => println!("[manifest written to {}]", path.display()),
+        Err(e) => eprintln!("warning: failed to write run manifest: {e}"),
+    }
+    telemetry::shutdown();
 }

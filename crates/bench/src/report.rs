@@ -1,8 +1,11 @@
-//! Table formatting and CSV output shared by all experiments.
+//! Table formatting, CSV output, and the run manifest shared by all
+//! experiments.
 
 use linalg::stats::CdfPoint;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use telemetry::json::Json;
 
 /// Renders an aligned ASCII table with a title line.
 pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -52,6 +55,104 @@ pub fn save_csv(
 ) -> std::io::Result<PathBuf> {
     let path = results_dir().join(file_name);
     write_csv(&path, headers, rows)?;
+    written_files().lock().expect("written-files registry poisoned").push(file_name.to_string());
+    Ok(path)
+}
+
+/// File names written through [`save_csv`] since the last
+/// [`take_written_files`] call — the `outputs` of a manifest entry.
+fn written_files() -> &'static Mutex<Vec<String>> {
+    static WRITTEN: std::sync::OnceLock<Mutex<Vec<String>>> = std::sync::OnceLock::new();
+    WRITTEN.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drains the list of CSV file names written since the previous call.
+pub fn take_written_files() -> Vec<String> {
+    std::mem::take(&mut *written_files().lock().expect("written-files registry poisoned"))
+}
+
+/// One experiment's entry in the run manifest.
+#[derive(Debug, Clone)]
+pub struct ManifestEntry {
+    /// Experiment id as passed on the command line (e.g. `fig11`).
+    pub id: String,
+    /// Wall-clock seconds the experiment took.
+    pub elapsed_s: f64,
+    /// CSV files the experiment wrote under [`results_dir`].
+    pub outputs: Vec<String>,
+}
+
+/// Fixed seeds the harness bakes into its datasets and solvers, recorded
+/// so a manifest pins the exact reproduction recipe.
+fn seeds_json() -> Json {
+    Json::Obj(vec![
+        ("accuracy_mask".into(), Json::Num(11.0)),
+        ("cs_default".into(), Json::Num(42.0)),
+        ("ga_default".into(), Json::Num(1.0)),
+        ("cv_default".into(), Json::Num(7.0)),
+    ])
+}
+
+/// Git revision of the working tree, best effort: `git rev-parse HEAD`,
+/// then the `GITHUB_SHA` env var (CI), then `"unknown"`.
+fn git_rev() -> String {
+    if let Ok(out) = std::process::Command::new("git").args(["rev-parse", "HEAD"]).output() {
+        if out.status.success() {
+            if let Ok(s) = String::from_utf8(out.stdout) {
+                let s = s.trim();
+                if !s.is_empty() {
+                    return s.to_string();
+                }
+            }
+        }
+    }
+    std::env::var("GITHUB_SHA").unwrap_or_else(|_| "unknown".to_string())
+}
+
+/// Writes `run_manifest.json` under [`results_dir`]: the command line,
+/// git revision, resolved thread count, seeds, and per-experiment
+/// timings/outputs. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_run_manifest(
+    command: &str,
+    quick: bool,
+    log_level: &str,
+    metrics_out: Option<&str>,
+    entries: &[ManifestEntry],
+) -> std::io::Result<PathBuf> {
+    let experiments = entries
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("id".into(), Json::Str(e.id.clone())),
+                ("elapsed_s".into(), Json::Num(e.elapsed_s)),
+                (
+                    "outputs".into(),
+                    Json::Arr(e.outputs.iter().map(|f| Json::Str(f.clone())).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let created_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0.0, |d| d.as_millis() as f64);
+    let manifest = Json::Obj(vec![
+        ("schema".into(), Json::Str("cs-traffic-run-manifest/v1".into())),
+        ("command".into(), Json::Str(command.to_string())),
+        ("git_rev".into(), Json::Str(git_rev())),
+        ("threads".into(), Json::Num(workpool::resolve_threads(0) as f64)),
+        ("quick".into(), Json::Bool(quick)),
+        ("log_level".into(), Json::Str(log_level.to_string())),
+        ("metrics_out".into(), metrics_out.map_or(Json::Null, |p| Json::Str(p.to_string()))),
+        ("seeds".into(), seeds_json()),
+        ("experiments".into(), Json::Arr(experiments)),
+        ("created_unix_ms".into(), Json::Num(created_ms)),
+    ]);
+    let path = results_dir().join("run_manifest.json");
+    std::fs::write(&path, manifest.encode() + "\n")?;
     Ok(path)
 }
 

@@ -20,8 +20,12 @@ const USAGE: &str =
     "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate> [--flag value ...]
 
 global flags:
-  --threads N  worker threads for completion/detection hot paths
-               (0 = all cores, 1 = sequential; results are identical)
+  --threads N        worker threads for completion/detection hot paths
+                     (0 = all cores, 1 = sequential; results are identical)
+  --log-level LEVEL  telemetry verbosity to stderr: off|error|info|debug|trace
+                     (default off; debug adds per-sweep/per-generation spans)
+  --metrics-out F    append telemetry records as JSON lines to F (also
+                     enables counters/gauges/histograms, flushed on exit)
 
 subcommands:
   simulate   --scenario small|shanghai|shenzhen [--fleet N] [--duration-h H]
@@ -48,6 +52,15 @@ fn run() -> CliResult {
         // subcommand: configs built with `num_threads: 0` pick it up.
         workpool::set_default_threads(threads.parse()?);
     }
+    let tele_cfg = telemetry::TelemetryConfig {
+        level: flags
+            .get("log-level")
+            .map(|s| s.parse().map_err(CliError))
+            .transpose()?
+            .unwrap_or_default(),
+        metrics_out: flags.get("metrics-out").map(std::path::PathBuf::from),
+    };
+    telemetry::init(&tele_cfg).map_err(|e| CliError(format!("telemetry init failed: {e}")))?;
     match cmd.as_str() {
         "simulate" => cmd_simulate(
             get("scenario")?,
@@ -88,7 +101,10 @@ fn run() -> CliResult {
 }
 
 fn main() {
-    if let Err(e) = run() {
+    let result = run();
+    // Flush sinks (and dump final metric snapshots) even on error paths.
+    telemetry::shutdown();
+    if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -22,10 +22,11 @@
 //! two coincide; with the paper's 80%-missing matrices the masked solve
 //! is what makes the reported accuracy reachable.
 
-use linalg::lstsq::{RidgeSolver, SolveError};
+use linalg::lstsq::RidgeSolver;
 use linalg::Matrix;
 use probes::Tcm;
 use rand::SeedableRng;
+use telemetry::Level;
 
 /// How `L` is initialized before the alternating sweeps — the `als_init`
 /// ablation of DESIGN.md.
@@ -87,6 +88,24 @@ impl Default for CsConfig {
     }
 }
 
+/// Which half of the alternation a failing ridge solve belonged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveAxis {
+    /// The `L` step: one solve per time-slot row of the matrix.
+    Row,
+    /// The `R` step: one solve per road-segment column.
+    Column,
+}
+
+impl std::fmt::Display for SolveAxis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SolveAxis::Row => "row",
+            SolveAxis::Column => "column",
+        })
+    }
+}
+
 /// Error from Algorithm 1.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CsError {
@@ -104,8 +123,19 @@ pub enum CsError {
     /// The matrix has no observed entries at all.
     NoObservations,
     /// An inner least-squares solve failed (only possible with `λ = 0`
-    /// and rank-deficient observed sub-blocks).
-    Solve(String),
+    /// and rank-deficient observed sub-blocks). Carries which unit
+    /// failed so the offending row/column is actionable without a
+    /// re-run under a debugger.
+    Solve {
+        /// Row sweep (`L` step) or column sweep (`R` step).
+        axis: SolveAxis,
+        /// Index of the failing row/column within its axis.
+        index: usize,
+        /// The underlying solver failure.
+        detail: String,
+    },
+    /// Every candidate evaluated by the genetic search failed.
+    AllCandidatesFailed,
 }
 
 impl std::fmt::Display for CsError {
@@ -117,18 +147,17 @@ impl std::fmt::Display for CsError {
             CsError::InvalidLambda(l) => write!(f, "lambda {l} must be finite and non-negative"),
             CsError::NoIterations => write!(f, "iteration count must be positive"),
             CsError::NoObservations => write!(f, "measurement matrix has no observed entries"),
-            CsError::Solve(e) => write!(f, "inner least-squares solve failed: {e}"),
+            CsError::Solve { axis, index, detail } => {
+                write!(f, "inner least-squares solve failed at {axis} {index}: {detail}")
+            }
+            CsError::AllCandidatesFailed => {
+                write!(f, "every parameter combination failed to complete the matrix")
+            }
         }
     }
 }
 
 impl std::error::Error for CsError {}
-
-impl From<SolveError> for CsError {
-    fn from(e: SolveError) -> Self {
-        CsError::Solve(e.to_string())
-    }
-}
 
 /// Full output of Algorithm 1, including the convergence trace used by
 /// the `convergence` ablation experiment.
@@ -236,25 +265,39 @@ fn run_als(
             mean / (k + 1) as f64 + 1e-3 * ((i * r + k) % 17) as f64
         }),
     };
+    let mut als_span = telemetry::span(Level::Info, "als.complete");
+    if als_span.is_enabled() {
+        als_span.record("m", m);
+        als_span.record("n", n);
+        als_span.record("rank", r);
+        als_span.record("lambda", config.lambda);
+        als_span.record("warm_start", warm_r.is_some());
+        als_span.record("observed", tcm.observed_count());
+    }
+
     let mut rmat = Matrix::zeros(n, r);
     if let Some(warm) = warm_r {
         // Warm start: adopt the previous window's segment factors and
         // fit L to them before the first regular sweep.
         rmat = warm.clone();
-        solve_factor(&rmat, &row_obs, config, &mut l)?;
+        solve_factor(&rmat, &row_obs, config, SolveAxis::Row, &mut l)?;
     }
 
     let mut best: Option<(f64, Matrix, Matrix)> = None;
     let mut trace = Vec::with_capacity(config.iterations);
     let mut prev_v = f64::INFINITY;
     let mut sweeps = 0;
+    let mut early_stopped = false;
 
     for _ in 0..config.iterations {
         sweeps += 1;
+        let mut sweep_span = telemetry::span(Level::Debug, "als.sweep");
+        let solve_start = sweep_span.is_enabled().then(std::time::Instant::now);
         // R step: for each column j, ridge-solve L_Ω r_j ≈ m_Ω.
-        solve_factor(&l, &col_obs, config, &mut rmat)?;
+        solve_factor(&l, &col_obs, config, SolveAxis::Column, &mut rmat)?;
         // L step: symmetric, with R in the role of the design matrix.
-        solve_factor(&rmat, &row_obs, config, &mut l)?;
+        solve_factor(&rmat, &row_obs, config, SolveAxis::Row, &mut l)?;
+        let solve_ms = solve_start.map(|t| t.elapsed().as_secs_f64() * 1e3);
 
         // Objective (Eq. 16) on the observed entries. Per-column partial
         // sums reduced in column order: the same association on the
@@ -276,16 +319,40 @@ fn run_als(
             .sum();
         let v = fit + config.lambda * (l.frobenius_norm_sq() + rmat.frobenius_norm_sq());
         trace.push(v);
+        if sweep_span.is_enabled() {
+            sweep_span.record("sweep", sweeps);
+            sweep_span.record("objective", v);
+            sweep_span.record("delta", if prev_v.is_finite() { prev_v - v } else { 0.0 });
+            if let Some(ms) = solve_ms {
+                sweep_span.record("solve_ms", ms);
+            }
+        }
+        if telemetry::metrics_enabled() {
+            telemetry::counter("als.sweeps").incr();
+        }
         if best.as_ref().is_none_or(|(bv, _, _)| v < *bv) {
             best = Some((v, l.clone(), rmat.clone()));
         }
         if config.tol > 0.0 && (prev_v - v).abs() <= config.tol * v.abs().max(1.0) {
+            early_stopped = true;
+            sweep_span.record("early_stop", true);
             break;
         }
         prev_v = v;
     }
 
     let (objective, bl, br) = best.expect("at least one sweep ran");
+    if als_span.is_enabled() {
+        als_span.record("sweeps", sweeps);
+        als_span.record("objective", objective);
+        als_span.record("early_stop", if early_stopped { "tol" } else { "max_iters" });
+    }
+    if telemetry::metrics_enabled() {
+        telemetry::counter("als.completions").incr();
+        if let Some(s) = als_span.elapsed() {
+            telemetry::histogram("als.complete_us").observe(s.as_secs_f64() * 1e6);
+        }
+    }
     let estimate = bl.matmul(&br.transpose()).expect("factor shapes agree");
     Ok(CompletionResult { estimate, objective, objective_trace: trace, sweeps, factors: (bl, br) })
 }
@@ -338,6 +405,7 @@ fn solve_factor(
     design: &Matrix,
     obs_per_unit: &[Vec<(usize, f64)>],
     config: &CsConfig,
+    axis: SolveAxis,
     out: &mut Matrix,
 ) -> Result<(), CsError> {
     let r = design.cols();
@@ -353,7 +421,11 @@ fn solve_factor(
         }
         let a = Matrix::from_fn(obs.len(), r, |i, k| design.get(obs[i].0, k));
         let b = Matrix::from_fn(obs.len(), 1, |i, _| obs[i].1);
-        let sol = config.solver.solve(&a, &b, config.lambda).map_err(CsError::from)?;
+        let sol = config.solver.solve(&a, &b, config.lambda).map_err(|e| CsError::Solve {
+            axis,
+            index: unit,
+            detail: e.to_string(),
+        })?;
         for (k, slot) in row.iter_mut().enumerate() {
             *slot = sol.get(k, 0);
         }
@@ -520,6 +592,28 @@ mod tests {
             complete_matrix(&empty, &CsConfig::default()),
             Err(CsError::NoObservations)
         ));
+    }
+
+    #[test]
+    fn solve_failure_reports_axis_and_smallest_index() {
+        // λ = 0 with an all-zero design column makes every unit's Gram
+        // matrix exactly singular (the second Cholesky pivot is 0.0, no
+        // rounding involved), so both units fail and the smallest index
+        // must win regardless of scheduling.
+        let design = Matrix::from_fn(4, 2, |i, k| if k == 0 { 1.0 + i as f64 } else { 0.0 });
+        let obs: Vec<Vec<(usize, f64)>> = vec![vec![(0, 1.0), (1, 2.0)], vec![(2, 1.0), (3, 2.0)]];
+        let cfg = CsConfig { rank: 2, lambda: 0.0, ..CsConfig::default() };
+        let mut out = Matrix::zeros(2, 2);
+        let err = solve_factor(&design, &obs, &cfg, SolveAxis::Column, &mut out).unwrap_err();
+        match &err {
+            CsError::Solve { axis, index, detail } => {
+                assert_eq!(*axis, SolveAxis::Column);
+                assert_eq!(*index, 0);
+                assert!(detail.contains("positive definite"), "detail: {detail}");
+            }
+            other => panic!("expected CsError::Solve, got {other:?}"),
+        }
+        assert!(err.to_string().contains("column 0"), "display: {err}");
     }
 
     #[test]

@@ -174,11 +174,19 @@ pub fn optimize_parameters(tcm: &Tcm, config: &GaConfig) -> Result<GaResult, CsE
         }
     };
 
+    let mut ga_span = telemetry::span(telemetry::Level::Info, "ga.optimize");
+    if ga_span.is_enabled() {
+        ga_span.record("population", config.population);
+        ga_span.record("max_generations", config.generations);
+        ga_span.record("rank_bounds", format!("{lo_r}..={hi_r}"));
+    }
+
     let mut best: Option<(f64, Individual)> = None;
     let mut history = Vec::with_capacity(config.generations);
     let mut stalled = 0usize;
 
-    for _gen in 0..config.generations {
+    for gen in 0..config.generations {
+        let mut gen_span = telemetry::span(telemetry::Level::Debug, "ga.generation");
         // 2) Selection: evaluate fitness (parallel fan-out over the
         // worker pool; slot-indexed results keep the ordering identical
         // to the sequential loop) and sort.
@@ -198,6 +206,31 @@ pub fn optimize_parameters(tcm: &Tcm, config: &GaConfig) -> Result<GaResult, CsE
             stalled += 1;
         }
         history.push(best.as_ref().expect("just set").0);
+        if gen_span.is_enabled() {
+            let finite: Vec<f64> = fitness.iter().copied().filter(|f| f.is_finite()).collect();
+            let mean = if finite.is_empty() {
+                f64::INFINITY
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            };
+            // Population diversity: how many distinct rank genes survive,
+            // and how wide the λ genes are spread in log space.
+            let mut ranks: Vec<usize> = population.iter().map(|p| p.rank).collect();
+            ranks.sort_unstable();
+            ranks.dedup();
+            let (lo, hi) = population.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, p| {
+                (acc.0.min(p.log_lambda), acc.1.max(p.log_lambda))
+            });
+            gen_span.record("generation", gen);
+            gen_span.record("best_fitness", fitness[gen_best]);
+            gen_span.record("mean_fitness", mean);
+            gen_span.record("distinct_ranks", ranks.len());
+            gen_span.record("log_lambda_spread", hi - lo);
+            gen_span.record("failed_individuals", fitness.len() - finite.len());
+        }
+        if telemetry::metrics_enabled() {
+            telemetry::counter("ga.generations").incr();
+        }
         if let Some(limit) = config.stall_generations {
             if stalled >= limit {
                 break;
@@ -255,7 +288,18 @@ pub fn optimize_parameters(tcm: &Tcm, config: &GaConfig) -> Result<GaResult, CsE
     // 4) Termination: decode the best individual.
     let (fitness, ind) = best.expect("at least one generation evaluated");
     if !fitness.is_finite() {
-        return Err(CsError::Solve("every parameter combination failed".into()));
+        return Err(CsError::AllCandidatesFailed);
+    }
+    if ga_span.is_enabled() {
+        ga_span.record("generations", history.len());
+        ga_span.record("best_fitness", fitness);
+        ga_span.record("best_rank", ind.rank);
+        ga_span.record("best_lambda", ind.log_lambda.exp());
+    }
+    if telemetry::metrics_enabled() {
+        if let Some(elapsed) = ga_span.elapsed() {
+            telemetry::histogram("ga.optimize_us").observe(elapsed.as_nanos() as f64 / 1e3);
+        }
     }
     Ok(GaResult { rank: ind.rank, lambda: ind.log_lambda.exp(), fitness, history })
 }

@@ -189,9 +189,21 @@ pub fn evaluate_k_folds(
     let workers = workpool::resolve_threads(config.num_threads).min(cells.len());
     let inner_threads = if workers > 1 { 1 } else { config.cs.num_threads };
 
+    let mut cv_span = telemetry::span(telemetry::Level::Info, "cv.evaluate");
+    if cv_span.is_enabled() {
+        cv_span.record("target", target);
+        cv_span.record("folds", config.folds);
+        cv_span.record("ks", ks.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(","));
+    }
+
     let errors: Vec<Result<f64, CsError>> =
         workpool::parallel_map_indexed(cells.len(), config.num_threads, |idx| {
             let (k, fold) = cells[idx];
+            let mut fold_span = telemetry::span(telemetry::Level::Debug, "cv.fold");
+            if fold_span.is_enabled() {
+                fold_span.record("k", k);
+                fold_span.record("fold", fold);
+            }
             let held_out: Vec<usize> = shuffled
                 .iter()
                 .enumerate()
@@ -217,8 +229,17 @@ pub fn evaluate_k_folds(
                 num += (truth - est.get(t, 0)).abs();
                 den += truth.abs();
             }
-            Ok(if den > 0.0 { num / den } else { 0.0 })
+            let nmae = if den > 0.0 { num / den } else { 0.0 };
+            if fold_span.is_enabled() {
+                fold_span.record("held_out", held_out.len());
+                fold_span.record("nmae", nmae);
+            }
+            if telemetry::metrics_enabled() {
+                telemetry::counter("cv.folds_evaluated").incr();
+            }
+            Ok(nmae)
         });
+    drop(cv_span);
 
     // Deterministic error selection: the first failure in ks × folds
     // order, exactly what a sequential nested loop would report.

@@ -17,7 +17,7 @@
 //! the same alternating ridge solves by scaling each observation row of
 //! the design matrix and the target by `√w`.
 
-use crate::cs::{CsConfig, CsError};
+use crate::cs::{CsConfig, CsError, SolveAxis};
 use linalg::Matrix;
 use probes::Tcm;
 use rand::SeedableRng;
@@ -134,6 +134,7 @@ pub fn complete_matrix_weighted(
 
     let solve_weighted = |design: &Matrix,
                           obs: &[Vec<(usize, f64, f64)>],
+                          axis: SolveAxis,
                           out: &mut Matrix|
      -> Result<(), CsError> {
         for (unit, entries) in obs.iter().enumerate() {
@@ -148,7 +149,11 @@ pub fn complete_matrix_weighted(
                 entries[i].2 * design.get(entries[i].0, k)
             });
             let b = Matrix::from_fn(entries.len(), 1, |i, _| entries[i].2 * entries[i].1);
-            let sol = config.solver.solve(&a, &b, config.lambda)?;
+            let sol = config.solver.solve(&a, &b, config.lambda).map_err(|e| CsError::Solve {
+                axis,
+                index: unit,
+                detail: e.to_string(),
+            })?;
             for k in 0..r {
                 out.set(unit, k, sol.get(k, 0));
             }
@@ -159,8 +164,8 @@ pub fn complete_matrix_weighted(
     let mut best: Option<(f64, Matrix)> = None;
     let mut prev_v = f64::INFINITY;
     for _ in 0..config.iterations {
-        solve_weighted(&l, &col_obs, &mut rmat)?;
-        solve_weighted(&rmat, &row_obs, &mut l)?;
+        solve_weighted(&l, &col_obs, SolveAxis::Column, &mut rmat)?;
+        solve_weighted(&rmat, &row_obs, SolveAxis::Row, &mut l)?;
         // Weighted objective.
         let mut fit = 0.0;
         for (j, entries) in col_obs.iter().enumerate() {

@@ -304,19 +304,42 @@ pub fn build_tcm_from_reports(
     grid: &SlotGrid,
     max_match_dist_m: f64,
 ) -> Tcm {
+    let mut span = telemetry::span(telemetry::Level::Info, "tcm.build");
+    let mut dropped_out_of_grid = 0u64;
+    let mut dropped_unmatched = 0u64;
     let mut builder = TcmBuilder::new(grid.num_slots(), net.segment_count());
     for report in reports {
-        let Some(slot) = grid.slot_of(report.timestamp_s) else { continue };
+        let Some(slot) = grid.slot_of(report.timestamp_s) else {
+            dropped_out_of_grid += 1;
+            continue;
+        };
         let heading = report.has_heading().then_some(report.heading);
         let Some(m) = index.match_point_directed(net, report.position, max_match_dist_m, heading)
         else {
+            dropped_unmatched += 1;
             continue;
         };
         builder
             .add_observation(slot, m.segment.index(), report.speed_kmh)
             .expect("slot and segment indices are in range by construction");
     }
-    builder.build()
+    let tcm = builder.build();
+    if span.is_enabled() {
+        span.record("reports", reports.len());
+        span.record("matched", reports.len() as u64 - dropped_out_of_grid - dropped_unmatched);
+        span.record("dropped_out_of_grid", dropped_out_of_grid);
+        span.record("dropped_unmatched", dropped_unmatched);
+        span.record("slots", tcm.num_slots());
+        span.record("segments", tcm.num_segments());
+        span.record("integrity", tcm.integrity());
+    }
+    if telemetry::metrics_enabled() {
+        telemetry::counter("tcm.reports").add(reports.len() as u64);
+        telemetry::counter("tcm.reports_dropped_out_of_grid").add(dropped_out_of_grid);
+        telemetry::counter("tcm.reports_dropped_unmatched").add(dropped_unmatched);
+        telemetry::gauge("tcm.integrity").set(tcm.integrity());
+    }
+    tcm
 }
 
 #[cfg(test)]

@@ -1,0 +1,92 @@
+//! CI gate for telemetry output: checks that every line of a metrics
+//! JSONL file is parseable JSON carrying the expected top-level keys,
+//! and (optionally) that a run manifest parses with its required keys.
+//!
+//! ```text
+//! validate-jsonl <metrics.jsonl> [run_manifest.json]
+//! ```
+//!
+//! Exits non-zero with a line-precise message on the first violation.
+
+use telemetry::json::Json;
+
+const KNOWN_TYPES: &[&str] = &["span", "event", "counter", "gauge", "histogram"];
+const REQUIRED_RECORD_KEYS: &[&str] = &["type", "level", "name", "ts_ms"];
+const REQUIRED_MANIFEST_KEYS: &[&str] =
+    &["schema", "command", "git_rev", "threads", "quick", "experiments", "created_unix_ms"];
+
+fn fail(message: String) -> ! {
+    eprintln!("validate-jsonl: {message}");
+    std::process::exit(1);
+}
+
+fn validate_jsonl(path: &str) -> usize {
+    let content = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read '{path}': {e}")));
+    let mut records = 0usize;
+    for (lineno, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line)
+            .unwrap_or_else(|e| fail(format!("{path}:{}: not valid JSON: {e}", lineno + 1)));
+        let Json::Obj(_) = value else {
+            fail(format!("{path}:{}: line is not a JSON object", lineno + 1));
+        };
+        for key in REQUIRED_RECORD_KEYS {
+            if value.get(key).is_none() {
+                fail(format!("{path}:{}: missing required key '{key}'", lineno + 1));
+            }
+        }
+        let ty = value
+            .get("type")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(format!("{path}:{}: 'type' is not a string", lineno + 1)));
+        if !KNOWN_TYPES.contains(&ty) {
+            fail(format!("{path}:{}: unknown record type '{ty}'", lineno + 1));
+        }
+        if value.get("ts_ms").and_then(Json::as_num).is_none() {
+            fail(format!("{path}:{}: 'ts_ms' is not a number", lineno + 1));
+        }
+        records += 1;
+    }
+    if records == 0 {
+        fail(format!("{path}: no records emitted"));
+    }
+    records
+}
+
+fn validate_manifest(path: &str) {
+    let content = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read '{path}': {e}")));
+    let value =
+        Json::parse(&content).unwrap_or_else(|e| fail(format!("{path}: not valid JSON: {e}")));
+    for key in REQUIRED_MANIFEST_KEYS {
+        if value.get(key).is_none() {
+            fail(format!("{path}: missing required manifest key '{key}'"));
+        }
+    }
+    let Some(Json::Arr(experiments)) = value.get("experiments") else {
+        fail(format!("{path}: 'experiments' is not an array"));
+    };
+    for (i, exp) in experiments.iter().enumerate() {
+        for key in ["id", "elapsed_s", "outputs"] {
+            if exp.get(key).is_none() {
+                fail(format!("{path}: experiments[{i}] missing key '{key}'"));
+            }
+        }
+    }
+    println!("{path}: manifest OK ({} experiments)", experiments.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(jsonl) = args.first() else {
+        fail("usage: validate-jsonl <metrics.jsonl> [run_manifest.json]".to_string());
+    };
+    let records = validate_jsonl(jsonl);
+    println!("{jsonl}: {records} valid records");
+    if let Some(manifest) = args.get(1) {
+        validate_manifest(manifest);
+    }
+}

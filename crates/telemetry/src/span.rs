@@ -1,0 +1,134 @@
+//! Hierarchical spans: wall-clock timed scopes with structured fields.
+
+use crate::sink::{Record, RecordKind};
+use crate::{dispatch, enabled, unix_ms, Field, Key, Level, Value};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotone span-id source; 0 is never handed out so ids are `NonZero`
+/// in spirit.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of open span ids on this thread; the top is the parent of
+    /// the next span or event. Spans opened on worker threads start a
+    /// fresh (empty) stack, so cross-thread parents are intentionally
+    /// not tracked.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Id of the innermost open span on this thread, if any.
+pub(crate) fn current_span_id() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Depth of the current thread's span stack (used by the pretty sink
+/// for indentation).
+pub(crate) fn current_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    level: Level,
+    start: Instant,
+    fields: Vec<Field>,
+}
+
+/// A timed scope. Created by [`span`]; emits one record with its
+/// elapsed time and accumulated fields when dropped. When the span's
+/// level is filtered out the handle is inert: no allocation, no clock
+/// reads, `record` is a no-op.
+pub struct Span {
+    inner: Option<ActiveSpan>,
+}
+
+/// Opens a span at `level` named `name`. Returns an inert handle (a
+/// `None` wrapper, no allocation) when [`enabled`]`(level)` is false, so
+/// unconditional call sites stay near-free with telemetry off.
+pub fn span(level: Level, name: &'static str) -> Span {
+    if !enabled(level) {
+        return Span { inner: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_span_id();
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    Span {
+        inner: Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            level,
+            start: Instant::now(),
+            fields: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// Whether this span will emit a record — gate expensive field
+    /// computation behind it.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This span's id (`None` when inert).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|a| a.id)
+    }
+
+    /// Attaches a field, reported when the span closes. No-op on inert
+    /// spans — but the arguments are still evaluated, so keep them to
+    /// already-computed scalars.
+    pub fn record(&mut self, key: impl Into<Key>, value: impl Into<Value>) {
+        if let Some(active) = &mut self.inner {
+            active.fields.push((key.into(), value.into()));
+        }
+    }
+
+    /// Elapsed wall-clock time since the span opened (`None` when inert).
+    pub fn elapsed(&self) -> Option<std::time::Duration> {
+        self.inner.as_ref().map(|a| a.start.elapsed())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.inner.take() else { return };
+        let elapsed_ns = active.start.elapsed().as_nanos();
+        // Pop this span from the thread's stack. Spans close LIFO under
+        // normal scoping; a retain keeps the stack sane even if a caller
+        // holds spans across overlapping lifetimes.
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if stack.last() == Some(&active.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&id| id != active.id);
+            }
+        });
+        dispatch(&Record {
+            kind: RecordKind::Span,
+            level: active.level,
+            name: active.name,
+            span_id: Some(active.id),
+            parent_id: active.parent,
+            elapsed_ns: Some(elapsed_ns),
+            fields: &active.fields,
+            ts_ms: unix_ms(),
+        });
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(a) => write!(f, "Span({} #{})", a.name, a.id),
+            None => f.write_str("Span(inert)"),
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Compile-time verification that the `serde` feature provides
+//! `Serialize`/`Deserialize` on the telemetry data types (C-SERDE).
+//! (No serializer crate is in the dependency set, so these are trait
+//! bound checks rather than byte-level round trips.)
+
+#![cfg(feature = "serde")]
+
+fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+
+#[test]
+fn telemetry_data_types_are_serde() {
+    assert_serde::<telemetry::Level>();
+    assert_serde::<telemetry::Value>();
+    assert_serde::<telemetry::RecordKind>();
+    assert_serde::<telemetry::json::Json>();
+}

@@ -1,0 +1,260 @@
+//! Integration tests over the public telemetry surface: level
+//! filtering, span nesting and timing, histogram bucketing, and the
+//! JSONL golden-file round trip.
+//!
+//! The crate's state (level, sinks, metric registry) is process-global,
+//! so every test serializes on one mutex and resets the globals first.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use telemetry::json::Json;
+use telemetry::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use telemetry::{CaptureSink, JsonlSink, Level, RecordKind, Value};
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    let guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::reset_for_tests();
+    guard
+}
+
+fn capture() -> Arc<CaptureSink> {
+    let sink = Arc::new(CaptureSink::new());
+    telemetry::add_sink(sink.clone());
+    sink
+}
+
+#[test]
+fn level_filtering_drops_records_above_the_max() {
+    let _g = serialize();
+    let sink = capture();
+    telemetry::set_level(Level::Info);
+
+    drop(telemetry::span(Level::Info, "kept"));
+    drop(telemetry::span(Level::Debug, "dropped"));
+    telemetry::event(Level::Error, "kept.event", vec![]);
+    telemetry::event(Level::Trace, "dropped.event", vec![]);
+
+    let names: Vec<String> = sink.records().iter().map(|r| r.name.clone()).collect();
+    assert_eq!(names, vec!["kept", "kept.event"]);
+
+    telemetry::set_level(Level::Off);
+    drop(telemetry::span(Level::Error, "even.errors.drop.at.off"));
+    assert_eq!(sink.records().len(), 2);
+}
+
+#[test]
+fn enabled_matches_the_level_lattice() {
+    let _g = serialize();
+    telemetry::set_level(Level::Debug);
+    assert!(telemetry::enabled(Level::Error));
+    assert!(telemetry::enabled(Level::Info));
+    assert!(telemetry::enabled(Level::Debug));
+    assert!(!telemetry::enabled(Level::Trace));
+    assert!(!telemetry::enabled(Level::Off), "Off is never emittable");
+}
+
+#[test]
+fn spans_nest_and_report_monotone_timings() {
+    let _g = serialize();
+    let sink = capture();
+    telemetry::set_level(Level::Debug);
+
+    let outer = telemetry::span(Level::Info, "outer");
+    let outer_id = outer.id().expect("enabled span has an id");
+    {
+        let mut inner = telemetry::span(Level::Debug, "inner");
+        inner.record("k", 7u64);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    drop(outer);
+
+    let records = sink.records();
+    assert_eq!(records.len(), 2, "inner closes first, then outer");
+    let (inner, outer) = (&records[0], &records[1]);
+    assert_eq!(inner.name, "inner");
+    assert_eq!(outer.name, "outer");
+    assert_eq!(inner.parent_id, Some(outer_id), "inner's parent is the enclosing span");
+    assert_eq!(outer.parent_id, None);
+    assert_eq!(inner.field("k"), Some(&Value::UInt(7)));
+
+    // Timing monotonicity: both non-zero, and the outer span (which
+    // contains the inner's lifetime) took at least as long.
+    let inner_ns = inner.elapsed_ns.expect("span records carry elapsed_ns");
+    let outer_ns = outer.elapsed_ns.expect("span records carry elapsed_ns");
+    assert!(inner_ns > 0);
+    assert!(outer_ns >= inner_ns, "outer {outer_ns} < inner {inner_ns}");
+}
+
+#[test]
+fn inert_spans_cost_no_ids_and_accept_records() {
+    let _g = serialize();
+    telemetry::set_level(Level::Off);
+    let mut span = telemetry::span(Level::Info, "ghost");
+    assert!(!span.is_enabled());
+    assert_eq!(span.id(), None);
+    assert_eq!(span.elapsed(), None);
+    span.record("ignored", 1u64); // must not panic
+}
+
+#[test]
+fn histogram_bucketing() {
+    let _g = serialize();
+    // Exact powers of two land at the lower edge of their bucket; the
+    // bucket above must start exactly where the previous ends.
+    for i in 0..HISTOGRAM_BUCKETS {
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        assert!(lo < hi);
+        if i > 0 {
+            assert_eq!(Histogram::bucket_bounds(i - 1).1, lo, "gap before bucket {i}");
+        }
+        if lo > 0.0 {
+            assert_eq!(Histogram::bucket_index(lo), i, "lower edge of bucket {i}");
+        }
+    }
+    // Edge cases clamp instead of panicking.
+    assert_eq!(Histogram::bucket_index(0.0), 0);
+    assert_eq!(Histogram::bucket_index(-3.0), 0);
+    assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+    assert_eq!(Histogram::bucket_index(f64::INFINITY), HISTOGRAM_BUCKETS - 1);
+    assert_eq!(Histogram::bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+
+    let h = Histogram::default();
+    for v in [0.5, 0.6, 3.0, 3.9, 1000.0] {
+        h.observe(v);
+    }
+    assert_eq!(h.count(), 5);
+    assert!((h.sum() - 1008.0).abs() < 1e-12);
+    assert_eq!(h.min(), Some(0.5));
+    assert_eq!(h.max(), Some(1000.0));
+    // 0.5 and 0.6 share [0.5, 1); 3.0 and 3.9 share [2, 4); 1000 is alone.
+    let buckets = h.nonzero_buckets();
+    assert_eq!(buckets.len(), 3);
+    assert_eq!(buckets[0], (1.0, 2));
+    assert_eq!(buckets[1], (4.0, 2));
+    assert_eq!(buckets[2].1, 1);
+}
+
+#[test]
+fn metric_registry_shares_handles_by_name() {
+    let _g = serialize();
+    telemetry::counter("test.shared").add(3);
+    telemetry::counter("test.shared").add(4);
+    assert_eq!(telemetry::counter("test.shared").get(), 7);
+    telemetry::gauge("test.gauge").set(1.5);
+    assert_eq!(telemetry::gauge("test.gauge").get(), 1.5);
+}
+
+#[test]
+fn shutdown_snapshots_metrics_into_the_sinks() {
+    let _g = serialize();
+    let sink = capture();
+    telemetry::set_metrics_enabled(true);
+    telemetry::counter("snap.counter").add(5);
+    telemetry::gauge("snap.gauge").set(0.25);
+    telemetry::histogram("snap.hist").observe(2.0);
+    telemetry::shutdown();
+
+    let records = sink.records();
+    let by_name = |n: &str| records.iter().find(|r| r.name == n).expect("snapshot present");
+    assert_eq!(by_name("snap.counter").kind, RecordKind::Counter);
+    assert_eq!(by_name("snap.counter").field("value"), Some(&Value::UInt(5)));
+    assert_eq!(by_name("snap.gauge").field("value"), Some(&Value::Float(0.25)));
+    let hist = by_name("snap.hist");
+    assert_eq!(hist.field("count"), Some(&Value::UInt(1)));
+    assert_eq!(hist.field("min"), Some(&Value::Float(2.0)));
+}
+
+/// Golden-file shape test: run a realistic slice of the pipeline's
+/// instrumentation through a real `JsonlSink`, then require every line
+/// to parse as a JSON object with the documented top-level keys and to
+/// round-trip `parse → encode → parse` without loss.
+#[test]
+fn jsonl_output_parses_and_round_trips() {
+    let _g = serialize();
+    let path = std::env::temp_dir().join("telemetry_golden_test.jsonl");
+    telemetry::init(&telemetry::TelemetryConfig {
+        level: Level::Off,
+        metrics_out: Some(path.clone()),
+    })
+    .expect("jsonl sink creation");
+
+    {
+        let mut outer = telemetry::span(Level::Info, "als.complete");
+        outer.record("m", 48u64);
+        outer.record("lambda", 100.0);
+        let mut sweep = telemetry::span(Level::Debug, "als.sweep");
+        sweep.record("objective", 12.5);
+        sweep.record("early_stop", true);
+        drop(sweep);
+    }
+    telemetry::event(Level::Info, "run.note", vec![("id".into(), "fig11".into())]);
+    telemetry::counter("als.sweeps").add(2);
+    telemetry::histogram("als.complete_us").observe(1234.5);
+    telemetry::shutdown();
+
+    let content = std::fs::read_to_string(&path).expect("jsonl file readable");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = content.lines().collect();
+    // 2 spans + 1 event + 2 metric snapshots.
+    assert_eq!(lines.len(), 5, "unexpected output:\n{content}");
+
+    for line in &lines {
+        let parsed = Json::parse(line).expect("every line is valid JSON");
+        for key in ["type", "level", "name", "ts_ms"] {
+            assert!(parsed.get(key).is_some(), "missing '{key}' in {line}");
+        }
+        let kind = parsed.get("type").and_then(Json::as_str).expect("type is a string");
+        assert!(
+            ["span", "event", "counter", "gauge", "histogram"].contains(&kind),
+            "unknown type '{kind}'"
+        );
+        // Round trip: encode the parsed tree and parse it again; the
+        // trees must be identical (ordering is preserved by Json::Obj).
+        let reparsed = Json::parse(&parsed.encode()).expect("re-encoded line parses");
+        assert_eq!(parsed, reparsed, "round trip changed {line}");
+    }
+
+    // The span records must nest: als.sweep's parent is als.complete.
+    let span_of = |name: &str| {
+        lines
+            .iter()
+            .map(|l| Json::parse(l).unwrap())
+            .find(|j| j.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("record '{name}' missing"))
+    };
+    let outer = span_of("als.complete");
+    let inner = span_of("als.sweep");
+    assert_eq!(
+        inner.get("parent").and_then(Json::as_num),
+        outer.get("span").and_then(Json::as_num),
+        "sweep span not nested under completion span"
+    );
+    assert!(outer.get("elapsed_us").and_then(Json::as_num).expect("elapsed present") >= 0.0);
+    assert_eq!(
+        outer.get("fields").and_then(|f| f.get("lambda")).and_then(Json::as_num),
+        Some(100.0)
+    );
+}
+
+/// The `JsonlSink::encode` record shape is stable for in-memory records
+/// too (no file needed): integral numbers encode without a fraction.
+#[test]
+fn jsonl_encode_integers_stay_integral() {
+    let _g = serialize();
+    let fields = vec![("count".into(), Value::UInt(3))];
+    let record = telemetry::Record {
+        kind: RecordKind::Event,
+        level: Level::Info,
+        name: "n",
+        span_id: Some(9),
+        parent_id: None,
+        elapsed_ns: None,
+        fields: &fields,
+        ts_ms: 1700000000000,
+    };
+    let line = JsonlSink::<Vec<u8>>::encode(&record).encode();
+    assert!(line.contains("\"ts_ms\":1700000000000"), "{line}");
+    assert!(line.contains("\"span\":9"), "{line}");
+    assert!(line.contains("\"count\":3"), "{line}");
+    assert!(!line.contains("3.0"), "{line}");
+}

@@ -22,6 +22,61 @@
 //! threading a parameter through every call site.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Per-worker tallies collected only when telemetry is on (see
+/// [`FanoutTelemetry`]); zero-cost placeholders otherwise.
+#[derive(Clone, Copy, Default)]
+struct WorkerStats {
+    claimed: u64,
+    busy_ns: u128,
+}
+
+/// Instrumentation for one fan-out: a `workpool.fanout` span (resolved
+/// worker count, items, per-worker claim counts, utilization) plus
+/// process-global counters. Created only when debug-level telemetry or
+/// metric collection is active, so the default path pays exactly one
+/// relaxed atomic load per fan-out.
+struct FanoutTelemetry {
+    span: telemetry::Span,
+    start: Instant,
+}
+
+impl FanoutTelemetry {
+    fn begin(kind: &'static str, n: usize, workers: usize) -> Option<Self> {
+        if !telemetry::enabled(telemetry::Level::Debug) && !telemetry::metrics_enabled() {
+            return None;
+        }
+        let mut span = telemetry::span(telemetry::Level::Debug, "workpool.fanout");
+        span.record("kind", kind);
+        span.record("items", n);
+        span.record("workers", workers);
+        Some(Self { span, start: Instant::now() })
+    }
+
+    fn finish(mut self, stats: &[WorkerStats]) {
+        let wall_ns = self.start.elapsed().as_nanos().max(1);
+        let busy_ns: u128 = stats.iter().map(|s| s.busy_ns).sum();
+        // Fraction of worker wall-clock spent inside work items: 1.0
+        // means no worker ever starved waiting on the claim cursor.
+        let utilization = busy_ns as f64 / (wall_ns as f64 * stats.len().max(1) as f64);
+        if self.span.is_enabled() {
+            let claimed: Vec<String> = stats.iter().map(|s| s.claimed.to_string()).collect();
+            self.span.record("claimed_per_worker", claimed.join(","));
+            self.span.record("utilization", utilization);
+        }
+        if telemetry::metrics_enabled() {
+            telemetry::counter("workpool.fanouts").incr();
+            let items: u64 = stats.iter().map(|s| s.claimed).sum();
+            telemetry::counter("workpool.items").add(items);
+            for (w, s) in stats.iter().enumerate() {
+                telemetry::counter(&format!("workpool.worker.{w}.items_claimed")).add(s.claimed);
+            }
+            telemetry::gauge("workpool.utilization").set(utilization);
+            telemetry::histogram("workpool.fanout_us").observe(wall_ns as f64 / 1e3);
+        }
+    }
+}
 
 /// Process-wide default used when a config asks for `0` threads.
 /// `0` here means "unset": fall back to available parallelism.
@@ -78,6 +133,8 @@ where
         return (0..n).map(f).collect();
     }
 
+    let tele = FanoutTelemetry::begin("map", n, workers);
+    let track = tele.is_some();
     let mut out: Vec<Option<O>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     let base = SendPtr(out.as_mut_ptr());
@@ -85,29 +142,43 @@ where
     let f = &f;
     let base = &base;
     let cursor = &cursor;
+    let mut stats = vec![WorkerStats::default(); workers];
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                s.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                s.spawn(move || {
+                    let mut my = WorkerStats::default();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let t = track.then(Instant::now);
+                        let value = f(i);
+                        if let Some(t) = t {
+                            my.busy_ns += t.elapsed().as_nanos();
+                            my.claimed += 1;
+                        }
+                        // SAFETY: `fetch_add` hands index `i` to exactly one
+                        // worker, `i < n` is checked above, and `out` outlives
+                        // the scope; the slot was initialized to `None` so the
+                        // overwrite drops no live value.
+                        unsafe { base.0.add(i).write(Some(value)) };
                     }
-                    let value = f(i);
-                    // SAFETY: `fetch_add` hands index `i` to exactly one
-                    // worker, `i < n` is checked above, and `out` outlives
-                    // the scope; the slot was initialized to `None` so the
-                    // overwrite drops no live value.
-                    unsafe { base.0.add(i).write(Some(value)) };
+                    my
                 })
             })
             .collect();
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                std::panic::resume_unwind(payload);
+        for (w, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(my) => stats[w] = my,
             }
         }
     });
+    if let Some(tele) = tele {
+        tele.finish(&stats);
+    }
     out.into_iter().map(|slot| slot.expect("every index claimed by exactly one worker")).collect()
 }
 
@@ -133,44 +204,59 @@ where
         return Ok(());
     }
 
+    let tele = FanoutTelemetry::begin("try_for_each", n, workers);
+    let track = tele.is_some();
     let base = SendPtr(items.as_mut_ptr());
     let cursor = AtomicUsize::new(0);
     let f = &f;
     let base = &base;
     let cursor = &cursor;
     let mut first_err: Option<(usize, E)> = None;
+    let mut stats = vec![WorkerStats::default(); workers];
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                s.spawn(move || -> Option<(usize, E)> {
+                s.spawn(move || -> (Option<(usize, E)>, WorkerStats) {
+                    let mut my = WorkerStats::default();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
-                            return None;
+                            return (None, my);
                         }
                         // SAFETY: index `i` is claimed by exactly one
                         // worker and `i < n`, so this is the only live
                         // `&mut` to `items[i]`.
                         let item = unsafe { &mut *base.0.add(i) };
-                        if let Err(e) = f(i, item) {
-                            return Some((i, e));
+                        let t = track.then(Instant::now);
+                        let result = f(i, item);
+                        if let Some(t) = t {
+                            my.busy_ns += t.elapsed().as_nanos();
+                            my.claimed += 1;
+                        }
+                        if let Err(e) = result {
+                            return (Some((i, e)), my);
                         }
                     }
                 })
             })
             .collect();
-        for handle in handles {
+        for (w, handle) in handles.into_iter().enumerate() {
             match handle.join() {
                 Err(payload) => std::panic::resume_unwind(payload),
-                Ok(Some((i, e))) => {
-                    if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) {
-                        first_err = Some((i, e));
+                Ok((worker_err, my)) => {
+                    stats[w] = my;
+                    if let Some((i, e)) = worker_err {
+                        if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                            first_err = Some((i, e));
+                        }
                     }
                 }
-                Ok(None) => {}
             }
         }
     });
+    if let Some(tele) = tele {
+        tele.finish(&stats);
+    }
     match first_err {
         Some((_, e)) => Err(e),
         None => Ok(()),

@@ -1,0 +1,113 @@
+//! Stress tests for the pool's error and panic guarantees under real
+//! multi-thread contention — many workers, many repetitions, work items
+//! with deliberately skewed durations so claim order varies run to run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use workpool::{parallel_map_indexed, try_parallel_for_each_mut};
+
+/// The smallest failing index must win no matter which worker reaches
+/// which failure first. Later failures are made *faster* than earlier
+/// ones so a naive "first error observed" implementation would report
+/// the wrong index with high probability.
+#[test]
+fn smallest_failing_index_wins_under_contention() {
+    const N: usize = 512;
+    const RUNS: usize = 50;
+    for run in 0..RUNS {
+        // Failures at 31, 32, … — everything ≥ 31 fails; 31 must win.
+        let mut items = vec![0u8; N];
+        let r = try_parallel_for_each_mut(&mut items, 8, |i, _| {
+            if i >= 31 {
+                // Fail immediately: high indices race ahead.
+                return Err(i);
+            }
+            // Successful low indices burn time, delaying the worker that
+            // will eventually claim index 31.
+            std::hint::black_box((0..500).map(|x| x as f64).sum::<f64>());
+            Ok(())
+        });
+        assert_eq!(r, Err(31), "run {run}");
+    }
+}
+
+/// Every index is claimed exactly once even when workers abort early on
+/// errors: the indices processed by *some* worker plus the never-claimed
+/// tail must partition `0..n` with no duplicates.
+#[test]
+fn each_index_claimed_at_most_once_despite_failures() {
+    const N: usize = 256;
+    for _ in 0..20 {
+        let seen: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        let mut items = vec![0u8; N];
+        let _ = try_parallel_for_each_mut(&mut items, 6, |i, _| {
+            seen[i].fetch_add(1, Ordering::Relaxed);
+            if i % 40 == 13 {
+                Err(i)
+            } else {
+                Ok(())
+            }
+        });
+        for (i, s) in seen.iter().enumerate() {
+            assert!(s.load(Ordering::Relaxed) <= 1, "index {i} ran twice");
+        }
+    }
+}
+
+/// A panicking work item must propagate out of the fan-out (the scope
+/// joins every worker, so the panic re-raises on the caller thread)
+/// rather than deadlocking or being swallowed.
+#[test]
+fn try_for_each_panic_propagates() {
+    let result = std::panic::catch_unwind(|| {
+        let mut items = vec![0u8; 64];
+        let _ = try_parallel_for_each_mut(&mut items, 4, |i, _| -> Result<(), ()> {
+            if i == 17 {
+                panic!("worker panic at {i}");
+            }
+            Ok(())
+        });
+    });
+    let payload = result.expect_err("panic must propagate to the caller");
+    let msg = payload.downcast_ref::<String>().expect("panic carries its message");
+    assert!(msg.contains("worker panic at 17"), "unexpected payload: {msg}");
+}
+
+/// Same guarantee for the infallible map: a panic inside `f` surfaces on
+/// the caller, and subsequent fan-outs on the same thread still work
+/// (no poisoned global state).
+#[test]
+fn map_panic_leaves_pool_usable() {
+    let result = std::panic::catch_unwind(|| {
+        parallel_map_indexed(32, 4, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        })
+    });
+    assert!(result.is_err());
+    let ok = parallel_map_indexed(32, 4, |i| i * 2);
+    assert_eq!(ok, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+}
+
+/// Error selection agrees with the sequential path for every worker
+/// count, repeated to let the scheduler vary interleavings.
+#[test]
+fn error_choice_matches_sequential_for_every_thread_count() {
+    const N: usize = 128;
+    let fails = |i: usize| i % 17 == 3 || i % 29 == 11;
+    let expected = (0..N).find(|&i| fails(i)).map(Err::<(), usize>).unwrap();
+    for threads in [2, 3, 4, 8, 16] {
+        for _ in 0..10 {
+            let mut items = vec![0u8; N];
+            let r = try_parallel_for_each_mut(&mut items, threads, |i, _| {
+                if fails(i) {
+                    Err(i)
+                } else {
+                    Ok(())
+                }
+            });
+            assert_eq!(r, expected, "threads={threads}");
+        }
+    }
+}
