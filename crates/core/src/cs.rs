@@ -22,7 +22,8 @@
 //! two coincide; with the paper's 80%-missing matrices the masked solve
 //! is what makes the reported accuracy reachable.
 
-use linalg::lstsq::RidgeSolver;
+use crate::obs::{AxisView, ObsIndex};
+use linalg::lstsq::{GramScratch, RidgeSolver};
 use linalg::Matrix;
 use probes::Tcm;
 use rand::SeedableRng;
@@ -242,25 +243,21 @@ fn run_als(
     }
     let r = config.rank;
 
-    // Index the observations once: per column and per row.
-    let mut col_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    let mut row_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
-    for (i, j, v) in tcm.observed_entries() {
-        col_obs[j].push((i, v));
-        row_obs[i].push((j, v));
-    }
+    // Index the observations once: contiguous CSR (per row) and CSC
+    // (per column) arrays, iterated by every sweep. The totals the
+    // thread gates need fall out of the build, so the per-sweep
+    // re-summation of observation lengths is gone.
+    let obs = ObsIndex::from_tcm(tcm);
+    let plan = ThreadPlan::new(&obs, r, config);
 
     // Initialize L (m × r).
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let mut l = match config.init {
         Initialization::Random => Matrix::random_uniform(m, r, &mut rng, 0.0, 1.0),
         Initialization::RowMeans => Matrix::from_fn(m, r, |i, k| {
-            let obs = &row_obs[i];
-            let mean = if obs.is_empty() {
-                0.0
-            } else {
-                obs.iter().map(|&(_, v)| v).sum::<f64>() / obs.len() as f64
-            };
+            let (_, vals) = obs.row(i);
+            let mean =
+                if vals.is_empty() { 0.0 } else { vals.iter().sum::<f64>() / vals.len() as f64 };
             // Tiny deterministic perturbation keeps columns independent.
             mean / (k + 1) as f64 + 1e-3 * ((i * r + k) % 17) as f64
         }),
@@ -272,15 +269,23 @@ fn run_als(
         als_span.record("rank", r);
         als_span.record("lambda", config.lambda);
         als_span.record("warm_start", warm_r.is_some());
-        als_span.record("observed", tcm.observed_count());
+        als_span.record("observed", obs.total_observed());
+        // The thread decision is made once per completion, so record it
+        // once: the worker counts each fan-out will actually use.
+        als_span.record("threads_col_solve", workpool::resolve_threads(plan.col_solve).min(n));
+        als_span.record("threads_row_solve", workpool::resolve_threads(plan.row_solve).min(m));
+        als_span.record("threads_objective", workpool::resolve_threads(plan.objective).min(n));
     }
+    // Wall-clock for the completion histogram, independent of whether
+    // the Info-level span is collecting (metrics may be on alone).
+    let metrics_timer = telemetry::metrics_enabled().then(std::time::Instant::now);
 
     let mut rmat = Matrix::zeros(n, r);
     if let Some(warm) = warm_r {
         // Warm start: adopt the previous window's segment factors and
         // fit L to them before the first regular sweep.
         rmat = warm.clone();
-        solve_factor(&rmat, &row_obs, config, SolveAxis::Row, &mut l)?;
+        solve_factor(&rmat, obs.rows_view(), config, plan.row_solve, SolveAxis::Row, &mut l)?;
     }
 
     let mut best: Option<(f64, Matrix, Matrix)> = None;
@@ -294,29 +299,32 @@ fn run_als(
         let mut sweep_span = telemetry::span(Level::Debug, "als.sweep");
         let solve_start = sweep_span.is_enabled().then(std::time::Instant::now);
         // R step: for each column j, ridge-solve L_Ω r_j ≈ m_Ω.
-        solve_factor(&l, &col_obs, config, SolveAxis::Column, &mut rmat)?;
+        solve_factor(&l, obs.cols_view(), config, plan.col_solve, SolveAxis::Column, &mut rmat)?;
         // L step: symmetric, with R in the role of the design matrix.
-        solve_factor(&rmat, &row_obs, config, SolveAxis::Row, &mut l)?;
+        solve_factor(&rmat, obs.rows_view(), config, plan.row_solve, SolveAxis::Row, &mut l)?;
         let solve_ms = solve_start.map(|t| t.elapsed().as_secs_f64() * 1e3);
 
-        // Objective (Eq. 16) on the observed entries. Per-column partial
-        // sums reduced in column order: the same association on the
+        // Objective (Eq. 16) on the observed entries, fused over the
+        // column-major half of the index. Per-column partial sums
+        // reduced in column order: the same association on the
         // sequential and parallel paths, so the value is bit-for-bit
         // independent of the thread count.
-        let fit: f64 =
-            workpool::parallel_map_indexed(n, objective_threads(&col_obs, r, config), |j| {
-                let mut partial = 0.0;
-                for &(i, v) in &col_obs[j] {
-                    let mut pred = 0.0;
-                    for k in 0..r {
-                        pred += l.get(i, k) * rmat.get(j, k);
-                    }
-                    partial += (pred - v) * (pred - v);
+        let fit: f64 = workpool::parallel_map_indexed(n, plan.objective, |j| {
+            let (row_ids, vals) = obs.col(j);
+            let r_row = rmat.row(j);
+            let mut partial = 0.0;
+            for (&i, &v) in row_ids.iter().zip(vals) {
+                let l_row = l.row(i as usize);
+                let mut pred = 0.0;
+                for k in 0..r {
+                    pred += l_row[k] * r_row[k];
                 }
-                partial
-            })
-            .into_iter()
-            .sum();
+                partial += (pred - v) * (pred - v);
+            }
+            partial
+        })
+        .into_iter()
+        .sum();
         let v = fit + config.lambda * (l.frobenius_norm_sq() + rmat.frobenius_norm_sq());
         trace.push(v);
         if sweep_span.is_enabled() {
@@ -349,11 +357,15 @@ fn run_als(
     }
     if telemetry::metrics_enabled() {
         telemetry::counter("als.completions").incr();
-        if let Some(s) = als_span.elapsed() {
+        // Metrics are decoupled from span level: `--metrics-out` without
+        // `--log-level info` still captures completion timings via the
+        // dedicated timer (the span is inert in that configuration).
+        if let Some(s) = metrics_timer.map(|t| t.elapsed()).or_else(|| als_span.elapsed()) {
             telemetry::histogram("als.complete_us").observe(s.as_secs_f64() * 1e6);
         }
     }
-    let estimate = bl.matmul(&br.transpose()).expect("factor shapes agree");
+    // Cache-blocked `L Rᵀ` without materializing the transpose.
+    let estimate = bl.matmul_transpose_b(&br).expect("factor shapes agree");
     Ok(CompletionResult { estimate, objective, objective_trace: trace, sweeps, factors: (bl, br) })
 }
 
@@ -363,74 +375,110 @@ fn run_als(
 /// arithmetic dwarfs it.
 const PARALLEL_WORK_THRESHOLD: usize = 32_768;
 
-/// Rough flop count of one factor solve: each observed entry contributes
-/// an `r`-wide row to a normal-equation/QR build (`≈ r²` each) and each
-/// unit pays an `r³` dense solve.
-fn solve_work(obs_per_unit: &[Vec<(usize, f64)>], r: usize) -> usize {
-    let total_obs: usize = obs_per_unit.iter().map(Vec::len).sum();
-    total_obs * r * r + obs_per_unit.len() * r * r * r
+/// Worker counts for every fan-out of one completion, decided once at
+/// observation-index build time instead of re-derived (by re-summing all
+/// observation lengths) on every sweep.
+#[derive(Debug, Clone, Copy)]
+struct ThreadPlan {
+    /// `R` step (one ridge solve per column).
+    col_solve: usize,
+    /// `L` step (one ridge solve per row).
+    row_solve: usize,
+    /// Per-sweep objective evaluation.
+    objective: usize,
 }
 
-/// Worker count for a factor solve: the configured count, gated so tiny
-/// problems (where spawn overhead dominates) stay on the sequential path.
-fn factor_threads(obs_per_unit: &[Vec<(usize, f64)>], r: usize, config: &CsConfig) -> usize {
-    if solve_work(obs_per_unit, r) < PARALLEL_WORK_THRESHOLD {
-        1
-    } else {
-        config.num_threads
-    }
-}
-
-/// Worker count for the objective evaluation — same gate, but the
-/// objective costs only `r` flops per observed entry (no per-unit solve).
-fn objective_threads(col_obs: &[Vec<(usize, f64)>], r: usize, config: &CsConfig) -> usize {
-    let total_obs: usize = col_obs.iter().map(Vec::len).sum();
-    if total_obs * r < PARALLEL_WORK_THRESHOLD {
-        1
-    } else {
-        config.num_threads
+impl ThreadPlan {
+    /// Gates each fan-out so tiny problems (where spawn overhead
+    /// dominates) stay sequential. A factor solve costs ≈ `r²` per
+    /// observed entry (normal-equation build) plus `r³` per unit (dense
+    /// solve); the objective costs only `r` per observed entry.
+    fn new(obs: &ObsIndex, r: usize, config: &CsConfig) -> Self {
+        let total = obs.total_observed();
+        let solve_threads = |units: usize| {
+            if total * r * r + units * r * r * r < PARALLEL_WORK_THRESHOLD {
+                1
+            } else {
+                config.num_threads
+            }
+        };
+        Self {
+            col_solve: solve_threads(obs.num_cols()),
+            row_solve: solve_threads(obs.num_rows()),
+            objective: if total * r < PARALLEL_WORK_THRESHOLD { 1 } else { config.num_threads },
+        }
     }
 }
 
 /// Solves one half of the alternation: given the fixed factor `design`
-/// (rows indexed by the *other* dimension) and per-unit observation lists,
-/// fills `out` (units × r) with the ridge solutions.
+/// (rows indexed by the *other* dimension) and one traversal order of
+/// the observation index, fills `out` (units × r) with the ridge
+/// solutions.
 ///
-/// Each unit's ridge problem is independent, so the rows of `out` fan out
-/// over [`workpool::try_parallel_for_each_mut`]: every worker writes only
-/// its claimed unit's row, and a failed solve surfaces as the error of
-/// the smallest failing unit — both schedule-independent, keeping the
-/// output identical across thread counts.
+/// Each unit's ridge problem is independent, so the rows of `out` fan
+/// out over [`workpool::try_parallel_for_each_mut_with`]: every worker
+/// writes only its claimed unit's row, and a failed solve surfaces as
+/// the error of the smallest failing unit — both schedule-independent,
+/// keeping the output identical across thread counts.
+///
+/// The normal-equations path runs the allocation-free Gram kernel: each
+/// worker carries one [`GramScratch`] (`r×r` plus two `r`-vectors) for
+/// the whole fan-out and accumulates `AᵀA + λI` / `Aᵀy` directly from
+/// the design rows of the observed entries — no per-unit design matrix,
+/// RHS, or Gram product is ever materialized. The QR path keeps its
+/// allocating route (it exists for the `als_solver` ablation, not for
+/// speed).
 fn solve_factor(
     design: &Matrix,
-    obs_per_unit: &[Vec<(usize, f64)>],
+    obs: AxisView<'_>,
     config: &CsConfig,
+    threads: usize,
     axis: SolveAxis,
     out: &mut Matrix,
 ) -> Result<(), CsError> {
     let r = design.cols();
-    let threads = factor_threads(obs_per_unit, r, config);
     let mut rows: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(r).collect();
-    workpool::try_parallel_for_each_mut(&mut rows, threads, |unit, row| {
-        let obs = &obs_per_unit[unit];
-        if obs.is_empty() {
-            // Entirely unobserved unit: the regularizer drives its factor
-            // row to zero.
-            row.fill(0.0);
-            return Ok(());
-        }
-        let a = Matrix::from_fn(obs.len(), r, |i, k| design.get(obs[i].0, k));
-        let b = Matrix::from_fn(obs.len(), 1, |i, _| obs[i].1);
-        let sol = config.solver.solve(&a, &b, config.lambda).map_err(|e| CsError::Solve {
-            axis,
-            index: unit,
-            detail: e.to_string(),
-        })?;
-        for (k, slot) in row.iter_mut().enumerate() {
-            *slot = sol.get(k, 0);
-        }
-        Ok(())
-    })
+    match config.solver {
+        RidgeSolver::NormalEquations => workpool::try_parallel_for_each_mut_with(
+            &mut rows,
+            threads,
+            || GramScratch::new(r),
+            |unit, row, scratch| {
+                let (indices, values) = obs.unit(unit);
+                if indices.is_empty() {
+                    // Entirely unobserved unit: the regularizer drives
+                    // its factor row to zero.
+                    row.fill(0.0);
+                    return Ok(());
+                }
+                scratch
+                    .solve_ridge(
+                        indices.iter().zip(values).map(|(&i, &v)| (design.row(i as usize), v)),
+                        config.lambda,
+                        row,
+                    )
+                    .map_err(|e| CsError::Solve { axis, index: unit, detail: e.to_string() })
+            },
+        ),
+        RidgeSolver::Qr => workpool::try_parallel_for_each_mut(&mut rows, threads, |unit, row| {
+            let (indices, values) = obs.unit(unit);
+            if indices.is_empty() {
+                row.fill(0.0);
+                return Ok(());
+            }
+            let a = Matrix::from_fn(indices.len(), r, |i, k| design.get(indices[i] as usize, k));
+            let b = Matrix::from_fn(indices.len(), 1, |i, _| values[i]);
+            let sol = config.solver.solve(&a, &b, config.lambda).map_err(|e| CsError::Solve {
+                axis,
+                index: unit,
+                detail: e.to_string(),
+            })?;
+            for (k, slot) in row.iter_mut().enumerate() {
+                *slot = sol.get(k, 0);
+            }
+            Ok(())
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -601,10 +649,13 @@ mod tests {
         // rounding involved), so both units fail and the smallest index
         // must win regardless of scheduling.
         let design = Matrix::from_fn(4, 2, |i, k| if k == 0 { 1.0 + i as f64 } else { 0.0 });
-        let obs: Vec<Vec<(usize, f64)>> = vec![vec![(0, 1.0), (1, 2.0)], vec![(2, 1.0), (3, 2.0)]];
+        let offsets = [0usize, 2, 4];
+        let indices = [0u32, 1, 2, 3];
+        let values = [1.0, 2.0, 1.0, 2.0];
+        let obs = AxisView::new(&offsets, &indices, &values);
         let cfg = CsConfig { rank: 2, lambda: 0.0, ..CsConfig::default() };
         let mut out = Matrix::zeros(2, 2);
-        let err = solve_factor(&design, &obs, &cfg, SolveAxis::Column, &mut out).unwrap_err();
+        let err = solve_factor(&design, obs, &cfg, 1, SolveAxis::Column, &mut out).unwrap_err();
         match &err {
             CsError::Solve { axis, index, detail } => {
                 assert_eq!(*axis, SolveAxis::Column);

@@ -49,6 +49,7 @@ pub mod eigenflow;
 pub mod estimator;
 pub mod ga;
 pub mod metrics;
+pub mod obs;
 pub mod online;
 pub mod pca;
 pub mod selection;

@@ -1,0 +1,282 @@
+//! Flat CSR/CSC observation index for the ALS hot loop.
+//!
+//! Algorithm 1 walks the observed entries of the traffic condition
+//! matrix thousands of times: once per unit per sweep for the ridge
+//! solves (row-major for the `L` step, column-major for the `R` step)
+//! and once per sweep for the objective. A `Vec<Vec<(usize, f64)>>`
+//! index pays a pointer chase per unit and scatters the entries across
+//! the heap; [`ObsIndex`] stores both traversal orders as contiguous
+//! `offsets` / `indices` / `values` arrays (CSR for rows, CSC for
+//! columns), built in two passes with exact capacities, so every sweep
+//! streams the index linearly and the per-unit totals used by the
+//! thread gates are known once at build time.
+
+use probes::Tcm;
+
+/// Both traversal orders of a TCM's observed entries, in compressed
+/// sparse form. Built once per completion by [`ObsIndex::from_tcm`];
+/// immutable and cheap to share across worker threads.
+#[derive(Debug, Clone)]
+pub struct ObsIndex {
+    num_rows: usize,
+    num_cols: usize,
+    /// CSR: for row `i`, entries `row_offsets[i]..row_offsets[i+1]` of
+    /// `row_indices` (column ids, ascending) and `row_values`.
+    row_offsets: Vec<usize>,
+    row_indices: Vec<u32>,
+    row_values: Vec<f64>,
+    /// CSC: for column `j`, entries `col_offsets[j]..col_offsets[j+1]`
+    /// of `col_indices` (row ids, ascending) and `col_values`.
+    col_offsets: Vec<usize>,
+    col_indices: Vec<u32>,
+    col_values: Vec<f64>,
+}
+
+impl ObsIndex {
+    /// Indexes the observed entries of `tcm` in both orders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has more than `u32::MAX` rows or columns
+    /// (indices are stored as `u32` to halve the index bandwidth).
+    pub fn from_tcm(tcm: &Tcm) -> Self {
+        let (m, n) = tcm.values().shape();
+        assert!(
+            m <= u32::MAX as usize && n <= u32::MAX as usize,
+            "observation index supports up to 2^32 rows/columns"
+        );
+        // Pass 1: per-row / per-column counts become offsets.
+        let mut row_offsets = vec![0usize; m + 1];
+        let mut col_offsets = vec![0usize; n + 1];
+        for (i, j, _) in tcm.observed_entries() {
+            row_offsets[i + 1] += 1;
+            col_offsets[j + 1] += 1;
+        }
+        for i in 0..m {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        for j in 0..n {
+            col_offsets[j + 1] += col_offsets[j];
+        }
+        let total = row_offsets[m];
+        // Pass 2: scatter entries. `observed_entries` iterates row-major,
+        // so rows fill with ascending column ids and columns with
+        // ascending row ids — the same per-unit order the previous
+        // `Vec<Vec<_>>` index produced, which the bit-for-bit parity
+        // guarantee depends on.
+        let mut row_indices = vec![0u32; total];
+        let mut row_values = vec![0.0f64; total];
+        let mut col_indices = vec![0u32; total];
+        let mut col_values = vec![0.0f64; total];
+        let mut row_fill = row_offsets.clone();
+        let mut col_fill = col_offsets.clone();
+        for (i, j, v) in tcm.observed_entries() {
+            let rf = row_fill[i];
+            row_indices[rf] = j as u32;
+            row_values[rf] = v;
+            row_fill[i] += 1;
+            let cf = col_fill[j];
+            col_indices[cf] = i as u32;
+            col_values[cf] = v;
+            col_fill[j] += 1;
+        }
+        Self {
+            num_rows: m,
+            num_cols: n,
+            row_offsets,
+            row_indices,
+            row_values,
+            col_offsets,
+            col_indices,
+            col_values,
+        }
+    }
+
+    /// Number of matrix rows (time slots).
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of matrix columns (road segments).
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Total observed entries — computed once at build, not re-summed
+    /// per sweep.
+    pub fn total_observed(&self) -> usize {
+        self.row_indices.len()
+    }
+
+    /// Column ids and values observed in row `i`, ascending by column.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let span = self.row_offsets[i]..self.row_offsets[i + 1];
+        (&self.row_indices[span.clone()], &self.row_values[span])
+    }
+
+    /// Row ids and values observed in column `j`, ascending by row.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[u32], &[f64]) {
+        let span = self.col_offsets[j]..self.col_offsets[j + 1];
+        (&self.col_indices[span.clone()], &self.col_values[span])
+    }
+
+    /// Row-major traversal as an [`AxisView`] (units are rows, indices
+    /// are column ids) — the `L` step's view.
+    pub fn rows_view(&self) -> AxisView<'_> {
+        AxisView {
+            offsets: &self.row_offsets,
+            indices: &self.row_indices,
+            values: &self.row_values,
+        }
+    }
+
+    /// Column-major traversal as an [`AxisView`] (units are columns,
+    /// indices are row ids) — the `R` step's view.
+    pub fn cols_view(&self) -> AxisView<'_> {
+        AxisView {
+            offsets: &self.col_offsets,
+            indices: &self.col_indices,
+            values: &self.col_values,
+        }
+    }
+}
+
+/// One traversal order of an [`ObsIndex`]: a borrowed
+/// `offsets`/`indices`/`values` triple. `Copy`, so it moves freely into
+/// worker closures.
+#[derive(Debug, Clone, Copy)]
+pub struct AxisView<'a> {
+    offsets: &'a [usize],
+    indices: &'a [u32],
+    values: &'a [f64],
+}
+
+impl<'a> AxisView<'a> {
+    /// Builds a view from raw CSR arrays (`offsets.len() == units + 1`,
+    /// `offsets` non-decreasing, last offset equal to the entry count).
+    /// Exposed for tests and benches that synthesize small systems
+    /// without a [`Tcm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arrays are inconsistent.
+    pub fn new(offsets: &'a [usize], indices: &'a [u32], values: &'a [f64]) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        assert_eq!(*offsets.last().unwrap(), indices.len(), "last offset must equal entry count");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
+        Self { offsets, indices, values }
+    }
+
+    /// Number of units (rows of the traversal).
+    pub fn units(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total entries across all units.
+    pub fn total(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Indices and values of unit `u`.
+    #[inline]
+    pub fn unit(&self, u: usize) -> (&'a [u32], &'a [f64]) {
+        let span = self.offsets[u]..self.offsets[u + 1];
+        (&self.indices[span.clone()], &self.values[span])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Matrix;
+
+    fn sample_tcm() -> Tcm {
+        // 3×4 with a diagonal-ish observation pattern.
+        let values = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 + 1.0);
+        let mask = Matrix::from_fn(3, 4, |i, j| if (i + j) % 2 == 0 { 1.0 } else { 0.0 });
+        Tcm::complete(values).masked(&mask).unwrap()
+    }
+
+    #[test]
+    fn index_matches_nested_vec_build() {
+        let tcm = sample_tcm();
+        let obs = ObsIndex::from_tcm(&tcm);
+        let (m, n) = tcm.values().shape();
+        let mut col_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut row_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        for (i, j, v) in tcm.observed_entries() {
+            col_obs[j].push((i, v));
+            row_obs[i].push((j, v));
+        }
+        assert_eq!(obs.num_rows(), m);
+        assert_eq!(obs.num_cols(), n);
+        assert_eq!(obs.total_observed(), tcm.observed_count());
+        for (i, expected) in row_obs.iter().enumerate() {
+            let (idx, vals) = obs.row(i);
+            let got: Vec<(usize, f64)> =
+                idx.iter().zip(vals).map(|(&j, &v)| (j as usize, v)).collect();
+            assert_eq!(&got, expected, "row {i}");
+        }
+        for (j, expected) in col_obs.iter().enumerate() {
+            let (idx, vals) = obs.col(j);
+            let got: Vec<(usize, f64)> =
+                idx.iter().zip(vals).map(|(&i, &v)| (i as usize, v)).collect();
+            assert_eq!(&got, expected, "col {j}");
+        }
+    }
+
+    #[test]
+    fn views_agree_with_direct_accessors() {
+        let tcm = sample_tcm();
+        let obs = ObsIndex::from_tcm(&tcm);
+        let rows = obs.rows_view();
+        let cols = obs.cols_view();
+        assert_eq!(rows.units(), obs.num_rows());
+        assert_eq!(cols.units(), obs.num_cols());
+        assert_eq!(rows.total(), obs.total_observed());
+        assert_eq!(cols.total(), obs.total_observed());
+        for i in 0..rows.units() {
+            assert_eq!(rows.unit(i), obs.row(i));
+        }
+        for j in 0..cols.units() {
+            assert_eq!(cols.unit(j), obs.col(j));
+        }
+    }
+
+    #[test]
+    fn empty_units_have_empty_spans() {
+        let values = Matrix::filled(3, 3, 1.0);
+        let mut mask = Matrix::filled(3, 3, 1.0);
+        for j in 0..3 {
+            mask.set(1, j, 0.0); // row 1 fully unobserved
+        }
+        for i in 0..3 {
+            mask.set(i, 2, 0.0); // column 2 fully unobserved
+        }
+        let tcm = Tcm::complete(values).masked(&mask).unwrap();
+        let obs = ObsIndex::from_tcm(&tcm);
+        assert!(obs.row(1).0.is_empty());
+        assert!(obs.col(2).0.is_empty());
+        assert_eq!(obs.total_observed(), 4);
+    }
+
+    #[test]
+    fn axis_view_new_validates() {
+        let offsets = [0usize, 2, 3];
+        let indices = [0u32, 1, 0];
+        let values = [1.0, 2.0, 3.0];
+        let view = AxisView::new(&offsets, &indices, &values);
+        assert_eq!(view.units(), 2);
+        assert_eq!(view.unit(0), (&indices[..2], &values[..2]));
+        assert_eq!(view.unit(1), (&indices[2..], &values[2..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "last offset")]
+    fn axis_view_new_rejects_bad_offsets() {
+        AxisView::new(&[0, 5], &[0u32], &[1.0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Parity guarantees of the allocation-free Gram-kernel ALS path.
+//!
+//! Two layers: a property test that the kernel (normal-equations) route
+//! and the QR route agree within float tolerance across random masks,
+//! ranks, and lambdas; and a bit-for-bit test that the kernel path
+//! reproduces *exactly* what the pre-refactor allocating
+//! normal-equations sweep computed (materialized design matrix per unit,
+//! `solve_normal_equations`, `L·Rᵀ` via explicit transpose), pinning the
+//! refactor as a pure reimplementation rather than a numerical change.
+
+use linalg::lstsq::{solve_normal_equations, RidgeSolver};
+use linalg::Matrix;
+use probes::mask::random_mask;
+use probes::Tcm;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use traffic_cs::cs::{complete_matrix, complete_matrix_detailed, CsConfig};
+
+fn low_rank_tcm(m: usize, n: usize, rank: usize, integrity: f64, seed: u64) -> Tcm {
+    let truth = Matrix::from_fn(m, n, |t, s| {
+        let mut v = 20.0;
+        for k in 0..rank {
+            let f = (2.0 * std::f64::consts::PI * (k + 1) as f64 * t as f64 / m as f64).sin();
+            let w = (((s + 1) * (k + 2) * 2654435761) % 773) as f64 / 773.0;
+            v += 3.0 * f * w;
+        }
+        v
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mask = random_mask(m, n, integrity, &mut rng);
+    Tcm::complete(truth).masked(&mask).expect("mask shape matches")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The Gram-kernel path must agree with the QR path within 1e-5 on
+    /// random problems — same contract the fixed `solvers_agree` test
+    /// pins, but swept across masks, ranks, and lambdas.
+    #[test]
+    fn gram_kernel_matches_qr_across_problems(
+        m in 12usize..40,
+        n in 10usize..30,
+        rank in 1usize..5,
+        lambda in 0.05f64..20.0,
+        integrity in 0.3f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let tcm = low_rank_tcm(m, n, rank + 1, integrity, seed);
+        prop_assume!(tcm.observed_count() > 0);
+        let cfg = |solver| CsConfig {
+            rank,
+            lambda,
+            iterations: 15,
+            solver,
+            seed: seed.wrapping_mul(31).wrapping_add(7),
+            ..CsConfig::default()
+        };
+        let ne = complete_matrix(&tcm, &cfg(RidgeSolver::NormalEquations)).unwrap();
+        let qr = complete_matrix(&tcm, &cfg(RidgeSolver::Qr)).unwrap();
+        prop_assert!(
+            ne.approx_eq(&qr, 1e-5),
+            "kernel and QR paths diverge (m={m} n={n} rank={rank} λ={lambda:.3} \
+             integrity={integrity:.2} seed={seed})"
+        );
+    }
+}
+
+/// Pre-refactor Algorithm 1, literally: nested-`Vec` observation index,
+/// a freshly materialized `obs×r` design matrix and RHS per unit,
+/// `solve_normal_equations` (allocating Gram + Cholesky), objective as
+/// per-column partials in column order, reconstruction through
+/// `matmul(&transpose())`.
+fn reference_als(tcm: &Tcm, config: &CsConfig) -> (Matrix, f64) {
+    let (m, n) = tcm.values().shape();
+    let r = config.rank;
+    let mut col_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut row_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+    for (i, j, v) in tcm.observed_entries() {
+        col_obs[j].push((i, v));
+        row_obs[i].push((j, v));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut l = Matrix::random_uniform(m, r, &mut rng, 0.0, 1.0);
+    let mut rmat = Matrix::zeros(n, r);
+    let solve = |design: &Matrix, obs_per_unit: &[Vec<(usize, f64)>], out: &mut Matrix| {
+        for (unit, obs) in obs_per_unit.iter().enumerate() {
+            if obs.is_empty() {
+                out.row_mut(unit).fill(0.0);
+                continue;
+            }
+            let a = Matrix::from_fn(obs.len(), r, |i, k| design.get(obs[i].0, k));
+            let b = Matrix::from_fn(obs.len(), 1, |i, _| obs[i].1);
+            let sol = solve_normal_equations(&a, &b, config.lambda).expect("reference solve");
+            for (k, slot) in out.row_mut(unit).iter_mut().enumerate() {
+                *slot = sol.get(k, 0);
+            }
+        }
+    };
+    let mut best: Option<(f64, Matrix, Matrix)> = None;
+    for _ in 0..config.iterations {
+        solve(&l.clone(), &col_obs, &mut rmat);
+        solve(&rmat.clone(), &row_obs, &mut l);
+        let fit: f64 = (0..n)
+            .map(|j| {
+                let mut partial = 0.0;
+                for &(i, v) in &col_obs[j] {
+                    let mut pred = 0.0;
+                    for k in 0..r {
+                        pred += l.get(i, k) * rmat.get(j, k);
+                    }
+                    partial += (pred - v) * (pred - v);
+                }
+                partial
+            })
+            .sum();
+        let v = fit + config.lambda * (l.frobenius_norm_sq() + rmat.frobenius_norm_sq());
+        if best.as_ref().is_none_or(|(bv, _, _)| v < *bv) {
+            best = Some((v, l.clone(), rmat.clone()));
+        }
+    }
+    let (objective, bl, br) = best.expect("at least one sweep");
+    (bl.matmul(&br.transpose()).expect("shapes agree"), objective)
+}
+
+/// The kernel path is a reimplementation, not a renumbering: on a fixed
+/// seed it must reproduce the pre-refactor estimate bit for bit.
+#[test]
+fn kernel_path_equals_prerefactor_estimate_bitwise() {
+    for (m, n, rank, lambda, integrity, seed) in
+        [(30, 20, 3, 0.5, 0.5, 42), (48, 25, 2, 100.0, 0.25, 7), (20, 35, 4, 1e-3, 0.7, 99)]
+    {
+        let tcm = low_rank_tcm(m, n, rank + 1, integrity, seed);
+        let cfg = CsConfig {
+            rank,
+            lambda,
+            iterations: 12,
+            tol: 0.0,
+            seed: seed * 3 + 1,
+            num_threads: 1,
+            ..CsConfig::default()
+        };
+        let (expected, expected_objective) = reference_als(&tcm, &cfg);
+        let got = complete_matrix_detailed(&tcm, &cfg).unwrap();
+        assert!(
+            got.objective.to_bits() == expected_objective.to_bits(),
+            "objective differs: {} vs {} (m={m} n={n} rank={rank})",
+            got.objective,
+            expected_objective
+        );
+        assert_eq!(got.estimate.shape(), expected.shape());
+        for (idx, (x, y)) in got.estimate.as_slice().iter().zip(expected.as_slice()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "entry {idx} differs bitwise: {x:?} vs {y:?} (m={m} n={n} rank={rank} λ={lambda})"
+            );
+        }
+    }
+}
+
+/// Same bitwise pin for the multi-threaded kernel path: threading moves
+/// units between workers (and scratch buffers) but must not move a
+/// single bit of the output.
+#[test]
+fn threaded_kernel_path_equals_prerefactor_estimate_bitwise() {
+    // Big enough that the 32_768 work gate genuinely engages workers.
+    let tcm = low_rank_tcm(200, 100, 5, 0.5, 11);
+    let cfg = CsConfig {
+        rank: 4,
+        lambda: 0.5,
+        iterations: 8,
+        tol: 0.0,
+        seed: 5,
+        num_threads: 4,
+        ..CsConfig::default()
+    };
+    let (expected, _) = reference_als(&tcm, &cfg);
+    let got = complete_matrix(&tcm, &cfg).unwrap();
+    for (idx, (x, y)) in got.as_slice().iter().zip(expected.as_slice()).enumerate() {
+        assert!(x.to_bits() == y.to_bits(), "entry {idx} differs bitwise: {x:?} vs {y:?}");
+    }
+}

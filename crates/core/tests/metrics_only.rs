@@ -1,0 +1,36 @@
+//! Regression test: completion metrics must record when metrics are on
+//! but spans are off.
+//!
+//! `--metrics-out` without `--log-level info` used to lose the
+//! `als.complete_us` histogram, because the observation was derived from
+//! the Info-level span's timer and an inert span reports no elapsed
+//! time. The fix gives the metrics path its own wall clock.
+//!
+//! Telemetry state is process-global, so this file holds exactly one
+//! test — adding a second `#[test]` here would race it.
+
+use linalg::Matrix;
+use probes::Tcm;
+use traffic_cs::cs::{complete_matrix, CsConfig};
+
+#[test]
+fn complete_histogram_records_with_metrics_only() {
+    telemetry::reset_for_tests();
+    telemetry::set_metrics_enabled(true);
+    assert!(!telemetry::enabled(telemetry::Level::Info), "spans must stay off for this test");
+
+    let truth = Matrix::from_fn(20, 15, |i, j| 10.0 + (i as f64) * 0.3 + (j as f64) * 0.7);
+    let mask = Matrix::from_fn(20, 15, |i, j| if (i + 2 * j) % 3 == 0 { 1.0 } else { 0.0 });
+    let tcm = Tcm::complete(truth).masked(&mask).unwrap();
+    let cfg = CsConfig { rank: 2, lambda: 0.1, iterations: 5, ..CsConfig::default() };
+
+    let hist = telemetry::histogram("als.complete_us");
+    let sweeps = telemetry::counter("als.sweeps");
+    let before = hist.count();
+    complete_matrix(&tcm, &cfg).unwrap();
+    assert_eq!(hist.count(), before + 1, "als.complete_us not observed with spans off");
+    assert!(hist.sum() > 0.0, "observed duration must be positive");
+    assert_eq!(sweeps.get(), 5);
+
+    telemetry::reset_for_tests();
+}

@@ -169,6 +169,160 @@ pub fn solve_normal_equations(a: &Matrix, b: &Matrix, lambda: f64) -> Result<Mat
     solve_spd(&gram, &rhs)
 }
 
+/// Accumulates the ridge normal equations `AᵀA + λI` and `Aᵀy` directly
+/// from the design rows of the observed entries, without materializing
+/// `A`: each `(row, y)` pair contributes `row rowᵀ` to `gram` and
+/// `y·row` to `rhs`.
+///
+/// Only the lower triangle of `gram` (row-major `r × r`) is written —
+/// exactly the entries [`cholesky_solve_in_place`] reads. Contributions
+/// are added in iteration order, which makes the result bit-for-bit
+/// identical to `Aᵀ.matmul(A)` / `Aᵀ.matmul(y)` on the materialized
+/// design matrix: both accumulate each entry's partial products in
+/// observation order.
+///
+/// # Panics
+///
+/// Panics when `gram.len() != rhs.len()²` or a design row is shorter
+/// than `rhs.len()`.
+pub fn accumulate_gram<'a>(
+    rows: impl Iterator<Item = (&'a [f64], f64)>,
+    lambda: f64,
+    gram: &mut [f64],
+    rhs: &mut [f64],
+) {
+    let r = rhs.len();
+    assert_eq!(gram.len(), r * r, "gram buffer must be r*r");
+    gram.fill(0.0);
+    rhs.fill(0.0);
+    for (row, y) in rows {
+        let row = &row[..r];
+        for i in 0..r {
+            let di = row[i];
+            let gi = &mut gram[i * r..i * r + i + 1];
+            for (j, g) in gi.iter_mut().enumerate() {
+                *g += di * row[j];
+            }
+            rhs[i] += di * y;
+        }
+    }
+    for i in 0..r {
+        gram[i * r + i] += lambda;
+    }
+}
+
+/// Solves `G x = rhs` for symmetric positive-definite `G` entirely in
+/// caller-owned buffers: the lower triangle of `gram` is overwritten by
+/// its Cholesky factor, `y` is the forward-substitution scratch, and the
+/// solution lands in `out`. No heap allocation.
+///
+/// The arithmetic replays [`cholesky`] + [`solve_spd`] operation for
+/// operation (same loop order, same association), so the result is
+/// bit-for-bit identical to the allocating route.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotPositiveDefinite`] when a pivot is not
+/// strictly positive (for ridge systems, only possible with `λ = 0` and
+/// a rank-deficient design).
+///
+/// # Panics
+///
+/// Panics when the buffer lengths disagree (`gram` must be `r²`, `y`
+/// and `out` must be `r` where `r = rhs.len()`).
+pub fn cholesky_solve_in_place(
+    gram: &mut [f64],
+    rhs: &[f64],
+    y: &mut [f64],
+    out: &mut [f64],
+) -> Result<(), SolveError> {
+    let r = rhs.len();
+    assert_eq!(gram.len(), r * r, "gram buffer must be r*r");
+    assert_eq!(y.len(), r, "y scratch must be length r");
+    assert_eq!(out.len(), r, "out buffer must be length r");
+    // In-place Cholesky of the lower triangle: gram becomes L.
+    for i in 0..r {
+        for j in 0..=i {
+            let mut sum = gram[i * r + j];
+            for k in 0..j {
+                sum -= gram[i * r + k] * gram[j * r + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(SolveError::NotPositiveDefinite { index: i });
+                }
+                gram[i * r + i] = sum.sqrt();
+            } else {
+                gram[i * r + j] = sum / gram[j * r + j];
+            }
+        }
+    }
+    // Forward: L y = rhs.
+    for i in 0..r {
+        let mut acc = rhs[i];
+        for k in 0..i {
+            acc -= gram[i * r + k] * y[k];
+        }
+        y[i] = acc / gram[i * r + i];
+    }
+    // Backward: Lᵀ out = y.
+    for i in (0..r).rev() {
+        let mut acc = y[i];
+        for k in i + 1..r {
+            acc -= gram[k * r + i] * out[k];
+        }
+        out[i] = acc / gram[i * r + i];
+    }
+    Ok(())
+}
+
+/// Caller-owned scratch for the allocation-free ridge kernel: one `r×r`
+/// Gram buffer plus two `r`-vectors, allocated once and reused across
+/// any number of [`GramScratch::solve_ridge`] calls. This is what each
+/// ALS worker carries across the units of a sweep.
+#[derive(Debug, Clone)]
+pub struct GramScratch {
+    r: usize,
+    gram: Vec<f64>,
+    rhs: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl GramScratch {
+    /// Allocates scratch for rank-`r` ridge systems.
+    pub fn new(r: usize) -> Self {
+        Self { r, gram: vec![0.0; r * r], rhs: vec![0.0; r], y: vec![0.0; r] }
+    }
+
+    /// The rank this scratch was sized for.
+    pub fn rank(&self) -> usize {
+        self.r
+    }
+
+    /// Solves `min_x ‖A x − y‖² + λ‖x‖²` where `A`'s rows (and the
+    /// matching targets) come from `rows`, writing the solution into
+    /// `out` without allocating. Bit-for-bit equal to
+    /// [`solve_normal_equations`] on the materialized system.
+    ///
+    /// # Errors
+    ///
+    /// See [`cholesky_solve_in_place`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != self.rank()` or a design row is
+    /// shorter than the rank.
+    pub fn solve_ridge<'a>(
+        &mut self,
+        rows: impl Iterator<Item = (&'a [f64], f64)>,
+        lambda: f64,
+        out: &mut [f64],
+    ) -> Result<(), SolveError> {
+        accumulate_gram(rows, lambda, &mut self.gram, &mut self.rhs);
+        cholesky_solve_in_place(&mut self.gram, &self.rhs, &mut self.y, out)
+    }
+}
+
 /// Ridge regression via QR on the explicitly stacked system
 /// `[A; sqrt(λ) I] X = [B; 0]` — numerically safer than the normal
 /// equations when `A` is ill conditioned.
@@ -295,5 +449,73 @@ mod tests {
     #[test]
     fn default_solver_is_normal_equations() {
         assert_eq!(RidgeSolver::default(), RidgeSolver::NormalEquations);
+    }
+
+    /// The Gram kernel must reproduce the allocating normal-equations
+    /// route *bit for bit*: same products, same summation order.
+    #[test]
+    fn gram_kernel_matches_normal_equations_bitwise() {
+        for (m, r, lambda, seed) in
+            [(12, 3, 0.5, 10), (40, 8, 100.0, 11), (7, 2, 1e-6, 12), (5, 5, 2.0, 13)]
+        {
+            let a = random_matrix(m, r, seed);
+            let b = random_matrix(m, 1, seed + 100);
+            let expected = solve_normal_equations(&a, &b, lambda).unwrap();
+            let mut scratch = GramScratch::new(r);
+            let mut out = vec![0.0; r];
+            scratch.solve_ridge((0..m).map(|i| (a.row(i), b.get(i, 0))), lambda, &mut out).unwrap();
+            for (k, &got) in out.iter().enumerate() {
+                assert!(
+                    got.to_bits() == expected.get(k, 0).to_bits(),
+                    "m={m} r={r} λ={lambda}: entry {k}: {got:?} vs {:?}",
+                    expected.get(k, 0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gram_kernel_reuse_is_stateless() {
+        // Solving system B after system A must give the same bits as
+        // solving B with fresh scratch: the buffers are fully reset.
+        let a1 = random_matrix(20, 4, 21);
+        let b1 = random_matrix(20, 1, 22);
+        let a2 = random_matrix(9, 4, 23);
+        let b2 = random_matrix(9, 1, 24);
+        let mut reused = GramScratch::new(4);
+        let mut out = vec![0.0; 4];
+        reused.solve_ridge((0..20).map(|i| (a1.row(i), b1.get(i, 0))), 0.3, &mut out).unwrap();
+        reused.solve_ridge((0..9).map(|i| (a2.row(i), b2.get(i, 0))), 0.3, &mut out).unwrap();
+        let mut fresh = GramScratch::new(4);
+        let mut expected = vec![0.0; 4];
+        fresh.solve_ridge((0..9).map(|i| (a2.row(i), b2.get(i, 0))), 0.3, &mut expected).unwrap();
+        assert_eq!(
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gram_kernel_detects_indefinite() {
+        // Rank-deficient design with λ = 0: second pivot is exactly 0.
+        let rows = [[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]];
+        let mut scratch = GramScratch::new(2);
+        let mut out = vec![0.0; 2];
+        let err =
+            scratch.solve_ridge(rows.iter().map(|r| (&r[..], 1.0)), 0.0, &mut out).unwrap_err();
+        assert!(matches!(err, SolveError::NotPositiveDefinite { .. }), "{err}");
+    }
+
+    #[test]
+    fn accumulate_gram_lower_triangle_and_lambda() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut gram = vec![0.0; 4];
+        let mut rhs = vec![0.0; 2];
+        accumulate_gram((0..2).map(|i| (a.row(i), 1.0)), 10.0, &mut gram, &mut rhs);
+        // AᵀA = [[10, 14], [14, 20]]; lower triangle + λ on the diagonal.
+        assert_eq!(gram[0], 20.0);
+        assert_eq!(gram[2], 14.0);
+        assert_eq!(gram[3], 30.0);
+        assert_eq!(rhs, vec![4.0, 6.0]);
     }
 }

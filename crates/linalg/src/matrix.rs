@@ -325,6 +325,50 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix product `self * rhsᵀ` without materializing the transpose.
+    ///
+    /// Both operands are walked along their contiguous rows (every
+    /// output entry is a dot product of a `self` row with a `rhs` row),
+    /// and the output is tiled into `64×64` blocks so the working set of
+    /// `rhs` rows stays cache-resident while a block of `self` rows
+    /// streams past it. This is the fast path for the low-rank
+    /// reconstruction `X̂ = L Rᵀ`, where the shared dimension (the rank)
+    /// is tiny and `transpose()` + `matmul` would touch `R` column-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixShapeError`] when `self.cols() != rhs.cols()`.
+    pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Result<Matrix, MatrixShapeError> {
+        if self.cols != rhs.cols {
+            return Err(MatrixShapeError::new(format!(
+                "cannot multiply {}x{} by transposed {}x{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        const BLOCK: usize = 64;
+        let (m, n, r) = (self.rows, rhs.rows, self.cols);
+        let mut out = Matrix::zeros(m, n);
+        for ib in (0..m).step_by(BLOCK) {
+            let i_end = (ib + BLOCK).min(m);
+            for jb in (0..n).step_by(BLOCK) {
+                let j_end = (jb + BLOCK).min(n);
+                for i in ib..i_end {
+                    let a_row = self.row(i);
+                    let out_row = &mut out.data[i * n + jb..i * n + j_end];
+                    for (o, j) in out_row.iter_mut().zip(jb..j_end) {
+                        let b_row = rhs.row(j);
+                        let mut acc = 0.0;
+                        for k in 0..r {
+                            acc += a_row[k] * b_row[k];
+                        }
+                        *o = acc;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Element-wise (Hadamard) product, the `.×` operator of the paper
     /// (Eq. 4): `Z = X .× Y`, `z_ij = x_ij * y_ij`.
     ///
@@ -686,6 +730,30 @@ mod tests {
     fn matmul_shape_mismatch() {
         let a = sample();
         assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        // Sizes straddling the 64-wide block boundary in both dims.
+        for (m, n, r) in [(3, 2, 4), (64, 64, 2), (65, 130, 8), (1, 200, 3), (100, 1, 5)] {
+            let a = Matrix::random_uniform(m, r, &mut rng, -1.0, 1.0);
+            let b = Matrix::random_uniform(n, r, &mut rng, -1.0, 1.0);
+            let fast = a.matmul_transpose_b(&b).unwrap();
+            let slow = a.matmul(&b.transpose()).unwrap();
+            assert_eq!(fast.shape(), (m, n));
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!(x.to_bits() == y.to_bits(), "({m}x{n}x{r}): {x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_b_shape_mismatch() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(3, 5);
+        assert!(a.matmul_transpose_b(&b).is_err());
     }
 
     #[test]

@@ -195,11 +195,39 @@ where
     E: Send,
     F: Fn(usize, &mut T) -> Result<(), E> + Sync,
 {
+    try_parallel_for_each_mut_with(items, threads, || (), |i, item, ()| f(i, item))
+}
+
+/// Scratch-carrying variant of [`try_parallel_for_each_mut`]: every
+/// worker calls `init()` exactly once and threads the resulting scratch
+/// value through all the items it claims, so per-item state (solver
+/// buffers, accumulators) is allocated once per worker per fan-out
+/// instead of once per item. The sequential path (`workers <= 1`) builds
+/// a single scratch and reuses it across all items.
+///
+/// All of [`try_parallel_for_each_mut`]'s guarantees carry over
+/// unchanged: item `i` computes only from `i` (the scratch must not leak
+/// information between items — callers reset it per item or overwrite it
+/// wholesale), results land in fixed slots, and a failure reports the
+/// error of the smallest failing index regardless of scheduling.
+pub fn try_parallel_for_each_mut_with<T, S, E, I, F>(
+    items: &mut [T],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut T, &mut S) -> Result<(), E> + Sync,
+{
     let n = items.len();
     let workers = resolve_threads(threads).min(n);
     if workers <= 1 {
+        let mut scratch = init();
         for (i, item) in items.iter_mut().enumerate() {
-            f(i, item)?;
+            f(i, item, &mut scratch)?;
         }
         return Ok(());
     }
@@ -209,6 +237,7 @@ where
     let base = SendPtr(items.as_mut_ptr());
     let cursor = AtomicUsize::new(0);
     let f = &f;
+    let init = &init;
     let base = &base;
     let cursor = &cursor;
     let mut first_err: Option<(usize, E)> = None;
@@ -218,6 +247,7 @@ where
             .map(|_| {
                 s.spawn(move || -> (Option<(usize, E)>, WorkerStats) {
                     let mut my = WorkerStats::default();
+                    let mut scratch = init();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
@@ -228,7 +258,7 @@ where
                         // `&mut` to `items[i]`.
                         let item = unsafe { &mut *base.0.add(i) };
                         let t = track.then(Instant::now);
-                        let result = f(i, item);
+                        let result = f(i, item, &mut scratch);
                         if let Some(t) = t {
                             my.busy_ns += t.elapsed().as_nanos();
                             my.claimed += 1;
@@ -306,6 +336,54 @@ mod tests {
             });
             assert_eq!(r, Err(7), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn for_each_mut_with_reuses_scratch_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        for threads in [1, 3, 8] {
+            let inits = AtomicUsize::new(0);
+            let mut items: Vec<usize> = vec![0; 100];
+            let r: Result<(), ()> = try_parallel_for_each_mut_with(
+                &mut items,
+                threads,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |i, item, scratch| {
+                    // Scratch persists across items on a worker; per-item
+                    // determinism comes from overwriting it each claim.
+                    scratch.clear();
+                    scratch.extend(0..=i);
+                    *item = scratch.iter().sum();
+                    Ok(())
+                },
+            );
+            assert!(r.is_ok());
+            let expected: Vec<usize> = (0..100).map(|i| i * (i + 1) / 2).collect();
+            assert_eq!(items, expected, "threads={threads}");
+            let n_inits = inits.load(Ordering::Relaxed);
+            assert!(
+                n_inits <= threads.max(1) && n_inits >= 1,
+                "threads={threads}: {n_inits} scratch inits"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_mut_with_sequential_initializes_once() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let mut items = vec![0u8; 50];
+        let r: Result<(), ()> = try_parallel_for_each_mut_with(
+            &mut items,
+            1,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, _, _| Ok(()),
+        );
+        assert!(r.is_ok());
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
     }
 
     #[test]

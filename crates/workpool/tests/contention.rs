@@ -3,7 +3,7 @@
 //! with deliberately skewed durations so claim order varies run to run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use workpool::{parallel_map_indexed, try_parallel_for_each_mut};
+use workpool::{parallel_map_indexed, try_parallel_for_each_mut, try_parallel_for_each_mut_with};
 
 /// The smallest failing index must win no matter which worker reaches
 /// which failure first. Later failures are made *faster* than earlier
@@ -88,6 +88,64 @@ fn map_panic_leaves_pool_usable() {
     assert!(result.is_err());
     let ok = parallel_map_indexed(32, 4, |i| i * 2);
     assert_eq!(ok, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+}
+
+/// The scratch-carrying variant must uphold the same smallest-index
+/// error guarantee: per-worker scratch changes which buffer an item
+/// writes through, never which error wins.
+#[test]
+fn scratch_variant_smallest_failing_index_wins_under_contention() {
+    const N: usize = 512;
+    const RUNS: usize = 50;
+    for run in 0..RUNS {
+        let mut items = vec![0u8; N];
+        let r = try_parallel_for_each_mut_with(
+            &mut items,
+            8,
+            || vec![0.0f64; 64],
+            |i, _, scratch| {
+                if i >= 31 {
+                    return Err(i);
+                }
+                scratch.iter_mut().for_each(|v| *v += i as f64);
+                std::hint::black_box(scratch.iter().sum::<f64>());
+                Ok(())
+            },
+        );
+        assert_eq!(r, Err(31), "run {run}");
+    }
+}
+
+/// Fixed-slot writes with a reused scratch: every item's output depends
+/// only on its index even though workers recycle their buffers across
+/// claims in scheduler-dependent orders.
+#[test]
+fn scratch_variant_output_is_schedule_independent() {
+    const N: usize = 300;
+    let expected: Vec<f64> = (0..N).map(|i| (0..i).map(|k| k as f64).sum()).collect();
+    for threads in [2, 3, 8, 16] {
+        for _ in 0..10 {
+            let mut items = vec![0.0f64; N];
+            let r: Result<(), ()> = try_parallel_for_each_mut_with(
+                &mut items,
+                threads,
+                || vec![0.0f64; N],
+                |i, item, scratch| {
+                    // Deliberately dirty the whole scratch, then rebuild
+                    // the part this item reads — stale state from the
+                    // worker's previous claims must not leak through.
+                    scratch.iter_mut().for_each(|v| *v += 1.0);
+                    for (k, slot) in scratch.iter_mut().enumerate().take(i) {
+                        *slot = k as f64;
+                    }
+                    *item = scratch[..i].iter().sum();
+                    Ok(())
+                },
+            );
+            assert!(r.is_ok());
+            assert_eq!(items, expected, "threads={threads}");
+        }
+    }
 }
 
 /// Error selection agrees with the sequential path for every worker
