@@ -48,6 +48,7 @@ const ALL_IDS: &[&str] = &[
     "adaptive",
     "online",
     "weighted",
+    "serve-replay",
 ];
 
 /// Group aliases expanding to the figure/table ids of one experiment
@@ -59,7 +60,7 @@ const GROUPS: &[(&str, &[&str])] = &[
     ("params", &["fig15", "fig16", "ga", "convergence", "init-ablation"]),
     ("selection", &["fig17", "fig18"]),
     ("runtime", &["table2"]),
-    ("extensions", &["adaptive", "online", "weighted"]),
+    ("extensions", &["adaptive", "online", "weighted", "serve-replay"]),
 ];
 
 fn usage() -> ! {
@@ -251,6 +252,7 @@ fn main() {
             "adaptive" => extensions::print_adaptive(&extensions::adaptive(quick)),
             "online" => extensions::print_online(extensions::online(quick)),
             "weighted" => extensions::print_weighted(extensions::weighted(quick)),
+            "serve-replay" => extensions::print_serve_replay(extensions::serve_replay(quick)),
             _ => unreachable!("validated above"),
         }
         drop(exp_span);

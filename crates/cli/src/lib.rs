@@ -23,38 +23,84 @@ use traffic_cs::cs::CsConfig;
 use traffic_cs::estimator::Estimator;
 use traffic_sim::ScenarioConfig;
 
-/// CLI-level error: everything a subcommand can fail with, as a message.
+/// CLI-level error, classified so the binary maps every failure mode to
+/// an exit code in exactly one place ([`CliError::exit_code`]).
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub enum CliError {
+    /// The command line itself was wrong: unknown subcommand or method,
+    /// missing or malformed flag.
+    Usage(String),
+    /// An input file or parameter was rejected: CSV parse failures,
+    /// shape mismatches, invalid configurations.
+    Input(String),
+    /// Filesystem or I/O trouble.
+    Io(String),
+    /// An algorithm failed on otherwise well-formed input.
+    Algorithm(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure, sysexits(3)-style:
+    /// `2` usage, `65` bad input data (`EX_DATAERR`), `70` algorithm
+    /// failure (`EX_SOFTWARE`), `74` I/O (`EX_IOERR`).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 65,
+            CliError::Algorithm(_) => 70,
+            CliError::Io(_) => 74,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Input(m) | CliError::Io(m) | CliError::Algorithm(m) => m,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        f.write_str(self.message())
     }
 }
 
 impl std::error::Error for CliError {}
 
 macro_rules! from_error {
-    ($($ty:ty),+ $(,)?) => {
+    ($($variant:ident: $ty:ty),+ $(,)?) => {
         $(impl From<$ty> for CliError {
             fn from(e: $ty) -> Self {
-                CliError(e.to_string())
+                CliError::$variant(e.to_string())
             }
         })+
     };
 }
 
 from_error!(
-    std::io::Error,
-    std::num::ParseIntError,
-    std::num::ParseFloatError,
-    probes::io::CsvError,
-    probes::TcmError,
-    roadnet::io::ReadError,
-    linalg::MatrixShapeError,
-    traffic_cs::estimator::EstimateError,
+    Io: std::io::Error,
+    Usage: std::num::ParseIntError,
+    Usage: std::num::ParseFloatError,
+    Input: probes::io::CsvError,
+    Input: probes::TcmError,
+    Input: roadnet::io::ReadError,
+    Input: linalg::MatrixShapeError,
+    Algorithm: traffic_cs::estimator::EstimateError,
+    Input: traffic_cs::ConfigError,
 );
+
+impl From<traffic_cs::Error> for CliError {
+    fn from(e: traffic_cs::Error) -> Self {
+        match e {
+            traffic_cs::Error::Config(c) => CliError::Input(c.to_string()),
+            traffic_cs::Error::Serve(traffic_cs::ServeError::Io(io)) => {
+                CliError::Io(io.to_string())
+            }
+            traffic_cs::Error::Serve(c) => CliError::Input(c.to_string()),
+            other => CliError::Algorithm(other.to_string()),
+        }
+    }
+}
 
 /// Result alias for subcommands.
 pub type CliResult<T = ()> = Result<T, CliError>;
@@ -64,9 +110,9 @@ fn parse_granularity(s: &str) -> CliResult<Granularity> {
         "15" => Ok(Granularity::Min15),
         "30" => Ok(Granularity::Min30),
         "60" => Ok(Granularity::Min60),
-        other => {
-            Err(CliError(format!("granularity must be 15, 30 or 60 (minutes), got '{other}'")))
-        }
+        other => Err(CliError::Usage(format!(
+            "granularity must be 15, 30 or 60 (minutes), got '{other}'"
+        ))),
     }
 }
 
@@ -88,7 +134,9 @@ pub fn cmd_simulate(
         "shanghai" => ScenarioConfig::shanghai_like(),
         "shenzhen" => ScenarioConfig::shenzhen_like(),
         other => {
-            return Err(CliError(format!("unknown scenario '{other}' (small|shanghai|shenzhen)")))
+            return Err(CliError::Usage(format!(
+                "unknown scenario '{other}' (small|shanghai|shenzhen)"
+            )))
         }
     };
     if let Some(f) = fleet {
@@ -174,7 +222,9 @@ pub fn cmd_estimate(
         "knn" => Estimator::NaiveKnn { k: rank.unwrap_or(4) },
         "corr-knn" => Estimator::CorrelationKnn { k_range: rank.unwrap_or(2) },
         "mssa" => Estimator::Mssa(MssaConfig::default()),
-        other => return Err(CliError(format!("unknown method '{other}' (cs|knn|corr-knn|mssa)"))),
+        other => {
+            return Err(CliError::Usage(format!("unknown method '{other}' (cs|knn|corr-knn|mssa)")))
+        }
     };
     let estimate = estimator.estimate(&tcm)?;
     write_tcm(&Tcm::complete(estimate), BufWriter::new(File::create(out)?))?;
@@ -223,15 +273,15 @@ pub fn cmd_evaluate(truth: &Path, estimate: &Path, observed: &Path) -> CliResult
     let est = read_tcm(BufReader::new(File::open(estimate)?))?;
     let obs = read_tcm(BufReader::new(File::open(observed)?))?;
     if truth.integrity() < 1.0 {
-        return Err(CliError("ground-truth TCM must be complete".into()));
+        return Err(CliError::Input("ground-truth TCM must be complete".into()));
     }
     if est.integrity() < 1.0 {
-        return Err(CliError("estimate TCM must be complete".into()));
+        return Err(CliError::Input("estimate TCM must be complete".into()));
     }
     if truth.values().shape() != est.values().shape()
         || truth.values().shape() != obs.values().shape()
     {
-        return Err(CliError(format!(
+        return Err(CliError::Input(format!(
             "shape mismatch: truth {:?}, estimate {:?}, observed {:?}",
             truth.values().shape(),
             est.values().shape(),
@@ -264,7 +314,7 @@ pub fn cmd_detect<W: Write>(
         ..AnomalyConfig::default()
     };
     let detections = if tcm.integrity() == 1.0 {
-        detect_anomalies(tcm.values(), &cfg).map_err(|e| CliError(e.to_string()))?
+        detect_anomalies(tcm.values(), &cfg).map_err(|e| CliError::Algorithm(e.to_string()))?
     } else {
         // Complete first, then use the estimate's seasonal median as the
         // baseline and alert only on observed cells.
@@ -274,11 +324,12 @@ pub fn cmd_detect<W: Write>(
             lambda: (100.0 * cells / (672.0 * 221.0)).max(0.01),
             ..CsConfig::default()
         };
-        let estimate =
-            traffic_cs::cs::complete_matrix(&tcm, &cs).map_err(|e| CliError(e.to_string()))?;
+        let estimate = traffic_cs::cs::complete_matrix(&tcm, &cs)
+            .map_err(|e| CliError::Algorithm(e.to_string()))?;
         let baseline = traffic_cs::anomaly::seasonal_median_baseline(&estimate, period_slots)
-            .map_err(|e| CliError(e.to_string()))?;
-        detect_anomalies_sparse(&tcm, &baseline, &cfg).map_err(|e| CliError(e.to_string()))?
+            .map_err(|e| CliError::Algorithm(e.to_string()))?;
+        detect_anomalies_sparse(&tcm, &baseline, &cfg)
+            .map_err(|e| CliError::Algorithm(e.to_string()))?
     };
     writeln!(w, "detections: {}", detections.len())?;
     for d in detections.iter().take(20) {
@@ -291,6 +342,175 @@ pub fn cmd_detect<W: Write>(
     Ok(())
 }
 
+/// Options for [`cmd_serve`], the streaming replay service.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// TCM granularity (slot length), `"15" | "30" | "60"` minutes.
+    pub granularity: String,
+    /// Sliding-window height in slots.
+    pub window_slots: usize,
+    /// Algorithm-1 rank (default 2).
+    pub rank: Option<usize>,
+    /// Algorithm-1 tradeoff λ (default scaled to the window size).
+    pub lambda: Option<f64>,
+    /// Reports drained per tick; `0` replays the whole file in one tick
+    /// (the mode whose final solve is bit-identical to the offline
+    /// `build-tcm` + `estimate` pipeline).
+    pub batch: usize,
+    /// Warm-start checkpoint: loaded before the replay when the file
+    /// exists, saved after it.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Write the final window estimate as a complete TCM CSV.
+    pub out: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            granularity: "15".to_string(),
+            window_slots: 24,
+            rank: None,
+            lambda: None,
+            batch: 0,
+            checkpoint: None,
+            out: None,
+        }
+    }
+}
+
+/// `serve`: replays a probe report file through the fault-tolerant
+/// streaming service ([`traffic_cs::service::Service`]) and keeps a live
+/// estimate of the sliding window.
+///
+/// Reports are map-matched exactly like [`cmd_build_tcm`] (same index
+/// radius, same matching distance), so a full-file replay with the
+/// window sized to the grid reproduces the offline pipeline bit for bit.
+/// Malformed CSV lines are rejected per record (counted, never fatal);
+/// everything else goes through the service's admission rules.
+///
+/// # Errors
+///
+/// Setup failures only: unreadable network/reports files, invalid
+/// configuration, checkpoint I/O. Runtime trouble (bad reports, failed
+/// solves) degrades inside the service and shows up in the summary.
+pub fn cmd_serve<W: Write>(
+    network: &Path,
+    reports: &Path,
+    opts: &ServeOptions,
+    mut w: W,
+) -> CliResult {
+    use std::io::BufRead;
+    use traffic_cs::service::{Observation, ServeConfig, Service};
+
+    let net = roadnet::io::read_network(BufReader::new(File::open(network)?))?;
+    let index = SegmentIndex::build(&net, 150.0);
+    let slot_len_s = parse_granularity(&opts.granularity)?.seconds();
+
+    let window_cells = (opts.window_slots * net.segment_count()) as f64;
+    let default_lambda = (100.0 * window_cells / (672.0 * 221.0)).max(0.01);
+    let cs = CsConfig {
+        rank: opts.rank.unwrap_or(2),
+        lambda: opts.lambda.unwrap_or(default_lambda),
+        ..CsConfig::default()
+    };
+    let cfg = ServeConfig::builder()
+        .slot_len_s(slot_len_s)
+        .window_slots(opts.window_slots)
+        .num_segments(net.segment_count())
+        .cs(cs)
+        .build()?;
+    let mut service = Service::new(cfg)?;
+
+    if let Some(ckpt) = &opts.checkpoint {
+        if ckpt.exists() {
+            service.load_checkpoint(ckpt)?;
+            writeln!(w, "restored warm start from {}", ckpt.display())?;
+        }
+    }
+
+    // Replay line by line: a malformed record is one rejected report,
+    // never a dead service.
+    let mut malformed = 0u64;
+    let mut unmatched = 0u64;
+    let mut pushed = 0u64;
+    let reader = BufReader::new(File::open(reports)?);
+    let mut lines = reader.lines();
+    // Header line (validated loosely: an empty file is just an empty replay).
+    let _ = lines.next().transpose()?;
+    let batch = if opts.batch == 0 { usize::MAX } else { opts.batch };
+    let mut in_batch = 0usize;
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let report = match probes::io::parse_report_record(&line, idx + 2) {
+            Ok(r) => r,
+            Err(_) => {
+                malformed += 1;
+                if telemetry::metrics_enabled() {
+                    telemetry::counter("serve.rejected").incr();
+                }
+                continue;
+            }
+        };
+        // Same matching as build-tcm: direction-aware, 80 m radius.
+        let heading = report.has_heading().then_some(report.heading);
+        let Some(m) = index.match_point_directed(&net, report.position, 80.0, heading) else {
+            unmatched += 1;
+            continue;
+        };
+        service.push(Observation {
+            vehicle: report.vehicle.0 as u64,
+            timestamp_s: report.timestamp_s,
+            segment: m.segment.index(),
+            speed_kmh: report.speed_kmh,
+        });
+        pushed += 1;
+        in_batch += 1;
+        if in_batch >= batch {
+            service.tick();
+            in_batch = 0;
+        }
+    }
+    service.tick();
+
+    let stats = service.stats();
+    writeln!(
+        w,
+        "replayed {pushed} reports ({malformed} malformed, {unmatched} unmatched): \
+         {} admitted, {} late, {} duplicate, {} rejected, {} solves, {} degraded",
+        stats.admitted,
+        stats.dropped_late,
+        stats.duplicates,
+        stats.rejected,
+        stats.solves,
+        stats.degraded
+    )?;
+    match service.latest() {
+        Some(live) => {
+            writeln!(
+                w,
+                "live estimate: window head slot {}, {} sweeps, stale: {}",
+                live.head_slot, live.sweeps, live.stale
+            )?;
+            if let Some(out) = &opts.out {
+                write_tcm(
+                    &Tcm::complete(live.estimate.clone()),
+                    BufWriter::new(File::create(out)?),
+                )?;
+                writeln!(w, "wrote window estimate -> {}", out.display())?;
+            }
+        }
+        None => writeln!(w, "no estimate produced (no admissible reports)")?,
+    }
+    if let Some(ckpt) = &opts.checkpoint {
+        service.save_checkpoint(ckpt)?;
+        writeln!(w, "checkpointed warm start -> {}", ckpt.display())?;
+    }
+    Ok(())
+}
+
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 pub fn parse_flags(args: &[String]) -> CliResult<std::collections::HashMap<String, String>> {
     let mut map = std::collections::HashMap::new();
@@ -298,10 +518,10 @@ pub fn parse_flags(args: &[String]) -> CliResult<std::collections::HashMap<Strin
     while i < args.len() {
         let key = &args[i];
         if !key.starts_with("--") {
-            return Err(CliError(format!("expected --flag, got '{key}'")));
+            return Err(CliError::Usage(format!("expected --flag, got '{key}'")));
         }
         let Some(value) = args.get(i + 1) else {
-            return Err(CliError(format!("flag {key} is missing a value")));
+            return Err(CliError::Usage(format!("flag {key} is missing a value")));
         };
         map.insert(key[2..].to_string(), value.clone());
         i += 2;
@@ -318,6 +538,22 @@ mod tests {
         assert_eq!(parse_granularity("15").unwrap(), Granularity::Min15);
         assert_eq!(parse_granularity("60").unwrap(), Granularity::Min60);
         assert!(parse_granularity("45").is_err());
+    }
+
+    #[test]
+    fn exit_codes_classify_failures() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Input("x".into()).exit_code(), 65);
+        assert_eq!(CliError::Algorithm("x".into()).exit_code(), 70);
+        assert_eq!(CliError::Io("x".into()).exit_code(), 74);
+        // From conversions land in the right class.
+        let e: CliError = std::io::Error::other("disk").into();
+        assert_eq!(e.exit_code(), 74);
+        let e: CliError =
+            traffic_cs::Error::from(traffic_cs::ConfigError::new("rank", "bad")).into();
+        assert_eq!(e.exit_code(), 65);
+        let e: CliError = traffic_cs::Error::from(traffic_cs::CsError::NoObservations).into();
+        assert_eq!(e.exit_code(), 70);
     }
 
     #[test]

@@ -11,13 +11,13 @@
 //! ```
 
 use cs_traffic_cli::{
-    cmd_analyze, cmd_build_tcm, cmd_detect, cmd_estimate, cmd_evaluate, cmd_simulate, parse_flags,
-    CliError, CliResult,
+    cmd_analyze, cmd_build_tcm, cmd_detect, cmd_estimate, cmd_evaluate, cmd_serve, cmd_simulate,
+    parse_flags, CliError, CliResult, ServeOptions,
 };
 use std::path::Path;
 
 const USAGE: &str =
-    "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate> [--flag value ...]
+    "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate|serve> [--flag value ...]
 
 global flags:
   --threads N        worker threads for completion/detection hot paths
@@ -36,16 +36,23 @@ subcommands:
              --out FILE
   analyze    --tcm FILE
   detect     --tcm FILE [--period-slots N] [--sigma S]
-  evaluate   --truth FILE --estimate FILE --observed FILE";
+  evaluate   --truth FILE --estimate FILE --observed FILE
+  serve      --network FILE --reports FILE [--granularity 15|30|60]
+             [--window-slots W] [--rank R] [--lambda L] [--batch N]
+             [--checkpoint FILE] [--out FILE]
+             (replays reports through the fault-tolerant streaming
+              service; --batch 0 = whole file in one tick)";
 
 fn run() -> CliResult {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        return Err(CliError(USAGE.into()));
+        return Err(CliError::Usage(USAGE.into()));
     };
     let flags = parse_flags(&args[1..])?;
     let get = |k: &str| -> CliResult<&String> {
-        flags.get(k).ok_or_else(|| CliError(format!("missing required flag --{k}\n\n{USAGE}")))
+        flags
+            .get(k)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{k}\n\n{USAGE}")))
     };
     if let Some(threads) = flags.get("threads") {
         // One process-wide default instead of a parameter through every
@@ -55,12 +62,12 @@ fn run() -> CliResult {
     let tele_cfg = telemetry::TelemetryConfig {
         level: flags
             .get("log-level")
-            .map(|s| s.parse().map_err(CliError))
+            .map(|s| s.parse().map_err(CliError::Usage))
             .transpose()?
             .unwrap_or_default(),
         metrics_out: flags.get("metrics-out").map(std::path::PathBuf::from),
     };
-    telemetry::init(&tele_cfg).map_err(|e| CliError(format!("telemetry init failed: {e}")))?;
+    telemetry::init(&tele_cfg).map_err(|e| CliError::Io(format!("telemetry init failed: {e}")))?;
     match cmd.as_str() {
         "simulate" => cmd_simulate(
             get("scenario")?,
@@ -96,7 +103,29 @@ fn run() -> CliResult {
             Path::new(get("observed")?),
         )
         .map(|_| ()),
-        other => Err(CliError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
+        "serve" => {
+            let defaults = ServeOptions::default();
+            let opts = ServeOptions {
+                granularity: flags.get("granularity").cloned().unwrap_or(defaults.granularity),
+                window_slots: flags
+                    .get("window-slots")
+                    .map(|s| s.parse())
+                    .transpose()?
+                    .unwrap_or(defaults.window_slots),
+                rank: flags.get("rank").map(|s| s.parse()).transpose()?,
+                lambda: flags.get("lambda").map(|s| s.parse()).transpose()?,
+                batch: flags.get("batch").map(|s| s.parse()).transpose()?.unwrap_or(defaults.batch),
+                checkpoint: flags.get("checkpoint").map(std::path::PathBuf::from),
+                out: flags.get("out").map(std::path::PathBuf::from),
+            };
+            cmd_serve(
+                Path::new(get("network")?),
+                Path::new(get("reports")?),
+                &opts,
+                std::io::stdout().lock(),
+            )
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
     }
 }
 
@@ -106,6 +135,7 @@ fn main() {
     telemetry::shutdown();
     if let Err(e) = result {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        // The single place failures become exit codes.
+        std::process::exit(e.exit_code());
     }
 }

@@ -95,6 +95,86 @@ fn detect_runs_on_sparse_and_complete() {
 }
 
 #[test]
+fn serve_replay_matches_offline_pipeline() {
+    use cs_traffic_cli::{cmd_serve, ServeOptions};
+    let dir = temp_dir("serve");
+    cmd_simulate("small", Some(40), Some(6), "30", &dir).unwrap();
+    let tcm_path = dir.join("tcm.csv");
+    cmd_build_tcm(&dir.join("network.csv"), &dir.join("reports.csv"), "30", 6, &tcm_path).unwrap();
+    let offline_est = dir.join("estimate_offline.csv");
+    cmd_estimate(&tcm_path, "cs", Some(2), Some(0.5), &offline_est).unwrap();
+
+    // Replay the same reports through the streaming service with the
+    // window covering the full grid (6 h at 30 min = 12 slots) and a
+    // single tick: the one cold solve must reproduce the offline
+    // pipeline bit for bit.
+    let serve_est = dir.join("estimate_serve.csv");
+    let opts = ServeOptions {
+        granularity: "30".into(),
+        window_slots: 12,
+        rank: Some(2),
+        lambda: Some(0.5),
+        batch: 0,
+        checkpoint: None,
+        out: Some(serve_est.clone()),
+    };
+    let mut out = Vec::new();
+    cmd_serve(&dir.join("network.csv"), &dir.join("reports.csv"), &opts, &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("replayed"), "{text}");
+    assert!(text.contains("0 rejected"), "clean replay must reject nothing: {text}");
+
+    let offline = std::fs::read_to_string(&offline_est).unwrap();
+    let streamed = std::fs::read_to_string(&serve_est).unwrap();
+    assert_eq!(offline, streamed, "streamed estimate CSV diverged from offline pipeline");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_survives_corrupt_reports_and_checkpoints() {
+    use cs_traffic_cli::{cmd_serve, ServeOptions};
+    let dir = temp_dir("serve_faults");
+    cmd_simulate("small", Some(20), Some(3), "30", &dir).unwrap();
+
+    // Corrupt the replay: garbage lines, NaN speeds, short rows.
+    let reports = dir.join("reports.csv");
+    let mut text = std::fs::read_to_string(&reports).unwrap();
+    text.push_str("this,is,not,a,report\n");
+    text.push_str("1,0,0,NaN,1,0,5\n");
+    text.push_str("7,1,2\n");
+    std::fs::write(&reports, text).unwrap();
+
+    let ckpt = dir.join("serve.ckpt");
+    let opts = ServeOptions {
+        granularity: "30".into(),
+        window_slots: 6,
+        batch: 50,
+        checkpoint: Some(ckpt.clone()),
+        ..ServeOptions::default()
+    };
+    let mut out = Vec::new();
+    cmd_serve(&dir.join("network.csv"), &reports, &opts, &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("3 malformed"), "malformed lines must be counted: {text}");
+    assert!(ckpt.exists(), "checkpoint not written");
+
+    // Second run restores the warm start from the checkpoint.
+    let mut out = Vec::new();
+    cmd_serve(&dir.join("network.csv"), &reports, &opts, &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("restored warm start"), "{text}");
+
+    // A truncated checkpoint is a typed input error, not a panic.
+    std::fs::write(&ckpt, "cs-serve-checkpoint v1\nclock zzz\n").unwrap();
+    let err = {
+        let mut out = Vec::new();
+        cmd_serve(&dir.join("network.csv"), &reports, &opts, &mut out).unwrap_err()
+    };
+    assert_eq!(err.exit_code(), 65, "bad checkpoint must map to the data exit code: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn simulate_rejects_unknown_scenario() {
     let dir = temp_dir("badscen");
     assert!(cmd_simulate("metropolis", None, None, "15", &dir).is_err());

@@ -22,6 +22,7 @@
 //! two coincide; with the paper's 80%-missing matrices the masked solve
 //! is what makes the reported accuracy reachable.
 
+use crate::error::ConfigError;
 use crate::obs::{AxisView, ObsIndex};
 use linalg::lstsq::{GramScratch, RidgeSolver};
 use linalg::Matrix;
@@ -86,6 +87,118 @@ impl Default for CsConfig {
             seed: 42,
             num_threads: 0,
         }
+    }
+}
+
+impl CsConfig {
+    /// Validated construction: invalid parameters surface as
+    /// [`ConfigError`] at build time instead of [`CsError`] at solve
+    /// time. Struct-literal construction with [`CsConfig::default`]
+    /// keeps working for call sites that prefer it.
+    ///
+    /// ```
+    /// use traffic_cs::cs::CsConfig;
+    ///
+    /// let cfg = CsConfig::builder().rank(8).lambda(0.1).build()?;
+    /// assert_eq!((cfg.rank, cfg.lambda), (8, 0.1));
+    /// assert!(CsConfig::builder().rank(0).build().is_err());
+    /// assert!(CsConfig::builder().lambda(f64::NAN).build().is_err());
+    /// # Ok::<(), traffic_cs::ConfigError>(())
+    /// ```
+    pub fn builder() -> CsConfigBuilder {
+        CsConfigBuilder { cfg: CsConfig::default() }
+    }
+
+    /// The matrix-independent validity checks shared by the builder and
+    /// the solver entry points (rank bounds against the actual matrix
+    /// are only checkable at solve time).
+    pub(crate) fn validate(&self) -> Result<(), ConfigError> {
+        if self.rank == 0 {
+            return Err(ConfigError::new("rank", "must be at least 1"));
+        }
+        if !self.lambda.is_finite() || self.lambda < 0.0 {
+            return Err(ConfigError::new(
+                "lambda",
+                format!("{} must be finite and non-negative", self.lambda),
+            ));
+        }
+        if self.iterations == 0 {
+            return Err(ConfigError::new("iterations", "must be at least 1"));
+        }
+        if !self.tol.is_finite() || self.tol < 0.0 {
+            return Err(ConfigError::new(
+                "tol",
+                format!("{} must be finite and non-negative", self.tol),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`CsConfig`]; see [`CsConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct CsConfigBuilder {
+    cfg: CsConfig,
+}
+
+impl CsConfigBuilder {
+    /// Rank bound `r` (must be ≥ 1).
+    pub fn rank(mut self, rank: usize) -> Self {
+        self.cfg.rank = rank;
+        self
+    }
+
+    /// Tradeoff coefficient `λ` (must be finite and non-negative).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.cfg.lambda = lambda;
+        self
+    }
+
+    /// Sweep budget `t` (must be ≥ 1).
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.cfg.iterations = iterations;
+        self
+    }
+
+    /// Inner ridge solver backend.
+    pub fn solver(mut self, solver: RidgeSolver) -> Self {
+        self.cfg.solver = solver;
+        self
+    }
+
+    /// Initialization of `L`.
+    pub fn init(mut self, init: Initialization) -> Self {
+        self.cfg.init = init;
+        self
+    }
+
+    /// Early-stop tolerance (must be finite and non-negative; `0.0`
+    /// disables early stopping).
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.cfg.tol = tol;
+        self
+    }
+
+    /// Seed for the random initialization.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Worker threads (`0` = pool default, `1` = sequential).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.cfg.num_threads = num_threads;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the first offending field.
+    pub fn build(self) -> Result<CsConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 

@@ -1,0 +1,133 @@
+//! One error type for the whole crate.
+//!
+//! The algorithms keep their precise error enums ([`CsError`],
+//! [`MssaError`], [`EstimateError`], …) — callers that match on failure
+//! modes still can — but every public entry point can also surface as
+//! the single [`enum@Error`], so downstream code (the CLI, the service
+//! loop, the experiment harness) handles one type, converts with `?`,
+//! and maps to exit codes in exactly one place.
+
+use crate::baselines::MssaError;
+use crate::cs::CsError;
+use crate::estimator::EstimateError;
+use crate::service::ServeError;
+
+/// A rejected configuration parameter, produced by the validated
+/// builders ([`crate::cs::CsConfig::builder`] and friends) and by
+/// constructors that refuse degenerate inputs instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    /// Which parameter was rejected (e.g. `"rank"`, `"window_slots"`).
+    pub field: &'static str,
+    /// Why it was rejected, in plain words.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// Convenience constructor used by the builders.
+    pub fn new(field: &'static str, reason: impl Into<String>) -> Self {
+        Self { field, reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The crate-wide error: every fallible public API converges here.
+#[derive(Debug)]
+pub enum Error {
+    /// Algorithm 1 (compressive-sensing completion) failed.
+    Cs(CsError),
+    /// The MSSA baseline failed.
+    Mssa(MssaError),
+    /// A configuration was rejected at construction time.
+    Config(ConfigError),
+    /// The streaming estimation service failed (checkpoint I/O and
+    /// format problems; solve failures inside the loop degrade instead).
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Cs(e) => write!(f, "{e}"),
+            Error::Mssa(e) => write!(f, "mssa: {e}"),
+            Error::Config(e) => write!(f, "{e}"),
+            Error::Serve(e) => write!(f, "serve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Cs(e) => Some(e),
+            Error::Mssa(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<CsError> for Error {
+    fn from(e: CsError) -> Self {
+        Error::Cs(e)
+    }
+}
+
+impl From<MssaError> for Error {
+    fn from(e: MssaError) -> Self {
+        Error::Mssa(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        Error::Serve(e)
+    }
+}
+
+impl From<EstimateError> for Error {
+    fn from(e: EstimateError) -> Self {
+        // EstimateError is itself a union of the two algorithm errors;
+        // flatten so matching on Error::Cs works no matter which API
+        // produced the failure.
+        match e {
+            EstimateError::Cs(e) => Error::Cs(e),
+            EstimateError::Mssa(e) => Error::Mssa(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_error_flattens() {
+        let e: Error = EstimateError::Cs(CsError::NoObservations).into();
+        assert!(matches!(e, Error::Cs(CsError::NoObservations)));
+        let e: Error = EstimateError::Mssa(MssaError::NoObservations).into();
+        assert!(matches!(e, Error::Mssa(MssaError::NoObservations)));
+    }
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::from(ConfigError::new("rank", "must be positive"));
+        assert_eq!(e.to_string(), "invalid rank: must be positive");
+        assert!(std::error::Error::source(&e).is_some());
+        let e = Error::from(CsError::NoIterations);
+        assert!(e.to_string().contains("iteration"));
+    }
+}

@@ -6,7 +6,7 @@
 use crate::baselines::{
     correlation_knn_impute, mssa_impute, naive_knn_impute, MssaConfig, MssaError,
 };
-use crate::cs::{complete_matrix, CsConfig, CsError};
+use crate::cs::{complete_matrix, complete_matrix_detailed, CompletionResult, CsConfig, CsError};
 use linalg::Matrix;
 use probes::Tcm;
 
@@ -124,6 +124,38 @@ impl Estimator {
             Estimator::Mssa(cfg) => Ok(mssa_impute(tcm, cfg)?),
         }
     }
+
+    /// Estimates with full solver diagnostics, in the same
+    /// [`CompletionResult`] shape for all four algorithms.
+    ///
+    /// For compressive sensing the result is exactly what
+    /// [`complete_matrix_detailed`] returns. The baselines are not
+    /// iterative factorizations, so their result carries the estimate
+    /// with a `NaN` objective, an empty trace, zero sweeps, and empty
+    /// `(0, 0)` factors — callers that only inspect `estimate` work
+    /// uniformly, while solver-aware callers can detect the difference
+    /// via `sweeps == 0`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Estimator::estimate`].
+    pub fn estimate_detailed(&self, tcm: &Tcm) -> Result<CompletionResult, EstimateError> {
+        let wrap = |estimate: Matrix| CompletionResult {
+            estimate,
+            objective: f64::NAN,
+            objective_trace: Vec::new(),
+            sweeps: 0,
+            factors: (Matrix::zeros(0, 0), Matrix::zeros(0, 0)),
+        };
+        match self {
+            Estimator::CompressiveSensing(cfg) => Ok(complete_matrix_detailed(tcm, cfg)?),
+            Estimator::NaiveKnn { k } => Ok(wrap(naive_knn_impute(tcm, *k))),
+            Estimator::CorrelationKnn { k_range } => {
+                Ok(wrap(correlation_knn_impute(tcm, *k_range)))
+            }
+            Estimator::Mssa(cfg) => Ok(wrap(mssa_impute(tcm, cfg)?)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +230,30 @@ mod tests {
         assert_eq!(EstimatorKind::NaiveKnn.to_string(), "Naive KNN");
         assert_eq!(EstimatorKind::CorrelationKnn.to_string(), "Correlation KNN");
         assert_eq!(EstimatorKind::Mssa.to_string(), "MSSA");
+    }
+
+    #[test]
+    fn estimate_detailed_is_uniform_across_algorithms() {
+        let (_, tcm) = test_case(0.5);
+        for est in [
+            Estimator::CompressiveSensing(CsConfig::default()),
+            Estimator::NaiveKnn { k: 4 },
+            Estimator::CorrelationKnn { k_range: 2 },
+            Estimator::Mssa(MssaConfig { window: 12, max_iterations: 10, ..MssaConfig::default() }),
+        ] {
+            let plain = est.estimate(&tcm).unwrap();
+            let detailed = est.estimate_detailed(&tcm).unwrap();
+            assert_eq!(detailed.estimate, plain, "{}", est.kind());
+            if est.kind() == EstimatorKind::CompressiveSensing {
+                assert!(detailed.sweeps > 0);
+                assert!(detailed.objective.is_finite());
+                assert_eq!(detailed.objective_trace.len(), detailed.sweeps);
+            } else {
+                assert_eq!(detailed.sweeps, 0, "{}", est.kind());
+                assert!(detailed.objective.is_nan(), "{}", est.kind());
+                assert!(detailed.objective_trace.is_empty(), "{}", est.kind());
+            }
+        }
     }
 
     #[test]

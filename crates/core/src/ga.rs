@@ -14,6 +14,7 @@
 //! they are fanned out over scoped threads.
 
 use crate::cs::{complete_matrix, CsConfig, CsError};
+use crate::error::ConfigError;
 use crate::metrics::nmae_on_cells;
 use linalg::Matrix;
 use probes::Tcm;
@@ -76,6 +77,151 @@ impl Default for GaConfig {
             num_threads: 0,
             seed: 1,
         }
+    }
+}
+
+impl GaConfig {
+    /// Validated construction mirroring [`CsConfig::builder`]: every
+    /// degenerate parameter combination is caught at build time.
+    ///
+    /// ```
+    /// use traffic_cs::ga::GaConfig;
+    ///
+    /// let cfg = GaConfig::builder()
+    ///     .population(8)
+    ///     .generations(4)
+    ///     .elite(2)
+    ///     .lambda_bounds(1e-2, 1e2)
+    ///     .build()?;
+    /// assert_eq!(cfg.population, 8);
+    /// assert!(GaConfig::builder().elite(99).build().is_err()); // elite > population
+    /// # Ok::<(), traffic_cs::ConfigError>(())
+    /// ```
+    pub fn builder() -> GaConfigBuilder {
+        GaConfigBuilder { cfg: GaConfig::default() }
+    }
+}
+
+/// Builder for [`GaConfig`]; see [`GaConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct GaConfigBuilder {
+    cfg: GaConfig,
+}
+
+impl GaConfigBuilder {
+    /// Population size (must be ≥ 1).
+    pub fn population(mut self, population: usize) -> Self {
+        self.cfg.population = population;
+        self
+    }
+
+    /// Generation budget (must be ≥ 1).
+    pub fn generations(mut self, generations: usize) -> Self {
+        self.cfg.generations = generations;
+        self
+    }
+
+    /// Early-stall criterion (generations without improvement).
+    pub fn stall_generations(mut self, stall: Option<usize>) -> Self {
+        self.cfg.stall_generations = stall;
+        self
+    }
+
+    /// Elite survivors per generation (must be ≥ 1 and ≤ population).
+    pub fn elite(mut self, elite: usize) -> Self {
+        self.cfg.elite = elite;
+        self
+    }
+
+    /// Search range for the rank bound (must satisfy `1 ≤ lo ≤ hi`).
+    pub fn rank_bounds(mut self, lo: usize, hi: usize) -> Self {
+        self.cfg.rank_bounds = (lo, hi);
+        self
+    }
+
+    /// Search range for `λ` (must satisfy `0 < lo ≤ hi`, both finite).
+    pub fn lambda_bounds(mut self, lo: f64, hi: f64) -> Self {
+        self.cfg.lambda_bounds = (lo, hi);
+        self
+    }
+
+    /// Fraction of observed entries held out for validation (must be in
+    /// `(0, 1)`).
+    pub fn validation_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.validation_fraction = fraction;
+        self
+    }
+
+    /// Template for the inner Algorithm-1 runs (its rank/lambda are
+    /// overridden per individual; the rest is validated like
+    /// [`CsConfig::builder`]).
+    pub fn cs(mut self, cs: CsConfig) -> Self {
+        self.cfg.cs = cs;
+        self
+    }
+
+    /// Evaluate individuals on parallel threads.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.cfg.parallel = parallel;
+        self
+    }
+
+    /// Worker threads for the chromosome fan-out.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.cfg.num_threads = num_threads;
+        self
+    }
+
+    /// Seed for population initialization and GA operators.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the first offending field.
+    pub fn build(self) -> Result<GaConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.population == 0 {
+            return Err(ConfigError::new("population", "must be at least 1"));
+        }
+        if c.generations == 0 {
+            return Err(ConfigError::new("generations", "must be at least 1"));
+        }
+        if c.elite == 0 || c.elite > c.population {
+            return Err(ConfigError::new(
+                "elite",
+                format!("{} must be in 1..={}", c.elite, c.population),
+            ));
+        }
+        let (lo_r, hi_r) = c.rank_bounds;
+        if lo_r == 0 || lo_r > hi_r {
+            return Err(ConfigError::new(
+                "rank_bounds",
+                format!("({lo_r}, {hi_r}) must satisfy 1 <= lo <= hi"),
+            ));
+        }
+        let (lo_l, hi_l) = c.lambda_bounds;
+        if !(lo_l.is_finite() && hi_l.is_finite()) || lo_l <= 0.0 || lo_l > hi_l {
+            return Err(ConfigError::new(
+                "lambda_bounds",
+                format!("({lo_l}, {hi_l}) must satisfy 0 < lo <= hi, both finite"),
+            ));
+        }
+        if !c.validation_fraction.is_finite()
+            || c.validation_fraction <= 0.0
+            || c.validation_fraction >= 1.0
+        {
+            return Err(ConfigError::new(
+                "validation_fraction",
+                format!("{} must be strictly between 0 and 1", c.validation_fraction),
+            ));
+        }
+        c.cs.validate()?;
+        Ok(self.cfg)
     }
 }
 

@@ -18,6 +18,13 @@
 //! * [`metrics`] — NMAE (Definition 2), per-entry relative errors, CDFs.
 //! * [`estimator`] — a unified [`Estimator`] enum so experiments can
 //!   sweep all four algorithms through one interface.
+//! * [`service`] — a fault-tolerant streaming estimation loop: replayed
+//!   probe reports stream into a sliding window, each closed window is
+//!   completed with warm starts, and bad input degrades counters — not
+//!   the process.
+//! * [`error`] — the crate-wide [`enum@Error`] every fallible public
+//!   API converges to, plus the [`ConfigError`] the validated builders
+//!   return instead of panicking.
 //!
 //! # Example: recover a masked low-rank matrix
 //!
@@ -46,6 +53,7 @@ pub mod anomaly;
 pub mod baselines;
 pub mod cs;
 pub mod eigenflow;
+pub mod error;
 pub mod estimator;
 pub mod ga;
 pub mod metrics;
@@ -53,8 +61,11 @@ pub mod obs;
 pub mod online;
 pub mod pca;
 pub mod selection;
+pub mod service;
 pub mod weighted;
 
 pub use cs::{complete_matrix, CsConfig, CsError};
+pub use error::{ConfigError, Error};
 pub use estimator::{Estimator, EstimatorKind};
 pub use ga::{GaConfig, GaResult};
+pub use service::{ServeConfig, ServeError, Service};

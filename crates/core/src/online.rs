@@ -16,7 +16,8 @@
 //! The data-plane companion (ingesting raw probe observations into the
 //! sliding window) is `probes::stream::StreamingTcm`.
 
-use crate::cs::{complete_matrix_warm, CompletionResult, CsConfig, CsError};
+use crate::cs::{complete_matrix_warm, CompletionResult, CsConfig};
+use crate::error::{ConfigError, Error};
 use linalg::Matrix;
 use probes::Tcm;
 
@@ -31,12 +32,12 @@ use probes::Tcm;
 /// use traffic_cs::online::OnlineEstimator;
 ///
 /// let cfg = CsConfig { rank: 2, lambda: 0.1, ..CsConfig::default() };
-/// let mut online = OnlineEstimator::new(cfg, 8);
+/// let mut online = OnlineEstimator::new(cfg, 8)?;
 /// // Feed window snapshots (e.g. from probes::stream::StreamingTcm):
 /// let window = Tcm::complete(Matrix::filled(8, 5, 30.0));
 /// let est = online.update(&window)?;
 /// assert_eq!(est.shape(), (8, 5));
-/// # Ok::<(), traffic_cs::cs::CsError>(())
+/// # Ok::<(), traffic_cs::Error>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct OnlineEstimator {
@@ -58,12 +59,56 @@ impl OnlineEstimator {
     /// The configured `tol` should be positive so warm starts can
     /// actually terminate early; [`CsConfig::default`]'s tolerance works.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `window_slots == 0`.
-    pub fn new(config: CsConfig, window_slots: usize) -> Self {
-        assert!(window_slots > 0, "window must hold at least one slot");
-        Self { config, window_slots, prev_r: None, updates: 0, total_sweeps: 0 }
+    /// [`Error::Config`] when `window_slots` is zero or the
+    /// configuration fails [`CsConfig::builder`]'s validation — bad
+    /// input is an error here, never a panic.
+    pub fn new(config: CsConfig, window_slots: usize) -> Result<Self, Error> {
+        if window_slots == 0 {
+            return Err(
+                ConfigError::new("window_slots", "window must hold at least one slot").into()
+            );
+        }
+        config.validate()?;
+        Ok(Self { config, window_slots, prev_r: None, updates: 0, total_sweeps: 0 })
+    }
+
+    /// Window height this estimator completes.
+    pub fn window_slots(&self) -> usize {
+        self.window_slots
+    }
+
+    /// The cached warm-start segment factors `R̂` of the previous solve,
+    /// if any — the state a service checkpoints so a restarted process
+    /// converges in a couple of sweeps instead of a cold `t = 100`.
+    pub fn warm_factors(&self) -> Option<&Matrix> {
+        self.prev_r.as_ref()
+    }
+
+    /// Restores warm-start factors saved by a previous process (see
+    /// [`OnlineEstimator::warm_factors`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] when `r`'s column count differs from the
+    /// configured rank — factors from a different configuration would
+    /// silently mis-seed every subsequent solve.
+    pub fn set_warm_factors(&mut self, r: Matrix) -> Result<(), Error> {
+        if r.cols() != self.config.rank || r.rows() == 0 {
+            return Err(ConfigError::new(
+                "warm_factors",
+                format!(
+                    "shape {}x{} incompatible with rank {}",
+                    r.rows(),
+                    r.cols(),
+                    self.config.rank
+                ),
+            )
+            .into());
+        }
+        self.prev_r = Some(r);
+        Ok(())
     }
 
     /// The Algorithm-1 configuration in use.
@@ -91,12 +136,12 @@ impl OnlineEstimator {
     ///
     /// # Errors
     ///
-    /// Propagates [`CsError`]; additionally rejects windows whose height
-    /// differs from the configured `window_slots` or whose segment count
-    /// changed since the previous update (the factor cache would be
-    /// meaningless — call [`OnlineEstimator::reset`] when the segment
-    /// set changes).
-    pub fn update(&mut self, window: &Tcm) -> Result<Matrix, CsError> {
+    /// Propagates [`crate::cs::CsError`] as the unified [`enum@Error`];
+    /// additionally rejects windows whose height differs from the
+    /// configured `window_slots` or whose segment count changed since
+    /// the previous update (the factor cache would be meaningless —
+    /// call [`OnlineEstimator::reset`] when the segment set changes).
+    pub fn update(&mut self, window: &Tcm) -> Result<Matrix, Error> {
         Ok(self.update_detailed(window)?.estimate)
     }
 
@@ -105,19 +150,29 @@ impl OnlineEstimator {
     /// # Errors
     ///
     /// See [`OnlineEstimator::update`].
-    pub fn update_detailed(&mut self, window: &Tcm) -> Result<CompletionResult, CsError> {
+    pub fn update_detailed(&mut self, window: &Tcm) -> Result<CompletionResult, Error> {
         if window.num_slots() != self.window_slots {
-            return Err(CsError::InvalidRank {
-                rank: self.config.rank,
-                max: window.num_slots().min(window.num_segments()),
-            });
+            return Err(ConfigError::new(
+                "window",
+                format!(
+                    "snapshot is {} slots high, estimator expects {}",
+                    window.num_slots(),
+                    self.window_slots
+                ),
+            )
+            .into());
         }
         if let Some(prev) = &self.prev_r {
             if prev.rows() != window.num_segments() {
-                return Err(CsError::InvalidRank {
-                    rank: self.config.rank,
-                    max: window.num_slots().min(window.num_segments()),
-                });
+                return Err(ConfigError::new(
+                    "window",
+                    format!(
+                        "segment count changed from {} to {}; call reset()",
+                        prev.rows(),
+                        window.num_segments()
+                    ),
+                )
+                .into());
             }
         }
         let result = match &self.prev_r {
@@ -135,6 +190,16 @@ impl OnlineEstimator {
     pub fn latest_row(result: &CompletionResult) -> Vec<f64> {
         let m = result.estimate.rows();
         result.estimate.row(m - 1).to_vec()
+    }
+
+    /// Caps the per-solve sweep budget at `cap` (never raises it) — the
+    /// sweep half of the serve watchdog: once a window has been solved
+    /// cold, warm starts need only a few sweeps, so the service clamps
+    /// the budget to bound worst-case latency per tick.
+    pub fn limit_iterations(&mut self, cap: usize) {
+        if cap >= 1 {
+            self.config.iterations = self.config.iterations.min(cap);
+        }
     }
 
     /// Forgets the cached factors (call when the segment set changes).
@@ -179,7 +244,7 @@ mod tests {
 
     #[test]
     fn streaming_estimates_track_truth() {
-        let mut online = OnlineEstimator::new(cfg(), 24);
+        let mut online = OnlineEstimator::new(cfg(), 24).unwrap();
         for step in 0..6 {
             let (truth, window) = window_at(step * 4, 24, 12, 0.3, 100 + step as u64);
             let result = online.update_detailed(&window).unwrap();
@@ -211,7 +276,7 @@ mod tests {
             cold.objective
         );
         // And the estimator accumulates sweep statistics.
-        let mut online = OnlineEstimator::new(budget, 24);
+        let mut online = OnlineEstimator::new(budget, 24).unwrap();
         online.update(&w).unwrap();
         assert!(online.mean_sweeps() > 0.0);
         assert_eq!(online.updates(), 1);
@@ -232,15 +297,35 @@ mod tests {
     }
 
     #[test]
+    fn constructor_and_factor_restore_validate_input() {
+        use crate::error::Error;
+        // Bad inputs are errors, never panics.
+        assert!(matches!(OnlineEstimator::new(cfg(), 0), Err(Error::Config(_))));
+        let bad = CsConfig { rank: 0, ..cfg() };
+        assert!(matches!(OnlineEstimator::new(bad, 24), Err(Error::Config(_))));
+        // Warm-factor round trip through the checkpoint accessors.
+        let mut online = OnlineEstimator::new(cfg(), 24).unwrap();
+        assert!(online.warm_factors().is_none());
+        let (_, w) = window_at(0, 24, 12, 0.4, 11);
+        online.update(&w).unwrap();
+        let saved = online.warm_factors().unwrap().clone();
+        let mut fresh = OnlineEstimator::new(cfg(), 24).unwrap();
+        fresh.set_warm_factors(saved).unwrap();
+        assert_eq!(fresh.warm_factors(), online.warm_factors());
+        // Factors with the wrong rank are rejected.
+        assert!(fresh.set_warm_factors(Matrix::zeros(12, 7)).is_err());
+    }
+
+    #[test]
     fn wrong_window_height_rejected() {
-        let mut online = OnlineEstimator::new(cfg(), 24);
+        let mut online = OnlineEstimator::new(cfg(), 24).unwrap();
         let (_, w) = window_at(0, 12, 8, 0.5, 2);
         assert!(online.update(&w).is_err());
     }
 
     #[test]
     fn segment_count_change_requires_reset() {
-        let mut online = OnlineEstimator::new(cfg(), 24);
+        let mut online = OnlineEstimator::new(cfg(), 24).unwrap();
         let (_, w12) = window_at(0, 24, 12, 0.4, 3);
         online.update(&w12).unwrap();
         let (_, w8) = window_at(1, 24, 8, 0.4, 4);
@@ -262,8 +347,8 @@ mod tests {
         // full online pipeline of the paper's future-work sketch.
         use probes::stream::StreamingTcm;
         let n = 10;
-        let mut stream = StreamingTcm::new(0, 60, 24, n);
-        let mut online = OnlineEstimator::new(cfg(), 24);
+        let mut stream = StreamingTcm::new(0, 60, 24, n).unwrap();
+        let mut online = OnlineEstimator::new(cfg(), 24).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         use rand::RngExt;
         let mut last_err = None;

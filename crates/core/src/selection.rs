@@ -13,6 +13,7 @@
 //! different latent pattern) this dominates random selection.
 
 use crate::cs::{complete_matrix, CsConfig, CsError};
+use crate::error::ConfigError;
 use linalg::stats::pearson_masked;
 use linalg::Matrix;
 use probes::Tcm;
@@ -136,6 +137,67 @@ pub struct CvConfig {
 impl Default for CvConfig {
     fn default() -> Self {
         Self { folds: 4, cs: CsConfig::default(), seed: 7, num_threads: 0 }
+    }
+}
+
+impl CvConfig {
+    /// Validated construction mirroring [`CsConfig::builder`].
+    ///
+    /// ```
+    /// use traffic_cs::selection::CvConfig;
+    ///
+    /// let cfg = CvConfig::builder().folds(5).seed(3).build()?;
+    /// assert_eq!(cfg.folds, 5);
+    /// assert!(CvConfig::builder().folds(0).build().is_err());
+    /// # Ok::<(), traffic_cs::ConfigError>(())
+    /// ```
+    pub fn builder() -> CvConfigBuilder {
+        CvConfigBuilder { cfg: CvConfig::default() }
+    }
+}
+
+/// Builder for [`CvConfig`]; see [`CvConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct CvConfigBuilder {
+    cfg: CvConfig,
+}
+
+impl CvConfigBuilder {
+    /// Number of folds (must be ≥ 2 so there is a held-out split).
+    pub fn folds(mut self, folds: usize) -> Self {
+        self.cfg.folds = folds;
+        self
+    }
+
+    /// Template for the inner Algorithm-1 runs.
+    pub fn cs(mut self, cs: CsConfig) -> Self {
+        self.cfg.cs = cs;
+        self
+    }
+
+    /// Seed for the fold-assignment shuffle.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Worker threads for the `(k, fold)` fan-out.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.cfg.num_threads = num_threads;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the first offending field.
+    pub fn build(self) -> Result<CvConfig, ConfigError> {
+        if self.cfg.folds < 2 {
+            return Err(ConfigError::new("folds", "need at least 2 folds for a held-out split"));
+        }
+        self.cfg.cs.validate()?;
+        Ok(self.cfg)
     }
 }
 

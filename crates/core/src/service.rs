@@ -1,0 +1,820 @@
+//! Fault-tolerant streaming estimation service.
+//!
+//! [`Service`] is the control loop behind `cs-traffic-cli serve`: probe
+//! observations stream in, a sliding window of time slots is maintained
+//! ([`probes::stream::StreamingTcm`]), each closed window is completed
+//! with warm starts ([`crate::online::OnlineEstimator`]), and the latest
+//! estimate is always available to queries — even when the input is bad
+//! or a solve fails.
+//!
+//! The loop is robust **by design**, not by `catch_unwind`:
+//!
+//! * the ingest queue is bounded with an explicit [`Backpressure`]
+//!   policy — overload drops reports (counted), it never grows without
+//!   limit;
+//! * admission rules classify every report: late reports are dropped and
+//!   counted, exact re-deliveries are deduplicated last-write-wins,
+//!   malformed reports (non-finite or negative speed, unknown segment)
+//!   are rejected and counted — none of them can corrupt the window;
+//! * a per-solve watchdog caps warm-start sweeps and measures wall
+//!   clock; a failed or over-budget solve degrades gracefully to the
+//!   last good estimate with [`LiveEstimate::stale`] set instead of
+//!   taking the service down;
+//! * warm-start factors checkpoint to a text format with exact
+//!   (`f64::to_bits`) round-tripping, so a restarted process converges
+//!   in a couple of sweeps instead of a cold start.
+//!
+//! Everything the loop swallows is visible: the service keeps local
+//! [`ServeStats`] and, when metrics are enabled, increments the
+//! `serve.dropped_late` / `serve.rejected` / `serve.degraded` (plus
+//! `serve.duplicates` / `serve.queue_dropped`) counters and emits
+//! `serve.tick` / `serve.solve` spans through the `telemetry` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use traffic_cs::cs::CsConfig;
+//! use traffic_cs::service::{Observation, ServeConfig, Service};
+//!
+//! let cfg = ServeConfig::builder()
+//!     .slot_len_s(60)
+//!     .window_slots(4)
+//!     .num_segments(3)
+//!     .cs(CsConfig { rank: 2, lambda: 0.1, ..CsConfig::default() })
+//!     .build()?;
+//! let mut service = Service::new(cfg)?;
+//! for t in 0..240 {
+//!     service.push(Observation { vehicle: t, timestamp_s: t, segment: (t % 3) as usize, speed_kmh: 30.0 });
+//! }
+//! let report = service.tick();
+//! assert_eq!(report.admitted, 240);
+//! assert!(service.latest().is_some());
+//! # Ok::<(), traffic_cs::Error>(())
+//! ```
+
+use crate::cs::CsConfig;
+use crate::error::{ConfigError, Error};
+use crate::online::OnlineEstimator;
+use linalg::Matrix;
+use probes::stream::StreamingTcm;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+use telemetry::Level;
+
+/// A segment-resolved probe observation, the service's unit of ingest.
+///
+/// Map matching happens upstream (the CLI's `serve` command resolves raw
+/// GPS positions exactly like `build-tcm` does); the core loop only sees
+/// observations already tied to a segment column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Reporting vehicle — part of the deduplication key.
+    pub vehicle: u64,
+    /// Report timestamp (seconds on the service's absolute slot grid).
+    pub timestamp_s: u64,
+    /// Matched segment column.
+    pub segment: usize,
+    /// Instantaneous speed in km/h.
+    pub speed_kmh: f64,
+}
+
+/// What to do when a report arrives and the ingest queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Refuse the incoming report (the producer sees `push() == false`).
+    #[default]
+    DropNewest,
+    /// Evict the oldest queued report to make room — freshest data wins.
+    DropOldest,
+}
+
+/// Streaming-service failures: checkpoint I/O and format problems.
+///
+/// Deliberately narrow — runtime trouble inside the loop (bad reports,
+/// failed solves) *degrades* and increments counters instead of erroring,
+/// so the only way the service API fails after construction is persisting
+/// or restoring state.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Reading or writing a checkpoint file failed.
+    Io(std::io::Error),
+    /// A checkpoint's content was not valid (version mismatch, truncated
+    /// matrix, malformed hex word, …).
+    Checkpoint {
+        /// 1-based line in the checkpoint text.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            ServeError::Checkpoint { line, msg } => {
+                write!(f, "bad checkpoint (line {line}): {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Checkpoint { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Configuration of a [`Service`].
+///
+/// Construct via [`ServeConfig::builder`] for validation, or as a struct
+/// literal over [`ServeConfig::default`] (validated by
+/// [`Service::new`] anyway).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Absolute start of the slot grid, in seconds.
+    pub start_s: u64,
+    /// Slot length in seconds (the TCM granularity).
+    pub slot_len_s: u64,
+    /// Height of the sliding window, in slots.
+    pub window_slots: usize,
+    /// Number of road-segment columns.
+    pub num_segments: usize,
+    /// Algorithm-1 configuration for the window completions.
+    pub cs: CsConfig,
+    /// Ingest queue bound; pushes beyond it trigger `backpressure`.
+    pub queue_capacity: usize,
+    /// Policy when the ingest queue is full.
+    pub backpressure: Backpressure,
+    /// Sweep cap applied to solves after the first (warm starts need only
+    /// a few sweeps); `None` leaves the full `cs.iterations` budget.
+    pub warm_sweep_cap: Option<usize>,
+    /// Wall-clock budget per solve; an over-budget solve is accepted but
+    /// flagged stale and counted as degraded. `None` disables the check.
+    pub solve_budget: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            start_s: 0,
+            slot_len_s: 900,
+            window_slots: 24,
+            num_segments: 1,
+            cs: CsConfig::default(),
+            queue_capacity: 4096,
+            backpressure: Backpressure::default(),
+            warm_sweep_cap: Some(10),
+            solve_budget: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Starts a validated builder (see [`ServeConfigBuilder`]).
+    ///
+    /// ```
+    /// use traffic_cs::service::ServeConfig;
+    ///
+    /// let cfg = ServeConfig::builder().slot_len_s(60).window_slots(8).num_segments(5).build()?;
+    /// assert_eq!(cfg.window_slots, 8);
+    /// assert!(ServeConfig::builder().window_slots(0).build().is_err());
+    /// # Ok::<(), traffic_cs::ConfigError>(())
+    /// ```
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { config: ServeConfig::default() }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ConfigError> {
+        if self.slot_len_s == 0 {
+            return Err(ConfigError::new("slot_len_s", "slot length must be positive"));
+        }
+        if self.window_slots == 0 {
+            return Err(ConfigError::new("window_slots", "window must hold at least one slot"));
+        }
+        if self.num_segments == 0 {
+            return Err(ConfigError::new("num_segments", "need at least one segment column"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::new("queue_capacity", "queue must hold at least one report"));
+        }
+        if self.warm_sweep_cap == Some(0) {
+            return Err(ConfigError::new("warm_sweep_cap", "sweep cap must be at least 1"));
+        }
+        self.cs.validate()
+    }
+}
+
+/// Validated builder for [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the absolute grid start in seconds.
+    pub fn start_s(mut self, v: u64) -> Self {
+        self.config.start_s = v;
+        self
+    }
+
+    /// Sets the slot length (granularity) in seconds.
+    pub fn slot_len_s(mut self, v: u64) -> Self {
+        self.config.slot_len_s = v;
+        self
+    }
+
+    /// Sets the sliding-window height in slots.
+    pub fn window_slots(mut self, v: usize) -> Self {
+        self.config.window_slots = v;
+        self
+    }
+
+    /// Sets the number of segment columns.
+    pub fn num_segments(mut self, v: usize) -> Self {
+        self.config.num_segments = v;
+        self
+    }
+
+    /// Sets the Algorithm-1 configuration used per window.
+    pub fn cs(mut self, v: CsConfig) -> Self {
+        self.config.cs = v;
+        self
+    }
+
+    /// Sets the ingest queue bound.
+    pub fn queue_capacity(mut self, v: usize) -> Self {
+        self.config.queue_capacity = v;
+        self
+    }
+
+    /// Sets the policy applied when the ingest queue is full.
+    pub fn backpressure(mut self, v: Backpressure) -> Self {
+        self.config.backpressure = v;
+        self
+    }
+
+    /// Caps sweeps on warm solves (`None` disables the cap).
+    pub fn warm_sweep_cap(mut self, v: Option<usize>) -> Self {
+        self.config.warm_sweep_cap = v;
+        self
+    }
+
+    /// Sets the per-solve wall-clock budget (`None` disables the check).
+    pub fn solve_budget(mut self, v: Option<Duration>) -> Self {
+        self.config.solve_budget = v;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending field.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// The service's current answer to "what is traffic like right now?".
+#[derive(Debug, Clone)]
+pub struct LiveEstimate {
+    /// Completed window estimate, `window_slots × num_segments`.
+    pub estimate: Matrix,
+    /// Absolute slot index of the estimate's last row.
+    pub head_slot: usize,
+    /// Simulated clock (max timestamp ingested) when this was solved.
+    pub solved_at_s: u64,
+    /// `true` when the estimate is degraded: the solve that should have
+    /// replaced it failed, or the producing solve blew its wall-clock
+    /// budget.
+    pub stale: bool,
+    /// ALS sweeps the producing solve used.
+    pub sweeps: usize,
+    /// Final objective value of the producing solve.
+    pub objective: f64,
+}
+
+impl LiveEstimate {
+    /// The freshest estimated speeds (the last row), the live traffic
+    /// map a query consumer typically wants.
+    pub fn latest_row(&self) -> &[f64] {
+        self.estimate.row(self.estimate.rows() - 1)
+    }
+}
+
+/// Everything the loop counted — mirrors the telemetry counters so tests
+/// and callers without a metrics sink can still observe behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Reports admitted into the window.
+    pub admitted: u64,
+    /// Malformed reports rejected (bad speed / unknown segment).
+    pub rejected: u64,
+    /// Reports dropped because their slot already left the window.
+    pub dropped_late: u64,
+    /// Exact re-deliveries deduplicated last-write-wins.
+    pub duplicates: u64,
+    /// Reports dropped by queue backpressure before admission.
+    pub queue_dropped: u64,
+    /// Solves completed successfully (including over-budget ones).
+    pub solves: u64,
+    /// Solve failures and budget overruns.
+    pub degraded: u64,
+}
+
+/// Outcome of one [`Service::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TickReport {
+    /// Reports admitted this tick.
+    pub admitted: usize,
+    /// Reports rejected as malformed this tick.
+    pub rejected: usize,
+    /// Reports dropped as late this tick.
+    pub dropped_late: usize,
+    /// Duplicates resolved last-write-wins this tick.
+    pub duplicates: usize,
+    /// Whether a solve ran (successfully) this tick.
+    pub solved: bool,
+    /// Whether this tick degraded (solve failed or blew its budget).
+    pub degraded: bool,
+}
+
+/// The streaming estimation loop. See the [module docs](self).
+#[derive(Debug)]
+pub struct Service {
+    config: ServeConfig,
+    queue: VecDeque<Observation>,
+    window: StreamingTcm,
+    estimator: OnlineEstimator,
+    /// Last admitted speed per (vehicle, timestamp, segment) key —
+    /// the dedup table; pruned as slots leave the window.
+    seen: HashMap<(u64, u64, usize), f64>,
+    last_good: Option<LiveEstimate>,
+    /// Simulated clock: the maximum timestamp ingested so far.
+    clock_s: u64,
+    /// Window content changed since the last successful solve.
+    dirty: bool,
+    stats: ServeStats,
+}
+
+impl Service {
+    /// Builds the service, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] on any invalid parameter — construction never
+    /// panics on bad input.
+    pub fn new(config: ServeConfig) -> Result<Self, Error> {
+        config.validate()?;
+        let window = StreamingTcm::new(
+            config.start_s,
+            config.slot_len_s,
+            config.window_slots,
+            config.num_segments,
+        )
+        .map_err(|e| ConfigError::new("window", e.to_string()))?;
+        let estimator = OnlineEstimator::new(config.cs.clone(), config.window_slots)?;
+        Ok(Self {
+            clock_s: config.start_s,
+            config,
+            queue: VecDeque::new(),
+            window,
+            estimator,
+            seen: HashMap::new(),
+            last_good: None,
+            dirty: false,
+            stats: ServeStats::default(),
+        })
+    }
+
+    /// The validated configuration in use.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Everything the loop counted so far.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// The simulated clock: largest timestamp ingested so far.
+    pub fn clock_s(&self) -> u64 {
+        self.clock_s
+    }
+
+    /// Number of reports currently queued and not yet processed.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The current live estimate, if any window has been solved. The
+    /// [`LiveEstimate::stale`] flag tells queries whether it is degraded.
+    pub fn latest(&self) -> Option<&LiveEstimate> {
+        self.last_good.as_ref()
+    }
+
+    /// Enqueues a report. Returns `false` when backpressure refused it
+    /// (counted in [`ServeStats::queue_dropped`]); under
+    /// [`Backpressure::DropOldest`] the push itself always succeeds at
+    /// the cost of the oldest queued report.
+    pub fn push(&mut self, obs: Observation) -> bool {
+        if self.queue.len() >= self.config.queue_capacity {
+            self.stats.queue_dropped += 1;
+            if telemetry::metrics_enabled() {
+                telemetry::counter("serve.queue_dropped").incr();
+            }
+            match self.config.backpressure {
+                Backpressure::DropNewest => return false,
+                Backpressure::DropOldest => {
+                    self.queue.pop_front();
+                }
+            }
+        }
+        self.queue.push_back(obs);
+        true
+    }
+
+    /// Advances the simulated clock without data, closing (evicting)
+    /// slots that fall out of the window. Does not solve.
+    pub fn advance_clock(&mut self, now_s: u64) {
+        if now_s <= self.clock_s {
+            return;
+        }
+        self.clock_s = now_s;
+        if let Some(slot) = self.window.slot_of(now_s) {
+            if slot > self.window.head_slot() {
+                self.window.advance_to_slot(slot);
+                self.prune_seen();
+                self.dirty = true;
+            }
+        }
+    }
+
+    /// Drains the ingest queue through the admission rules, then — if
+    /// the window changed — runs one watchdogged solve. Never fails:
+    /// bad input and solve trouble become counters and staleness.
+    pub fn tick(&mut self) -> TickReport {
+        let mut span = telemetry::span(Level::Debug, "serve.tick");
+        let mut report = TickReport::default();
+        while let Some(obs) = self.queue.pop_front() {
+            self.admit(obs, &mut report);
+        }
+        self.prune_seen();
+        if self.dirty {
+            let (solved, degraded) = self.solve();
+            report.solved = solved;
+            report.degraded = degraded;
+        }
+        if span.is_enabled() {
+            span.record("admitted", report.admitted as u64);
+            span.record("rejected", report.rejected as u64);
+            span.record("late", report.dropped_late as u64);
+            span.record("solved", if report.solved { 1u64 } else { 0 });
+        }
+        report
+    }
+
+    /// Runs one solve attempt on the current window even if nothing new
+    /// arrived — the recovery path after degraded ticks, and the way to
+    /// refresh after [`Service::advance_clock`].
+    pub fn refresh(&mut self) -> TickReport {
+        self.dirty = true;
+        self.tick()
+    }
+
+    /// Applies the admission rules to one report.
+    fn admit(&mut self, obs: Observation, report: &mut TickReport) {
+        // Rule 1: malformed reports are rejected outright.
+        if !obs.speed_kmh.is_finite()
+            || obs.speed_kmh < 0.0
+            || obs.segment >= self.config.num_segments
+        {
+            self.stats.rejected += 1;
+            report.rejected += 1;
+            if telemetry::metrics_enabled() {
+                telemetry::counter("serve.rejected").incr();
+            }
+            return;
+        }
+        if obs.timestamp_s > self.clock_s {
+            self.clock_s = obs.timestamp_s;
+        }
+        // Rule 2: late reports (slot already evicted, or before the grid
+        // start) are dropped and counted.
+        let slot = self.window.slot_of(obs.timestamp_s);
+        let late = match slot {
+            None => true,
+            Some(s) => s < self.window.tail_slot(),
+        };
+        if late {
+            self.stats.dropped_late += 1;
+            report.dropped_late += 1;
+            if telemetry::metrics_enabled() {
+                telemetry::counter("serve.dropped_late").incr();
+            }
+            return;
+        }
+        // Rule 3: exact re-delivery of an admitted key — last write wins.
+        let key = (obs.vehicle, obs.timestamp_s, obs.segment);
+        if let Some(&old_speed) = self.seen.get(&key) {
+            self.stats.duplicates += 1;
+            report.duplicates += 1;
+            if telemetry::metrics_enabled() {
+                telemetry::counter("serve.duplicates").incr();
+            }
+            // The old contribution is still in the window (we checked
+            // lateness above); replace it.
+            let _ = self.window.retract(obs.timestamp_s, obs.segment, old_speed);
+        }
+        self.window
+            .observe(obs.timestamp_s, obs.segment, obs.speed_kmh)
+            .expect("validated above: segment in range, speed finite and non-negative");
+        self.seen.insert(key, obs.speed_kmh);
+        self.stats.admitted += 1;
+        report.admitted += 1;
+        if telemetry::metrics_enabled() {
+            telemetry::counter("serve.admitted").incr();
+        }
+        self.dirty = true;
+    }
+
+    /// Drops dedup entries whose slot left the window.
+    fn prune_seen(&mut self) {
+        let tail = self.window.tail_slot();
+        let start = self.config.start_s;
+        let slot_len = self.config.slot_len_s;
+        self.seen.retain(|&(_, ts, _), _| match ts.checked_sub(start) {
+            Some(d) => (d / slot_len) as usize >= tail,
+            None => false,
+        });
+    }
+
+    /// One watchdogged solve. Returns `(solved, degraded)`.
+    fn solve(&mut self) -> (bool, bool) {
+        let snapshot = self.window.snapshot();
+        let mut span = telemetry::span(Level::Debug, "serve.solve");
+        let t0 = Instant::now();
+        let outcome = self.estimator.update_detailed(&snapshot);
+        let wall = t0.elapsed();
+        match outcome {
+            Ok(result) => {
+                self.dirty = false;
+                self.stats.solves += 1;
+                if telemetry::metrics_enabled() {
+                    telemetry::counter("serve.solves").incr();
+                }
+                // Watchdog, sweep half: after a successful (possibly
+                // cold) solve, clamp subsequent warm solves.
+                if let Some(cap) = self.config.warm_sweep_cap {
+                    self.estimator.limit_iterations(cap);
+                }
+                // Watchdog, wall-clock half: accept the estimate but
+                // flag it stale when the solve blew its budget.
+                let over_budget = self.config.solve_budget.is_some_and(|budget| wall > budget);
+                if over_budget {
+                    self.stats.degraded += 1;
+                    if telemetry::metrics_enabled() {
+                        telemetry::counter("serve.degraded").incr();
+                    }
+                }
+                if span.is_enabled() {
+                    span.record("sweeps", result.sweeps as u64);
+                    span.record("objective", result.objective);
+                    span.record("over_budget", if over_budget { 1u64 } else { 0 });
+                }
+                self.last_good = Some(LiveEstimate {
+                    estimate: result.estimate,
+                    head_slot: self.window.head_slot(),
+                    solved_at_s: self.clock_s,
+                    stale: over_budget,
+                    sweeps: result.sweeps,
+                    objective: result.objective,
+                });
+                (true, over_budget)
+            }
+            Err(err) => {
+                // Degrade: keep answering from the last good estimate,
+                // now explicitly stale. The window stays dirty so the
+                // next tick retries.
+                self.stats.degraded += 1;
+                if telemetry::metrics_enabled() {
+                    telemetry::counter("serve.degraded").incr();
+                }
+                if span.is_enabled() {
+                    span.record("error", err.to_string());
+                }
+                if let Some(last) = &mut self.last_good {
+                    last.stale = true;
+                }
+                (false, true)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Serializes the warm-start state to the versioned text format.
+    ///
+    /// Matrix entries are written as `f64::to_bits` hex words, so a
+    /// restore reproduces the factors bit-for-bit and the restarted
+    /// solver behaves exactly like the uninterrupted one.
+    pub fn checkpoint(&self) -> String {
+        let mut out = String::from("cs-serve-checkpoint v1\n");
+        out.push_str(&format!("clock {}\n", self.clock_s));
+        out.push_str(&format!("head_slot {}\n", self.window.head_slot()));
+        match self.estimator.warm_factors() {
+            None => out.push_str("factors none\n"),
+            Some(r) => {
+                out.push_str(&format!("factors {} {}\n", r.rows(), r.cols()));
+                for i in 0..r.rows() {
+                    let words: Vec<String> =
+                        r.row(i).iter().map(|v| format!("{:016x}", v.to_bits())).collect();
+                    out.push_str(&words.join(" "));
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Restores warm-start state produced by [`Service::checkpoint`].
+    ///
+    /// Only the solver state is restored — the window refills from the
+    /// replayed stream. The clock advances to the checkpointed value so
+    /// slot eviction picks up where the previous process stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Checkpoint`] (wrapped in the unified
+    /// [`enum@Error`]) on version mismatch or malformed content;
+    /// [`Error::Config`] when the factors do not fit this service's
+    /// configured rank.
+    pub fn restore(&mut self, text: &str) -> Result<(), Error> {
+        let bad = |line: usize, msg: &str| -> Error {
+            ServeError::Checkpoint { line, msg: msg.to_string() }.into()
+        };
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| bad(1, "empty checkpoint"))?;
+        if header.trim() != "cs-serve-checkpoint v1" {
+            return Err(bad(1, "not a cs-serve-checkpoint v1 file"));
+        }
+        let (_, clock_line) = lines.next().ok_or_else(|| bad(2, "missing clock line"))?;
+        let clock = clock_line
+            .strip_prefix("clock ")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .ok_or_else(|| bad(2, "malformed clock line"))?;
+        let (_, head_line) = lines.next().ok_or_else(|| bad(3, "missing head_slot line"))?;
+        head_line
+            .strip_prefix("head_slot ")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .ok_or_else(|| bad(3, "malformed head_slot line"))?;
+        let (_, factors_line) = lines.next().ok_or_else(|| bad(4, "missing factors line"))?;
+        let spec = factors_line
+            .strip_prefix("factors ")
+            .ok_or_else(|| bad(4, "malformed factors line"))?
+            .trim();
+        if spec != "none" {
+            let mut dims = spec.split_whitespace();
+            let rows: usize = dims
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad(4, "malformed factor rows"))?;
+            let cols: usize = dims
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad(4, "malformed factor cols"))?;
+            let mut r = Matrix::zeros(rows, cols);
+            for i in 0..rows {
+                let (line_no, row_line) =
+                    lines.next().ok_or_else(|| bad(5 + i, "truncated factor matrix"))?;
+                let mut words = row_line.split_whitespace();
+                for j in 0..cols {
+                    let word = words.next().ok_or_else(|| bad(line_no + 1, "short factor row"))?;
+                    let bits = u64::from_str_radix(word, 16)
+                        .map_err(|_| bad(line_no + 1, "malformed hex word"))?;
+                    r.set(i, j, f64::from_bits(bits));
+                }
+                if words.next().is_some() {
+                    return Err(bad(line_no + 1, "trailing values in factor row"));
+                }
+            }
+            self.estimator.set_warm_factors(r)?;
+        }
+        self.advance_clock(clock);
+        Ok(())
+    }
+
+    /// Writes [`Service::checkpoint`] to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on filesystem failure.
+    pub fn save_checkpoint(&self, path: &std::path::Path) -> Result<(), Error> {
+        std::fs::write(path, self.checkpoint()).map_err(ServeError::Io)?;
+        Ok(())
+    }
+
+    /// Reads and applies a checkpoint file written by
+    /// [`Service::save_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on filesystem failure, plus everything
+    /// [`Service::restore`] rejects.
+    pub fn load_checkpoint(&mut self, path: &std::path::Path) -> Result<(), Error> {
+        let text = std::fs::read_to_string(path).map_err(ServeError::Io)?;
+        self.restore(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig::builder()
+            .slot_len_s(60)
+            .window_slots(4)
+            .num_segments(3)
+            .cs(CsConfig { rank: 2, lambda: 0.1, ..CsConfig::default() })
+            .build()
+            .unwrap()
+    }
+
+    fn obs(vehicle: u64, timestamp_s: u64, segment: usize, speed_kmh: f64) -> Observation {
+        Observation { vehicle, timestamp_s, segment, speed_kmh }
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(ServeConfig::builder().window_slots(0).build().is_err());
+        assert!(ServeConfig::builder().slot_len_s(0).build().is_err());
+        assert!(ServeConfig::builder().num_segments(0).build().is_err());
+        assert!(ServeConfig::builder().queue_capacity(0).build().is_err());
+        assert!(ServeConfig::builder().warm_sweep_cap(Some(0)).build().is_err());
+        let bad_cs = CsConfig { rank: 0, ..CsConfig::default() };
+        assert!(ServeConfig::builder().cs(bad_cs).build().is_err());
+        // Service::new validates struct literals too.
+        let cfg = ServeConfig { window_slots: 0, ..ServeConfig::default() };
+        assert!(matches!(Service::new(cfg), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn backpressure_policies() {
+        let cfg = ServeConfig { queue_capacity: 2, ..small_cfg() };
+        let mut s = Service::new(cfg).unwrap();
+        assert!(s.push(obs(1, 0, 0, 30.0)));
+        assert!(s.push(obs(2, 1, 0, 31.0)));
+        assert!(!s.push(obs(3, 2, 0, 32.0)), "DropNewest refuses when full");
+        assert_eq!(s.stats().queue_dropped, 1);
+        assert_eq!(s.queue_len(), 2);
+
+        let cfg = ServeConfig {
+            queue_capacity: 2,
+            backpressure: Backpressure::DropOldest,
+            ..small_cfg()
+        };
+        let mut s = Service::new(cfg).unwrap();
+        s.push(obs(1, 0, 0, 30.0));
+        s.push(obs(2, 1, 0, 31.0));
+        assert!(s.push(obs(3, 2, 0, 32.0)), "DropOldest admits the newest");
+        assert_eq!(s.stats().queue_dropped, 1);
+        let report = s.tick();
+        // Vehicle 1's report was evicted before processing.
+        assert_eq!(report.admitted, 2);
+    }
+
+    #[test]
+    fn checkpoint_rejects_garbage() {
+        let mut s = Service::new(small_cfg()).unwrap();
+        for text in [
+            "",
+            "something else\n",
+            "cs-serve-checkpoint v1\n",
+            "cs-serve-checkpoint v1\nclock x\n",
+            "cs-serve-checkpoint v1\nclock 5\nhead_slot 3\nfactors 2 2\ndeadbeef\n",
+            "cs-serve-checkpoint v1\nclock 5\nhead_slot 3\nfactors 1 1\nnothex0000000000\n",
+        ] {
+            let err = s.restore(text).unwrap_err();
+            assert!(matches!(err, Error::Serve(ServeError::Checkpoint { .. })), "{text:?}: {err}");
+        }
+        // Factors with the wrong rank surface as a config error.
+        let text = "cs-serve-checkpoint v1\nclock 0\nhead_slot 3\nfactors 1 7\n\
+                    0000000000000000 0000000000000000 0000000000000000 0000000000000000 \
+                    0000000000000000 0000000000000000 0000000000000000\n";
+        assert!(matches!(s.restore(text), Err(Error::Config(_))));
+    }
+}

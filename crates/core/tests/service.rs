@@ -1,0 +1,450 @@
+//! Integration tests for the streaming estimation service: deterministic
+//! replay parity against the offline pipeline, thread-count invariance,
+//! and fault injection that must degrade counters — never the process.
+
+use probes::tcm::TcmBuilder;
+use traffic_cs::cs::{complete_matrix_detailed, CsConfig};
+use traffic_cs::service::{Backpressure, Observation, ServeConfig, Service};
+use traffic_cs::Error;
+
+const SLOT_LEN: u64 = 60;
+const SEGMENTS: usize = 8;
+
+fn cs_cfg(threads: usize) -> CsConfig {
+    CsConfig { rank: 2, lambda: 0.1, num_threads: threads, ..CsConfig::default() }
+}
+
+/// Deterministic synthetic probe stream: low-rank "traffic" sampled by a
+/// hash-scattered subset of (slot, segment, vehicle) triples. No RNG —
+/// replays are bit-identical across runs and thread counts.
+fn synth_observations(slots: usize) -> Vec<Observation> {
+    let mut out = Vec::new();
+    for slot in 0..slots {
+        for seg in 0..SEGMENTS {
+            for probe in 0..3u64 {
+                // Scatter ~60% coverage deterministically.
+                let h = (slot as u64)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(seg as u64 * 97 + probe * 131);
+                if h % 10 < 6 {
+                    let f = (2.0 * std::f64::consts::PI * slot as f64 / 24.0).sin();
+                    let speed = 30.0 + 3.0 * (seg % 5) as f64 + 9.0 * f + 0.1 * probe as f64;
+                    out.push(Observation {
+                        vehicle: 100 * probe + seg as u64,
+                        timestamp_s: slot as u64 * SLOT_LEN + 7 + probe,
+                        segment: seg,
+                        speed_kmh: speed,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn serve_cfg(window_slots: usize, threads: usize) -> ServeConfig {
+    ServeConfig::builder()
+        .slot_len_s(SLOT_LEN)
+        .window_slots(window_slots)
+        .num_segments(SEGMENTS)
+        .cs(cs_cfg(threads))
+        .queue_capacity(10_000)
+        .build()
+        .unwrap()
+}
+
+/// Replays observations through a service in chunks, ticking per chunk.
+fn replay(cfg: ServeConfig, observations: &[Observation], chunk: usize) -> Service {
+    let mut service = Service::new(cfg).unwrap();
+    for batch in observations.chunks(chunk.max(1)) {
+        for &o in batch {
+            assert!(service.push(o));
+        }
+        service.tick();
+    }
+    service
+}
+
+#[test]
+fn replay_matches_offline_estimate_bit_for_bit() {
+    // With the window sized to the full replay, the service's final
+    // window is the offline TCM and its solve is cold — so the streamed
+    // pipeline must reproduce the offline `build-tcm | estimate` result
+    // exactly, at any thread count and any chunking.
+    let slots = 12;
+    let observations = synth_observations(slots);
+
+    // Offline reference: batch TCM + detailed completion.
+    let mut builder = TcmBuilder::new(slots, SEGMENTS);
+    for o in &observations {
+        builder
+            .add_observation((o.timestamp_s / SLOT_LEN) as usize, o.segment, o.speed_kmh)
+            .unwrap();
+    }
+    let offline_tcm = builder.build();
+    let offline = complete_matrix_detailed(&offline_tcm, &cs_cfg(0)).unwrap();
+
+    // Single tick => the one solve is cold, exactly like the offline
+    // pipeline; chunked replays warm-start between ticks, so they are
+    // compared across thread counts instead (determinism), not against
+    // the cold reference.
+    for threads in [1usize, 4] {
+        let service = replay(serve_cfg(slots, threads), &observations, observations.len());
+        let live = service.latest().expect("replay produced an estimate");
+        assert!(!live.stale);
+        assert_eq!(
+            live.estimate.as_slice(),
+            offline.estimate.as_slice(),
+            "threads={threads}: streamed estimate diverged from offline"
+        );
+        assert_eq!(service.stats().admitted, observations.len() as u64);
+        assert_eq!(service.stats().rejected, 0);
+        assert_eq!(service.stats().dropped_late, 0);
+    }
+    for chunk in [1usize, 17] {
+        let a = replay(serve_cfg(slots, 1), &observations, chunk);
+        let b = replay(serve_cfg(slots, 4), &observations, chunk);
+        assert_eq!(
+            a.latest().unwrap().estimate.as_slice(),
+            b.latest().unwrap().estimate.as_slice(),
+            "chunk={chunk}: incremental replay must be thread-invariant"
+        );
+    }
+}
+
+#[test]
+fn multi_window_replay_is_thread_invariant_and_window_exact() {
+    // Sliding window smaller than the replay: solves are warm-started,
+    // so they differ from offline cold solves by design — but the final
+    // *window content* must equal the offline TCM's last rows exactly,
+    // and the estimate stream must be bit-identical across thread counts.
+    let slots = 12;
+    let window = 4;
+    let observations = synth_observations(slots);
+
+    let s1 = replay(serve_cfg(window, 1), &observations, 9);
+    let s4 = replay(serve_cfg(window, 4), &observations, 9);
+    let e1 = s1.latest().unwrap();
+    let e4 = s4.latest().unwrap();
+    assert_eq!(e1.estimate.as_slice(), e4.estimate.as_slice(), "thread parity violated");
+    assert_eq!(e1.head_slot, slots - 1);
+
+    // Window-content parity with the offline TCM.
+    let mut builder = TcmBuilder::new(slots, SEGMENTS);
+    for o in &observations {
+        builder
+            .add_observation((o.timestamp_s / SLOT_LEN) as usize, o.segment, o.speed_kmh)
+            .unwrap();
+    }
+    let offline_window = builder.build().slot_range(slots - window, slots);
+    // A single-tick replay cold-solves exactly the final window, so it
+    // must agree bit-for-bit with the offline solve of those rows.
+    let window_solver = replay(serve_cfg(window, 1), &observations, usize::MAX);
+    assert_eq!(window_solver.latest().unwrap().estimate.shape(), (window, SEGMENTS));
+    let offline_solve = complete_matrix_detailed(&offline_window, &cs_cfg(0)).unwrap();
+    assert_eq!(
+        window_solver.latest().unwrap().estimate.as_slice(),
+        offline_solve.estimate.as_slice(),
+        "single-tick replay over a sliding window must cold-solve the same final window"
+    );
+}
+
+#[test]
+fn fault_injection_degrades_counters_not_the_process() {
+    let mut service = Service::new(serve_cfg(4, 1)).unwrap();
+
+    // Healthy traffic first.
+    for &o in &synth_observations(4) {
+        service.push(o);
+    }
+    let report = service.tick();
+    assert!(report.solved);
+    let baseline = service.latest().unwrap().estimate.clone();
+
+    // Malformed: NaN / infinite / negative speeds, unknown segment.
+    service.push(Observation { vehicle: 1, timestamp_s: 200, segment: 0, speed_kmh: f64::NAN });
+    service.push(Observation {
+        vehicle: 1,
+        timestamp_s: 201,
+        segment: 0,
+        speed_kmh: f64::INFINITY,
+    });
+    service.push(Observation { vehicle: 1, timestamp_s: 202, segment: 0, speed_kmh: -3.0 });
+    service.push(Observation { vehicle: 1, timestamp_s: 203, segment: 99, speed_kmh: 30.0 });
+    let report = service.tick();
+    assert_eq!(report.rejected, 4);
+    assert_eq!(service.stats().rejected, 4);
+
+    // Late: advance the clock far, then send an evicted-slot report.
+    service.push(Observation {
+        vehicle: 2,
+        timestamp_s: 100 * SLOT_LEN,
+        segment: 0,
+        speed_kmh: 30.0,
+    });
+    service.push(Observation { vehicle: 2, timestamp_s: 0, segment: 0, speed_kmh: 30.0 });
+    let report = service.tick();
+    assert_eq!(report.dropped_late, 1);
+    assert!(service.stats().dropped_late >= 1);
+
+    // Duplicates: exact re-delivery resolves last-write-wins.
+    let ts = 100 * SLOT_LEN + 5;
+    service.push(Observation { vehicle: 3, timestamp_s: ts, segment: 1, speed_kmh: 50.0 });
+    service.tick();
+    service.push(Observation { vehicle: 3, timestamp_s: ts, segment: 1, speed_kmh: 40.0 });
+    let report = service.tick();
+    assert_eq!(report.duplicates, 1);
+    assert_eq!(service.stats().duplicates, 1);
+
+    // The service kept answering through all of it.
+    assert!(service.latest().is_some());
+    assert_ne!(baseline.as_slice(), service.latest().unwrap().estimate.as_slice());
+}
+
+#[test]
+fn duplicate_redelivery_is_last_write_wins() {
+    // One vehicle, one slot: the re-delivered speed fully replaces the
+    // original contribution rather than averaging with it.
+    let mut service = Service::new(serve_cfg(2, 1)).unwrap();
+    service.push(Observation { vehicle: 9, timestamp_s: 10, segment: 0, speed_kmh: 50.0 });
+    service.push(Observation { vehicle: 9, timestamp_s: 10, segment: 0, speed_kmh: 30.0 });
+    service.tick();
+    let live = service.latest().unwrap();
+    // Fully-observed single cell in row 0: the estimate there must track
+    // the corrected 30, not the 40 average.
+    assert!(
+        (live.estimate.get(0, 0) - 30.0).abs() < 1.0,
+        "expected last-write-wins near 30, got {}",
+        live.estimate.get(0, 0)
+    );
+    assert_eq!(service.stats().duplicates, 1);
+}
+
+#[test]
+fn solve_failure_keeps_last_good_estimate_with_staleness_flag() {
+    let mut service = Service::new(serve_cfg(4, 1)).unwrap();
+    for &o in &synth_observations(4) {
+        service.push(o);
+    }
+    assert!(service.tick().solved);
+    assert!(!service.latest().unwrap().stale);
+
+    // Force a solve failure: jump the clock so far that the window is
+    // completely empty — Algorithm 1 has no observations to fit.
+    service.advance_clock(10_000 * SLOT_LEN);
+    let report = service.refresh();
+    assert!(!report.solved);
+    assert!(report.degraded);
+    assert_eq!(service.stats().degraded, 1);
+
+    // Still answering: last good estimate, now flagged stale.
+    let live = service.latest().expect("service must keep answering");
+    assert!(live.stale, "degraded estimate must carry the staleness flag");
+
+    // Repeated failures keep degrading gracefully, never wedge.
+    for _ in 0..3 {
+        let r = service.refresh();
+        assert!(r.degraded);
+    }
+    assert_eq!(service.stats().degraded, 4);
+
+    // Recovery: fresh in-window data produces a fresh, non-stale answer.
+    let base = 10_000 * SLOT_LEN;
+    for seg in 0..SEGMENTS {
+        for p in 0..3u64 {
+            service.push(Observation {
+                vehicle: p * 100 + seg as u64,
+                timestamp_s: base + p,
+                segment: seg,
+                speed_kmh: 25.0 + seg as f64 + p as f64,
+            });
+        }
+    }
+    let report = service.tick();
+    assert!(report.solved, "service must recover once valid data returns");
+    assert!(!service.latest().unwrap().stale);
+}
+
+#[test]
+fn unsolvable_configuration_never_wedges_the_loop() {
+    // rank > min(window, segments): every solve fails. The service must
+    // keep classifying input and counting degradations indefinitely.
+    let cfg = ServeConfig::builder()
+        .slot_len_s(SLOT_LEN)
+        .window_slots(2)
+        .num_segments(3)
+        .cs(CsConfig { rank: 5, lambda: 0.1, ..CsConfig::default() })
+        .build()
+        .unwrap();
+    let mut service = Service::new(cfg).unwrap();
+    for round in 0..5u64 {
+        service.push(Observation {
+            vehicle: round,
+            timestamp_s: round * SLOT_LEN,
+            segment: (round % 3) as usize,
+            speed_kmh: 30.0,
+        });
+        let report = service.tick();
+        assert!(!report.solved);
+        assert!(report.degraded);
+    }
+    assert_eq!(service.stats().degraded, 5);
+    assert_eq!(service.stats().admitted, 5);
+    assert!(service.latest().is_none(), "no good estimate ever existed");
+}
+
+#[test]
+fn zero_wall_clock_budget_flags_every_solve_stale() {
+    let cfg = ServeConfig { solve_budget: Some(std::time::Duration::ZERO), ..serve_cfg(4, 1) };
+    let mut service = Service::new(cfg).unwrap();
+    for &o in &synth_observations(4) {
+        service.push(o);
+    }
+    let report = service.tick();
+    // The solve succeeded — but blew the (impossible) budget.
+    assert!(report.solved);
+    assert!(report.degraded);
+    let live = service.latest().unwrap();
+    assert!(live.stale);
+    assert_eq!(service.stats().degraded, 1);
+    assert_eq!(service.stats().solves, 1);
+}
+
+#[test]
+fn warm_sweep_cap_bounds_steady_state_latency() {
+    let capped = ServeConfig { warm_sweep_cap: Some(2), ..serve_cfg(4, 1) };
+    let mut service = Service::new(capped).unwrap();
+    let observations = synth_observations(12);
+    let mut max_warm_sweeps = 0;
+    let mut first = true;
+    for batch in observations.chunks(24) {
+        for &o in batch {
+            service.push(o);
+        }
+        let report = service.tick();
+        if report.solved && !first {
+            max_warm_sweeps = max_warm_sweeps.max(service.latest().unwrap().sweeps);
+        }
+        first = false;
+    }
+    assert!(service.stats().solves >= 2, "need warm solves to exercise the cap");
+    assert!(max_warm_sweeps <= 2, "sweep cap violated: {max_warm_sweeps}");
+}
+
+#[test]
+fn checkpoint_restore_reproduces_the_uninterrupted_stream() {
+    let observations = synth_observations(12);
+    let (first_half, second_half) = observations.split_at(observations.len() / 2);
+
+    // Disable the sweep cap so both runs solve with identical budgets
+    // (the uninterrupted run has an extra successful solve behind it,
+    // which would otherwise have armed the cap).
+    let cfg = || ServeConfig { warm_sweep_cap: None, ..serve_cfg(4, 1) };
+
+    // Uninterrupted service over the full stream.
+    let mut uninterrupted = Service::new(cfg()).unwrap();
+    for &o in first_half {
+        uninterrupted.push(o);
+    }
+    uninterrupted.tick();
+    for &o in second_half {
+        uninterrupted.push(o);
+    }
+    uninterrupted.tick();
+
+    // Interrupted service: checkpoint after the first half, restore into
+    // a fresh process, replay the full stream (the window refills; the
+    // warm factors come from the checkpoint — bit-exact hex round trip).
+    let mut before_crash = Service::new(cfg()).unwrap();
+    for &o in first_half {
+        before_crash.push(o);
+    }
+    before_crash.tick();
+    let snapshot = before_crash.checkpoint();
+
+    let mut restarted = Service::new(cfg()).unwrap();
+    restarted.restore(&snapshot).unwrap();
+    // Refill the window exactly as a restarted replay would.
+    for &o in &observations {
+        restarted.push(o);
+    }
+    restarted.tick();
+
+    assert_eq!(
+        uninterrupted.latest().unwrap().estimate.as_slice(),
+        restarted.latest().unwrap().estimate.as_slice(),
+        "restored warm start must reproduce the uninterrupted estimate bit-for-bit"
+    );
+}
+
+#[test]
+fn checkpoint_file_round_trip_and_io_errors() {
+    let dir = std::env::temp_dir().join("cs-serve-ckpt-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serve.ckpt");
+
+    let mut service = Service::new(serve_cfg(4, 1)).unwrap();
+    for &o in &synth_observations(6) {
+        service.push(o);
+    }
+    service.tick();
+    service.save_checkpoint(&path).unwrap();
+
+    let mut restored = Service::new(serve_cfg(4, 1)).unwrap();
+    restored.load_checkpoint(&path).unwrap();
+    assert_eq!(restored.clock_s(), service.clock_s());
+
+    // Missing file surfaces as a typed I/O error, not a panic.
+    let missing = dir.join("does-not-exist.ckpt");
+    let mut fresh = Service::new(serve_cfg(4, 1)).unwrap();
+    assert!(matches!(
+        fresh.load_checkpoint(&missing),
+        Err(Error::Serve(traffic_cs::ServeError::Io(_)))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn queue_backpressure_under_burst_load() {
+    let cfg = ServeConfig {
+        queue_capacity: 16,
+        backpressure: Backpressure::DropOldest,
+        ..serve_cfg(4, 1)
+    };
+    let mut service = Service::new(cfg).unwrap();
+    let observations = synth_observations(4);
+    let burst = observations.len();
+    for &o in &observations {
+        service.push(o);
+    }
+    assert_eq!(service.queue_len(), 16, "queue must stay bounded");
+    assert_eq!(service.stats().queue_dropped as usize, burst - 16);
+    let report = service.tick();
+    assert_eq!(report.admitted, 16);
+    assert!(service.latest().is_some());
+}
+
+#[test]
+fn estimate_matches_window_average_where_fully_observed() {
+    // Sanity: a fully observed window cell is reproduced closely by the
+    // completion (the estimate is a low-rank fit, not interpolation, so
+    // allow fit error).
+    let mut service = Service::new(serve_cfg(4, 1)).unwrap();
+    for slot in 0..4u64 {
+        for seg in 0..SEGMENTS {
+            service.push(Observation {
+                vehicle: seg as u64,
+                timestamp_s: slot * SLOT_LEN,
+                segment: seg,
+                speed_kmh: 40.0,
+            });
+        }
+    }
+    service.tick();
+    let live = service.latest().unwrap();
+    for v in live.estimate.as_slice() {
+        // λ-regularized least squares shrinks slightly below the data.
+        assert!((v - 40.0).abs() < 0.05, "constant traffic must complete to itself: {v}");
+    }
+    assert_eq!(live.latest_row().len(), SEGMENTS);
+}

@@ -102,49 +102,54 @@ pub fn read_reports<R: BufRead>(r: R) -> Result<Vec<ProbeReport>, CsvError> {
             saw_header = true;
             continue;
         }
-        let f: Vec<&str> = line.split(',').map(str::trim).collect();
-        if f.len() != 7 {
-            return Err(CsvError::Parse {
-                line: line_no,
-                msg: format!("expected 7 fields, got {}", f.len()),
-            });
-        }
-        let err = |what: &str, e: String| CsvError::Parse {
-            line: line_no,
-            msg: format!("bad {what}: {e}"),
-        };
-        let vehicle: u32 =
-            f[0].parse().map_err(|e: std::num::ParseIntError| err("vehicle", e.to_string()))?;
-        let x: f64 =
-            f[1].parse().map_err(|e: std::num::ParseFloatError| err("x", e.to_string()))?;
-        let y: f64 =
-            f[2].parse().map_err(|e: std::num::ParseFloatError| err("y", e.to_string()))?;
-        let speed: f64 =
-            f[3].parse().map_err(|e: std::num::ParseFloatError| err("speed", e.to_string()))?;
-        let hx: f64 =
-            f[4].parse().map_err(|e: std::num::ParseFloatError| err("heading_x", e.to_string()))?;
-        let hy: f64 =
-            f[5].parse().map_err(|e: std::num::ParseFloatError| err("heading_y", e.to_string()))?;
-        let ts: u64 =
-            f[6].parse().map_err(|e: std::num::ParseIntError| err("timestamp", e.to_string()))?;
-        if !speed.is_finite() || speed < -1.0 {
-            return Err(err("speed", format!("{speed} out of range")));
-        }
-        if !(hx.is_finite() && hy.is_finite() && x.is_finite() && y.is_finite()) {
-            return Err(err("coordinates", "non-finite value".into()));
-        }
-        out.push(ProbeReport::with_heading(
-            VehicleId(vehicle),
-            Point::new(x, y),
-            speed,
-            (hx, hy),
-            ts,
-        ));
+        out.push(parse_report_record(line, line_no)?);
     }
     if !saw_header {
         return Err(CsvError::Parse { line: 0, msg: "empty file (missing header)".into() });
     }
     Ok(out)
+}
+
+/// Parses one report CSV data record (neither header, comment, nor
+/// blank — callers skip those). Streaming consumers use this directly so
+/// one malformed record can be rejected and counted without aborting the
+/// whole replay, which is exactly what [`read_reports`] does on the
+/// strict batch path.
+///
+/// # Errors
+///
+/// [`CsvError::Parse`] with `line_no` for wrong field counts, unparsable
+/// numbers, out-of-range speeds (non-finite or below −1 km/h), and
+/// non-finite coordinates or headings.
+pub fn parse_report_record(line: &str, line_no: usize) -> Result<ProbeReport, CsvError> {
+    let f: Vec<&str> = line.split(',').map(str::trim).collect();
+    if f.len() != 7 {
+        return Err(CsvError::Parse {
+            line: line_no,
+            msg: format!("expected 7 fields, got {}", f.len()),
+        });
+    }
+    let err =
+        |what: &str, e: String| CsvError::Parse { line: line_no, msg: format!("bad {what}: {e}") };
+    let vehicle: u32 =
+        f[0].parse().map_err(|e: std::num::ParseIntError| err("vehicle", e.to_string()))?;
+    let x: f64 = f[1].parse().map_err(|e: std::num::ParseFloatError| err("x", e.to_string()))?;
+    let y: f64 = f[2].parse().map_err(|e: std::num::ParseFloatError| err("y", e.to_string()))?;
+    let speed: f64 =
+        f[3].parse().map_err(|e: std::num::ParseFloatError| err("speed", e.to_string()))?;
+    let hx: f64 =
+        f[4].parse().map_err(|e: std::num::ParseFloatError| err("heading_x", e.to_string()))?;
+    let hy: f64 =
+        f[5].parse().map_err(|e: std::num::ParseFloatError| err("heading_y", e.to_string()))?;
+    let ts: u64 =
+        f[6].parse().map_err(|e: std::num::ParseIntError| err("timestamp", e.to_string()))?;
+    if !speed.is_finite() || speed < -1.0 {
+        return Err(err("speed", format!("{speed} out of range")));
+    }
+    if !(hx.is_finite() && hy.is_finite() && x.is_finite() && y.is_finite()) {
+        return Err(err("coordinates", "non-finite value".into()));
+    }
+    Ok(ProbeReport::with_heading(VehicleId(vehicle), Point::new(x, y), speed, (hx, hy), ts))
 }
 
 /// Writes a TCM as CSV: one row per time slot, one column per segment;

@@ -24,7 +24,7 @@ use linalg::Matrix;
 /// ```
 /// use probes::stream::StreamingTcm;
 ///
-/// let mut s = StreamingTcm::new(0, 900, 4, 3); // 4-slot window, 3 segments
+/// let mut s = StreamingTcm::new(0, 900, 4, 3)?; // 4-slot window, 3 segments
 /// s.observe(100, 1, 30.0)?;   // slot 0
 /// s.observe(1000, 1, 34.0)?;  // slot 1
 /// let tcm = s.snapshot();
@@ -51,20 +51,33 @@ pub struct StreamingTcm {
 impl StreamingTcm {
     /// Creates an empty window positioned at slot 0.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when any dimension is zero.
-    pub fn new(start_s: u64, slot_len_s: u64, window_slots: usize, num_segments: usize) -> Self {
-        assert!(slot_len_s > 0, "slot length must be positive");
-        assert!(window_slots > 0, "window must hold at least one slot");
-        assert!(num_segments > 0, "need at least one segment");
+    /// [`TcmError::EmptyDimension`] when any dimension is zero — a
+    /// zero-length slot, a zero-slot window, or a zero-segment network
+    /// cannot hold observations.
+    pub fn new(
+        start_s: u64,
+        slot_len_s: u64,
+        window_slots: usize,
+        num_segments: usize,
+    ) -> Result<Self, TcmError> {
+        if slot_len_s == 0 {
+            return Err(TcmError::EmptyDimension("slot length"));
+        }
+        if window_slots == 0 {
+            return Err(TcmError::EmptyDimension("window slots"));
+        }
+        if num_segments == 0 {
+            return Err(TcmError::EmptyDimension("segments"));
+        }
         let mut sums = std::collections::VecDeque::with_capacity(window_slots);
         let mut counts = std::collections::VecDeque::with_capacity(window_slots);
         for _ in 0..window_slots {
             sums.push_back(vec![0.0; num_segments]);
             counts.push_back(vec![0.0; num_segments]);
         }
-        Self {
+        Ok(Self {
             start_s,
             slot_len_s,
             window_slots,
@@ -73,7 +86,7 @@ impl StreamingTcm {
             sums,
             counts,
             dropped_late: 0,
-        }
+        })
     }
 
     /// Absolute slot index of a timestamp, or `None` before the grid
@@ -147,6 +160,51 @@ impl StreamingTcm {
         Ok(())
     }
 
+    /// Withdraws one previously admitted observation — the mechanism
+    /// behind last-write-wins deduplication: a re-delivered report's old
+    /// contribution is retracted before the replacement is observed.
+    ///
+    /// Returns `true` when the observation was still inside the window
+    /// and its contribution was removed; `false` when its slot has
+    /// already been evicted (nothing to undo). Never advances the
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range segment columns, invalid speeds, and
+    /// retracting from a cell with no recorded observations.
+    pub fn retract(
+        &mut self,
+        timestamp_s: u64,
+        segment: usize,
+        speed_kmh: f64,
+    ) -> Result<bool, TcmError> {
+        if segment >= self.num_segments {
+            return Err(TcmError::OutOfBounds { slot: 0, col: segment });
+        }
+        if !speed_kmh.is_finite() || speed_kmh < 0.0 {
+            return Err(TcmError::InvalidSpeed(speed_kmh));
+        }
+        let Some(slot) = self.slot_of(timestamp_s) else {
+            return Ok(false);
+        };
+        if slot > self.head_slot || slot < self.tail_slot() {
+            return Ok(false);
+        }
+        let row = slot - self.tail_slot();
+        if self.counts[row][segment] < 1.0 {
+            return Err(TcmError::OutOfBounds { slot, col: segment });
+        }
+        self.sums[row][segment] -= speed_kmh;
+        self.counts[row][segment] -= 1.0;
+        if self.counts[row][segment] == 0.0 {
+            // Cancel accumulated rounding so an emptied cell reads as
+            // missing, not as a denormal residue.
+            self.sums[row][segment] = 0.0;
+        }
+        Ok(true)
+    }
+
     /// Materializes the current window as a [`Tcm`] (row 0 = oldest slot
     /// in the window).
     pub fn snapshot(&self) -> Tcm {
@@ -182,7 +240,7 @@ mod tests {
 
     #[test]
     fn observations_land_in_right_slots() {
-        let mut s = StreamingTcm::new(0, 60, 5, 2);
+        let mut s = StreamingTcm::new(0, 60, 5, 2).unwrap();
         s.observe(0, 0, 10.0).unwrap();
         s.observe(59, 0, 20.0).unwrap(); // same slot -> averaged
         s.observe(60, 1, 30.0).unwrap();
@@ -194,7 +252,7 @@ mod tests {
 
     #[test]
     fn window_slides_and_evicts() {
-        let mut s = StreamingTcm::new(0, 60, 3, 1);
+        let mut s = StreamingTcm::new(0, 60, 3, 1).unwrap();
         s.observe(0, 0, 10.0).unwrap(); // slot 0
         s.observe(130, 0, 20.0).unwrap(); // slot 2 (head)
         assert_eq!(s.tail_slot(), 0);
@@ -209,7 +267,7 @@ mod tests {
 
     #[test]
     fn late_observations_counted_and_dropped() {
-        let mut s = StreamingTcm::new(600, 60, 2, 1);
+        let mut s = StreamingTcm::new(600, 60, 2, 1).unwrap();
         // Before grid start.
         s.observe(0, 0, 10.0).unwrap();
         assert_eq!(s.dropped_late(), 1);
@@ -222,7 +280,7 @@ mod tests {
 
     #[test]
     fn snapshot_counts_match() {
-        let mut s = StreamingTcm::new(0, 60, 2, 2);
+        let mut s = StreamingTcm::new(0, 60, 2, 2).unwrap();
         s.observe(0, 1, 10.0).unwrap();
         s.observe(1, 1, 20.0).unwrap();
         s.observe(2, 1, 30.0).unwrap();
@@ -234,7 +292,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        let mut s = StreamingTcm::new(0, 60, 2, 2);
+        let mut s = StreamingTcm::new(0, 60, 2, 2).unwrap();
         assert!(matches!(s.observe(0, 5, 10.0), Err(TcmError::OutOfBounds { .. })));
         assert!(matches!(s.observe(0, 0, -3.0), Err(TcmError::InvalidSpeed(_))));
         assert!(matches!(s.observe(0, 0, f64::NAN), Err(TcmError::InvalidSpeed(_))));
@@ -242,7 +300,7 @@ mod tests {
 
     #[test]
     fn advance_is_idempotent_backwards() {
-        let mut s = StreamingTcm::new(0, 60, 3, 1);
+        let mut s = StreamingTcm::new(0, 60, 3, 1).unwrap();
         s.observe(300, 0, 10.0).unwrap();
         let head = s.head_slot();
         s.advance_to_slot(1); // older than head: no-op
@@ -250,9 +308,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "window must hold")]
-    fn zero_window_panics() {
-        StreamingTcm::new(0, 60, 0, 1);
+    fn zero_dimensions_are_errors_not_panics() {
+        assert!(matches!(StreamingTcm::new(0, 60, 0, 1), Err(TcmError::EmptyDimension(_))));
+        assert!(matches!(StreamingTcm::new(0, 0, 4, 1), Err(TcmError::EmptyDimension(_))));
+        assert!(matches!(StreamingTcm::new(0, 60, 4, 0), Err(TcmError::EmptyDimension(_))));
+    }
+
+    #[test]
+    fn retract_implements_last_write_wins() {
+        let mut s = StreamingTcm::new(0, 60, 3, 2).unwrap();
+        s.observe(10, 0, 30.0).unwrap();
+        s.observe(20, 0, 50.0).unwrap();
+        // Re-delivery of the t=20 report with a corrected speed.
+        assert!(s.retract(20, 0, 50.0).unwrap());
+        s.observe(20, 0, 40.0).unwrap();
+        assert_eq!(s.snapshot().get(0, 0), Some(35.0));
+        // Retracting the only observation empties the cell entirely.
+        assert!(s.retract(10, 0, 30.0).unwrap());
+        assert!(s.retract(20, 0, 40.0).unwrap());
+        assert_eq!(s.snapshot().get(0, 0), None);
+        // Slots outside the window report false, bad cells error.
+        s.observe(10 * 60, 1, 20.0).unwrap();
+        assert!(!s.retract(10, 0, 30.0).unwrap());
+        assert!(s.retract(10 * 60, 0, 1.0).is_err(), "cell has no observations");
+        assert!(s.retract(10 * 60, 9, 1.0).is_err(), "segment out of range");
     }
 
     #[test]
@@ -260,7 +339,7 @@ mod tests {
         // Feeding the same observations into the streaming window (large
         // enough to hold everything) and the batch builder must agree.
         use crate::tcm::TcmBuilder;
-        let mut stream = StreamingTcm::new(0, 60, 10, 3);
+        let mut stream = StreamingTcm::new(0, 60, 10, 3).unwrap();
         let mut batch = TcmBuilder::new(10, 3);
         let obs = [(30u64, 0usize, 25.0), (90, 1, 35.0), (95, 1, 45.0), (540, 2, 55.0)];
         for &(t, c, v) in &obs {

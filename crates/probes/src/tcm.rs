@@ -34,6 +34,9 @@ pub enum TcmError {
     },
     /// A non-finite or negative speed was observed.
     InvalidSpeed(f64),
+    /// A construction parameter that must be positive was zero (e.g. a
+    /// zero-slot streaming window).
+    EmptyDimension(&'static str),
 }
 
 impl std::fmt::Display for TcmError {
@@ -51,6 +54,7 @@ impl std::fmt::Display for TcmError {
                 write!(f, "observation at slot {slot}, column {col} is out of bounds")
             }
             TcmError::InvalidSpeed(s) => write!(f, "invalid probe speed {s}"),
+            TcmError::EmptyDimension(what) => write!(f, "{what} must be positive"),
         }
     }
 }
@@ -184,6 +188,20 @@ impl Tcm {
         Tcm {
             values: self.values.select_columns(cols),
             indicator: self.indicator.select_columns(cols),
+        }
+    }
+
+    /// Sub-TCM over the contiguous slot range `r0..r1` (all segments) —
+    /// e.g. the last `W` rows of an offline TCM, for comparison against
+    /// a streaming window covering the same slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn slot_range(&self, r0: usize, r1: usize) -> Tcm {
+        Tcm {
+            values: self.values.submatrix(r0, r1, 0, self.num_segments()),
+            indicator: self.indicator.submatrix(r0, r1, 0, self.num_segments()),
         }
     }
 

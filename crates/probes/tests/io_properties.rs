@@ -62,3 +62,84 @@ proptest! {
         let _ = read_reports(std::io::BufReader::new(text.as_bytes()));
     }
 }
+
+mod error_paths {
+    //! Typed-error coverage of the report/TCM readers: every malformed
+    //! input maps to a [`CsvError`] variant carrying the offending line,
+    //! never a panic.
+
+    use probes::io::{parse_report_record, read_reports, read_tcm, CsvError, REPORT_HEADER};
+
+    /// Reads a report file whose second line is `record` and returns the
+    /// expected parse failure.
+    fn parse_failure(record: &str) -> (usize, String) {
+        let text = format!("{REPORT_HEADER}\n{record}\n");
+        match read_reports(std::io::BufReader::new(text.as_bytes())) {
+            Err(CsvError::Parse { line, msg }) => (line, msg),
+            other => panic!("expected CsvError::Parse for {record:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_rows_are_typed_parse_errors() {
+        let (line, msg) = parse_failure("1,2,3");
+        assert_eq!(line, 2);
+        assert!(msg.contains("7 fields"), "{msg}");
+        let (_, msg) = parse_failure("x,0,0,30,1,0,5");
+        assert!(msg.contains("bad vehicle"), "{msg}");
+        let (_, msg) = parse_failure("1,0,0,thirty,1,0,5");
+        assert!(msg.contains("bad speed"), "{msg}");
+    }
+
+    #[test]
+    fn non_finite_speeds_rejected() {
+        for bad in ["NaN", "inf", "-inf", "-99"] {
+            let (line, msg) = parse_failure(&format!("1,0,0,{bad},1,0,5"));
+            assert_eq!(line, 2);
+            assert!(msg.contains("speed"), "{bad}: {msg}");
+        }
+        // Non-finite coordinates and headings are equally fatal.
+        let (_, msg) = parse_failure("1,inf,0,30,1,0,5");
+        assert!(msg.contains("non-finite"), "{msg}");
+        let (_, msg) = parse_failure("1,0,0,30,NaN,0,5");
+        assert!(msg.contains("non-finite"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_timestamps_rejected() {
+        // Negative and over-u64 timestamps both fail integer parsing
+        // with the line number attached.
+        for bad in ["-5", "99999999999999999999999999", "3.5", ""] {
+            let (line, msg) = parse_failure(&format!("1,0,0,30,1,0,{bad}"));
+            assert_eq!(line, 2);
+            assert!(msg.contains("bad timestamp"), "{bad:?}: {msg}");
+        }
+    }
+
+    #[test]
+    fn per_record_parser_matches_batch_reader() {
+        // The streaming path's single-record parser and the strict batch
+        // reader agree on both the happy and the sad case.
+        let good = "7,1.5,-2,33.25,0,1,900";
+        let report = parse_report_record(good, 1).unwrap();
+        let batch =
+            read_reports(std::io::BufReader::new(format!("{REPORT_HEADER}\n{good}\n").as_bytes()))
+                .unwrap();
+        assert_eq!(batch, vec![report]);
+        assert!(matches!(parse_report_record("7,1,2", 3), Err(CsvError::Parse { line: 3, .. })));
+    }
+
+    #[test]
+    fn tcm_reader_errors_are_typed() {
+        for (text, needle) in [
+            ("", "no data rows"),
+            ("slot,s0,s1\n0,1.0\n", "fields"),
+            ("slot,s0\n0,abc\n", "bad value"),
+        ] {
+            match read_tcm(std::io::BufReader::new(text.as_bytes())) {
+                Err(CsvError::Parse { msg, .. }) => assert!(msg.contains(needle), "{msg}"),
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+}

@@ -26,9 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = net.segment_count();
 
     const WINDOW: usize = 32; // 8 hours of 15-minute slots
-    let mut stream = StreamingTcm::new(0, slot_len, WINDOW, n);
+    let mut stream = StreamingTcm::new(0, slot_len, WINDOW, n)?;
     let cfg = CsConfig { rank: 2, lambda: 0.3, tol: 1e-4, ..CsConfig::default() };
-    let mut online = OnlineEstimator::new(cfg, WINDOW);
+    let mut online = OnlineEstimator::new(cfg, WINDOW)?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 
     println!("{:>6} {:>10} {:>8} {:>7}", "slot", "integrity", "NMAE", "sweeps");

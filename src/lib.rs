@@ -19,7 +19,8 @@
 //!   assembly, masking, integrity metrics.
 //! * [`traffic_cs`] — the paper's contribution: Algorithm 1 (alternating
 //!   least-squares matrix completion), Algorithm 2 (genetic parameter
-//!   search), the KNN/MSSA baselines, PCA and eigenflow analysis.
+//!   search), the KNN/MSSA baselines, PCA and eigenflow analysis, plus a
+//!   fault-tolerant streaming estimation service ([`traffic_cs::service`]).
 //!
 //! # Quickstart
 //!
@@ -66,14 +67,18 @@ pub mod prelude {
     pub use traffic_cs::baselines::{
         correlation_knn_impute, mssa_impute, naive_knn_impute, MssaConfig,
     };
-    pub use traffic_cs::cs::{complete_matrix, complete_matrix_detailed, CsConfig};
+    pub use traffic_cs::cs::{
+        complete_matrix, complete_matrix_detailed, CompletionResult, CsConfig,
+    };
     pub use traffic_cs::eigenflow::{EigenflowAnalysis, EigenflowType};
     pub use traffic_cs::estimator::{Estimator, EstimatorKind};
     pub use traffic_cs::ga::{optimize_parameters, GaConfig};
     pub use traffic_cs::metrics::{nmae_on_missing, relative_error_cdf};
     pub use traffic_cs::online::OnlineEstimator;
     pub use traffic_cs::selection::{adaptive_matrix, select_correlated};
+    pub use traffic_cs::service::{LiveEstimate, ServeConfig, Service};
     pub use traffic_cs::weighted::{complete_matrix_weighted, WeightScheme};
+    pub use traffic_cs::{ConfigError, Error as TrafficCsError};
     pub use traffic_sim::config::central_segments;
     pub use traffic_sim::fleet::FleetConfig;
     pub use traffic_sim::gps::GpsConfig;
@@ -88,5 +93,7 @@ mod tests {
         let cfg = CsConfig::default();
         assert_eq!(cfg.rank, 2);
         assert_eq!(Granularity::all().len(), 3);
+        let serve = ServeConfig::builder().num_segments(4).build().unwrap();
+        assert!(Service::new(serve).is_ok());
     }
 }
