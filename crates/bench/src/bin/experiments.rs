@@ -20,7 +20,7 @@
 //! telemetry flags.
 
 use cs_bench::experiments::{
-    accuracy, extensions, integrity, params, runtime, selection, structure,
+    accuracy, chaos_sweep, extensions, integrity, params, runtime, selection, structure,
 };
 use cs_bench::report;
 
@@ -49,6 +49,7 @@ const ALL_IDS: &[&str] = &[
     "online",
     "weighted",
     "serve-replay",
+    "chaos",
 ];
 
 /// Group aliases expanding to the figure/table ids of one experiment
@@ -60,7 +61,7 @@ const GROUPS: &[(&str, &[&str])] = &[
     ("params", &["fig15", "fig16", "ga", "convergence", "init-ablation"]),
     ("selection", &["fig17", "fig18"]),
     ("runtime", &["table2"]),
-    ("extensions", &["adaptive", "online", "weighted", "serve-replay"]),
+    ("extensions", &["adaptive", "online", "weighted", "serve-replay", "chaos"]),
 ];
 
 fn usage() -> ! {
@@ -253,6 +254,7 @@ fn main() {
             "online" => extensions::print_online(extensions::online(quick)),
             "weighted" => extensions::print_weighted(extensions::weighted(quick)),
             "serve-replay" => extensions::print_serve_replay(extensions::serve_replay(quick)),
+            "chaos" => chaos_sweep::print_chaos_sweep(&chaos_sweep::chaos_sweep(quick)),
             _ => unreachable!("validated above"),
         }
         drop(exp_span);

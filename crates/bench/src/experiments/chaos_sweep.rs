@@ -1,0 +1,143 @@
+//! Chaos-sweep experiment: the deterministic fault-injection harness
+//! run over a bank of seeds, each at two solver thread counts, with
+//! the differential oracle checked on every run and the two reports
+//! diffed hash-for-hash.
+//!
+//! This is the bench-harness face of `crates/chaos` — the CI gate runs
+//! it in `--quick` mode (4 seeds) and the full sweep covers 16. A
+//! failure prints the seed, which reproduces locally with
+//! `cs-traffic-cli chaos --seed N`.
+
+use crate::report;
+use chaos::{run, ChaosConfig, ChaosReport};
+
+/// One seed's outcome: the report (from the single-thread run) plus
+/// whether the two-thread run produced identical hashes.
+pub struct SweepRow {
+    /// The seed.
+    pub seed: u64,
+    /// Report of the `num_threads = 1` run.
+    pub report: ChaosReport,
+    /// `true` when the `num_threads = 2` run matched hash-for-hash.
+    pub thread_invariant: bool,
+}
+
+/// Runs the sweep: seeds `1..=4` in quick mode, `1..=16` otherwise.
+pub fn chaos_sweep(quick: bool) -> Vec<SweepRow> {
+    let seeds = if quick { 1..=4u64 } else { 1..=16u64 };
+    seeds
+        .map(|seed| {
+            let base = ChaosConfig { seed, ticks: 24, num_threads: 1, check_counters: false };
+            let one = run(&base).expect("chaos run constructs");
+            let two =
+                run(&ChaosConfig { num_threads: 2, ..base.clone() }).expect("chaos run constructs");
+            let thread_invariant = one.estimate_hash == two.estimate_hash
+                && one.window_hash == two.window_hash
+                && one.fault_log_hash == two.fault_log_hash
+                && one.stats == two.stats;
+            SweepRow { seed, report: one, thread_invariant }
+        })
+        .collect()
+}
+
+/// Prints the sweep table and writes `chaos_sweep.csv`. Panics (fails
+/// the gate) when any oracle or thread-invariance check failed.
+pub fn print_chaos_sweep(rows: &[SweepRow]) {
+    println!("== Extension: chaos sweep (fault injection + differential oracle) ==");
+    println!("   seed  policy       faults  admitted  rejected  late  dup  qdrop  degraded  oracle  threads");
+    let mut csv = Vec::new();
+    let mut bad = Vec::new();
+    for row in rows {
+        let r = &row.report;
+        let s = &r.stats;
+        let policy = match r.backpressure {
+            traffic_cs::service::Backpressure::DropNewest => "drop-newest",
+            traffic_cs::service::Backpressure::DropOldest => "drop-oldest",
+        };
+        println!(
+            "   {:>4}  {:<11}  {:>6}  {:>8}  {:>8}  {:>4}  {:>3}  {:>5}  {:>8}  {:<6}  {}",
+            row.seed,
+            policy,
+            r.fault_log.len(),
+            s.admitted,
+            s.rejected,
+            s.dropped_late,
+            s.duplicates,
+            s.queue_dropped,
+            s.degraded,
+            if r.oracle_ok() { "ok" } else { "FAIL" },
+            if row.thread_invariant { "invariant" } else { "DIVERGED" },
+        );
+        if !r.oracle_ok() || !row.thread_invariant {
+            bad.push(row.seed);
+            for msg in &r.oracle_failures {
+                println!("        oracle: {msg}");
+            }
+        }
+        csv.push(vec![
+            row.seed.to_string(),
+            policy.to_string(),
+            r.fault_log.len().to_string(),
+            r.lines_total.to_string(),
+            r.parse_rejected.to_string(),
+            s.admitted.to_string(),
+            s.rejected.to_string(),
+            s.dropped_late.to_string(),
+            s.duplicates.to_string(),
+            s.queue_dropped.to_string(),
+            s.solves.to_string(),
+            s.degraded.to_string(),
+            r.checkpoint_rejections.to_string(),
+            format!("{:016x}", r.estimate_hash),
+            (r.oracle_ok() && row.thread_invariant).to_string(),
+        ]);
+    }
+    report::save_csv(
+        "chaos_sweep.csv",
+        &[
+            "seed",
+            "policy",
+            "faults",
+            "lines",
+            "parse_rejected",
+            "admitted",
+            "rejected",
+            "dropped_late",
+            "duplicates",
+            "queue_dropped",
+            "solves",
+            "degraded",
+            "ckpt_rejected",
+            "estimate_hash",
+            "pass",
+        ],
+        &csv,
+    )
+    .expect("write chaos_sweep.csv");
+    assert!(
+        bad.is_empty(),
+        "chaos sweep failed for seed(s) {bad:?}; reproduce with `cs-traffic-cli chaos --seed N`"
+    );
+    println!("   every seed: oracle green, reports identical at 1 and 2 solver threads");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_green() {
+        let rows = chaos_sweep(true);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.report.oracle_ok(), "seed {}: {:?}", row.seed, row.report.oracle_failures);
+            assert!(row.thread_invariant, "seed {} diverged across thread counts", row.seed);
+        }
+        // The quick bank must still exercise both policies.
+        let newest = rows
+            .iter()
+            .filter(|r| r.report.backpressure == traffic_cs::service::Backpressure::DropNewest)
+            .count();
+        assert!(newest > 0 && newest < rows.len());
+    }
+}

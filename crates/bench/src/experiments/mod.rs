@@ -4,6 +4,7 @@
 //! writes CSVs.
 
 pub mod accuracy;
+pub mod chaos_sweep;
 pub mod extensions;
 pub mod integrity;
 pub mod params;

@@ -1,0 +1,96 @@
+//! Deterministic fault-injection simulator for the streaming traffic
+//! estimation service, with a differential test harness.
+//!
+//! The paper's Section 6 sketches an online streaming deployment;
+//! `traffic_cs::service` implements it with a hard "never panic,
+//! always count" contract. This crate is the adversary that contract
+//! is tested against. From a single seed it derives:
+//!
+//! 1. **A fault plan** ([`plan::FaultPlan`]) — a pre-resolved schedule
+//!    of corrupted report lines, duplicate and reordered bursts, late
+//!    reports into evicted slots, queue-pressure spikes (exercising
+//!    both backpressure policies), solver sabotage through the runtime
+//!    watchdog knobs, and checkpoint corruption.
+//! 2. **A simulation run** ([`sim::run`]) — a synthetic probe stream
+//!    from the `traffic-sim` ground-truth model replayed tick by tick
+//!    through a real [`Service`], with the plan's faults injected into
+//!    the byte stream, and every injection logged.
+//! 3. **A differential oracle** ([`oracle::Mirror`]) — an independent
+//!    re-implementation of the admission/backpressure/window semantics
+//!    that predicts every counter exactly and the final window
+//!    bit-for-bit, plus an offline replay: the service's final
+//!    estimate must equal `complete_matrix_detailed` on the predicted
+//!    window at any thread count.
+//!
+//! Nothing in the run consumes ambient entropy or wall-clock-dependent
+//! control flow (the one wall-clock sabotage is asserted through its
+//! *counters*, not its timing), so any failure reproduces from its
+//! seed alone: `cs-traffic-cli chaos --seed N` replays it.
+//!
+//! [`Service`]: traffic_cs::Service
+
+pub mod codec;
+pub mod oracle;
+pub mod plan;
+pub mod sim;
+
+pub use codec::{CheckpointFault, LineFault};
+pub use oracle::Mirror;
+pub use plan::{FaultKind, FaultPlan, PlannedFault, Sabotage};
+pub use sim::{run, run_seed, ChaosConfig, ChaosReport};
+
+/// Incremental FNV-1a (64-bit) — the harness's content hash for
+/// estimates, windows, and fault logs. Chosen for being trivially
+/// portable and dependency-free; collision resistance is irrelevant
+/// here (the hashes compare *runs of the same seed*, not adversarial
+/// inputs).
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    /// FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        let mut h = Fnv::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325, "empty input = offset basis");
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h2 = Fnv::new();
+        h2.write(b"foobar");
+        assert_eq!(h2.finish(), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,208 @@
+//! The fault plan: a deterministic schedule of injections, fully
+//! resolved from a seed *before* the simulation starts.
+//!
+//! Every random choice — which faults fire on which tick, which line a
+//! corruption hits, the timestamps of late reports, shuffle orders —
+//! is drawn during [`FaultPlan::generate`] and stored in the plan as
+//! explicit parameters (`salt` fields). The simulator itself draws no
+//! randomness, so runtime outcomes (how many lines a tick happens to
+//! have, whether a solve degraded) can never perturb the schedule:
+//! replaying a seed replays the byte-identical fault sequence.
+
+use crate::codec::{CheckpointFault, LineFault};
+use rand::{RngExt, SeedableRng};
+use traffic_cs::service::Backpressure;
+
+/// Solver-sabotage modes: runtime watchdog knobs twisted mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// Set a zero wall-clock budget for one tick: any solve that runs
+    /// succeeds but is flagged over budget (degraded + stale).
+    ZeroBudget,
+    /// Clamp the warm-start sweep cap to 1 from this tick on. Affects
+    /// estimate quality, never counters — the oracle proves that.
+    SweepStarve,
+}
+
+impl Sabotage {
+    /// Short stable name used in fault logs (and their hashes).
+    pub fn name(self) -> &'static str {
+        match self {
+            Sabotage::ZeroBudget => "zero-budget",
+            Sabotage::SweepStarve => "sweep-starve",
+        }
+    }
+}
+
+/// One kind of injected fault. `salt` fields carry all pre-resolved
+/// randomness a fault needs at application time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Corrupt one report line of the tick's batch.
+    CorruptLine {
+        /// The corruption to apply.
+        fault: LineFault,
+        /// Selects which line (`salt % batch_len`).
+        salt: u64,
+    },
+    /// Re-deliver one line of the batch `copies` extra times.
+    DuplicateBurst {
+        /// Number of extra deliveries.
+        copies: usize,
+        /// Selects which line (`salt % batch_len`).
+        salt: u64,
+    },
+    /// Shuffle the tick's batch (Fisher–Yates seeded by `salt`).
+    ReorderBurst {
+        /// Shuffle seed.
+        salt: u64,
+    },
+    /// Append a report whose slot can no longer be admitted.
+    LateReport {
+        /// `true` aims before the grid start; `false` aims at an
+        /// already-evicted slot (needs enough elapsed ticks, so the
+        /// simulator falls back to pre-grid early in the run).
+        pre_grid: bool,
+        /// Timestamp/segment/speed entropy.
+        salt: u64,
+    },
+    /// Append `queue_capacity + extra` valid reports so the ingest
+    /// queue must overflow and the backpressure policy must act.
+    QueueSpike {
+        /// Overflow margin beyond the queue capacity.
+        extra: usize,
+    },
+    /// Twist a solver watchdog knob before this tick's solve.
+    SolverSabotage {
+        /// Which knob.
+        mode: Sabotage,
+    },
+    /// After the tick, corrupt a checkpoint of the live state and
+    /// demand that restore rejects it (and that a pristine copy
+    /// round-trips byte-identically).
+    CheckpointChaos {
+        /// The corruption to apply.
+        fault: CheckpointFault,
+    },
+}
+
+/// A fault bound to the tick it fires on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Tick index (0-based) the fault applies to.
+    pub tick: usize,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A complete, self-describing injection schedule for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// Backpressure policy for the run (derived from seed parity so
+    /// both policies get continuous coverage across a seed sweep).
+    pub backpressure: Backpressure,
+    /// Schedule, ordered by tick then by generation order within the
+    /// tick (corrupt, duplicate, reorder, late, spike, sabotage,
+    /// checkpoint).
+    pub faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// Derives the complete schedule for `ticks` ticks from `seed`.
+    /// Same `(seed, ticks)` always yields the same plan.
+    pub fn generate(seed: u64, ticks: usize) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x00c0_ffee_c0ff_ee00);
+        let backpressure = if seed.is_multiple_of(2) {
+            Backpressure::DropNewest
+        } else {
+            Backpressure::DropOldest
+        };
+        let mut faults = Vec::new();
+        for tick in 0..ticks {
+            if rng.random_range(0.0..1.0) < 0.55 {
+                let fault = match rng.random_range(0usize..6) {
+                    0 => LineFault::Truncate,
+                    1 => LineFault::Garbage,
+                    2 => LineFault::NanSpeed,
+                    3 => LineFault::NegativeSpeed,
+                    4 => LineFault::InfiniteSpeed,
+                    _ => LineFault::BadSegment,
+                };
+                let salt = rng.next_u64();
+                faults.push(PlannedFault { tick, kind: FaultKind::CorruptLine { fault, salt } });
+            }
+            if rng.random_range(0.0..1.0) < 0.45 {
+                let copies = rng.random_range(1usize..=3);
+                let salt = rng.next_u64();
+                faults
+                    .push(PlannedFault { tick, kind: FaultKind::DuplicateBurst { copies, salt } });
+            }
+            if rng.random_range(0.0..1.0) < 0.5 {
+                let salt = rng.next_u64();
+                faults.push(PlannedFault { tick, kind: FaultKind::ReorderBurst { salt } });
+            }
+            if rng.random_range(0.0..1.0) < 0.45 {
+                let pre_grid = rng.random_range(0.0..1.0) < 0.5;
+                let salt = rng.next_u64();
+                faults.push(PlannedFault { tick, kind: FaultKind::LateReport { pre_grid, salt } });
+            }
+            if rng.random_range(0.0..1.0) < 0.2 {
+                let extra = rng.random_range(1usize..=8);
+                faults.push(PlannedFault { tick, kind: FaultKind::QueueSpike { extra } });
+            }
+            if rng.random_range(0.0..1.0) < 0.2 {
+                let mode = if rng.random_range(0.0..1.0) < 0.5 {
+                    Sabotage::ZeroBudget
+                } else {
+                    Sabotage::SweepStarve
+                };
+                faults.push(PlannedFault { tick, kind: FaultKind::SolverSabotage { mode } });
+            }
+            if rng.random_range(0.0..1.0) < 0.25 {
+                let fault = match rng.random_range(0usize..3) {
+                    0 => CheckpointFault::HeaderFlip,
+                    1 => CheckpointFault::Truncate,
+                    _ => CheckpointFault::HexBreak,
+                };
+                faults.push(PlannedFault { tick, kind: FaultKind::CheckpointChaos { fault } });
+            }
+        }
+        Self { seed, backpressure, faults }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        assert_eq!(FaultPlan::generate(9, 24), FaultPlan::generate(9, 24));
+        assert_ne!(FaultPlan::generate(9, 24).faults, FaultPlan::generate(10, 24).faults);
+    }
+
+    #[test]
+    fn seed_parity_selects_policy() {
+        assert_eq!(FaultPlan::generate(4, 4).backpressure, Backpressure::DropNewest);
+        assert_eq!(FaultPlan::generate(5, 4).backpressure, Backpressure::DropOldest);
+    }
+
+    #[test]
+    fn long_plans_cover_every_fault_kind() {
+        let plan = FaultPlan::generate(1, 400);
+        let has = |pred: &dyn Fn(&FaultKind) -> bool| plan.faults.iter().any(|f| pred(&f.kind));
+        assert!(has(&|k| matches!(k, FaultKind::CorruptLine { .. })));
+        assert!(has(&|k| matches!(k, FaultKind::DuplicateBurst { .. })));
+        assert!(has(&|k| matches!(k, FaultKind::ReorderBurst { .. })));
+        assert!(has(&|k| matches!(k, FaultKind::LateReport { .. })));
+        assert!(has(&|k| matches!(k, FaultKind::QueueSpike { .. })));
+        assert!(has(&|k| matches!(k, FaultKind::SolverSabotage { mode: Sabotage::ZeroBudget })));
+        assert!(has(&|k| matches!(k, FaultKind::SolverSabotage { mode: Sabotage::SweepStarve })));
+        for f in [CheckpointFault::HeaderFlip, CheckpointFault::Truncate, CheckpointFault::HexBreak]
+        {
+            assert!(has(&|k| matches!(k, FaultKind::CheckpointChaos { fault } if *fault == f)));
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! The simulation driver: replays a synthetic probe stream through a
+//! real [`Service`] tick by tick while the [`FaultPlan`] injects
+//! corruption, and a [`Mirror`] independently predicts what the service
+//! must do about it.
+//!
+//! Everything derives from the seed: the road network, the ground-truth
+//! speeds, the probe stream, and the fault schedule. A failing run is
+//! therefore fully reproducible from the seed alone — that is the
+//! contract the CI sweep relies on.
+//!
+//! [`Service`]: traffic_cs::Service
+
+use crate::codec;
+use crate::oracle::Mirror;
+use crate::plan::{FaultKind, FaultPlan, Sabotage};
+use crate::Fnv;
+use linalg::Matrix;
+use probes::{Granularity, SlotGrid};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Duration;
+use telemetry::Level;
+use traffic_cs::cs::complete_matrix_detailed;
+use traffic_cs::service::{Backpressure, Observation, ServeConfig, ServeStats};
+use traffic_cs::{CsConfig, Error, Service};
+use traffic_sim::{sample_probe_stream, GroundTruthConfig, GroundTruthModel, ProbeStreamConfig};
+
+/// Fixed simulation geometry. Small enough that a full 24-tick run with
+/// a solve per tick completes in milliseconds; large enough that every
+/// fault class has room to fire (the window must be able to evict slots
+/// and the queue must be able to overflow).
+const SEGMENTS: usize = 8;
+const WINDOW_SLOTS: usize = 8;
+const SLOT_LEN_S: u64 = 900;
+const START_S: u64 = 3600;
+const QUEUE_CAPACITY: usize = 24;
+
+/// Parameters of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for everything: traffic, probes, and the fault plan.
+    pub seed: u64,
+    /// Number of service ticks (= time slots) to simulate.
+    pub ticks: usize,
+    /// Worker threads for the solver (`CsConfig::num_threads`); the
+    /// report must be identical for every value.
+    pub num_threads: usize,
+    /// Cross-check the `serve.*` telemetry counters against the
+    /// service's stats. Only valid when this run is the process's sole
+    /// metrics producer (the CLI path); defaults to off so library
+    /// tests can run concurrently.
+    pub check_counters: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self { seed: 1, ticks: 24, num_threads: 0, check_counters: false }
+    }
+}
+
+/// Everything one chaos run produced, sufficient both for a CI log line
+/// and for diffing two runs bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The run's seed.
+    pub seed: u64,
+    /// Backpressure policy the plan selected.
+    pub backpressure: Backpressure,
+    /// Ticks simulated.
+    pub ticks: usize,
+    /// Report lines generated (clean + injected).
+    pub lines_total: u64,
+    /// Lines that failed structural parsing and never reached the
+    /// service.
+    pub parse_rejected: u64,
+    /// Observations pushed into the service (`lines_total -
+    /// parse_rejected` — the oracle asserts this identity).
+    pub pushed: u64,
+    /// The service's own counters at the end of the run.
+    pub stats: ServeStats,
+    /// Corrupted checkpoints that restore correctly refused.
+    pub checkpoint_rejections: u64,
+    /// Human-readable `tick:description` log of every injected fault.
+    pub fault_log: Vec<String>,
+    /// FNV-1a over the final estimate's `f64` bits (0 when the service
+    /// never produced an estimate).
+    pub estimate_hash: u64,
+    /// FNV-1a over the final window snapshot (values + indicator bits).
+    pub window_hash: u64,
+    /// FNV-1a over the fault log.
+    pub fault_log_hash: u64,
+    /// Differential-oracle violations. Empty means the run passed.
+    pub oracle_failures: Vec<String>,
+}
+
+impl ChaosReport {
+    /// `true` when every oracle check held.
+    pub fn oracle_ok(&self) -> bool {
+        self.oracle_failures.is_empty()
+    }
+
+    /// One-line summary, stable across thread counts — the CI sweep
+    /// diffs these lines between `--threads` settings.
+    pub fn summary_line(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "seed={} policy={} ticks={} lines={} parse_rejected={} admitted={} rejected={} \
+             late={} dup={} queue_dropped={} solves={} degraded={} ckpt_rejected={} \
+             faults={} est={:016x} win={:016x} log={:016x} oracle={}",
+            self.seed,
+            match self.backpressure {
+                Backpressure::DropNewest => "drop-newest",
+                Backpressure::DropOldest => "drop-oldest",
+            },
+            self.ticks,
+            self.lines_total,
+            self.parse_rejected,
+            s.admitted,
+            s.rejected,
+            s.dropped_late,
+            s.duplicates,
+            s.queue_dropped,
+            s.solves,
+            s.degraded,
+            self.checkpoint_rejections,
+            self.fault_log.len(),
+            self.estimate_hash,
+            self.window_hash,
+            self.fault_log_hash,
+            if self.oracle_ok() { "ok" } else { "FAIL" },
+        )
+    }
+}
+
+/// Runs one seeded chaos simulation end to end.
+///
+/// # Errors
+///
+/// Only construction can fail (invalid derived `ServeConfig`, which
+/// would be a harness bug); everything at runtime becomes counters,
+/// report fields, or oracle failures.
+pub fn run(cfg: &ChaosConfig) -> Result<ChaosReport, Error> {
+    let ticks = cfg.ticks.max(1);
+    let plan = FaultPlan::generate(cfg.seed, ticks);
+    let cs = CsConfig::builder()
+        .rank(2)
+        .lambda(100.0)
+        .iterations(30)
+        .tol(1e-9)
+        .seed(42)
+        .num_threads(cfg.num_threads)
+        .build()
+        .map_err(Error::from)?;
+    let serve_cfg = ServeConfig::builder()
+        .start_s(START_S)
+        .slot_len_s(SLOT_LEN_S)
+        .window_slots(WINDOW_SLOTS)
+        .num_segments(SEGMENTS)
+        .cs(cs.clone())
+        .queue_capacity(QUEUE_CAPACITY)
+        .backpressure(plan.backpressure)
+        .warm_sweep_cap(Some(6))
+        .solve_budget(None)
+        .build()?;
+    let mut service = Service::new(serve_cfg.clone())?;
+    let mut mirror =
+        Mirror::new(START_S, SLOT_LEN_S, WINDOW_SLOTS, SEGMENTS, QUEUE_CAPACITY, plan.backpressure);
+
+    let clean = clean_stream(cfg.seed, ticks);
+    let counters_before = cfg.check_counters.then(snapshot_counters);
+
+    let mut report = ChaosReport {
+        seed: cfg.seed,
+        backpressure: plan.backpressure,
+        ticks,
+        lines_total: 0,
+        parse_rejected: 0,
+        pushed: 0,
+        stats: ServeStats::default(),
+        checkpoint_rejections: 0,
+        fault_log: Vec::new(),
+        estimate_hash: 0,
+        window_hash: 0,
+        fault_log_hash: 0,
+        oracle_failures: Vec::new(),
+    };
+
+    for (tick, clean_batch) in clean.iter().enumerate().take(ticks) {
+        let mut lines: Vec<String> = clean_batch.clone();
+        let mut reorder_salt = None;
+        let mut zero_budget = false;
+        let mut ckpt_faults = Vec::new();
+        // Application order is fixed (corrupt -> late -> duplicate ->
+        // spike -> reorder) regardless of plan order, so every fault
+        // sees a deterministic batch.
+        let tick_faults: Vec<FaultKind> =
+            plan.faults.iter().filter(|f| f.tick == tick).map(|f| f.kind).collect();
+        for kind in &tick_faults {
+            if let FaultKind::CorruptLine { fault, salt } = kind {
+                if lines.is_empty() {
+                    continue;
+                }
+                let idx = (*salt % lines.len() as u64) as usize;
+                lines[idx] = codec::corrupt_line(&lines[idx], *fault, SEGMENTS);
+                log_fault(&mut report, tick, format!("corrupt-line:{} idx={idx}", fault.name()));
+            }
+        }
+        for kind in &tick_faults {
+            if let FaultKind::LateReport { pre_grid, salt } = kind {
+                let line = late_line(tick, *pre_grid, *salt);
+                log_fault(
+                    &mut report,
+                    tick,
+                    format!("late-report ts={}", line.split(',').nth(1).unwrap_or("?")),
+                );
+                lines.push(line);
+            }
+        }
+        for kind in &tick_faults {
+            if let FaultKind::DuplicateBurst { copies, salt } = kind {
+                if lines.is_empty() {
+                    continue;
+                }
+                let idx = (*salt % lines.len() as u64) as usize;
+                let line = lines[idx].clone();
+                for _ in 0..*copies {
+                    lines.push(line.clone());
+                }
+                log_fault(&mut report, tick, format!("dup-burst x{copies} idx={idx}"));
+            }
+        }
+        for kind in &tick_faults {
+            if let FaultKind::QueueSpike { extra } = kind {
+                let count = QUEUE_CAPACITY + extra;
+                for i in 0..count {
+                    lines.push(spike_line(tick, i));
+                }
+                log_fault(&mut report, tick, format!("queue-spike +{count}"));
+            }
+        }
+        for kind in &tick_faults {
+            match kind {
+                FaultKind::ReorderBurst { salt } => {
+                    reorder_salt = Some(*salt);
+                    log_fault(&mut report, tick, "reorder-burst".to_string());
+                }
+                FaultKind::SolverSabotage { mode } => {
+                    match mode {
+                        Sabotage::ZeroBudget => {
+                            service.set_solve_budget(Some(Duration::ZERO));
+                            zero_budget = true;
+                        }
+                        Sabotage::SweepStarve => service.set_warm_sweep_cap(Some(1)),
+                    }
+                    log_fault(&mut report, tick, format!("sabotage:{}", mode.name()));
+                }
+                FaultKind::CheckpointChaos { fault } => ckpt_faults.push(*fault),
+                _ => {}
+            }
+        }
+        if let Some(salt) = reorder_salt {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(salt);
+            lines.shuffle(&mut rng);
+        }
+
+        for line in &lines {
+            report.lines_total += 1;
+            match codec::parse_line(line) {
+                Ok((vehicle, timestamp_s, segment, speed_kmh)) => {
+                    let obs = Observation { vehicle, timestamp_s, segment, speed_kmh };
+                    report.pushed += 1;
+                    service.push(obs);
+                    mirror.push(obs);
+                }
+                Err(_) => report.parse_rejected += 1,
+            }
+        }
+        service.tick();
+        mirror.tick(zero_budget);
+        if zero_budget {
+            service.set_solve_budget(None);
+        }
+
+        for fault in ckpt_faults {
+            log_fault(&mut report, tick, format!("checkpoint:{}", fault.name()));
+            let text = service.checkpoint();
+            let corrupted = codec::corrupt_checkpoint(&text, fault);
+            let mut scratch = Service::new(serve_cfg.clone())?;
+            match scratch.restore(&corrupted) {
+                Err(_) => report.checkpoint_rejections += 1,
+                Ok(()) => report.oracle_failures.push(format!(
+                    "tick {tick}: corrupted checkpoint ({}) restored without error",
+                    fault.name()
+                )),
+            }
+            let mut pristine = Service::new(serve_cfg.clone())?;
+            if pristine.restore(&text).is_err() {
+                report
+                    .oracle_failures
+                    .push(format!("tick {tick}: pristine checkpoint failed to restore"));
+            } else if pristine.checkpoint() != text {
+                report
+                    .oracle_failures
+                    .push(format!("tick {tick}: checkpoint round-trip not byte-identical"));
+            }
+        }
+    }
+
+    // Final audit solve: a cold restart erases warm-start state (which
+    // legitimately depends on solve history), so the service's last
+    // answer must equal the offline pipeline run on the mirror's
+    // predicted window — the replay half of the differential oracle.
+    service.cold_restart()?;
+    service.refresh();
+    mirror.refresh();
+
+    audit(&mut report, &service, &mirror, &cs);
+    if let Some(before) = counters_before {
+        audit_counters(&mut report, &before, &service.stats());
+    }
+
+    report.fault_log_hash = {
+        let mut h = Fnv::new();
+        for entry in &report.fault_log {
+            h.write(entry.as_bytes());
+            h.write(b"\n");
+        }
+        h.finish()
+    };
+    Ok(report)
+}
+
+/// Convenience wrapper: default geometry, chosen seed and tick count.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_seed(seed: u64, ticks: usize) -> Result<ChaosReport, Error> {
+    run(&ChaosConfig { seed, ticks, ..ChaosConfig::default() })
+}
+
+fn log_fault(report: &mut ChaosReport, tick: usize, desc: String) {
+    telemetry::event(
+        Level::Debug,
+        "chaos.fault",
+        vec![
+            ("seed".into(), report.seed.into()),
+            ("tick".into(), (tick as u64).into()),
+            ("fault".into(), desc.clone().into()),
+        ],
+    );
+    report.fault_log.push(format!("{tick}:{desc}"));
+}
+
+/// The clean (pre-fault) probe stream, one batch of encoded lines per
+/// tick, derived from the seeded ground-truth traffic model.
+fn clean_stream(seed: u64, ticks: usize) -> Vec<Vec<String>> {
+    let net =
+        roadnet::generator::generate_grid_city(&roadnet::generator::GridCityConfig::small_test());
+    let grid = SlotGrid::covering(0, ticks as u64 * SLOT_LEN_S, Granularity::Min15);
+    let model = GroundTruthModel::generate(
+        &net,
+        grid,
+        &GroundTruthConfig { seed: seed ^ 0x6eed, ..GroundTruthConfig::default() },
+    );
+    let n = model.speeds().cols();
+    let truth = Matrix::from_fn(ticks, SEGMENTS, |t, c| model.speeds().get(t, c % n));
+    let samples = sample_probe_stream(
+        &truth,
+        &ProbeStreamConfig {
+            start_s: START_S,
+            slot_len_s: SLOT_LEN_S,
+            coverage: 0.85,
+            probes_per_cell: 2,
+            speed_jitter: 0.05,
+            seed: seed ^ 0x5eed,
+        },
+    );
+    let mut batches = vec![Vec::new(); ticks];
+    for s in samples {
+        let tick = ((s.timestamp_s - START_S) / SLOT_LEN_S) as usize;
+        batches[tick].push(codec::encode_line(s.vehicle, s.timestamp_s, s.segment, s.speed_kmh));
+    }
+    batches
+}
+
+/// Synthesizes a report line that is guaranteed late at tick `tick`:
+/// either before the grid start, or (once enough slots have been
+/// evicted) aimed at a slot strictly below any reachable tail.
+fn late_line(tick: usize, pre_grid: bool, salt: u64) -> String {
+    let vehicle = 800_000 + tick as u64;
+    let segment = (salt as usize) % SEGMENTS;
+    let speed = 25.0 + (salt % 20) as f64;
+    let ts = if pre_grid || tick < WINDOW_SLOTS + 1 {
+        salt % START_S
+    } else {
+        let slot = (tick - WINDOW_SLOTS - 1) as u64;
+        START_S + slot * SLOT_LEN_S + salt % SLOT_LEN_S
+    };
+    codec::encode_line(vehicle, ts, segment, speed)
+}
+
+/// The `i`-th filler report of a queue spike at tick `tick`: valid,
+/// current-slot, all keys distinct from each other and from every
+/// clean or late report.
+fn spike_line(tick: usize, i: usize) -> String {
+    let vehicle = 900_000 + tick as u64 * 1_000 + i as u64;
+    let ts = START_S + tick as u64 * SLOT_LEN_S + (i as u64 % SLOT_LEN_S);
+    codec::encode_line(vehicle, ts, i % SEGMENTS, 30.0 + (i % 7) as f64)
+}
+
+/// The differential checks: exact counter agreement, conservation,
+/// bit-for-bit window parity, and offline replay parity.
+fn audit(report: &mut ChaosReport, service: &Service, mirror: &Mirror, cs: &CsConfig) {
+    let got = service.stats();
+    let want = mirror.stats();
+    report.stats = got;
+    if got != want {
+        report.oracle_failures.push(format!("stats diverged: service {got:?} vs mirror {want:?}"));
+    }
+    if report.lines_total != report.parse_rejected + report.pushed {
+        report.oracle_failures.push(format!(
+            "line conservation broken: {} total != {} parse_rejected + {} pushed",
+            report.lines_total, report.parse_rejected, report.pushed
+        ));
+    }
+    let accounted = got.queue_dropped + got.rejected + got.dropped_late + got.admitted;
+    if report.pushed != accounted {
+        report.oracle_failures.push(format!(
+            "counter conservation broken: pushed {} != accounted {accounted} \
+             (queue_dropped {} + rejected {} + dropped_late {} + admitted {})",
+            report.pushed, got.queue_dropped, got.rejected, got.dropped_late, got.admitted
+        ));
+    }
+    if got.duplicates > got.admitted {
+        report.oracle_failures.push(format!(
+            "duplicates {} exceed admitted {} — dedup must be a sub-count of admission",
+            got.duplicates, got.admitted
+        ));
+    }
+
+    let snap = service.window_snapshot();
+    let expected = mirror.expected_tcm();
+    let mut wh = Fnv::new();
+    for r in 0..snap.num_slots() {
+        for c in 0..snap.num_segments() {
+            let got_cell = snap.get(r, c);
+            let want_cell = expected.get(r, c);
+            if got_cell.map(f64::to_bits) != want_cell.map(f64::to_bits) {
+                report.oracle_failures.push(format!(
+                    "window cell ({r},{c}) diverged: service {got_cell:?} vs mirror {want_cell:?}"
+                ));
+            }
+            wh.write_u64(got_cell.map(f64::to_bits).unwrap_or(0));
+            wh.write_u64(u64::from(got_cell.is_some()));
+        }
+    }
+    report.window_hash = wh.finish();
+
+    match (service.latest(), mirror.has_estimate()) {
+        (Some(live), true) => {
+            let mut eh = Fnv::new();
+            for v in live.estimate.as_slice() {
+                eh.write_u64(v.to_bits());
+            }
+            report.estimate_hash = eh.finish();
+            // Replay the admitted subset offline: the cold-restarted
+            // service solve must match `complete_matrix_detailed` on
+            // the mirror's window bit for bit, at any thread count.
+            if expected.observed_count() > 0 {
+                match complete_matrix_detailed(&expected, cs) {
+                    Ok(offline) => {
+                        let same = offline.estimate.rows() == live.estimate.rows()
+                            && offline.estimate.cols() == live.estimate.cols()
+                            && offline
+                                .estimate
+                                .as_slice()
+                                .iter()
+                                .zip(live.estimate.as_slice())
+                                .all(|(a, b)| a.to_bits() == b.to_bits());
+                        if !same {
+                            report
+                                .oracle_failures
+                                .push("offline replay diverged from service estimate".to_string());
+                        }
+                    }
+                    Err(e) => {
+                        report.oracle_failures.push(format!("offline replay failed to solve: {e}"))
+                    }
+                }
+            }
+        }
+        (None, false) => {}
+        (live, predicted) => report.oracle_failures.push(format!(
+            "estimate presence diverged: service {} vs mirror {}",
+            live.is_some(),
+            predicted
+        )),
+    }
+}
+
+/// Projection from [`ServeStats`] to one counter's expected value.
+type StatProjection = fn(&ServeStats) -> u64;
+
+const SERVE_COUNTERS: [(&str, StatProjection); 7] = [
+    ("serve.admitted", |s| s.admitted),
+    ("serve.rejected", |s| s.rejected),
+    ("serve.dropped_late", |s| s.dropped_late),
+    ("serve.duplicates", |s| s.duplicates),
+    ("serve.queue_dropped", |s| s.queue_dropped),
+    ("serve.solves", |s| s.solves),
+    ("serve.degraded", |s| s.degraded),
+];
+
+fn snapshot_counters() -> Vec<u64> {
+    SERVE_COUNTERS.iter().map(|(name, _)| telemetry::counter(name).get()).collect()
+}
+
+/// Counter-conservation half of the oracle: every injected fault shows
+/// up in exactly one `serve.*` counter, so the counter deltas across
+/// the run must equal the service's own stats field for field.
+fn audit_counters(report: &mut ChaosReport, before: &[u64], stats: &ServeStats) {
+    if !telemetry::metrics_enabled() {
+        return;
+    }
+    for (i, (name, project)) in SERVE_COUNTERS.iter().enumerate() {
+        let delta = telemetry::counter(name).get().saturating_sub(before[i]);
+        let want = project(stats);
+        if delta != want {
+            report
+                .oracle_failures
+                .push(format!("telemetry counter {name} delta {delta} != stats value {want}"));
+        }
+    }
+}

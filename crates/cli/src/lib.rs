@@ -511,6 +511,55 @@ pub fn cmd_serve<W: Write>(
     Ok(())
 }
 
+/// `chaos` — run the deterministic fault-injection simulator for one
+/// seed (or a `sweep` of consecutive seeds) and verify the
+/// differential oracle on every run.
+///
+/// Prints one summary line per seed. The line contains no
+/// thread-dependent data, so running the same sweep under different
+/// `--threads` settings must produce byte-identical output — CI diffs
+/// exactly that.
+///
+/// `check_counters` additionally cross-checks the `serve.*` telemetry
+/// counter deltas against the service's stats; it requires this
+/// process to be the only metrics producer, so the binary enables it
+/// and concurrent test harnesses don't.
+///
+/// # Errors
+///
+/// [`CliError::Algorithm`] when any seed's oracle reports a violation,
+/// with the seed to reproduce from; I/O errors from the writer.
+pub fn cmd_chaos<W: Write>(
+    seed: u64,
+    ticks: usize,
+    sweep: u64,
+    check_counters: bool,
+    mut w: W,
+) -> CliResult {
+    if check_counters {
+        telemetry::set_metrics_enabled(true);
+    }
+    let mut failed = Vec::new();
+    for s in seed..seed.saturating_add(sweep.max(1)) {
+        let report =
+            chaos::run(&chaos::ChaosConfig { seed: s, ticks, num_threads: 0, check_counters })?;
+        writeln!(w, "{}", report.summary_line())?;
+        if !report.oracle_ok() {
+            for msg in &report.oracle_failures {
+                writeln!(w, "  oracle: {msg}")?;
+            }
+            failed.push(s);
+        }
+    }
+    if let Some(&first) = failed.first() {
+        return Err(CliError::Algorithm(format!(
+            "chaos oracle failed for seed(s) {failed:?}; reproduce with: \
+             cs-traffic-cli chaos --seed {first} --ticks {ticks}"
+        )));
+    }
+    Ok(())
+}
+
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 pub fn parse_flags(args: &[String]) -> CliResult<std::collections::HashMap<String, String>> {
     let mut map = std::collections::HashMap::new();

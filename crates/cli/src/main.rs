@@ -11,13 +11,13 @@
 //! ```
 
 use cs_traffic_cli::{
-    cmd_analyze, cmd_build_tcm, cmd_detect, cmd_estimate, cmd_evaluate, cmd_serve, cmd_simulate,
-    parse_flags, CliError, CliResult, ServeOptions,
+    cmd_analyze, cmd_build_tcm, cmd_chaos, cmd_detect, cmd_estimate, cmd_evaluate, cmd_serve,
+    cmd_simulate, parse_flags, CliError, CliResult, ServeOptions,
 };
 use std::path::Path;
 
 const USAGE: &str =
-    "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate|serve> [--flag value ...]
+    "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate|serve|chaos> [--flag value ...]
 
 global flags:
   --threads N        worker threads for completion/detection hot paths
@@ -41,7 +41,11 @@ subcommands:
              [--window-slots W] [--rank R] [--lambda L] [--batch N]
              [--checkpoint FILE] [--out FILE]
              (replays reports through the fault-tolerant streaming
-              service; --batch 0 = whole file in one tick)";
+              service; --batch 0 = whole file in one tick)
+  chaos      --seed N [--ticks T] [--sweep K]
+             (deterministic fault-injection run against the streaming
+              service with a differential oracle; same seed = identical
+              output at any --threads; exit 70 on oracle violation)";
 
 fn run() -> CliResult {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -125,6 +129,13 @@ fn run() -> CliResult {
                 std::io::stdout().lock(),
             )
         }
+        "chaos" => cmd_chaos(
+            get("seed")?.parse()?,
+            flags.get("ticks").map_or(Ok(24), |s| s.parse())?,
+            flags.get("sweep").map_or(Ok(1), |s| s.parse())?,
+            true,
+            std::io::stdout().lock(),
+        ),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
     }
 }

@@ -180,3 +180,22 @@ fn simulate_rejects_unknown_scenario() {
     assert!(cmd_simulate("metropolis", None, None, "15", &dir).is_err());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn chaos_subcommand_is_deterministic_and_reports_every_seed() {
+    use cs_traffic_cli::cmd_chaos;
+    // check_counters stays off here: telemetry counters are
+    // process-global and other tests in this binary run services
+    // concurrently; the binary itself enables the check.
+    let mut first = Vec::new();
+    cmd_chaos(11, 12, 3, false, &mut first).unwrap();
+    let mut second = Vec::new();
+    cmd_chaos(11, 12, 3, false, &mut second).unwrap();
+    assert_eq!(first, second, "same sweep must produce byte-identical output");
+    let text = String::from_utf8(first).unwrap();
+    assert_eq!(text.lines().count(), 3, "one summary line per seed: {text}");
+    for seed in 11..14 {
+        assert!(text.contains(&format!("seed={seed} ")), "seed {seed} missing: {text}");
+    }
+    assert!(text.lines().all(|l| l.ends_with("oracle=ok")), "{text}");
+}

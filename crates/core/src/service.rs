@@ -424,6 +424,49 @@ impl Service {
         self.last_good.as_ref()
     }
 
+    /// Materializes the current sliding window as a [`probes::Tcm`]
+    /// (row 0 = oldest slot). This is the exact matrix the next solve
+    /// would complete, exposed so differential harnesses can compare the
+    /// service's window content bit-for-bit against an independently
+    /// maintained model.
+    pub fn window_snapshot(&self) -> probes::Tcm {
+        self.window.snapshot()
+    }
+
+    /// Replaces the per-solve wall-clock budget at runtime (`None`
+    /// disables the check). Fault-injection harnesses use this to
+    /// sabotage a single tick's solve and verify the degradation
+    /// accounting.
+    pub fn set_solve_budget(&mut self, budget: Option<Duration>) {
+        self.config.solve_budget = budget;
+    }
+
+    /// Replaces the warm-sweep cap at runtime. A cap of `Some(0)` is
+    /// clamped to `Some(1)` (the validated minimum). Note that lowering
+    /// the cap is sticky on the underlying estimator until
+    /// [`Service::cold_restart`]: the estimator's iteration budget only
+    /// ever shrinks while warm.
+    pub fn set_warm_sweep_cap(&mut self, cap: Option<usize>) {
+        self.config.warm_sweep_cap = cap.map(|c| c.max(1));
+    }
+
+    /// Discards all warm-start state: rebuilds the estimator from the
+    /// originally configured [`CsConfig`], restoring the full cold
+    /// iteration budget and forgetting cached factors. The next solve
+    /// (e.g. via [`Service::refresh`]) is then bit-for-bit identical to
+    /// running the offline pipeline on [`Service::window_snapshot`] —
+    /// the property the differential oracle checks.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] only if the stored configuration became invalid
+    /// (impossible through the public API; kept fallible rather than
+    /// panicking).
+    pub fn cold_restart(&mut self) -> Result<(), Error> {
+        self.estimator = OnlineEstimator::new(self.config.cs.clone(), self.config.window_slots)?;
+        Ok(())
+    }
+
     /// Enqueues a report. Returns `false` when backpressure refused it
     /// (counted in [`ServeStats::queue_dropped`]); under
     /// [`Backpressure::DropOldest`] the push itself always succeeds at
@@ -696,6 +739,13 @@ impl Service {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| bad(4, "malformed factor cols"))?;
+            // A corrupted dims line must not become a giant allocation:
+            // real factor matrices are segments × rank, far below this.
+            const MAX_FACTOR_CELLS: usize = 1 << 24;
+            if rows == 0 || cols == 0 || rows.checked_mul(cols).is_none_or(|c| c > MAX_FACTOR_CELLS)
+            {
+                return Err(bad(4, "implausible factor dimensions"));
+            }
             let mut r = Matrix::zeros(rows, cols);
             for i in 0..rows {
                 let (line_no, row_line) =
@@ -703,6 +753,12 @@ impl Service {
                 let mut words = row_line.split_whitespace();
                 for j in 0..cols {
                     let word = words.next().ok_or_else(|| bad(line_no + 1, "short factor row"))?;
+                    // Exactly 16 hex digits per word: a checkpoint cut
+                    // mid-word must be detected, not silently restored
+                    // as a different (shifted) bit pattern.
+                    if word.len() != 16 {
+                        return Err(bad(line_no + 1, "malformed hex word"));
+                    }
                     let bits = u64::from_str_radix(word, 16)
                         .map_err(|_| bad(line_no + 1, "malformed hex word"))?;
                     r.set(i, j, f64::from_bits(bits));
@@ -816,5 +872,78 @@ mod tests {
                     0000000000000000 0000000000000000 0000000000000000 0000000000000000 \
                     0000000000000000 0000000000000000 0000000000000000\n";
         assert!(matches!(s.restore(text), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn checkpoint_detects_truncated_hex_word() {
+        // A word cut mid-way is still valid hex ("3ff00" parses), so
+        // without a length check it would restore as a silently shifted
+        // bit pattern. The format requires exactly 16 hex digits.
+        let mut s = Service::new(small_cfg()).unwrap();
+        let text = "cs-serve-checkpoint v1\nclock 0\nhead_slot 3\nfactors 1 2\n\
+                    3ff0000000000000 3ff00\n";
+        let err = s.restore(text).unwrap_err();
+        assert!(matches!(err, Error::Serve(ServeError::Checkpoint { .. })), "{err}");
+        // Over-long words are just as corrupt.
+        let text = "cs-serve-checkpoint v1\nclock 0\nhead_slot 3\nfactors 1 1\n\
+                    3ff00000000000000\n";
+        assert!(s.restore(text).is_err());
+    }
+
+    #[test]
+    fn checkpoint_rejects_implausible_dimensions() {
+        // A bit-flipped dims line must error out, not allocate gigabytes.
+        let mut s = Service::new(small_cfg()).unwrap();
+        for dims in ["999999999 999999999", "0 2", "2 0", "18446744073709551615 2"] {
+            let text = format!("cs-serve-checkpoint v1\nclock 0\nhead_slot 3\nfactors {dims}\n");
+            let err = s.restore(&text).unwrap_err();
+            assert!(matches!(err, Error::Serve(ServeError::Checkpoint { .. })), "{dims}: {err}");
+        }
+    }
+
+    #[test]
+    fn cold_restart_reproduces_offline_solve() {
+        // Warm-started service vs offline completion of the same window:
+        // after cold_restart + refresh the estimates agree bit for bit.
+        let mut s = Service::new(small_cfg()).unwrap();
+        for t in 0..12u64 {
+            for seg in 0..3usize {
+                s.push(obs(100 + t, t * 60 + 5, seg, 25.0 + t as f64 + seg as f64));
+            }
+            s.tick();
+        }
+        assert!(s.latest().is_some());
+        s.cold_restart().unwrap();
+        let report = s.refresh();
+        assert!(report.solved);
+        let live = s.latest().unwrap().estimate.clone();
+        let offline = crate::cs::complete_matrix_detailed(&s.window_snapshot(), &s.config().cs)
+            .unwrap()
+            .estimate;
+        assert_eq!(live.shape(), offline.shape());
+        for (r, c, v) in live.iter() {
+            assert_eq!(v.to_bits(), offline.get(r, c).to_bits(), "cell ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn runtime_watchdog_setters() {
+        let mut s = Service::new(small_cfg()).unwrap();
+        s.set_warm_sweep_cap(Some(0));
+        assert_eq!(s.config().warm_sweep_cap, Some(1), "zero cap clamps to the valid minimum");
+        s.set_warm_sweep_cap(None);
+        assert_eq!(s.config().warm_sweep_cap, None);
+        // A zero wall-clock budget degrades every successful solve.
+        s.set_solve_budget(Some(Duration::ZERO));
+        s.push(obs(1, 30, 0, 40.0));
+        let report = s.tick();
+        assert!(report.solved && report.degraded);
+        assert_eq!(s.stats().solves, 1);
+        assert_eq!(s.stats().degraded, 1);
+        assert!(s.latest().unwrap().stale);
+        s.set_solve_budget(None);
+        let report = s.refresh();
+        assert!(report.solved && !report.degraded);
+        assert!(!s.latest().unwrap().stale);
     }
 }

@@ -424,6 +424,219 @@ fn queue_backpressure_under_burst_load() {
     assert!(service.latest().is_some());
 }
 
+/// One admission-table scenario: a fixed input batch pushed into a
+/// fresh service under one backpressure policy, with the exact counter
+/// deltas the rules must produce.
+struct AdmissionCase {
+    name: &'static str,
+    backpressure: Backpressure,
+    queue_capacity: usize,
+    input: &'static [Observation],
+    queue_dropped: u64,
+    rejected: u64,
+    dropped_late: u64,
+    admitted: u64,
+    duplicates: u64,
+}
+
+#[test]
+fn admission_rules_table() {
+    // The classification rules in `admit` (and the queue bound in
+    // `push`) pinned as a table: (malformed, late, duplicate, full
+    // queue) × both backpressure policies, with exact counter deltas.
+    // `duplicates` is a sub-count of `admitted` (a duplicate retracts
+    // the old value and is then admitted), so conservation is
+    //   pushed == queue_dropped + rejected + dropped_late + admitted.
+    const VALID: Observation =
+        Observation { vehicle: 1, timestamp_s: 10, segment: 0, speed_kmh: 50.0 };
+    const MALFORMED_NAN: Observation =
+        Observation { vehicle: 2, timestamp_s: 11, segment: 0, speed_kmh: f64::NAN };
+    const MALFORMED_NEG: Observation =
+        Observation { vehicle: 2, timestamp_s: 12, segment: 0, speed_kmh: -1.0 };
+    const MALFORMED_SEG: Observation =
+        Observation { vehicle: 2, timestamp_s: 13, segment: 99, speed_kmh: 30.0 };
+    // Slot 100 advances the clock so window 4 puts slot 0 below tail 97.
+    const FRESH: Observation =
+        Observation { vehicle: 3, timestamp_s: 100 * SLOT_LEN, segment: 0, speed_kmh: 40.0 };
+    const STALE: Observation =
+        Observation { vehicle: 3, timestamp_s: 0, segment: 1, speed_kmh: 40.0 };
+    const DUP: Observation =
+        Observation { vehicle: 1, timestamp_s: 10, segment: 0, speed_kmh: 30.0 };
+
+    let cases = [
+        AdmissionCase {
+            name: "malformed/drop-newest",
+            backpressure: Backpressure::DropNewest,
+            queue_capacity: 8,
+            input: &[MALFORMED_NAN, MALFORMED_NEG, MALFORMED_SEG, VALID],
+            queue_dropped: 0,
+            rejected: 3,
+            dropped_late: 0,
+            admitted: 1,
+            duplicates: 0,
+        },
+        AdmissionCase {
+            name: "malformed/drop-oldest",
+            backpressure: Backpressure::DropOldest,
+            queue_capacity: 8,
+            input: &[MALFORMED_NAN, MALFORMED_NEG, MALFORMED_SEG, VALID],
+            queue_dropped: 0,
+            rejected: 3,
+            dropped_late: 0,
+            admitted: 1,
+            duplicates: 0,
+        },
+        AdmissionCase {
+            name: "late/drop-newest",
+            backpressure: Backpressure::DropNewest,
+            queue_capacity: 8,
+            input: &[FRESH, STALE],
+            queue_dropped: 0,
+            rejected: 0,
+            dropped_late: 1,
+            admitted: 1,
+            duplicates: 0,
+        },
+        AdmissionCase {
+            name: "late/drop-oldest",
+            backpressure: Backpressure::DropOldest,
+            queue_capacity: 8,
+            input: &[FRESH, STALE],
+            queue_dropped: 0,
+            rejected: 0,
+            dropped_late: 1,
+            admitted: 1,
+            duplicates: 0,
+        },
+        AdmissionCase {
+            name: "duplicate/drop-newest",
+            backpressure: Backpressure::DropNewest,
+            queue_capacity: 8,
+            input: &[VALID, DUP],
+            queue_dropped: 0,
+            rejected: 0,
+            dropped_late: 0,
+            admitted: 2,
+            duplicates: 1,
+        },
+        AdmissionCase {
+            name: "duplicate/drop-oldest",
+            backpressure: Backpressure::DropOldest,
+            queue_capacity: 8,
+            input: &[VALID, DUP],
+            queue_dropped: 0,
+            rejected: 0,
+            dropped_late: 0,
+            admitted: 2,
+            duplicates: 1,
+        },
+        // Capacity 1 with [valid, malformed]: the policies disagree on
+        // *which* report dies at the queue, and the survivor is counted
+        // by classification — never twice, never zero times.
+        AdmissionCase {
+            name: "full-queue/drop-newest",
+            backpressure: Backpressure::DropNewest,
+            queue_capacity: 1,
+            input: &[VALID, MALFORMED_NAN],
+            queue_dropped: 1, // the malformed newcomer is refused unseen
+            rejected: 0,
+            dropped_late: 0,
+            admitted: 1,
+            duplicates: 0,
+        },
+        AdmissionCase {
+            name: "full-queue/drop-oldest",
+            backpressure: Backpressure::DropOldest,
+            queue_capacity: 1,
+            input: &[VALID, MALFORMED_NAN],
+            queue_dropped: 1, // the valid report is evicted for the malformed one
+            rejected: 1,
+            dropped_late: 0,
+            admitted: 0,
+            duplicates: 0,
+        },
+    ];
+
+    for case in &cases {
+        let cfg = ServeConfig {
+            queue_capacity: case.queue_capacity,
+            backpressure: case.backpressure,
+            ..serve_cfg(4, 1)
+        };
+        let mut service = Service::new(cfg).unwrap();
+        for &o in case.input {
+            service.push(o);
+        }
+        service.tick();
+        let s = service.stats();
+        assert_eq!(s.queue_dropped, case.queue_dropped, "{}: queue_dropped", case.name);
+        assert_eq!(s.rejected, case.rejected, "{}: rejected", case.name);
+        assert_eq!(s.dropped_late, case.dropped_late, "{}: dropped_late", case.name);
+        assert_eq!(s.admitted, case.admitted, "{}: admitted", case.name);
+        assert_eq!(s.duplicates, case.duplicates, "{}: duplicates", case.name);
+        assert_eq!(
+            s.queue_dropped + s.rejected + s.dropped_late + s.admitted,
+            case.input.len() as u64,
+            "{}: every pushed report must be counted exactly once",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn counters_conserve_every_report_exactly_once() {
+    // Regression pin for the early-return paths in `admit`: a report
+    // that trips one rule (malformed → late → duplicate, in that order)
+    // bumps exactly one terminal counter. A mixed stream of all
+    // classes, ticked in small chunks under a tight queue, must satisfy
+    //   pushed == queue_dropped + rejected + dropped_late + admitted
+    // with duplicates ≤ admitted (a sub-count, not a terminal state).
+    let cfg = ServeConfig {
+        queue_capacity: 8,
+        backpressure: Backpressure::DropOldest,
+        ..serve_cfg(4, 1)
+    };
+    let mut service = Service::new(cfg).unwrap();
+    let mut pushed = 0u64;
+    for round in 0..40u64 {
+        let ts = round * SLOT_LEN + 5;
+        let batch = [
+            Observation { vehicle: round, timestamp_s: ts, segment: 0, speed_kmh: 30.0 },
+            // Same key re-delivered: duplicate.
+            Observation { vehicle: round, timestamp_s: ts, segment: 0, speed_kmh: 31.0 },
+            // Malformed in each of the three ways, alternating.
+            Observation {
+                vehicle: 500,
+                timestamp_s: ts,
+                segment: if round % 3 == 0 { 99 } else { 1 },
+                speed_kmh: match round % 3 {
+                    1 => f64::NAN,
+                    2 => -5.0,
+                    _ => 30.0,
+                },
+            },
+            // Slot 0 is evicted once the clock passes the window.
+            Observation { vehicle: 600, timestamp_s: 0, segment: 2, speed_kmh: 20.0 },
+        ];
+        for o in batch {
+            service.push(o);
+            pushed += 1;
+        }
+        if round % 2 == 0 {
+            service.tick();
+        }
+    }
+    service.tick();
+    let s = service.stats();
+    assert!(s.rejected > 0 && s.dropped_late > 0 && s.duplicates > 0, "stream must mix classes");
+    assert_eq!(
+        s.queue_dropped + s.rejected + s.dropped_late + s.admitted,
+        pushed,
+        "conservation violated: some report was double- or zero-counted {s:?}"
+    );
+    assert!(s.duplicates <= s.admitted, "duplicates is a sub-count of admitted");
+}
+
 #[test]
 fn estimate_matches_window_average_where_fully_observed() {
     // Sanity: a fully observed window cell is reproduced closely by the

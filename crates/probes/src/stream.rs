@@ -205,6 +205,14 @@ impl StreamingTcm {
         Ok(true)
     }
 
+    /// Number of window cells currently holding at least one
+    /// observation, without materializing a snapshot — the cheap
+    /// emptiness probe used by streaming harnesses to predict whether a
+    /// solve on this window can succeed.
+    pub fn observed_cells(&self) -> usize {
+        self.counts.iter().flat_map(|row| row.iter()).filter(|&&c| c > 0.0).count()
+    }
+
     /// Materializes the current window as a [`Tcm`] (row 0 = oldest slot
     /// in the window).
     pub fn snapshot(&self) -> Tcm {
@@ -276,6 +284,23 @@ mod tests {
         s.observe(600, 0, 30.0).unwrap(); // slot 0, long evicted
         assert_eq!(s.dropped_late(), 2);
         assert_eq!(s.snapshot().observed_count(), 1);
+    }
+
+    #[test]
+    fn observed_cells_tracks_occupancy() {
+        let mut s = StreamingTcm::new(0, 60, 3, 2).unwrap();
+        assert_eq!(s.observed_cells(), 0);
+        s.observe(0, 0, 10.0).unwrap();
+        s.observe(5, 0, 20.0).unwrap(); // same cell
+        s.observe(70, 1, 30.0).unwrap();
+        assert_eq!(s.observed_cells(), 2);
+        assert_eq!(s.observed_cells(), s.snapshot().observed_count());
+        // Retracting the last observation in a cell empties it again.
+        assert!(s.retract(70, 1, 30.0).unwrap());
+        assert_eq!(s.observed_cells(), 1);
+        // Eviction clears cells too.
+        s.advance_to_slot(10);
+        assert_eq!(s.observed_cells(), 0);
     }
 
     #[test]

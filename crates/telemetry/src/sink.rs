@@ -235,6 +235,23 @@ impl CaptureSink {
     pub fn records(&self) -> Vec<OwnedRecord> {
         self.records.lock().expect("capture sink poisoned").clone()
     }
+
+    /// Discards everything captured so far, so one sink can be reused
+    /// across phases of a test without re-registering it.
+    pub fn clear(&self) {
+        self.records.lock().expect("capture sink poisoned").clear();
+    }
+
+    /// Number of captured records with the given name — the cheap
+    /// assertion helper for "every injected fault emitted its event".
+    pub fn count_named(&self, name: &str) -> usize {
+        self.records
+            .lock()
+            .expect("capture sink poisoned")
+            .iter()
+            .filter(|r| r.name == name)
+            .count()
+    }
 }
 
 impl Sink for CaptureSink {

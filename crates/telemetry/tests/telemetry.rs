@@ -43,6 +43,25 @@ fn level_filtering_drops_records_above_the_max() {
 }
 
 #[test]
+fn capture_sink_clear_and_count() {
+    let _g = serialize();
+    let sink = capture();
+    telemetry::set_level(Level::Info);
+
+    telemetry::event(Level::Info, "chaos.fault", vec![]);
+    telemetry::event(Level::Info, "chaos.fault", vec![]);
+    telemetry::event(Level::Info, "other.event", vec![]);
+    assert_eq!(sink.count_named("chaos.fault"), 2);
+    assert_eq!(sink.count_named("other.event"), 1);
+    assert_eq!(sink.count_named("missing"), 0);
+
+    sink.clear();
+    assert!(sink.records().is_empty());
+    telemetry::event(Level::Info, "chaos.fault", vec![]);
+    assert_eq!(sink.count_named("chaos.fault"), 1, "sink keeps capturing after clear");
+}
+
+#[test]
 fn enabled_matches_the_level_lattice() {
     let _g = serialize();
     telemetry::set_level(Level::Debug);

@@ -218,6 +218,85 @@ impl GroundTruthModel {
     }
 }
 
+/// One segment-resolved probe observation sampled from a ground-truth
+/// speed matrix — the raw material of streaming-service harnesses,
+/// which bypass GPS map matching and feed segment columns directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeSample {
+    /// Synthetic reporting-vehicle id (unique per sample).
+    pub vehicle: u64,
+    /// Absolute report timestamp in seconds.
+    pub timestamp_s: u64,
+    /// Segment column of the truth matrix.
+    pub segment: usize,
+    /// Reported speed, km/h (truth plus multiplicative jitter).
+    pub speed_kmh: f64,
+}
+
+/// Parameters for [`sample_probe_stream`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeStreamConfig {
+    /// Absolute start of the sampled slot grid, in seconds.
+    pub start_s: u64,
+    /// Length of one slot (one truth-matrix row), in seconds.
+    pub slot_len_s: u64,
+    /// Probability that a (slot, segment) cell is covered at all.
+    pub coverage: f64,
+    /// Probe reports per covered cell.
+    pub probes_per_cell: usize,
+    /// Half-width of the uniform multiplicative speed jitter.
+    pub speed_jitter: f64,
+    /// RNG seed; equal seeds produce identical streams.
+    pub seed: u64,
+}
+
+impl Default for ProbeStreamConfig {
+    fn default() -> Self {
+        Self {
+            start_s: 0,
+            slot_len_s: 60,
+            coverage: 0.8,
+            probes_per_cell: 2,
+            speed_jitter: 0.05,
+            seed: 1,
+        }
+    }
+}
+
+/// Samples a deterministic probe stream from a complete speed matrix
+/// (row = slot, column = segment), e.g. [`GroundTruthModel::speeds`]:
+/// each covered cell yields `probes_per_cell` reports with timestamps
+/// uniform inside the slot and speeds jittered around the truth.
+/// Samples are ordered slot-major (all of slot 0, then slot 1, …), so a
+/// tick-driven replay can partition them by row without sorting. The
+/// stream is a pure function of `(speeds, config)`.
+pub fn sample_probe_stream(speeds: &Matrix, config: &ProbeStreamConfig) -> Vec<ProbeSample> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::new();
+    let mut vehicle = 0u64;
+    for slot in 0..speeds.rows() {
+        let slot_start = config.start_s + slot as u64 * config.slot_len_s;
+        for segment in 0..speeds.cols() {
+            if rng.random_range(0.0..1.0) >= config.coverage {
+                continue;
+            }
+            let truth = speeds.get(slot, segment);
+            for _ in 0..config.probes_per_cell {
+                let offset = rng.random_range(0..config.slot_len_s.max(1));
+                let jitter = rng.random_range(-config.speed_jitter..=config.speed_jitter);
+                out.push(ProbeSample {
+                    vehicle,
+                    timestamp_s: slot_start + offset,
+                    segment,
+                    speed_kmh: (truth * (1.0 + jitter)).max(0.5),
+                });
+                vehicle += 1;
+            }
+        }
+    }
+    out
+}
+
 /// Knuth's Poisson sampler; fine for the small rates used here.
 fn poisson<R: RngExt + ?Sized>(rng: &mut R, lambda: f64) -> usize {
     if lambda <= 0.0 {
@@ -422,6 +501,44 @@ mod tests {
         let mean = |m: &linalg::Matrix| m.sum() / m.len() as f64;
         let ratio = mean(wet.speeds()) / mean(dry.speeds());
         assert!((ratio - 0.88).abs() < 0.04, "ratio {ratio}");
+    }
+
+    #[test]
+    fn probe_stream_is_deterministic_and_in_bounds() {
+        let (_, model) = small_model();
+        let cfg = ProbeStreamConfig {
+            start_s: 3600,
+            slot_len_s: 60,
+            coverage: 0.7,
+            probes_per_cell: 2,
+            speed_jitter: 0.05,
+            seed: 42,
+        };
+        let a = sample_probe_stream(model.speeds(), &cfg);
+        let b = sample_probe_stream(model.speeds(), &cfg);
+        assert_eq!(a, b, "same seed, same stream");
+        assert!(!a.is_empty());
+        let mut last_slot = 0;
+        for s in &a {
+            assert!(s.segment < model.speeds().cols());
+            let slot = ((s.timestamp_s - cfg.start_s) / cfg.slot_len_s) as usize;
+            assert!(slot < model.speeds().rows(), "timestamp inside the sampled grid");
+            assert!(slot >= last_slot, "slot-major ordering");
+            last_slot = slot;
+            let truth = model.speeds().get(slot, s.segment);
+            assert!((s.speed_kmh - truth).abs() <= truth * 0.05 + 1e-9);
+            assert!(s.speed_kmh > 0.0);
+        }
+        // Vehicle ids are unique, so dedup keys never collide by accident.
+        let mut ids: Vec<u64> = a.iter().map(|s| s.vehicle).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), a.len());
+        // Coverage roughly holds and different seeds differ.
+        let cells = (model.speeds().rows() * model.speeds().cols()) as f64;
+        let covered = a.len() as f64 / cfg.probes_per_cell as f64;
+        assert!((covered / cells - 0.7).abs() < 0.1, "coverage {}", covered / cells);
+        let c = sample_probe_stream(model.speeds(), &ProbeStreamConfig { seed: 43, ..cfg });
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -38,4 +38,6 @@ pub mod profile;
 pub mod weather;
 
 pub use config::{ScenarioConfig, SimulationOutput};
-pub use ground_truth::{GroundTruthConfig, GroundTruthModel};
+pub use ground_truth::{
+    sample_probe_stream, GroundTruthConfig, GroundTruthModel, ProbeSample, ProbeStreamConfig,
+};

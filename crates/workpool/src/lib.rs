@@ -94,13 +94,28 @@ pub fn default_threads() -> usize {
     DEFAULT_THREADS.load(Ordering::Relaxed)
 }
 
+/// The `CS_THREADS` environment default, read once per process (`0` =
+/// unset/unparseable). Sits between [`set_default_threads`] and the
+/// available-cores fallback so a test matrix can sweep thread counts
+/// over an unmodified binary: `CS_THREADS=8 cargo test`.
+fn env_default_threads() -> usize {
+    static ENV_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("CS_THREADS").ok().and_then(|v| v.trim().parse().ok()).unwrap_or(0)
+    })
+}
+
 /// Resolves a requested thread count to a concrete worker count:
-/// explicit values pass through, `0` defers to [`set_default_threads`]
-/// and then to the number of available cores. Always returns ≥ 1.
+/// explicit values pass through, `0` defers to [`set_default_threads`],
+/// then to the `CS_THREADS` environment variable, and then to the number
+/// of available cores. Always returns ≥ 1.
 pub fn resolve_threads(requested: usize) -> usize {
     let n = match requested {
         0 => match default_threads() {
-            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            0 => match env_default_threads() {
+                0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+                e => e,
+            },
             d => d,
         },
         n => n,
@@ -393,9 +408,17 @@ mod tests {
         assert_eq!(resolve_threads(5), 5);
         assert!(resolve_threads(0) >= 1);
         set_default_threads(3);
-        assert_eq!(resolve_threads(0), 3);
+        assert_eq!(resolve_threads(0), 3, "explicit default beats CS_THREADS and cores");
         assert_eq!(resolve_threads(2), 2);
         set_default_threads(0);
+        // CS_THREADS is read once per process, so with no explicit
+        // default the resolution is stable for the process lifetime
+        // (either the env value or the core count).
+        let resolved = resolve_threads(0);
+        assert_eq!(resolve_threads(0), resolved);
+        if env_default_threads() != 0 {
+            assert_eq!(resolved, env_default_threads());
+        }
     }
 
     #[test]
