@@ -1,0 +1,149 @@
+//! `loadgen` — closed-loop load generator for the streaming service.
+//!
+//! Drives a deterministic synthetic probe stream through the real
+//! `traffic_cs::service::Service`, binary-searches the maximum
+//! sustainable throughput under the `results/SLO.toml` budget, and
+//! writes `results/BENCH_serve.json` (schema
+//! `cs-traffic-bench-serve/v1`).
+//!
+//! ```text
+//! loadgen [--profile quick|full] [--seed N] [--rate R] [--threads N]
+//!         [--max-legs N] [--out PATH] [--slo PATH]
+//! ```
+//!
+//! * `--profile` — geometry preset (default `full`; CI passes `quick`,
+//!   also selected by `CS_BENCH_QUICK=1`).
+//! * `--rate` — skip the search and run a single leg at this offered
+//!   rate (reports per simulated second).
+//! * `--slo` — budget file (default `results/SLO.toml`); the budget
+//!   defines "sustainable" for the search. The regression *gate* is a
+//!   separate program (`slo-gate`), so measuring never fails CI — only
+//!   comparing does.
+//!
+//! Exit codes: 0 success, 2 usage, 74 I/O.
+
+use cs_bench::loadgen::{self, LoadConfig, SloBudget};
+use cs_bench::slo;
+use std::path::PathBuf;
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    eprintln!(
+        "usage: loadgen [--profile quick|full] [--seed N] [--rate R] [--threads N] \
+         [--max-legs N] [--out PATH] [--slo PATH]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    profile: String,
+    seed: u64,
+    rate: Option<f64>,
+    threads: usize,
+    max_legs: usize,
+    out: PathBuf,
+    slo: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let quick_env = std::env::var("CS_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+    let mut args = Args {
+        profile: if quick_env { "quick".into() } else { "full".into() },
+        seed: 42,
+        rate: None,
+        threads: 0,
+        max_legs: 12,
+        out: PathBuf::from("results/BENCH_serve.json"),
+        slo: PathBuf::from("results/SLO.toml"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| fail_usage(&format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--profile" => args.profile = val("--profile"),
+            "--seed" => {
+                args.seed = val("--seed").parse().unwrap_or_else(|_| fail_usage("bad --seed"))
+            }
+            "--rate" => {
+                args.rate = Some(val("--rate").parse().unwrap_or_else(|_| fail_usage("bad --rate")))
+            }
+            "--threads" => {
+                args.threads =
+                    val("--threads").parse().unwrap_or_else(|_| fail_usage("bad --threads"))
+            }
+            "--max-legs" => {
+                args.max_legs =
+                    val("--max-legs").parse().unwrap_or_else(|_| fail_usage("bad --max-legs"))
+            }
+            "--out" => args.out = PathBuf::from(val("--out")),
+            "--slo" => args.slo = PathBuf::from(val("--slo")),
+            "--help" | "-h" => fail_usage("help"),
+            other => fail_usage(&format!("unknown flag '{other}'")),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = match args.profile.as_str() {
+        "quick" => LoadConfig::quick(args.seed),
+        "full" => LoadConfig::full(args.seed),
+        other => fail_usage(&format!("unknown profile '{other}' (quick|full)")),
+    };
+    cfg.num_threads = args.threads;
+    let quick = args.profile == "quick";
+
+    let budget = match slo::load_slo(&args.slo) {
+        Ok(s) => s.budget,
+        Err(e) => {
+            eprintln!("loadgen: {e}; falling back to built-in budget");
+            SloBudget::default()
+        }
+    };
+
+    let start_rate = args.rate.unwrap_or(if quick { 200.0 } else { 2_000.0 });
+    let search = match args.rate {
+        // Single-leg mode: measure exactly this rate, no search.
+        Some(rate) => loadgen::search_max_rate(&cfg, &budget, rate, 1),
+        None => loadgen::search_max_rate(&cfg, &budget, start_rate, args.max_legs),
+    };
+    let search = match search {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    for leg in &search.legs {
+        eprintln!(
+            "  leg rate={:8.1}/s  tick_p99={:8.0}us  drop={:.4}  {}",
+            leg.rate,
+            leg.tick_p99_us,
+            leg.drop_rate,
+            if leg.passed { "pass" } else { "FAIL" }
+        );
+    }
+    eprintln!(
+        "loadgen: max sustainable {:.1} reports/s (best leg: offered {:.1}/s, achieved {:.1}/s, \
+         tick p50/p99/p999 = {:.0}/{:.0}/{:.0} us, stream {:016x})",
+        search.max_sustainable_rate,
+        search.best.offered_rate,
+        search.best.achieved_rate,
+        search.best.tick_us.p50,
+        search.best.tick_us.p99,
+        search.best.tick_us.p999,
+        search.best.stream_hash,
+    );
+
+    match loadgen::write_bench_serve_json(&args.out, &cfg, &search, quick) {
+        Ok(path) => eprintln!("loadgen: wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("loadgen: cannot write {}: {e}", args.out.display());
+            std::process::exit(74);
+        }
+    }
+}

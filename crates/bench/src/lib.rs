@@ -19,4 +19,6 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod loadgen;
 pub mod report;
+pub mod slo;

@@ -95,7 +95,7 @@ fn seeds_json() -> Json {
 
 /// Git revision of the working tree, best effort: `git rev-parse HEAD`,
 /// then the `GITHUB_SHA` env var (CI), then `"unknown"`.
-fn git_rev() -> String {
+pub fn git_rev() -> String {
     if let Ok(out) = std::process::Command::new("git").args(["rev-parse", "HEAD"]).output() {
         if out.status.success() {
             if let Ok(s) = String::from_utf8(out.stdout) {

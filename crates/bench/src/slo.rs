@@ -1,0 +1,360 @@
+//! Checked-in latency/throughput SLOs and the CI gate that enforces
+//! them.
+//!
+//! `results/SLO.toml` is the single reviewable home of the `serve-load`
+//! budgets: tightening an SLO is a one-line diff there, not a code
+//! change. The file is a small TOML subset parsed by [`parse_slo`] —
+//! hand-rolled like the rest of the workspace (comments, `[section]`
+//! headers, and `key = value` scalars; no arrays, no nesting):
+//!
+//! ```toml
+//! schema = "cs-traffic-slo/v1"
+//!
+//! [budget]            # per-leg sustainability criterion
+//! tick_p99_us = 250000.0
+//! solve_p99_us = 250000.0
+//! drop_rate = 0.02
+//!
+//! [baseline]          # regression gate vs. the recorded trajectory
+//! max_sustainable_rate = 400.0
+//! tick_p99_us = 60000.0
+//! regress_tolerance = 0.20
+//! ```
+//!
+//! [`gate`] compares a fresh `BENCH_serve.json` against both sections:
+//! absolute budget violations and >`regress_tolerance` regressions
+//! against the baseline each produce one human-readable violation line
+//! naming the measured and allowed values.
+
+use crate::loadgen::SloBudget;
+use std::path::Path;
+
+/// Parse failure: 1-based line and what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloError {
+    /// 1-based line in the TOML text (0 for file-level problems).
+    pub line: usize,
+    /// What was wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for SloError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SLO.toml line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for SloError {}
+
+/// The `[baseline]` section: the recorded trajectory the gate protects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloBaseline {
+    /// Max sustainable throughput the trajectory last recorded
+    /// (reports per simulated second).
+    pub max_sustainable_rate: f64,
+    /// Tick p99 the trajectory last recorded (µs).
+    pub tick_p99_us: f64,
+    /// Allowed relative regression before the gate fails (0.20 = 20 %).
+    pub regress_tolerance: f64,
+}
+
+/// The parsed SLO file: per-leg budget plus regression baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slo {
+    /// Per-leg sustainability budget (drives the throughput search).
+    pub budget: SloBudget,
+    /// Regression gate against the recorded trajectory.
+    pub baseline: SloBaseline,
+}
+
+/// Parses the TOML subset described in the [module docs](self).
+///
+/// # Errors
+///
+/// [`SloError`] with a 1-based line number on the first malformed line,
+/// unknown section/key, duplicate key, or missing required key.
+pub fn parse_slo(text: &str) -> Result<Slo, SloError> {
+    let err = |line: usize, msg: String| SloError { line, msg };
+    let mut section = String::new();
+    // (section, key) -> (line, value)
+    let mut values: Vec<(String, String, usize, f64)> = Vec::new();
+    let mut schema_seen = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated section header".into()))?
+                .trim();
+            if name != "budget" && name != "baseline" {
+                return Err(err(lineno, format!("unknown section '[{name}]'")));
+            }
+            section = name.to_string();
+            continue;
+        }
+        let (key, value) =
+            line.split_once('=').ok_or_else(|| err(lineno, "expected 'key = value'".into()))?;
+        let (key, value) = (key.trim(), value.trim());
+        if section.is_empty() {
+            // Only the schema marker lives at top level.
+            if key != "schema" {
+                return Err(err(lineno, format!("key '{key}' outside any section")));
+            }
+            if value.trim_matches('"') != "cs-traffic-slo/v1" {
+                return Err(err(lineno, format!("unsupported schema {value}")));
+            }
+            schema_seen = true;
+            continue;
+        }
+        let num: f64 = value
+            .parse()
+            .map_err(|_| err(lineno, format!("value of '{key}' is not a number: '{value}'")))?;
+        if !num.is_finite() || num < 0.0 {
+            return Err(err(lineno, format!("'{key}' must be finite and non-negative")));
+        }
+        if values.iter().any(|(s, k, _, _)| s == &section && k == key) {
+            return Err(err(lineno, format!("duplicate key '{key}' in [{section}]")));
+        }
+        values.push((section.clone(), key.to_string(), lineno, num));
+    }
+    if !schema_seen {
+        return Err(err(0, "missing 'schema = \"cs-traffic-slo/v1\"' marker".into()));
+    }
+    let take = |section: &str, key: &str| -> Result<f64, SloError> {
+        values
+            .iter()
+            .find(|(s, k, _, _)| s == section && k == key)
+            .map(|&(_, _, _, v)| v)
+            .ok_or_else(|| err(0, format!("missing key '{key}' in [{section}]")))
+    };
+    for (s, k, line, _) in &values {
+        let known: &[&str] = match s.as_str() {
+            "budget" => &["tick_p99_us", "solve_p99_us", "drop_rate"],
+            _ => &["max_sustainable_rate", "tick_p99_us", "regress_tolerance"],
+        };
+        if !known.contains(&k.as_str()) {
+            return Err(err(*line, format!("unknown key '{k}' in [{s}]")));
+        }
+    }
+    Ok(Slo {
+        budget: SloBudget {
+            tick_p99_us: take("budget", "tick_p99_us")?,
+            solve_p99_us: take("budget", "solve_p99_us")?,
+            drop_rate: take("budget", "drop_rate")?,
+        },
+        baseline: SloBaseline {
+            max_sustainable_rate: take("baseline", "max_sustainable_rate")?,
+            tick_p99_us: take("baseline", "tick_p99_us")?,
+            regress_tolerance: take("baseline", "regress_tolerance")?,
+        },
+    })
+}
+
+/// Reads and parses an SLO file.
+///
+/// # Errors
+///
+/// [`SloError`] for unreadable files (line 0) and everything
+/// [`parse_slo`] rejects.
+pub fn load_slo(path: &Path) -> Result<Slo, SloError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SloError { line: 0, msg: format!("cannot read {}: {e}", path.display()) })?;
+    parse_slo(&text)
+}
+
+/// The numbers the gate compares — extracted from a fresh
+/// `BENCH_serve.json` (or straight from an in-memory search).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateInputs {
+    /// Best passing leg's tick p99 (µs).
+    pub tick_p99_us: f64,
+    /// Best passing leg's solve p99 (µs).
+    pub solve_p99_us: f64,
+    /// Best passing leg's queue-drop fraction.
+    pub drop_rate: f64,
+    /// Binary-searched max sustainable throughput.
+    pub max_sustainable_rate: f64,
+}
+
+impl GateInputs {
+    /// Extracts the gated numbers from a parsed `BENCH_serve.json`
+    /// (schema `cs-traffic-bench-serve/v1`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the missing/mistyped field or a
+    /// schema mismatch.
+    pub fn from_bench_serve(doc: &telemetry::json::Json) -> Result<Self, String> {
+        match doc.get("schema").and_then(|s| s.as_str()) {
+            Some("cs-traffic-bench-serve/v1") => {}
+            Some(other) => return Err(format!("unsupported schema '{other}'")),
+            None => return Err("missing 'schema' field".into()),
+        }
+        let num = |path: &[&str]| -> Result<f64, String> {
+            let mut cur = doc;
+            for key in path {
+                cur = cur.get(key).ok_or_else(|| format!("missing field '{}'", path.join(".")))?;
+            }
+            cur.as_num().ok_or_else(|| format!("field '{}' is not a number", path.join(".")))
+        };
+        Ok(Self {
+            tick_p99_us: num(&["leg", "tick_us", "p99"])?,
+            solve_p99_us: num(&["leg", "solve_us", "p99"])?,
+            drop_rate: num(&["leg", "drop_rate"])?,
+            max_sustainable_rate: num(&["max_sustainable_rate"])?,
+        })
+    }
+}
+
+/// Applies the SLO gate. Returns one violation line per breached
+/// budget or regression; empty means the gate passes.
+pub fn gate(slo: &Slo, fresh: &GateInputs) -> Vec<String> {
+    let mut violations = Vec::new();
+    let b = &slo.budget;
+    if fresh.tick_p99_us > b.tick_p99_us {
+        violations.push(format!(
+            "tick p99 {:.0}us exceeds the {:.0}us budget",
+            fresh.tick_p99_us, b.tick_p99_us
+        ));
+    }
+    if fresh.solve_p99_us > b.solve_p99_us {
+        violations.push(format!(
+            "solve p99 {:.0}us exceeds the {:.0}us budget",
+            fresh.solve_p99_us, b.solve_p99_us
+        ));
+    }
+    if fresh.drop_rate > b.drop_rate {
+        violations.push(format!(
+            "queue-drop rate {:.4} exceeds the {:.4} budget",
+            fresh.drop_rate, b.drop_rate
+        ));
+    }
+    let base = &slo.baseline;
+    let tol = base.regress_tolerance;
+    let lat_ceiling = base.tick_p99_us * (1.0 + tol);
+    if fresh.tick_p99_us > lat_ceiling {
+        violations.push(format!(
+            "tick p99 regressed: {:.0}us vs baseline {:.0}us (+{:.0}% tolerance allows {:.0}us)",
+            fresh.tick_p99_us,
+            base.tick_p99_us,
+            tol * 100.0,
+            lat_ceiling
+        ));
+    }
+    let rate_floor = base.max_sustainable_rate * (1.0 - tol);
+    if fresh.max_sustainable_rate < rate_floor {
+        violations.push(format!(
+            "max sustainable throughput regressed: {:.1}/s vs baseline {:.1}/s \
+             (-{:.0}% tolerance requires >= {:.1}/s)",
+            fresh.max_sustainable_rate,
+            base.max_sustainable_rate,
+            tol * 100.0,
+            rate_floor
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+schema = "cs-traffic-slo/v1"
+
+# budgets
+[budget]
+tick_p99_us = 1000.0   # generous
+solve_p99_us = 900.0
+drop_rate = 0.02
+
+[baseline]
+max_sustainable_rate = 100.0
+tick_p99_us = 500.0
+regress_tolerance = 0.20
+"#;
+
+    #[test]
+    fn parses_the_reference_file() {
+        let slo = parse_slo(GOOD).unwrap();
+        assert_eq!(slo.budget.tick_p99_us, 1000.0);
+        assert_eq!(slo.budget.drop_rate, 0.02);
+        assert_eq!(slo.baseline.max_sustainable_rate, 100.0);
+        assert_eq!(slo.baseline.regress_tolerance, 0.20);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let cases: &[(&str, usize)] = &[
+            ("schema = \"cs-traffic-slo/v1\"\n[budget\n", 2),
+            ("schema = \"cs-traffic-slo/v1\"\n[typo]\n", 2),
+            ("schema = \"cs-traffic-slo/v1\"\n[budget]\nnonsense\n", 3),
+            ("schema = \"cs-traffic-slo/v1\"\n[budget]\ntick_p99_us = soon\n", 3),
+            ("schema = \"cs-traffic-slo/v1\"\n[budget]\ntick_p99_us = -1\n", 3),
+            ("schema = \"cs-traffic-slo/v1\"\n[budget]\nwrong_key = 1\n", 3),
+            ("schema = \"cs-traffic-slo/v1\"\nstray = 1\n", 2),
+            ("schema = \"cs-traffic-slo/v2\"\n", 1),
+            ("schema = \"cs-traffic-slo/v1\"\n[budget]\ndrop_rate = 1\ndrop_rate = 2\n", 4),
+        ];
+        for (text, line) in cases {
+            let e = parse_slo(text).unwrap_err();
+            assert_eq!(e.line, *line, "{text:?} -> {e}");
+        }
+        // Missing schema and missing keys are file-level (line 0).
+        assert_eq!(parse_slo("[budget]\ntick_p99_us = 1\n").unwrap_err().line, 0);
+        assert_eq!(parse_slo(GOOD.replace("drop_rate = 0.02", "").as_str()).unwrap_err().line, 0);
+    }
+
+    #[test]
+    fn extracts_gate_inputs_from_bench_serve_json() {
+        let doc = telemetry::json::Json::parse(
+            r#"{"schema":"cs-traffic-bench-serve/v1","max_sustainable_rate":123.5,
+                "leg":{"drop_rate":0.01,
+                       "tick_us":{"p50":10.0,"p99":42.0,"p999":50.0},
+                       "solve_us":{"p50":5.0,"p99":21.0,"p999":30.0}}}"#,
+        )
+        .unwrap();
+        let g = GateInputs::from_bench_serve(&doc).unwrap();
+        assert_eq!(g.tick_p99_us, 42.0);
+        assert_eq!(g.solve_p99_us, 21.0);
+        assert_eq!(g.drop_rate, 0.01);
+        assert_eq!(g.max_sustainable_rate, 123.5);
+
+        let bad = telemetry::json::Json::parse(r#"{"schema":"nope"}"#).unwrap();
+        assert!(GateInputs::from_bench_serve(&bad).unwrap_err().contains("unsupported schema"));
+        let missing =
+            telemetry::json::Json::parse(r#"{"schema":"cs-traffic-bench-serve/v1"}"#).unwrap();
+        assert!(GateInputs::from_bench_serve(&missing).unwrap_err().contains("missing field"));
+    }
+
+    #[test]
+    fn gate_passes_and_fails_each_axis() {
+        let slo = parse_slo(GOOD).unwrap();
+        let ok = GateInputs {
+            tick_p99_us: 500.0,
+            solve_p99_us: 400.0,
+            drop_rate: 0.0,
+            max_sustainable_rate: 100.0,
+        };
+        assert!(gate(&slo, &ok).is_empty());
+
+        // Each axis alone produces exactly its violation.
+        let v = gate(&slo, &GateInputs { tick_p99_us: 1500.0, ..ok });
+        assert_eq!(v.len(), 2, "budget + regression: {v:?}"); // 1500 > 1000 and > 500*1.2
+        let v = gate(&slo, &GateInputs { solve_p99_us: 901.0, ..ok });
+        assert_eq!(v.len(), 1, "{v:?}");
+        let v = gate(&slo, &GateInputs { drop_rate: 0.03, ..ok });
+        assert_eq!(v.len(), 1, "{v:?}");
+        let v = gate(&slo, &GateInputs { max_sustainable_rate: 79.9, ..ok });
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Within tolerance: 80.0 >= 100*0.8 passes.
+        assert!(gate(&slo, &GateInputs { max_sustainable_rate: 80.0, ..ok }).is_empty());
+        // Latency within the 20% band over baseline passes the
+        // regression check (and the absolute budget).
+        assert!(gate(&slo, &GateInputs { tick_p99_us: 599.0, ..ok }).is_empty());
+    }
+}

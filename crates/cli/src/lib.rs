@@ -560,6 +560,140 @@ pub fn cmd_chaos<W: Write>(
     Ok(())
 }
 
+/// Options for [`cmd_loadtest`], mirroring the `loadtest` flags.
+#[derive(Debug, Clone)]
+pub struct LoadtestOptions {
+    /// Geometry preset: `"quick"` (CI smoke) or `"full"`.
+    pub profile: String,
+    /// Stream seed — same seed, same offered stream, any thread count.
+    pub seed: u64,
+    /// Run a single leg at this offered rate instead of searching.
+    pub rate: Option<f64>,
+    /// Override the preset's measured ticks per leg.
+    pub ticks: Option<usize>,
+    /// Cap on search legs.
+    pub max_legs: usize,
+    /// Where to write `BENCH_serve.json` (skipped when `None`).
+    pub out: Option<std::path::PathBuf>,
+    /// SLO file; when set, the run is gated against `[budget]` and
+    /// `[baseline]` and violations exit 70.
+    pub slo: Option<std::path::PathBuf>,
+}
+
+impl Default for LoadtestOptions {
+    fn default() -> Self {
+        Self {
+            profile: "quick".into(),
+            seed: 42,
+            rate: None,
+            ticks: None,
+            max_legs: 12,
+            out: None,
+            slo: None,
+        }
+    }
+}
+
+/// `loadtest`: closed-loop load generation against the in-process
+/// streaming service — the CLI face of `cs_bench::loadgen`, so "how
+/// fast does serving go on this box" needs no bench harness.
+///
+/// Searches for the maximum sustainable throughput (or measures one
+/// `--rate` leg), prints per-leg lines and a summary, optionally
+/// writes the `cs-traffic-bench-serve/v1` artifact, and — when an SLO
+/// file is given — applies [`cs_bench::slo::gate`].
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for unknown profiles and bad geometry,
+/// [`CliError::Input`] for an unreadable/invalid SLO file,
+/// [`CliError::Algorithm`] when the SLO gate reports violations, and
+/// [`CliError::Io`] if the artifact cannot be written.
+pub fn cmd_loadtest<W: Write>(opts: &LoadtestOptions, mut w: W) -> CliResult {
+    use cs_bench::loadgen::{self, LoadConfig, SloBudget};
+    use cs_bench::slo::{self, GateInputs};
+
+    let mut cfg = match opts.profile.as_str() {
+        "quick" => LoadConfig::quick(opts.seed),
+        "full" => LoadConfig::full(opts.seed),
+        other => {
+            return Err(CliError::Usage(format!("unknown profile '{other}' (expected quick|full)")))
+        }
+    };
+    if let Some(ticks) = opts.ticks {
+        cfg.ticks = ticks;
+    }
+
+    let slo = opts
+        .slo
+        .as_deref()
+        .map(slo::load_slo)
+        .transpose()
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    let budget = slo.map_or_else(SloBudget::default, |s| s.budget);
+
+    let start = opts.rate.unwrap_or(if opts.profile == "quick" { 200.0 } else { 2_000.0 });
+    let max_legs = if opts.rate.is_some() { 1 } else { opts.max_legs };
+    let search = loadgen::search_max_rate(&cfg, &budget, start, max_legs)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+
+    for leg in &search.legs {
+        writeln!(
+            w,
+            "leg rate={:8.1}/s  tick_p99={:8.0}us  drop={:.4}  {}",
+            leg.rate,
+            leg.tick_p99_us,
+            leg.drop_rate,
+            if leg.passed { "pass" } else { "FAIL" }
+        )?;
+    }
+    let best = &search.best;
+    writeln!(
+        w,
+        "max_sustainable_rate={:.1}/s offered={:.1}/s achieved={:.1}/s \
+         tick_us p50/p99/p999={:.0}/{:.0}/{:.0} solve_us p99={:.0} \
+         drop_rate={:.4} stream={:016x}",
+        search.max_sustainable_rate,
+        best.offered_rate,
+        best.achieved_rate,
+        best.tick_us.p50,
+        best.tick_us.p99,
+        best.tick_us.p999,
+        best.solve_us.p99,
+        best.drop_rate,
+        best.stream_hash,
+    )?;
+
+    if let Some(out) = &opts.out {
+        let quick = opts.profile == "quick";
+        loadgen::write_bench_serve_json(out, &cfg, &search, quick)
+            .map_err(|e| CliError::Io(format!("cannot write {}: {e}", out.display())))?;
+        writeln!(w, "wrote {}", out.display())?;
+    }
+
+    if let Some(slo) = slo {
+        let fresh = GateInputs {
+            tick_p99_us: best.tick_us.p99,
+            solve_p99_us: best.solve_us.p99,
+            drop_rate: best.drop_rate,
+            max_sustainable_rate: search.max_sustainable_rate,
+        };
+        let violations = slo::gate(&slo, &fresh);
+        if !violations.is_empty() {
+            return Err(CliError::Algorithm(format!(
+                "SLO gate failed: {}; reproduce with: cs-traffic-cli loadtest --profile {} \
+                 --seed {} --slo {}",
+                violations.join("; "),
+                opts.profile,
+                opts.seed,
+                opts.slo.as_deref().map(Path::display).map(|d| d.to_string()).unwrap_or_default(),
+            )));
+        }
+        writeln!(w, "SLO gate: pass")?;
+    }
+    Ok(())
+}
+
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 pub fn parse_flags(args: &[String]) -> CliResult<std::collections::HashMap<String, String>> {
     let mut map = std::collections::HashMap::new();

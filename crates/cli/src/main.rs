@@ -11,13 +11,13 @@
 //! ```
 
 use cs_traffic_cli::{
-    cmd_analyze, cmd_build_tcm, cmd_chaos, cmd_detect, cmd_estimate, cmd_evaluate, cmd_serve,
-    cmd_simulate, parse_flags, CliError, CliResult, ServeOptions,
+    cmd_analyze, cmd_build_tcm, cmd_chaos, cmd_detect, cmd_estimate, cmd_evaluate, cmd_loadtest,
+    cmd_serve, cmd_simulate, parse_flags, CliError, CliResult, LoadtestOptions, ServeOptions,
 };
 use std::path::Path;
 
 const USAGE: &str =
-    "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate|serve|chaos> [--flag value ...]
+    "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate|serve|chaos|loadtest> [--flag value ...]
 
 global flags:
   --threads N        worker threads for completion/detection hot paths
@@ -45,7 +45,15 @@ subcommands:
   chaos      --seed N [--ticks T] [--sweep K]
              (deterministic fault-injection run against the streaming
               service with a differential oracle; same seed = identical
-              output at any --threads; exit 70 on oracle violation)";
+              output at any --threads; exit 70 on oracle violation)
+  loadtest   [--profile quick|full] [--seed N] [--rate R] [--ticks T]
+             [--max-legs N] [--out FILE] [--slo FILE]
+             (closed-loop load generator against the in-process
+              streaming service; binary-searches the max sustainable
+              throughput, writes a cs-traffic-bench-serve/v1 JSON with
+              --out, and with --slo gates against results/SLO.toml,
+              exit 70 on violation; same --seed = identical offered
+              stream at any --threads)";
 
 fn run() -> CliResult {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -128,6 +136,23 @@ fn run() -> CliResult {
                 &opts,
                 std::io::stdout().lock(),
             )
+        }
+        "loadtest" => {
+            let defaults = LoadtestOptions::default();
+            let opts = LoadtestOptions {
+                profile: flags.get("profile").cloned().unwrap_or(defaults.profile),
+                seed: flags.get("seed").map(|s| s.parse()).transpose()?.unwrap_or(defaults.seed),
+                rate: flags.get("rate").map(|s| s.parse()).transpose()?,
+                ticks: flags.get("ticks").map(|s| s.parse()).transpose()?,
+                max_legs: flags
+                    .get("max-legs")
+                    .map(|s| s.parse())
+                    .transpose()?
+                    .unwrap_or(defaults.max_legs),
+                out: flags.get("out").map(std::path::PathBuf::from),
+                slo: flags.get("slo").map(std::path::PathBuf::from),
+            };
+            cmd_loadtest(&opts, std::io::stdout().lock())
         }
         "chaos" => cmd_chaos(
             get("seed")?.parse()?,

@@ -27,8 +27,12 @@
 //! Everything the loop swallows is visible: the service keeps local
 //! [`ServeStats`] and, when metrics are enabled, increments the
 //! `serve.dropped_late` / `serve.rejected` / `serve.degraded` (plus
-//! `serve.duplicates` / `serve.queue_dropped`) counters and emits
-//! `serve.tick` / `serve.solve` spans through the `telemetry` crate.
+//! `serve.duplicates` / `serve.queue_dropped`) counters, emits
+//! `serve.tick` / `serve.solve` spans, and samples per-tick and
+//! per-solve wall clock into the `serve.tick_us` / `serve.solve_us`
+//! log₂ histograms (handles resolved once, so the hot path stays
+//! allocation-free) through the `telemetry` crate. [`TickReport`]
+//! carries the same timings per tick for callers without a sink.
 //!
 //! # Example
 //!
@@ -348,6 +352,20 @@ pub struct TickReport {
     pub solved: bool,
     /// Whether this tick degraded (solve failed or blew its budget).
     pub degraded: bool,
+    /// Wall-clock microseconds the whole tick took (drain + solve).
+    pub tick_us: u64,
+    /// Wall-clock microseconds of the solve attempt; `0` when the
+    /// window was clean and no solve ran.
+    pub solve_us: u64,
+}
+
+/// Latency histogram handles, resolved once from the global registry so
+/// the per-tick sampling on the hot path is an `Arc` deref and a few
+/// relaxed atomic bumps — no name lookup, no allocation.
+#[derive(Debug)]
+struct LatencyHists {
+    tick_us: std::sync::Arc<telemetry::Histogram>,
+    solve_us: std::sync::Arc<telemetry::Histogram>,
 }
 
 /// The streaming estimation loop. See the [module docs](self).
@@ -366,6 +384,9 @@ pub struct Service {
     /// Window content changed since the last successful solve.
     dirty: bool,
     stats: ServeStats,
+    /// Lazily-resolved latency histograms (`None` until the first tick
+    /// with metrics enabled).
+    lat: Option<LatencyHists>,
 }
 
 impl Service {
@@ -395,7 +416,24 @@ impl Service {
             last_good: None,
             dirty: false,
             stats: ServeStats::default(),
+            lat: None,
         })
+    }
+
+    /// The latency histogram handles, resolved on first use while
+    /// metrics are enabled. Returns `None` (without touching the
+    /// registry) when metrics are off.
+    fn latency_hists(&mut self) -> Option<&LatencyHists> {
+        if !telemetry::metrics_enabled() {
+            return None;
+        }
+        if self.lat.is_none() {
+            self.lat = Some(LatencyHists {
+                tick_us: telemetry::histogram("serve.tick_us"),
+                solve_us: telemetry::histogram("serve.solve_us"),
+            });
+        }
+        self.lat.as_ref()
     }
 
     /// The validated configuration in use.
@@ -509,15 +547,25 @@ impl Service {
     /// bad input and solve trouble become counters and staleness.
     pub fn tick(&mut self) -> TickReport {
         let mut span = telemetry::span(Level::Debug, "serve.tick");
+        let t0 = Instant::now();
         let mut report = TickReport::default();
         while let Some(obs) = self.queue.pop_front() {
             self.admit(obs, &mut report);
         }
         self.prune_seen();
         if self.dirty {
-            let (solved, degraded) = self.solve();
+            let (solved, degraded, solve_wall) = self.solve();
             report.solved = solved;
             report.degraded = degraded;
+            report.solve_us = solve_wall.as_micros() as u64;
+        }
+        report.tick_us = t0.elapsed().as_micros() as u64;
+        if let Some(lat) = self.latency_hists() {
+            lat.tick_us.observe(report.tick_us as f64);
+            // Every solve attempt ends solved, degraded, or both.
+            if report.solved || report.degraded {
+                lat.solve_us.observe(report.solve_us as f64);
+            }
         }
         if span.is_enabled() {
             span.record("admitted", report.admitted as u64);
@@ -603,8 +651,8 @@ impl Service {
         });
     }
 
-    /// One watchdogged solve. Returns `(solved, degraded)`.
-    fn solve(&mut self) -> (bool, bool) {
+    /// One watchdogged solve. Returns `(solved, degraded, wall_clock)`.
+    fn solve(&mut self) -> (bool, bool, Duration) {
         let snapshot = self.window.snapshot();
         let mut span = telemetry::span(Level::Debug, "serve.solve");
         let t0 = Instant::now();
@@ -644,7 +692,7 @@ impl Service {
                     sweeps: result.sweeps,
                     objective: result.objective,
                 });
-                (true, over_budget)
+                (true, over_budget, wall)
             }
             Err(err) => {
                 // Degrade: keep answering from the last good estimate,
@@ -660,7 +708,7 @@ impl Service {
                 if let Some(last) = &mut self.last_good {
                     last.stale = true;
                 }
-                (false, true)
+                (false, true, wall)
             }
         }
     }

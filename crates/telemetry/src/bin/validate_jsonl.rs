@@ -1,9 +1,13 @@
 //! CI gate for telemetry output: checks that every line of a metrics
 //! JSONL file is parseable JSON carrying the expected top-level keys,
-//! and (optionally) that a run manifest parses with its required keys.
+//! that histogram snapshots carry well-formed `lo:hi:count` bucket
+//! triples, and (optionally) that a run manifest or a
+//! `cs-traffic-bench-serve/v1` load-test artifact parses with its
+//! required keys.
 //!
 //! ```text
-//! validate-jsonl <metrics.jsonl> [run_manifest.json]
+//! validate-jsonl [--serve BENCH_serve.json] <metrics.jsonl> [run_manifest.json]
+//! validate-jsonl --serve BENCH_serve.json
 //! ```
 //!
 //! Exits non-zero with a line-precise message on the first violation.
@@ -48,12 +52,89 @@ fn validate_jsonl(path: &str) -> usize {
         if value.get("ts_ms").and_then(Json::as_num).is_none() {
             fail(format!("{path}:{}: 'ts_ms' is not a number", lineno + 1));
         }
+        if ty == "histogram" {
+            validate_buckets(path, lineno + 1, &value);
+        }
         records += 1;
     }
     if records == 0 {
         fail(format!("{path}: no records emitted"));
     }
     records
+}
+
+/// Histogram snapshots encode non-empty buckets as space-separated
+/// `lo:hi:count` triples (hi = `inf` in the top bucket) so downstream
+/// tooling can re-derive quantiles; reject anything else.
+fn validate_buckets(path: &str, lineno: usize, value: &Json) {
+    let Some(buckets) = value.get("buckets") else {
+        return; // empty histograms omit the field
+    };
+    let Some(buckets) = buckets.as_str() else {
+        fail(format!("{path}:{lineno}: 'buckets' is not a string"));
+    };
+    for triple in buckets.split_whitespace() {
+        let parts: Vec<&str> = triple.split(':').collect();
+        let ok = parts.len() == 3
+            && parts[0].parse::<f64>().is_ok()
+            && (parts[1] == "inf" || parts[1].parse::<f64>().is_ok())
+            && parts[2].parse::<u64>().is_ok();
+        if !ok {
+            fail(format!("{path}:{lineno}: malformed bucket triple '{triple}' (want lo:hi:count)"));
+        }
+    }
+}
+
+/// Required shape of the `cs-traffic-bench-serve/v1` load-test
+/// artifact: the schema marker, the searched rate, and a best leg with
+/// full quantile sets, counters, and the determinism witness hash.
+fn validate_serve(path: &str) {
+    let content = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read '{path}': {e}")));
+    let value =
+        Json::parse(&content).unwrap_or_else(|e| fail(format!("{path}: not valid JSON: {e}")));
+    match value.get("schema").and_then(Json::as_str) {
+        Some("cs-traffic-bench-serve/v1") => {}
+        Some(other) => fail(format!("{path}: unsupported serve schema '{other}'")),
+        None => fail(format!("{path}: missing 'schema'")),
+    }
+    for key in ["git_rev", "seed", "threads", "quick", "grid", "search_legs"] {
+        if value.get(key).is_none() {
+            fail(format!("{path}: missing required key '{key}'"));
+        }
+    }
+    if value.get("max_sustainable_rate").and_then(Json::as_num).is_none() {
+        fail(format!("{path}: 'max_sustainable_rate' is not a number"));
+    }
+    let Some(leg) = value.get("leg") else {
+        fail(format!("{path}: missing 'leg'"));
+    };
+    for key in ["offered_rate", "achieved_rate", "drop_rate", "degrade_rate", "wall_s"] {
+        if leg.get(key).and_then(Json::as_num).is_none() {
+            fail(format!("{path}: leg.{key} is not a number"));
+        }
+    }
+    for hist in ["tick_us", "solve_us", "e2e_us"] {
+        let Some(h) = leg.get(hist) else {
+            fail(format!("{path}: missing leg.{hist}"));
+        };
+        for q in ["p50", "p99", "p999", "max", "count"] {
+            if h.get(q).and_then(Json::as_num).is_none() {
+                fail(format!("{path}: leg.{hist}.{q} is not a number"));
+            }
+        }
+    }
+    if leg.get("counters").is_none() {
+        fail(format!("{path}: missing leg.counters"));
+    }
+    let hash = leg
+        .get("stream_hash")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail(format!("{path}: leg.stream_hash is not a string")));
+    if hash.len() != 16 || !hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+        fail(format!("{path}: leg.stream_hash '{hash}' is not a 16-digit hex hash"));
+    }
+    println!("{path}: serve artifact OK");
 }
 
 fn validate_manifest(path: &str) {
@@ -80,12 +161,23 @@ fn validate_manifest(path: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(jsonl) = args.first() else {
-        fail("usage: validate-jsonl <metrics.jsonl> [run_manifest.json]".to_string());
-    };
-    let records = validate_jsonl(jsonl);
-    println!("{jsonl}: {records} valid records");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--serve") {
+        args.remove(pos);
+        if pos >= args.len() {
+            fail("--serve requires a path".to_string());
+        }
+        validate_serve(&args.remove(pos));
+    } else if args.is_empty() {
+        fail(
+            "usage: validate-jsonl [--serve BENCH_serve.json] <metrics.jsonl> [run_manifest.json]"
+                .to_string(),
+        );
+    }
+    if let Some(jsonl) = args.first() {
+        let records = validate_jsonl(jsonl);
+        println!("{jsonl}: {records} valid records");
+    }
     if let Some(manifest) = args.get(1) {
         validate_manifest(manifest);
     }

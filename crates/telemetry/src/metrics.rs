@@ -161,6 +161,63 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound, count)` triples —
+    /// the full bounds a consumer needs to re-derive quantiles from a
+    /// flushed snapshot.
+    pub fn nonzero_bucket_bounds(&self) -> Vec<(f64, f64, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let c = self.bucket_count(i);
+                (c > 0).then(|| {
+                    let (lo, hi) = Self::bucket_bounds(i);
+                    (lo, hi, c)
+                })
+            })
+            .collect()
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`, clamped) by linear
+    /// interpolation inside the log₂ bucket holding the target rank.
+    ///
+    /// The continuous rank `q·count` is located in the cumulative bucket
+    /// counts; the value is interpolated between the bucket's bounds at
+    /// the rank's fractional position, then clamped to the observed
+    /// `[min, max]` so the open-ended edge buckets (`[0, 2⁻⁹)` and
+    /// `[2⁵⁴, ∞)`) cannot produce a value outside the data.
+    ///
+    /// Returns `None` before the first observation. The estimate is
+    /// monotone in `q`, exact at `q = 0` (`min`) and `q = 1` (`max`),
+    /// and within one bucket width (a factor of 2) everywhere else.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min()?, self.max()?);
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(min);
+        }
+        let target = q * count as f64;
+        let mut cum = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let c = self.bucket_count(i);
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= target {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = (target - cum as f64) / c as f64;
+                let v = if hi.is_finite() { lo + frac * (hi - lo) } else { max };
+                return Some(v.clamp(min, max));
+            }
+            cum += c;
+        }
+        // Concurrent observes can leave `count` ahead of the bucket sum
+        // for a moment; the largest observation is the right answer.
+        Some(max)
+    }
 }
 
 /// CAS loop for float-valued atomics (sum/min/max).
@@ -263,10 +320,13 @@ pub fn snapshot() -> Vec<MetricSnapshot> {
                 fields: vec![("value".into(), Value::Float(g.get()))],
             },
             Metric::Histogram(h) => {
+                // `lo:hi:count` per non-empty bucket — both bounds, so a
+                // consumer of the flushed JSONL can re-derive quantiles
+                // without knowing the bucketing scheme.
                 let buckets = h
-                    .nonzero_buckets()
+                    .nonzero_bucket_bounds()
                     .iter()
-                    .map(|(hi, c)| format!("{hi}:{c}"))
+                    .map(|(lo, hi, c)| format!("{lo}:{hi}:{c}"))
                     .collect::<Vec<_>>()
                     .join(" ");
                 MetricSnapshot {
@@ -277,6 +337,9 @@ pub fn snapshot() -> Vec<MetricSnapshot> {
                         ("sum".into(), Value::Float(h.sum())),
                         ("min".into(), Value::Float(h.min().unwrap_or(0.0))),
                         ("max".into(), Value::Float(h.max().unwrap_or(0.0))),
+                        ("p50".into(), Value::Float(h.quantile(0.50).unwrap_or(0.0))),
+                        ("p99".into(), Value::Float(h.quantile(0.99).unwrap_or(0.0))),
+                        ("p999".into(), Value::Float(h.quantile(0.999).unwrap_or(0.0))),
                         ("buckets".into(), Value::Str(buckets)),
                     ],
                 }

@@ -1,0 +1,119 @@
+//! Unit suite for [`Histogram::quantile`]: exact values on synthetic
+//! bucket fills, edge-case clamping, and a monotonicity property test.
+//!
+//! The quantile estimator interpolates linearly inside log₂ buckets, so
+//! the exactness tests place observations where the interpolation is
+//! analytically known (single observations, uniform fills of one
+//! bucket), and the property test only asserts what the estimator
+//! guarantees for arbitrary data: monotone in `q`, bounded by
+//! `[min, max]`, exact at the ends.
+
+use proptest::prelude::*;
+use telemetry::Histogram;
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let h = Histogram::default();
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.quantile(0.0), None);
+    assert_eq!(h.quantile(1.0), None);
+}
+
+#[test]
+fn single_observation_is_every_quantile() {
+    // One value: the clamp to [min, max] makes every quantile exact.
+    let h = Histogram::default();
+    h.observe(3.0);
+    for q in [0.0, 0.1, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), Some(3.0), "q={q}");
+    }
+}
+
+#[test]
+fn interpolates_within_one_bucket() {
+    // Two observations inside [2, 4): target rank for q=0.5 is 1.0, so
+    // the interpolation sits halfway into the bucket: 2 + 0.5·(4−2) = 3,
+    // then clamps into the observed [2.5, 3.5].
+    let h = Histogram::default();
+    h.observe(2.5);
+    h.observe(3.5);
+    assert_eq!(h.quantile(0.5), Some(3.0));
+    // q=0.25 → rank 0.5 → 2 + 0.25·2 = 2.5 exactly (also the min).
+    assert_eq!(h.quantile(0.25), Some(2.5));
+    // q=1 → the max observation, not the bucket's upper bound.
+    assert_eq!(h.quantile(1.0), Some(3.5));
+    assert_eq!(h.quantile(0.0), Some(2.5));
+}
+
+#[test]
+fn walks_across_buckets() {
+    // 10 observations in [1, 2), 90 in [2, 4): p50 falls at rank 50,
+    // which is 40/90 of the way through the second bucket.
+    let h = Histogram::default();
+    for _ in 0..10 {
+        h.observe(1.5);
+    }
+    for _ in 0..90 {
+        h.observe(3.0);
+    }
+    let p50 = h.quantile(0.5).unwrap();
+    let expected = 2.0 + (50.0 - 10.0) / 90.0 * (4.0 - 2.0);
+    assert!((p50 - expected).abs() < 1e-12, "p50={p50}, expected {expected}");
+    // p05 lands exactly at the end of the first bucket's rank range
+    // (rank 5 of 10 in [1, 2) → 1.5), clamped within the data.
+    let p05 = h.quantile(0.05).unwrap();
+    assert!((p05 - 1.5).abs() < 1e-12, "p05={p05}");
+}
+
+#[test]
+fn edge_buckets_clamp_to_observed_range() {
+    // Bucket 0 reaches down to 0 and the top bucket up to infinity; the
+    // estimate must still stay inside the observed data.
+    let h = Histogram::default();
+    h.observe(0.0001); // bucket 0
+    h.observe(1e300); // top bucket
+    for q in [0.0, 0.3, 0.7, 1.0] {
+        let v = h.quantile(q).unwrap();
+        assert!((0.0001..=1e300).contains(&v), "q={q} escaped the data: {v}");
+    }
+    assert_eq!(h.quantile(0.0), Some(0.0001));
+    assert_eq!(h.quantile(1.0), Some(1e300));
+}
+
+#[test]
+fn out_of_range_q_clamps() {
+    let h = Histogram::default();
+    h.observe(5.0);
+    h.observe(7.0);
+    assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+    assert_eq!(h.quantile(2.0), h.quantile(1.0));
+}
+
+proptest! {
+    /// For arbitrary positive observations: quantiles are monotone in
+    /// `q`, bounded by the observed range, and exact at the endpoints.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(1e-6f64..1e9, 1..200),
+        qs in proptest::collection::vec(0f64..=1.0, 2..20),
+    ) {
+        let h = Histogram::default();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &values {
+            h.observe(v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+            prop_assert!((lo..=hi).contains(&v), "quantile({q}) = {v} outside [{lo}, {hi}]");
+            prev = v;
+        }
+        prop_assert_eq!(h.quantile(0.0).unwrap(), lo);
+        prop_assert_eq!(h.quantile(1.0).unwrap(), hi);
+    }
+}
