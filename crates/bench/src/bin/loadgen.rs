@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! loadgen [--profile quick|full] [--seed N] [--rate R] [--threads N]
-//!         [--max-legs N] [--out PATH] [--slo PATH]
+//!         [--max-legs N] [--out PATH] [--slo PATH] [--flight-dump PATH]
 //! ```
 //!
 //! * `--profile` — geometry preset (default `full`; CI passes `quick`,
@@ -19,6 +19,10 @@
 //!   defines "sustainable" for the search. The regression *gate* is a
 //!   separate program (`slo-gate`), so measuring never fails CI — only
 //!   comparing does.
+//! * `--flight-dump` — install a 512-record flight recorder and dump
+//!   it to this path when a solve degrades mid-leg (or the process
+//!   panics), so a failed CI serve-load run leaves a
+//!   `cs-traffic-flight/v1` artifact behind.
 //!
 //! Exit codes: 0 success, 2 usage, 74 I/O.
 
@@ -30,7 +34,7 @@ fn fail_usage(msg: &str) -> ! {
     eprintln!("loadgen: {msg}");
     eprintln!(
         "usage: loadgen [--profile quick|full] [--seed N] [--rate R] [--threads N] \
-         [--max-legs N] [--out PATH] [--slo PATH]"
+         [--max-legs N] [--out PATH] [--slo PATH] [--flight-dump PATH]"
     );
     std::process::exit(2);
 }
@@ -43,6 +47,7 @@ struct Args {
     max_legs: usize,
     out: PathBuf,
     slo: PathBuf,
+    flight_dump: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -55,6 +60,7 @@ fn parse_args() -> Args {
         max_legs: 12,
         out: PathBuf::from("results/BENCH_serve.json"),
         slo: PathBuf::from("results/SLO.toml"),
+        flight_dump: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -79,6 +85,7 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = PathBuf::from(val("--out")),
             "--slo" => args.slo = PathBuf::from(val("--slo")),
+            "--flight-dump" => args.flight_dump = Some(PathBuf::from(val("--flight-dump"))),
             "--help" | "-h" => fail_usage("help"),
             other => fail_usage(&format!("unknown flag '{other}'")),
         }
@@ -94,7 +101,18 @@ fn main() {
         other => fail_usage(&format!("unknown profile '{other}' (quick|full)")),
     };
     cfg.num_threads = args.threads;
+    cfg.flight_dump = args.flight_dump.clone();
     let quick = args.profile == "quick";
+
+    if let Some(path) = &args.flight_dump {
+        // Ride the telemetry dispatch layer: raise the level so the
+        // ring sees records, and flush it on panic too.
+        telemetry::set_level(telemetry::Level::Trace);
+        let recorder = telemetry::flight::install(512);
+        recorder.set_dump_path(path.clone());
+        recorder.set_meta("command", "loadgen");
+        telemetry::install_panic_flush_hook();
+    }
 
     let budget = match slo::load_slo(&args.slo) {
         Ok(s) => s.budget,

@@ -27,7 +27,7 @@ pub fn chaos_sweep(quick: bool) -> Vec<SweepRow> {
     let seeds = if quick { 1..=4u64 } else { 1..=16u64 };
     seeds
         .map(|seed| {
-            let base = ChaosConfig { seed, ticks: 24, num_threads: 1, check_counters: false };
+            let base = ChaosConfig { seed, ticks: 24, num_threads: 1, ..ChaosConfig::default() };
             let one = run(&base).expect("chaos run constructs");
             let two =
                 run(&ChaosConfig { num_threads: 2, ..base.clone() }).expect("chaos run constructs");

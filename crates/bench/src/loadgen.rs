@@ -87,6 +87,11 @@ pub struct LoadConfig {
     /// Malformed reports injected per 10 000 generated (exercises the
     /// rejection path at a realistic background level).
     pub malformed_per_10k: u32,
+    /// Where the service dumps its flight recorder when a solve
+    /// degrades mid-leg (`None` = no dump). The recorder itself is
+    /// installed by the caller (see the `loadgen` binary's
+    /// `--flight-dump`).
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl LoadConfig {
@@ -107,6 +112,7 @@ impl LoadConfig {
             lambda: 1.0,
             num_threads: 0,
             malformed_per_10k: 10,
+            flight_dump: None,
         }
     }
 
@@ -126,6 +132,7 @@ impl LoadConfig {
             lambda: 10.0,
             num_threads: 0,
             malformed_per_10k: 10,
+            flight_dump: None,
         }
     }
 
@@ -155,6 +162,7 @@ impl LoadConfig {
                 num_threads: self.num_threads,
                 ..CsConfig::default()
             })
+            .flight_dump(self.flight_dump.clone())
             .build()?)
     }
 }
@@ -218,7 +226,11 @@ pub struct LegReport {
     pub tick_us: Quantiles,
     /// Solve latency quantiles (µs).
     pub solve_us: Quantiles,
-    /// End-to-end batch latency quantiles (µs): generate + push + tick.
+    /// End-to-end per-report latency quantiles (µs): enqueue → settled
+    /// (solved, degraded, or dropped), read straight from the
+    /// service's own `serve.e2e_us` histogram rather than recomputed
+    /// here — the number in `BENCH_serve.json` is the number the
+    /// service itself reports.
     pub e2e_us: Quantiles,
     /// FNV-1a over every generated report (warm-up included) — the
     /// determinism witness: a pure function of `(seed, rate, geometry)`.
@@ -260,7 +272,6 @@ pub fn run_leg(cfg: &LoadConfig, rate: f64) -> Result<LegReport, Error> {
 
     let tick_hist = Histogram::default();
     let solve_hist = Histogram::default();
-    let e2e_hist = Histogram::default();
 
     let total_ticks = cfg.warmup_ticks + cfg.ticks;
     let mut offered_measured = 0u64;
@@ -271,6 +282,9 @@ pub fn run_leg(cfg: &LoadConfig, rate: f64) -> Result<LegReport, Error> {
         let measured = k >= cfg.warmup_ticks;
         if k == cfg.warmup_ticks {
             stats_at_warmup = service.stats();
+            // Forget warm-up latencies so the e2e quantiles cover the
+            // measured phase only, like the counter deltas.
+            service.e2e_histogram().reset();
         }
         let t0_s = k as u64 * dt;
         // Fixed-point pacing: the fractional report budget carries over
@@ -300,14 +314,12 @@ pub fn run_leg(cfg: &LoadConfig, rate: f64) -> Result<LegReport, Error> {
         service.advance_clock(t0_s + dt);
         let report = service.tick();
         if measured {
-            let e2e = batch_start.elapsed();
             offered_measured += n;
-            measured_wall += e2e.as_secs_f64();
+            measured_wall += batch_start.elapsed().as_secs_f64();
             tick_hist.observe(report.tick_us as f64);
             if report.solved || report.degraded {
                 solve_hist.observe(report.solve_us as f64);
             }
-            e2e_hist.observe(e2e.as_secs_f64() * 1e6);
         }
     }
 
@@ -333,7 +345,7 @@ pub fn run_leg(cfg: &LoadConfig, rate: f64) -> Result<LegReport, Error> {
         degrade_rate,
         tick_us: Quantiles::from_histogram(&tick_hist),
         solve_us: Quantiles::from_histogram(&solve_hist),
-        e2e_us: Quantiles::from_histogram(&e2e_hist),
+        e2e_us: Quantiles::from_histogram(service.e2e_histogram()),
         stream_hash: hash.finish(),
     })
 }

@@ -50,11 +50,27 @@ pub struct ChaosConfig {
     /// metrics producer (the CLI path); defaults to off so library
     /// tests can run concurrently.
     pub check_counters: bool,
+    /// Causal-trace sampling modulus passed to the service (see
+    /// [`ServeConfig::trace_sample`]); `0` (the default) disables
+    /// tracing. Trace records go to the sinks and the flight recorder,
+    /// never into the report hashes, so `summary_line` stays
+    /// byte-stable.
+    pub trace_sample: u64,
+    /// Flight-recorder dump path for degraded ticks and oracle
+    /// failures (see [`ServeConfig::flight_dump`]).
+    pub flight_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for ChaosConfig {
     fn default() -> Self {
-        Self { seed: 1, ticks: 24, num_threads: 0, check_counters: false }
+        Self {
+            seed: 1,
+            ticks: 24,
+            num_threads: 0,
+            check_counters: false,
+            trace_sample: 0,
+            flight_dump: None,
+        }
     }
 }
 
@@ -161,6 +177,8 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosReport, Error> {
         .backpressure(plan.backpressure)
         .warm_sweep_cap(Some(6))
         .solve_budget(None)
+        .trace_sample(cfg.trace_sample)
+        .flight_dump(cfg.flight_dump.clone())
         .build()?;
     let mut service = Service::new(serve_cfg.clone())?;
     let mut mirror =
@@ -327,6 +345,15 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosReport, Error> {
         }
         h.finish()
     };
+
+    // A failed oracle is exactly what the flight recorder exists for:
+    // dump the last-N records so the failure is diagnosable without a
+    // rerun (the seed reproduces it, but the dump shows the lead-up).
+    if !report.oracle_ok() {
+        if let (Some(path), Some(recorder)) = (&cfg.flight_dump, telemetry::flight::recorder()) {
+            let _ = recorder.dump_to_path(path, "chaos_oracle");
+        }
+    }
     Ok(report)
 }
 

@@ -6,8 +6,9 @@ use chaos::{run, ChaosConfig, ChaosReport};
 use traffic_cs::service::Backpressure;
 
 fn run_cfg(seed: u64, ticks: usize, num_threads: usize) -> ChaosReport {
-    let report = run(&ChaosConfig { seed, ticks, num_threads, check_counters: false })
-        .expect("chaos run constructs");
+    let report =
+        run(&ChaosConfig { seed, ticks, num_threads, check_counters: false, ..Default::default() })
+            .expect("chaos run constructs");
     assert!(report.oracle_ok(), "oracle violations for seed {seed}: {:#?}", report.oracle_failures);
     report
 }

@@ -362,6 +362,11 @@ pub struct ServeOptions {
     pub checkpoint: Option<std::path::PathBuf>,
     /// Write the final window estimate as a complete TCM CSV.
     pub out: Option<std::path::PathBuf>,
+    /// Causal-trace sampling modulus (see
+    /// [`traffic_cs::service::ServeConfig::trace_sample`]).
+    pub trace_sample: u64,
+    /// Flight-recorder dump path for degraded ticks.
+    pub flight_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -374,6 +379,8 @@ impl Default for ServeOptions {
             batch: 0,
             checkpoint: None,
             out: None,
+            trace_sample: 0,
+            flight_dump: None,
         }
     }
 }
@@ -400,7 +407,7 @@ pub fn cmd_serve<W: Write>(
     mut w: W,
 ) -> CliResult {
     use std::io::BufRead;
-    use traffic_cs::service::{Observation, ServeConfig, Service};
+    use traffic_cs::service::{report_trace_id, Observation, ServeConfig, Service};
 
     let net = roadnet::io::read_network(BufReader::new(File::open(network)?))?;
     let index = SegmentIndex::build(&net, 150.0);
@@ -418,6 +425,8 @@ pub fn cmd_serve<W: Write>(
         .window_slots(opts.window_slots)
         .num_segments(net.segment_count())
         .cs(cs)
+        .trace_sample(opts.trace_sample)
+        .flight_dump(opts.flight_dump.clone())
         .build()?;
     let mut service = Service::new(cfg)?;
 
@@ -460,12 +469,31 @@ pub fn cmd_serve<W: Write>(
             unmatched += 1;
             continue;
         };
-        service.push(Observation {
+        let obs = Observation {
             vehicle: report.vehicle.0 as u64,
             timestamp_s: report.timestamp_s,
             segment: m.segment.index(),
             speed_kmh: report.speed_kmh,
-        });
+        };
+        // The trace begins at parse time: the same ID the service will
+        // derive (its `ingest_seq` is about to be consumed by this
+        // push), so the `parsed` stage links the CSV line to the rest
+        // of the report's life.
+        if opts.trace_sample > 0 && telemetry::enabled(telemetry::Level::Trace) {
+            let id =
+                report_trace_id(obs.vehicle, obs.timestamp_s, obs.segment, service.ingest_seq());
+            if id.is_multiple_of(opts.trace_sample) {
+                telemetry::trace_event(
+                    "serve.trace",
+                    vec![
+                        ("trace".into(), telemetry::Value::Str(format!("{id:016x}"))),
+                        ("stage".into(), telemetry::Value::Str("parsed".to_string())),
+                        ("line".into(), telemetry::Value::UInt(idx as u64 + 2)),
+                    ],
+                );
+            }
+        }
+        service.push(obs);
         pushed += 1;
         in_batch += 1;
         if in_batch >= batch {
@@ -534,15 +562,26 @@ pub fn cmd_chaos<W: Write>(
     ticks: usize,
     sweep: u64,
     check_counters: bool,
+    trace_sample: u64,
+    flight_dump: Option<std::path::PathBuf>,
     mut w: W,
 ) -> CliResult {
     if check_counters {
         telemetry::set_metrics_enabled(true);
     }
+    // A dump without traces is mostly counters; default to tracing every
+    // report when the flight recorder is wired but no modulus was given.
+    let trace_sample = if flight_dump.is_some() && trace_sample == 0 { 1 } else { trace_sample };
     let mut failed = Vec::new();
     for s in seed..seed.saturating_add(sweep.max(1)) {
-        let report =
-            chaos::run(&chaos::ChaosConfig { seed: s, ticks, num_threads: 0, check_counters })?;
+        let report = chaos::run(&chaos::ChaosConfig {
+            seed: s,
+            ticks,
+            num_threads: 0,
+            check_counters,
+            trace_sample,
+            flight_dump: flight_dump.clone(),
+        })?;
         writeln!(w, "{}", report.summary_line())?;
         if !report.oracle_ok() {
             for msg in &report.oracle_failures {
@@ -552,11 +591,193 @@ pub fn cmd_chaos<W: Write>(
         }
     }
     if let Some(&first) = failed.first() {
+        let inspect_hint = flight_dump
+            .as_deref()
+            .map(|p| format!("; inspect with: cs-traffic-cli inspect --dump {}", p.display()))
+            .unwrap_or_default();
         return Err(CliError::Algorithm(format!(
             "chaos oracle failed for seed(s) {failed:?}; reproduce with: \
-             cs-traffic-cli chaos --seed {first} --ticks {ticks}"
+             cs-traffic-cli chaos --seed {first} --ticks {ticks}{inspect_hint}"
         )));
     }
+    Ok(())
+}
+
+/// `inspect` — the read side of the observability plane.
+///
+/// With `dump`, renders a `cs-traffic-flight/v1` flight dump (written
+/// by a degraded serve tick, a chaos oracle failure, or the panic hook)
+/// as a human-readable causal timeline: the dump header, per-trace
+/// stage-by-stage report lives, and the trace IDs caught in each
+/// degraded solve. With `expose`, re-renders the metric snapshots found
+/// in any telemetry JSONL (a `--metrics-out` file or a flight dump) in
+/// Prometheus text exposition format — byte-identical to what
+/// [`telemetry::metrics::expose_text`] produces live.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] when neither source is given, [`CliError::Io`]
+/// for unreadable files, [`CliError::Input`] for malformed JSONL or a
+/// wrong schema.
+pub fn cmd_inspect<W: Write>(dump: Option<&Path>, expose: Option<&Path>, mut w: W) -> CliResult {
+    if dump.is_none() && expose.is_none() {
+        return Err(CliError::Usage("inspect needs --dump FILE and/or --expose FILE".into()));
+    }
+    if let Some(path) = dump {
+        inspect_dump(path, &mut w)?;
+    }
+    if let Some(path) = expose {
+        inspect_expose(path, &mut w)?;
+    }
+    Ok(())
+}
+
+/// Renders a flight dump as a causal timeline (see [`cmd_inspect`]).
+fn inspect_dump<W: Write>(path: &Path, w: &mut W) -> CliResult {
+    use telemetry::json::Json;
+
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {}: {e}", path.display())))?;
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header_line) = lines
+        .next()
+        .ok_or_else(|| CliError::Input(format!("{}: empty flight dump", path.display())))?;
+    let header = Json::parse(header_line)
+        .map_err(|e| CliError::Input(format!("{}:1: {e}", path.display())))?;
+    let schema = header.get("schema").and_then(Json::as_str).unwrap_or("?");
+    if schema != "cs-traffic-flight/v1" {
+        return Err(CliError::Input(format!(
+            "{}: expected schema cs-traffic-flight/v1, found '{schema}'",
+            path.display()
+        )));
+    }
+    writeln!(
+        w,
+        "flight dump {} (trigger: {}, git: {})",
+        path.display(),
+        header.get("trigger").and_then(Json::as_str).unwrap_or("?"),
+        header.get("git_rev").and_then(Json::as_str).unwrap_or("?"),
+    )?;
+    writeln!(
+        w,
+        "captured {} records, {} dropped from the ring (capacity {})",
+        header.get("captured").and_then(Json::as_num).unwrap_or(0.0),
+        header.get("dropped").and_then(Json::as_num).unwrap_or(0.0),
+        header.get("capacity").and_then(Json::as_num).unwrap_or(0.0),
+    )?;
+    if let Some(Json::Obj(meta)) = header.get("meta") {
+        for (k, v) in meta {
+            writeln!(w, "  meta {k} = {}", v.as_str().unwrap_or("?"))?;
+        }
+    }
+
+    // One pass: collect trace stages per trace ID (in seq order — the
+    // file is already seq-sorted) and count the other record types.
+    let mut traces: Vec<(String, Vec<(String, String)>)> = Vec::new();
+    let mut type_counts: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
+    for (idx, line) in lines {
+        let record = Json::parse(line)
+            .map_err(|e| CliError::Input(format!("{}:{}: {e}", path.display(), idx + 1)))?;
+        let kind = record.get("type").and_then(Json::as_str).unwrap_or("?").to_string();
+        *type_counts.entry(kind.clone()).or_default() += 1;
+        if kind != "trace" {
+            continue;
+        }
+        let seq = record.get("seq").and_then(Json::as_num).unwrap_or(-1.0);
+        let Some(fields) = record.get("fields") else { continue };
+        let trace = fields.get("trace").and_then(Json::as_str).unwrap_or("?").to_string();
+        let stage = fields.get("stage").and_then(Json::as_str).unwrap_or("?");
+        let mut detail = String::new();
+        if let Json::Obj(pairs) = fields {
+            for (k, v) in pairs {
+                if k != "trace" && k != "stage" {
+                    detail.push_str(&format!(" {k}={}", v.encode()));
+                }
+            }
+        }
+        let entry = (stage.to_string(), format!("seq {seq:>6}  {stage}{detail}"));
+        match traces.iter_mut().find(|(id, _)| *id == trace) {
+            Some((_, stages)) => stages.push(entry),
+            None => traces.push((trace, vec![entry])),
+        }
+    }
+
+    let counts = type_counts.iter().map(|(k, v)| format!("{v} {k}")).collect::<Vec<_>>().join(", ");
+    writeln!(w, "records in ring: {}", if counts.is_empty() { "none" } else { &counts })?;
+
+    if !traces.is_empty() {
+        writeln!(w, "\ncausal timelines ({} traced reports):", traces.len())?;
+        for (id, stages) in &traces {
+            writeln!(w, "  trace {id}:")?;
+            for (_, rendered) in stages {
+                writeln!(w, "    {rendered}")?;
+            }
+        }
+        // The post-mortem question: which reports were in the window of
+        // a solve that degraded?
+        let degraded: Vec<&str> = traces
+            .iter()
+            .filter(|(_, stages)| stages.iter().any(|(stage, _)| stage == "degraded"))
+            .map(|(id, _)| id.as_str())
+            .collect();
+        if degraded.is_empty() {
+            writeln!(w, "\nno degraded solve in the recorded window")?;
+        } else {
+            writeln!(
+                w,
+                "\ndegraded solve: {} traced reports in the failing window: {}",
+                degraded.len(),
+                degraded.join(" ")
+            )?;
+        }
+    } else {
+        writeln!(w, "no trace records in the ring (was --trace-sample set?)")?;
+    }
+    Ok(())
+}
+
+/// Re-renders metric snapshots from a telemetry JSONL in Prometheus
+/// text exposition format (see [`cmd_inspect`]).
+fn inspect_expose<W: Write>(path: &Path, w: &mut W) -> CliResult {
+    use telemetry::json::Json;
+    use telemetry::{MetricSnapshot, RecordKind, Value};
+
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {}: {e}", path.display())))?;
+    // Last snapshot per metric wins (a file can hold several flushes);
+    // BTreeMap gives the same name order as the live registry.
+    let mut snaps: std::collections::BTreeMap<String, MetricSnapshot> =
+        std::collections::BTreeMap::new();
+    for (idx, line) in text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty()) {
+        let record = Json::parse(line)
+            .map_err(|e| CliError::Input(format!("{}:{}: {e}", path.display(), idx + 1)))?;
+        let kind = match record.get("type").and_then(Json::as_str) {
+            Some("counter") => RecordKind::Counter,
+            Some("gauge") => RecordKind::Gauge,
+            Some("histogram") => RecordKind::Histogram,
+            _ => continue,
+        };
+        let Some(name) = record.get("name").and_then(Json::as_str) else { continue };
+        let mut fields: Vec<telemetry::Field> = Vec::new();
+        if let Some(Json::Obj(pairs)) = record.get("fields") {
+            for (k, v) in pairs {
+                let value = match v {
+                    Json::Bool(b) => Value::Bool(*b),
+                    Json::Num(n) => Value::Float(*n),
+                    Json::Str(s) => Value::Str(s.clone()),
+                    _ => continue,
+                };
+                fields.push((telemetry::Key::from(k.clone()), value));
+            }
+        }
+        snaps.insert(name.to_string(), MetricSnapshot { name: name.to_string(), kind, fields });
+    }
+    let mut out = String::new();
+    for snap in snaps.values() {
+        snap.expose_text_into(&mut out);
+    }
+    write!(w, "{out}")?;
     Ok(())
 }
 

@@ -11,13 +11,14 @@
 //! ```
 
 use cs_traffic_cli::{
-    cmd_analyze, cmd_build_tcm, cmd_chaos, cmd_detect, cmd_estimate, cmd_evaluate, cmd_loadtest,
-    cmd_serve, cmd_simulate, parse_flags, CliError, CliResult, LoadtestOptions, ServeOptions,
+    cmd_analyze, cmd_build_tcm, cmd_chaos, cmd_detect, cmd_estimate, cmd_evaluate, cmd_inspect,
+    cmd_loadtest, cmd_serve, cmd_simulate, parse_flags, CliError, CliResult, LoadtestOptions,
+    ServeOptions,
 };
 use std::path::Path;
 
 const USAGE: &str =
-    "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate|serve|chaos|loadtest> [--flag value ...]
+    "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate|serve|chaos|loadtest|inspect> [--flag value ...]
 
 global flags:
   --threads N        worker threads for completion/detection hot paths
@@ -26,6 +27,13 @@ global flags:
                      (default off; debug adds per-sweep/per-generation spans)
   --metrics-out F    append telemetry records as JSON lines to F (also
                      enables counters/gauges/histograms, flushed on exit)
+  --trace-sample N   causal per-report tracing modulus for serve/chaos:
+                     0 = off (default), 1 = every report, N = reports whose
+                     FNV-1a trace ID is divisible by N; raises the level
+                     to trace for the sinks (stderr stays at --log-level)
+  --flight-recorder N  install a flight recorder ring of the last N
+                     telemetry records (default 512 when any flight/trace
+                     flag is set); dumped on panic and degraded solves
 
 subcommands:
   simulate   --scenario small|shanghai|shenzhen [--fleet N] [--duration-h H]
@@ -39,13 +47,19 @@ subcommands:
   evaluate   --truth FILE --estimate FILE --observed FILE
   serve      --network FILE --reports FILE [--granularity 15|30|60]
              [--window-slots W] [--rank R] [--lambda L] [--batch N]
-             [--checkpoint FILE] [--out FILE]
+             [--checkpoint FILE] [--out FILE] [--flight-dump FILE]
              (replays reports through the fault-tolerant streaming
-              service; --batch 0 = whole file in one tick)
-  chaos      --seed N [--ticks T] [--sweep K]
+              service; --batch 0 = whole file in one tick; with
+              --flight-dump, degraded ticks dump the flight recorder)
+  chaos      --seed N [--ticks T] [--sweep K] [--flight-dump FILE]
              (deterministic fault-injection run against the streaming
               service with a differential oracle; same seed = identical
-              output at any --threads; exit 70 on oracle violation)
+              output at any --threads; exit 70 on oracle violation;
+              --flight-dump captures degraded ticks and oracle failures)
+  inspect    [--dump FILE] [--expose FILE]
+             (--dump renders a cs-traffic-flight/v1 flight dump as a
+              causal timeline; --expose re-renders the metric snapshots
+              in any telemetry JSONL as Prometheus exposition text)
   loadtest   [--profile quick|full] [--seed N] [--rate R] [--ticks T]
              [--max-legs N] [--out FILE] [--slo FILE]
              (closed-loop load generator against the in-process
@@ -80,6 +94,26 @@ fn run() -> CliResult {
         metrics_out: flags.get("metrics-out").map(std::path::PathBuf::from),
     };
     telemetry::init(&tele_cfg).map_err(|e| CliError::Io(format!("telemetry init failed: {e}")))?;
+    let trace_sample: u64 = flags.get("trace-sample").map(|s| s.parse()).transpose()?.unwrap_or(0);
+    let flight_dump = flags.get("flight-dump").map(std::path::PathBuf::from);
+    // A dump without causal traces is near-useless, so requesting a
+    // dump path turns full tracing on unless a sample was given.
+    let trace_sample = if flight_dump.is_some() && trace_sample == 0 { 1 } else { trace_sample };
+    let flight_capacity: Option<usize> =
+        flags.get("flight-recorder").map(|s| s.parse()).transpose()?;
+    if trace_sample > 0 || flight_dump.is_some() || flight_capacity.is_some() {
+        // Tracing and the flight ring ride on the record dispatch
+        // layer: raise the effective level so trace records reach the
+        // sinks (the stderr pretty-printer still filters by
+        // --log-level, so the terminal stays quiet).
+        telemetry::set_level(telemetry::level().max(telemetry::Level::Trace));
+        let recorder = telemetry::flight::install(flight_capacity.unwrap_or(512));
+        if let Some(path) = &flight_dump {
+            recorder.set_dump_path(path.clone());
+        }
+        recorder.set_meta("command", cmd);
+        recorder.set_meta("trace_sample", &trace_sample.to_string());
+    }
     match cmd.as_str() {
         "simulate" => cmd_simulate(
             get("scenario")?,
@@ -129,6 +163,8 @@ fn run() -> CliResult {
                 batch: flags.get("batch").map(|s| s.parse()).transpose()?.unwrap_or(defaults.batch),
                 checkpoint: flags.get("checkpoint").map(std::path::PathBuf::from),
                 out: flags.get("out").map(std::path::PathBuf::from),
+                trace_sample,
+                flight_dump: flight_dump.clone(),
             };
             cmd_serve(
                 Path::new(get("network")?),
@@ -159,6 +195,13 @@ fn run() -> CliResult {
             flags.get("ticks").map_or(Ok(24), |s| s.parse())?,
             flags.get("sweep").map_or(Ok(1), |s| s.parse())?,
             true,
+            trace_sample,
+            flight_dump.clone(),
+            std::io::stdout().lock(),
+        ),
+        "inspect" => cmd_inspect(
+            flags.get("dump").map(Path::new),
+            flags.get("expose").map(Path::new),
             std::io::stdout().lock(),
         ),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'\n\n{USAGE}"))),

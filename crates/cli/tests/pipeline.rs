@@ -115,8 +115,8 @@ fn serve_replay_matches_offline_pipeline() {
         rank: Some(2),
         lambda: Some(0.5),
         batch: 0,
-        checkpoint: None,
         out: Some(serve_est.clone()),
+        ..ServeOptions::default()
     };
     let mut out = Vec::new();
     cmd_serve(&dir.join("network.csv"), &dir.join("reports.csv"), &opts, &mut out).unwrap();
@@ -174,6 +174,106 @@ fn serve_survives_corrupt_reports_and_checkpoints() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// End-to-end observability path: a sabotaged (zero-budget) service
+/// with tracing on degrades, dumps the flight recorder, and
+/// `inspect --dump` reconstructs the causal timeline of the failing
+/// window naming the trace IDs involved.
+#[test]
+fn flight_dump_of_a_degraded_solve_inspects_to_a_causal_timeline() {
+    use cs_traffic_cli::cmd_inspect;
+    use traffic_cs::cs::CsConfig;
+    use traffic_cs::service::{Observation, ServeConfig, Service};
+
+    let dir = temp_dir("flight");
+    let dump = dir.join("flight_dump.jsonl");
+    telemetry::set_level(telemetry::Level::Trace);
+    telemetry::flight::install(256);
+
+    let cfg = ServeConfig::builder()
+        .slot_len_s(60)
+        .window_slots(4)
+        .num_segments(4)
+        .trace_sample(1)
+        .flight_dump(Some(dump.clone()))
+        .cs(CsConfig { rank: 2, lambda: 0.1, ..CsConfig::default() })
+        .build()
+        .unwrap();
+    let mut s = Service::new(cfg).unwrap();
+    // Zero wall-clock budget: every solve is over budget → degraded.
+    s.set_solve_budget(Some(std::time::Duration::ZERO));
+    for v in 0..6u64 {
+        s.push(Observation {
+            vehicle: v,
+            timestamp_s: (v % 4) * 60,
+            segment: (v % 4) as usize,
+            speed_kmh: 30.0,
+        });
+    }
+    let report = s.tick();
+    assert!(report.degraded, "zero budget must degrade the solve");
+    assert!(dump.exists(), "degraded tick must dump the flight recorder");
+
+    let mut buf = Vec::new();
+    cmd_inspect(Some(&dump), None, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.contains("trigger: solve_degraded"), "{text}");
+    assert!(text.contains("causal timelines"), "{text}");
+    assert!(text.contains("degraded solve:"), "timeline must name the failing window: {text}");
+    // At least one concrete trace ID is named, and its timeline walks
+    // ingest → admitted → degraded.
+    for stage in ["ingest", "admitted", "degraded"] {
+        assert!(text.contains(stage), "stage '{stage}' missing from timeline:\n{text}");
+    }
+
+    // Inspecting garbage is a typed input error, not a panic.
+    let bogus = dir.join("not_a_dump.jsonl");
+    std::fs::write(&bogus, "{\"schema\":\"something-else/v9\"}\n").unwrap();
+    let err = cmd_inspect(Some(&bogus), None, Vec::new()).unwrap_err();
+    assert_eq!(err.exit_code(), 65, "{err}");
+    // Asking for nothing is a usage error.
+    assert_eq!(cmd_inspect(None, None, Vec::new()).unwrap_err().exit_code(), 2);
+
+    telemetry::reset_for_tests();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `inspect --expose` re-renders metric snapshots from a metrics JSONL
+/// as Prometheus exposition text — byte-compatible with the live
+/// `telemetry::metrics::expose_text()` format pinned in the telemetry
+/// crate's golden test.
+#[test]
+fn inspect_expose_renders_prometheus_text_from_jsonl() {
+    use cs_traffic_cli::cmd_inspect;
+    let dir = temp_dir("expose");
+    let jsonl = dir.join("metrics.jsonl");
+    std::fs::write(
+        &jsonl,
+        concat!(
+            "{\"type\":\"counter\",\"level\":\"info\",\"name\":\"serve.admitted\",\"ts_ms\":1,\"fields\":{\"value\":10}}\n",
+            "{\"type\":\"counter\",\"level\":\"info\",\"name\":\"serve.admitted\",\"ts_ms\":2,\"fields\":{\"value\":42}}\n",
+            "{\"type\":\"event\",\"level\":\"info\",\"name\":\"ignored.event\",\"ts_ms\":3}\n",
+            "{\"type\":\"histogram\",\"level\":\"info\",\"name\":\"serve.tick_us\",\"ts_ms\":4,\"fields\":{\"count\":3,\"sum\":6.0,\"p50\":2.0,\"p99\":2.0,\"p999\":2.0}}\n",
+        ),
+    )
+    .unwrap();
+
+    let mut buf = Vec::new();
+    cmd_inspect(None, Some(&jsonl), &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let expected = "\
+# TYPE serve_admitted counter
+serve_admitted 42
+# TYPE serve_tick_us summary
+serve_tick_us{quantile=\"0.5\"} 2
+serve_tick_us{quantile=\"0.99\"} 2
+serve_tick_us{quantile=\"0.999\"} 2
+serve_tick_us_sum 6
+serve_tick_us_count 3
+";
+    assert_eq!(text, expected, "last snapshot per metric wins, events are skipped");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn simulate_rejects_unknown_scenario() {
     let dir = temp_dir("badscen");
@@ -188,9 +288,9 @@ fn chaos_subcommand_is_deterministic_and_reports_every_seed() {
     // process-global and other tests in this binary run services
     // concurrently; the binary itself enables the check.
     let mut first = Vec::new();
-    cmd_chaos(11, 12, 3, false, &mut first).unwrap();
+    cmd_chaos(11, 12, 3, false, 0, None, &mut first).unwrap();
     let mut second = Vec::new();
-    cmd_chaos(11, 12, 3, false, &mut second).unwrap();
+    cmd_chaos(11, 12, 3, false, 0, None, &mut second).unwrap();
     assert_eq!(first, second, "same sweep must produce byte-identical output");
     let text = String::from_utf8(first).unwrap();
     assert_eq!(text.lines().count(), 3, "one summary line per seed: {text}");

@@ -30,9 +30,27 @@
 //! `serve.duplicates` / `serve.queue_dropped`) counters, emits
 //! `serve.tick` / `serve.solve` spans, and samples per-tick and
 //! per-solve wall clock into the `serve.tick_us` / `serve.solve_us`
-//! log₂ histograms (handles resolved once, so the hot path stays
+//! log₂ histograms plus end-to-end ingest-to-estimate latency into
+//! `serve.e2e_us` (handles resolved once, so the hot path stays
 //! allocation-free) through the `telemetry` crate. [`TickReport`]
 //! carries the same timings per tick for callers without a sink.
+//!
+//! # Causal tracing
+//!
+//! With [`ServeConfig::trace_sample`] non-zero and the global level at
+//! `Trace`, every sampled report carries a deterministic trace ID —
+//! [`report_trace_id`], the FNV-1a digest of
+//! `(vehicle, timestamp_s, segment, ingest_seq)`, byte-identical at any
+//! thread count — and the service emits `serve.trace` records (`trace`
+//! kind) at each stage of the report's life: `ingest`, then one of
+//! `queue_dropped` / `rejected` / `dropped_late`, or `duplicate` and/or
+//! `admitted` (with its window slot), and finally a terminal `solved`,
+//! `degraded`, or `checkpointed`. Sampling is by trace-ID modulus
+//! (`trace_id % trace_sample == 0`), so a given report traces — or
+//! doesn't — identically across runs. When a tick degrades and
+//! [`ServeConfig::flight_dump`] is set, the installed
+//! [`telemetry::flight`] recorder dumps the last-N records to that path
+//! for post-mortem (`cs-traffic-cli inspect --dump`).
 //!
 //! # Example
 //!
@@ -165,6 +183,15 @@ pub struct ServeConfig {
     /// Wall-clock budget per solve; an over-budget solve is accepted but
     /// flagged stale and counted as degraded. `None` disables the check.
     pub solve_budget: Option<Duration>,
+    /// Causal-trace sampling modulus: `0` disables tracing entirely,
+    /// `1` traces every report, `n` traces reports whose
+    /// [`report_trace_id`] is divisible by `n`. Tracing also requires
+    /// the global telemetry level to be `Trace`.
+    pub trace_sample: u64,
+    /// Where to dump the flight recorder when a tick degrades (solve
+    /// failure or watchdog overrun). `None` disables the dump; a dump
+    /// additionally requires [`telemetry::flight::install`] to have run.
+    pub flight_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -179,6 +206,8 @@ impl Default for ServeConfig {
             backpressure: Backpressure::default(),
             warm_sweep_cap: Some(10),
             solve_budget: None,
+            trace_sample: 0,
+            flight_dump: None,
         }
     }
 }
@@ -279,6 +308,19 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the causal-trace sampling modulus (`0` disables tracing).
+    pub fn trace_sample(mut self, v: u64) -> Self {
+        self.config.trace_sample = v;
+        self
+    }
+
+    /// Sets the flight-recorder dump path for degraded ticks (`None`
+    /// disables the dump).
+    pub fn flight_dump(mut self, v: Option<std::path::PathBuf>) -> Self {
+        self.config.flight_dump = v;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -366,13 +408,39 @@ pub struct TickReport {
 struct LatencyHists {
     tick_us: std::sync::Arc<telemetry::Histogram>,
     solve_us: std::sync::Arc<telemetry::Histogram>,
+    e2e_us: std::sync::Arc<telemetry::Histogram>,
+}
+
+/// Deterministic trace ID of one probe report: the FNV-1a 64-bit digest
+/// of `(vehicle, timestamp_s, segment, ingest_seq)`, each absorbed as a
+/// little-endian `u64`. The ingest sequence number makes re-deliveries
+/// of the same `(vehicle, ts, segment)` key distinguishable while
+/// staying a pure function of arrival order — so the ID is
+/// byte-identical at any thread count, like the chaos hashes.
+pub fn report_trace_id(vehicle: u64, timestamp_s: u64, segment: usize, ingest_seq: u64) -> u64 {
+    let mut h = telemetry::Fnv::new();
+    h.write_u64(vehicle);
+    h.write_u64(timestamp_s);
+    h.write_u64(segment as u64);
+    h.write_u64(ingest_seq);
+    h.finish()
+}
+
+/// One queued report with its ingest-time trace context.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    obs: Observation,
+    /// Sampled trace ID (`None` when tracing is off or unsampled).
+    trace: Option<u64>,
+    /// Enqueue instant, the start of the `serve.e2e_us` measurement.
+    enqueued: Instant,
 }
 
 /// The streaming estimation loop. See the [module docs](self).
 #[derive(Debug)]
 pub struct Service {
     config: ServeConfig,
-    queue: VecDeque<Observation>,
+    queue: VecDeque<Queued>,
     window: StreamingTcm,
     estimator: OnlineEstimator,
     /// Last admitted speed per (vehicle, timestamp, segment) key —
@@ -387,6 +455,17 @@ pub struct Service {
     /// Lazily-resolved latency histograms (`None` until the first tick
     /// with metrics enabled).
     lat: Option<LatencyHists>,
+    /// Reports pushed so far — the `ingest_seq` input of the next
+    /// report's [`report_trace_id`].
+    ingest_seq: u64,
+    /// Reports admitted this tick, awaiting their estimate (terminal
+    /// trace stage + e2e sample). Cleared in place each tick so the
+    /// capacity amortizes.
+    pending: Vec<(Option<u64>, Instant)>,
+    /// Local end-to-end latency histogram (ingest-enqueue to
+    /// estimate-ready), always on: callers like `cs_bench::loadgen`
+    /// read it via [`Service::e2e_histogram`] without a metrics sink.
+    e2e: telemetry::Histogram,
 }
 
 impl Service {
@@ -417,6 +496,9 @@ impl Service {
             dirty: false,
             stats: ServeStats::default(),
             lat: None,
+            ingest_seq: 0,
+            pending: Vec::new(),
+            e2e: telemetry::Histogram::default(),
         })
     }
 
@@ -431,6 +513,7 @@ impl Service {
             self.lat = Some(LatencyHists {
                 tick_us: telemetry::histogram("serve.tick_us"),
                 solve_us: telemetry::histogram("serve.solve_us"),
+                e2e_us: telemetry::histogram("serve.e2e_us"),
             });
         }
         self.lat.as_ref()
@@ -454,6 +537,21 @@ impl Service {
     /// Number of reports currently queued and not yet processed.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of reports pushed so far — the `ingest_seq` the next
+    /// [`Service::push`] will hash into its [`report_trace_id`].
+    /// Upstream producers (the CLI's line parser) use this to compute
+    /// the same trace ID before the push.
+    pub fn ingest_seq(&self) -> u64 {
+        self.ingest_seq
+    }
+
+    /// The service's local end-to-end latency histogram
+    /// (ingest-enqueue to estimate-ready, in microseconds). Always
+    /// collected, independent of the global metrics switch.
+    pub fn e2e_histogram(&self) -> &telemetry::Histogram {
+        &self.e2e
     }
 
     /// The current live estimate, if any window has been solved. The
@@ -505,24 +603,78 @@ impl Service {
         Ok(())
     }
 
+    /// Whether tracing is live right now (configured on, sampled, and
+    /// the global level admits `Trace` records), and if so the report's
+    /// trace ID. One relaxed atomic load plus four FNV rounds when
+    /// configured; a single field compare when off.
+    fn trace_id_for(&self, obs: &Observation, seq: u64) -> Option<u64> {
+        let sample = self.config.trace_sample;
+        if sample == 0 || !telemetry::enabled(Level::Trace) {
+            return None;
+        }
+        let id = report_trace_id(obs.vehicle, obs.timestamp_s, obs.segment, seq);
+        (id.is_multiple_of(sample)).then_some(id)
+    }
+
+    /// Emits one `serve.trace` stage record for a traced report.
+    fn trace_stage(id: u64, stage: &str, obs: &Observation) {
+        telemetry::trace_event(
+            "serve.trace",
+            vec![
+                ("trace".into(), telemetry::Value::Str(format!("{id:016x}"))),
+                ("stage".into(), telemetry::Value::Str(stage.to_string())),
+                ("vehicle".into(), telemetry::Value::UInt(obs.vehicle)),
+                ("ts".into(), telemetry::Value::UInt(obs.timestamp_s)),
+                ("segment".into(), telemetry::Value::UInt(obs.segment as u64)),
+            ],
+        );
+    }
+
+    /// Emits a terminal `serve.trace` record (`solved` / `degraded` /
+    /// `checkpointed`) — the stage every admitted trace must reach.
+    fn trace_terminal(id: u64, stage: &str) {
+        telemetry::trace_event(
+            "serve.trace",
+            vec![
+                ("trace".into(), telemetry::Value::Str(format!("{id:016x}"))),
+                ("stage".into(), telemetry::Value::Str(stage.to_string())),
+            ],
+        );
+    }
+
     /// Enqueues a report. Returns `false` when backpressure refused it
     /// (counted in [`ServeStats::queue_dropped`]); under
     /// [`Backpressure::DropOldest`] the push itself always succeeds at
     /// the cost of the oldest queued report.
     pub fn push(&mut self, obs: Observation) -> bool {
+        let seq = self.ingest_seq;
+        self.ingest_seq += 1;
+        let trace = self.trace_id_for(&obs, seq);
         if self.queue.len() >= self.config.queue_capacity {
             self.stats.queue_dropped += 1;
             if telemetry::metrics_enabled() {
                 telemetry::counter("serve.queue_dropped").incr();
             }
             match self.config.backpressure {
-                Backpressure::DropNewest => return false,
+                Backpressure::DropNewest => {
+                    if let Some(id) = trace {
+                        Self::trace_stage(id, "queue_dropped", &obs);
+                    }
+                    return false;
+                }
                 Backpressure::DropOldest => {
-                    self.queue.pop_front();
+                    if let Some(old) = self.queue.pop_front() {
+                        if let Some(id) = old.trace {
+                            Self::trace_stage(id, "queue_dropped", &old.obs);
+                        }
+                    }
                 }
             }
         }
-        self.queue.push_back(obs);
+        if let Some(id) = trace {
+            Self::trace_stage(id, "ingest", &obs);
+        }
+        self.queue.push_back(Queued { obs, trace, enqueued: Instant::now() });
         true
     }
 
@@ -549,8 +701,8 @@ impl Service {
         let mut span = telemetry::span(Level::Debug, "serve.tick");
         let t0 = Instant::now();
         let mut report = TickReport::default();
-        while let Some(obs) = self.queue.pop_front() {
-            self.admit(obs, &mut report);
+        while let Some(queued) = self.queue.pop_front() {
+            self.admit(queued, &mut report);
         }
         self.prune_seen();
         if self.dirty {
@@ -559,6 +711,7 @@ impl Service {
             report.degraded = degraded;
             report.solve_us = solve_wall.as_micros() as u64;
         }
+        self.finish_pending(&report);
         report.tick_us = t0.elapsed().as_micros() as u64;
         if let Some(lat) = self.latency_hists() {
             lat.tick_us.observe(report.tick_us as f64);
@@ -573,7 +726,52 @@ impl Service {
             span.record("late", report.dropped_late as u64);
             span.record("solved", if report.solved { 1u64 } else { 0 });
         }
+        if report.degraded {
+            self.dump_flight("solve_degraded");
+        }
         report
+    }
+
+    /// Settles the reports admitted this tick: samples their end-to-end
+    /// latency (enqueue instant to now, when the estimate became ready)
+    /// and emits the terminal trace stage. An admitted report implies a
+    /// dirty window, so the solve always ran this tick — the terminal is
+    /// `solved`, or `degraded` when it failed or blew its budget.
+    fn finish_pending(&mut self, report: &TickReport) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let stage = if report.degraded { "degraded" } else { "solved" };
+        let e2e_metric = self.latency_hists().map(|l| std::sync::Arc::clone(&l.e2e_us));
+        for i in 0..self.pending.len() {
+            let (trace, enqueued) = self.pending[i];
+            let us = enqueued.elapsed().as_micros() as f64;
+            self.e2e.observe(us);
+            if let Some(h) = &e2e_metric {
+                h.observe(us);
+            }
+            if let Some(id) = trace {
+                Self::trace_terminal(id, stage);
+            }
+        }
+        self.pending.clear();
+    }
+
+    /// Dumps the installed flight recorder to the configured path
+    /// (best-effort; a dump failure must not take the tick down).
+    fn dump_flight(&self, trigger: &str) {
+        if let Some(path) = &self.config.flight_dump {
+            if let Some(recorder) = telemetry::flight::recorder() {
+                if let Err(e) = recorder.dump_to_path(path, trigger) {
+                    telemetry::tele_event!(
+                        Level::Error,
+                        "serve.flight_dump_failed",
+                        "path" => path.display().to_string(),
+                        "error" => e.to_string(),
+                    );
+                }
+            }
+        }
     }
 
     /// Runs one solve attempt on the current window even if nothing new
@@ -585,7 +783,8 @@ impl Service {
     }
 
     /// Applies the admission rules to one report.
-    fn admit(&mut self, obs: Observation, report: &mut TickReport) {
+    fn admit(&mut self, queued: Queued, report: &mut TickReport) {
+        let Queued { obs, trace, enqueued } = queued;
         // Rule 1: malformed reports are rejected outright.
         if !obs.speed_kmh.is_finite()
             || obs.speed_kmh < 0.0
@@ -595,6 +794,9 @@ impl Service {
             report.rejected += 1;
             if telemetry::metrics_enabled() {
                 telemetry::counter("serve.rejected").incr();
+            }
+            if let Some(id) = trace {
+                Self::trace_stage(id, "rejected", &obs);
             }
             return;
         }
@@ -614,6 +816,9 @@ impl Service {
             if telemetry::metrics_enabled() {
                 telemetry::counter("serve.dropped_late").incr();
             }
+            if let Some(id) = trace {
+                Self::trace_stage(id, "dropped_late", &obs);
+            }
             return;
         }
         // Rule 3: exact re-delivery of an admitted key — last write wins.
@@ -623,6 +828,9 @@ impl Service {
             report.duplicates += 1;
             if telemetry::metrics_enabled() {
                 telemetry::counter("serve.duplicates").incr();
+            }
+            if let Some(id) = trace {
+                Self::trace_stage(id, "duplicate", &obs);
             }
             // The old contribution is still in the window (we checked
             // lateness above); replace it.
@@ -637,6 +845,20 @@ impl Service {
         if telemetry::metrics_enabled() {
             telemetry::counter("serve.admitted").incr();
         }
+        if let Some(id) = trace {
+            // Window placement: the slot row this report's speed landed
+            // in — `slot` is `Some` and in-window past the rules above.
+            telemetry::trace_event(
+                "serve.trace",
+                vec![
+                    ("trace".into(), telemetry::Value::Str(format!("{id:016x}"))),
+                    ("stage".into(), telemetry::Value::Str("admitted".to_string())),
+                    ("slot".into(), telemetry::Value::UInt(slot.unwrap_or(0) as u64)),
+                    ("segment".into(), telemetry::Value::UInt(obs.segment as u64)),
+                ],
+            );
+        }
+        self.pending.push((trace, enqueued));
         self.dirty = true;
     }
 
@@ -723,6 +945,14 @@ impl Service {
     /// restore reproduces the factors bit-for-bit and the restarted
     /// solver behaves exactly like the uninterrupted one.
     pub fn checkpoint(&self) -> String {
+        // Reports still queued when the process checkpoints will reach
+        // no solve in this life; `checkpointed` is their terminal trace
+        // stage (the replayed stream re-ingests them after restore).
+        for queued in &self.queue {
+            if let Some(id) = queued.trace {
+                Self::trace_terminal(id, "checkpointed");
+            }
+        }
         let mut out = String::from("cs-serve-checkpoint v1\n");
         out.push_str(&format!("clock {}\n", self.clock_s));
         out.push_str(&format!("head_slot {}\n", self.window.head_slot()));

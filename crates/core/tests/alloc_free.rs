@@ -8,6 +8,11 @@
 //! unit per sweep (five allocations × units × sweeps); the kernel path
 //! allocates one scratch per fan-out.
 //!
+//! The same allocator also proves the streaming service's tick hot
+//! path is free when observability is off: steady-state empty ticks
+//! allocate nothing, and configuring `trace_sample` costs nothing while
+//! the telemetry level keeps tracing disabled.
+//!
 //! The allocator is process-global, so this file holds exactly one test.
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -16,6 +21,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use linalg::Matrix;
 use probes::Tcm;
 use traffic_cs::cs::{complete_matrix, CsConfig};
+use traffic_cs::service::{Observation, ServeConfig, Service};
 
 struct CountingAllocator;
 
@@ -100,5 +106,74 @@ fn sweep_loop_allocations_do_not_scale_with_units() {
     assert!(
         large_allocs <= small_allocs + SWEEPS,
         "allocations grew with unit count: {small_allocs} (small) vs {large_allocs} (large)"
+    );
+
+    // --- Service tick hot path with observability off ---------------
+    // (Same test fn: the counting allocator is process-global and the
+    // measurements must not interleave.)
+    service_tick_is_allocation_free_when_observability_is_off();
+}
+
+fn warm_service(trace_sample: u64) -> Service {
+    let cfg = ServeConfig::builder()
+        .slot_len_s(60)
+        .window_slots(4)
+        .num_segments(4)
+        .trace_sample(trace_sample)
+        .cs(CsConfig { rank: 2, lambda: 0.1, num_threads: 1, ..CsConfig::default() })
+        .build()
+        .unwrap();
+    let mut s = Service::new(cfg).unwrap();
+    // Two rounds of the same keys reach steady state: queue/pending
+    // capacity grown, dedup map populated, estimator warm.
+    for _ in 0..2 {
+        push_round(&mut s);
+        s.tick();
+    }
+    s
+}
+
+fn push_round(s: &mut Service) {
+    for v in 0..8u64 {
+        s.push(Observation {
+            vehicle: v,
+            timestamp_s: (v % 4) * 60,
+            segment: (v % 4) as usize,
+            speed_kmh: 30.0 + v as f64,
+        });
+    }
+}
+
+fn service_tick_is_allocation_free_when_observability_is_off() {
+    assert!(!telemetry::enabled(telemetry::Level::Trace), "level must be off for this test");
+    assert!(!telemetry::metrics_enabled(), "metrics must be off for this test");
+
+    // Steady-state empty ticks: queue drained, window clean, metrics
+    // off — the tick must not allocate at all.
+    let mut s = warm_service(0);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..50 {
+        s.tick();
+    }
+    let empty_ticks = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(empty_ticks, 0, "idle ticks allocated {empty_ticks} times with telemetry off");
+
+    // A configured-but-disabled trace_sample must cost exactly what
+    // trace_sample = 0 costs on an identical data workload: the level
+    // guard has to fire before any ID hashing or field building.
+    let measure = |trace_sample: u64| {
+        let mut s = warm_service(trace_sample);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for _ in 0..10 {
+            push_round(&mut s);
+            s.tick();
+        }
+        ALLOCATIONS.load(Ordering::Relaxed) - before
+    };
+    let without = measure(0);
+    let with_sampling = measure(1);
+    assert_eq!(
+        with_sampling, without,
+        "trace_sample=1 with tracing disabled changed the tick allocation count"
     );
 }

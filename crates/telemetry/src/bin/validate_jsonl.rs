@@ -8,13 +8,21 @@
 //! ```text
 //! validate-jsonl [--serve BENCH_serve.json] <metrics.jsonl> [run_manifest.json]
 //! validate-jsonl --serve BENCH_serve.json
+//! validate-jsonl --flight flight_dump.jsonl
 //! ```
+//!
+//! `--flight` checks a `cs-traffic-flight/v1` flight-recorder dump:
+//! the header line, strictly increasing `seq` numbers, well-formed
+//! trace records (16-hex `trace` id plus a `stage`), and that every
+//! trace admitted into the window also reached a terminal stage
+//! (`solved`, `degraded`, or `checkpointed`) inside the dump.
 //!
 //! Exits non-zero with a line-precise message on the first violation.
 
+use std::collections::{BTreeMap, BTreeSet};
 use telemetry::json::Json;
 
-const KNOWN_TYPES: &[&str] = &["span", "event", "counter", "gauge", "histogram"];
+const KNOWN_TYPES: &[&str] = &["span", "event", "counter", "gauge", "histogram", "trace"];
 const REQUIRED_RECORD_KEYS: &[&str] = &["type", "level", "name", "ts_ms"];
 const REQUIRED_MANIFEST_KEYS: &[&str] =
     &["schema", "command", "git_rev", "threads", "quick", "experiments", "created_unix_ms"];
@@ -137,6 +145,109 @@ fn validate_serve(path: &str) {
     println!("{path}: serve artifact OK");
 }
 
+/// Terminal causal-trace stages: once a report hits one of these, its
+/// story in the dump is complete.
+const TERMINAL_STAGES: &[&str] = &["solved", "degraded", "checkpointed"];
+
+/// Required shape of a `cs-traffic-flight/v1` flight-recorder dump:
+/// the header line, the ring records with strictly increasing `seq`
+/// numbers, and causal completeness of the traces it captured.
+fn validate_flight(path: &str) {
+    let content = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read '{path}': {e}")));
+    let mut lines = content.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+
+    let Some((header_no, header_line)) = lines.next() else {
+        fail(format!("{path}: empty flight dump"));
+    };
+    let header = Json::parse(header_line)
+        .unwrap_or_else(|e| fail(format!("{path}:{}: not valid JSON: {e}", header_no + 1)));
+    match header.get("schema").and_then(Json::as_str) {
+        Some("cs-traffic-flight/v1") => {}
+        Some(other) => fail(format!("{path}: unsupported flight schema '{other}'")),
+        None => fail(format!("{path}: header is missing 'schema'")),
+    }
+    if header.get("trigger").and_then(Json::as_str).is_none() {
+        fail(format!("{path}: header 'trigger' is not a string"));
+    }
+    if header.get("git_rev").and_then(Json::as_str).is_none() {
+        fail(format!("{path}: header 'git_rev' is not a string"));
+    }
+    for key in ["created_unix_ms", "capacity", "captured", "dropped"] {
+        if header.get(key).and_then(Json::as_num).is_none() {
+            fail(format!("{path}: header '{key}' is not a number"));
+        }
+    }
+    if header.get("meta").is_none() {
+        fail(format!("{path}: header is missing 'meta'"));
+    }
+
+    let mut records = 0usize;
+    let mut last_seq: Option<f64> = None;
+    // stage sets per trace id: admitted traces must also reach a
+    // terminal stage somewhere in the dump.
+    let mut stages: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (lineno, line) in lines {
+        let lineno = lineno + 1;
+        let value = Json::parse(line)
+            .unwrap_or_else(|e| fail(format!("{path}:{lineno}: not valid JSON: {e}")));
+        for key in REQUIRED_RECORD_KEYS {
+            if value.get(key).is_none() {
+                fail(format!("{path}:{lineno}: missing required key '{key}'"));
+            }
+        }
+        let ty = value
+            .get("type")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(format!("{path}:{lineno}: 'type' is not a string")));
+        if !KNOWN_TYPES.contains(&ty) {
+            fail(format!("{path}:{lineno}: unknown record type '{ty}'"));
+        }
+        let Some(seq) = value.get("seq").and_then(Json::as_num) else {
+            fail(format!("{path}:{lineno}: ring record is missing numeric 'seq'"));
+        };
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                fail(format!("{path}:{lineno}: 'seq' {seq} not strictly above previous {prev}"));
+            }
+        }
+        last_seq = Some(seq);
+        if ty == "histogram" {
+            validate_buckets(path, lineno, &value);
+        }
+        if ty == "trace" {
+            let fields = value
+                .get("fields")
+                .unwrap_or_else(|| fail(format!("{path}:{lineno}: trace record has no fields")));
+            let id = fields
+                .get("trace")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| fail(format!("{path}:{lineno}: fields.trace is not a string")));
+            if id.len() != 16 || !id.bytes().all(|b| b.is_ascii_hexdigit()) {
+                fail(format!("{path}:{lineno}: trace id '{id}' is not a 16-digit hex id"));
+            }
+            let stage = fields
+                .get("stage")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| fail(format!("{path}:{lineno}: fields.stage is not a string")));
+            stages.entry(id.to_string()).or_default().insert(stage.to_string());
+        }
+        records += 1;
+    }
+
+    let mut traced = 0usize;
+    for (id, set) in &stages {
+        if set.contains("admitted") && !TERMINAL_STAGES.iter().any(|t| set.contains(*t)) {
+            fail(format!(
+                "{path}: trace {id} was admitted but never reached a terminal stage \
+                 (solved/degraded/checkpointed)"
+            ));
+        }
+        traced += 1;
+    }
+    println!("{path}: flight dump OK ({records} ring records, {traced} traced reports)");
+}
+
 fn validate_manifest(path: &str) {
     let content = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(format!("cannot read '{path}': {e}")));
@@ -168,9 +279,18 @@ fn main() {
             fail("--serve requires a path".to_string());
         }
         validate_serve(&args.remove(pos));
-    } else if args.is_empty() {
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--flight") {
+        args.remove(pos);
+        if pos >= args.len() {
+            fail("--flight requires a path".to_string());
+        }
+        validate_flight(&args.remove(pos));
+    }
+    if args.is_empty() && std::env::args().len() <= 1 {
         fail(
-            "usage: validate-jsonl [--serve BENCH_serve.json] <metrics.jsonl> [run_manifest.json]"
+            "usage: validate-jsonl [--serve BENCH_serve.json] [--flight flight_dump.jsonl] \
+             <metrics.jsonl> [run_manifest.json]"
                 .to_string(),
         );
     }

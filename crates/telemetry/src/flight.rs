@@ -1,0 +1,285 @@
+//! Crash-safe flight recorder: a fixed-capacity ring of the most recent
+//! telemetry records, dumped as a self-contained JSONL post-mortem.
+//!
+//! The recorder is a [`Sink`]: once installed it captures every record
+//! the dispatch layer fans out (spans, events, traces, counter
+//! snapshots) into a lock-free ring of `capacity` slots with process-
+//! monotonic sequence numbers. When something goes wrong — the solve
+//! watchdog degrades, a chaos oracle fails, or the process panics (see
+//! [`crate::install_panic_flush_hook`]) — the last N records are written
+//! to `flight_dump.jsonl` under schema `cs-traffic-flight/v1` together
+//! with the git revision, run metadata (seed, config), and a final
+//! metric snapshot, so the crash site can be replayed without rerunning
+//! the workload.
+//!
+//! Writers never block each other on the hot path: claiming a sequence
+//! number is one `fetch_add`, and each slot has its own mutex (only
+//! contended when two writers race `capacity` records apart). Dumping
+//! walks the slots and sorts by sequence number, so a dump taken while
+//! writers are active is a consistent *sample*, not a torn record.
+
+use crate::json::Json;
+use crate::sink::{JsonlSink, OwnedRecord, Record, Sink};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// One captured record with its global sequence number.
+#[derive(Debug, Clone)]
+struct Entry {
+    seq: u64,
+    record: OwnedRecord,
+}
+
+/// Fixed-capacity ring of the last N telemetry records.
+pub struct FlightRecorder {
+    capacity: usize,
+    /// Next sequence number; also counts every record ever captured.
+    seq: AtomicU64,
+    slots: Vec<Mutex<Option<Entry>>>,
+    /// Run metadata echoed into the dump header (seed, config, …).
+    meta: Mutex<Vec<(String, String)>>,
+    /// Where [`dump_on_panic`] writes; also the default for triggers
+    /// that don't name a path.
+    dump_path: Mutex<Option<PathBuf>>,
+}
+
+impl FlightRecorder {
+    /// New recorder holding the most recent `capacity` records
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            seq: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            meta: Mutex::new(Vec::new()),
+            dump_path: Mutex::new(None),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total records captured over the recorder's lifetime (not just
+    /// those still in the ring).
+    pub fn total_captured(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Records a `key = value` metadata pair for the dump header.
+    /// Re-setting a key overwrites its value.
+    pub fn set_meta(&self, key: &str, value: &str) {
+        let mut meta = self.meta.lock().expect("flight meta poisoned");
+        if let Some(slot) = meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            meta.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Sets the default dump destination (used by the panic hook and by
+    /// triggers that don't name a path).
+    pub fn set_dump_path(&self, path: PathBuf) {
+        *self.dump_path.lock().expect("flight path poisoned") = Some(path);
+    }
+
+    /// The configured default dump destination, if any.
+    pub fn dump_path(&self) -> Option<PathBuf> {
+        self.dump_path.lock().expect("flight path poisoned").clone()
+    }
+
+    /// Ring contents in sequence order (oldest surviving record first).
+    fn entries(&self) -> Vec<Entry> {
+        let mut entries: Vec<Entry> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().expect("flight slot poisoned").clone())
+            .collect();
+        entries.sort_by_key(|e| e.seq);
+        entries
+    }
+
+    /// Renders the dump as JSONL: one `cs-traffic-flight/v1` header
+    /// line, then the surviving ring records (each with its `seq`),
+    /// then — so the post-mortem is self-contained — a snapshot of every
+    /// registered metric with continuing sequence numbers.
+    pub fn dump_string(&self, trigger: &str) -> String {
+        let entries = self.entries();
+        let total = self.total_captured();
+        let dropped = total.saturating_sub(entries.len() as u64);
+        let meta = self.meta.lock().expect("flight meta poisoned").clone();
+        let header = Json::Obj(vec![
+            ("schema".to_string(), Json::Str("cs-traffic-flight/v1".to_string())),
+            ("trigger".to_string(), Json::Str(trigger.to_string())),
+            ("git_rev".to_string(), Json::Str(git_rev())),
+            ("created_unix_ms".to_string(), Json::Num(crate::unix_ms() as f64)),
+            ("capacity".to_string(), Json::Num(self.capacity as f64)),
+            ("captured".to_string(), Json::Num(total as f64)),
+            ("dropped".to_string(), Json::Num(dropped as f64)),
+            (
+                "meta".to_string(),
+                Json::Obj(meta.into_iter().map(|(k, v)| (k, Json::Str(v))).collect()),
+            ),
+        ]);
+        let mut out = header.encode();
+        out.push('\n');
+        for entry in &entries {
+            out.push_str(&encode_with_seq(&entry.record, entry.seq));
+            out.push('\n');
+        }
+        // Metric snapshots continue the sequence numbering after the
+        // ring so `validate-jsonl --flight` sees one monotone stream.
+        for (i, snap) in crate::metrics::snapshot().into_iter().enumerate() {
+            let owned = OwnedRecord {
+                kind: snap.kind,
+                level: crate::Level::Info,
+                name: snap.name.clone(),
+                span_id: None,
+                parent_id: None,
+                elapsed_ns: None,
+                fields: snap.fields.clone(),
+                ts_ms: crate::unix_ms(),
+            };
+            out.push_str(&encode_with_seq(&owned, total + i as u64));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the dump to `path` (creating parent directories).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write failures.
+    pub fn dump_to_path(&self, path: &Path, trigger: &str) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.dump_string(trigger).as_bytes())?;
+        file.flush()
+    }
+
+    /// Writes the dump to the configured [`Self::set_dump_path`]
+    /// destination, defaulting to `flight_dump.jsonl` in the working
+    /// directory so an unconfigured panic still leaves evidence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write failures.
+    pub fn dump(&self, trigger: &str) -> std::io::Result<PathBuf> {
+        let path = self.dump_path().unwrap_or_else(|| PathBuf::from("flight_dump.jsonl"));
+        self.dump_to_path(&path, trigger)?;
+        Ok(path)
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn emit(&self, record: &Record<'_>) {
+        // Claim a sequence number lock-free, then write the slot it maps
+        // to. Two writers only contend when they race exactly
+        // `capacity` records apart.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let entry = Entry {
+            seq,
+            record: OwnedRecord {
+                kind: record.kind,
+                level: record.level,
+                name: record.name.to_string(),
+                span_id: record.span_id,
+                parent_id: record.parent_id,
+                elapsed_ns: record.elapsed_ns,
+                fields: record.fields.to_vec(),
+                ts_ms: record.ts_ms,
+            },
+        };
+        let slot = &self.slots[(seq % self.capacity as u64) as usize];
+        let mut guard = slot.lock().expect("flight slot poisoned");
+        // A slow writer could hold an older claim for this slot; keep
+        // the newest record.
+        if guard.as_ref().is_none_or(|old| old.seq < seq) {
+            *guard = Some(entry);
+        }
+    }
+}
+
+/// Encodes one owned record as its JSONL object with the flight `seq`
+/// injected as the first key.
+fn encode_with_seq(record: &OwnedRecord, seq: u64) -> String {
+    let borrowed = Record {
+        kind: record.kind,
+        level: record.level,
+        name: &record.name,
+        span_id: record.span_id,
+        parent_id: record.parent_id,
+        elapsed_ns: record.elapsed_ns,
+        fields: &record.fields,
+        ts_ms: record.ts_ms,
+    };
+    let mut obj = match JsonlSink::<std::io::Sink>::encode(&borrowed) {
+        Json::Obj(pairs) => pairs,
+        other => vec![("record".to_string(), other)],
+    };
+    obj.insert(0, ("seq".to_string(), Json::Num(seq as f64)));
+    Json::Obj(obj).encode()
+}
+
+/// Git revision of the running binary: `git rev-parse HEAD`, falling
+/// back to `GITHUB_SHA`, then `"unknown"` (mirrors `cs_bench`'s report
+/// header).
+fn git_rev() -> String {
+    if let Ok(out) = std::process::Command::new("git").args(["rev-parse", "HEAD"]).output() {
+        if out.status.success() {
+            let rev = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if !rev.is_empty() {
+                return rev;
+            }
+        }
+    }
+    std::env::var("GITHUB_SHA").unwrap_or_else(|_| "unknown".to_string())
+}
+
+fn global() -> &'static RwLock<Option<Arc<FlightRecorder>>> {
+    static GLOBAL: OnceLock<RwLock<Option<Arc<FlightRecorder>>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs a process-global flight recorder of `capacity` records and
+/// registers it as a sink. Replaces any previously installed recorder
+/// (the old one stays registered as a sink until [`crate::clear_sinks`];
+/// callers normally install once at startup).
+pub fn install(capacity: usize) -> Arc<FlightRecorder> {
+    let recorder = Arc::new(FlightRecorder::new(capacity));
+    crate::add_sink(Arc::clone(&recorder) as Arc<dyn Sink>);
+    *global().write().expect("flight global poisoned") = Some(Arc::clone(&recorder));
+    recorder
+}
+
+/// The installed recorder, if any.
+pub fn recorder() -> Option<Arc<FlightRecorder>> {
+    global().read().expect("flight global poisoned").clone()
+}
+
+/// Forgets the installed recorder (test-only; see
+/// [`crate::reset_for_tests`]). Does not unregister it as a sink.
+pub fn uninstall() {
+    *global().write().expect("flight global poisoned") = None;
+}
+
+/// Panic-path dump: writes the installed recorder (if any) to its
+/// configured path. Failures are reported to stderr rather than
+/// propagated — the process is already going down.
+pub(crate) fn dump_on_panic() {
+    if let Some(rec) = recorder() {
+        match rec.dump("panic") {
+            Ok(path) => eprintln!("flight recorder dumped to {}", path.display()),
+            Err(e) => eprintln!("flight recorder dump failed: {e}"),
+        }
+    }
+}

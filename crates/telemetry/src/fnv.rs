@@ -1,0 +1,64 @@
+//! Incremental FNV-1a (64-bit) content hashing.
+//!
+//! The workspace's deterministic fingerprint: the chaos harness hashes
+//! estimates, windows, and fault logs with it; the load generator hashes
+//! the offered stream; and the streaming service derives per-report
+//! trace IDs from it. Chosen for being trivially portable and
+//! dependency-free; collision resistance is irrelevant here (the hashes
+//! compare *runs of the same seed*, not adversarial inputs).
+//!
+//! Lives in `telemetry` (the workspace's lowest-level observability
+//! crate) so both `traffic_cs` and `chaos` can share one
+//! implementation; `chaos::Fnv` re-exports it for compatibility.
+
+/// Incremental FNV-1a (64-bit) hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    /// FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        let mut h = Fnv::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325, "empty input = offset basis");
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h2 = Fnv::new();
+        h2.write(b"foobar");
+        assert_eq!(h2.finish(), 0x85944171f73967e8);
+    }
+}

@@ -26,11 +26,14 @@
 //! hand-rolled with zero external dependencies — no `tracing`, no `log`,
 //! no `serde_json` — so it builds in the vendored/offline environment.
 
+pub mod flight;
+pub mod fnv;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 mod span;
 
+pub use fnv::Fnv;
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, MetricSnapshot};
 pub use sink::{CaptureSink, JsonlSink, PrettySink, Record, RecordKind, Sink};
 pub use span::{span, Span};
@@ -257,6 +260,26 @@ pub fn event(level: Level, name: &str, fields: Vec<Field>) {
     });
 }
 
+/// Emits a causal-trace record (kind `trace`, level `Trace`) for one
+/// probe report stage. Same contract as [`event`]: callers guard with
+/// [`enabled`]`(Level::Trace)` before building the fields vector so
+/// disabled tracing stays allocation-free.
+pub fn trace_event(name: &str, fields: Vec<Field>) {
+    if !enabled(Level::Trace) {
+        return;
+    }
+    dispatch(&Record {
+        kind: RecordKind::Trace,
+        level: Level::Trace,
+        name,
+        span_id: None,
+        parent_id: span::current_span_id(),
+        elapsed_ns: None,
+        fields: &fields,
+        ts_ms: unix_ms(),
+    });
+}
+
 /// Emits a structured event, constructing its fields only when the level
 /// is enabled:
 ///
@@ -308,7 +331,35 @@ pub fn init(config: &TelemetryConfig) -> std::io::Result<()> {
         effective = effective.max(Level::Debug);
     }
     set_level(effective);
+    install_panic_flush_hook();
     Ok(())
+}
+
+/// Chains a panic hook that dumps the flight recorder (if installed) and
+/// flushes every sink, so a panicking tick cannot truncate the JSONL
+/// output mid-record or lose the flight ring. Installed once per
+/// process; the previous hook (the default backtrace printer) still runs
+/// first.
+pub fn install_panic_flush_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            previous(info);
+            flight::dump_on_panic();
+            flush_sinks();
+        }));
+    });
+}
+
+/// Flushes every registered sink without snapshotting metrics — the
+/// panic-path sibling of [`shutdown`] (a metric snapshot mid-panic would
+/// interleave with whatever the process was writing).
+pub fn flush_sinks() {
+    let guard = sinks().read().expect("sink registry poisoned");
+    for sink in guard.iter() {
+        sink.flush();
+    }
 }
 
 /// Flushes the metric registry into the sinks (one record per metric)
@@ -319,10 +370,7 @@ pub fn shutdown() {
             snapshot.dispatch();
         }
     }
-    let guard = sinks().read().expect("sink registry poisoned");
-    for sink in guard.iter() {
-        sink.flush();
-    }
+    flush_sinks();
 }
 
 /// Resets every piece of global state (level, metrics, sinks, registry).
@@ -333,4 +381,5 @@ pub fn reset_for_tests() {
     set_metrics_enabled(false);
     clear_sinks();
     metrics::clear_registry();
+    flight::uninstall();
 }

@@ -218,6 +218,22 @@ impl Histogram {
         // for a moment; the largest observation is the right answer.
         Some(max)
     }
+
+    /// Discards every observation, returning the histogram to its
+    /// freshly-created state. Callers that keep a long-lived handle can
+    /// draw a measurement boundary (e.g. the load generator resetting at
+    /// the warmup/measurement edge) without re-registering the metric.
+    /// Not atomic with respect to concurrent `observe` calls; reset at
+    /// quiescent points.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0.0_f64.to_bits(), Ordering::Relaxed);
+        self.min_bits.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits.store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
 }
 
 /// CAS loop for float-valued atomics (sum/min/max).
@@ -302,6 +318,87 @@ impl MetricSnapshot {
             ts_ms: unix_ms(),
         });
     }
+
+    /// Appends this metric in Prometheus text exposition format.
+    ///
+    /// Counters and gauges become one `# TYPE` header plus one sample.
+    /// Histograms are rendered as a Prometheus `summary` (the quantiles
+    /// are already computed server-side): `{quantile="0.5|0.99|0.999"}`
+    /// samples plus `_sum` and `_count`. Dotted names are sanitized to
+    /// the Prometheus charset (`serve.tick_us` → `serve_tick_us`).
+    ///
+    /// Shared by [`expose_text`] (live registry) and
+    /// `cs-traffic-cli inspect --expose` (snapshots re-parsed from a
+    /// metrics JSONL), so both render byte-identically.
+    pub fn expose_text_into(&self, out: &mut String) {
+        let name = sanitize_metric_name(&self.name);
+        let field = |key: &str| self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let num = |key: &str| field(key).map_or_else(|| "0".to_string(), fmt_sample);
+        match self.kind {
+            RecordKind::Counter => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", num("value")));
+            }
+            RecordKind::Gauge => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", num("value")));
+            }
+            RecordKind::Histogram => {
+                out.push_str(&format!(
+                    "# TYPE {name} summary\n\
+                     {name}{{quantile=\"0.5\"}} {}\n\
+                     {name}{{quantile=\"0.99\"}} {}\n\
+                     {name}{{quantile=\"0.999\"}} {}\n\
+                     {name}_sum {}\n\
+                     {name}_count {}\n",
+                    num("p50"),
+                    num("p99"),
+                    num("p999"),
+                    num("sum"),
+                    num("count"),
+                ));
+            }
+            // Spans/events/traces are not metrics; nothing to expose.
+            _ => {}
+        }
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        // A leading digit keeps the digit behind a '_' prefix.
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+/// One Prometheus sample value. Integral floats print without a
+/// fraction (`42`, not `42.0`) so live and JSONL-round-tripped
+/// snapshots agree; non-finite values use the Prometheus spellings.
+fn fmt_sample(v: &Value) -> String {
+    match v {
+        Value::Float(f) if f.is_nan() => "NaN".to_string(),
+        Value::Float(f) if *f == f64::INFINITY => "+Inf".to_string(),
+        Value::Float(f) if *f == f64::NEG_INFINITY => "-Inf".to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Renders every registered metric, in name order, in Prometheus text
+/// exposition format — the pull-based scrape surface of the exposition
+/// plane (`cs-traffic-cli inspect --expose` renders the same format from
+/// a flushed JSONL).
+pub fn expose_text() -> String {
+    let mut out = String::new();
+    for snap in snapshot() {
+        snap.expose_text_into(&mut out);
+    }
+    out
 }
 
 /// Snapshots every registered metric, in name order.

@@ -20,6 +20,9 @@ pub enum RecordKind {
     Gauge,
     /// A histogram snapshot.
     Histogram,
+    /// A causal-trace stage of one probe report (carries `trace` and
+    /// `stage` fields; see `traffic_cs::service`).
+    Trace,
 }
 
 impl RecordKind {
@@ -31,6 +34,7 @@ impl RecordKind {
             RecordKind::Counter => "counter",
             RecordKind::Gauge => "gauge",
             RecordKind::Histogram => "histogram",
+            RecordKind::Trace => "trace",
         }
     }
 }

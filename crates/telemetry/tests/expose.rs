@@ -1,0 +1,57 @@
+//! Golden test for the Prometheus text exposition plane: the exact
+//! bytes `telemetry::metrics::expose_text()` produces are pinned here,
+//! because `cs-traffic-cli inspect --expose` promises to re-render the
+//! same text from a flushed metrics JSONL. Change the format and both
+//! this test and that round trip must move together.
+
+use std::sync::{Mutex, MutexGuard};
+use telemetry::metrics;
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    let guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::reset_for_tests();
+    guard
+}
+
+#[test]
+fn expose_text_matches_the_golden_output() {
+    let _g = serialize();
+    telemetry::gauge("queue.depth").set(1.5);
+    telemetry::counter("reqs.total").add(42);
+    // One observation of 2.0 pins every quantile to exactly 2 (the
+    // estimate clamps to [min, max]).
+    telemetry::histogram("serve.tick_us").observe(2.0);
+
+    let golden = "\
+# TYPE queue_depth gauge
+queue_depth 1.5
+# TYPE reqs_total counter
+reqs_total 42
+# TYPE serve_tick_us summary
+serve_tick_us{quantile=\"0.5\"} 2
+serve_tick_us{quantile=\"0.99\"} 2
+serve_tick_us{quantile=\"0.999\"} 2
+serve_tick_us_sum 2
+serve_tick_us_count 1
+";
+    assert_eq!(metrics::expose_text(), golden);
+}
+
+#[test]
+fn exposition_sanitizes_names_and_non_finite_samples() {
+    let _g = serialize();
+    telemetry::gauge("2x.per-leg ratio").set(f64::INFINITY);
+    let text = metrics::expose_text();
+    assert_eq!(text, "# TYPE _2x_per_leg_ratio gauge\n_2x_per_leg_ratio +Inf\n");
+
+    telemetry::reset_for_tests();
+    telemetry::gauge("nan.gauge").set(f64::NAN);
+    assert_eq!(metrics::expose_text(), "# TYPE nan_gauge gauge\nnan_gauge NaN\n");
+}
+
+#[test]
+fn empty_registry_exposes_nothing() {
+    let _g = serialize();
+    assert_eq!(metrics::expose_text(), "");
+}

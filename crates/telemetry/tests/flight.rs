@@ -1,0 +1,133 @@
+//! Flight-recorder tests: ring-wrap semantics, monotone sequence
+//! numbers, and the `cs-traffic-flight/v1` dump shape.
+//!
+//! Telemetry state is process-global, so every test serializes on one
+//! mutex and resets the globals first (same pattern as `telemetry.rs`).
+
+use std::sync::{Mutex, MutexGuard};
+use telemetry::flight::{self, FlightRecorder};
+use telemetry::json::Json;
+use telemetry::Level;
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    let guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::reset_for_tests();
+    guard
+}
+
+fn emit_events(n: usize) {
+    for i in 0..n {
+        telemetry::event(Level::Info, "flight.test", vec![("i".into(), (i as u64).into())]);
+    }
+}
+
+#[test]
+fn ring_keeps_the_most_recent_records() {
+    let _g = serialize();
+    let recorder = flight::install(4);
+    telemetry::set_level(Level::Info);
+    emit_events(10);
+
+    assert_eq!(recorder.capacity(), 4);
+    assert_eq!(recorder.total_captured(), 10, "every record claims a seq");
+
+    let dump = recorder.dump_string("test");
+    let lines: Vec<&str> = dump.lines().collect();
+    // Header + 4 surviving ring records (no metrics registered).
+    assert_eq!(lines.len(), 5, "unexpected dump:\n{dump}");
+
+    let header = Json::parse(lines[0]).expect("header parses");
+    assert_eq!(header.get("schema").and_then(Json::as_str), Some("cs-traffic-flight/v1"));
+    assert_eq!(header.get("trigger").and_then(Json::as_str), Some("test"));
+    assert_eq!(header.get("captured").and_then(Json::as_num), Some(10.0));
+    assert_eq!(header.get("dropped").and_then(Json::as_num), Some(6.0));
+
+    // The survivors are exactly the last 4, in seq order, and `seq` is
+    // the first key of each line so the dump greps chronologically.
+    let mut seqs = Vec::new();
+    for line in &lines[1..] {
+        assert!(line.starts_with("{\"seq\":"), "seq not first key in {line}");
+        let rec = Json::parse(line).expect("ring record parses");
+        seqs.push(rec.get("seq").and_then(Json::as_num).expect("numeric seq"));
+        assert_eq!(rec.get("name").and_then(Json::as_str), Some("flight.test"));
+    }
+    assert_eq!(seqs, vec![6.0, 7.0, 8.0, 9.0]);
+}
+
+#[test]
+fn dump_appends_metric_snapshots_with_continuing_seqs() {
+    let _g = serialize();
+    let recorder = flight::install(8);
+    telemetry::set_level(Level::Info);
+    recorder.set_meta("seed", "7");
+    recorder.set_meta("seed", "9"); // re-set overwrites
+    emit_events(3);
+    telemetry::counter("flight.dump.counter").add(2);
+
+    let dump = recorder.dump_string("solve_degraded");
+    let lines: Vec<&str> = dump.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 3 events + 1 metric:\n{dump}");
+
+    let header = Json::parse(lines[0]).unwrap();
+    assert_eq!(header.get("meta").and_then(|m| m.get("seed")).and_then(Json::as_str), Some("9"),);
+    assert!(header.get("git_rev").and_then(Json::as_str).is_some());
+    assert!(header.get("created_unix_ms").and_then(Json::as_num).is_some());
+
+    let metric = Json::parse(lines[4]).unwrap();
+    assert_eq!(metric.get("type").and_then(Json::as_str), Some("counter"));
+    assert_eq!(metric.get("name").and_then(Json::as_str), Some("flight.dump.counter"));
+    // Snapshots continue after the ring's 3 records: seq 3.
+    assert_eq!(metric.get("seq").and_then(Json::as_num), Some(3.0));
+}
+
+#[test]
+fn trace_records_reach_the_ring() {
+    let _g = serialize();
+    let recorder = flight::install(16);
+    telemetry::set_level(Level::Trace);
+    telemetry::trace_event(
+        "serve.trace",
+        vec![("trace".into(), "00000000deadbeef".into()), ("stage".into(), "admitted".into())],
+    );
+
+    let dump = recorder.dump_string("test");
+    let line = dump.lines().nth(1).expect("one ring record");
+    let rec = Json::parse(line).unwrap();
+    assert_eq!(rec.get("type").and_then(Json::as_str), Some("trace"));
+    assert_eq!(
+        rec.get("fields").and_then(|f| f.get("trace")).and_then(Json::as_str),
+        Some("00000000deadbeef"),
+    );
+    assert_eq!(
+        rec.get("fields").and_then(|f| f.get("stage")).and_then(Json::as_str),
+        Some("admitted"),
+    );
+}
+
+#[test]
+fn dump_to_path_creates_parents_and_zero_capacity_clamps() {
+    let _g = serialize();
+    let recorder = FlightRecorder::new(0);
+    assert_eq!(recorder.capacity(), 1, "capacity clamps to at least one slot");
+
+    let dir = std::env::temp_dir().join("flight_test_nested");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("deep/flight_dump.jsonl");
+    recorder.dump_to_path(&path, "test").expect("dump creates parent dirs");
+    let content = std::fs::read_to_string(&path).expect("dump written");
+    assert!(content.starts_with("{\"schema\":\"cs-traffic-flight/v1\""), "{content}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn install_registers_recorder_and_uninstall_forgets_it() {
+    let _g = serialize();
+    assert!(flight::recorder().is_none(), "reset clears the global recorder");
+    let recorder = flight::install(2);
+    recorder.set_dump_path(std::path::PathBuf::from("somewhere.jsonl"));
+    let seen = flight::recorder().expect("recorder installed");
+    assert_eq!(seen.dump_path(), Some(std::path::PathBuf::from("somewhere.jsonl")));
+    flight::uninstall();
+    assert!(flight::recorder().is_none());
+}

@@ -1,0 +1,77 @@
+//! A panicking tick must not truncate telemetry output: the panic hook
+//! installed by `telemetry::install_panic_flush_hook` (wired by
+//! `telemetry::init`) flushes every sink and dumps the flight recorder
+//! before the unwind continues.
+//!
+//! Runs in its own test binary so the process-global panic hook cannot
+//! interfere with other tests' panics.
+
+use std::io::{BufWriter, Write};
+use std::sync::{Arc, Mutex, MutexGuard};
+use telemetry::json::Json;
+use telemetry::{flight, JsonlSink, Level};
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    let guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::reset_for_tests();
+    guard
+}
+
+/// A cloneable byte sink: the test keeps one handle while the
+/// `BufWriter` inside the `JsonlSink` owns another.
+#[derive(Clone, Default)]
+struct SharedVec(Arc<Mutex<Vec<u8>>>);
+
+impl SharedVec {
+    fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+    }
+}
+
+impl Write for SharedVec {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn panic_hook_flushes_buffered_sinks_and_dumps_the_flight_ring() {
+    let _g = serialize();
+    let out = SharedVec::default();
+    // A big buffer guarantees the record sits in the BufWriter, not in
+    // the shared vec, until something flushes.
+    let sink = JsonlSink::to_writer(BufWriter::with_capacity(1 << 20, out.clone()));
+    telemetry::add_sink(Arc::new(sink));
+    let dump_path = std::env::temp_dir().join("flush_on_panic_flight.jsonl");
+    let _ = std::fs::remove_file(&dump_path);
+    let recorder = flight::install(8);
+    recorder.set_dump_path(dump_path.clone());
+    telemetry::set_level(Level::Info);
+    telemetry::install_panic_flush_hook();
+
+    telemetry::event(Level::Info, "before.the.panic", vec![("k".into(), 7u64.into())]);
+    assert_eq!(out.contents(), "", "record must still be buffered");
+
+    // Panic hooks run before the unwind is caught, so catch_unwind
+    // exercises exactly the crash path without killing the test.
+    let result = std::panic::catch_unwind(|| panic!("tick exploded"));
+    assert!(result.is_err());
+
+    let flushed = out.contents();
+    assert!(flushed.contains("\"name\":\"before.the.panic\""), "not flushed: {flushed:?}");
+    let line = flushed.lines().next().expect("one flushed line");
+    assert!(Json::parse(line).is_ok(), "flushed line is whole JSON: {line}");
+
+    let dump = std::fs::read_to_string(&dump_path).expect("flight ring dumped on panic");
+    let header = Json::parse(dump.lines().next().unwrap()).expect("dump header parses");
+    assert_eq!(header.get("schema").and_then(Json::as_str), Some("cs-traffic-flight/v1"));
+    assert_eq!(header.get("trigger").and_then(Json::as_str), Some("panic"));
+    assert!(dump.contains("before.the.panic"), "ring retained the pre-panic record");
+    let _ = std::fs::remove_file(&dump_path);
+}
