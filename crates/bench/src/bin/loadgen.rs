@@ -4,21 +4,29 @@
 //! `traffic_cs::service::Service`, binary-searches the maximum
 //! sustainable throughput under the `results/SLO.toml` budget, and
 //! writes `results/BENCH_serve.json` (schema
-//! `cs-traffic-bench-serve/v1`).
+//! `cs-traffic-bench-serve/v2`) plus one summary line appended to
+//! `results/BENCH_trajectory.jsonl` (schema
+//! `cs-traffic-bench-trajectory/v1`), the tracked throughput history.
 //!
 //! ```text
-//! loadgen [--profile quick|full] [--seed N] [--rate R] [--threads N]
-//!         [--max-legs N] [--out PATH] [--slo PATH] [--flight-dump PATH]
+//! loadgen [--profile quick|full|scale] [--seed N] [--rate R] [--threads N]
+//!         [--max-legs N] [--out PATH] [--slo PATH] [--trajectory PATH]
+//!         [--flight-dump PATH]
 //! ```
 //!
 //! * `--profile` — geometry preset (default `full`; CI passes `quick`,
-//!   also selected by `CS_BENCH_QUICK=1`).
+//!   also selected by `CS_BENCH_QUICK=1`). `scale` runs the quick
+//!   search and then the latency-vs-grid-size sweep
+//!   (1,024 → 16,384 → 102,400 segments) at a fixed offered rate,
+//!   recorded into the artifact's `scale` array.
 //! * `--rate` — skip the search and run a single leg at this offered
 //!   rate (reports per simulated second).
 //! * `--slo` — budget file (default `results/SLO.toml`); the budget
 //!   defines "sustainable" for the search. The regression *gate* is a
 //!   separate program (`slo-gate`), so measuring never fails CI — only
 //!   comparing does.
+//! * `--trajectory` — append-per-run history file (default
+//!   `results/BENCH_trajectory.jsonl`; `none` disables).
 //! * `--flight-dump` — install a 512-record flight recorder and dump
 //!   it to this path when a solve degrades mid-leg (or the process
 //!   panics), so a failed CI serve-load run leaves a
@@ -33,8 +41,8 @@ use std::path::PathBuf;
 fn fail_usage(msg: &str) -> ! {
     eprintln!("loadgen: {msg}");
     eprintln!(
-        "usage: loadgen [--profile quick|full] [--seed N] [--rate R] [--threads N] \
-         [--max-legs N] [--out PATH] [--slo PATH] [--flight-dump PATH]"
+        "usage: loadgen [--profile quick|full|scale] [--seed N] [--rate R] [--threads N] \
+         [--max-legs N] [--out PATH] [--slo PATH] [--trajectory PATH] [--flight-dump PATH]"
     );
     std::process::exit(2);
 }
@@ -47,6 +55,7 @@ struct Args {
     max_legs: usize,
     out: PathBuf,
     slo: PathBuf,
+    trajectory: Option<PathBuf>,
     flight_dump: Option<PathBuf>,
 }
 
@@ -60,6 +69,7 @@ fn parse_args() -> Args {
         max_legs: 12,
         out: PathBuf::from("results/BENCH_serve.json"),
         slo: PathBuf::from("results/SLO.toml"),
+        trajectory: Some(PathBuf::from("results/BENCH_trajectory.jsonl")),
         flight_dump: None,
     };
     let mut it = std::env::args().skip(1);
@@ -85,6 +95,10 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = PathBuf::from(val("--out")),
             "--slo" => args.slo = PathBuf::from(val("--slo")),
+            "--trajectory" => {
+                let v = val("--trajectory");
+                args.trajectory = if v == "none" { None } else { Some(PathBuf::from(v)) };
+            }
             "--flight-dump" => args.flight_dump = Some(PathBuf::from(val("--flight-dump"))),
             "--help" | "-h" => fail_usage("help"),
             other => fail_usage(&format!("unknown flag '{other}'")),
@@ -95,14 +109,15 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // `scale` searches on the quick geometry, then sweeps the grids.
     let mut cfg = match args.profile.as_str() {
-        "quick" => LoadConfig::quick(args.seed),
+        "quick" | "scale" => LoadConfig::quick(args.seed),
         "full" => LoadConfig::full(args.seed),
-        other => fail_usage(&format!("unknown profile '{other}' (quick|full)")),
+        other => fail_usage(&format!("unknown profile '{other}' (quick|full|scale)")),
     };
     cfg.num_threads = args.threads;
     cfg.flight_dump = args.flight_dump.clone();
-    let quick = args.profile == "quick";
+    let quick = args.profile != "full";
 
     if let Some(path) = &args.flight_dump {
         // Ride the telemetry dispatch layer: raise the level so the
@@ -157,11 +172,50 @@ fn main() {
         search.best.stream_hash,
     );
 
-    match loadgen::write_bench_serve_json(&args.out, &cfg, &search, quick) {
+    // The scale sweep runs at half the measured ceiling (floored at
+    // 500/s) so every grid width sees the same comfortably-sustainable
+    // offered stream and the curve isolates grid size.
+    let scale = if args.profile == "scale" {
+        let rate = (search.max_sustainable_rate / 2.0).max(500.0);
+        match loadgen::run_scale_sweep(args.seed, args.threads, rate) {
+            Ok(points) => {
+                for p in &points {
+                    eprintln!(
+                        "  scale segments={:7}  tick p50/p99={:8.0}/{:8.0} us  solve \
+                         p99={:8.0} us  incremental/full={}/{}",
+                        p.segments,
+                        p.leg.tick_us.p50,
+                        p.leg.tick_us.p99,
+                        p.leg.solve_us.p99,
+                        p.leg.solve_stats.incremental_solves,
+                        p.leg.solve_stats.full_solves,
+                    );
+                }
+                points
+            }
+            Err(e) => {
+                eprintln!("loadgen: scale sweep failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    match loadgen::write_bench_serve_json(&args.out, &cfg, &search, &scale, quick) {
         Ok(path) => eprintln!("loadgen: wrote {}", path.display()),
         Err(e) => {
             eprintln!("loadgen: cannot write {}: {e}", args.out.display());
             std::process::exit(74);
+        }
+    }
+    if let Some(traj) = &args.trajectory {
+        match loadgen::append_bench_trajectory(traj, &cfg, &search, quick) {
+            Ok(path) => eprintln!("loadgen: appended {}", path.display()),
+            Err(e) => {
+                eprintln!("loadgen: cannot append {}: {e}", traj.display());
+                std::process::exit(74);
+            }
         }
     }
 }

@@ -19,9 +19,18 @@
 //!   `serve-load` CI gate tracks against `results/SLO.toml`.
 //!
 //! The CI artifact `results/BENCH_serve.json`
-//! (schema `cs-traffic-bench-serve/v1`, written by
+//! (schema `cs-traffic-bench-serve/v2`, written by
 //! [`write_bench_serve_json`]) pins both halves, the way
-//! `BENCH_als.json` anchors the offline kernel.
+//! `BENCH_als.json` anchors the offline kernel, and
+//! [`append_bench_trajectory`] keeps the append-per-run history in
+//! `results/BENCH_trajectory.jsonl`.
+//!
+//! The ingest queue is a *pressure valve*, not the thing under test:
+//! [`run_leg`] pushes a whole tick's batch before draining it, so the
+//! effective queue bound is raised to hold at least one batch — a
+//! queue smaller than the batch would measure queue depth, not solver
+//! throughput (the old quick profile topped out at 275 reports/s for
+//! exactly that reason).
 
 use crate::report;
 use chaos::Fnv;
@@ -30,7 +39,7 @@ use std::time::Instant;
 use telemetry::json::Json;
 use telemetry::Histogram;
 use traffic_cs::cs::CsConfig;
-use traffic_cs::service::{Observation, ServeConfig, ServeStats, Service};
+use traffic_cs::service::{Observation, ServeConfig, ServeStats, Service, SolveStats};
 use traffic_cs::{ConfigError, Error};
 
 /// SplitMix64 — the stream RNG, hand-rolled so the offered stream is a
@@ -97,16 +106,42 @@ pub struct LoadConfig {
 impl LoadConfig {
     /// The CI smoke geometry (`CS_BENCH_QUICK`): a small window that
     /// still solves every tick, sized so a full search finishes in
-    /// seconds on a 2-core runner.
+    /// seconds on a 2-core runner. Short slots (12 s, 3 s ticks) keep
+    /// the dedup table — which retains one window's worth of stream —
+    /// bounded even at the five-digit rates the incremental solve path
+    /// sustains, and 100 ticks span 25 slots so every leg exercises
+    /// window eviction.
     pub fn quick(seed: u64) -> Self {
         Self {
             seed,
             segments: 64,
             window_slots: 8,
-            slot_len_s: 60,
+            slot_len_s: 12,
             ticks_per_slot: 4,
-            ticks: 48,
-            warmup_ticks: 32,
+            ticks: 60,
+            warmup_ticks: 40,
+            queue_capacity: 4096,
+            rank: 2,
+            lambda: 1.0,
+            num_threads: 0,
+            malformed_per_10k: 10,
+            flight_dump: None,
+        }
+    }
+
+    /// One point of the `scale` profile: the quick solver settings on
+    /// an `segments`-wide grid, short legs (40 ticks total) because the
+    /// sweep's job is the latency-vs-grid-size *curve* at a fixed
+    /// offered rate, not a throughput search.
+    pub fn scale(seed: u64, segments: usize) -> Self {
+        Self {
+            seed,
+            segments,
+            window_slots: 8,
+            slot_len_s: 12,
+            ticks_per_slot: 4,
+            ticks: 24,
+            warmup_ticks: 16,
             queue_capacity: 4096,
             rank: 2,
             lambda: 1.0,
@@ -150,12 +185,23 @@ impl LoadConfig {
         Ok(())
     }
 
-    fn serve_config(&self) -> Result<ServeConfig, Error> {
+    /// The ingest queue bound actually used at `rate`: the configured
+    /// capacity, raised to hold one tick's batch plus 12.5 % headroom.
+    /// [`run_leg`] pushes the whole batch before ticking, so a queue
+    /// smaller than the batch caps the measured rate at
+    /// `capacity / dt` regardless of how fast the solver is.
+    fn effective_queue_capacity(&self, rate: f64) -> usize {
+        let dt = self.slot_len_s / self.ticks_per_slot.max(1);
+        let batch = (rate * dt as f64).ceil() as usize + 1;
+        self.queue_capacity.max(batch + batch / 8)
+    }
+
+    fn serve_config(&self, queue_capacity: usize) -> Result<ServeConfig, Error> {
         Ok(ServeConfig::builder()
             .slot_len_s(self.slot_len_s)
             .window_slots(self.window_slots)
             .num_segments(self.segments)
-            .queue_capacity(self.queue_capacity)
+            .queue_capacity(queue_capacity)
             .cs(CsConfig {
                 rank: self.rank,
                 lambda: self.lambda,
@@ -218,6 +264,10 @@ pub struct LegReport {
     pub achieved_rate: f64,
     /// Counter deltas over the measured phase.
     pub stats: ServeStats,
+    /// Solve-path counter deltas over the measured phase: how many
+    /// ticks were answered from the content-hash cache, solved
+    /// incrementally, or fell back to a full warm sweep.
+    pub solve_stats: SolveStats,
     /// `queue_dropped / offered` over the measured phase.
     pub drop_rate: f64,
     /// `degraded / solves` over the measured phase (0 when no solves).
@@ -250,6 +300,17 @@ fn stats_delta(end: ServeStats, start: ServeStats) -> ServeStats {
     }
 }
 
+/// Subtracts solve-path counter snapshots, like [`stats_delta`].
+fn solve_stats_delta(end: SolveStats, start: SolveStats) -> SolveStats {
+    SolveStats {
+        cache_hits: end.cache_hits - start.cache_hits,
+        cache_misses: end.cache_misses - start.cache_misses,
+        incremental_solves: end.incremental_solves - start.incremental_solves,
+        full_solves: end.full_solves - start.full_solves,
+        rows_resolved: end.rows_resolved - start.rows_resolved,
+    }
+}
+
 /// Drives one leg: `warmup_ticks + ticks` service ticks at `rate`
 /// offered reports per simulated second, latencies sampled over the
 /// measured ticks only.
@@ -263,7 +324,7 @@ pub fn run_leg(cfg: &LoadConfig, rate: f64) -> Result<LegReport, Error> {
     if !rate.is_finite() || rate <= 0.0 {
         return Err(ConfigError::new("rate", "offered rate must be positive and finite").into());
     }
-    let mut service = Service::new(cfg.serve_config()?)?;
+    let mut service = Service::new(cfg.serve_config(cfg.effective_queue_capacity(rate))?)?;
     let dt = cfg.slot_len_s / cfg.ticks_per_slot;
     let mut rng = SplitMix64::new(cfg.seed);
     let mut hash = Fnv::new();
@@ -276,12 +337,14 @@ pub fn run_leg(cfg: &LoadConfig, rate: f64) -> Result<LegReport, Error> {
     let total_ticks = cfg.warmup_ticks + cfg.ticks;
     let mut offered_measured = 0u64;
     let mut stats_at_warmup = ServeStats::default();
+    let mut solve_stats_at_warmup = SolveStats::default();
     let mut measured_wall = 0.0f64;
 
     for k in 0..total_ticks {
         let measured = k >= cfg.warmup_ticks;
         if k == cfg.warmup_ticks {
             stats_at_warmup = service.stats();
+            solve_stats_at_warmup = service.solve_stats();
             // Forget warm-up latencies so the e2e quantiles cover the
             // measured phase only, like the counter deltas.
             service.e2e_histogram().reset();
@@ -324,6 +387,7 @@ pub fn run_leg(cfg: &LoadConfig, rate: f64) -> Result<LegReport, Error> {
     }
 
     let stats = stats_delta(service.stats(), stats_at_warmup);
+    let solve_stats = solve_stats_delta(service.solve_stats(), solve_stats_at_warmup);
     let drop_rate = if offered_measured == 0 {
         0.0
     } else {
@@ -341,6 +405,7 @@ pub fn run_leg(cfg: &LoadConfig, rate: f64) -> Result<LegReport, Error> {
             0.0
         },
         stats,
+        solve_stats,
         drop_rate,
         degrade_rate,
         tick_us: Quantiles::from_histogram(&tick_hist),
@@ -475,9 +540,61 @@ pub fn search_max_rate(
     Ok(SearchReport { max_sustainable_rate: lo_rate, legs, best: lo_leg })
 }
 
-/// Writes `BENCH_serve.json` (schema `cs-traffic-bench-serve/v1`): the
-/// search outcome, the best leg's latency quantiles and counters, and
-/// the run's provenance (git revision, threads, seed, geometry).
+/// The grid widths of the `scale` profile: 1k → 16k → the 100k-class
+/// geometry ROADMAP item 3 targets.
+pub const SCALE_GRIDS: [usize; 3] = [1_024, 16_384, 102_400];
+
+/// One grid width of the scale sweep.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Road-segment columns of this point's window.
+    pub segments: usize,
+    /// The leg run at the sweep's fixed offered rate.
+    pub leg: LegReport,
+}
+
+/// Runs one leg per [`SCALE_GRIDS`] width at a *fixed* offered rate —
+/// the per-tick-latency-vs-grid-size curve. Holding the rate constant
+/// is the point: with the incremental solve path the dirty set per
+/// tick is bounded by the batch, so tick latency should stay nearly
+/// flat as the grid grows two orders of magnitude.
+///
+/// # Errors
+///
+/// Configuration errors from [`run_leg`].
+pub fn run_scale_sweep(seed: u64, num_threads: usize, rate: f64) -> Result<Vec<ScalePoint>, Error> {
+    SCALE_GRIDS
+        .iter()
+        .map(|&segments| {
+            let mut cfg = LoadConfig::scale(seed, segments);
+            cfg.num_threads = num_threads;
+            run_leg(&cfg, rate).map(|leg| ScalePoint { segments, leg })
+        })
+        .collect()
+}
+
+fn solve_counters_json(s: ServeStats, v: SolveStats) -> Json {
+    Json::Obj(vec![
+        ("admitted".into(), Json::Num(s.admitted as f64)),
+        ("rejected".into(), Json::Num(s.rejected as f64)),
+        ("dropped_late".into(), Json::Num(s.dropped_late as f64)),
+        ("duplicates".into(), Json::Num(s.duplicates as f64)),
+        ("queue_dropped".into(), Json::Num(s.queue_dropped as f64)),
+        ("solves".into(), Json::Num(s.solves as f64)),
+        ("degraded".into(), Json::Num(s.degraded as f64)),
+        ("solve_cache_hits".into(), Json::Num(v.cache_hits as f64)),
+        ("solve_cache_misses".into(), Json::Num(v.cache_misses as f64)),
+        ("incremental_solves".into(), Json::Num(v.incremental_solves as f64)),
+        ("full_solves".into(), Json::Num(v.full_solves as f64)),
+        ("rows_resolved".into(), Json::Num(v.rows_resolved as f64)),
+    ])
+}
+
+/// Writes `BENCH_serve.json` (schema `cs-traffic-bench-serve/v2`): the
+/// search outcome, the best leg's latency quantiles and counters
+/// (including the solve-path split: cache hits, incremental vs full
+/// solves), the latency-vs-grid-size `scale` curve when one was run,
+/// and the run's provenance (git revision, threads, seed, geometry).
 ///
 /// # Errors
 ///
@@ -486,12 +603,29 @@ pub fn write_bench_serve_json(
     path: &Path,
     cfg: &LoadConfig,
     search: &SearchReport,
+    scale: &[ScalePoint],
     quick: bool,
 ) -> std::io::Result<PathBuf> {
     let leg = &search.best;
     let s = leg.stats;
+    let scale_json = scale
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("segments".into(), Json::Num(p.segments as f64)),
+                ("offered_rate".into(), Json::Num(p.leg.offered_rate)),
+                ("offered".into(), Json::Num(p.leg.offered as f64)),
+                ("drop_rate".into(), Json::Num(p.leg.drop_rate)),
+                ("degrade_rate".into(), Json::Num(p.leg.degrade_rate)),
+                ("tick_us".into(), p.leg.tick_us.to_json()),
+                ("solve_us".into(), p.leg.solve_us.to_json()),
+                ("counters".into(), solve_counters_json(p.leg.stats, p.leg.solve_stats)),
+                ("stream_hash".into(), Json::Str(format!("{:016x}", p.leg.stream_hash))),
+            ])
+        })
+        .collect::<Vec<_>>();
     let json = Json::Obj(vec![
-        ("schema".into(), Json::Str("cs-traffic-bench-serve/v1".into())),
+        ("schema".into(), Json::Str("cs-traffic-bench-serve/v2".into())),
         ("quick".into(), Json::Bool(quick)),
         ("git_rev".into(), Json::Str(report::git_rev())),
         ("seed".into(), Json::Num(cfg.seed as f64)),
@@ -523,21 +657,11 @@ pub fn write_bench_serve_json(
                 ("tick_us".into(), leg.tick_us.to_json()),
                 ("solve_us".into(), leg.solve_us.to_json()),
                 ("e2e_us".into(), leg.e2e_us.to_json()),
-                (
-                    "counters".into(),
-                    Json::Obj(vec![
-                        ("admitted".into(), Json::Num(s.admitted as f64)),
-                        ("rejected".into(), Json::Num(s.rejected as f64)),
-                        ("dropped_late".into(), Json::Num(s.dropped_late as f64)),
-                        ("duplicates".into(), Json::Num(s.duplicates as f64)),
-                        ("queue_dropped".into(), Json::Num(s.queue_dropped as f64)),
-                        ("solves".into(), Json::Num(s.solves as f64)),
-                        ("degraded".into(), Json::Num(s.degraded as f64)),
-                    ]),
-                ),
+                ("counters".into(), solve_counters_json(s, leg.solve_stats)),
                 ("stream_hash".into(), Json::Str(format!("{:016x}", leg.stream_hash))),
             ]),
         ),
+        ("scale".into(), Json::Arr(scale_json)),
     ]);
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -545,6 +669,54 @@ pub fn write_bench_serve_json(
         }
     }
     std::fs::write(path, json.encode() + "\n")?;
+    Ok(path.to_path_buf())
+}
+
+/// Appends one line to the tracked bench trajectory
+/// (`results/BENCH_trajectory.jsonl`, schema
+/// `cs-traffic-bench-trajectory/v1`): a timestamped summary of this
+/// run's search outcome, so throughput history survives the
+/// overwrite-in-place `BENCH_serve.json` artifact.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn append_bench_trajectory(
+    path: &Path,
+    cfg: &LoadConfig,
+    search: &SearchReport,
+    quick: bool,
+) -> std::io::Result<PathBuf> {
+    use std::io::Write;
+    let recorded_unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let leg = &search.best;
+    let line = Json::Obj(vec![
+        ("schema".into(), Json::Str("cs-traffic-bench-trajectory/v1".into())),
+        ("recorded_unix_s".into(), Json::Num(recorded_unix_s as f64)),
+        ("git_rev".into(), Json::Str(report::git_rev())),
+        ("quick".into(), Json::Bool(quick)),
+        ("seed".into(), Json::Num(cfg.seed as f64)),
+        ("threads".into(), Json::Num(workpool::resolve_threads(cfg.num_threads) as f64)),
+        ("segments".into(), Json::Num(cfg.segments as f64)),
+        ("window_slots".into(), Json::Num(cfg.window_slots as f64)),
+        ("max_sustainable_rate".into(), Json::Num(search.max_sustainable_rate)),
+        ("tick_p99_us".into(), Json::Num(leg.tick_us.p99)),
+        ("solve_p99_us".into(), Json::Num(leg.solve_us.p99)),
+        ("drop_rate".into(), Json::Num(leg.drop_rate)),
+        ("incremental_solves".into(), Json::Num(leg.solve_stats.incremental_solves as f64)),
+        ("full_solves".into(), Json::Num(leg.solve_stats.full_solves as f64)),
+        ("solve_cache_hits".into(), Json::Num(leg.solve_stats.cache_hits as f64)),
+    ]);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{}", line.encode())?;
     Ok(path.to_path_buf())
 }
 
@@ -570,9 +742,21 @@ mod tests {
             window_slots: 4,
             ..LoadConfig::quick(9)
         };
-        // 3.3 reports/sim-second × 15 s/tick × 40 ticks = 1980 offered.
-        let leg = run_leg(&cfg, 3.3).unwrap();
-        assert_eq!(leg.offered, 1980);
+        // 3.5 reports/sim-second × 3 s/tick × 40 ticks = 420 offered.
+        // (The per-tick budget 10.5 is a dyadic rational, so the carry
+        // accumulates exactly and the count is sharp, not ±1.)
+        let leg = run_leg(&cfg, 3.5).unwrap();
+        assert_eq!(leg.offered, 420);
+    }
+
+    #[test]
+    fn queue_is_sized_to_the_batch() {
+        let cfg = LoadConfig::quick(1);
+        // Below the floor the configured capacity stands…
+        assert_eq!(cfg.effective_queue_capacity(10.0), cfg.queue_capacity);
+        // …above it the queue holds one batch (rate × 3 s) + headroom.
+        let big = cfg.effective_queue_capacity(10_000.0);
+        assert!(big >= 30_001, "queue {big} cannot hold a 30k-report batch");
     }
 
     #[test]

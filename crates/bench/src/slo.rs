@@ -182,7 +182,8 @@ pub struct GateInputs {
 
 impl GateInputs {
     /// Extracts the gated numbers from a parsed `BENCH_serve.json`
-    /// (schema `cs-traffic-bench-serve/v1`).
+    /// (schema `cs-traffic-bench-serve/v1` or `/v2` — the v2 additions,
+    /// solve-path counters and the `scale` curve, are not gated).
     ///
     /// # Errors
     ///
@@ -190,7 +191,7 @@ impl GateInputs {
     /// schema mismatch.
     pub fn from_bench_serve(doc: &telemetry::json::Json) -> Result<Self, String> {
         match doc.get("schema").and_then(|s| s.as_str()) {
-            Some("cs-traffic-bench-serve/v1") => {}
+            Some("cs-traffic-bench-serve/v1" | "cs-traffic-bench-serve/v2") => {}
             Some(other) => return Err(format!("unsupported schema '{other}'")),
             None => return Err("missing 'schema' field".into()),
         }
@@ -323,6 +324,18 @@ regress_tolerance = 0.20
         assert_eq!(g.solve_p99_us, 21.0);
         assert_eq!(g.drop_rate, 0.01);
         assert_eq!(g.max_sustainable_rate, 123.5);
+
+        // v2 (solve counters + scale curve) carries the same gated
+        // numbers in the same places.
+        let v2 = telemetry::json::Json::parse(
+            r#"{"schema":"cs-traffic-bench-serve/v2","max_sustainable_rate":123.5,
+                "scale":[],
+                "leg":{"drop_rate":0.01,
+                       "tick_us":{"p50":10.0,"p99":42.0,"p999":50.0},
+                       "solve_us":{"p50":5.0,"p99":21.0,"p999":30.0}}}"#,
+        )
+        .unwrap();
+        assert_eq!(GateInputs::from_bench_serve(&v2).unwrap(), g);
 
         let bad = telemetry::json::Json::parse(r#"{"schema":"nope"}"#).unwrap();
         assert!(GateInputs::from_bench_serve(&bad).unwrap_err().contains("unsupported schema"));

@@ -78,6 +78,34 @@ fn seed_sweep_is_green_and_covers_the_fault_space() {
     assert!(sum(&|r| r.fault_log.len() as u64) > 0);
 }
 
+/// The incremental solve path (dirty-set updates + solve cache, the
+/// shipped default) and a forced full-sweep-every-tick run must tell
+/// the same story line for line: the final audit cold-restarts the
+/// estimator and refreshes, so estimate/window hashes are solve-mode
+/// invariant, and the solve/degraded counters are mode-independent by
+/// construction (cache hits still count as solves). CI diffs exactly
+/// these summary lines across a 16-seed sweep.
+#[test]
+fn full_sweep_only_runs_tell_the_same_story() {
+    for seed in [2, 9] {
+        let incremental = run_cfg(seed, 24, 1);
+        let full = run(&ChaosConfig {
+            seed,
+            ticks: 24,
+            num_threads: 1,
+            full_sweep_only: true,
+            ..Default::default()
+        })
+        .expect("chaos run constructs");
+        assert!(full.oracle_ok(), "full-sweep oracle failed for seed {seed}");
+        assert_eq!(
+            incremental.summary_line(),
+            full.summary_line(),
+            "solve mode leaked into the chaos report for seed {seed}"
+        );
+    }
+}
+
 /// Fault injections surface as `chaos.fault` telemetry events. The
 /// capture is filtered by this test's unique seed because telemetry
 /// state is process-global and other tests in this binary may be

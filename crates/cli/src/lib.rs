@@ -553,15 +553,21 @@ pub fn cmd_serve<W: Write>(
 /// process to be the only metrics producer, so the binary enables it
 /// and concurrent test harnesses don't.
 ///
+/// `full_sweep_only` (the `--solve-mode full` flag) forces a full warm
+/// sweep on every solve instead of the incremental dirty-set path; the
+/// summary lines must be byte-identical either way, and CI diffs them.
+///
 /// # Errors
 ///
 /// [`CliError::Algorithm`] when any seed's oracle reports a violation,
 /// with the seed to reproduce from; I/O errors from the writer.
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_chaos<W: Write>(
     seed: u64,
     ticks: usize,
     sweep: u64,
     check_counters: bool,
+    full_sweep_only: bool,
     trace_sample: u64,
     flight_dump: Option<std::path::PathBuf>,
     mut w: W,
@@ -579,6 +585,7 @@ pub fn cmd_chaos<W: Write>(
             ticks,
             num_threads: 0,
             check_counters,
+            full_sweep_only,
             trace_sample,
             flight_dump: flight_dump.clone(),
         })?;
@@ -887,7 +894,9 @@ pub fn cmd_loadtest<W: Write>(opts: &LoadtestOptions, mut w: W) -> CliResult {
 
     if let Some(out) = &opts.out {
         let quick = opts.profile == "quick";
-        loadgen::write_bench_serve_json(out, &cfg, &search, quick)
+        // The CLI wrapper never runs the grid sweep — `scale` is the
+        // loadgen binary's profile — so the curve is empty here.
+        loadgen::write_bench_serve_json(out, &cfg, &search, &[], quick)
             .map_err(|e| CliError::Io(format!("cannot write {}: {e}", out.display())))?;
         writeln!(w, "wrote {}", out.display())?;
     }

@@ -51,10 +51,13 @@ subcommands:
              (replays reports through the fault-tolerant streaming
               service; --batch 0 = whole file in one tick; with
               --flight-dump, degraded ticks dump the flight recorder)
-  chaos      --seed N [--ticks T] [--sweep K] [--flight-dump FILE]
+  chaos      --seed N [--ticks T] [--sweep K] [--solve-mode incremental|full]
+             [--flight-dump FILE]
              (deterministic fault-injection run against the streaming
               service with a differential oracle; same seed = identical
-              output at any --threads; exit 70 on oracle violation;
+              output at any --threads AND any --solve-mode; exit 70 on
+              oracle violation; --solve-mode full disables the
+              incremental dirty-set solve path for differential runs;
               --flight-dump captures degraded ticks and oracle failures)
   inspect    [--dump FILE] [--expose FILE]
              (--dump renders a cs-traffic-flight/v1 flight dump as a
@@ -64,7 +67,7 @@ subcommands:
              [--max-legs N] [--out FILE] [--slo FILE]
              (closed-loop load generator against the in-process
               streaming service; binary-searches the max sustainable
-              throughput, writes a cs-traffic-bench-serve/v1 JSON with
+              throughput, writes a cs-traffic-bench-serve/v2 JSON with
               --out, and with --slo gates against results/SLO.toml,
               exit 70 on violation; same --seed = identical offered
               stream at any --threads)";
@@ -195,6 +198,15 @@ fn run() -> CliResult {
             flags.get("ticks").map_or(Ok(24), |s| s.parse())?,
             flags.get("sweep").map_or(Ok(1), |s| s.parse())?,
             true,
+            match flags.get("solve-mode").map(String::as_str) {
+                None | Some("incremental") => false,
+                Some("full") => true,
+                Some(other) => {
+                    return Err(CliError::Usage(format!(
+                        "unknown --solve-mode '{other}' (incremental|full)"
+                    )))
+                }
+            },
             trace_sample,
             flight_dump.clone(),
             std::io::stdout().lock(),

@@ -288,10 +288,15 @@ fn chaos_subcommand_is_deterministic_and_reports_every_seed() {
     // process-global and other tests in this binary run services
     // concurrently; the binary itself enables the check.
     let mut first = Vec::new();
-    cmd_chaos(11, 12, 3, false, 0, None, &mut first).unwrap();
+    cmd_chaos(11, 12, 3, false, false, 0, None, &mut first).unwrap();
     let mut second = Vec::new();
-    cmd_chaos(11, 12, 3, false, 0, None, &mut second).unwrap();
+    cmd_chaos(11, 12, 3, false, false, 0, None, &mut second).unwrap();
     assert_eq!(first, second, "same sweep must produce byte-identical output");
+    // Forcing full sweeps on every solve must not change a single byte
+    // either — the incremental path is an optimization, not a fork.
+    let mut full = Vec::new();
+    cmd_chaos(11, 12, 3, false, true, 0, None, &mut full).unwrap();
+    assert_eq!(first, full, "--solve-mode full must produce byte-identical output");
     let text = String::from_utf8(first).unwrap();
     assert_eq!(text.lines().count(), 3, "one summary line per seed: {text}");
     for seed in 11..14 {
@@ -331,7 +336,7 @@ fn loadtest_subcommand_measures_writes_and_gates() {
     assert!(text.contains("stream="), "{text}");
 
     let doc = telemetry::json::Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
-    assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("cs-traffic-bench-serve/v1"));
+    assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("cs-traffic-bench-serve/v2"));
     assert!(doc.get("leg").and_then(|l| l.get("tick_us")).is_some(), "quantiles in artifact");
 
     // An impossible budget must fail the gate with exit code 70.

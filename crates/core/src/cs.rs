@@ -558,18 +558,12 @@ fn solve_factor(
             || GramScratch::new(r),
             |unit, row, scratch| {
                 let (indices, values) = obs.unit(unit);
-                if indices.is_empty() {
-                    // Entirely unobserved unit: the regularizer drives
-                    // its factor row to zero.
-                    row.fill(0.0);
-                    return Ok(());
-                }
+                // `solve_ridge_rows` owns the empty-unit → zero rule and
+                // the exact accumulation order; the incremental path in
+                // `online` calls the same entry point, which is what
+                // makes full and dirty-unit solves bit-identical.
                 scratch
-                    .solve_ridge(
-                        indices.iter().zip(values).map(|(&i, &v)| (design.row(i as usize), v)),
-                        config.lambda,
-                        row,
-                    )
+                    .solve_ridge_rows(design, indices, values, config.lambda, row)
                     .map_err(|e| CsError::Solve { axis, index: unit, detail: e.to_string() })
             },
         ),

@@ -11,6 +11,7 @@
 //! streams the index linearly and the per-unit totals used by the
 //! thread gates are known once at build time.
 
+use probes::stream::StreamingTcm;
 use probes::Tcm;
 
 /// Both traversal orders of a TCM's observed entries, in compressed
@@ -143,6 +144,84 @@ impl ObsIndex {
     }
 }
 
+/// A per-unit view of observed entries that the incremental solve path
+/// can gather from on demand, without materializing a snapshot or a
+/// full [`ObsIndex`]. Gathering one row/column is O(axis length), so
+/// re-solving a dirty set of units touches only O(delta · axis) cells
+/// instead of the whole window.
+///
+/// Implementations must produce exactly the entries (same ids, same
+/// order, same value bits) that [`ObsIndex::from_tcm`] would index for
+/// the equivalent snapshot — that equivalence is what lets the
+/// incremental path share the full sweep's bit-for-bit guarantee.
+pub trait ObsSource {
+    /// Matrix shape as `(rows, cols)`.
+    fn shape(&self) -> (usize, usize);
+
+    /// Replaces `indices`/`values` with the observed entries of row `i`
+    /// (column ids, ascending).
+    fn gather_row(&self, i: usize, indices: &mut Vec<u32>, values: &mut Vec<f64>);
+
+    /// Replaces `indices`/`values` with the observed entries of column
+    /// `j` (row ids, ascending).
+    fn gather_col(&self, j: usize, indices: &mut Vec<u32>, values: &mut Vec<f64>);
+}
+
+impl ObsSource for ObsIndex {
+    fn shape(&self) -> (usize, usize) {
+        (self.num_rows, self.num_cols)
+    }
+
+    fn gather_row(&self, i: usize, indices: &mut Vec<u32>, values: &mut Vec<f64>) {
+        let (idx, vals) = self.row(i);
+        indices.clear();
+        values.clear();
+        indices.extend_from_slice(idx);
+        values.extend_from_slice(vals);
+    }
+
+    fn gather_col(&self, j: usize, indices: &mut Vec<u32>, values: &mut Vec<f64>) {
+        let (idx, vals) = self.col(j);
+        indices.clear();
+        values.clear();
+        indices.extend_from_slice(idx);
+        values.extend_from_slice(vals);
+    }
+}
+
+/// Gathers straight from the streaming accumulators: a cell's value is
+/// `sum / count` — the identical division [`StreamingTcm::snapshot`]
+/// performs, so the gathered bits equal the snapshot-then-index route.
+impl ObsSource for StreamingTcm {
+    fn shape(&self) -> (usize, usize) {
+        (self.window_slots(), self.num_segments())
+    }
+
+    fn gather_row(&self, i: usize, indices: &mut Vec<u32>, values: &mut Vec<f64>) {
+        indices.clear();
+        values.clear();
+        let (sums, counts) = self.row_raw(i);
+        for (j, (&s, &c)) in sums.iter().zip(counts).enumerate() {
+            if c > 0.0 {
+                indices.push(j as u32);
+                values.push(s / c);
+            }
+        }
+    }
+
+    fn gather_col(&self, j: usize, indices: &mut Vec<u32>, values: &mut Vec<f64>) {
+        indices.clear();
+        values.clear();
+        for i in 0..self.window_slots() {
+            let (s, c) = self.cell_raw(i, j);
+            if c > 0.0 {
+                indices.push(i as u32);
+                values.push(s / c);
+            }
+        }
+    }
+}
+
 /// One traversal order of an [`ObsIndex`]: a borrowed
 /// `offsets`/`indices`/`values` triple. `Copy`, so it moves freely into
 /// worker closures.
@@ -261,6 +340,56 @@ mod tests {
         assert!(obs.row(1).0.is_empty());
         assert!(obs.col(2).0.is_empty());
         assert_eq!(obs.total_observed(), 4);
+    }
+
+    #[test]
+    fn streaming_gather_matches_snapshot_index_bitwise() {
+        let mut s = StreamingTcm::new(0, 60, 4, 5).unwrap();
+        // Averaged cells exercise the sum/count division both routes do.
+        for (ts, seg, v) in [
+            (0, 0, 10.0),
+            (30, 0, 11.0),
+            (65, 2, 31.5),
+            (130, 4, 7.25),
+            (140, 4, 8.0),
+            (200, 1, 3.0),
+        ] {
+            s.observe(ts, seg, v).unwrap();
+        }
+        let obs = ObsIndex::from_tcm(&s.snapshot());
+        assert_eq!(ObsSource::shape(&s), (obs.num_rows(), obs.num_cols()));
+        let (mut idx, mut vals) = (Vec::new(), Vec::new());
+        for i in 0..obs.num_rows() {
+            s.gather_row(i, &mut idx, &mut vals);
+            let (eidx, evals) = obs.row(i);
+            assert_eq!(idx, eidx, "row {i} indices");
+            assert_eq!(
+                vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                evals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "row {i} values"
+            );
+        }
+        for j in 0..obs.num_cols() {
+            s.gather_col(j, &mut idx, &mut vals);
+            let (eidx, evals) = obs.col(j);
+            assert_eq!(idx, eidx, "col {j} indices");
+            assert_eq!(
+                vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                evals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "col {j} values"
+            );
+        }
+    }
+
+    #[test]
+    fn obs_index_gather_matches_direct_accessors() {
+        let tcm = sample_tcm();
+        let obs = ObsIndex::from_tcm(&tcm);
+        let (mut idx, mut vals) = (vec![9u32], vec![9.0]);
+        obs.gather_row(0, &mut idx, &mut vals);
+        assert_eq!((idx.as_slice(), vals.as_slice()), obs.row(0));
+        obs.gather_col(1, &mut idx, &mut vals);
+        assert_eq!((idx.as_slice(), vals.as_slice()), obs.col(1));
     }
 
     #[test]

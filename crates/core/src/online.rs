@@ -16,8 +16,10 @@
 //! The data-plane companion (ingesting raw probe observations into the
 //! sliding window) is `probes::stream::StreamingTcm`.
 
-use crate::cs::{complete_matrix_warm, CompletionResult, CsConfig};
+use crate::cs::{complete_matrix_warm, CompletionResult, CsConfig, CsError, SolveAxis};
 use crate::error::{ConfigError, Error};
+use crate::obs::ObsSource;
+use linalg::lstsq::GramScratch;
 use linalg::Matrix;
 use probes::Tcm;
 
@@ -50,6 +52,77 @@ pub struct OnlineEstimator {
     /// Total sweeps across all solves (for the warm-start speedup
     /// diagnostics).
     total_sweeps: u64,
+    /// Cached factor state for the incremental dirty-set solve path;
+    /// `None` until [`OnlineEstimator::prime_incremental`] runs after a
+    /// full solve.
+    delta: Option<DeltaState>,
+}
+
+/// Outcome of one [`OnlineEstimator::update_incremental`] delta pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncrementalOutcome {
+    /// Ridge objective (Eq. 16) of the updated factors. Computed from
+    /// cached per-column fit and per-row norm partials; numerically the
+    /// same quantity as the full sweep's objective but accumulated
+    /// per-row, so the two can differ in the last ulps.
+    pub objective: f64,
+    /// Factor units (`L` rows plus `R` columns) actually re-solved.
+    pub rows_resolved: usize,
+}
+
+/// Everything the incremental path caches between delta passes: the
+/// current factor pair, the objective bookkeeping that lets a pass
+/// re-score only re-solved units, and the carry-forward dirty rows.
+///
+/// The invariant the pass preserves (and the dirty-set pruning relies
+/// on): every `L` row not in `pending_rows` satisfies
+/// `l[i] == ridge(r, obs_row(i))` bit-for-bit — true after a full solve
+/// (the best iterate's `L` step ran against its `R`), and maintained by
+/// marking every row observed in a changed `R` column as pending.
+#[derive(Debug, Clone)]
+struct DeltaState {
+    /// Absolute head slot the cached state corresponds to.
+    head_slot: usize,
+    /// Slot factors, `window_slots × rank`.
+    l: Matrix,
+    /// Segment factors, `num_segments × rank`.
+    r: Matrix,
+    /// Per-column Σ(pred − v)² over that column's observed entries, in
+    /// ascending row order — the same per-column partials the full
+    /// sweep's fused objective reduces in column order.
+    fit_cols: Vec<f64>,
+    /// Per-row ‖l_i‖² partials of the `L` regularizer term.
+    l_row_norms: Vec<f64>,
+    /// Per-row ‖r_j‖² partials of the `R` regularizer term.
+    r_row_norms: Vec<f64>,
+    /// Rows whose cached `L` is stale because a previous pass changed an
+    /// `R` column they observe; re-solved by the next pass regardless of
+    /// data dirt. Sorted ascending.
+    pending_rows: Vec<usize>,
+    /// Reused gather buffers (indices / values of one unit).
+    idx_buf: Vec<u32>,
+    val_buf: Vec<f64>,
+    /// Candidate solution buffer, compared bitwise against the cached
+    /// factor row to prune propagation.
+    row_buf: Vec<f64>,
+    scratch: GramScratch,
+}
+
+/// `Σ v²` of one factor row, the per-row regularizer partial.
+fn row_norm_sq(row: &[f64]) -> f64 {
+    row.iter().map(|v| v * v).sum()
+}
+
+/// `l_row · r_row` with ascending-`k` accumulation — the exact inner
+/// loop of both [`Matrix::matmul_transpose_b`] (the full path's
+/// `L Rᵀ` estimate) and the fused objective, so estimate cells written
+/// incrementally carry the same bits the full recompute would produce.
+fn dot_lr(l_row: &[f64], r_row: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (a, b) in l_row.iter().zip(r_row) {
+        acc += a * b;
+    }
+    acc
 }
 
 impl OnlineEstimator {
@@ -71,7 +144,7 @@ impl OnlineEstimator {
             );
         }
         config.validate()?;
-        Ok(Self { config, window_slots, prev_r: None, updates: 0, total_sweeps: 0 })
+        Ok(Self { config, window_slots, prev_r: None, updates: 0, total_sweeps: 0, delta: None })
     }
 
     /// Window height this estimator completes.
@@ -82,8 +155,10 @@ impl OnlineEstimator {
     /// The cached warm-start segment factors `R̂` of the previous solve,
     /// if any — the state a service checkpoints so a restarted process
     /// converges in a couple of sweeps instead of a cold `t = 100`.
+    /// When the incremental path is primed, its (fresher) segment
+    /// factors take precedence over the last full solve's.
     pub fn warm_factors(&self) -> Option<&Matrix> {
-        self.prev_r.as_ref()
+        self.delta.as_ref().map(|d| &d.r).or(self.prev_r.as_ref())
     }
 
     /// Restores warm-start factors saved by a previous process (see
@@ -108,6 +183,9 @@ impl OnlineEstimator {
             .into());
         }
         self.prev_r = Some(r);
+        // Restored factors describe a different trajectory than the
+        // cached incremental state; drop it rather than mix the two.
+        self.delta = None;
         Ok(())
     }
 
@@ -162,7 +240,13 @@ impl OnlineEstimator {
             )
             .into());
         }
-        if let Some(prev) = &self.prev_r {
+        // A full sweep consumes the incremental state: warm-start from
+        // its segment factors when present (they are fresher than the
+        // last full solve's), then let the caller re-prime from this
+        // solve's result.
+        let delta_r = self.delta.take().map(|d| d.r);
+        let warm = delta_r.as_ref().or(self.prev_r.as_ref());
+        if let Some(prev) = warm {
             if prev.rows() != window.num_segments() {
                 return Err(ConfigError::new(
                     "window",
@@ -175,7 +259,7 @@ impl OnlineEstimator {
                 .into());
             }
         }
-        let result = match &self.prev_r {
+        let result = match warm {
             Some(prev) => complete_matrix_warm(window, &self.config, prev)?,
             None => crate::cs::complete_matrix_detailed(window, &self.config)?,
         };
@@ -183,6 +267,293 @@ impl OnlineEstimator {
         self.updates += 1;
         self.total_sweeps += result.sweeps as u64;
         Ok(result)
+    }
+
+    /// Whether the incremental delta path is primed (a full solve ran
+    /// and [`OnlineEstimator::prime_incremental`] cached its factors).
+    pub fn incremental_primed(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Absolute head slot the cached incremental state corresponds to,
+    /// when primed — the service uses it to bound how far the window may
+    /// slide before the delta pass must give way to a full sweep.
+    pub fn incremental_head_slot(&self) -> Option<usize> {
+        self.delta.as_ref().map(|d| d.head_slot)
+    }
+
+    /// Caches a full solve's factor pair (`l`: `window_slots × rank`,
+    /// `r`: `num_segments × rank`) plus the objective bookkeeping the
+    /// dirty-set delta passes need. Call right after a successful
+    /// [`OnlineEstimator::update_detailed`] whose window headed at
+    /// `head_slot` and whose observations `source` still describes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] when the factor shapes do not match `source`'s
+    /// shape and the configured rank.
+    pub fn prime_incremental(
+        &mut self,
+        source: &dyn ObsSource,
+        head_slot: usize,
+        l: &Matrix,
+        r: &Matrix,
+    ) -> Result<(), Error> {
+        let (m, n) = source.shape();
+        let rank = self.config.rank;
+        if m != self.window_slots || l.shape() != (m, rank) || r.shape() != (n, rank) {
+            return Err(ConfigError::new(
+                "incremental",
+                format!(
+                    "factor shapes {}x{} / {}x{} incompatible with {}x{} window at rank {rank}",
+                    l.rows(),
+                    l.cols(),
+                    r.rows(),
+                    r.cols(),
+                    self.window_slots,
+                    n
+                ),
+            )
+            .into());
+        }
+        let mut idx_buf = Vec::new();
+        let mut val_buf = Vec::new();
+        let mut fit_cols = vec![0.0; n];
+        for (j, fit) in fit_cols.iter_mut().enumerate() {
+            source.gather_col(j, &mut idx_buf, &mut val_buf);
+            let r_row = r.row(j);
+            let mut partial = 0.0;
+            for (&i, &v) in idx_buf.iter().zip(&val_buf) {
+                let pred = dot_lr(l.row(i as usize), r_row);
+                partial += (pred - v) * (pred - v);
+            }
+            *fit = partial;
+        }
+        let l_row_norms = (0..m).map(|i| row_norm_sq(l.row(i))).collect();
+        let r_row_norms = (0..n).map(|j| row_norm_sq(r.row(j))).collect();
+        self.delta = Some(DeltaState {
+            head_slot,
+            l: l.clone(),
+            r: r.clone(),
+            fit_cols,
+            l_row_norms,
+            r_row_norms,
+            pending_rows: Vec::new(),
+            idx_buf,
+            val_buf,
+            row_buf: vec![0.0; rank],
+            scratch: GramScratch::new(rank),
+        });
+        Ok(())
+    }
+
+    /// One O(delta) pass over the dirty set: re-solves the dirty `L`
+    /// rows against the cached `R`, then the dirty `R` columns (the
+    /// given ones plus every column observed in an `L` row whose bits
+    /// changed) against the new `L`, updating `estimate` in place so it
+    /// stays exactly `L Rᵀ` of the updated factors.
+    ///
+    /// `dirty_rows` are window-relative row indices and `dirty_cols`
+    /// segment columns, both sorted ascending, describing every cell
+    /// whose content changed since the state was primed (or since the
+    /// previous delta pass) — including cells that left the window:
+    /// `head_slot` may have advanced, in which case the cached state and
+    /// `estimate` are shifted and the newly-entered bottom rows re-solved.
+    ///
+    /// Each unit solve runs the same [`GramScratch::solve_ridge_rows`]
+    /// entry point as the full sweep, so a re-solved unit's bits equal
+    /// what a full sweep in the same position would produce. The pass is
+    /// sequential — dirty sets are small by contract (the service falls
+    /// back to a full sweep past a dirty-fraction threshold), and a
+    /// sequential pass is trivially identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] when not primed, shapes mismatch, or the window
+    /// slid backwards / past the cached state; solver failures surface
+    /// as [`enum@Error`] exactly like the full path's. On error the
+    /// cached state is dropped — the next solve must be a full sweep.
+    pub fn update_incremental(
+        &mut self,
+        source: &dyn ObsSource,
+        head_slot: usize,
+        dirty_rows: &[usize],
+        dirty_cols: &[u32],
+        estimate: &mut Matrix,
+    ) -> Result<IncrementalOutcome, Error> {
+        match self.delta_pass(source, head_slot, dirty_rows, dirty_cols, estimate) {
+            Ok(outcome) => {
+                self.updates += 1;
+                self.total_sweeps += 1;
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.delta = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn delta_pass(
+        &mut self,
+        source: &dyn ObsSource,
+        head_slot: usize,
+        dirty_rows: &[usize],
+        dirty_cols: &[u32],
+        estimate: &mut Matrix,
+    ) -> Result<IncrementalOutcome, Error> {
+        let (m, n) = source.shape();
+        let rank = self.config.rank;
+        let lambda = self.config.lambda;
+        let not_primed = || ConfigError::new("incremental", "delta state not primed");
+        let state = self.delta.as_mut().ok_or_else(not_primed)?;
+        if m != state.l.rows() || n != state.r.rows() || estimate.shape() != (m, n) {
+            return Err(ConfigError::new(
+                "incremental",
+                format!(
+                    "shape changed under the delta state: window {m}x{n}, estimate {}x{}",
+                    estimate.rows(),
+                    estimate.cols()
+                ),
+            )
+            .into());
+        }
+        let shift = head_slot.checked_sub(state.head_slot).ok_or_else(|| {
+            ConfigError::new("incremental", "window head moved backwards since priming")
+        })?;
+        if shift >= m {
+            return Err(ConfigError::new(
+                "incremental",
+                "window advanced past the cached state; run a full sweep",
+            )
+            .into());
+        }
+        let DeltaState {
+            head_slot: state_head,
+            l,
+            r,
+            fit_cols,
+            l_row_norms,
+            r_row_norms,
+            pending_rows,
+            idx_buf,
+            val_buf,
+            row_buf,
+            scratch,
+        } = state;
+        if shift > 0 {
+            // Slide the cached state with the window: surviving slots
+            // keep their factor rows (same content, new row index), the
+            // newly-entered bottom rows start from zero and are
+            // re-solved below.
+            l.as_mut_slice().copy_within(shift * rank.., 0);
+            l.as_mut_slice()[(m - shift) * rank..].fill(0.0);
+            estimate.as_mut_slice().copy_within(shift * n.., 0);
+            l_row_norms.copy_within(shift.., 0);
+            l_row_norms[m - shift..].fill(0.0);
+            pending_rows.retain_mut(|i| match i.checked_sub(shift) {
+                Some(v) => {
+                    *i = v;
+                    true
+                }
+                None => false,
+            });
+            *state_head = head_slot;
+        }
+        // L step: dirty rows, carried-over pending rows, and the rows
+        // that just entered the window.
+        let mut rows_to_solve: Vec<usize> =
+            Vec::with_capacity(dirty_rows.len() + pending_rows.len() + shift);
+        rows_to_solve.extend_from_slice(dirty_rows);
+        rows_to_solve.extend_from_slice(pending_rows);
+        rows_to_solve.extend(m - shift..m);
+        rows_to_solve.sort_unstable();
+        rows_to_solve.dedup();
+        if rows_to_solve.last().is_some_and(|&i| i >= m) {
+            return Err(ConfigError::new("incremental", "dirty row out of range").into());
+        }
+        let mut changed_rows: Vec<usize> = Vec::new();
+        let mut cols_to_solve: Vec<u32> = dirty_cols.to_vec();
+        for &i in &rows_to_solve {
+            source.gather_row(i, idx_buf, val_buf);
+            scratch.solve_ridge_rows(r, idx_buf, val_buf, lambda, row_buf).map_err(|e| {
+                CsError::Solve { axis: SolveAxis::Row, index: i, detail: e.to_string() }
+            })?;
+            let row = &mut l.as_mut_slice()[i * rank..(i + 1) * rank];
+            let changed = row.iter().zip(row_buf.iter()).any(|(a, b)| a.to_bits() != b.to_bits());
+            if changed {
+                row.copy_from_slice(row_buf);
+                l_row_norms[i] = row_norm_sq(row_buf);
+                changed_rows.push(i);
+                // Columns observing a changed row see a changed design
+                // matrix: their ridge solutions must be refreshed.
+                cols_to_solve.extend_from_slice(idx_buf);
+            }
+        }
+        // R step against the updated L.
+        cols_to_solve.sort_unstable();
+        cols_to_solve.dedup();
+        if cols_to_solve.last().is_some_and(|&j| j as usize >= n) {
+            return Err(ConfigError::new("incremental", "dirty column out of range").into());
+        }
+        let mut changed_cols: Vec<u32> = Vec::new();
+        let mut next_pending: Vec<usize> = Vec::new();
+        for &j in &cols_to_solve {
+            let j = j as usize;
+            source.gather_col(j, idx_buf, val_buf);
+            scratch.solve_ridge_rows(l, idx_buf, val_buf, lambda, row_buf).map_err(|e| {
+                CsError::Solve { axis: SolveAxis::Column, index: j, detail: e.to_string() }
+            })?;
+            let row = &mut r.as_mut_slice()[j * rank..(j + 1) * rank];
+            let changed = row.iter().zip(row_buf.iter()).any(|(a, b)| a.to_bits() != b.to_bits());
+            if changed {
+                row.copy_from_slice(row_buf);
+                r_row_norms[j] = row_norm_sq(row_buf);
+                changed_cols.push(j as u32);
+                // The L rows observed in a changed column are now stale
+                // relative to R; the next pass re-solves them.
+                next_pending.extend(idx_buf.iter().map(|&i| i as usize));
+            }
+            // Re-score the column with the final factors (entries in
+            // ascending row order, like the fused objective's partials).
+            let r_row = &r.as_slice()[j * rank..(j + 1) * rank];
+            let mut partial = 0.0;
+            for (&i, &v) in idx_buf.iter().zip(val_buf.iter()) {
+                let pred = dot_lr(l.row(i as usize), r_row);
+                partial += (pred - v) * (pred - v);
+            }
+            fit_cols[j] = partial;
+        }
+        next_pending.sort_unstable();
+        next_pending.dedup();
+        *pending_rows = next_pending;
+        // Estimate maintenance: rows with changed (or newly-entered) L
+        // and columns with changed R are recomputed as l_i · r_j —
+        // bit-identical to the full path's `matmul_transpose_b`.
+        // Untouched cells keep bits that already equal that product.
+        let est = estimate.as_mut_slice();
+        for &i in changed_rows.iter().chain((m - shift..m).collect::<Vec<_>>().iter()) {
+            let l_row = &l.as_slice()[i * rank..(i + 1) * rank];
+            for j in 0..n {
+                est[i * n + j] = dot_lr(l_row, &r.as_slice()[j * rank..(j + 1) * rank]);
+            }
+        }
+        for &j in &changed_cols {
+            let j = j as usize;
+            let r_row = &r.as_slice()[j * rank..(j + 1) * rank];
+            for i in 0..m {
+                est[i * n + j] = dot_lr(&l.as_slice()[i * rank..(i + 1) * rank], r_row);
+            }
+        }
+        // Objective from the cached partials: per-column fit folded in
+        // column order plus the regularizer folded per row.
+        let fit: f64 = fit_cols.iter().sum();
+        let l2: f64 = l_row_norms.iter().sum();
+        let r2: f64 = r_row_norms.iter().sum();
+        Ok(IncrementalOutcome {
+            objective: fit + lambda * (l2 + r2),
+            rows_resolved: rows_to_solve.len() + cols_to_solve.len(),
+        })
     }
 
     /// The freshest estimated traffic conditions: the last row of an
@@ -205,6 +576,7 @@ impl OnlineEstimator {
     /// Forgets the cached factors (call when the segment set changes).
     pub fn reset(&mut self) {
         self.prev_r = None;
+        self.delta = None;
     }
 }
 
@@ -371,5 +743,169 @@ mod tests {
         }
         let err = last_err.expect("at least one online update ran");
         assert!(err < 0.15, "online pipeline NMAE {err}");
+    }
+
+    /// Streaming fixture for the incremental tests: a 6-slot, 10-segment
+    /// window pre-filled with deterministic reports, plus the estimator
+    /// primed from a full solve over it.
+    fn primed_fixture() -> (probes::stream::StreamingTcm, OnlineEstimator, Matrix) {
+        use probes::stream::StreamingTcm;
+        let (m, n) = (6usize, 10usize);
+        let mut stream = StreamingTcm::new(0, 60, m, n).unwrap();
+        for slot in 0..m {
+            for k in 0..7usize {
+                let seg = (slot * 3 + k * 2) % n;
+                let speed = 25.0 + (slot * n + seg) as f64 * 0.5 + k as f64;
+                stream.observe(slot as u64 * 60 + k as u64, seg, speed).unwrap();
+            }
+        }
+        let mut online = OnlineEstimator::new(cfg(), m).unwrap();
+        let result = online.update_detailed(&stream.snapshot()).unwrap();
+        online
+            .prime_incremental(&stream, stream.head_slot(), &result.factors.0, &result.factors.1)
+            .unwrap();
+        (stream, online, result.estimate)
+    }
+
+    /// Dirty cells for round `round` of the incremental tests: a couple
+    /// of in-window updates plus, on odd rounds, a report one slot past
+    /// the head so the window slides.
+    fn mutate_round(
+        stream: &mut probes::stream::StreamingTcm,
+        round: usize,
+    ) -> (Vec<usize>, Vec<u32>) {
+        let n = stream.num_segments();
+        let m = stream.window_slots();
+        let mut dirty_rows = Vec::new();
+        let mut dirty_cols: Vec<u32> = Vec::new();
+        if round % 2 == 1 {
+            // Advance the head by one slot: every column observed in
+            // the evicted tail row changes content.
+            let (_, counts) = stream.row_raw(0);
+            dirty_cols
+                .extend(counts.iter().enumerate().filter(|(_, &c)| c > 0.0).map(|(j, _)| j as u32));
+            let slot = stream.head_slot() + 1;
+            stream.observe(slot as u64 * 60, (round * 3) % n, 40.0 + round as f64).unwrap();
+            dirty_rows.push(m - 1);
+            dirty_cols.push(((round * 3) % n) as u32);
+        }
+        for k in 0..3usize {
+            let row = (round + k * 2) % (m - 1);
+            let seg = (round * 5 + k * 3) % n;
+            let ts = (stream.tail_slot() + row) as u64 * 60 + 30;
+            stream.observe(ts, seg, 31.0 + (round + k) as f64).unwrap();
+            dirty_rows.push(row);
+            dirty_cols.push(seg as u32);
+        }
+        dirty_rows.sort_unstable();
+        dirty_rows.dedup();
+        dirty_cols.sort_unstable();
+        dirty_cols.dedup();
+        (dirty_rows, dirty_cols)
+    }
+
+    #[test]
+    fn incremental_estimate_stays_consistent_with_factors() {
+        // After every delta pass — including ones where the window
+        // slides — the maintained estimate must equal L·Rᵀ of the
+        // cached factors bit for bit, the invariant that makes the
+        // incremental path indistinguishable from a from-factors
+        // materialization downstream.
+        let (mut stream, mut online, mut estimate) = primed_fixture();
+        assert!(online.incremental_primed());
+        for round in 0..6 {
+            let (dirty_rows, dirty_cols) = mutate_round(&mut stream, round);
+            let outcome = online
+                .update_incremental(
+                    &stream,
+                    stream.head_slot(),
+                    &dirty_rows,
+                    &dirty_cols,
+                    &mut estimate,
+                )
+                .unwrap();
+            assert!(outcome.rows_resolved > 0, "round {round} resolved nothing");
+            assert!(outcome.objective.is_finite());
+            let delta = online.delta.as_ref().expect("still primed");
+            let product = delta.l.matmul_transpose_b(&delta.r).unwrap();
+            assert_eq!(
+                estimate.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                product.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "round {round}: estimate drifted from L·Rᵀ"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_row_set_parity() {
+        // Memoization soundness on the L axis: passing only the dirty
+        // rows must leave the cached state bitwise identical to a pass
+        // that re-solves every row — clean rows are already consistent
+        // with R, so re-solving them is a no-op. (No analogous claim
+        // holds for columns: the stored R of a full solve is consistent
+        // with the pre-sweep L, so the delta pass always re-solves the
+        // affected columns.)
+        let (mut stream, mut online, mut estimate) = primed_fixture();
+        let m = stream.window_slots();
+        let mut online_all = online.clone();
+        let mut estimate_all = estimate.clone();
+        for round in 0..6 {
+            let (dirty_rows, dirty_cols) = mutate_round(&mut stream, round);
+            let all_rows: Vec<usize> = (0..m).collect();
+            let head = stream.head_slot();
+            let a = online
+                .update_incremental(&stream, head, &dirty_rows, &dirty_cols, &mut estimate)
+                .unwrap();
+            let b = online_all
+                .update_incremental(&stream, head, &all_rows, &dirty_cols, &mut estimate_all)
+                .unwrap();
+            let (da, db) = (online.delta.as_ref().unwrap(), online_all.delta.as_ref().unwrap());
+            assert_eq!(
+                da.l.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                db.l.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "round {round}: L diverged"
+            );
+            assert_eq!(
+                da.r.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                db.r.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "round {round}: R diverged"
+            );
+            assert_eq!(
+                estimate.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                estimate_all.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "round {round}: estimates diverged"
+            );
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits(), "round {round}");
+            assert!(a.rows_resolved <= b.rows_resolved);
+        }
+    }
+
+    #[test]
+    fn incremental_guards_and_error_paths() {
+        let (stream, mut online, mut estimate) = primed_fixture();
+        let head = stream.head_slot();
+        // Not primed → config error, and the estimator stays usable.
+        let mut cold = OnlineEstimator::new(cfg(), 6).unwrap();
+        assert!(cold.update_incremental(&stream, head, &[0], &[0], &mut estimate).is_err());
+        // Head moving backwards or past the window invalidates the
+        // cached state: the next solve must be a full sweep.
+        assert!(online.update_incremental(&stream, head + 6, &[0], &[0], &mut estimate).is_err());
+        assert!(!online.incremental_primed());
+        // Restoring checkpoint factors also drops the delta state.
+        let (mut stream2, mut online2, _) = primed_fixture();
+        assert!(online2.incremental_primed());
+        assert_eq!(online2.incremental_head_slot(), Some(stream2.head_slot()));
+        let saved = online2.warm_factors().unwrap().clone();
+        online2.set_warm_factors(saved).unwrap();
+        assert!(!online2.incremental_primed());
+        // As does reset().
+        let _ = mutate_round(&mut stream2, 0);
+        let result = online2.update_detailed(&stream2.snapshot()).unwrap();
+        online2
+            .prime_incremental(&stream2, stream2.head_slot(), &result.factors.0, &result.factors.1)
+            .unwrap();
+        assert!(online2.incremental_primed());
+        online2.reset();
+        assert!(!online2.incremental_primed());
     }
 }

@@ -79,7 +79,7 @@ use crate::error::{ConfigError, Error};
 use crate::online::OnlineEstimator;
 use linalg::Matrix;
 use probes::stream::StreamingTcm;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 use telemetry::Level;
 
@@ -192,6 +192,18 @@ pub struct ServeConfig {
     /// failure or watchdog overrun). `None` disables the dump; a dump
     /// additionally requires [`telemetry::flight::install`] to have run.
     pub flight_dump: Option<std::path::PathBuf>,
+    /// Correction-pass period for the incremental solve path: after a
+    /// full warm sweep, up to `full_sweep_every - 1` consecutive solves
+    /// may take the O(delta) dirty-set path before the next full sweep
+    /// is forced. `1` disables incremental solving entirely (every
+    /// solve is a full sweep, the pre-incremental behaviour).
+    pub full_sweep_every: u64,
+    /// Dirty-fraction ceiling for the incremental path: a delta pass
+    /// runs only while its estimated cost (dirty rows × segments +
+    /// dirty columns × slots + shift × segments) stays below this
+    /// fraction of the full `window_slots × num_segments` sweep cost.
+    /// Past it, a full sweep is cheaper anyway.
+    pub incremental_threshold: f64,
 }
 
 impl Default for ServeConfig {
@@ -208,6 +220,8 @@ impl Default for ServeConfig {
             solve_budget: None,
             trace_sample: 0,
             flight_dump: None,
+            full_sweep_every: 16,
+            incremental_threshold: 0.5,
         }
     }
 }
@@ -242,6 +256,18 @@ impl ServeConfig {
         }
         if self.warm_sweep_cap == Some(0) {
             return Err(ConfigError::new("warm_sweep_cap", "sweep cap must be at least 1"));
+        }
+        if self.full_sweep_every == 0 {
+            return Err(ConfigError::new(
+                "full_sweep_every",
+                "correction-pass period must be at least 1 (1 disables incremental solving)",
+            ));
+        }
+        if !self.incremental_threshold.is_finite() || self.incremental_threshold < 0.0 {
+            return Err(ConfigError::new(
+                "incremental_threshold",
+                "dirty-fraction ceiling must be finite and non-negative",
+            ));
         }
         self.cs.validate()
     }
@@ -321,6 +347,19 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the correction-pass period for incremental solves (`1`
+    /// disables the incremental path).
+    pub fn full_sweep_every(mut self, v: u64) -> Self {
+        self.config.full_sweep_every = v;
+        self
+    }
+
+    /// Sets the dirty-fraction ceiling for the incremental path.
+    pub fn incremental_threshold(mut self, v: f64) -> Self {
+        self.config.incremental_threshold = v;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -377,6 +416,31 @@ pub struct ServeStats {
     pub solves: u64,
     /// Solve failures and budget overruns.
     pub degraded: u64,
+}
+
+/// How the solves of [`ServeStats::solves`] were actually serviced —
+/// the solve-cache and incremental-path breakdown, mirroring the
+/// `serve.solve_cache_hit` / `serve.solve_cache_miss` /
+/// `serve.incremental_solves` / `serve.rows_resolved` counters. Kept
+/// separate from [`ServeStats`] so existing accounting (and differential
+/// mirrors of it) is untouched by how a solve was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Dirty ticks answered from the solve cache: the window content
+    /// hash matched the last solved content, so the previous estimate
+    /// was reused without touching the solver.
+    pub cache_hits: u64,
+    /// Dirty ticks whose content hash missed the cache and went to the
+    /// solver (incremental or full).
+    pub cache_misses: u64,
+    /// Solves serviced by the O(delta) dirty-set path.
+    pub incremental_solves: u64,
+    /// Solves serviced by a full warm sweep.
+    pub full_solves: u64,
+    /// Total factor units (rows + columns) re-solved by incremental
+    /// passes — the actual work the dirty-set path did, comparable
+    /// against `full_solves × (window_slots + num_segments)`.
+    pub rows_resolved: u64,
 }
 
 /// Outcome of one [`Service::tick`].
@@ -466,6 +530,41 @@ pub struct Service {
     /// estimate-ready), always on: callers like `cs_bench::loadgen`
     /// read it via [`Service::e2e_histogram`] without a metrics sink.
     e2e: telemetry::Histogram,
+    /// XOR-fold of [`cell_hash`] over every observed window cell — an
+    /// order-independent running digest of window content, maintained
+    /// O(1) per admission and O(segments) per slot eviction. Keyed by
+    /// absolute slot, so sliding the window does not disturb surviving
+    /// cells' contributions.
+    digest: u64,
+    /// Content key of the window at the last successful solve; a dirty
+    /// tick whose current key matches is a solve-cache hit.
+    last_solve_key: Option<u64>,
+    /// `(absolute slot, segment)` cells whose content changed since the
+    /// last solve — the dirty set the incremental path re-solves.
+    dirty_cells: HashSet<(usize, u32)>,
+    /// Segment columns that lost cells to slot eviction since the last
+    /// solve; they join the dirty columns of the next delta pass.
+    evicted_cols: HashSet<u32>,
+    /// Solve-cache and incremental-path breakdown.
+    solve_stats: SolveStats,
+    /// Successful solves since the last full sweep — drives the
+    /// [`ServeConfig::full_sweep_every`] correction pass.
+    solves_since_full: u64,
+}
+
+/// FNV-1a digest of one observed window cell, keyed by absolute slot so
+/// the contribution survives window slides unchanged. Hashing the raw
+/// `(sum, count)` accumulator bits — not the snapshot's `sum / count` —
+/// makes the digest exact: two windows share a digest only when every
+/// cell's accumulator state is bit-identical, which is precisely when
+/// their snapshots (and hence solves) are.
+fn cell_hash(abs_slot: usize, segment: u32, sum: f64, count: f64) -> u64 {
+    let mut h = telemetry::Fnv::new();
+    h.write_u64(abs_slot as u64);
+    h.write_u64(u64::from(segment));
+    h.write_u64(sum.to_bits());
+    h.write_u64(count.to_bits());
+    h.finish()
 }
 
 impl Service {
@@ -499,6 +598,12 @@ impl Service {
             ingest_seq: 0,
             pending: Vec::new(),
             e2e: telemetry::Histogram::default(),
+            digest: 0,
+            last_solve_key: None,
+            dirty_cells: HashSet::new(),
+            evicted_cols: HashSet::new(),
+            solve_stats: SolveStats::default(),
+            solves_since_full: 0,
         })
     }
 
@@ -527,6 +632,26 @@ impl Service {
     /// Everything the loop counted so far.
     pub fn stats(&self) -> ServeStats {
         self.stats
+    }
+
+    /// Solve-cache and incremental-path breakdown of
+    /// [`ServeStats::solves`].
+    pub fn solve_stats(&self) -> SolveStats {
+        self.solve_stats
+    }
+
+    /// Content key of the current window: the FNV-1a fold of the cell
+    /// digest with the window geometry and head slot. Two service
+    /// instances report the same key exactly when their windows hold
+    /// bit-identical content in the same absolute position — the
+    /// solve-cache identity, exposed for differential harnesses.
+    pub fn window_key(&self) -> u64 {
+        let mut h = telemetry::Fnv::new();
+        h.write_u64(self.digest);
+        h.write_u64(self.window.head_slot() as u64);
+        h.write_u64(self.config.window_slots as u64);
+        h.write_u64(self.config.num_segments as u64);
+        h.finish()
     }
 
     /// The simulated clock: largest timestamp ingested so far.
@@ -600,6 +725,10 @@ impl Service {
     /// panicking).
     pub fn cold_restart(&mut self) -> Result<(), Error> {
         self.estimator = OnlineEstimator::new(self.config.cs.clone(), self.config.window_slots)?;
+        // The cached estimate no longer describes what a solve would
+        // produce (the cold estimator re-derives factors from scratch),
+        // so the next dirty tick must actually solve.
+        self.last_solve_key = None;
         Ok(())
     }
 
@@ -687,11 +816,33 @@ impl Service {
         self.clock_s = now_s;
         if let Some(slot) = self.window.slot_of(now_s) {
             if slot > self.window.head_slot() {
-                self.window.advance_to_slot(slot);
+                self.advance_window(slot);
                 self.prune_seen();
                 self.dirty = true;
             }
         }
+    }
+
+    /// Advances the window head to `slot`, folding every evicted cell
+    /// out of the content digest and recording its column as dirty for
+    /// the next delta pass — eviction changes those columns' observed
+    /// entries just as surely as a new report does.
+    fn advance_window(&mut self, slot: usize) {
+        while self.window.head_slot() < slot {
+            let tail = self.window.tail_slot();
+            let (sums, counts) = self.window.row_raw(0);
+            for (j, (&s, &c)) in sums.iter().zip(counts).enumerate() {
+                if c > 0.0 {
+                    self.digest ^= cell_hash(tail, j as u32, s, c);
+                    self.evicted_cols.insert(j as u32);
+                }
+            }
+            self.window.advance_to_slot(tail + self.config.window_slots);
+        }
+        // Evicted cells are gone, not dirty: their change is carried by
+        // `evicted_cols` on the column axis.
+        let tail = self.window.tail_slot();
+        self.dirty_cells.retain(|&(s, _)| s >= tail);
     }
 
     /// Drains the ingest queue through the admission rules, then — if
@@ -821,6 +972,15 @@ impl Service {
             }
             return;
         }
+        // The slot is in range and not late; slide the window here (the
+        // digest eviction path) rather than letting `observe` do it, so
+        // every content change flows through the digest.
+        let abs_slot = slot.expect("late check above rules out None");
+        if abs_slot > self.window.head_slot() {
+            self.advance_window(abs_slot);
+        }
+        let row = abs_slot - self.window.tail_slot();
+        let (old_sum, old_count) = self.window.cell_raw(row, obs.segment);
         // Rule 3: exact re-delivery of an admitted key — last write wins.
         let key = (obs.vehicle, obs.timestamp_s, obs.segment);
         if let Some(&old_speed) = self.seen.get(&key) {
@@ -839,6 +999,19 @@ impl Service {
         self.window
             .observe(obs.timestamp_s, obs.segment, obs.speed_kmh)
             .expect("validated above: segment in range, speed finite and non-negative");
+        // Fold the cell's accumulator transition into the content
+        // digest and mark it dirty. A retract+observe that lands the
+        // accumulators back on the exact old bits cancels out — the
+        // digest (and so the solve cache) tracks actual content, not
+        // traffic.
+        let (new_sum, new_count) = self.window.cell_raw(row, obs.segment);
+        if old_count > 0.0 {
+            self.digest ^= cell_hash(abs_slot, obs.segment as u32, old_sum, old_count);
+        }
+        if new_count > 0.0 {
+            self.digest ^= cell_hash(abs_slot, obs.segment as u32, new_sum, new_count);
+        }
+        self.dirty_cells.insert((abs_slot, obs.segment as u32));
         self.seen.insert(key, obs.speed_kmh);
         self.stats.admitted += 1;
         report.admitted += 1;
@@ -873,35 +1046,198 @@ impl Service {
         });
     }
 
+    /// Per-solve success bookkeeping shared by all three solve paths:
+    /// the solves counter, the sweep-cap clamp, and the wall-clock half
+    /// of the watchdog. Returns whether the solve blew its budget.
+    fn settle_solved(&mut self, wall: Duration) -> bool {
+        self.dirty = false;
+        self.dirty_cells.clear();
+        self.evicted_cols.clear();
+        self.stats.solves += 1;
+        if telemetry::metrics_enabled() {
+            telemetry::counter("serve.solves").incr();
+        }
+        // Watchdog, sweep half: after a successful (possibly cold)
+        // solve, clamp subsequent warm solves.
+        if let Some(cap) = self.config.warm_sweep_cap {
+            self.estimator.limit_iterations(cap);
+        }
+        // Watchdog, wall-clock half: accept the estimate but flag it
+        // stale when the solve blew its budget.
+        let over_budget = self.config.solve_budget.is_some_and(|budget| wall > budget);
+        if over_budget {
+            self.stats.degraded += 1;
+            if telemetry::metrics_enabled() {
+                telemetry::counter("serve.degraded").incr();
+            }
+        }
+        over_budget
+    }
+
+    /// Per-solve failure bookkeeping: degraded accounting plus cache
+    /// invalidation. The window stays dirty so the next tick retries.
+    fn settle_degraded(&mut self) {
+        self.stats.degraded += 1;
+        if telemetry::metrics_enabled() {
+            telemetry::counter("serve.degraded").incr();
+        }
+        self.last_solve_key = None;
+        if let Some(last) = &mut self.last_good {
+            last.stale = true;
+        }
+    }
+
+    /// The dirty-set work plan for an incremental solve — window-relative
+    /// rows and segment columns touched since the last solve — or `None`
+    /// when the incremental path must not run: disabled, unprimed, due
+    /// for a correction pass, the window slid too far or may be empty,
+    /// or the dirty fraction makes a full sweep cheaper.
+    fn incremental_plan(&self) -> Option<(Vec<usize>, Vec<u32>)> {
+        let (m, n) = (self.config.window_slots, self.config.num_segments);
+        if self.config.full_sweep_every <= 1
+            || self.solves_since_full + 1 >= self.config.full_sweep_every
+            || self.last_good.is_none()
+            || !self.estimator.incremental_primed()
+            // A zero digest means the window is (almost surely) empty;
+            // the full path owns the empty-window behaviour (a counted
+            // degradation), and the delta pass must not shadow it.
+            || self.digest == 0
+        {
+            return None;
+        }
+        let head = self.window.head_slot();
+        let shift = head.checked_sub(self.estimator.incremental_head_slot()?)?;
+        if shift >= m {
+            return None;
+        }
+        let tail = self.window.tail_slot();
+        let mut rows: Vec<usize> = self.dirty_cells.iter().map(|&(s, _)| s - tail).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let mut cols: Vec<u32> = self
+            .dirty_cells
+            .iter()
+            .map(|&(_, j)| j)
+            .chain(self.evicted_cols.iter().copied())
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        // Unit-solve cost model: a dirty row costs O(n) to gather and
+        // propagate, a dirty column O(m), and each shifted-in row O(n);
+        // a full sweep costs O(m·n) per sweep.
+        let cost = rows.len() * n + cols.len() * m + shift * n;
+        if cost as f64 > self.config.incremental_threshold * (m * n) as f64 {
+            return None;
+        }
+        Some((rows, cols))
+    }
+
     /// One watchdogged solve. Returns `(solved, degraded, wall_clock)`.
+    ///
+    /// Cheapest path first: a solve-cache hit (window content
+    /// bit-identical to the last solved content, by [`Service::window_key`])
+    /// reuses the live estimate without touching the solver; a primed
+    /// dirty set within budget takes the O(delta) incremental pass; and
+    /// everything else — including every [`ServeConfig::full_sweep_every`]-th
+    /// solve as a correction pass — runs the full warm sweep, which
+    /// re-primes the incremental state from its factors.
     fn solve(&mut self) -> (bool, bool, Duration) {
-        let snapshot = self.window.snapshot();
+        let key = self.window_key();
         let mut span = telemetry::span(Level::Debug, "serve.solve");
         let t0 = Instant::now();
+        // Path 1: solve cache.
+        if self.last_good.is_some() && self.last_solve_key == Some(key) {
+            let wall = t0.elapsed();
+            self.solve_stats.cache_hits += 1;
+            if telemetry::metrics_enabled() {
+                telemetry::counter("serve.solve_cache_hit").incr();
+            }
+            let over_budget = self.settle_solved(wall);
+            if span.is_enabled() {
+                span.record("path", "cache");
+                span.record("over_budget", if over_budget { 1u64 } else { 0 });
+            }
+            let last = self.last_good.as_mut().expect("gated on is_some above");
+            last.solved_at_s = self.clock_s;
+            last.stale = over_budget;
+            return (true, over_budget, wall);
+        }
+        self.solve_stats.cache_misses += 1;
+        if telemetry::metrics_enabled() {
+            telemetry::counter("serve.solve_cache_miss").incr();
+        }
+        // Path 2: incremental dirty-set pass.
+        if let Some((rows, cols)) = self.incremental_plan() {
+            let head = self.window.head_slot();
+            let mut last = self.last_good.take().expect("plan requires a live estimate");
+            let outcome = self.estimator.update_incremental(
+                &self.window,
+                head,
+                &rows,
+                &cols,
+                &mut last.estimate,
+            );
+            let wall = t0.elapsed();
+            match outcome {
+                Ok(inc) => {
+                    self.solve_stats.incremental_solves += 1;
+                    self.solve_stats.rows_resolved += inc.rows_resolved as u64;
+                    if telemetry::metrics_enabled() {
+                        telemetry::counter("serve.incremental_solves").incr();
+                        telemetry::counter("serve.rows_resolved").add(inc.rows_resolved as u64);
+                    }
+                    let over_budget = self.settle_solved(wall);
+                    if span.is_enabled() {
+                        span.record("path", "incremental");
+                        span.record("rows_resolved", inc.rows_resolved as u64);
+                        span.record("objective", inc.objective);
+                        span.record("over_budget", if over_budget { 1u64 } else { 0 });
+                    }
+                    last.head_slot = head;
+                    last.solved_at_s = self.clock_s;
+                    last.stale = over_budget;
+                    last.sweeps = 1;
+                    last.objective = inc.objective;
+                    self.last_good = Some(last);
+                    self.solves_since_full += 1;
+                    self.last_solve_key = Some(key);
+                    return (true, over_budget, wall);
+                }
+                Err(err) => {
+                    // The estimator dropped its delta state, so the
+                    // retry next tick takes the full path; the partially
+                    // updated estimate is kept, explicitly stale.
+                    self.last_good = Some(last);
+                    self.settle_degraded();
+                    if span.is_enabled() {
+                        span.record("path", "incremental");
+                        span.record("error", err.to_string());
+                    }
+                    return (false, true, wall);
+                }
+            }
+        }
+        // Path 3: full warm sweep.
+        let snapshot = self.window.snapshot();
         let outcome = self.estimator.update_detailed(&snapshot);
         let wall = t0.elapsed();
         match outcome {
             Ok(result) => {
-                self.dirty = false;
-                self.stats.solves += 1;
-                if telemetry::metrics_enabled() {
-                    telemetry::counter("serve.solves").incr();
+                // Re-prime the delta path from this solve's factors (its
+                // L rows are exactly consistent with R, the property the
+                // dirty-row skip relies on).
+                if self.config.full_sweep_every > 1 {
+                    let _ = self.estimator.prime_incremental(
+                        &self.window,
+                        self.window.head_slot(),
+                        &result.factors.0,
+                        &result.factors.1,
+                    );
                 }
-                // Watchdog, sweep half: after a successful (possibly
-                // cold) solve, clamp subsequent warm solves.
-                if let Some(cap) = self.config.warm_sweep_cap {
-                    self.estimator.limit_iterations(cap);
-                }
-                // Watchdog, wall-clock half: accept the estimate but
-                // flag it stale when the solve blew its budget.
-                let over_budget = self.config.solve_budget.is_some_and(|budget| wall > budget);
-                if over_budget {
-                    self.stats.degraded += 1;
-                    if telemetry::metrics_enabled() {
-                        telemetry::counter("serve.degraded").incr();
-                    }
-                }
+                self.solve_stats.full_solves += 1;
+                let over_budget = self.settle_solved(wall);
                 if span.is_enabled() {
+                    span.record("path", "full");
                     span.record("sweeps", result.sweeps as u64);
                     span.record("objective", result.objective);
                     span.record("over_budget", if over_budget { 1u64 } else { 0 });
@@ -914,21 +1250,18 @@ impl Service {
                     sweeps: result.sweeps,
                     objective: result.objective,
                 });
+                self.solves_since_full = 0;
+                self.last_solve_key = Some(key);
                 (true, over_budget, wall)
             }
             Err(err) => {
                 // Degrade: keep answering from the last good estimate,
                 // now explicitly stale. The window stays dirty so the
                 // next tick retries.
-                self.stats.degraded += 1;
-                if telemetry::metrics_enabled() {
-                    telemetry::counter("serve.degraded").incr();
-                }
+                self.settle_degraded();
                 if span.is_enabled() {
+                    span.record("path", "full");
                     span.record("error", err.to_string());
-                }
-                if let Some(last) = &mut self.last_good {
-                    last.stale = true;
                 }
                 (false, true, wall)
             }
@@ -1047,6 +1380,9 @@ impl Service {
             }
             self.estimator.set_warm_factors(r)?;
         }
+        // Restored factors change what the next solve would produce;
+        // any cached solve identity is void.
+        self.last_solve_key = None;
         self.advance_clock(clock);
         Ok(())
     }

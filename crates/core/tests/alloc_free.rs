@@ -176,4 +176,29 @@ fn service_tick_is_allocation_free_when_observability_is_off() {
         with_sampling, without,
         "trace_sample=1 with tracing disabled changed the tick allocation count"
     );
+
+    // --- Solve-cache hits are free ----------------------------------
+    // Re-delivering the same reports retracts and re-adds each cell
+    // with exact arithmetic, landing the window's content digest back
+    // on the solved value: the dirty tick is answered from the solve
+    // cache. Once every container is at steady-state capacity, such a
+    // push+tick round must not allocate at all — no snapshot, no dirty
+    // vectors, no solver scratch.
+    let mut s = warm_service(0);
+    push_round(&mut s);
+    s.tick();
+    let hits_before = s.solve_stats().cache_hits;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        push_round(&mut s);
+        s.tick();
+    }
+    let cache_ticks = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        s.solve_stats().cache_hits,
+        hits_before + 10,
+        "duplicate rounds must be solve-cache hits: {:?}",
+        s.solve_stats()
+    );
+    assert_eq!(cache_ticks, 0, "cache-hit ticks allocated {cache_ticks} times");
 }

@@ -661,3 +661,120 @@ fn estimate_matches_window_average_where_fully_observed() {
     }
     assert_eq!(live.latest_row().len(), SEGMENTS);
 }
+
+#[test]
+fn incremental_path_is_used_and_thread_invariant() {
+    // The O(delta) dirty-set path must actually engage on small-chunk
+    // replays, interleave with periodic full correction sweeps, and —
+    // like every other solve path — produce bit-identical estimates at
+    // any thread count (the delta pass is sequential by construction,
+    // but the correction sweeps it feeds from are threaded).
+    let observations = synth_observations(24);
+    let mut baseline: Option<Vec<u64>> = None;
+    for threads in [1usize, 2, 8] {
+        let cfg =
+            ServeConfig { window_slots: 12, incremental_threshold: 0.9, ..serve_cfg(12, threads) };
+        let service = replay(cfg, &observations, 3);
+        let st = service.solve_stats();
+        assert!(st.incremental_solves > 0, "threads={threads}: delta path never engaged {st:?}");
+        assert!(st.full_solves > 1, "threads={threads}: correction sweeps must recur {st:?}");
+        assert!(st.rows_resolved > 0);
+        let live = service.latest().expect("replay produced an estimate");
+        let bits: Vec<u64> = live.estimate.as_slice().iter().map(|v| v.to_bits()).collect();
+        match &baseline {
+            None => baseline = Some(bits),
+            Some(b) => assert_eq!(b, &bits, "threads={threads}: estimate diverged"),
+        }
+    }
+}
+
+#[test]
+fn duplicate_content_hits_the_solve_cache() {
+    // Exact re-delivery of every report lands the window's accumulator
+    // bits back where the last solve saw them (single report per cell,
+    // so the retract+observe arithmetic is exact), and the dirty tick is
+    // answered from the solve cache without touching the solver.
+    let mut service = Service::new(serve_cfg(4, 1)).unwrap();
+    let reports: Vec<Observation> = (0..8u64)
+        .map(|k| Observation {
+            vehicle: k,
+            timestamp_s: (k % 4) * SLOT_LEN + 9,
+            segment: (k as usize) % SEGMENTS,
+            speed_kmh: 30.0 + k as f64,
+        })
+        .collect();
+    for &o in &reports {
+        assert!(service.push(o));
+    }
+    let first = service.tick();
+    assert!(first.solved);
+    assert_eq!(service.solve_stats().cache_hits, 0);
+    let est1: Vec<u64> =
+        service.latest().unwrap().estimate.as_slice().iter().map(|v| v.to_bits()).collect();
+    for &o in &reports {
+        assert!(service.push(o));
+    }
+    let second = service.tick();
+    assert!(second.solved && !second.degraded);
+    assert_eq!(second.duplicates, reports.len());
+    assert_eq!(service.solve_stats().cache_hits, 1, "{:?}", service.solve_stats());
+    assert_eq!(service.stats().solves, 2, "a cache hit still counts as a serviced solve");
+    let est2: Vec<u64> =
+        service.latest().unwrap().estimate.as_slice().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(est1, est2, "cache hit must return the identical estimate");
+    // refresh() on untouched content is also a hit; a fresh report is
+    // a miss again.
+    service.refresh();
+    assert_eq!(service.solve_stats().cache_hits, 2);
+    service.push(Observation {
+        vehicle: 99,
+        timestamp_s: 3 * SLOT_LEN,
+        segment: 0,
+        speed_kmh: 55.0,
+    });
+    service.tick();
+    assert_eq!(service.solve_stats().cache_hits, 2);
+    assert!(service.solve_stats().cache_misses >= 2);
+}
+
+#[test]
+fn solve_modes_agree_after_cold_restart_correction() {
+    // A full-sweep-only service and an incremental one replaying the
+    // same stream must hold bit-identical window content throughout
+    // (same window_key), and converge to bit-identical estimates after
+    // the cold_restart + refresh correction — the invariant the chaos
+    // differential harness checks across modes.
+    let observations = synth_observations(20);
+    let full_only = ServeConfig { full_sweep_every: 1, ..serve_cfg(8, 1) };
+    let incremental = ServeConfig { incremental_threshold: 0.9, ..serve_cfg(8, 1) };
+    let mut a = replay(full_only, &observations, 2);
+    let mut b = replay(incremental, &observations, 2);
+    assert_eq!(a.solve_stats().incremental_solves, 0, "full_sweep_every=1 disables the delta path");
+    assert!(b.solve_stats().incremental_solves > 0, "{:?}", b.solve_stats());
+    assert_eq!(a.window_key(), b.window_key(), "window content must not depend on solve mode");
+    let (wa, wb) = (a.window_snapshot(), b.window_snapshot());
+    assert_eq!(wa.values().as_slice(), wb.values().as_slice());
+    assert_eq!(
+        wa.indicator().as_slice(),
+        wb.indicator().as_slice(),
+        "window cells must not depend on solve mode"
+    );
+    a.cold_restart().unwrap();
+    b.cold_restart().unwrap();
+    let ra = a.refresh();
+    let rb = b.refresh();
+    assert!(ra.solved && rb.solved);
+    assert_eq!(
+        a.latest().unwrap().estimate.as_slice(),
+        b.latest().unwrap().estimate.as_slice(),
+        "post-correction estimates must agree bit for bit"
+    );
+}
+
+#[test]
+fn incremental_config_is_validated() {
+    assert!(ServeConfig::builder().full_sweep_every(0).build().is_err());
+    assert!(ServeConfig::builder().incremental_threshold(-0.1).build().is_err());
+    assert!(ServeConfig::builder().incremental_threshold(f64::NAN).build().is_err());
+    assert!(ServeConfig::builder().full_sweep_every(1).incremental_threshold(0.0).build().is_ok());
+}

@@ -321,6 +321,41 @@ impl GramScratch {
         accumulate_gram(rows, lambda, &mut self.gram, &mut self.rhs);
         cholesky_solve_in_place(&mut self.gram, &self.rhs, &mut self.y, out)
     }
+
+    /// Solves one ridge unit whose design rows are the rows of `design`
+    /// named by `indices` with targets `values`: the per-unit step of an
+    /// ALS factor solve, shared by the full sweep and the incremental
+    /// dirty-unit path so the two produce bit-identical rows by
+    /// construction. An empty unit (no observations) is driven to zero
+    /// by the regularizer, so `out` is filled with `0.0` directly.
+    ///
+    /// # Errors
+    ///
+    /// See [`cholesky_solve_in_place`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `indices` and `values` disagree in length, an index
+    /// is out of bounds for `design`, or `out.len() != self.rank()`.
+    pub fn solve_ridge_rows(
+        &mut self,
+        design: &Matrix,
+        indices: &[u32],
+        values: &[f64],
+        lambda: f64,
+        out: &mut [f64],
+    ) -> Result<(), SolveError> {
+        assert_eq!(indices.len(), values.len(), "indices and values must pair up");
+        if indices.is_empty() {
+            out.fill(0.0);
+            return Ok(());
+        }
+        self.solve_ridge(
+            indices.iter().zip(values).map(|(&i, &v)| (design.row(i as usize), v)),
+            lambda,
+            out,
+        )
+    }
 }
 
 /// Ridge regression via QR on the explicitly stacked system
@@ -493,6 +528,39 @@ mod tests {
             out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn solve_ridge_rows_matches_solve_ridge_bitwise() {
+        let design = random_matrix(14, 3, 31);
+        let indices: Vec<u32> = vec![0, 3, 5, 9, 13];
+        let values: Vec<f64> = vec![1.5, -0.25, 2.0, 0.75, -1.0];
+        let lambda = 0.8;
+        let mut by_rows = GramScratch::new(3);
+        let mut got = vec![0.0; 3];
+        by_rows.solve_ridge_rows(&design, &indices, &values, lambda, &mut got).unwrap();
+        let mut by_iter = GramScratch::new(3);
+        let mut expected = vec![0.0; 3];
+        by_iter
+            .solve_ridge(
+                indices.iter().zip(values.iter()).map(|(&i, &v)| (design.row(i as usize), v)),
+                lambda,
+                &mut expected,
+            )
+            .unwrap();
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn solve_ridge_rows_empty_unit_is_zero() {
+        let design = random_matrix(4, 2, 32);
+        let mut scratch = GramScratch::new(2);
+        let mut out = vec![7.0; 2];
+        scratch.solve_ridge_rows(&design, &[], &[], 1.0, &mut out).unwrap();
+        assert_eq!(out, vec![0.0, 0.0]);
     }
 
     #[test]

@@ -105,6 +105,16 @@ impl StreamingTcm {
         self.head_slot + 1 - self.window_slots
     }
 
+    /// Number of slots the sliding window covers (matrix height).
+    pub fn window_slots(&self) -> usize {
+        self.window_slots
+    }
+
+    /// Number of road segments (matrix width).
+    pub fn num_segments(&self) -> usize {
+        self.num_segments
+    }
+
     /// Number of observations dropped for arriving after their slot left
     /// the window.
     pub fn dropped_late(&self) -> u64 {
@@ -213,6 +223,29 @@ impl StreamingTcm {
         self.counts.iter().flat_map(|row| row.iter()).filter(|&&c| c > 0.0).count()
     }
 
+    /// Raw accumulator state of one cell: `(sum, count)` for window row
+    /// `row` (0 = oldest slot) and segment column `segment`. The cell's
+    /// snapshot value is `sum / count` when `count > 0`; exposing the
+    /// raw pair lets callers hash or re-derive cell content without
+    /// materializing a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row >= window_slots` or `segment >= num_segments`.
+    pub fn cell_raw(&self, row: usize, segment: usize) -> (f64, f64) {
+        (self.sums[row][segment], self.counts[row][segment])
+    }
+
+    /// Raw accumulator state of one window row: `(sums, counts)` slices
+    /// of length `num_segments` for window row `row` (0 = oldest slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row >= window_slots`.
+    pub fn row_raw(&self, row: usize) -> (&[f64], &[f64]) {
+        (&self.sums[row], &self.counts[row])
+    }
+
     /// Materializes the current window as a [`Tcm`] (row 0 = oldest slot
     /// in the window).
     pub fn snapshot(&self) -> Tcm {
@@ -245,6 +278,18 @@ impl StreamingTcm {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn raw_accessors_expose_accumulators() {
+        let mut s = StreamingTcm::new(0, 60, 5, 2).unwrap();
+        s.observe(0, 0, 10.0).unwrap();
+        s.observe(59, 0, 20.0).unwrap();
+        assert_eq!(s.cell_raw(0, 0), (30.0, 2.0));
+        assert_eq!(s.cell_raw(0, 1), (0.0, 0.0));
+        let (sums, counts) = s.row_raw(0);
+        assert_eq!(sums, &[30.0, 0.0]);
+        assert_eq!(counts, &[2.0, 0.0]);
+    }
 
     #[test]
     fn observations_land_in_right_slots() {

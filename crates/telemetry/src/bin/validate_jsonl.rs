@@ -2,8 +2,10 @@
 //! JSONL file is parseable JSON carrying the expected top-level keys,
 //! that histogram snapshots carry well-formed `lo:hi:count` bucket
 //! triples, and (optionally) that a run manifest or a
-//! `cs-traffic-bench-serve/v1` load-test artifact parses with its
-//! required keys.
+//! `cs-traffic-bench-serve/v1|v2` load-test artifact parses with its
+//! required keys (v2 adds the solve-path counters — cache hits,
+//! incremental vs full solves, rows resolved — and the `scale`
+//! latency-vs-grid-size curve).
 //!
 //! ```text
 //! validate-jsonl [--serve BENCH_serve.json] <metrics.jsonl> [run_manifest.json]
@@ -93,19 +95,33 @@ fn validate_buckets(path: &str, lineno: usize, value: &Json) {
     }
 }
 
-/// Required shape of the `cs-traffic-bench-serve/v1` load-test
+/// Solve-path counters the v2 serve artifact splits out of `solves`:
+/// cache hits/misses plus the incremental-vs-full-sweep accounting.
+const SOLVE_PATH_COUNTERS: &[&str] = &[
+    "solve_cache_hits",
+    "solve_cache_misses",
+    "incremental_solves",
+    "full_solves",
+    "rows_resolved",
+];
+
+/// Required shape of the `cs-traffic-bench-serve/v1|v2` load-test
 /// artifact: the schema marker, the searched rate, and a best leg with
-/// full quantile sets, counters, and the determinism witness hash.
+/// full quantile sets, counters, and the determinism witness hash. The
+/// v2 schema additionally carries the solve-path counters
+/// ([`SOLVE_PATH_COUNTERS`]) in every counter block and a `scale`
+/// array (the latency-vs-grid-size curve, possibly empty).
 fn validate_serve(path: &str) {
     let content = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(format!("cannot read '{path}': {e}")));
     let value =
         Json::parse(&content).unwrap_or_else(|e| fail(format!("{path}: not valid JSON: {e}")));
-    match value.get("schema").and_then(Json::as_str) {
-        Some("cs-traffic-bench-serve/v1") => {}
+    let v2 = match value.get("schema").and_then(Json::as_str) {
+        Some("cs-traffic-bench-serve/v1") => false,
+        Some("cs-traffic-bench-serve/v2") => true,
         Some(other) => fail(format!("{path}: unsupported serve schema '{other}'")),
         None => fail(format!("{path}: missing 'schema'")),
-    }
+    };
     for key in ["git_rev", "seed", "threads", "quick", "grid", "search_legs"] {
         if value.get(key).is_none() {
             fail(format!("{path}: missing required key '{key}'"));
@@ -132,8 +148,15 @@ fn validate_serve(path: &str) {
             }
         }
     }
-    if leg.get("counters").is_none() {
+    let Some(counters) = leg.get("counters") else {
         fail(format!("{path}: missing leg.counters"));
+    };
+    if v2 {
+        for key in SOLVE_PATH_COUNTERS {
+            if counters.get(key).and_then(Json::as_num).is_none() {
+                fail(format!("{path}: leg.counters.{key} is not a number"));
+            }
+        }
     }
     let hash = leg
         .get("stream_hash")
@@ -141,6 +164,34 @@ fn validate_serve(path: &str) {
         .unwrap_or_else(|| fail(format!("{path}: leg.stream_hash is not a string")));
     if hash.len() != 16 || !hash.bytes().all(|b| b.is_ascii_hexdigit()) {
         fail(format!("{path}: leg.stream_hash '{hash}' is not a 16-digit hex hash"));
+    }
+    if v2 {
+        let Some(Json::Arr(points)) = value.get("scale") else {
+            fail(format!("{path}: v2 artifact is missing the 'scale' array"));
+        };
+        for (i, point) in points.iter().enumerate() {
+            if point.get("segments").and_then(Json::as_num).is_none() {
+                fail(format!("{path}: scale[{i}].segments is not a number"));
+            }
+            for hist in ["tick_us", "solve_us"] {
+                let Some(h) = point.get(hist) else {
+                    fail(format!("{path}: missing scale[{i}].{hist}"));
+                };
+                for q in ["p50", "p99", "p999", "max", "count"] {
+                    if h.get(q).and_then(Json::as_num).is_none() {
+                        fail(format!("{path}: scale[{i}].{hist}.{q} is not a number"));
+                    }
+                }
+            }
+            let Some(c) = point.get("counters") else {
+                fail(format!("{path}: missing scale[{i}].counters"));
+            };
+            for key in SOLVE_PATH_COUNTERS {
+                if c.get(key).and_then(Json::as_num).is_none() {
+                    fail(format!("{path}: scale[{i}].counters.{key} is not a number"));
+                }
+            }
+        }
     }
     println!("{path}: serve artifact OK");
 }
