@@ -4,13 +4,14 @@
 //! `traffic_cs::service::Service`, binary-searches the maximum
 //! sustainable throughput under the `results/SLO.toml` budget, and
 //! writes `results/BENCH_serve.json` (schema
-//! `cs-traffic-bench-serve/v2`) plus one summary line appended to
+//! `cs-traffic-bench-serve/v3`) plus one summary line appended to
 //! `results/BENCH_trajectory.jsonl` (schema
 //! `cs-traffic-bench-trajectory/v1`), the tracked throughput history.
 //!
 //! ```text
 //! loadgen [--profile quick|full|scale] [--seed N] [--rate R] [--threads N]
-//!         [--max-legs N] [--out PATH] [--slo PATH] [--trajectory PATH]
+//!         [--max-legs N] [--transport in-process|socket] [--shards S]
+//!         [--out PATH] [--slo PATH] [--trajectory PATH]
 //!         [--flight-dump PATH]
 //! ```
 //!
@@ -21,6 +22,11 @@
 //!   recorded into the artifact's `scale` array.
 //! * `--rate` — skip the search and run a single leg at this offered
 //!   rate (reports per simulated second).
+//! * `--transport socket` — after the in-process search, replay the
+//!   best leg's offered stream through a live daemon over a loopback
+//!   socket (`--shards` shard workers) and record the client-observed
+//!   end-to-end quantiles into the artifact's `socket` section. The
+//!   in-process leg stays the baseline the SLO gate reads.
 //! * `--slo` — budget file (default `results/SLO.toml`); the budget
 //!   defines "sustainable" for the search. The regression *gate* is a
 //!   separate program (`slo-gate`), so measuring never fails CI — only
@@ -32,7 +38,8 @@
 //!   panics), so a failed CI serve-load run leaves a
 //!   `cs-traffic-flight/v1` artifact behind.
 //!
-//! Exit codes: 0 success, 2 usage, 74 I/O.
+//! Exit codes: 0 success, 2 usage, 70 socket-leg stream-hash
+//! divergence (a determinism violation), 74 I/O.
 
 use cs_bench::loadgen::{self, LoadConfig, SloBudget};
 use cs_bench::slo;
@@ -42,7 +49,8 @@ fn fail_usage(msg: &str) -> ! {
     eprintln!("loadgen: {msg}");
     eprintln!(
         "usage: loadgen [--profile quick|full|scale] [--seed N] [--rate R] [--threads N] \
-         [--max-legs N] [--out PATH] [--slo PATH] [--trajectory PATH] [--flight-dump PATH]"
+         [--max-legs N] [--transport in-process|socket] [--shards S] [--out PATH] [--slo PATH] \
+         [--trajectory PATH] [--flight-dump PATH]"
     );
     std::process::exit(2);
 }
@@ -53,6 +61,8 @@ struct Args {
     rate: Option<f64>,
     threads: usize,
     max_legs: usize,
+    transport: String,
+    shards: usize,
     out: PathBuf,
     slo: PathBuf,
     trajectory: Option<PathBuf>,
@@ -67,6 +77,8 @@ fn parse_args() -> Args {
         rate: None,
         threads: 0,
         max_legs: 12,
+        transport: "in-process".into(),
+        shards: 2,
         out: PathBuf::from("results/BENCH_serve.json"),
         slo: PathBuf::from("results/SLO.toml"),
         trajectory: Some(PathBuf::from("results/BENCH_trajectory.jsonl")),
@@ -92,6 +104,10 @@ fn parse_args() -> Args {
             "--max-legs" => {
                 args.max_legs =
                     val("--max-legs").parse().unwrap_or_else(|_| fail_usage("bad --max-legs"))
+            }
+            "--transport" => args.transport = val("--transport"),
+            "--shards" => {
+                args.shards = val("--shards").parse().unwrap_or_else(|_| fail_usage("bad --shards"))
             }
             "--out" => args.out = PathBuf::from(val("--out")),
             "--slo" => args.slo = PathBuf::from(val("--slo")),
@@ -202,7 +218,51 @@ fn main() {
         Vec::new()
     };
 
-    match loadgen::write_bench_serve_json(&args.out, &cfg, &search, &scale, quick) {
+    // The socket leg replays the best leg's offered rate through a live
+    // daemon; the in-process search above remains the SLO baseline.
+    let socket = match args.transport.as_str() {
+        "in-process" => None,
+        "socket" => {
+            let rate = search.best.offered_rate;
+            match loadgen::run_leg_socket(&cfg, rate, args.shards) {
+                Ok(leg) => {
+                    eprintln!(
+                        "loadgen: socket leg ({} shard{}): offered {:.1}/s, achieved {:.1}/s, \
+                         e2e p50/p99/p999 = {:.0}/{:.0}/{:.0} us, stream {:016x}{}",
+                        leg.shards,
+                        if leg.shards == 1 { "" } else { "s" },
+                        leg.offered_rate,
+                        leg.achieved_rate,
+                        leg.e2e_us.p50,
+                        leg.e2e_us.p99,
+                        leg.e2e_us.p999,
+                        leg.stream_hash,
+                        if leg.stream_hash == search.best.stream_hash {
+                            ""
+                        } else {
+                            "  (HASH MISMATCH vs in-process leg)"
+                        },
+                    );
+                    // The socket leg replays the exact offered stream of
+                    // the in-process search; a diverging witness hash
+                    // means the wire path reordered, dropped, or mutated
+                    // a report — a determinism violation, not noise.
+                    if leg.stream_hash != search.best.stream_hash {
+                        std::process::exit(70);
+                    }
+                    Some(leg)
+                }
+                Err(e) => {
+                    eprintln!("loadgen: socket leg failed: {e}");
+                    std::process::exit(74);
+                }
+            }
+        }
+        other => fail_usage(&format!("unknown transport '{other}' (in-process|socket)")),
+    };
+
+    match loadgen::write_bench_serve_json(&args.out, &cfg, &search, &scale, socket.as_ref(), quick)
+    {
         Ok(path) => eprintln!("loadgen: wrote {}", path.display()),
         Err(e) => {
             eprintln!("loadgen: cannot write {}: {e}", args.out.display());

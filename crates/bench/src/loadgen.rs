@@ -19,11 +19,18 @@
 //!   `serve-load` CI gate tracks against `results/SLO.toml`.
 //!
 //! The CI artifact `results/BENCH_serve.json`
-//! (schema `cs-traffic-bench-serve/v2`, written by
+//! (schema `cs-traffic-bench-serve/v3`, written by
 //! [`write_bench_serve_json`]) pins both halves, the way
 //! `BENCH_als.json` anchors the offline kernel, and
 //! [`append_bench_trajectory`] keeps the append-per-run history in
 //! `results/BENCH_trajectory.jsonl`.
+//!
+//! A third concern rides on the same stream: [`run_leg_socket`] offers
+//! the identical paced stream to a live [`Daemon`] over a loopback
+//! socket (`cs-wire/v1` `ReportBatch` frames, `Sync` barriers) and
+//! records the *client-observed* end-to-end quantiles into the
+//! artifact's `socket` section — the in-process path remains the
+//! baseline the SLO gate reads.
 //!
 //! The ingest queue is a *pressure valve*, not the thing under test:
 //! [`run_leg`] pushes a whole tick's batch before draining it, so the
@@ -35,11 +42,13 @@
 use crate::report;
 use chaos::Fnv;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use telemetry::json::Json;
 use telemetry::Histogram;
 use traffic_cs::cs::CsConfig;
+use traffic_cs::daemon::{Daemon, DaemonConfig, DaemonError, DaemonStats};
 use traffic_cs::service::{Observation, ServeConfig, ServeStats, Service, SolveStats};
+use traffic_cs::sharded::ShardPlan;
 use traffic_cs::{ConfigError, Error};
 
 /// SplitMix64 — the stream RNG, hand-rolled so the offered stream is a
@@ -196,7 +205,7 @@ impl LoadConfig {
         self.queue_capacity.max(batch + batch / 8)
     }
 
-    fn serve_config(&self, queue_capacity: usize) -> Result<ServeConfig, Error> {
+    fn serve_config(&self, queue_capacity: usize, shards: usize) -> Result<ServeConfig, Error> {
         Ok(ServeConfig::builder()
             .slot_len_s(self.slot_len_s)
             .window_slots(self.window_slots)
@@ -209,8 +218,39 @@ impl LoadConfig {
                 ..CsConfig::default()
             })
             .flight_dump(self.flight_dump.clone())
+            .shards(ShardPlan::with_count(shards.max(1)))
             .build()?)
     }
+}
+
+/// Draws the next offered report. Shared by the in-process and socket
+/// legs so both transports offer the *same* stream for a given
+/// `(seed, rate, geometry)` — their `stream_hash`es must agree.
+fn next_report(
+    rng: &mut SplitMix64,
+    hash: &mut Fnv,
+    vehicle: &mut u64,
+    t0_s: u64,
+    dt: u64,
+    segments: usize,
+    malformed_per_10k: u32,
+) -> Observation {
+    let r = rng.next_u64();
+    let segment = (r % segments as u64) as usize;
+    let ts = t0_s + (r >> 32) % dt.max(1);
+    let m = rng.next_u64();
+    let speed_kmh = if (m % 10_000) < u64::from(malformed_per_10k) {
+        -1.0 // rejected by admission, counted, never admitted
+    } else {
+        5.0 + ((m >> 16) % 9_000) as f64 / 100.0
+    };
+    hash.write_u64(*vehicle);
+    hash.write_u64(ts);
+    hash.write_u64(segment as u64);
+    hash.write_u64(speed_kmh.to_bits());
+    let obs = Observation { vehicle: *vehicle, timestamp_s: ts, segment, speed_kmh };
+    *vehicle += 1;
+    obs
 }
 
 /// Latency summary of one histogram: the quantiles the SLO gate reads.
@@ -324,7 +364,7 @@ pub fn run_leg(cfg: &LoadConfig, rate: f64) -> Result<LegReport, Error> {
     if !rate.is_finite() || rate <= 0.0 {
         return Err(ConfigError::new("rate", "offered rate must be positive and finite").into());
     }
-    let mut service = Service::new(cfg.serve_config(cfg.effective_queue_capacity(rate))?)?;
+    let mut service = Service::new(cfg.serve_config(cfg.effective_queue_capacity(rate), 1)?)?;
     let dt = cfg.slot_len_s / cfg.ticks_per_slot;
     let mut rng = SplitMix64::new(cfg.seed);
     let mut hash = Fnv::new();
@@ -358,21 +398,16 @@ pub fn run_leg(cfg: &LoadConfig, rate: f64) -> Result<LegReport, Error> {
 
         let batch_start = Instant::now();
         for _ in 0..n {
-            let r = rng.next_u64();
-            let segment = (r % cfg.segments as u64) as usize;
-            let ts = t0_s + (r >> 32) % dt.max(1);
-            let m = rng.next_u64();
-            let speed_kmh = if (m % 10_000) < u64::from(cfg.malformed_per_10k) {
-                -1.0 // rejected by admission, counted, never admitted
-            } else {
-                5.0 + ((m >> 16) % 9_000) as f64 / 100.0
-            };
-            hash.write_u64(vehicle);
-            hash.write_u64(ts);
-            hash.write_u64(segment as u64);
-            hash.write_u64(speed_kmh.to_bits());
-            service.push(Observation { vehicle, timestamp_s: ts, segment, speed_kmh });
-            vehicle += 1;
+            let obs = next_report(
+                &mut rng,
+                &mut hash,
+                &mut vehicle,
+                t0_s,
+                dt,
+                cfg.segments,
+                cfg.malformed_per_10k,
+            );
+            service.push(obs);
         }
         service.advance_clock(t0_s + dt);
         let report = service.tick();
@@ -412,6 +447,208 @@ pub fn run_leg(cfg: &LoadConfig, rate: f64) -> Result<LegReport, Error> {
         solve_us: Quantiles::from_histogram(&solve_hist),
         e2e_us: Quantiles::from_histogram(service.e2e_histogram()),
         stream_hash: hash.finish(),
+    })
+}
+
+/// Everything one *socket* leg produced: the same offered stream as an
+/// in-process leg at the same `(seed, rate, geometry)` — the
+/// `stream_hash`es must agree — but driven through a live [`Daemon`]
+/// over a real loopback socket, one `cs-wire/v1` `ReportBatch` + `Sync`
+/// barrier per tick.
+#[derive(Debug, Clone)]
+pub struct SocketLegReport {
+    /// Offered rate, reports per simulated second.
+    pub offered_rate: f64,
+    /// Reports generated during the measured phase.
+    pub offered: u64,
+    /// Shard workers in the daemon's engine.
+    pub shards: usize,
+    /// Wall-clock seconds of the measured phase.
+    pub wall_s: f64,
+    /// Reports admitted per wall-clock second — the leg's throughput
+    /// *including* the wire round trip.
+    pub achieved_rate: f64,
+    /// Merged admission-counter deltas over the measured phase, read
+    /// from the `Sync` barrier responses.
+    pub stats: ServeStats,
+    /// `queue_dropped / offered` over the measured phase.
+    pub drop_rate: f64,
+    /// `degraded / solves` over the measured phase (0 when no solves).
+    pub degrade_rate: f64,
+    /// Client-observed end-to-end quantiles (µs): first byte of a
+    /// tick's `ReportBatch` written → `Synced` barrier response read.
+    /// This is the number a remote ingester would see; the in-process
+    /// leg's `e2e_us` (enqueue → settled inside the service) is its
+    /// floor.
+    pub e2e_us: Quantiles,
+    /// Engine-reported tick-drain quantiles (µs), from the `Synced`
+    /// responses.
+    pub tick_us: Quantiles,
+    /// Engine-reported solve quantiles (µs), ticks that solved only.
+    pub solve_us: Quantiles,
+    /// FNV-1a over every generated report (warm-up included); must
+    /// equal the in-process leg's hash at the same rate.
+    pub stream_hash: u64,
+    /// The daemon's transport-plane counters after shutdown.
+    pub daemon: DaemonStats,
+}
+
+fn client_io(what: &'static str) -> impl FnOnce(proto::client::ClientError) -> Error {
+    move |e| DaemonError::Io { what, source: std::io::Error::other(e.to_string()) }.into()
+}
+
+/// Drives one leg through a live daemon over a loopback TCP socket:
+/// the same paced stream as [`run_leg`], but each tick's batch crosses
+/// the wire as one `ReportBatch` frame followed by a `Sync` barrier,
+/// and the end-to-end latency is measured from the client's chair.
+///
+/// The daemon's self-tick interval is parked well above the leg length
+/// so the `Sync` barrier is the only tick driver — the socket adds
+/// latency, never extra ticks.
+///
+/// # Errors
+///
+/// Configuration errors, a failed bind/spawn, or a wire-protocol
+/// failure mid-leg (the loopback daemon answering anything but
+/// `Synced`/`Bye` is a harness bug, not a measurement).
+pub fn run_leg_socket(
+    cfg: &LoadConfig,
+    rate: f64,
+    shards: usize,
+) -> Result<SocketLegReport, Error> {
+    use proto::client::Client;
+    use proto::msg::{Request, Response, WireReport};
+    use proto::net::BindAddr;
+
+    cfg.validate()?;
+    if !rate.is_finite() || rate <= 0.0 {
+        return Err(ConfigError::new("rate", "offered rate must be positive and finite").into());
+    }
+    let serve_cfg = cfg.serve_config(cfg.effective_queue_capacity(rate), shards)?;
+    let bind = BindAddr::parse("tcp:127.0.0.1:0").expect("literal bind address parses");
+    let mut daemon_cfg = DaemonConfig::new(bind, serve_cfg);
+    daemon_cfg.tick_interval = Duration::from_secs(3600);
+    daemon_cfg.frame_deadline = Duration::from_secs(30);
+    let handle = Daemon::bind(daemon_cfg)?
+        .spawn()
+        .map_err(|source| Error::from(DaemonError::Io { what: "spawn", source }))?;
+    let mut client = Client::connect(handle.addr()).map_err(client_io("connect"))?;
+
+    let dt = cfg.slot_len_s / cfg.ticks_per_slot;
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut hash = Fnv::new();
+    let mut carry = 0.0f64;
+    let mut vehicle = 0u64;
+
+    let e2e_hist = Histogram::default();
+    let tick_hist = Histogram::default();
+    let solve_hist = Histogram::default();
+
+    let total_ticks = cfg.warmup_ticks + cfg.ticks;
+    let mut offered_measured = 0u64;
+    let mut stats_at_warmup = ServeStats::default();
+    let mut last_stats = ServeStats::default();
+    let mut measured_wall = 0.0f64;
+
+    for k in 0..total_ticks {
+        let measured = k >= cfg.warmup_ticks;
+        if k == cfg.warmup_ticks {
+            stats_at_warmup = last_stats;
+        }
+        let t0_s = k as u64 * dt;
+        carry += rate * dt as f64;
+        let n = carry as u64;
+        carry -= n as f64;
+
+        let mut batch = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let obs = next_report(
+                &mut rng,
+                &mut hash,
+                &mut vehicle,
+                t0_s,
+                dt,
+                cfg.segments,
+                cfg.malformed_per_10k,
+            );
+            batch.push(WireReport::new(
+                obs.vehicle,
+                obs.timestamp_s,
+                obs.segment as u64,
+                obs.speed_kmh,
+            ));
+        }
+        let barrier_start = Instant::now();
+        client.send(&Request::ReportBatch(batch)).map_err(client_io("report batch"))?;
+        let synced = client.request(&Request::Sync).map_err(client_io("sync barrier"))?;
+        let rtt = barrier_start.elapsed();
+        let Response::Synced { tick_us, solve_us, stats, .. } = synced else {
+            return Err(DaemonError::Io {
+                what: "sync barrier",
+                source: std::io::Error::other(format!("expected Synced, got {synced:?}")),
+            }
+            .into());
+        };
+        let solved = stats.solves > last_stats.solves || stats.degraded > last_stats.degraded;
+        last_stats = ServeStats {
+            admitted: stats.admitted,
+            rejected: stats.rejected,
+            dropped_late: stats.dropped_late,
+            duplicates: stats.duplicates,
+            queue_dropped: stats.queue_dropped,
+            solves: stats.solves,
+            degraded: stats.degraded,
+        };
+        if measured {
+            offered_measured += n;
+            measured_wall += rtt.as_secs_f64();
+            e2e_hist.observe(rtt.as_micros() as f64);
+            tick_hist.observe(tick_us as f64);
+            if solved {
+                solve_hist.observe(solve_us as f64);
+            }
+        }
+    }
+
+    match client.request(&Request::Shutdown) {
+        Ok(Response::Bye) | Err(_) => {}
+        Ok(other) => {
+            return Err(DaemonError::Io {
+                what: "shutdown",
+                source: std::io::Error::other(format!("expected Bye, got {other:?}")),
+            }
+            .into())
+        }
+    }
+    client.close();
+    let daemon = handle.join()?;
+
+    let stats = stats_delta(last_stats, stats_at_warmup);
+    let drop_rate = if offered_measured == 0 {
+        0.0
+    } else {
+        stats.queue_dropped as f64 / offered_measured as f64
+    };
+    let degrade_rate =
+        if stats.solves == 0 { 0.0 } else { stats.degraded as f64 / stats.solves as f64 };
+    Ok(SocketLegReport {
+        offered_rate: rate,
+        offered: offered_measured,
+        shards: shards.max(1),
+        wall_s: measured_wall,
+        achieved_rate: if measured_wall > 0.0 {
+            stats.admitted as f64 / measured_wall
+        } else {
+            0.0
+        },
+        stats,
+        drop_rate,
+        degrade_rate,
+        e2e_us: Quantiles::from_histogram(&e2e_hist),
+        tick_us: Quantiles::from_histogram(&tick_hist),
+        solve_us: Quantiles::from_histogram(&solve_hist),
+        stream_hash: hash.finish(),
+        daemon,
     })
 }
 
@@ -590,11 +827,13 @@ fn solve_counters_json(s: ServeStats, v: SolveStats) -> Json {
     ])
 }
 
-/// Writes `BENCH_serve.json` (schema `cs-traffic-bench-serve/v2`): the
+/// Writes `BENCH_serve.json` (schema `cs-traffic-bench-serve/v3`): the
 /// search outcome, the best leg's latency quantiles and counters
 /// (including the solve-path split: cache hits, incremental vs full
 /// solves), the latency-vs-grid-size `scale` curve when one was run,
-/// and the run's provenance (git revision, threads, seed, geometry).
+/// the socket-transport leg when one was run (`socket`, null
+/// otherwise — the in-process leg stays the baseline), and the run's
+/// provenance (git revision, threads, seed, geometry).
 ///
 /// # Errors
 ///
@@ -604,10 +843,48 @@ pub fn write_bench_serve_json(
     cfg: &LoadConfig,
     search: &SearchReport,
     scale: &[ScalePoint],
+    socket: Option<&SocketLegReport>,
     quick: bool,
 ) -> std::io::Result<PathBuf> {
     let leg = &search.best;
     let s = leg.stats;
+    let socket_json = socket.map_or(Json::Null, |sl| {
+        Json::Obj(vec![
+            ("transport".into(), Json::Str("socket".into())),
+            ("shards".into(), Json::Num(sl.shards as f64)),
+            ("offered_rate".into(), Json::Num(sl.offered_rate)),
+            ("offered".into(), Json::Num(sl.offered as f64)),
+            ("wall_s".into(), Json::Num(sl.wall_s)),
+            ("achieved_rate".into(), Json::Num(sl.achieved_rate)),
+            ("drop_rate".into(), Json::Num(sl.drop_rate)),
+            ("degrade_rate".into(), Json::Num(sl.degrade_rate)),
+            ("e2e_us".into(), sl.e2e_us.to_json()),
+            ("tick_us".into(), sl.tick_us.to_json()),
+            ("solve_us".into(), sl.solve_us.to_json()),
+            (
+                "counters".into(),
+                Json::Obj(vec![
+                    ("admitted".into(), Json::Num(sl.stats.admitted as f64)),
+                    ("rejected".into(), Json::Num(sl.stats.rejected as f64)),
+                    ("dropped_late".into(), Json::Num(sl.stats.dropped_late as f64)),
+                    ("duplicates".into(), Json::Num(sl.stats.duplicates as f64)),
+                    ("queue_dropped".into(), Json::Num(sl.stats.queue_dropped as f64)),
+                    ("solves".into(), Json::Num(sl.stats.solves as f64)),
+                    ("degraded".into(), Json::Num(sl.stats.degraded as f64)),
+                ]),
+            ),
+            (
+                "daemon".into(),
+                Json::Obj(vec![
+                    ("connections".into(), Json::Num(sl.daemon.connections as f64)),
+                    ("frames".into(), Json::Num(sl.daemon.frames as f64)),
+                    ("reports".into(), Json::Num(sl.daemon.reports as f64)),
+                    ("protocol_errors".into(), Json::Num(sl.daemon.protocol_errors as f64)),
+                ]),
+            ),
+            ("stream_hash".into(), Json::Str(format!("{:016x}", sl.stream_hash))),
+        ])
+    });
     let scale_json = scale
         .iter()
         .map(|p| {
@@ -625,7 +902,8 @@ pub fn write_bench_serve_json(
         })
         .collect::<Vec<_>>();
     let json = Json::Obj(vec![
-        ("schema".into(), Json::Str("cs-traffic-bench-serve/v2".into())),
+        ("schema".into(), Json::Str("cs-traffic-bench-serve/v3".into())),
+        ("transport".into(), Json::Str("in-process".into())),
         ("quick".into(), Json::Bool(quick)),
         ("git_rev".into(), Json::Str(report::git_rev())),
         ("seed".into(), Json::Num(cfg.seed as f64)),
@@ -662,6 +940,7 @@ pub fn write_bench_serve_json(
             ]),
         ),
         ("scale".into(), Json::Arr(scale_json)),
+        ("socket".into(), socket_json),
     ]);
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {

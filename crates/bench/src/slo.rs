@@ -182,8 +182,10 @@ pub struct GateInputs {
 
 impl GateInputs {
     /// Extracts the gated numbers from a parsed `BENCH_serve.json`
-    /// (schema `cs-traffic-bench-serve/v1` or `/v2` — the v2 additions,
-    /// solve-path counters and the `scale` curve, are not gated).
+    /// (schema `cs-traffic-bench-serve/v1`, `/v2`, or `/v3` — the v2/v3
+    /// additions, solve-path counters, the `scale` curve, and the
+    /// `socket` leg, are not gated: the in-process leg stays the
+    /// baseline the SLO compares against).
     ///
     /// # Errors
     ///
@@ -191,7 +193,11 @@ impl GateInputs {
     /// schema mismatch.
     pub fn from_bench_serve(doc: &telemetry::json::Json) -> Result<Self, String> {
         match doc.get("schema").and_then(|s| s.as_str()) {
-            Some("cs-traffic-bench-serve/v1" | "cs-traffic-bench-serve/v2") => {}
+            Some(
+                "cs-traffic-bench-serve/v1"
+                | "cs-traffic-bench-serve/v2"
+                | "cs-traffic-bench-serve/v3",
+            ) => {}
             Some(other) => return Err(format!("unsupported schema '{other}'")),
             None => return Err("missing 'schema' field".into()),
         }

@@ -27,14 +27,22 @@
 //! *counters*, not its timing), so any failure reproduces from its
 //! seed alone: `cs-traffic-cli chaos --seed N` replays it.
 //!
+//! A second harness ([`net::run_net`]) points the same differential
+//! method at the wire: faulty `cs-wire/v1` clients (mid-frame
+//! disconnects, adversarial write boundaries, slow-loris stalls)
+//! against a live sharded daemon, with a predicted-delivered replay as
+//! the oracle — `cs-traffic-cli chaos-net` runs the sweep.
+//!
 //! [`Service`]: traffic_cs::Service
 
 pub mod codec;
+pub mod net;
 pub mod oracle;
 pub mod plan;
 pub mod sim;
 
 pub use codec::{CheckpointFault, LineFault};
+pub use net::{run_net, ConnFault, NetChaosConfig, NetChaosReport};
 pub use oracle::Mirror;
 pub use plan::{FaultKind, FaultPlan, PlannedFault, Sabotage};
 pub use sim::{run, run_seed, ChaosConfig, ChaosReport};

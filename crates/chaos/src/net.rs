@@ -1,0 +1,591 @@
+//! Connection-level chaos for the [`Daemon`]: the wire-transport
+//! counterpart of [`crate::sim`].
+//!
+//! Where the simulator corrupts report *lines* inside one process, this
+//! harness attacks the `cs-wire/v1` socket plane itself: clients that
+//! disconnect mid-frame, dribble bytes across write boundaries, or stall
+//! a frame past the slow-loris deadline. The differential oracle is the
+//! same idea as the simulator's: every fault's effect is *predicted*
+//! (which reports reach the engine, how many protocol errors are
+//! charged), the predicted-delivered stream is replayed through an
+//! in-process [`ShardedService`] with the identical config, and the
+//! daemon's merged stats and estimate must match bit for bit — counter
+//! conservation must hold across dropped connections.
+//!
+//! Determinism contract: timing decides only *when* a faulty connection
+//! dies, never *what* was delivered before it died — complete frames are
+//! always forwarded to the engine before a handler exits, and the engine
+//! never ticks on its own (`tick_interval` is set above the run length),
+//! so the admitted stream is a pure function of the seed. That is why
+//! [`NetChaosReport::summary_line`] is byte-identical across solver
+//! thread counts, which CI diffs exactly like the simulator sweep.
+//!
+//! [`Daemon`]: traffic_cs::daemon::Daemon
+
+use crate::sim::{SEGMENTS, SLOT_LEN_S, START_S, WINDOW_SLOTS};
+use crate::Fnv;
+use proto::client::Client;
+use proto::frame::frame_bytes;
+use proto::msg::{Request, Response, WireEstimate, WireReport, WireStats};
+use proto::net::BindAddr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::time::{Duration, Instant};
+use traffic_cs::daemon::{Daemon, DaemonConfig, DaemonStats};
+use traffic_cs::service::{Observation, ServeConfig, ServeStats};
+use traffic_cs::sharded::{ShardPlan, ShardedService};
+use traffic_cs::{CsConfig, Error};
+
+/// How one ingest connection misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Well-behaved client: every frame written whole, clean close at a
+    /// frame boundary.
+    Clean,
+    /// Every byte arrives, but the write boundaries are adversarial:
+    /// frames are dribbled out in 1–7-byte chunks so headers and
+    /// payloads straddle reads.
+    PartialWrites,
+    /// The connection dies mid-frame: a prefix of a frame is written and
+    /// the socket closes. Everything before the cut must be admitted,
+    /// the ragged tail must cost exactly one protocol error.
+    MidFrameCut,
+    /// Slow loris: a frame's first byte arrives, then the client stalls
+    /// past the daemon's frame deadline. The daemon must cut it off and
+    /// charge one protocol error.
+    SlowLoris,
+}
+
+/// All fault kinds, in the order clients cycle through them.
+pub const CONN_FAULTS: [ConnFault; 4] =
+    [ConnFault::Clean, ConnFault::PartialWrites, ConnFault::MidFrameCut, ConnFault::SlowLoris];
+
+impl ConnFault {
+    /// Stable name used in fault logs and summary lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConnFault::Clean => "clean",
+            ConnFault::PartialWrites => "partial-writes",
+            ConnFault::MidFrameCut => "mid-frame-cut",
+            ConnFault::SlowLoris => "slow-loris",
+        }
+    }
+}
+
+/// Parameters of one connection-chaos run.
+#[derive(Debug, Clone)]
+pub struct NetChaosConfig {
+    /// Seed for the report stream and every fault decision.
+    pub seed: u64,
+    /// Ingest connections; client `i` gets `CONN_FAULTS[i % 4]`, so any
+    /// multiple of 4 covers the whole fault space.
+    pub clients: usize,
+    /// Shard workers in the daemon's engine (and the replay reference).
+    pub shards: usize,
+    /// Solver threads (`CsConfig::num_threads`); the summary line must
+    /// be identical for every value.
+    pub num_threads: usize,
+    /// The daemon's slow-loris frame deadline.
+    pub frame_deadline_ms: u64,
+    /// How long a [`ConnFault::SlowLoris`] client stalls mid-frame; must
+    /// comfortably exceed the deadline.
+    pub loris_stall_ms: u64,
+}
+
+impl Default for NetChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            clients: 8,
+            shards: 2,
+            num_threads: 0,
+            frame_deadline_ms: 300,
+            loris_stall_ms: 1200,
+        }
+    }
+}
+
+/// Everything one connection-chaos run produced.
+#[derive(Debug, Clone)]
+pub struct NetChaosReport {
+    /// The run's seed.
+    pub seed: u64,
+    /// Ingest connections attempted.
+    pub clients: usize,
+    /// Shard workers in the engine under test.
+    pub shards: usize,
+    /// Reports encoded into frames across all clients.
+    pub sent: u64,
+    /// Reports predicted (and required) to reach the engine: every
+    /// report whose frame was written whole.
+    pub delivered: u64,
+    /// Protocol errors predicted (and required): one per cut or stalled
+    /// connection.
+    pub predicted_errors: u64,
+    /// The daemon's merged admission counters at the sync barrier.
+    pub stats: ServeStats,
+    /// The daemon's transport-plane counters after shutdown.
+    pub daemon: DaemonStats,
+    /// Human-readable `client:fault` log of every connection's schedule.
+    pub fault_log: Vec<String>,
+    /// FNV-1a over the merged estimate's `f64` bits (0 when no
+    /// estimate was produced).
+    pub estimate_hash: u64,
+    /// Differential-oracle violations. Empty means the run passed.
+    pub oracle_failures: Vec<String>,
+}
+
+impl NetChaosReport {
+    /// `true` when every oracle check held.
+    pub fn oracle_ok(&self) -> bool {
+        self.oracle_failures.is_empty()
+    }
+
+    /// One-line summary, stable across solver thread counts — the CI
+    /// sweep diffs these lines between `--threads` settings. Transport
+    /// counters that depend on poll timing (total frames) are
+    /// deliberately excluded.
+    pub fn summary_line(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "seed={} clients={} shards={} sent={} delivered={} proto_errors={} conns={} \
+             admitted={} rejected={} late={} dup={} queue_dropped={} solves={} degraded={} \
+             est={:016x} oracle={}",
+            self.seed,
+            self.clients,
+            self.shards,
+            self.sent,
+            self.delivered,
+            self.daemon.protocol_errors,
+            self.daemon.connections,
+            s.admitted,
+            s.rejected,
+            s.dropped_late,
+            s.duplicates,
+            s.queue_dropped,
+            s.solves,
+            s.degraded,
+            self.estimate_hash,
+            if self.oracle_ok() { "ok" } else { "FAIL" },
+        )
+    }
+}
+
+/// One client's deterministic schedule: its reports, its fault, and the
+/// prediction of what survives.
+struct ClientPlan {
+    fault: ConnFault,
+    reports: Vec<WireReport>,
+    /// Reports whose frames are written whole (everything for
+    /// well-behaved faults, the pre-cut prefix otherwise).
+    delivered: usize,
+    /// For `MidFrameCut`: how many bytes of the first undelivered frame
+    /// to write before closing (≥ 1 so the cut is never mistaken for a
+    /// clean close).
+    cut_bytes: usize,
+}
+
+/// Derives every client's reports and fault schedule from the seed.
+///
+/// The stream mixes clean reports with the same adversarial classes the
+/// line-level simulator uses — NaN speeds and out-of-range segments
+/// (rejected), pre-grid timestamps (dropped late), and exact duplicates
+/// — so the conservation check exercises every admission counter while
+/// connections are being dropped around it.
+fn plan_clients(cfg: &NetChaosConfig) -> Vec<ClientPlan> {
+    let mut plans = Vec::with_capacity(cfg.clients);
+    for client in 0..cfg.clients {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0x00c1_1e47 + client as u64 * 0x9e37));
+        let fault = CONN_FAULTS[client % CONN_FAULTS.len()];
+        let count = rng.random_range(16usize..=24);
+        let mut reports: Vec<WireReport> = Vec::with_capacity(count);
+        for i in 0..count {
+            let vehicle = 10_000 * (client as u64 + 1) + i as u64;
+            let slot = rng.random_range(0u64..WINDOW_SLOTS as u64);
+            let ts = START_S + slot * SLOT_LEN_S + rng.random_range(0..SLOT_LEN_S);
+            let segment = rng.random_range(0u64..SEGMENTS as u64);
+            let speed = rng.random_range(15.0..70.0);
+            let report = match i % 8 {
+                // An exact duplicate of the previous report: admitted,
+                // counted in `duplicates`.
+                3 if !reports.is_empty() => reports[reports.len() - 1],
+                // NaN speed: reaches the engine, rejected on admission.
+                5 => WireReport::new(vehicle, ts, segment, f64::NAN),
+                // Out-of-range segment: routed to the last shard,
+                // rejected there.
+                6 => WireReport::new(vehicle, ts, SEGMENTS as u64 + segment, speed),
+                // Pre-grid timestamp: dropped as late.
+                7 => WireReport::new(vehicle, rng.random_range(0..START_S), segment, speed),
+                _ => WireReport::new(vehicle, ts, segment, speed),
+            };
+            reports.push(report);
+        }
+        let (delivered, cut_bytes) = match fault {
+            ConnFault::Clean | ConnFault::PartialWrites => (reports.len(), 0),
+            // Deliver at least one frame and always leave one to cut.
+            ConnFault::MidFrameCut => (rng.random_range(1..reports.len()), 0),
+            ConnFault::SlowLoris => (rng.random_range(1..reports.len()), 1),
+        };
+        let cut_bytes = if fault == ConnFault::MidFrameCut {
+            // Somewhere strictly inside the next frame: may split the
+            // 4-byte header itself or the payload behind it.
+            let len = frame_bytes(&Request::Report(reports[delivered]).encode()).len();
+            rng.random_range(1..len)
+        } else {
+            cut_bytes
+        };
+        plans.push(ClientPlan { fault, reports, delivered, cut_bytes });
+    }
+    plans
+}
+
+/// Runs one client's write schedule against the daemon. Only complete
+/// frames are counted on; everything after a cut is best-effort noise,
+/// so write errors past that point are deliberately ignored.
+fn run_client(addr: &BindAddr, plan: &ClientPlan, rng: &mut StdRng, stall: Duration) {
+    let Ok(mut client) = Client::connect(addr) else { return };
+    let frames: Vec<Vec<u8>> =
+        plan.reports.iter().map(|r| frame_bytes(&Request::Report(*r).encode())).collect();
+    let conn = client.conn_mut();
+    match plan.fault {
+        ConnFault::Clean => {
+            for frame in &frames {
+                if conn.write_all(frame).is_err() {
+                    break;
+                }
+            }
+        }
+        ConnFault::PartialWrites => {
+            let bytes: Vec<u8> = frames.concat();
+            let mut off = 0;
+            let mut chunk_i = 0usize;
+            while off < bytes.len() {
+                let chunk = rng.random_range(1usize..=7).min(bytes.len() - off);
+                if conn.write_all(&bytes[off..off + chunk]).is_err() {
+                    break;
+                }
+                let _ = conn.flush();
+                off += chunk;
+                // Periodically yield so chunks actually cross the
+                // socket as separate reads instead of coalescing.
+                chunk_i += 1;
+                if chunk_i.is_multiple_of(16) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        ConnFault::MidFrameCut => {
+            for frame in &frames[..plan.delivered] {
+                if conn.write_all(frame).is_err() {
+                    break;
+                }
+            }
+            let _ = conn.write_all(&frames[plan.delivered][..plan.cut_bytes]);
+            let _ = conn.flush();
+        }
+        ConnFault::SlowLoris => {
+            for frame in &frames[..plan.delivered] {
+                if conn.write_all(frame).is_err() {
+                    break;
+                }
+            }
+            let _ = conn.write_all(&frames[plan.delivered][..1]);
+            let _ = conn.flush();
+            std::thread::sleep(stall);
+        }
+    }
+    client.close();
+}
+
+/// Blocks until the engine has absorbed `expect` reports into its
+/// queues, using the control connection's health probe. The engine
+/// never ticks on its own here, so `queue_len` grows monotonically to
+/// exactly the delivered count — this is the deterministic barrier that
+/// serializes clients without trusting timing.
+fn await_queue(control: &mut Client, expect: u64, failures: &mut Vec<String>) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match control.request(&Request::QueryHealth) {
+            Ok(Response::Health { queue_len, .. }) => {
+                if queue_len == expect {
+                    return;
+                }
+                if queue_len > expect {
+                    failures.push(format!(
+                        "queue overshot the barrier: {queue_len} queued, predicted {expect} — \
+                         a cut frame's reports leaked through"
+                    ));
+                    return;
+                }
+            }
+            Ok(other) => {
+                failures.push(format!("health probe answered {other:?}"));
+                return;
+            }
+            Err(e) => {
+                failures.push(format!("health probe failed: {e}"));
+                return;
+            }
+        }
+        if Instant::now() >= deadline {
+            failures.push(format!("barrier timed out waiting for queue_len == {expect}"));
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn wire_to_serve(w: &WireStats) -> ServeStats {
+    ServeStats {
+        admitted: w.admitted,
+        rejected: w.rejected,
+        dropped_late: w.dropped_late,
+        duplicates: w.duplicates,
+        queue_dropped: w.queue_dropped,
+        solves: w.solves,
+        degraded: w.degraded,
+    }
+}
+
+/// Compares the daemon's merged wire estimate against the in-process
+/// replay's live view, bit for bit.
+fn audit_estimate(
+    wire: Option<&WireEstimate>,
+    reference: &ShardedService,
+    failures: &mut Vec<String>,
+) -> u64 {
+    match (wire, reference.latest()) {
+        (Some(w), Some(live)) => {
+            let mut h = Fnv::new();
+            for bits in &w.values_bits {
+                h.write_u64(*bits);
+            }
+            let hash = h.finish();
+            let (rows, cols) = (live.estimate.rows(), live.estimate.cols());
+            if (w.rows as usize, w.cols as usize) != (rows, cols) {
+                failures.push(format!(
+                    "estimate shape diverged: wire {}x{} vs replay {rows}x{cols}",
+                    w.rows, w.cols
+                ));
+                return hash;
+            }
+            let same = (0..rows).all(|r| {
+                (0..cols).all(|c| w.values_bits[r * cols + c] == live.estimate.get(r, c).to_bits())
+            });
+            if !same {
+                failures
+                    .push("estimate values diverged between the socket path and the replay".into());
+            }
+            if w.head_slot != live.head_slot as u64 || w.solved_at_s != live.solved_at_s {
+                failures.push(format!(
+                    "estimate metadata diverged: wire head {} @ {}s vs replay head {} @ {}s",
+                    w.head_slot, w.solved_at_s, live.head_slot, live.solved_at_s
+                ));
+            }
+            hash
+        }
+        (None, None) => 0,
+        (wire, live) => {
+            failures.push(format!(
+                "estimate presence diverged: wire {} vs replay {}",
+                wire.is_some(),
+                live.is_some()
+            ));
+            0
+        }
+    }
+}
+
+/// Runs one seeded connection-chaos run end to end: boot a daemon on an
+/// ephemeral loopback port, drive every planned client against it (one
+/// at a time, barrier-serialized), sync, audit, shut down.
+///
+/// # Errors
+///
+/// Only harness construction can fail (invalid derived config, a failed
+/// bind, the daemon thread dying); every protocol-plane outcome becomes
+/// counters or oracle failures in the report.
+pub fn run_net(cfg: &NetChaosConfig) -> Result<NetChaosReport, Error> {
+    let plans = plan_clients(cfg);
+    let total_sent: usize = plans.iter().map(|p| p.reports.len()).sum();
+    let cs = CsConfig::builder()
+        .rank(2)
+        .lambda(100.0)
+        .iterations(30)
+        .tol(1e-9)
+        .seed(42)
+        .num_threads(cfg.num_threads)
+        .build()
+        .map_err(Error::from)?;
+    let serve_cfg = ServeConfig::builder()
+        .start_s(START_S)
+        .slot_len_s(SLOT_LEN_S)
+        .window_slots(WINDOW_SLOTS)
+        .num_segments(SEGMENTS)
+        .cs(cs)
+        // The whole run is one barrier tick; the queues must hold every
+        // delivered report so admission outcomes are seed-pure (the
+        // line-level simulator owns queue-overflow chaos).
+        .queue_capacity(total_sent.max(1))
+        .shards(ShardPlan::with_count(cfg.shards.max(1)))
+        .build()?;
+
+    let bind = BindAddr::parse("tcp:127.0.0.1:0").expect("literal bind address parses");
+    let mut daemon_cfg = DaemonConfig::new(bind, serve_cfg.clone());
+    // The engine must never tick between barriers, or admission would
+    // depend on poll timing.
+    daemon_cfg.tick_interval = Duration::from_secs(3600);
+    daemon_cfg.frame_deadline = Duration::from_millis(cfg.frame_deadline_ms);
+    let handle = Daemon::bind(daemon_cfg)?.spawn().map_err(|source| {
+        Error::from(traffic_cs::daemon::DaemonError::Io { what: "spawn", source })
+    })?;
+    let addr = handle.addr().clone();
+
+    let mut report = NetChaosReport {
+        seed: cfg.seed,
+        clients: cfg.clients,
+        shards: cfg.shards.max(1),
+        sent: total_sent as u64,
+        delivered: 0,
+        predicted_errors: 0,
+        stats: ServeStats::default(),
+        daemon: DaemonStats::default(),
+        fault_log: Vec::new(),
+        estimate_hash: 0,
+        oracle_failures: Vec::new(),
+    };
+
+    // The control connection outlives every faulty client: it provides
+    // the health barrier, the final sync, and the queries.
+    let mut control = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            handle.stop();
+            let _ = handle.join();
+            return Err(Error::from(traffic_cs::daemon::DaemonError::Io {
+                what: "control connect",
+                source: std::io::Error::other(e.to_string()),
+            }));
+        }
+    };
+
+    let mut write_rng = StdRng::seed_from_u64(cfg.seed ^ 0x3a77);
+    let stall = Duration::from_millis(cfg.loris_stall_ms);
+    for (i, plan) in plans.iter().enumerate() {
+        report.fault_log.push(format!(
+            "client {i}: {} sent={} delivered={}",
+            plan.fault.name(),
+            plan.reports.len(),
+            plan.delivered
+        ));
+        run_client(&addr, plan, &mut write_rng, stall);
+        report.delivered += plan.delivered as u64;
+        if matches!(plan.fault, ConnFault::MidFrameCut | ConnFault::SlowLoris) {
+            report.predicted_errors += 1;
+        }
+        await_queue(&mut control, report.delivered, &mut report.oracle_failures);
+        if !report.oracle_ok() {
+            break;
+        }
+    }
+
+    // Barrier tick, then read the merged view through the wire.
+    let mut wire_merged = None;
+    let mut wire_shards = Vec::new();
+    let mut wire_estimate = None;
+    if report.oracle_ok() {
+        match control.request(&Request::Sync) {
+            Ok(Response::Synced { .. }) => {}
+            other => report.oracle_failures.push(format!("sync barrier answered {other:?}")),
+        }
+        match control.request(&Request::QueryStats) {
+            Ok(Response::Stats { merged, shards }) => {
+                wire_merged = Some(merged);
+                wire_shards = shards;
+            }
+            other => report.oracle_failures.push(format!("stats query answered {other:?}")),
+        }
+        match control.request(&Request::QueryEstimate) {
+            Ok(Response::Estimate(est)) => wire_estimate = est,
+            other => report.oracle_failures.push(format!("estimate query answered {other:?}")),
+        }
+        match control.request(&Request::Shutdown) {
+            Ok(Response::Bye) => {}
+            other => report.oracle_failures.push(format!("shutdown answered {other:?}")),
+        }
+    } else {
+        handle.stop();
+    }
+    control.close();
+    match handle.join() {
+        Ok(stats) => report.daemon = stats,
+        Err(e) => report.oracle_failures.push(format!("daemon exited with an error: {e}")),
+    }
+
+    // The differential replay: push the predicted-delivered stream
+    // through an identical in-process engine, tick once, compare.
+    let mut reference = ShardedService::new(serve_cfg)?;
+    for plan in &plans {
+        for r in &plan.reports[..plan.delivered] {
+            reference.push(Observation {
+                vehicle: r.vehicle,
+                timestamp_s: r.timestamp_s,
+                segment: usize::try_from(r.segment).unwrap_or(usize::MAX),
+                speed_kmh: r.speed_kmh(),
+            });
+        }
+    }
+    reference.tick();
+
+    if let Some(merged) = &wire_merged {
+        report.stats = wire_to_serve(merged);
+        let want = reference.stats();
+        if report.stats != want {
+            report
+                .oracle_failures
+                .push(format!("stats diverged: wire {:?} vs replay {want:?}", report.stats));
+        }
+        let want_shards = reference.stats_per_shard();
+        let got_shards: Vec<ServeStats> = wire_shards.iter().map(wire_to_serve).collect();
+        if got_shards != want_shards {
+            report.oracle_failures.push(format!(
+                "per-shard stats diverged: wire {got_shards:?} vs replay {want_shards:?}"
+            ));
+        }
+        let s = &report.stats;
+        let accounted = s.admitted + s.rejected + s.dropped_late + s.queue_dropped;
+        if report.delivered != accounted {
+            report.oracle_failures.push(format!(
+                "counter conservation broken across dropped connections: delivered {} != \
+                 accounted {accounted} (admitted {} + rejected {} + dropped_late {} + \
+                 queue_dropped {})",
+                report.delivered, s.admitted, s.rejected, s.dropped_late, s.queue_dropped
+            ));
+        }
+    }
+    report.estimate_hash =
+        audit_estimate(wire_estimate.as_ref(), &reference, &mut report.oracle_failures);
+
+    let d = &report.daemon;
+    if d.reports != report.delivered {
+        report.oracle_failures.push(format!(
+            "transport report count diverged: daemon saw {} vs predicted {}",
+            d.reports, report.delivered
+        ));
+    }
+    if d.protocol_errors != report.predicted_errors {
+        report.oracle_failures.push(format!(
+            "protocol-error count diverged: daemon charged {} vs predicted {}",
+            d.protocol_errors, report.predicted_errors
+        ));
+    }
+    let expected_conns = cfg.clients as u64 + 1;
+    if d.connections != expected_conns {
+        report.oracle_failures.push(format!(
+            "connection count diverged: daemon accepted {} vs expected {expected_conns}",
+            d.connections
+        ));
+    }
+    Ok(report)
+}

@@ -22,17 +22,18 @@ use std::time::Duration;
 use telemetry::Level;
 use traffic_cs::cs::complete_matrix_detailed;
 use traffic_cs::service::{Backpressure, Observation, ServeConfig, ServeStats};
-use traffic_cs::{CsConfig, Error, Service};
+use traffic_cs::sharded::{ShardPlan, ShardedService};
+use traffic_cs::{CsConfig, Error};
 use traffic_sim::{sample_probe_stream, GroundTruthConfig, GroundTruthModel, ProbeStreamConfig};
 
 /// Fixed simulation geometry. Small enough that a full 24-tick run with
 /// a solve per tick completes in milliseconds; large enough that every
 /// fault class has room to fire (the window must be able to evict slots
 /// and the queue must be able to overflow).
-const SEGMENTS: usize = 8;
-const WINDOW_SLOTS: usize = 8;
-const SLOT_LEN_S: u64 = 900;
-const START_S: u64 = 3600;
+pub(crate) const SEGMENTS: usize = 8;
+pub(crate) const WINDOW_SLOTS: usize = 8;
+pub(crate) const SLOT_LEN_S: u64 = 900;
+pub(crate) const START_S: u64 = 3600;
 const QUEUE_CAPACITY: usize = 24;
 
 /// Parameters of one chaos run.
@@ -67,6 +68,12 @@ pub struct ChaosConfig {
     /// cold-restart + refresh makes the reported hashes solve-mode
     /// invariant, so any divergence is an incremental-path bug.
     pub full_sweep_only: bool,
+    /// Segment-range shard workers for the engine under test. `1` (the
+    /// default) is a bitwise pass-through of the classic single
+    /// service, so every historical summary line is unchanged; with
+    /// more shards the admission counters stay mirror-exact while the
+    /// offline replay stitches per-shard solves.
+    pub shards: usize,
 }
 
 impl Default for ChaosConfig {
@@ -79,6 +86,7 @@ impl Default for ChaosConfig {
             trace_sample: 0,
             flight_dump: None,
             full_sweep_only: false,
+            shards: 1,
         }
     }
 }
@@ -190,8 +198,9 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosReport, Error> {
         .full_sweep_every(if cfg.full_sweep_only { 1 } else { 16 })
         .trace_sample(cfg.trace_sample)
         .flight_dump(cfg.flight_dump.clone())
+        .shards(ShardPlan::with_count(cfg.shards.max(1)))
         .build()?;
-    let mut service = Service::new(serve_cfg.clone())?;
+    let mut service = ShardedService::new(serve_cfg.clone())?;
     let mut mirror =
         Mirror::new(START_S, SLOT_LEN_S, WINDOW_SLOTS, SEGMENTS, QUEUE_CAPACITY, plan.backpressure);
 
@@ -314,7 +323,7 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosReport, Error> {
             log_fault(&mut report, tick, format!("checkpoint:{}", fault.name()));
             let text = service.checkpoint();
             let corrupted = codec::corrupt_checkpoint(&text, fault);
-            let mut scratch = Service::new(serve_cfg.clone())?;
+            let mut scratch = ShardedService::new(serve_cfg.clone())?;
             match scratch.restore(&corrupted) {
                 Err(_) => report.checkpoint_rejections += 1,
                 Ok(()) => report.oracle_failures.push(format!(
@@ -322,7 +331,7 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosReport, Error> {
                     fault.name()
                 )),
             }
-            let mut pristine = Service::new(serve_cfg.clone())?;
+            let mut pristine = ShardedService::new(serve_cfg.clone())?;
             if pristine.restore(&text).is_err() {
                 report
                     .oracle_failures
@@ -449,11 +458,20 @@ fn spike_line(tick: usize, i: usize) -> String {
 
 /// The differential checks: exact counter agreement, conservation,
 /// bit-for-bit window parity, and offline replay parity.
-fn audit(report: &mut ChaosReport, service: &Service, mirror: &Mirror, cs: &CsConfig) {
+///
+/// The [`Mirror`] models the classic single-queue engine, so its
+/// predictions are bit-exact only for single-shard plans. Multi-shard
+/// plans give every shard its own bounded queue (a queue spike that
+/// overflows one queue splits across N), so the mirror's counter and
+/// window predictions legitimately diverge; what must still hold there
+/// is conservation, the dedup bound, and the stitched offline-replay
+/// parity against the service's own merged window.
+fn audit(report: &mut ChaosReport, service: &ShardedService, mirror: &Mirror, cs: &CsConfig) {
+    let sharded = service.shard_count() > 1;
     let got = service.stats();
     let want = mirror.stats();
     report.stats = got;
-    if got != want {
+    if !sharded && got != want {
         report.oracle_failures.push(format!("stats diverged: service {got:?} vs mirror {want:?}"));
     }
     if report.lines_total != report.parse_rejected + report.pushed {
@@ -484,7 +502,7 @@ fn audit(report: &mut ChaosReport, service: &Service, mirror: &Mirror, cs: &CsCo
         for c in 0..snap.num_segments() {
             let got_cell = snap.get(r, c);
             let want_cell = expected.get(r, c);
-            if got_cell.map(f64::to_bits) != want_cell.map(f64::to_bits) {
+            if !sharded && got_cell.map(f64::to_bits) != want_cell.map(f64::to_bits) {
                 report.oracle_failures.push(format!(
                     "window cell ({r},{c}) diverged: service {got_cell:?} vs mirror {want_cell:?}"
                 ));
@@ -495,7 +513,13 @@ fn audit(report: &mut ChaosReport, service: &Service, mirror: &Mirror, cs: &CsCo
     }
     report.window_hash = wh.finish();
 
-    match (service.latest(), mirror.has_estimate()) {
+    // The replay reference window: the mirror's prediction for the
+    // classic engine, the service's own merged snapshot for multi-shard
+    // plans (whose admitted set depends on per-shard queues).
+    let reference = if sharded { &snap } else { &expected };
+    let predicted_estimate =
+        if sharded { reference.observed_count() > 0 } else { mirror.has_estimate() };
+    match (service.latest(), predicted_estimate) {
         (Some(live), true) => {
             let mut eh = Fnv::new();
             for v in live.estimate.as_slice() {
@@ -503,37 +527,84 @@ fn audit(report: &mut ChaosReport, service: &Service, mirror: &Mirror, cs: &CsCo
             }
             report.estimate_hash = eh.finish();
             // Replay the admitted subset offline: the cold-restarted
-            // service solve must match `complete_matrix_detailed` on
-            // the mirror's window bit for bit, at any thread count.
-            if expected.observed_count() > 0 {
-                match complete_matrix_detailed(&expected, cs) {
-                    Ok(offline) => {
-                        let same = offline.estimate.rows() == live.estimate.rows()
-                            && offline.estimate.cols() == live.estimate.cols()
-                            && offline
-                                .estimate
-                                .as_slice()
-                                .iter()
-                                .zip(live.estimate.as_slice())
-                                .all(|(a, b)| a.to_bits() == b.to_bits());
-                        if !same {
-                            report
-                                .oracle_failures
-                                .push("offline replay diverged from service estimate".to_string());
-                        }
-                    }
-                    Err(e) => {
-                        report.oracle_failures.push(format!("offline replay failed to solve: {e}"))
-                    }
-                }
+            // engine must match `complete_matrix_detailed` on the
+            // reference window bit for bit, at any thread count — per
+            // shard, since the merged estimate stitches per-shard
+            // solves (a single-shard plan is one "stitch" covering the
+            // whole window).
+            for shard in 0..service.shard_count() {
+                let range = service.shard_range(shard);
+                audit_shard_replay(report, reference, live, shard, range, cs);
             }
         }
         (None, false) => {}
         (live, predicted) => report.oracle_failures.push(format!(
-            "estimate presence diverged: service {} vs mirror {}",
+            "estimate presence diverged: service {} vs predicted {}",
             live.is_some(),
             predicted
         )),
+    }
+}
+
+/// Offline-replay parity for one shard's column block: solving the
+/// reference window's slice must reproduce the corresponding columns of
+/// the merged live estimate bit for bit. A slice with no observations
+/// never solved, so its merged columns must be the zero fill.
+fn audit_shard_replay(
+    report: &mut ChaosReport,
+    reference: &probes::Tcm,
+    live: &traffic_cs::service::LiveEstimate,
+    shard: usize,
+    range: std::ops::Range<usize>,
+    cs: &CsConfig,
+) {
+    let rows = reference.num_slots();
+    if live.estimate.rows() != rows || live.estimate.cols() != reference.num_segments() {
+        report.oracle_failures.push(format!(
+            "estimate is {}x{}, reference window is {rows}x{}",
+            live.estimate.rows(),
+            live.estimate.cols(),
+            reference.num_segments()
+        ));
+        return;
+    }
+    let mut values = Matrix::zeros(rows, range.len());
+    let mut indicator = Matrix::zeros(rows, range.len());
+    let mut observed = 0usize;
+    for r in 0..rows {
+        for (j, c) in range.clone().enumerate() {
+            if let Some(v) = reference.get(r, c) {
+                values.set(r, j, v);
+                indicator.set(r, j, 1.0);
+                observed += 1;
+            }
+        }
+    }
+    if observed == 0 {
+        // Nothing to replay: the shard's current window is empty, and
+        // its merged columns are either a zero fill (never solved) or
+        // its last pre-eviction solve — both legitimate.
+        return;
+    }
+    let slice = probes::Tcm::new(values, indicator).expect("matching dims by construction");
+    match complete_matrix_detailed(&slice, cs) {
+        Ok(offline) => {
+            let same = offline.estimate.rows() == rows
+                && (0..rows).all(|r| {
+                    range.clone().enumerate().all(|(j, c)| {
+                        offline.estimate.get(r, j).to_bits() == live.estimate.get(r, c).to_bits()
+                    })
+                });
+            if !same {
+                report.oracle_failures.push(format!(
+                    "offline replay diverged from the merged estimate in shard {shard} \
+                     (segments {range:?})"
+                ));
+            }
+        }
+        Err(e) => report
+            .oracle_failures
+            .push(format!("offline replay failed to solve shard {shard}: {e}")),
     }
 }
 

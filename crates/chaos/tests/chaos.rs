@@ -106,6 +106,61 @@ fn full_sweep_only_runs_tell_the_same_story() {
     }
 }
 
+/// A sharded engine under the full fault barrage must still pass the
+/// oracle: conservation and the dedup bound always hold, and the final
+/// merged estimate must equal the stitched per-shard offline replay.
+/// (Mirror-exact counter checks are a single-shard contract — per-shard
+/// bounded queues split spikes — so the audit swaps those for the
+/// stitched replay; see `sim::audit`.)
+#[test]
+fn sharded_runs_pass_the_oracle_at_any_thread_count() {
+    let run_sharded = |num_threads: usize| {
+        let report =
+            run(&ChaosConfig { seed: 11, ticks: 16, num_threads, shards: 3, ..Default::default() })
+                .expect("sharded chaos run constructs");
+        assert!(
+            report.oracle_ok(),
+            "sharded oracle violations ({num_threads} threads): {:#?}",
+            report.oracle_failures
+        );
+        report
+    };
+    let one = run_sharded(1);
+    let two = run_sharded(2);
+    assert_ne!(one.estimate_hash, 0, "a 16-tick sharded run must produce an estimate");
+    assert_eq!(fingerprint(&one), fingerprint(&two), "shard workers leaked thread state");
+}
+
+/// The connection-level harness: mid-frame cuts, adversarial write
+/// boundaries, and slow-loris stalls against a live daemon. The summary
+/// line must be byte-identical across solver thread counts, every
+/// admission counter the stream was built to exercise must fire, and
+/// counter conservation must hold across the dropped connections.
+#[test]
+fn connection_faults_pass_the_oracle_and_are_thread_invariant() {
+    use chaos::{run_net, NetChaosConfig};
+    let run_once = |num_threads: usize| {
+        let report = run_net(&NetChaosConfig { seed: 5, num_threads, ..Default::default() })
+            .expect("net chaos run constructs");
+        assert!(
+            report.oracle_ok(),
+            "net oracle violations ({num_threads} threads): {:#?}",
+            report.oracle_failures
+        );
+        report
+    };
+    let one = run_once(1);
+    let two = run_once(2);
+    assert_eq!(one.summary_line(), two.summary_line(), "thread count leaked onto the wire");
+    assert_eq!(one.daemon.protocol_errors, 4, "2 cut + 2 loris clients must each cost one error");
+    assert!(one.delivered < one.sent, "cuts must strand some reports");
+    assert!(one.stats.rejected > 0, "poison reports must cross the wire and be rejected");
+    assert!(one.stats.dropped_late > 0, "pre-grid reports must be dropped late");
+    assert!(one.stats.duplicates > 0, "duplicate reports must be deduplicated");
+    assert_eq!(one.stats.queue_dropped, 0, "the net harness must never overflow a queue");
+    assert_ne!(one.estimate_hash, 0, "the delivered stream must produce an estimate");
+}
+
 /// Fault injections surface as `chaos.fault` telemetry events. The
 /// capture is filtered by this test's unique seed because telemetry
 /// state is process-global and other tests in this binary may be

@@ -37,24 +37,34 @@ pub enum CliError {
     Io(String),
     /// An algorithm failed on otherwise well-formed input.
     Algorithm(String),
+    /// A `cs-wire` protocol failure talking to (or serving as) the
+    /// daemon: framing violations, undecodable messages, handshake
+    /// refusals.
+    Protocol(String),
 }
 
 impl CliError {
     /// The process exit code for this failure, sysexits(3)-style:
     /// `2` usage, `65` bad input data (`EX_DATAERR`), `70` algorithm
-    /// failure (`EX_SOFTWARE`), `74` I/O (`EX_IOERR`).
+    /// failure (`EX_SOFTWARE`), `74` I/O (`EX_IOERR`), `76` wire
+    /// protocol (`EX_PROTOCOL`).
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Usage(_) => 2,
             CliError::Input(_) => 65,
             CliError::Algorithm(_) => 70,
             CliError::Io(_) => 74,
+            CliError::Protocol(_) => 76,
         }
     }
 
     fn message(&self) -> &str {
         match self {
-            CliError::Usage(m) | CliError::Input(m) | CliError::Io(m) | CliError::Algorithm(m) => m,
+            CliError::Usage(m)
+            | CliError::Input(m)
+            | CliError::Io(m)
+            | CliError::Algorithm(m)
+            | CliError::Protocol(m) => m,
         }
     }
 }
@@ -87,6 +97,8 @@ from_error!(
     Input: linalg::MatrixShapeError,
     Algorithm: traffic_cs::estimator::EstimateError,
     Input: traffic_cs::ConfigError,
+    Protocol: proto::msg::DecodeError,
+    Protocol: proto::frame::FrameError,
 );
 
 impl From<traffic_cs::Error> for CliError {
@@ -97,7 +109,22 @@ impl From<traffic_cs::Error> for CliError {
                 CliError::Io(io.to_string())
             }
             traffic_cs::Error::Serve(c) => CliError::Input(c.to_string()),
+            traffic_cs::Error::Daemon(traffic_cs::DaemonError::Io { what, source }) => {
+                CliError::Io(format!("daemon {what}: {source}"))
+            }
+            traffic_cs::Error::Daemon(d) => CliError::Algorithm(format!("daemon: {d}")),
             other => CliError::Algorithm(other.to_string()),
+        }
+    }
+}
+
+impl From<proto::client::ClientError> for CliError {
+    fn from(e: proto::client::ClientError) -> Self {
+        match e {
+            // Socket-level trouble is I/O; everything else is the wire
+            // protocol misbehaving.
+            proto::client::ClientError::Io(io) => CliError::Io(io.to_string()),
+            other => CliError::Protocol(other.to_string()),
         }
     }
 }
@@ -367,6 +394,9 @@ pub struct ServeOptions {
     pub trace_sample: u64,
     /// Flight-recorder dump path for degraded ticks.
     pub flight_dump: Option<std::path::PathBuf>,
+    /// Segment-range shard workers (1 = the classic single engine,
+    /// which is a bit-for-bit pass-through).
+    pub shards: usize,
 }
 
 impl Default for ServeOptions {
@@ -381,13 +411,16 @@ impl Default for ServeOptions {
             out: None,
             trace_sample: 0,
             flight_dump: None,
+            shards: 1,
         }
     }
 }
 
 /// `serve`: replays a probe report file through the fault-tolerant
-/// streaming service ([`traffic_cs::service::Service`]) and keeps a live
-/// estimate of the sliding window.
+/// streaming engine ([`traffic_cs::sharded::ShardedService`], which with
+/// the default single-shard plan is a bitwise pass-through of
+/// [`traffic_cs::service::Service`]) and keeps a live estimate of the
+/// sliding window.
 ///
 /// Reports are map-matched exactly like [`cmd_build_tcm`] (same index
 /// radius, same matching distance), so a full-file replay with the
@@ -407,7 +440,8 @@ pub fn cmd_serve<W: Write>(
     mut w: W,
 ) -> CliResult {
     use std::io::BufRead;
-    use traffic_cs::service::{report_trace_id, Observation, ServeConfig, Service};
+    use traffic_cs::service::{report_trace_id, Observation, ServeConfig};
+    use traffic_cs::sharded::{ShardPlan, ShardedService};
 
     let net = roadnet::io::read_network(BufReader::new(File::open(network)?))?;
     let index = SegmentIndex::build(&net, 150.0);
@@ -427,8 +461,9 @@ pub fn cmd_serve<W: Write>(
         .cs(cs)
         .trace_sample(opts.trace_sample)
         .flight_dump(opts.flight_dump.clone())
+        .shards(ShardPlan::with_count(opts.shards.max(1)))
         .build()?;
-    let mut service = Service::new(cfg)?;
+    let mut service = ShardedService::new(cfg)?;
 
     if let Some(ckpt) = &opts.checkpoint {
         if ckpt.exists() {
@@ -475,13 +510,17 @@ pub fn cmd_serve<W: Write>(
             segment: m.segment.index(),
             speed_kmh: report.speed_kmh,
         };
-        // The trace begins at parse time: the same ID the service will
-        // derive (its `ingest_seq` is about to be consumed by this
+        // The trace begins at parse time: the same ID the owning shard
+        // will derive (its `ingest_seq` is about to be consumed by this
         // push), so the `parsed` stage links the CSV line to the rest
         // of the report's life.
         if opts.trace_sample > 0 && telemetry::enabled(telemetry::Level::Trace) {
-            let id =
-                report_trace_id(obs.vehicle, obs.timestamp_s, obs.segment, service.ingest_seq());
+            let id = report_trace_id(
+                obs.vehicle,
+                obs.timestamp_s,
+                obs.segment,
+                service.ingest_seq_for(obs.segment),
+            );
             if id.is_multiple_of(opts.trace_sample) {
                 telemetry::trace_event(
                     "serve.trace",
@@ -584,6 +623,7 @@ pub fn cmd_chaos<W: Write>(
             seed: s,
             ticks,
             num_threads: 0,
+            shards: 1,
             check_counters,
             full_sweep_only,
             trace_sample,
@@ -605,6 +645,50 @@ pub fn cmd_chaos<W: Write>(
         return Err(CliError::Algorithm(format!(
             "chaos oracle failed for seed(s) {failed:?}; reproduce with: \
              cs-traffic-cli chaos --seed {first} --ticks {ticks}{inspect_hint}"
+        )));
+    }
+    Ok(())
+}
+
+/// `chaos-net` — the connection-level chaos sweep: faulty `cs-wire/v1`
+/// clients (mid-frame cuts, adversarial write boundaries, slow-loris
+/// stalls) against a live sharded daemon on an ephemeral loopback port,
+/// audited by the predicted-delivered differential oracle. One summary
+/// line per seed, byte-identical at any `--threads`, so CI can diff
+/// sweeps across thread counts exactly like the line-level `chaos`
+/// command.
+///
+/// # Errors
+///
+/// [`CliError::Algorithm`] when any seed's oracle fails (exit 70),
+/// [`CliError::Io`] if the daemon cannot bind or a harness socket dies.
+pub fn cmd_chaos_net<W: Write>(
+    seed: u64,
+    sweep: u64,
+    clients: usize,
+    shards: usize,
+    mut w: W,
+) -> CliResult {
+    let mut failed = Vec::new();
+    for s in seed..seed.saturating_add(sweep.max(1)) {
+        let report = chaos::run_net(&chaos::NetChaosConfig {
+            seed: s,
+            clients: clients.max(1),
+            shards: shards.max(1),
+            ..chaos::NetChaosConfig::default()
+        })?;
+        writeln!(w, "{}", report.summary_line())?;
+        if !report.oracle_ok() {
+            for msg in &report.oracle_failures {
+                writeln!(w, "  oracle: {msg}")?;
+            }
+            failed.push(s);
+        }
+    }
+    if let Some(&first) = failed.first() {
+        return Err(CliError::Algorithm(format!(
+            "connection-chaos oracle failed for seed(s) {failed:?}; reproduce with: \
+             cs-traffic-cli chaos-net --seed {first} --clients {clients} --shards {shards}"
         )));
     }
     Ok(())
@@ -801,6 +885,13 @@ pub struct LoadtestOptions {
     pub ticks: Option<usize>,
     /// Cap on search legs.
     pub max_legs: usize,
+    /// `"in-process"` (default) or `"socket"` — the latter replays the
+    /// best leg through a live loopback daemon and records the
+    /// client-observed e2e quantiles into the artifact's `socket`
+    /// section.
+    pub transport: String,
+    /// Shard workers for the socket leg (ignored in-process).
+    pub shards: usize,
     /// Where to write `BENCH_serve.json` (skipped when `None`).
     pub out: Option<std::path::PathBuf>,
     /// SLO file; when set, the run is gated against `[budget]` and
@@ -816,6 +907,8 @@ impl Default for LoadtestOptions {
             rate: None,
             ticks: None,
             max_legs: 12,
+            transport: "in-process".into(),
+            shards: 2,
             out: None,
             slo: None,
         }
@@ -828,15 +921,19 @@ impl Default for LoadtestOptions {
 ///
 /// Searches for the maximum sustainable throughput (or measures one
 /// `--rate` leg), prints per-leg lines and a summary, optionally
-/// writes the `cs-traffic-bench-serve/v1` artifact, and — when an SLO
-/// file is given — applies [`cs_bench::slo::gate`].
+/// writes the `cs-traffic-bench-serve/v3` artifact, and — when an SLO
+/// file is given — applies [`cs_bench::slo::gate`]. With
+/// `--transport socket` the best leg is additionally replayed through
+/// a live loopback daemon ([`cs_bench::loadgen::run_leg_socket`]); the
+/// in-process leg stays the number the SLO gate reads.
 ///
 /// # Errors
 ///
-/// [`CliError::Usage`] for unknown profiles and bad geometry,
-/// [`CliError::Input`] for an unreadable/invalid SLO file,
+/// [`CliError::Usage`] for unknown profiles/transports and bad
+/// geometry, [`CliError::Input`] for an unreadable/invalid SLO file,
 /// [`CliError::Algorithm`] when the SLO gate reports violations, and
-/// [`CliError::Io`] if the artifact cannot be written.
+/// [`CliError::Io`] if the artifact cannot be written or the socket
+/// leg's daemon fails.
 pub fn cmd_loadtest<W: Write>(opts: &LoadtestOptions, mut w: W) -> CliResult {
     use cs_bench::loadgen::{self, LoadConfig, SloBudget};
     use cs_bench::slo::{self, GateInputs};
@@ -848,6 +945,12 @@ pub fn cmd_loadtest<W: Write>(opts: &LoadtestOptions, mut w: W) -> CliResult {
             return Err(CliError::Usage(format!("unknown profile '{other}' (expected quick|full)")))
         }
     };
+    if !matches!(opts.transport.as_str(), "in-process" | "socket") {
+        return Err(CliError::Usage(format!(
+            "unknown transport '{}' (expected in-process|socket)",
+            opts.transport
+        )));
+    }
     if let Some(ticks) = opts.ticks {
         cfg.ticks = ticks;
     }
@@ -892,11 +995,46 @@ pub fn cmd_loadtest<W: Write>(opts: &LoadtestOptions, mut w: W) -> CliResult {
         best.stream_hash,
     )?;
 
+    let socket = if opts.transport == "socket" {
+        let leg = loadgen::run_leg_socket(&cfg, search.best.offered_rate, opts.shards)
+            .map_err(|e| CliError::Io(format!("socket leg failed: {e}")))?;
+        writeln!(
+            w,
+            "socket shards={} offered={:.1}/s achieved={:.1}/s \
+                 e2e_us p50/p99/p999={:.0}/{:.0}/{:.0} stream={:016x}{}",
+            leg.shards,
+            leg.offered_rate,
+            leg.achieved_rate,
+            leg.e2e_us.p50,
+            leg.e2e_us.p99,
+            leg.e2e_us.p999,
+            leg.stream_hash,
+            if leg.stream_hash == search.best.stream_hash {
+                ""
+            } else {
+                " (HASH MISMATCH vs in-process leg)"
+            },
+        )?;
+        // The wire path must replay the exact in-process stream; a
+        // diverging witness hash is a determinism violation, the same
+        // class of failure as a chaos oracle trip.
+        if leg.stream_hash != search.best.stream_hash {
+            return Err(CliError::Algorithm(format!(
+                "socket leg stream hash {:016x} != in-process {:016x}; reproduce with: \
+                 cs-traffic-cli loadtest --profile {} --seed {} --transport socket --shards {}",
+                leg.stream_hash, search.best.stream_hash, opts.profile, opts.seed, opts.shards,
+            )));
+        }
+        Some(leg)
+    } else {
+        None
+    };
+
     if let Some(out) = &opts.out {
         let quick = opts.profile == "quick";
         // The CLI wrapper never runs the grid sweep — `scale` is the
         // loadgen binary's profile — so the curve is empty here.
-        loadgen::write_bench_serve_json(out, &cfg, &search, &[], quick)
+        loadgen::write_bench_serve_json(out, &cfg, &search, &[], socket.as_ref(), quick)
             .map_err(|e| CliError::Io(format!("cannot write {}: {e}", out.display())))?;
         writeln!(w, "wrote {}", out.display())?;
     }
@@ -921,6 +1059,350 @@ pub fn cmd_loadtest<W: Write>(opts: &LoadtestOptions, mut w: W) -> CliResult {
         }
         writeln!(w, "SLO gate: pass")?;
     }
+    Ok(())
+}
+
+/// Options for [`cmd_daemon`].
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Listen endpoint, `tcp:HOST:PORT` or `unix:/path.sock`.
+    pub bind: String,
+    /// Road-network CSV whose segment count sizes the engine.
+    pub network: Option<std::path::PathBuf>,
+    /// Explicit segment count (alternative to `network`).
+    pub segments: Option<usize>,
+    /// Slot granularity in minutes (15/30/60), like `serve`.
+    pub granularity: String,
+    /// Sliding-window length in slots.
+    pub window_slots: usize,
+    /// Factorization rank override.
+    pub rank: Option<usize>,
+    /// Regularization override.
+    pub lambda: Option<f64>,
+    /// Segment-range shard workers.
+    pub shards: usize,
+    /// Warm-start checkpoint, loaded on boot and written on shutdown.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Periodic engine tick interval in milliseconds.
+    pub tick_ms: u64,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        Self {
+            bind: "tcp:127.0.0.1:4650".to_string(),
+            network: None,
+            segments: None,
+            granularity: "15".to_string(),
+            window_slots: 24,
+            rank: None,
+            lambda: None,
+            shards: 1,
+            checkpoint: None,
+            tick_ms: 250,
+        }
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers that flip the returned stop flag.
+///
+/// The handler itself only stores into a `static` atomic
+/// (async-signal-safe); a watcher thread mirrors it into the `Arc` the
+/// daemon's accept loop polls, so a signal drains connections, runs a
+/// final tick, checkpoints, and exits cleanly.
+fn install_signal_stop() -> std::sync::Arc<std::sync::atomic::AtomicBool> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    #[cfg(unix)]
+    {
+        static SIGNALLED: AtomicBool = AtomicBool::new(false);
+        extern "C" fn on_signal(_sig: i32) {
+            SIGNALLED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+        let mirror = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("cs-signal-watch".to_string())
+            .spawn(move || loop {
+                if SIGNALLED.load(Ordering::SeqCst) {
+                    mirror.store(true, Ordering::SeqCst);
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            })
+            .expect("spawn signal watcher");
+    }
+    stop
+}
+
+/// `daemon` — run the sharded streaming engine as a long-lived network
+/// server speaking `cs-wire/v1` over TCP or a Unix-domain socket.
+///
+/// The engine is sized either from a road network file (segment count)
+/// or an explicit `--segments` count. SIGTERM/SIGINT (or a client
+/// `Shutdown` request) drain connections, run a final tick, write the
+/// checkpoint if one was configured, and exit 0.
+///
+/// # Errors
+///
+/// Bind/boot failures only (bad address, unreadable network file,
+/// invalid config, checkpoint I/O). Per-connection trouble — malformed
+/// frames, disconnects, slow peers — is counted and reported in the
+/// final stats line, never fatal.
+pub fn cmd_daemon<W: Write>(opts: &DaemonOptions, mut w: W) -> CliResult {
+    use traffic_cs::daemon::{Daemon, DaemonConfig};
+    use traffic_cs::service::ServeConfig;
+    use traffic_cs::sharded::ShardPlan;
+
+    let segments = match (&opts.network, opts.segments) {
+        (Some(path), None) => {
+            let net = roadnet::io::read_network(BufReader::new(File::open(path)?))?;
+            net.segment_count()
+        }
+        (None, Some(n)) => n,
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--network and --segments are mutually exclusive".to_string(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage("daemon needs --network FILE or --segments N".to_string()))
+        }
+    };
+    let slot_len_s = parse_granularity(&opts.granularity)?.seconds();
+    let window_cells = (opts.window_slots * segments) as f64;
+    let default_lambda = (100.0 * window_cells / (672.0 * 221.0)).max(0.01);
+    let cs = CsConfig {
+        rank: opts.rank.unwrap_or(2),
+        lambda: opts.lambda.unwrap_or(default_lambda),
+        ..CsConfig::default()
+    };
+    let shards = opts.shards.max(1);
+    let serve = ServeConfig::builder()
+        .slot_len_s(slot_len_s)
+        .window_slots(opts.window_slots)
+        .num_segments(segments)
+        .cs(cs)
+        .shards(ShardPlan::with_count(shards))
+        .build()?;
+    let bind = proto::net::BindAddr::parse(&opts.bind).map_err(CliError::Usage)?;
+    let mut cfg = DaemonConfig::new(bind, serve);
+    cfg.checkpoint = opts.checkpoint.clone();
+    cfg.tick_interval = std::time::Duration::from_millis(opts.tick_ms.max(1));
+    let daemon = Daemon::bind(cfg)?;
+    writeln!(
+        w,
+        "listening on {} ({} shard{}, {} segments, {})",
+        daemon.local_addr(),
+        shards,
+        if shards == 1 { "" } else { "s" },
+        segments,
+        proto::PROTOCOL,
+    )?;
+    // Smoke tests read the address line before dialing.
+    w.flush()?;
+    let stats = daemon.run(install_signal_stop())?;
+    writeln!(
+        w,
+        "daemon stopped: {} connections, {} frames, {} reports, {} protocol errors",
+        stats.connections, stats.frames, stats.reports, stats.protocol_errors
+    )?;
+    Ok(())
+}
+
+/// Options for [`cmd_daemon_client`].
+#[derive(Debug, Clone)]
+pub struct DaemonClientOptions {
+    /// Daemon endpoint, `tcp:HOST:PORT` or `unix:/path.sock`.
+    pub addr: String,
+    /// Road network for map-matching ingested reports.
+    pub network: Option<std::path::PathBuf>,
+    /// Probe-report CSV to ingest (requires `network`).
+    pub reports: Option<std::path::PathBuf>,
+    /// Reports per `ReportBatch` frame.
+    pub batch: usize,
+    /// Query to run after ingest: `estimate`, `stats`, or `health`.
+    pub query: Option<String>,
+    /// TCM output path for `--query estimate`.
+    pub out: Option<std::path::PathBuf>,
+    /// Ask the daemon to shut down after everything else.
+    pub shutdown: bool,
+}
+
+impl Default for DaemonClientOptions {
+    fn default() -> Self {
+        Self {
+            addr: "tcp:127.0.0.1:4650".to_string(),
+            network: None,
+            reports: None,
+            batch: 500,
+            query: None,
+            out: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// `daemon-client` — dial a running daemon, optionally stream a probe
+/// report file into it, then run one query and/or request shutdown.
+///
+/// Ingest map-matches exactly like `serve` (same index radius, same
+/// matching distance), batches reports into pipelined `ReportBatch`
+/// frames, and finishes with a `Sync` barrier so the printed stats
+/// reflect every pushed report. `--query estimate --out FILE` writes
+/// the daemon's live window estimate as a TCM, byte-compatible with
+/// `serve --out`.
+///
+/// # Errors
+///
+/// Connection failures map to exit 74, wire-protocol violations to
+/// exit 76, bad flags to exit 2.
+pub fn cmd_daemon_client<W: Write>(opts: &DaemonClientOptions, mut w: W) -> CliResult {
+    use proto::client::Client;
+    use proto::msg::{Request, Response, WireReport};
+    use std::io::BufRead;
+
+    let addr = proto::net::BindAddr::parse(&opts.addr).map_err(CliError::Usage)?;
+    let mut client = Client::connect(&addr)?;
+
+    match (&opts.network, &opts.reports) {
+        (Some(network), Some(reports)) => {
+            let net = roadnet::io::read_network(BufReader::new(File::open(network)?))?;
+            let index = SegmentIndex::build(&net, 150.0);
+            let reader = BufReader::new(File::open(reports)?);
+            let mut lines = reader.lines();
+            let _ = lines.next().transpose()?;
+            let cap = opts.batch.max(1);
+            let mut batch: Vec<WireReport> = Vec::with_capacity(cap);
+            let (mut pushed, mut malformed, mut unmatched) = (0u64, 0u64, 0u64);
+            for (idx, line) in lines.enumerate() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let report = match probes::io::parse_report_record(&line, idx + 2) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        malformed += 1;
+                        continue;
+                    }
+                };
+                let heading = report.has_heading().then_some(report.heading);
+                let Some(m) = index.match_point_directed(&net, report.position, 80.0, heading)
+                else {
+                    unmatched += 1;
+                    continue;
+                };
+                batch.push(WireReport::new(
+                    report.vehicle.0 as u64,
+                    report.timestamp_s,
+                    m.segment.index() as u64,
+                    report.speed_kmh,
+                ));
+                if batch.len() >= cap {
+                    pushed += batch.len() as u64;
+                    client.send(&Request::ReportBatch(std::mem::take(&mut batch)))?;
+                }
+            }
+            if !batch.is_empty() {
+                pushed += batch.len() as u64;
+                client.send(&Request::ReportBatch(std::mem::take(&mut batch)))?;
+            }
+            match client.request(&Request::Sync)? {
+                Response::Synced { pushed: acked, tick_us, solve_us, stats } => writeln!(
+                    w,
+                    "ingested {acked}/{pushed} reports ({malformed} malformed, {unmatched} \
+                     unmatched): {} admitted, {} late, {} duplicate, {} rejected; \
+                     barrier tick {tick_us}us (solve {solve_us}us)",
+                    stats.admitted, stats.dropped_late, stats.duplicates, stats.rejected,
+                )?,
+                other => return Err(CliError::Protocol(format!("expected Synced, got {other:?}"))),
+            }
+        }
+        (None, None) => {}
+        _ => return Err(CliError::Usage("ingest needs both --network and --reports".to_string())),
+    }
+
+    match opts.query.as_deref() {
+        None => {}
+        Some("estimate") => match client.request(&Request::QueryEstimate)? {
+            Response::Estimate(Some(est)) => {
+                writeln!(
+                    w,
+                    "live estimate: window head slot {}, {} sweeps, stale: {}",
+                    est.head_slot, est.sweeps, est.stale
+                )?;
+                if let Some(out) = &opts.out {
+                    let data: Vec<f64> =
+                        est.values_bits.iter().copied().map(f64::from_bits).collect();
+                    let m = linalg::Matrix::from_vec(est.rows as usize, est.cols as usize, data)
+                        .map_err(|e| CliError::Protocol(format!("estimate shape: {e}")))?;
+                    write_tcm(&Tcm::complete(m), BufWriter::new(File::create(out)?))?;
+                    writeln!(w, "wrote window estimate -> {}", out.display())?;
+                }
+            }
+            Response::Estimate(None) => {
+                writeln!(w, "no estimate yet (no admissible reports)")?;
+            }
+            other => return Err(CliError::Protocol(format!("expected Estimate, got {other:?}"))),
+        },
+        Some("stats") => match client.request(&Request::QueryStats)? {
+            Response::Stats { merged, shards } => {
+                writeln!(
+                    w,
+                    "merged: {} admitted, {} late, {} duplicate, {} rejected, {} queue-dropped, \
+                     {} solves, {} degraded",
+                    merged.admitted,
+                    merged.dropped_late,
+                    merged.duplicates,
+                    merged.rejected,
+                    merged.queue_dropped,
+                    merged.solves,
+                    merged.degraded
+                )?;
+                for (i, s) in shards.iter().enumerate() {
+                    writeln!(
+                        w,
+                        "shard {i}: {} admitted, {} late, {} rejected, {} solves",
+                        s.admitted, s.dropped_late, s.rejected, s.solves
+                    )?;
+                }
+            }
+            other => return Err(CliError::Protocol(format!("expected Stats, got {other:?}"))),
+        },
+        Some("health") => match client.request(&Request::QueryHealth)? {
+            Response::Health { ok, shards, segments, queue_len, clock_s } => writeln!(
+                w,
+                "health: ok={ok} shards={shards} segments={segments} queue={queue_len} \
+                 clock={clock_s}s"
+            )?,
+            other => return Err(CliError::Protocol(format!("expected Health, got {other:?}"))),
+        },
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown --query '{other}' (estimate|stats|health)"
+            )))
+        }
+    }
+
+    if opts.shutdown {
+        match client.request(&Request::Shutdown)? {
+            Response::Bye => writeln!(w, "daemon acknowledged shutdown")?,
+            other => return Err(CliError::Protocol(format!("expected Bye, got {other:?}"))),
+        }
+    }
+    client.close();
     Ok(())
 }
 
@@ -959,6 +1441,7 @@ mod tests {
         assert_eq!(CliError::Input("x".into()).exit_code(), 65);
         assert_eq!(CliError::Algorithm("x".into()).exit_code(), 70);
         assert_eq!(CliError::Io("x".into()).exit_code(), 74);
+        assert_eq!(CliError::Protocol("x".into()).exit_code(), 76);
         // From conversions land in the right class.
         let e: CliError = std::io::Error::other("disk").into();
         assert_eq!(e.exit_code(), 74);
@@ -967,6 +1450,14 @@ mod tests {
         assert_eq!(e.exit_code(), 65);
         let e: CliError = traffic_cs::Error::from(traffic_cs::CsError::NoObservations).into();
         assert_eq!(e.exit_code(), 70);
+        // Wire-protocol failures get their own sysexits class...
+        let e: CliError = proto::msg::DecodeError::Empty.into();
+        assert_eq!(e.exit_code(), 76);
+        let e: CliError = proto::client::ClientError::Protocol("wrong version".to_string()).into();
+        assert_eq!(e.exit_code(), 76);
+        // ...but a client's socket-level trouble is still plain I/O.
+        let e: CliError = proto::client::ClientError::Io(std::io::Error::other("refused")).into();
+        assert_eq!(e.exit_code(), 74);
     }
 
     #[test]

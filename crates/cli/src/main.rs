@@ -11,14 +11,15 @@
 //! ```
 
 use cs_traffic_cli::{
-    cmd_analyze, cmd_build_tcm, cmd_chaos, cmd_detect, cmd_estimate, cmd_evaluate, cmd_inspect,
-    cmd_loadtest, cmd_serve, cmd_simulate, parse_flags, CliError, CliResult, LoadtestOptions,
+    cmd_analyze, cmd_build_tcm, cmd_chaos, cmd_chaos_net, cmd_daemon, cmd_daemon_client,
+    cmd_detect, cmd_estimate, cmd_evaluate, cmd_inspect, cmd_loadtest, cmd_serve, cmd_simulate,
+    parse_flags, CliError, CliResult, DaemonClientOptions, DaemonOptions, LoadtestOptions,
     ServeOptions,
 };
 use std::path::Path;
 
 const USAGE: &str =
-    "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate|serve|chaos|loadtest|inspect> [--flag value ...]
+    "usage: cs-traffic-cli <simulate|build-tcm|estimate|analyze|detect|evaluate|serve|daemon|daemon-client|chaos|chaos-net|loadtest|inspect> [--flag value ...]
 
 global flags:
   --threads N        worker threads for completion/detection hot paths
@@ -47,10 +48,26 @@ subcommands:
   evaluate   --truth FILE --estimate FILE --observed FILE
   serve      --network FILE --reports FILE [--granularity 15|30|60]
              [--window-slots W] [--rank R] [--lambda L] [--batch N]
-             [--checkpoint FILE] [--out FILE] [--flight-dump FILE]
+             [--shards S] [--checkpoint FILE] [--out FILE] [--flight-dump FILE]
              (replays reports through the fault-tolerant streaming
-              service; --batch 0 = whole file in one tick; with
+              service; --batch 0 = whole file in one tick; --shards 1
+              is a bit-for-bit pass-through of the classic engine; with
               --flight-dump, degraded ticks dump the flight recorder)
+  daemon     --bind tcp:HOST:PORT|unix:/path.sock
+             (--network FILE | --segments N) [--granularity 15|30|60]
+             [--window-slots W] [--rank R] [--lambda L] [--shards S]
+             [--checkpoint FILE] [--tick-ms MS]
+             (long-running cs-wire/v1 server over TCP or a Unix socket;
+              concurrent clients stream reports and query the merged
+              live estimate; SIGTERM/SIGINT or a client Shutdown drains,
+              ticks once more, writes --checkpoint, and exits 0)
+  daemon-client --addr tcp:HOST:PORT|unix:/path.sock
+             [--network FILE --reports FILE] [--batch N]
+             [--query estimate|stats|health] [--out FILE]
+             [--shutdown true]
+             (dial a daemon: optionally ingest a report file, then run
+              one query; --query estimate --out writes the live window
+              estimate as a TCM; exit 76 on wire-protocol violations)
   chaos      --seed N [--ticks T] [--sweep K] [--solve-mode incremental|full]
              [--flight-dump FILE]
              (deterministic fault-injection run against the streaming
@@ -59,18 +76,29 @@ subcommands:
               oracle violation; --solve-mode full disables the
               incremental dirty-set solve path for differential runs;
               --flight-dump captures degraded ticks and oracle failures)
+  chaos-net  --seed N [--sweep K] [--clients C] [--shards S]
+             (connection-level chaos: faulty cs-wire/v1 clients —
+              mid-frame cuts, adversarial write boundaries, slow-loris
+              stalls — against a live sharded daemon on an ephemeral
+              loopback port; predicted-delivered differential oracle,
+              one summary line per seed, byte-identical at any
+              --threads; exit 70 on oracle violation)
   inspect    [--dump FILE] [--expose FILE]
              (--dump renders a cs-traffic-flight/v1 flight dump as a
               causal timeline; --expose re-renders the metric snapshots
               in any telemetry JSONL as Prometheus exposition text)
   loadtest   [--profile quick|full] [--seed N] [--rate R] [--ticks T]
-             [--max-legs N] [--out FILE] [--slo FILE]
+             [--max-legs N] [--transport in-process|socket] [--shards S]
+             [--out FILE] [--slo FILE]
              (closed-loop load generator against the in-process
               streaming service; binary-searches the max sustainable
-              throughput, writes a cs-traffic-bench-serve/v2 JSON with
+              throughput, writes a cs-traffic-bench-serve/v3 JSON with
               --out, and with --slo gates against results/SLO.toml,
               exit 70 on violation; same --seed = identical offered
-              stream at any --threads)";
+              stream at any --threads; --transport socket replays the
+              best leg through a live loopback daemon and records the
+              client-observed e2e quantiles in the artifact's socket
+              section)";
 
 fn run() -> CliResult {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -168,6 +196,11 @@ fn run() -> CliResult {
                 out: flags.get("out").map(std::path::PathBuf::from),
                 trace_sample,
                 flight_dump: flight_dump.clone(),
+                shards: flags
+                    .get("shards")
+                    .map(|s| s.parse())
+                    .transpose()?
+                    .unwrap_or(defaults.shards),
             };
             cmd_serve(
                 Path::new(get("network")?),
@@ -175,6 +208,52 @@ fn run() -> CliResult {
                 &opts,
                 std::io::stdout().lock(),
             )
+        }
+        "daemon" => {
+            let defaults = DaemonOptions::default();
+            let opts = DaemonOptions {
+                bind: get("bind")?.clone(),
+                network: flags.get("network").map(std::path::PathBuf::from),
+                segments: flags.get("segments").map(|s| s.parse()).transpose()?,
+                granularity: flags.get("granularity").cloned().unwrap_or(defaults.granularity),
+                window_slots: flags
+                    .get("window-slots")
+                    .map(|s| s.parse())
+                    .transpose()?
+                    .unwrap_or(defaults.window_slots),
+                rank: flags.get("rank").map(|s| s.parse()).transpose()?,
+                lambda: flags.get("lambda").map(|s| s.parse()).transpose()?,
+                shards: flags
+                    .get("shards")
+                    .map(|s| s.parse())
+                    .transpose()?
+                    .unwrap_or(defaults.shards),
+                checkpoint: flags.get("checkpoint").map(std::path::PathBuf::from),
+                tick_ms: flags
+                    .get("tick-ms")
+                    .map(|s| s.parse())
+                    .transpose()?
+                    .unwrap_or(defaults.tick_ms),
+            };
+            cmd_daemon(&opts, std::io::stdout().lock())
+        }
+        "daemon-client" => {
+            let defaults = DaemonClientOptions::default();
+            let opts = DaemonClientOptions {
+                addr: get("addr")?.clone(),
+                network: flags.get("network").map(std::path::PathBuf::from),
+                reports: flags.get("reports").map(std::path::PathBuf::from),
+                batch: flags.get("batch").map(|s| s.parse()).transpose()?.unwrap_or(defaults.batch),
+                query: flags.get("query").cloned(),
+                out: flags.get("out").map(std::path::PathBuf::from),
+                shutdown: flags
+                    .get("shutdown")
+                    .map(|s| s.parse())
+                    .transpose()
+                    .map_err(|_| CliError::Usage("--shutdown wants true|false".to_string()))?
+                    .unwrap_or(defaults.shutdown),
+            };
+            cmd_daemon_client(&opts, std::io::stdout().lock())
         }
         "loadtest" => {
             let defaults = LoadtestOptions::default();
@@ -188,6 +267,12 @@ fn run() -> CliResult {
                     .map(|s| s.parse())
                     .transpose()?
                     .unwrap_or(defaults.max_legs),
+                transport: flags.get("transport").cloned().unwrap_or(defaults.transport),
+                shards: flags
+                    .get("shards")
+                    .map(|s| s.parse())
+                    .transpose()?
+                    .unwrap_or(defaults.shards),
                 out: flags.get("out").map(std::path::PathBuf::from),
                 slo: flags.get("slo").map(std::path::PathBuf::from),
             };
@@ -209,6 +294,13 @@ fn run() -> CliResult {
             },
             trace_sample,
             flight_dump.clone(),
+            std::io::stdout().lock(),
+        ),
+        "chaos-net" => cmd_chaos_net(
+            get("seed")?.parse()?,
+            flags.get("sweep").map_or(Ok(1), |s| s.parse())?,
+            flags.get("clients").map_or(Ok(8), |s| s.parse())?,
+            flags.get("shards").map_or(Ok(2), |s| s.parse())?,
             std::io::stdout().lock(),
         ),
         "inspect" => cmd_inspect(

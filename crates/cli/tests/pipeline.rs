@@ -174,6 +174,84 @@ fn serve_survives_corrupt_reports_and_checkpoints() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The network path end to end at the CLI layer: a live daemon, the
+/// `daemon-client` ingesting the simulated report file over TCP, and the
+/// resulting window estimate written as a TCM — byte-identical to the
+/// in-process `serve --out` replay of the same file.
+#[test]
+fn daemon_client_round_trip_matches_in_process_serve() {
+    use cs_traffic_cli::{cmd_daemon_client, cmd_serve, DaemonClientOptions, ServeOptions};
+    use std::io::BufReader;
+    use traffic_cs::cs::CsConfig;
+    use traffic_cs::daemon::{Daemon, DaemonConfig};
+    use traffic_cs::service::ServeConfig;
+
+    let dir = temp_dir("daemon_client");
+    cmd_simulate("small", Some(30), Some(3), "30", &dir).unwrap();
+    let network = dir.join("network.csv");
+    let reports = dir.join("reports.csv");
+
+    // In-process baseline: whole file, one tick.
+    let serve_est = dir.join("estimate_serve.csv");
+    let opts = ServeOptions {
+        granularity: "30".into(),
+        window_slots: 6,
+        rank: Some(2),
+        lambda: Some(0.5),
+        batch: 0,
+        out: Some(serve_est.clone()),
+        ..ServeOptions::default()
+    };
+    cmd_serve(&network, &reports, &opts, Vec::new()).unwrap();
+
+    // A daemon with the same engine config, periodic ticks effectively
+    // off so the client's final Sync barrier is the only tick.
+    let net =
+        roadnet::io::read_network(BufReader::new(std::fs::File::open(&network).unwrap())).unwrap();
+    let serve_cfg = ServeConfig::builder()
+        .slot_len_s(30 * 60)
+        .window_slots(6)
+        .num_segments(net.segment_count())
+        .cs(CsConfig { rank: 2, lambda: 0.5, ..CsConfig::default() })
+        .build()
+        .unwrap();
+    let mut cfg =
+        DaemonConfig::new(proto::net::BindAddr::parse("tcp:127.0.0.1:0").unwrap(), serve_cfg);
+    cfg.tick_interval = std::time::Duration::from_secs(3600);
+    let handle = Daemon::bind(cfg).unwrap().spawn().unwrap();
+
+    let daemon_est = dir.join("estimate_daemon.csv");
+    let client_opts = DaemonClientOptions {
+        addr: handle.addr().to_string(),
+        network: Some(network.clone()),
+        reports: Some(reports.clone()),
+        batch: 100,
+        query: Some("estimate".into()),
+        out: Some(daemon_est.clone()),
+        shutdown: true,
+    };
+    let mut buf = Vec::new();
+    cmd_daemon_client(&client_opts, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.contains("ingested"), "{text}");
+    assert!(text.contains("live estimate"), "{text}");
+    assert!(text.contains("daemon acknowledged shutdown"), "{text}");
+    let dead_addr = handle.addr().to_string();
+    handle.join().unwrap();
+
+    let offline = std::fs::read_to_string(&serve_est).unwrap();
+    let over_wire = std::fs::read_to_string(&daemon_est).unwrap();
+    assert_eq!(offline, over_wire, "socket transport must not change a single byte");
+
+    // Protocol-level failures carry their own exit code: dialing a dead
+    // daemon is I/O (74), a bad address spelling is usage (2).
+    let dead = DaemonClientOptions { addr: dead_addr, ..DaemonClientOptions::default() };
+    assert_eq!(cmd_daemon_client(&dead, Vec::new()).unwrap_err().exit_code(), 74);
+    let bad = DaemonClientOptions { addr: "ftp:nope".into(), ..DaemonClientOptions::default() };
+    assert_eq!(cmd_daemon_client(&bad, Vec::new()).unwrap_err().exit_code(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// End-to-end observability path: a sabotaged (zero-budget) service
 /// with tracing on degrades, dumps the flight recorder, and
 /// `inspect --dump` reconstructs the causal timeline of the failing
@@ -336,8 +414,53 @@ fn loadtest_subcommand_measures_writes_and_gates() {
     assert!(text.contains("stream="), "{text}");
 
     let doc = telemetry::json::Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
-    assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("cs-traffic-bench-serve/v2"));
+    assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("cs-traffic-bench-serve/v3"));
     assert!(doc.get("leg").and_then(|l| l.get("tick_us")).is_some(), "quantiles in artifact");
+    // In-process transport leaves the socket section explicitly null.
+    assert!(
+        matches!(doc.get("socket"), Some(telemetry::json::Json::Null)),
+        "in-process run must write socket: null"
+    );
+
+    // Socket transport: replay the same leg through a live loopback
+    // daemon. The offered stream is a pure function of the seed, so
+    // the socket section must carry the same stream hash as the
+    // in-process leg.
+    let sock_opts = LoadtestOptions {
+        transport: "socket".into(),
+        shards: 2,
+        rate: Some(120.0),
+        ticks: Some(8),
+        out: Some(out.clone()),
+        ..LoadtestOptions::default()
+    };
+    let mut buf = Vec::new();
+    cmd_loadtest(&sock_opts, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.contains("socket shards=2"), "{text}");
+    assert!(!text.contains("HASH MISMATCH"), "{text}");
+    let doc = telemetry::json::Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    let socket = doc.get("socket").expect("socket section present");
+    let leg_hash = doc.get("leg").and_then(|l| l.get("stream_hash")).and_then(|h| h.as_str());
+    assert_eq!(socket.get("stream_hash").and_then(|h| h.as_str()), leg_hash, "hash parity");
+    assert!(
+        socket
+            .get("e2e_us")
+            .and_then(|h| h.get("p99"))
+            .and_then(telemetry::json::Json::as_num)
+            .is_some(),
+        "e2e quantiles recorded"
+    );
+    let conns = socket
+        .get("daemon")
+        .and_then(|d| d.get("connections"))
+        .and_then(telemetry::json::Json::as_num);
+    assert_eq!(conns, Some(1.0), "one loadgen client connection");
+
+    // Unknown transport is a usage error.
+    let bad_transport =
+        LoadtestOptions { transport: "carrier-pigeon".into(), ..LoadtestOptions::default() };
+    assert_eq!(cmd_loadtest(&bad_transport, Vec::new()).unwrap_err().exit_code(), 2);
 
     // An impossible budget must fail the gate with exit code 70.
     std::fs::write(

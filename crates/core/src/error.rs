@@ -50,6 +50,9 @@ pub enum Error {
     /// The streaming estimation service failed (checkpoint I/O and
     /// format problems; solve failures inside the loop degrade instead).
     Serve(ServeError),
+    /// The network serve daemon failed (bind/accept-level socket
+    /// problems; per-connection faults are counted, not fatal).
+    Daemon(crate::daemon::DaemonError),
 }
 
 impl std::fmt::Display for Error {
@@ -59,6 +62,7 @@ impl std::fmt::Display for Error {
             Error::Mssa(e) => write!(f, "mssa: {e}"),
             Error::Config(e) => write!(f, "{e}"),
             Error::Serve(e) => write!(f, "serve: {e}"),
+            Error::Daemon(e) => write!(f, "daemon: {e}"),
         }
     }
 }
@@ -70,6 +74,7 @@ impl std::error::Error for Error {
             Error::Mssa(e) => Some(e),
             Error::Config(e) => Some(e),
             Error::Serve(e) => Some(e),
+            Error::Daemon(e) => Some(e),
         }
     }
 }
@@ -95,6 +100,12 @@ impl From<ConfigError> for Error {
 impl From<ServeError> for Error {
     fn from(e: ServeError) -> Self {
         Error::Serve(e)
+    }
+}
+
+impl From<crate::daemon::DaemonError> for Error {
+    fn from(e: crate::daemon::DaemonError) -> Self {
+        Error::Daemon(e)
     }
 }
 

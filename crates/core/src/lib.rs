@@ -22,6 +22,12 @@
 //!   probe reports stream into a sliding window, each closed window is
 //!   completed with warm starts, and bad input degrades counters — not
 //!   the process.
+//! * [`sharded`] — segment-range sharding over [`service`]: N
+//!   independent shard workers behind one engine surface, with a
+//!   merged query view.
+//! * [`daemon`] — the long-running network serve daemon speaking the
+//!   versioned `cs-wire/v1` protocol (crate `proto`) over TCP or Unix
+//!   sockets.
 //! * [`error`] — the crate-wide [`enum@Error`] every fallible public
 //!   API converges to, plus the [`ConfigError`] the validated builders
 //!   return instead of panicking.
@@ -52,6 +58,7 @@
 pub mod anomaly;
 pub mod baselines;
 pub mod cs;
+pub mod daemon;
 pub mod eigenflow;
 pub mod error;
 pub mod estimator;
@@ -62,10 +69,18 @@ pub mod online;
 pub mod pca;
 pub mod selection;
 pub mod service;
+pub mod sharded;
 pub mod weighted;
 
 pub use cs::{complete_matrix, CsConfig, CsError};
+pub use daemon::{Daemon, DaemonConfig, DaemonError, DaemonHandle, DaemonStats};
 pub use error::{ConfigError, Error};
 pub use estimator::{Estimator, EstimatorKind};
 pub use ga::{GaConfig, GaResult};
+// The daemon's wire types are part of this crate's public API surface
+// (DaemonConfig embeds the bind address, handlers speak the message
+// enums), so the protocol crate rides along — `traffic_cs::proto::…`
+// works without a separate dependency edge.
+pub use proto;
 pub use service::{ServeConfig, ServeError, Service};
+pub use sharded::{ShardPlan, ShardedService};

@@ -204,6 +204,11 @@ pub struct ServeConfig {
     /// fraction of the full `window_slots × num_segments` sweep cost.
     /// Past it, a full sweep is cheaper anyway.
     pub incremental_threshold: f64,
+    /// Segment-range shard layout for [`ShardedService`]; a bare
+    /// [`Service`] requires the single-shard plan.
+    ///
+    /// [`ShardedService`]: crate::sharded::ShardedService
+    pub shards: crate::sharded::ShardPlan,
 }
 
 impl Default for ServeConfig {
@@ -222,6 +227,7 @@ impl Default for ServeConfig {
             flight_dump: None,
             full_sweep_every: 16,
             incremental_threshold: 0.5,
+            shards: crate::sharded::ShardPlan::single(),
         }
     }
 }
@@ -269,6 +275,7 @@ impl ServeConfig {
                 "dirty-fraction ceiling must be finite and non-negative",
             ));
         }
+        self.shards.validate(self.num_segments)?;
         self.cs.validate()
     }
 }
@@ -351,6 +358,13 @@ impl ServeConfigBuilder {
     /// disables the incremental path).
     pub fn full_sweep_every(mut self, v: u64) -> Self {
         self.config.full_sweep_every = v;
+        self
+    }
+
+    /// Sets the segment-range shard plan (see
+    /// [`crate::sharded::ShardedService`]).
+    pub fn shards(mut self, v: crate::sharded::ShardPlan) -> Self {
+        self.config.shards = v;
         self
     }
 
@@ -657,6 +671,12 @@ impl Service {
     /// The simulated clock: largest timestamp ingested so far.
     pub fn clock_s(&self) -> u64 {
         self.clock_s
+    }
+
+    /// Absolute slot index of the newest window row — the alignment
+    /// anchor sharded merges stitch on.
+    pub fn head_slot(&self) -> usize {
+        self.window.head_slot()
     }
 
     /// Number of reports currently queued and not yet processed.

@@ -1,0 +1,130 @@
+//! A small blocking `cs-wire/v1` client: handshake, pipelined report
+//! pushes, and request/response queries over one [`Conn`].
+//!
+//! The replayer's socket transport, the load generator, the CI smoke
+//! clients, and the chaos fault injectors all sit on this type — chaos
+//! additionally reaches the raw connection via [`Client::conn_mut`] to
+//! write deliberately broken byte schedules.
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+use crate::frame::{self, FrameError, MAX_FRAME_LEN};
+use crate::msg::{DecodeError, Request, Response, VERSION};
+use crate::net::{BindAddr, Conn};
+
+/// Client-side failure talking to a daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Framing violation (truncated or oversized frame).
+    Frame(FrameError),
+    /// The server's bytes did not decode as a response.
+    Decode(DecodeError),
+    /// The server closed where a response frame was required.
+    Closed,
+    /// The server answered, but with the wrong message (bad handshake,
+    /// wire error response where data was expected).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "client framing error: {e}"),
+            ClientError::Decode(e) => write!(f, "client decode error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection mid-exchange"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// A connected, handshaken `cs-wire/v1` client.
+pub struct Client {
+    conn: Conn,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Dials `addr` and performs the `Hello` handshake.
+    pub fn connect(addr: &BindAddr) -> Result<Self, ClientError> {
+        let conn = Conn::connect(addr)?;
+        let mut client = Client { conn, max_frame: MAX_FRAME_LEN };
+        client.send(&Request::Hello { version: VERSION })?;
+        match client.recv()? {
+            Response::Hello { version: v } if v == VERSION => Ok(client),
+            Response::Hello { version: v } => {
+                Err(ClientError::Protocol(format!("server speaks cs-wire v{v}, client v{VERSION}")))
+            }
+            Response::Error { code, message } => {
+                Err(ClientError::Protocol(format!("handshake refused ({code}): {message}")))
+            }
+            other => Err(ClientError::Protocol(format!("expected Hello, got {other:?}"))),
+        }
+    }
+
+    /// Dials without handshaking — for tests and fault injectors that
+    /// need to misbehave on purpose.
+    pub fn connect_raw(addr: &BindAddr) -> Result<Self, ClientError> {
+        let conn = Conn::connect(addr)?;
+        Ok(Client { conn, max_frame: MAX_FRAME_LEN })
+    }
+
+    /// Read timeout for responses (`None` blocks forever).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.conn.set_read_timeout(dur)
+    }
+
+    /// Raw access to the connection, for writing broken frames.
+    pub fn conn_mut(&mut self) -> &mut Conn {
+        &mut self.conn
+    }
+
+    /// Sends one request frame without waiting for anything.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        frame::write_frame(&mut self.conn, &req.encode())?;
+        Ok(())
+    }
+
+    /// Receives one response frame.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        match frame::read_frame(&mut self.conn, self.max_frame)? {
+            None => Err(ClientError::Closed),
+            Some(payload) => Ok(Response::decode(&payload)?),
+        }
+    }
+
+    /// Sends a request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Closes both directions.
+    pub fn close(self) {
+        self.conn.shutdown();
+    }
+}

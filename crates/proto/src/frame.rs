@@ -1,0 +1,176 @@
+//! Length-prefixed framing for `cs-wire/v1`.
+//!
+//! A frame is a 4-byte little-endian payload length followed by exactly
+//! that many payload bytes. The length counts the payload only, never
+//! the header. An empty payload (`len == 0`) is a valid frame — the
+//! message codec rejects it later as [`DecodeError::Empty`] — so the
+//! framing layer stays a pure transport concern.
+//!
+//! Reads distinguish three terminal outcomes:
+//!
+//! * `Ok(Some(payload))` — one complete frame.
+//! * `Ok(None)` — clean EOF *between* frames (the peer closed politely).
+//! * `Err(FrameError::Truncated)` — EOF in the middle of a header or
+//!   payload: the peer vanished mid-frame. Chaos injects exactly this.
+//!
+//! [`DecodeError::Empty`]: crate::msg::DecodeError::Empty
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Width of the frame header: a `u32` little-endian payload length.
+pub const HEADER_LEN: usize = 4;
+
+/// Default ceiling on a single frame's payload. Large enough for a
+/// full-metro estimate response (a 102,400-segment, 24-slot window is
+/// ~19.7 MB of `f64`s), small enough that a corrupted length prefix
+/// cannot convince the server to buffer gigabytes.
+pub const MAX_FRAME_LEN: usize = 32 * 1024 * 1024;
+
+/// Transport-layer failure while reading or writing a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket or pipe failed.
+    Io(io::Error),
+    /// The peer advertised a payload longer than the reader's ceiling.
+    TooLarge {
+        /// Advertised payload length.
+        len: usize,
+        /// The reader's configured maximum.
+        max: usize,
+    },
+    /// EOF arrived mid-header or mid-payload.
+    Truncated {
+        /// Bytes the frame still needed.
+        need: usize,
+        /// Bytes actually read before EOF.
+        have: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte ceiling")
+            }
+            FrameError::Truncated { need, have } => {
+                write!(f, "connection closed mid-frame: got {have} of {need} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (header + payload) and flushes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| FrameError::TooLarge { len: payload.len(), max: u32::MAX as usize })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Encodes one frame into a buffer without touching a socket — the
+/// building block chaos uses to slice frames into faulty write
+/// schedules.
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Reads exactly `buf.len()` bytes, reporting how many arrived before a
+/// clean EOF cut the read short.
+fn read_exact_counted<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, io::Error> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(filled),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed cleanly at a frame
+/// boundary; mid-frame EOF is [`FrameError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_exact_counted(r, &mut header)? {
+        0 => return Ok(None),
+        n if n < HEADER_LEN => return Err(FrameError::Truncated { need: HEADER_LEN, have: n }),
+        _ => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_len {
+        return Err(FrameError::TooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len];
+    let got = read_exact_counted(r, &mut payload)?;
+    if got < len {
+        return Err(FrameError::Truncated { need: len, have: got });
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, MAX_FRAME_LEN).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r, MAX_FRAME_LEN).unwrap().as_deref(), Some(&b""[..]));
+        assert!(read_frame(&mut r, MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_hang() {
+        let full = frame_bytes(b"payload");
+        for cut in 1..full.len() {
+            let mut r = &full[..cut];
+            match read_frame(&mut r, MAX_FRAME_LEN) {
+                Err(FrameError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"x");
+        let mut r = &buf[..];
+        match read_frame(&mut r, 1024) {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Transport glue: one address syntax and one connection type covering
+//! TCP and Unix-domain sockets, so the daemon, the clients, and the
+//! fault injectors are all written once against [`Conn`].
+//!
+//! Addresses are spelled `tcp:HOST:PORT` or `unix:/path/to.sock`. A TCP
+//! port of `0` binds ephemerally; [`Listener::bound_addr`] reports the
+//! real port so tests never race over fixed ports.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A parsed `tcp:` or `unix:` endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindAddr {
+    /// `tcp:HOST:PORT` — a TCP socket address (resolved at bind time).
+    Tcp(String),
+    /// `unix:PATH` — a Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl BindAddr {
+    /// Parses the `tcp:`/`unix:` spelling. Errors carry the reason.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            if rest.is_empty() {
+                return Err("tcp address is empty (want tcp:HOST:PORT)".to_string());
+            }
+            Ok(BindAddr::Tcp(rest.to_string()))
+        } else if let Some(rest) = s.strip_prefix("unix:") {
+            if rest.is_empty() {
+                return Err("unix socket path is empty (want unix:/path.sock)".to_string());
+            }
+            Ok(BindAddr::Unix(PathBuf::from(rest)))
+        } else {
+            Err(format!("address '{s}' must start with 'tcp:' or 'unix:'"))
+        }
+    }
+}
+
+impl fmt::Display for BindAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+            BindAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A bound server socket of either family.
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds the address. For `unix:`, a stale socket file left by a
+    /// crashed daemon is removed first — the bind, not the file, is the
+    /// source of truth for liveness.
+    pub fn bind(addr: &BindAddr) -> io::Result<Self> {
+        match addr {
+            BindAddr::Tcp(spec) => Ok(Listener::Tcp(TcpListener::bind(spec.as_str())?)),
+            #[cfg(unix)]
+            BindAddr::Unix(path) => {
+                if path.exists() {
+                    let _ = std::fs::remove_file(path);
+                }
+                Ok(Listener::Unix(UnixListener::bind(path)?))
+            }
+            #[cfg(not(unix))]
+            BindAddr::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            )),
+        }
+    }
+
+    /// The address clients should dial — for ephemeral TCP binds this
+    /// carries the kernel-assigned port.
+    pub fn bound_addr(&self) -> io::Result<BindAddr> {
+        match self {
+            Listener::Tcp(l) => Ok(BindAddr::Tcp(l.local_addr()?.to_string())),
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let addr = l.local_addr()?;
+                let path =
+                    addr.as_pathname().ok_or_else(|| io::Error::other("unnamed unix socket"))?;
+                Ok(BindAddr::Unix(path.to_path_buf()))
+            }
+        }
+    }
+
+    /// Mirrors `set_nonblocking` on the inner listener.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accepts one connection.
+    pub fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Conn::Unix(stream))
+            }
+        }
+    }
+}
+
+/// One established connection of either family.
+pub enum Conn {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Dials the address.
+    pub fn connect(addr: &BindAddr) -> io::Result<Self> {
+        match addr {
+            BindAddr::Tcp(spec) => {
+                let stream = TcpStream::connect(spec.as_str())?;
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            BindAddr::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            BindAddr::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            )),
+        }
+    }
+
+    /// Mirrors `set_read_timeout` on the inner stream.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Shuts down both halves; errors are deliberately swallowed (the
+    /// peer may already be gone, which is the point).
+    pub fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_prints_addresses() {
+        let tcp = BindAddr::parse("tcp:127.0.0.1:0").unwrap();
+        assert_eq!(tcp, BindAddr::Tcp("127.0.0.1:0".to_string()));
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:0");
+        let unix = BindAddr::parse("unix:/tmp/x.sock").unwrap();
+        assert_eq!(unix.to_string(), "unix:/tmp/x.sock");
+        assert!(BindAddr::parse("http://nope").is_err());
+        assert!(BindAddr::parse("tcp:").is_err());
+        assert!(BindAddr::parse("unix:").is_err());
+    }
+
+    #[test]
+    fn tcp_ephemeral_bind_reports_real_port() {
+        let listener = Listener::bind(&BindAddr::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+        match listener.bound_addr().unwrap() {
+            BindAddr::Tcp(addr) => assert!(!addr.ends_with(":0"), "got {addr}"),
+            other => panic!("expected tcp addr, got {other}"),
+        }
+    }
+}

@@ -105,20 +105,24 @@ const SOLVE_PATH_COUNTERS: &[&str] = &[
     "rows_resolved",
 ];
 
-/// Required shape of the `cs-traffic-bench-serve/v1|v2` load-test
+/// Required shape of the `cs-traffic-bench-serve/v1|v2|v3` load-test
 /// artifact: the schema marker, the searched rate, and a best leg with
 /// full quantile sets, counters, and the determinism witness hash. The
 /// v2 schema additionally carries the solve-path counters
 /// ([`SOLVE_PATH_COUNTERS`]) in every counter block and a `scale`
-/// array (the latency-vs-grid-size curve, possibly empty).
+/// array (the latency-vs-grid-size curve, possibly empty). The v3
+/// schema adds a `socket` section (the socket-transport leg with
+/// client-observed e2e quantiles and the daemon's transport counters,
+/// or null when the run was in-process only).
 fn validate_serve(path: &str) {
     let content = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(format!("cannot read '{path}': {e}")));
     let value =
         Json::parse(&content).unwrap_or_else(|e| fail(format!("{path}: not valid JSON: {e}")));
-    let v2 = match value.get("schema").and_then(Json::as_str) {
-        Some("cs-traffic-bench-serve/v1") => false,
-        Some("cs-traffic-bench-serve/v2") => true,
+    let (v2, v3) = match value.get("schema").and_then(Json::as_str) {
+        Some("cs-traffic-bench-serve/v1") => (false, false),
+        Some("cs-traffic-bench-serve/v2") => (true, false),
+        Some("cs-traffic-bench-serve/v3") => (true, true),
         Some(other) => fail(format!("{path}: unsupported serve schema '{other}'")),
         None => fail(format!("{path}: missing 'schema'")),
     };
@@ -191,6 +195,37 @@ fn validate_serve(path: &str) {
                     fail(format!("{path}: scale[{i}].counters.{key} is not a number"));
                 }
             }
+        }
+    }
+    if v3 {
+        match value.get("socket") {
+            Some(Json::Null) => {}
+            Some(socket) => {
+                for key in ["offered_rate", "achieved_rate", "drop_rate", "shards"] {
+                    if socket.get(key).and_then(Json::as_num).is_none() {
+                        fail(format!("{path}: socket.{key} is not a number"));
+                    }
+                }
+                for hist in ["e2e_us", "tick_us", "solve_us"] {
+                    let Some(h) = socket.get(hist) else {
+                        fail(format!("{path}: missing socket.{hist}"));
+                    };
+                    for q in ["p50", "p99", "p999", "max", "count"] {
+                        if h.get(q).and_then(Json::as_num).is_none() {
+                            fail(format!("{path}: socket.{hist}.{q} is not a number"));
+                        }
+                    }
+                }
+                let Some(daemon) = socket.get("daemon") else {
+                    fail(format!("{path}: missing socket.daemon"));
+                };
+                for key in ["connections", "frames", "reports", "protocol_errors"] {
+                    if daemon.get(key).and_then(Json::as_num).is_none() {
+                        fail(format!("{path}: socket.daemon.{key} is not a number"));
+                    }
+                }
+            }
+            None => fail(format!("{path}: v3 artifact is missing the 'socket' key")),
         }
     }
     println!("{path}: serve artifact OK");

@@ -20,7 +20,12 @@
 //! * [`traffic_cs`] — the paper's contribution: Algorithm 1 (alternating
 //!   least-squares matrix completion), Algorithm 2 (genetic parameter
 //!   search), the KNN/MSSA baselines, PCA and eigenflow analysis, plus a
-//!   fault-tolerant streaming estimation service ([`traffic_cs::service`]).
+//!   fault-tolerant streaming estimation service ([`traffic_cs::service`]),
+//!   its segment-range sharded wrapper ([`traffic_cs::sharded`]), and a
+//!   socket-serving daemon ([`traffic_cs::daemon`]).
+//! * [`proto`] — the `cs-wire/v1` protocol: versioned length-prefixed
+//!   frames, typed request/response messages, TCP/Unix transport, and a
+//!   blocking client.
 //!
 //! # Quickstart
 //!
@@ -49,6 +54,7 @@
 pub use linalg;
 pub use navigator;
 pub use probes;
+pub use proto;
 pub use roadnet;
 pub use traffic_cs;
 pub use traffic_sim;
@@ -60,6 +66,9 @@ pub mod prelude {
     pub use probes::mask::random_mask;
     pub use probes::tcm::build_tcm_from_reports;
     pub use probes::{Granularity, ProbeReport, SlotGrid, Tcm, VehicleId};
+    pub use proto::client::Client as WireClient;
+    pub use proto::msg::{Request as WireRequest, Response as WireResponse};
+    pub use proto::net::BindAddr;
     pub use rand::SeedableRng;
     pub use roadnet::generator::{generate_grid_city, GridCityConfig};
     pub use roadnet::matching::SegmentIndex;
@@ -70,6 +79,7 @@ pub mod prelude {
     pub use traffic_cs::cs::{
         complete_matrix, complete_matrix_detailed, CompletionResult, CsConfig,
     };
+    pub use traffic_cs::daemon::{Daemon, DaemonConfig, DaemonHandle, DaemonStats};
     pub use traffic_cs::eigenflow::{EigenflowAnalysis, EigenflowType};
     pub use traffic_cs::estimator::{Estimator, EstimatorKind};
     pub use traffic_cs::ga::{optimize_parameters, GaConfig};
@@ -77,6 +87,7 @@ pub mod prelude {
     pub use traffic_cs::online::OnlineEstimator;
     pub use traffic_cs::selection::{adaptive_matrix, select_correlated};
     pub use traffic_cs::service::{LiveEstimate, ServeConfig, Service};
+    pub use traffic_cs::sharded::{ShardPlan, ShardedService};
     pub use traffic_cs::weighted::{complete_matrix_weighted, WeightScheme};
     pub use traffic_cs::{ConfigError, Error as TrafficCsError};
     pub use traffic_sim::config::central_segments;
@@ -95,5 +106,12 @@ mod tests {
         assert_eq!(Granularity::all().len(), 3);
         let serve = ServeConfig::builder().num_segments(4).build().unwrap();
         assert!(Service::new(serve).is_ok());
+        let sharded = ServeConfig::builder()
+            .num_segments(4)
+            .shards(ShardPlan::with_count(2))
+            .build()
+            .unwrap();
+        assert_eq!(ShardedService::new(sharded).unwrap().shard_count(), 2);
+        assert!(BindAddr::parse("tcp:127.0.0.1:0").is_ok());
     }
 }
