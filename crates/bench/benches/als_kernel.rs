@@ -16,9 +16,20 @@
 //! the full 512×1024 rank-8 configuration (`CS_BENCH_QUICK` shrinks the
 //! matrix for CI smoke runs, where the ratio is still reported but small
 //! problems are noisier).
+//!
+//! On top of the baseline-vs-kernel pair, every [`KernelVariant`] that
+//! supports the bench rank is timed through `set_kernel_override` —
+//! scalar reference, runtime-rank unrolled, and the monomorphized
+//! fixed-rank kernel — and the per-variant numbers land in a `kernels`
+//! section of the JSON (schema `cs-traffic-bench-als/v2`) plus one
+//! appended line in the tracked `results/BENCH_als_trajectory.jsonl`.
+//! With `CS_BENCH_ENFORCE` set the process exits 70 when the fixed-rank
+//! kernel is slower than the scalar reference, so CI catches a
+//! specialization regression as a red leg instead of a silent number.
 
 use criterion::{black_box, Criterion};
-use linalg::lstsq::solve_normal_equations;
+use linalg::kernel::{set_kernel_override, KernelVariant};
+use linalg::lstsq::{solve_normal_equations, GramScratch};
 use linalg::Matrix;
 use probes::mask::random_mask;
 use probes::Tcm;
@@ -27,6 +38,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+use telemetry::json::Json;
 use traffic_cs::cs::{complete_matrix, CsConfig};
 
 struct CountingAllocator;
@@ -155,6 +167,18 @@ fn measure(f: impl FnOnce() -> Matrix) -> (f64, usize) {
     (secs, ALLOCATIONS.load(Ordering::Relaxed) - allocs_before)
 }
 
+/// Whether the `kernel` feature reached `linalg` through the dependency
+/// graph. Probed at runtime (an override that sticks) so the bench
+/// doesn't re-plumb the feature flag: with the feature off, `auto`
+/// pins every solve to the scalar reference and per-variant timing
+/// would measure the same code path five times.
+fn kernel_feature_active() -> bool {
+    set_kernel_override(Some(KernelVariant::Unrolled));
+    let picked = GramScratch::new(3).variant();
+    set_kernel_override(None);
+    picked == KernelVariant::Unrolled
+}
+
 fn bench_als_kernel(c: &mut Criterion) {
     let (tcm, cfg, _) = bench_problem();
     let mut group = c.benchmark_group("als_kernel");
@@ -169,19 +193,92 @@ fn bench_als_kernel(c: &mut Criterion) {
     group.bench_function("gram_kernel_all_cores", |b| {
         b.iter(|| black_box(complete_matrix(&tcm, &all_cores).unwrap()))
     });
+    if kernel_feature_active() {
+        for variant in KernelVariant::supported(cfg.rank) {
+            set_kernel_override(Some(variant));
+            group.bench_function(format!("gram_kernel_{}_1_thread", variant.name()), |b| {
+                b.iter(|| black_box(complete_matrix(&tcm, &cfg).unwrap()))
+            });
+            set_kernel_override(None);
+        }
+    }
     group.finish();
 }
 
-/// Writes `results/BENCH_als.json`: per-sweep wall time and allocation
-/// totals for both paths at the same thread count, and the resulting
-/// speedup. One deliberate single-shot run per path (criterion's
-/// statistics live in `target/criterion/als_kernel/`); the allocation
-/// counter doubles as the peak-RSS proxy — the baseline's churn is the
-/// resident-set pressure the kernel path removes.
-fn write_bench_json() {
+/// Times `complete_matrix` with the kernel pinned to `variant`,
+/// restoring auto dispatch afterwards.
+fn measure_variant(tcm: &Tcm, cfg: &CsConfig, variant: KernelVariant) -> (f64, usize) {
+    set_kernel_override(Some(variant));
+    let out = measure(|| complete_matrix(tcm, cfg).unwrap());
+    set_kernel_override(None);
+    out
+}
+
+/// JSON object for one measured run.
+fn run_json(secs: f64, allocs: usize, sweeps: usize) -> Json {
+    Json::Obj(vec![
+        ("total_ms".into(), Json::Num(secs * 1e3)),
+        ("per_sweep_ms".into(), Json::Num(secs * 1e3 / sweeps as f64)),
+        ("allocations".into(), Json::Num(allocs as f64)),
+        ("allocations_per_sweep".into(), Json::Num(allocs as f64 / sweeps as f64)),
+    ])
+}
+
+/// Appends one line to the tracked per-variant trajectory
+/// (`results/BENCH_als_trajectory.jsonl`, schema
+/// `cs-traffic-als-trajectory/v1`), mirroring the serve-load
+/// trajectory's role: `BENCH_als.json` is overwritten in place, the
+/// jsonl keeps the per-sweep history across commits.
+fn append_als_trajectory(
+    dir: &std::path::Path,
+    quick: bool,
+    rank: usize,
+    sweeps: usize,
+    kernels: &[(KernelVariant, f64, usize)],
+    baseline_secs: f64,
+) -> std::io::Result<()> {
+    let recorded_unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut fields = vec![
+        ("schema".into(), Json::Str("cs-traffic-als-trajectory/v1".into())),
+        ("recorded_unix_s".into(), Json::Num(recorded_unix_s as f64)),
+        ("git_rev".into(), Json::Str(cs_bench::report::git_rev())),
+        ("quick".into(), Json::Bool(quick)),
+        ("rank".into(), Json::Num(rank as f64)),
+        ("threads".into(), Json::Num(1.0)),
+        ("sweeps".into(), Json::Num(sweeps as f64)),
+        ("baseline_per_sweep_ms".into(), Json::Num(baseline_secs * 1e3 / sweeps as f64)),
+    ];
+    for (variant, secs, _) in kernels {
+        fields.push((
+            format!("{}_per_sweep_ms", variant.name()),
+            Json::Num(secs * 1e3 / sweeps as f64),
+        ));
+    }
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_als_trajectory.jsonl");
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{}", Json::Obj(fields).encode())
+}
+
+/// Writes `results/BENCH_als.json` (schema `cs-traffic-bench-als/v2`):
+/// per-sweep wall time and allocation totals for the allocating
+/// baseline, the shipping auto-dispatched kernel, and every kernel
+/// variant that supports the bench rank, plus the resulting speedups.
+/// One deliberate single-shot run per path (criterion's statistics live
+/// in `target/criterion/als_kernel/`); the allocation counter doubles
+/// as the peak-RSS proxy — the baseline's churn is the resident-set
+/// pressure the kernel path removes.
+///
+/// Returns `false` when `CS_BENCH_ENFORCE` is set and the fixed-rank
+/// kernel came out slower than the scalar reference.
+fn write_bench_json() -> bool {
     let (tcm, cfg, quick) = bench_problem();
     let (m, n) = tcm.values().shape();
     let sweeps = cfg.iterations;
+    let feature_on = kernel_feature_active();
 
     // Warm-up: prime lazy globals and the page cache out of band.
     let _ = complete_matrix(&tcm, &cfg).unwrap();
@@ -189,72 +286,114 @@ fn write_bench_json() {
     let (kern_secs, kern_allocs) = measure(|| complete_matrix(&tcm, &cfg).unwrap());
     let speedup = base_secs / kern_secs;
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"als_kernel\",\n",
-            "  \"quick\": {quick},\n",
-            "  \"slots\": {m},\n",
-            "  \"segments\": {n},\n",
-            "  \"rank\": {rank},\n",
-            "  \"integrity\": 0.2,\n",
-            "  \"observed\": {observed},\n",
-            "  \"sweeps\": {sweeps},\n",
-            "  \"threads\": 1,\n",
-            "  \"baseline\": {{\n",
-            "    \"total_ms\": {base_ms:.3},\n",
-            "    \"per_sweep_ms\": {base_sweep_ms:.3},\n",
-            "    \"allocations\": {base_allocs},\n",
-            "    \"allocations_per_sweep\": {base_allocs_sweep:.1}\n",
-            "  }},\n",
-            "  \"gram_kernel\": {{\n",
-            "    \"total_ms\": {kern_ms:.3},\n",
-            "    \"per_sweep_ms\": {kern_sweep_ms:.3},\n",
-            "    \"allocations\": {kern_allocs},\n",
-            "    \"allocations_per_sweep\": {kern_allocs_sweep:.1}\n",
-            "  }},\n",
-            "  \"per_sweep_speedup\": {speedup:.3}\n",
-            "}}\n",
+    // Per-variant runs. With the feature off every variant resolves to
+    // scalar, so only the scalar row is honest — record just that one.
+    let variants: Vec<KernelVariant> = if feature_on {
+        KernelVariant::supported(cfg.rank).collect()
+    } else {
+        vec![KernelVariant::Scalar]
+    };
+    let kernels: Vec<(KernelVariant, f64, usize)> = variants
+        .iter()
+        .map(|&v| {
+            let (secs, allocs) = measure_variant(&tcm, &cfg, v);
+            (v, secs, allocs)
+        })
+        .collect();
+    let per_sweep = |secs: f64| secs * 1e3 / sweeps as f64;
+    let scalar_secs = kernels
+        .iter()
+        .find(|(v, _, _)| *v == KernelVariant::Scalar)
+        .map(|(_, s, _)| *s)
+        .expect("scalar row is always measured");
+    let fixed = kernels.iter().find(|(v, _, _)| {
+        matches!(v, KernelVariant::Fixed4 | KernelVariant::Fixed8 | KernelVariant::Fixed16)
+    });
+
+    let mut fields = vec![
+        ("schema".into(), Json::Str("cs-traffic-bench-als/v2".into())),
+        ("bench".into(), Json::Str("als_kernel".into())),
+        ("quick".into(), Json::Bool(quick)),
+        ("kernel_feature".into(), Json::Bool(feature_on)),
+        ("slots".into(), Json::Num(m as f64)),
+        ("segments".into(), Json::Num(n as f64)),
+        ("rank".into(), Json::Num(cfg.rank as f64)),
+        ("integrity".into(), Json::Num(0.2)),
+        ("observed".into(), Json::Num(tcm.observed_count() as f64)),
+        ("sweeps".into(), Json::Num(sweeps as f64)),
+        ("threads".into(), Json::Num(1.0)),
+        ("baseline".into(), run_json(base_secs, base_allocs, sweeps)),
+        ("gram_kernel".into(), run_json(kern_secs, kern_allocs, sweeps)),
+        (
+            "kernels".into(),
+            Json::Obj(
+                kernels
+                    .iter()
+                    .map(|(v, secs, allocs)| (v.name().into(), run_json(*secs, *allocs, sweeps)))
+                    .collect(),
+            ),
         ),
-        quick = quick,
-        m = m,
-        n = n,
-        rank = cfg.rank,
-        observed = tcm.observed_count(),
-        sweeps = sweeps,
-        base_ms = base_secs * 1e3,
-        base_sweep_ms = base_secs * 1e3 / sweeps as f64,
-        base_allocs = base_allocs,
-        base_allocs_sweep = base_allocs as f64 / sweeps as f64,
-        kern_ms = kern_secs * 1e3,
-        kern_sweep_ms = kern_secs * 1e3 / sweeps as f64,
-        kern_allocs = kern_allocs,
-        kern_allocs_sweep = kern_allocs as f64 / sweeps as f64,
-        speedup = speedup,
-    );
+        ("per_sweep_speedup".into(), Json::Num(speedup)),
+    ];
+    if let Some((fv, fsecs, _)) = fixed {
+        fields.push(("fixed_variant".into(), Json::Str(fv.name().into())));
+        fields.push(("fixed_vs_scalar_speedup".into(), Json::Num(scalar_secs / fsecs)));
+    }
+    let json = Json::Obj(fields).encode() + "\n";
 
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     let write = || -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join("BENCH_als.json");
         std::fs::File::create(&path)?.write_all(json.as_bytes())?;
+        append_als_trajectory(&dir, quick, cfg.rank, sweeps, &kernels, base_secs)?;
         Ok(path)
     };
     match write() {
-        Ok(path) => println!(
-            "\nals_kernel: {:.3} ms/sweep baseline vs {:.3} ms/sweep kernel \
-             ({speedup:.2}x, {base_allocs} vs {kern_allocs} allocations) -> {}",
-            base_secs * 1e3 / sweeps as f64,
-            kern_secs * 1e3 / sweeps as f64,
-            path.display(),
-        ),
+        Ok(path) => {
+            println!(
+                "\nals_kernel: {:.3} ms/sweep baseline vs {:.3} ms/sweep kernel \
+                 ({speedup:.2}x, {base_allocs} vs {kern_allocs} allocations) -> {}",
+                per_sweep(base_secs),
+                per_sweep(kern_secs),
+                path.display(),
+            );
+            for (v, secs, allocs) in &kernels {
+                println!(
+                    "als_kernel: {:>8} {:.3} ms/sweep ({allocs} allocations)",
+                    v.name(),
+                    per_sweep(*secs),
+                );
+            }
+        }
         Err(e) => eprintln!("warning: could not write BENCH_als.json: {e}"),
     }
+
+    // The perf gate: a fixed-rank kernel slower than the scalar
+    // reference means the specialization regressed. Opt-in via
+    // CS_BENCH_ENFORCE so local exploratory runs never exit non-zero.
+    if std::env::var_os("CS_BENCH_ENFORCE").is_some() {
+        if let Some((fv, fsecs, _)) = fixed {
+            if *fsecs > scalar_secs {
+                eprintln!(
+                    "als_kernel: ENFORCE failure — {} {:.3} ms/sweep is slower than \
+                     scalar {:.3} ms/sweep",
+                    fv.name(),
+                    per_sweep(*fsecs),
+                    per_sweep(scalar_secs),
+                );
+                return false;
+            }
+        }
+    }
+    true
 }
 
 fn main() {
     let mut criterion = Criterion::default();
     bench_als_kernel(&mut criterion);
     criterion.final_summary();
-    write_bench_json();
+    if !write_bench_json() {
+        std::process::exit(70);
+    }
 }

@@ -24,7 +24,7 @@
 
 use crate::error::ConfigError;
 use crate::obs::{AxisView, ObsIndex};
-use linalg::lstsq::{GramScratch, RidgeSolver};
+use linalg::lstsq::{solve_qr, GramScratch, RidgeSolver};
 use linalg::Matrix;
 use probes::Tcm;
 use rand::SeedableRng;
@@ -567,6 +567,12 @@ fn solve_factor(
                     .map_err(|e| CsError::Solve { axis, index: unit, detail: e.to_string() })
             },
         ),
+        // Explicitly `solve_qr`, not a re-dispatch through
+        // `config.solver.solve`: this arm exists only for the ablation,
+        // and routing back through the enum would silently fall into the
+        // allocating normal-equations path if the match arms ever
+        // drifted apart. The dispatch decision is made exactly once, on
+        // the match above.
         RidgeSolver::Qr => workpool::try_parallel_for_each_mut(&mut rows, threads, |unit, row| {
             let (indices, values) = obs.unit(unit);
             if indices.is_empty() {
@@ -575,7 +581,7 @@ fn solve_factor(
             }
             let a = Matrix::from_fn(indices.len(), r, |i, k| design.get(indices[i] as usize, k));
             let b = Matrix::from_fn(indices.len(), 1, |i, _| values[i]);
-            let sol = config.solver.solve(&a, &b, config.lambda).map_err(|e| CsError::Solve {
+            let sol = solve_qr(&a, &b, config.lambda).map_err(|e| CsError::Solve {
                 axis,
                 index: unit,
                 detail: e.to_string(),

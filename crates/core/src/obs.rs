@@ -325,6 +325,49 @@ mod tests {
         }
     }
 
+    /// The Gram kernels' bit-for-bit parity guarantee rests on this
+    /// contract: every unit's observations arrive in strictly ascending
+    /// index order, and rebuilding the index from the same TCM
+    /// reproduces the identical traversal (indices and value bits). A
+    /// future "optimization" that reorders the scatter — bucket sort,
+    /// parallel fill, hash grouping — must fail here before it silently
+    /// changes accumulation order in every kernel variant at once.
+    #[test]
+    fn traversal_order_is_ascending_and_rebuild_stable() {
+        let values = Matrix::from_fn(17, 13, |i, j| ((i * 13 + j) % 29) as f64 / 8.0 + 1.0);
+        let mask =
+            Matrix::from_fn(17, 13, |i, j| if (i * 7 + j * 11) % 3 != 0 { 1.0 } else { 0.0 });
+        let tcm = Tcm::complete(values).masked(&mask).unwrap();
+        let obs = ObsIndex::from_tcm(&tcm);
+        for i in 0..obs.num_rows() {
+            let (idx, _) = obs.row(i);
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "row {i} indices not ascending");
+        }
+        for j in 0..obs.num_cols() {
+            let (idx, _) = obs.col(j);
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "col {j} indices not ascending");
+        }
+        let rebuilt = ObsIndex::from_tcm(&tcm);
+        for i in 0..obs.num_rows() {
+            let (idx, vals) = obs.row(i);
+            let (ridx, rvals) = rebuilt.row(i);
+            assert_eq!(idx, ridx, "row {i} rebuild order");
+            assert!(
+                vals.iter().zip(rvals).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "row {i} rebuild value bits"
+            );
+        }
+        for j in 0..obs.num_cols() {
+            let (idx, vals) = obs.col(j);
+            let (ridx, rvals) = rebuilt.col(j);
+            assert_eq!(idx, ridx, "col {j} rebuild order");
+            assert!(
+                vals.iter().zip(rvals).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "col {j} rebuild value bits"
+            );
+        }
+    }
+
     #[test]
     fn empty_units_have_empty_spans() {
         let values = Matrix::filled(3, 3, 1.0);

@@ -18,6 +18,7 @@
 //! the design matrix and the target by `√w`.
 
 use crate::cs::{CsConfig, CsError, SolveAxis};
+use linalg::lstsq::{solve_qr, GramScratch, RidgeSolver};
 use linalg::Matrix;
 use probes::Tcm;
 use rand::SeedableRng;
@@ -132,10 +133,19 @@ pub fn complete_matrix_weighted(
     let mut l = Matrix::random_uniform(m, r, &mut rng, 0.0, 1.0);
     let mut rmat = Matrix::zeros(n, r);
 
-    let solve_weighted = |design: &Matrix,
-                          obs: &[Vec<(usize, f64, f64)>],
-                          axis: SolveAxis,
-                          out: &mut Matrix|
+    // One explicit dispatch on the solver backend, hoisted out of the
+    // per-unit loop: the Gram-kernel path (the default) reuses one
+    // scratch + scaled-row buffer across every unit, and the QR path
+    // calls `solve_qr` directly — neither re-dispatches through
+    // `RidgeSolver::solve`, which would silently take the allocating
+    // normal-equations route even when the kernel path was requested.
+    let mut scratch = GramScratch::new(r);
+    let mut scaled: Vec<f64> = Vec::new();
+    let mut row_buf = vec![0.0; r];
+    let mut solve_weighted = |design: &Matrix,
+                              obs: &[Vec<(usize, f64, f64)>],
+                              axis: SolveAxis,
+                              out: &mut Matrix|
      -> Result<(), CsError> {
         for (unit, entries) in obs.iter().enumerate() {
             if entries.is_empty() {
@@ -145,17 +155,42 @@ pub fn complete_matrix_weighted(
                 continue;
             }
             // Scale rows by √w: (√w a)ᵀ(√w a) = w aᵀa.
-            let a = Matrix::from_fn(entries.len(), r, |i, k| {
-                entries[i].2 * design.get(entries[i].0, k)
-            });
-            let b = Matrix::from_fn(entries.len(), 1, |i, _| entries[i].2 * entries[i].1);
-            let sol = config.solver.solve(&a, &b, config.lambda).map_err(|e| CsError::Solve {
-                axis,
-                index: unit,
-                detail: e.to_string(),
-            })?;
-            for k in 0..r {
-                out.set(unit, k, sol.get(k, 0));
+            match config.solver {
+                RidgeSolver::NormalEquations => {
+                    scaled.clear();
+                    scaled.resize(entries.len() * r, 0.0);
+                    for (i, &(u, _, sqrt_w)) in entries.iter().enumerate() {
+                        for k in 0..r {
+                            scaled[i * r + k] = sqrt_w * design.get(u, k);
+                        }
+                    }
+                    scratch
+                        .solve_ridge(
+                            entries.iter().enumerate().map(|(i, &(_, v, sqrt_w))| {
+                                (&scaled[i * r..(i + 1) * r], sqrt_w * v)
+                            }),
+                            config.lambda,
+                            &mut row_buf,
+                        )
+                        .map_err(|e| CsError::Solve { axis, index: unit, detail: e.to_string() })?;
+                    for (k, &x) in row_buf.iter().enumerate() {
+                        out.set(unit, k, x);
+                    }
+                }
+                RidgeSolver::Qr => {
+                    let a = Matrix::from_fn(entries.len(), r, |i, k| {
+                        entries[i].2 * design.get(entries[i].0, k)
+                    });
+                    let b = Matrix::from_fn(entries.len(), 1, |i, _| entries[i].2 * entries[i].1);
+                    let sol = solve_qr(&a, &b, config.lambda).map_err(|e| CsError::Solve {
+                        axis,
+                        index: unit,
+                        detail: e.to_string(),
+                    })?;
+                    for k in 0..r {
+                        out.set(unit, k, sol.get(k, 0));
+                    }
+                }
             }
         }
         Ok(())
@@ -233,6 +268,77 @@ mod tests {
         let weighted =
             complete_matrix_weighted(&tcm, &counts, WeightScheme::Uniform, &cfg).unwrap();
         assert!(plain.approx_eq(&weighted, 1e-8), "uniform weighting deviates");
+    }
+
+    /// With uniform weights the √w factors are exactly 1.0, so one
+    /// sweep of the weighted solver must reproduce one sweep of the
+    /// plain kernel path *bit for bit* — the explicit Gram-kernel
+    /// dispatch above is the same arithmetic `complete_matrix` runs,
+    /// not merely an approximation of it.
+    #[test]
+    fn uniform_weights_single_sweep_matches_plain_bitwise() {
+        let truth = low_rank_truth(30, 16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mask = random_mask(30, 16, 0.5, &mut rng);
+        let tcm = Tcm::complete(truth).masked(&mask).unwrap();
+        let counts = Matrix::filled(30, 16, 1.0);
+        let cfg =
+            CsConfig { rank: 3, lambda: 0.4, iterations: 1, num_threads: 1, ..CsConfig::default() };
+        let plain = complete_matrix(&tcm, &cfg).unwrap();
+        let weighted =
+            complete_matrix_weighted(&tcm, &counts, WeightScheme::Uniform, &cfg).unwrap();
+        for (idx, (x, y)) in plain.as_slice().iter().zip(weighted.as_slice()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "entry {idx} differs bitwise: plain {x:?} vs weighted {y:?}"
+            );
+        }
+    }
+
+    /// λ = 0 with a rank-deficient unit must be rejected
+    /// deterministically by both backends, through their *own* error
+    /// paths: the Gram kernel reports the Cholesky pivot, QR reports
+    /// its diagonal — proof the dispatch is explicit rather than
+    /// funneled through one allocating route.
+    #[test]
+    fn lambda_zero_rank_deficient_is_rejected_deterministically() {
+        // Single observation per column at rank 2: every per-column
+        // Gram matrix is a rank-1 outer product, singular at λ = 0.
+        let values = Matrix::filled(6, 4, 25.0);
+        let mask = Matrix::from_fn(6, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        let tcm = Tcm::new(values, mask).unwrap();
+        let counts = Matrix::filled(6, 4, 1.0);
+        let cfg = |solver| CsConfig {
+            rank: 2,
+            lambda: 0.0,
+            iterations: 3,
+            num_threads: 1,
+            solver,
+            ..CsConfig::default()
+        };
+        let run = |solver| {
+            complete_matrix_weighted(&tcm, &counts, WeightScheme::Uniform, &cfg(solver))
+                .unwrap_err()
+        };
+        let ne = run(RidgeSolver::NormalEquations);
+        match &ne {
+            CsError::Solve { axis, index, detail } => {
+                assert_eq!(*axis, SolveAxis::Column);
+                assert_eq!(*index, 0, "first deficient unit must be named");
+                assert!(detail.contains("not positive definite"), "detail: {detail}");
+            }
+            other => panic!("expected Solve error, got {other:?}"),
+        }
+        // Deterministic: the same failure, bit for bit, on a rerun.
+        assert_eq!(format!("{ne:?}"), format!("{:?}", run(RidgeSolver::NormalEquations)));
+        let qr = run(RidgeSolver::Qr);
+        match &qr {
+            CsError::Solve { axis, detail, .. } => {
+                assert_eq!(*axis, SolveAxis::Column);
+                assert!(detail.contains("rank-deficient"), "detail: {detail}");
+            }
+            other => panic!("expected Solve error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -112,6 +112,66 @@ fn sweep_loop_allocations_do_not_scale_with_units() {
     // (Same test fn: the counting allocator is process-global and the
     // measurements must not interleave.)
     service_tick_is_allocation_free_when_observability_is_off();
+
+    // --- Kernel variants allocate identically ------------------------
+    // (Same test fn, same reason.)
+    kernel_variants_allocate_identically();
+}
+
+/// The fixed-rank and unrolled kernels must match the scalar reference
+/// in allocation behaviour, not just in bits: a specialized kernel that
+/// quietly heap-allocates per solve would erase the point of the
+/// specialization.
+fn kernel_variants_allocate_identically() {
+    use linalg::kernel::{set_kernel_override, KernelVariant};
+    use linalg::lstsq::GramScratch;
+
+    // Direct solve loop: once the scratch exists, repeated solves
+    // allocate exactly zero times — for every variant, at a runtime
+    // rank, and at each fixed rank.
+    for r in [4usize, 5, 8, 16] {
+        let rows: Vec<(Vec<f64>, f64)> = (0..r + 3)
+            .map(|i| {
+                let row = (0..r).map(|j| ((i * 3 + j * 5) % 7 + 1) as f64 / 4.0).collect();
+                (row, 1.0)
+            })
+            .collect();
+        for variant in KernelVariant::supported(r) {
+            let mut scratch = GramScratch::with_variant(r, variant);
+            let mut out = vec![0.0; r];
+            let solve = |scratch: &mut GramScratch, out: &mut Vec<f64>| {
+                scratch
+                    .solve_ridge(rows.iter().map(|(row, y)| (row.as_slice(), *y)), 0.5, out)
+                    .unwrap();
+            };
+            solve(&mut scratch, &mut out); // warm (nothing to warm, but symmetric)
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            for _ in 0..20 {
+                solve(&mut scratch, &mut out);
+            }
+            let solves = ALLOCATIONS.load(Ordering::Relaxed) - before;
+            assert_eq!(solves, 0, "r={r} variant {variant}: solve loop allocated {solves} times");
+        }
+    }
+
+    // Whole-pipeline parity: `complete_matrix` (rank 4 → scalar,
+    // unrolled, and Fixed4 all apply) must allocate exactly as many
+    // times under each forced kernel as under the scalar reference.
+    let tcm = striped_tcm(60, 40);
+    let count_for = |variant: KernelVariant| {
+        set_kernel_override(Some(variant));
+        let count = allocations_for(&tcm, 6);
+        set_kernel_override(None);
+        count
+    };
+    let scalar = count_for(KernelVariant::Scalar);
+    for variant in [KernelVariant::Unrolled, KernelVariant::Fixed4] {
+        let forced = count_for(variant);
+        assert_eq!(
+            forced, scalar,
+            "variant {variant} allocated {forced} times vs {scalar} for scalar"
+        );
+    }
 }
 
 fn warm_service(trace_sample: u64) -> Service {

@@ -8,7 +8,8 @@
 //! `solve_normal_equations`, `L·Rᵀ` via explicit transpose), pinning the
 //! refactor as a pure reimplementation rather than a numerical change.
 
-use linalg::lstsq::{solve_normal_equations, RidgeSolver};
+use linalg::kernel::{set_kernel_override, KernelVariant};
+use linalg::lstsq::{solve_normal_equations, GramScratch, RidgeSolver};
 use linalg::Matrix;
 use probes::mask::random_mask;
 use probes::Tcm;
@@ -263,5 +264,509 @@ proptest! {
             prop_assert_eq!(a.objective.to_bits(), b.objective.to_bits());
             prop_assert!(a.rows_resolved <= b.rows_resolved);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden-bit vectors for the fixed-rank kernels.
+//
+// The inputs are exact dyadic rationals built from a closed-form integer
+// recurrence (no RNG, no platform dependence), so the accumulated Gram
+// triangle and RHS are exactly representable and the full solve is a
+// deterministic float program. The expected bits below were produced by
+// `regenerate_golden_vectors` (run with `--ignored --nocapture`) and
+// pinned: a toolchain or codegen change that flips a single bit in any
+// kernel variant fails with the exact lane named. Every variant that
+// supports the rank — scalar, unrolled, fixed-R — must land on the same
+// pinned bits, so this doubles as a cross-variant parity pin.
+// ---------------------------------------------------------------------
+
+/// λ for the golden problems: exactly representable, and large enough
+/// to keep the (deliberately rank-deficient at R = 16) designs PD.
+const GOLDEN_LAMBDA: f64 = 0.25;
+
+/// `R + 3` design rows of dyadic rationals in [-0.5, 1.0]; rows repeat
+/// with period 13 in `i`, so the R = 16 design is rank deficient and
+/// leans on λ — the adversarial corner the fixed-rank writeback and the
+/// λ placement must both survive.
+fn golden_rows(r: usize) -> Vec<(Vec<f64>, f64)> {
+    (0..r + 3)
+        .map(|i| {
+            let row =
+                (0..r).map(|j| ((i * 31 + j * 17) % 13) as f64 / 8.0 - 0.5).collect::<Vec<_>>();
+            let y = ((i * 7) % 11) as f64 / 4.0 - 1.0;
+            (row, y)
+        })
+        .collect()
+}
+
+/// Checks every supporting kernel variant against the pinned bits,
+/// naming the variant and the exact Gram lane / vector slot on failure.
+fn check_golden(r: usize, gram_tri: &[u64], rhs_bits: &[u64], sol_bits: &[u64]) {
+    assert_eq!(gram_tri.len(), r * (r + 1) / 2);
+    let rows = golden_rows(r);
+    for variant in KernelVariant::supported(r) {
+        let mut gram = vec![0.0; r * r];
+        let mut rhs = vec![0.0; r];
+        variant.accumulate(
+            rows.iter().map(|(row, y)| (row.as_slice(), *y)),
+            GOLDEN_LAMBDA,
+            &mut gram,
+            &mut rhs,
+        );
+        let mut tri = 0;
+        for i in 0..r {
+            for j in 0..=i {
+                let got = gram[i * r + j];
+                assert!(
+                    got.to_bits() == gram_tri[tri],
+                    "R={r} variant {variant}: gram lane [{i}][{j}] = {got:?} \
+                     ({:#018x}), pinned {:#018x}",
+                    got.to_bits(),
+                    gram_tri[tri]
+                );
+                tri += 1;
+            }
+        }
+        for (k, &want) in rhs_bits.iter().enumerate() {
+            assert!(
+                rhs[k].to_bits() == want,
+                "R={r} variant {variant}: rhs slot [{k}] = {:?} ({:#018x}), pinned {want:#018x}",
+                rhs[k],
+                rhs[k].to_bits()
+            );
+        }
+        let mut scratch = GramScratch::with_variant(r, variant);
+        let mut out = vec![0.0; r];
+        scratch
+            .solve_ridge(rows.iter().map(|(row, y)| (row.as_slice(), *y)), GOLDEN_LAMBDA, &mut out)
+            .unwrap_or_else(|e| panic!("R={r} variant {variant}: golden solve failed: {e}"));
+        for (k, &want) in sol_bits.iter().enumerate() {
+            assert!(
+                out[k].to_bits() == want,
+                "R={r} variant {variant}: solution slot [{k}] = {:?} ({:#018x}), \
+                 pinned {want:#018x}",
+                out[k],
+                out[k].to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_bits_rank_4() {
+    check_golden(4, &golden::GRAM_4, &golden::RHS_4, &golden::SOL_4);
+}
+
+#[test]
+fn golden_bits_rank_8() {
+    check_golden(8, &golden::GRAM_8, &golden::RHS_8, &golden::SOL_8);
+}
+
+#[test]
+fn golden_bits_rank_16() {
+    check_golden(16, &golden::GRAM_16, &golden::RHS_16, &golden::SOL_16);
+}
+
+/// Prints the golden arrays for pasting into the `golden` module after
+/// an *intentional* kernel change. Scalar is the authority; the checks
+/// above then hold every other variant to the same bits.
+#[test]
+#[ignore = "regenerates the pinned vectors; run with --ignored --nocapture"]
+fn regenerate_golden_vectors() {
+    for r in [4usize, 8, 16] {
+        let rows = golden_rows(r);
+        let mut gram = vec![0.0; r * r];
+        let mut rhs = vec![0.0; r];
+        KernelVariant::Scalar.accumulate(
+            rows.iter().map(|(row, y)| (row.as_slice(), *y)),
+            GOLDEN_LAMBDA,
+            &mut gram,
+            &mut rhs,
+        );
+        let mut scratch = GramScratch::with_variant(r, KernelVariant::Scalar);
+        let mut out = vec![0.0; r];
+        scratch
+            .solve_ridge(rows.iter().map(|(row, y)| (row.as_slice(), *y)), GOLDEN_LAMBDA, &mut out)
+            .unwrap();
+        let tri: Vec<String> = (0..r)
+            .flat_map(|i| (0..=i).map(move |j| (i, j)))
+            .map(|(i, j)| format!("{:#018x}", gram[i * r + j].to_bits()))
+            .collect();
+        println!("pub const GRAM_{r}: [u64; {}] = [\n    {},\n];", tri.len(), tri.join(",\n    "));
+        let fmt = |v: &[f64]| {
+            v.iter().map(|x| format!("{:#018x}", x.to_bits())).collect::<Vec<_>>().join(",\n    ")
+        };
+        println!("pub const RHS_{r}: [u64; {r}] = [\n    {},\n];", fmt(&rhs));
+        println!("pub const SOL_{r}: [u64; {r}] = [\n    {},\n];", fmt(&out));
+    }
+}
+
+/// Pinned bits for the golden problems (see `regenerate_golden_vectors`).
+#[rustfmt::skip]
+mod golden {
+    pub const GRAM_4: [u64; 10] = [
+        0x4002400000000000,
+        0xbfb0000000000000,
+        0x3ffe000000000000,
+        0xbfc0000000000000,
+        0x3fb0000000000000,
+        0x4004400000000000,
+        0x3ff0800000000000,
+        0xbfd2000000000000,
+        0x3fdc000000000000,
+        0x4005000000000000,
+    ];
+    pub const RHS_4: [u64; 4] = [
+        0xbfd2000000000000,
+        0x4000800000000000,
+        0x3ff2800000000000,
+        0xc001800000000000,
+    ];
+    pub const SOL_4: [u64; 4] = [
+        0x3fd87bd87de4fcda,
+        0x3fee35a46fd17eb4,
+        0x3fe3ee4fca384d6c,
+        0xbfef8fa1a242f716,
+    ];
+    pub const GRAM_8: [u64; 36] = [
+        0x400d200000000000,
+        0xbfdd000000000000,
+        0x4006200000000000,
+        0xbfce000000000000,
+        0xbfca000000000000,
+        0x4009000000000000,
+        0x4001c00000000000,
+        0xbfe6000000000000,
+        0x3fd1000000000000,
+        0x400da00000000000,
+        0x3fca000000000000,
+        0x3ff7800000000000,
+        0xbfe0800000000000,
+        0xbfd1000000000000,
+        0x4008a00000000000,
+        0xbfd9000000000000,
+        0x3fe2800000000000,
+        0x3ffc000000000000,
+        0xbfc0000000000000,
+        0x3fa0000000000000,
+        0x400a400000000000,
+        0x3ff4000000000000,
+        0xbfe7000000000000,
+        0x3fef000000000000,
+        0x4002000000000000,
+        0xbfe1000000000000,
+        0x3fd6000000000000,
+        0x400da00000000000,
+        0x3ff1000000000000,
+        0x3fe4000000000000,
+        0xbfe4000000000000,
+        0x3fd7000000000000,
+        0x3ffc000000000000,
+        0xbfd4000000000000,
+        0xbfc2000000000000,
+        0x400aa00000000000,
+    ];
+    pub const RHS_8: [u64; 8] = [
+        0x3fda000000000000,
+        0x4004c00000000000,
+        0x3fd4000000000000,
+        0xbff9000000000000,
+        0x4005400000000000,
+        0x3ff3000000000000,
+        0xc009000000000000,
+        0x3ffe800000000000,
+    ];
+    pub const SOL_8: [u64; 8] = [
+        0x3fe0ea1fb1169490,
+        0x3fe001ef8c225543,
+        0x3fdd9ba0df483760,
+        0xbfb567d58d030c51,
+        0x3fd917eac6c855e5,
+        0x3fc98e403bc80d40,
+        0xbfee6e20700a1c14,
+        0x3fc6d55ef3cd1f6e,
+    ];
+    pub const GRAM_16: [u64; 136] = [
+        0x4017c00000000000,
+        0xbfb0000000000000,
+        0x4015200000000000,
+        0xbfe1000000000000,
+        0xbfdc000000000000,
+        0x4014c00000000000,
+        0x400bc00000000000,
+        0xbfe4000000000000,
+        0x3fe2000000000000,
+        0x4019100000000000,
+        0x3fd7000000000000,
+        0x400d400000000000,
+        0xbfef000000000000,
+        0xbfe0800000000000,
+        0x4014400000000000,
+        0xbfe7000000000000,
+        0x3ff0800000000000,
+        0x4006400000000000,
+        0xbfc2000000000000,
+        0x3fc8000000000000,
+        0x4016900000000000,
+        0x4002200000000000,
+        0xbfef800000000000,
+        0x3ff0c00000000000,
+        0x4012000000000000,
+        0xbfef800000000000,
+        0x3fa0000000000000,
+        0x4017100000000000,
+        0x4001a00000000000,
+        0x3ffe000000000000,
+        0xbff1800000000000,
+        0x3fea000000000000,
+        0x4005c00000000000,
+        0xbfdd000000000000,
+        0x3fa0000000000000,
+        0x4016900000000000,
+        0xbfed000000000000,
+        0x3ffb000000000000,
+        0x3ffa400000000000,
+        0xbfe4800000000000,
+        0x3fe7800000000000,
+        0x400f800000000000,
+        0xbfe2800000000000,
+        0xbfcc000000000000,
+        0x4015100000000000,
+        0x3feb800000000000,
+        0xbfe7800000000000,
+        0x4007a00000000000,
+        0x4004a00000000000,
+        0xbff0c00000000000,
+        0x3ff6c00000000000,
+        0x400a400000000000,
+        0xbfe1800000000000,
+        0x3fe0000000000000,
+        0x4018400000000000,
+        0x4008400000000000,
+        0x3fed000000000000,
+        0xbff3800000000000,
+        0x3ff5400000000000,
+        0x3ffa400000000000,
+        0xbfec800000000000,
+        0x3fdc000000000000,
+        0x4010000000000000,
+        0xbfe8800000000000,
+        0xbfdd000000000000,
+        0x4015900000000000,
+        0xbfd2000000000000,
+        0x400fc00000000000,
+        0x3fd3000000000000,
+        0xbfe1000000000000,
+        0x4005a00000000000,
+        0x4000a00000000000,
+        0xbfe9000000000000,
+        0x3ff3c00000000000,
+        0x4006c00000000000,
+        0xbfcc000000000000,
+        0x3fd8000000000000,
+        0x4016c00000000000,
+        0x3fb0000000000000,
+        0xbfe6000000000000,
+        0x400ec00000000000,
+        0x3ff7800000000000,
+        0xbff1c00000000000,
+        0x4000000000000000,
+        0x4000800000000000,
+        0xbfed800000000000,
+        0x3fef000000000000,
+        0x4011200000000000,
+        0xbfee000000000000,
+        0xbfb0000000000000,
+        0x4016200000000000,
+        0x4016c00000000000,
+        0xbfb0000000000000,
+        0xbfe1000000000000,
+        0x400bc00000000000,
+        0x3fd7000000000000,
+        0xbfe7000000000000,
+        0x4002200000000000,
+        0x4001a00000000000,
+        0xbfed000000000000,
+        0x3feb800000000000,
+        0x4008400000000000,
+        0xbfd2000000000000,
+        0x3fb0000000000000,
+        0x4017c00000000000,
+        0xbfb0000000000000,
+        0x4014200000000000,
+        0xbfdc000000000000,
+        0xbfe4000000000000,
+        0x400d400000000000,
+        0x3ff0800000000000,
+        0xbfef800000000000,
+        0x3ffe000000000000,
+        0x3ffb000000000000,
+        0xbfe7800000000000,
+        0x3fed000000000000,
+        0x400fc00000000000,
+        0xbfe6000000000000,
+        0xbfb0000000000000,
+        0x4015200000000000,
+        0xbfe1000000000000,
+        0xbfdc000000000000,
+        0x4013c00000000000,
+        0x3fe2000000000000,
+        0xbfef000000000000,
+        0x4006400000000000,
+        0x3ff0c00000000000,
+        0xbff1800000000000,
+        0x3ffa400000000000,
+        0x4007a00000000000,
+        0xbff3800000000000,
+        0x3fd3000000000000,
+        0x400ec00000000000,
+        0xbfe1000000000000,
+        0xbfdc000000000000,
+        0x4014c00000000000,
+    ];
+    pub const RHS_16: [u64; 16] = [
+        0x4003800000000000,
+        0x4012a00000000000,
+        0xc000800000000000,
+        0xbfd0000000000000,
+        0x4011a00000000000,
+        0x3fee000000000000,
+        0xc001000000000000,
+        0x4010a00000000000,
+        0x3ffe800000000000,
+        0xbff2800000000000,
+        0x400c000000000000,
+        0x4010600000000000,
+        0xc00b800000000000,
+        0x4003800000000000,
+        0x4012a00000000000,
+        0xc000800000000000,
+    ];
+    pub const SOL_16: [u64; 16] = [
+        0x3fc8895e8ee3a0fb,
+        0x3fc88a6ec0b73ef5,
+        0x3f9ffb9e4c23d7d3,
+        0x3fb9df8d0db66196,
+        0x3fc4828996acb97e,
+        0x3fc3b9e2558f2f69,
+        0xbfe202c0a3b200a9,
+        0x3fc46da843ad9ece,
+        0x3fc41fe24142bf66,
+        0x3fe8b308ebf160ee,
+        0x3fc456dae2fdc00f,
+        0x3fc4c2bc2d610fbb,
+        0xbff081d5c84cf50c,
+        0x3fc8895e8ee3a0b5,
+        0x3fc88a6ec0b73f88,
+        0x3f9ffb9e4c23d6eb,
+    ];
+}
+
+/// The bitwise pre-refactor pin at the fixed-kernel ranks: rank 8 and
+/// rank 16 dispatch to `Fixed8`/`Fixed16` (feature on) or scalar
+/// (feature off), and either way must reproduce the allocating
+/// reference estimate and objective exactly.
+#[test]
+fn fixed_rank_kernel_path_equals_prerefactor_estimate_bitwise() {
+    for (m, n, rank, lambda, integrity, seed, iterations) in
+        [(40, 26, 8, 0.5, 0.5, 3, 8), (36, 24, 16, 1.0, 0.7, 9, 6)]
+    {
+        let tcm = low_rank_tcm(m, n, rank + 1, integrity, seed);
+        let cfg = CsConfig {
+            rank,
+            lambda,
+            iterations,
+            tol: 0.0,
+            seed: seed * 5 + 2,
+            num_threads: 1,
+            ..CsConfig::default()
+        };
+        let (expected, expected_objective) = reference_als(&tcm, &cfg);
+        let got = complete_matrix_detailed(&tcm, &cfg).unwrap();
+        assert_eq!(
+            got.objective.to_bits(),
+            expected_objective.to_bits(),
+            "rank-{rank} objective differs: {} vs {expected_objective}",
+            got.objective
+        );
+        for (idx, (x, y)) in got.estimate.as_slice().iter().zip(expected.as_slice()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "rank={rank} entry {idx} differs bitwise: {x:?} vs {y:?}"
+            );
+        }
+    }
+}
+
+/// End-to-end `Service` replay parity across kernel variants: the same
+/// report stream driven through a scalar-forced service and an
+/// auto-kernel service must produce byte-identical checkpoints and
+/// bit-identical live estimates, and a checkpoint written by one must
+/// restore and re-checkpoint identically under the other. This is the
+/// system-level closure of the rig's 0-ulp policy — with no permitted
+/// divergence, the solve-cache window digests and chaos oracles cannot
+/// tell the kernels apart.
+#[test]
+fn service_replay_is_kernel_variant_invariant() {
+    use traffic_cs::service::{Observation, ServeConfig, Service};
+
+    fn replay_config() -> ServeConfig {
+        ServeConfig::builder()
+            .slot_len_s(60)
+            .window_slots(6)
+            .num_segments(8)
+            .cs(CsConfig {
+                rank: 4,
+                lambda: 0.3,
+                iterations: 12,
+                num_threads: 1,
+                ..CsConfig::default()
+            })
+            .build()
+            .unwrap()
+    }
+
+    fn run(forced: Option<KernelVariant>) -> (String, Vec<u64>) {
+        set_kernel_override(forced);
+        let mut s = Service::new(replay_config()).unwrap();
+        for step in 0..8u64 {
+            for v in 0..12u64 {
+                s.push(Observation {
+                    vehicle: v,
+                    timestamp_s: step * 60 + (v % 6) * 7,
+                    segment: (v as usize * 3 + step as usize) % 8,
+                    speed_kmh: 22.0 + ((v * 13 + step * 5) % 17) as f64,
+                });
+            }
+            s.advance_clock(step * 60 + 59);
+            s.tick();
+        }
+        let bits = s
+            .latest()
+            .expect("stream produced an estimate")
+            .estimate
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let out = (s.checkpoint(), bits);
+        set_kernel_override(None);
+        out
+    }
+
+    let (scalar_ckpt, scalar_bits) = run(Some(KernelVariant::Scalar));
+    let (auto_ckpt, auto_bits) = run(None);
+    assert_eq!(scalar_bits, auto_bits, "live estimates diverged across kernel variants");
+    assert_eq!(scalar_ckpt, auto_ckpt, "checkpoints diverged across kernel variants");
+
+    // Cross-restore: a scalar-produced checkpoint restored under auto
+    // kernels must re-checkpoint byte-for-byte (and vice versa).
+    for forced in [None, Some(KernelVariant::Scalar)] {
+        set_kernel_override(forced);
+        let mut s = Service::new(replay_config()).unwrap();
+        s.restore(&scalar_ckpt).unwrap();
+        assert_eq!(s.checkpoint(), scalar_ckpt, "cross-variant restore round trip drifted");
+        set_kernel_override(None);
     }
 }

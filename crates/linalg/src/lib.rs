@@ -35,6 +35,7 @@
 
 pub mod eig;
 pub mod fft;
+pub mod kernel;
 pub mod lstsq;
 mod matrix;
 pub mod power;
@@ -43,6 +44,7 @@ pub mod rng;
 pub mod stats;
 pub mod svd;
 
+pub use kernel::{set_kernel_override, GramKernel, KernelVariant};
 pub use matrix::{Matrix, MatrixShapeError};
 pub use qr::QrDecomposition;
 pub use svd::Svd;

@@ -12,6 +12,7 @@
 //! * [`solve_qr`] — Householder QR on the stacked system, numerically safer
 //!   when λ is tiny. Used by the `als_solver` ablation bench.
 
+use crate::kernel::KernelVariant;
 use crate::qr::{QrDecomposition, QrError};
 use crate::{Matrix, MatrixShapeError};
 
@@ -181,6 +182,9 @@ pub fn solve_normal_equations(a: &Matrix, b: &Matrix, lambda: f64) -> Result<Mat
 /// design matrix: both accumulate each entry's partial products in
 /// observation order.
 ///
+/// This is the *scalar reference kernel*: the vectorized variants in
+/// [`crate::kernel`] are verified bit-for-bit against it.
+///
 /// # Panics
 ///
 /// Panics when `gram.len() != rhs.len()²` or a design row is shorter
@@ -218,7 +222,9 @@ pub fn accumulate_gram<'a>(
 ///
 /// The arithmetic replays [`cholesky`] + [`solve_spd`] operation for
 /// operation (same loop order, same association), so the result is
-/// bit-for-bit identical to the allocating route.
+/// bit-for-bit identical to the allocating route. This is the *scalar
+/// reference kernel* the vectorized variants in [`crate::kernel`] are
+/// verified against.
 ///
 /// # Errors
 ///
@@ -280,23 +286,49 @@ pub fn cholesky_solve_in_place(
 /// Gram buffer plus two `r`-vectors, allocated once and reused across
 /// any number of [`GramScratch::solve_ridge`] calls. This is what each
 /// ALS worker carries across the units of a sweep.
+///
+/// Construction picks a kernel implementation via
+/// [`KernelVariant::auto`] — the fixed-rank kernel for r ∈ {4, 8, 16},
+/// the 4-lane unrolled kernel otherwise, or the scalar reference when
+/// the `kernel` feature is disabled. All variants are bit-for-bit
+/// identical, so the choice affects speed only.
 #[derive(Debug, Clone)]
 pub struct GramScratch {
     r: usize,
+    variant: KernelVariant,
     gram: Vec<f64>,
     rhs: Vec<f64>,
     y: Vec<f64>,
 }
 
 impl GramScratch {
-    /// Allocates scratch for rank-`r` ridge systems.
+    /// Allocates scratch for rank-`r` ridge systems, auto-selecting the
+    /// kernel variant for the rank.
     pub fn new(r: usize) -> Self {
-        Self { r, gram: vec![0.0; r * r], rhs: vec![0.0; r], y: vec![0.0; r] }
+        Self::with_variant(r, KernelVariant::auto(r))
+    }
+
+    /// Allocates scratch pinned to an explicit kernel `variant` — used
+    /// by the parity rig and benches to compare implementations without
+    /// touching the process-global override.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `variant` does not support rank `r` (a fixed-rank
+    /// kernel fed a different rank).
+    pub fn with_variant(r: usize, variant: KernelVariant) -> Self {
+        assert!(variant.supports(r), "kernel variant {variant} does not support rank {r}");
+        Self { r, variant, gram: vec![0.0; r * r], rhs: vec![0.0; r], y: vec![0.0; r] }
     }
 
     /// The rank this scratch was sized for.
     pub fn rank(&self) -> usize {
         self.r
+    }
+
+    /// The kernel variant this scratch dispatches to.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
     }
 
     /// Solves `min_x ‖A x − y‖² + λ‖x‖²` where `A`'s rows (and the
@@ -318,8 +350,8 @@ impl GramScratch {
         lambda: f64,
         out: &mut [f64],
     ) -> Result<(), SolveError> {
-        accumulate_gram(rows, lambda, &mut self.gram, &mut self.rhs);
-        cholesky_solve_in_place(&mut self.gram, &self.rhs, &mut self.y, out)
+        self.variant.accumulate(rows, lambda, &mut self.gram, &mut self.rhs);
+        self.variant.solve_in_place(&mut self.gram, &self.rhs, &mut self.y, out)
     }
 
     /// Solves one ridge unit whose design rows are the rows of `design`

@@ -1,0 +1,159 @@
+//! Cholesky edge-case suite for every Gram kernel variant.
+//!
+//! Three layers:
+//!
+//! 1. **Condition sweep** — Gram matrices graded from benign to
+//!    numerically singular (two nearly-parallel design rows, separation
+//!    δ = 2⁻ᵗ): every variant must return the *same* result, success or
+//!    failure, at every grade, and the well-conditioned grades must
+//!    succeed.
+//! 2. **λ = 0 rank deficiency** — deterministically rejected, same
+//!    `SolveError` on every rerun, for every variant.
+//! 3. **Pivot-index pinning** — a zeroed design column `k` zeroes the
+//!    `k`-th Cholesky pivot *exactly* (no rounding involved), so every
+//!    variant must report `NotPositiveDefinite { index: k }` for every
+//!    `k`, including lanes in the middle of a 4-wide block.
+
+use linalg::kernel::KernelVariant;
+use linalg::lstsq::{GramScratch, SolveError};
+
+fn solve(
+    variant: KernelVariant,
+    r: usize,
+    rows: &[(Vec<f64>, f64)],
+    lambda: f64,
+) -> Result<Vec<u64>, SolveError> {
+    let mut scratch = GramScratch::with_variant(r, variant);
+    let mut out = vec![0.0; r];
+    scratch
+        .solve_ridge(rows.iter().map(|(row, y)| (row.as_slice(), *y)), lambda, &mut out)
+        .map(|()| out.iter().map(|v| v.to_bits()).collect())
+}
+
+/// Two nearly-parallel rows separated by δ = 2⁻ᵗ: Gram condition number
+/// grows like δ⁻², crossing from comfortably solvable to numerically
+/// singular inside the sweep. Parity is required at every grade; the
+/// comfortable grades must additionally succeed, and a modest λ must
+/// rescue every grade.
+#[test]
+fn condition_sweep_parity_across_variants() {
+    for t in 1u32..=40 {
+        let delta = (2.0f64).powi(-(t as i32));
+        let rows: Vec<(Vec<f64>, f64)> = vec![(vec![1.0, 1.0], 1.0), (vec![1.0, 1.0 + delta], 2.0)];
+        let reference = solve(KernelVariant::Scalar, 2, &rows, 0.0);
+        for variant in KernelVariant::supported(2).skip(1) {
+            assert_eq!(
+                reference,
+                solve(variant, 2, &rows, 0.0),
+                "t={t}: variant {variant} disagrees with scalar at λ=0"
+            );
+        }
+        if t <= 20 {
+            assert!(reference.is_ok(), "t={t}: well-conditioned grade must solve at λ=0");
+        }
+        // λ rescues every grade, in every variant, with identical bits.
+        let rescued = solve(KernelVariant::Scalar, 2, &rows, 1e-6);
+        assert!(rescued.is_ok(), "t={t}: λ=1e-6 must rescue the system");
+        for variant in KernelVariant::supported(2).skip(1) {
+            assert_eq!(
+                rescued,
+                solve(variant, 2, &rows, 1e-6),
+                "t={t}: variant {variant} disagrees with scalar at λ=1e-6"
+            );
+        }
+    }
+}
+
+/// λ = 0 on a rank-deficient design is rejected deterministically:
+/// every variant, every rerun, the same error value.
+#[test]
+fn lambda_zero_rank_deficiency_is_deterministic() {
+    for r in [2usize, 4, 5, 8, 16] {
+        // All columns identical: the second pivot collapses.
+        let rows: Vec<(Vec<f64>, f64)> = (0..4).map(|i| (vec![(i + 1) as f64; r], 1.0)).collect();
+        for variant in KernelVariant::supported(r) {
+            let first = solve(variant, r, &rows, 0.0);
+            assert_eq!(
+                first.clone().unwrap_err(),
+                SolveError::NotPositiveDefinite { index: 1 },
+                "r={r} variant {variant}"
+            );
+            for _ in 0..3 {
+                assert_eq!(
+                    first,
+                    solve(variant, r, &rows, 0.0),
+                    "r={r} variant {variant}: rerun drifted"
+                );
+            }
+        }
+    }
+}
+
+/// A zeroed design column `k` makes the `k`-th pivot *exactly* zero
+/// (every contributing product is a float zero, no rounding), so the
+/// failing index is pinned for each `k` — including k = 0, lane
+/// positions inside a 4-wide block, and the final lane — in every
+/// kernel variant.
+#[test]
+fn pivot_index_is_pinned_per_variant() {
+    for r in [4usize, 5, 8, 16, 17] {
+        for k in 0..r {
+            // Identity rows keep the leading principal minors positive
+            // definite (so no earlier pivot can fail), two dense dyadic
+            // rows exercise the accumulation lanes, and column k is
+            // zeroed throughout — its pivot is *exactly* 0.0.
+            let mut rows: Vec<(Vec<f64>, f64)> = (0..r)
+                .map(|i| {
+                    let mut row = vec![0.0; r];
+                    if i != k {
+                        row[i] = 1.0;
+                    }
+                    (row, 1.0)
+                })
+                .collect();
+            for m in 0..2usize {
+                let row: Vec<f64> = (0..r)
+                    .map(|j| if j == k { 0.0 } else { ((m * 3 + j * 5) % 7 + 1) as f64 / 4.0 })
+                    .collect();
+                rows.push((row, 0.5));
+            }
+            for variant in KernelVariant::supported(r) {
+                assert_eq!(
+                    solve(variant, r, &rows, 0.0).unwrap_err(),
+                    SolveError::NotPositiveDefinite { index: k },
+                    "r={r} k={k} variant {variant}: pivot index"
+                );
+            }
+        }
+    }
+}
+
+/// The zero-column pivot is *exactly* k when the leading k×k principal
+/// minor is well conditioned — pin the exact index on small cases where
+/// the remaining columns are linearly independent by construction.
+#[test]
+fn pivot_index_exact_on_orthogonal_designs() {
+    for r in [4usize, 8, 16] {
+        for k in 0..r {
+            // Identity-like design with column k zeroed: gram = I with
+            // row/col k zero, pivots 0..k are exactly 1, pivot k is
+            // exactly 0.
+            let rows: Vec<(Vec<f64>, f64)> = (0..r)
+                .map(|i| {
+                    let mut row = vec![0.0; r];
+                    if i != k {
+                        row[i] = 1.0;
+                    }
+                    (row, 1.0)
+                })
+                .collect();
+            for variant in KernelVariant::supported(r) {
+                assert_eq!(
+                    solve(variant, r, &rows, 0.0).unwrap_err(),
+                    SolveError::NotPositiveDefinite { index: k },
+                    "r={r} k={k} variant {variant}: exact pivot index"
+                );
+            }
+        }
+    }
+}
